@@ -1,0 +1,388 @@
+//! Ablations of design choices the paper calls out.
+//!
+//! * **A1** — SRUDP window and fragment size on a lossy WAN: the
+//!   selective-resend design (§6) earns its keep when loss is real.
+//! * **A2** — RC anti-entropy interval vs cross-replica staleness:
+//!   the availability/consistency trade of §2.1.
+//! * **A3** — playground fuel-slice size vs completion time and
+//!   checkpoint cost (§5.8).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::medium::Medium;
+use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::world::World;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::server::RcServerActor;
+use snipe_rcds::store::RcStore;
+use snipe_rcds::uri::Uri;
+use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::ports;
+use snipe_wire::stack::StackConfig;
+
+use crate::fig1::{SrudpReceiver, SrudpSender};
+use snipe_netsim::actor::TimerGate;
+
+/// A1 result row.
+#[derive(Clone, Debug)]
+pub struct A1Point {
+    /// SRUDP window (fragments in flight).
+    pub window: usize,
+    /// Fragment size (bytes).
+    pub frag_size: usize,
+    /// Loss probability of the WAN.
+    pub loss: f64,
+    /// Goodput in bytes/second (NaN if the transfer stalled).
+    pub goodput: f64,
+}
+
+/// A1: sweep SRUDP (window, frag size) over a lossy WAN link.
+pub fn run_a1(window: usize, frag_size: usize, loss: f64, seed: u64) -> A1Point {
+    let mut topo = Topology::new();
+    let wan = topo.add_network("wan", Medium::wan_lossy(loss), true);
+    let a = topo.add_host(HostCfg::named("a"));
+    let b = topo.add_host(HostCfg::named("b"));
+    topo.attach(a, wan);
+    topo.attach(b, wan);
+    let mut world = World::new(topo, seed);
+    let total = 2 << 20;
+    let mut cfg = StackConfig::default();
+    cfg.srudp.window = window;
+    cfg.srudp.frag_size = frag_size;
+    cfg.srudp.rto_initial = SimDuration::from_millis(150);
+    let received = Rc::new(RefCell::new(0usize));
+    let done_at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    world.spawn(
+        b,
+        20,
+        Box::new(SrudpReceiver {
+            stack: None,
+            received: received.clone(),
+            done_at: done_at.clone(),
+            expect: total,
+            cfg: cfg.clone(),
+            pin: None,
+            gate: TimerGate::new(),
+        }),
+    );
+    world.spawn(
+        a,
+        20,
+        Box::new(SrudpSender {
+            stack: None,
+            peer: Endpoint::new(b, 20),
+            msg_size: 64 * 1024,
+            remaining: total,
+            inflight: window * frag_size * 2,
+            cfg,
+            pin: None,
+            gate: TimerGate::new(),
+        }),
+    );
+    for _ in 0..1200 {
+        world.run_for(SimDuration::from_millis(100));
+        if done_at.borrow().is_some() {
+            break;
+        }
+    }
+    let goodput = match *done_at.borrow() {
+        Some(t) => total as f64 / t.as_secs_f64(),
+        None => f64::NAN,
+    };
+    A1Point { window, frag_size, loss, goodput }
+}
+
+/// A2 result row.
+#[derive(Clone, Debug)]
+pub struct A2Point {
+    /// Anti-entropy interval (seconds).
+    pub sync_interval: f64,
+    /// Mean time for a write at replica 0 to be visible at replica 1.
+    pub staleness: f64,
+}
+
+const TIMER_PROBE: u64 = 3;
+
+/// Probes replica 1 until the expected value appears; records when.
+struct StalenessProbe {
+    target: Endpoint,
+    uri: Uri,
+    expect: String,
+    rc: snipe_rcds::client::RcClient,
+    visible_at: Rc<RefCell<Option<SimTime>>>,
+}
+
+impl StalenessProbe {
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, snipe_wire::frame::seal(snipe_wire::frame::Proto::Raw, bytes));
+        }
+        for (_, result) in self.rc.drain_done() {
+            if let Ok(reply) = result {
+                if reply.assertions.iter().any(|a| a.value == self.expect)
+                    && self.visible_at.borrow().is_none()
+                {
+                    *self.visible_at.borrow_mut() = Some(ctx.now());
+                }
+            }
+        }
+        let _ = self.target;
+    }
+}
+
+impl Actor for StalenessProbe {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { token: TIMER_PROBE } => {
+                if self.visible_at.borrow().is_none() {
+                    let now = ctx.now();
+                    self.rc.get(now, &self.uri);
+                    self.flush(ctx);
+                    ctx.set_timer(SimDuration::from_millis(10), TIMER_PROBE);
+                }
+            }
+            Event::Timer { .. } => {
+                self.rc.on_timer(ctx.now());
+                self.flush(ctx);
+            }
+            Event::Packet { from, payload } => {
+                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload) {
+                    self.rc.on_packet(ctx.now(), from, body);
+                }
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct OneShotWriter {
+    target: Endpoint,
+    uri: Uri,
+    value: String,
+    rc: snipe_rcds::client::RcClient,
+    wrote_at: Rc<RefCell<Option<SimTime>>>,
+}
+
+impl Actor for OneShotWriter {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let now = ctx.now();
+                self.rc.put(now, &self.uri, vec![Assertion::new("k", self.value.clone())]);
+                *self.wrote_at.borrow_mut() = Some(now);
+                for (to, bytes) in self.rc.drain_sends() {
+                    ctx.send(to, snipe_wire::frame::seal(snipe_wire::frame::Proto::Raw, bytes));
+                }
+                let _ = self.target;
+            }
+            Event::Packet { from, payload } => {
+                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload) {
+                    self.rc.on_packet(ctx.now(), from, body);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A2: measure replication staleness for a sync interval.
+pub fn run_a2(sync_interval: SimDuration, seed: u64) -> A2Point {
+    let mut topo = Topology::new();
+    let net = topo.add_network("lan", Medium::ethernet100(), true);
+    let r0 = topo.add_host(HostCfg::named("rc0"));
+    let r1 = topo.add_host(HostCfg::named("rc1"));
+    let c = topo.add_host(HostCfg::named("c"));
+    for h in [r0, r1, c] {
+        topo.attach(h, net);
+    }
+    let mut world = World::new(topo, seed);
+    let ep0 = Endpoint::new(r0, ports::RC_SERVER);
+    let ep1 = Endpoint::new(r1, ports::RC_SERVER);
+    world.spawn(r0, ports::RC_SERVER, Box::new(RcServerActor::new(1, vec![ep1], sync_interval)));
+    world.spawn(r1, ports::RC_SERVER, Box::new(RcServerActor::new(2, vec![ep0], sync_interval)));
+    // Let the replicas settle so the first sync tick isn't aligned with
+    // the write.
+    world.run_for(sync_interval + SimDuration::from_millis(37));
+    let wrote_at = Rc::new(RefCell::new(None));
+    let visible_at = Rc::new(RefCell::new(None));
+    let uri = Uri::process(1);
+    world.spawn(
+        c,
+        50,
+        Box::new(OneShotWriter {
+            target: ep0,
+            uri: uri.clone(),
+            value: "fresh".into(),
+            rc: snipe_rcds::client::RcClient::new(vec![ep0], SimDuration::from_millis(200)),
+            wrote_at: wrote_at.clone(),
+        }),
+    );
+    world.spawn(
+        c,
+        51,
+        Box::new(StalenessProbe {
+            target: ep1,
+            uri,
+            expect: "fresh".into(),
+            rc: snipe_rcds::client::RcClient::new(vec![ep1], SimDuration::from_millis(200)),
+            visible_at: visible_at.clone(),
+        }),
+    );
+    world.run_for(sync_interval * 4 + SimDuration::from_secs(2));
+    let staleness = match (*wrote_at.borrow(), *visible_at.borrow()) {
+        (Some(w), Some(v)) => v.saturating_since(w).as_secs_f64(),
+        _ => f64::NAN,
+    };
+    A2Point { sync_interval: sync_interval.as_secs_f64(), staleness }
+}
+
+/// A3 result row.
+#[derive(Clone, Debug)]
+pub struct A3Point {
+    /// Instructions per scheduling slice.
+    pub slice: u64,
+    /// Completion time of the reference program (seconds).
+    pub completion: f64,
+    /// Checkpoint size in bytes (taken mid-run).
+    pub checkpoint_bytes: usize,
+}
+
+/// A3: playground slice-size sweep on a fixed compute kernel.
+pub fn run_a3(slice: u64, seed: u64) -> A3Point {
+    use snipe_crypto::sign::KeyPair;
+    use snipe_playground::bytecode::{CodeImage, Instr, Program};
+    use snipe_playground::playground::{PlaygroundActor, PlaygroundConfig, PlaygroundMsg};
+    use snipe_playground::vm::{sys, Quotas, Vm, CAP_EMIT};
+    use snipe_util::codec::WireDecode;
+    use snipe_util::rng::Xoshiro256;
+
+    // countdown loop: 200k iterations (~1.4M instructions).
+    let program = Program {
+        code: vec![
+            Instr::PushI(200_000),
+            Instr::Store(0),
+            Instr::Load(0), // 2
+            Instr::Jz(9),
+            Instr::Load(0),
+            Instr::PushI(1),
+            Instr::Sub,
+            Instr::Store(0),
+            Instr::Jmp(2),
+            Instr::PushI(1), // 9
+            Instr::Syscall(sys::EMIT),
+            Instr::Halt,
+        ],
+        locals: 1,
+        required_caps: CAP_EMIT,
+    };
+    // Checkpoint size: measured directly from a VM mid-run.
+    let mut vm = Vm::new(&program, CAP_EMIT, Quotas { fuel: 10_000_000, ..Quotas::default() });
+    let mut host = snipe_playground::vm::NullHost::default();
+    vm.run_slice(50_000, &mut host);
+    let checkpoint_bytes = vm.checkpoint().len();
+
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let signer = KeyPair::generate_default(&mut rng);
+    let image = CodeImage::sign(&mut rng, &signer, "kernel", &program);
+    let mut topo = Topology::new();
+    let net = topo.add_network("lan", Medium::ethernet100(), true);
+    let h = topo.add_host(HostCfg::named("pg"));
+    let s = topo.add_host(HostCfg::named("sup"));
+    topo.attach(h, net);
+    topo.attach(s, net);
+    let mut world = World::new(topo, seed);
+    let done = Rc::new(RefCell::new(None));
+    struct Sup {
+        done: Rc<RefCell<Option<SimTime>>>,
+    }
+    impl Actor for Sup {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            if let Event::Packet { payload, .. } = event {
+                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload)
+                {
+                    if let Ok(PlaygroundMsg::Done { .. }) = PlaygroundMsg::decode_from_bytes(body)
+                    {
+                        *self.done.borrow_mut() = Some(ctx.now());
+                    }
+                }
+            }
+        }
+    }
+    world.spawn(s, 10, Box::new(Sup { done: done.clone() }));
+    let cfg = PlaygroundConfig {
+        code_signer: signer.public.clone(),
+        granted_caps: CAP_EMIT,
+        quotas: Quotas { fuel: 10_000_000, ..Quotas::default() },
+        slice,
+        slice_interval: SimDuration::from_millis(1),
+        supervisor: Endpoint::new(s, 10),
+        address_book: Default::default(),
+    };
+    world.spawn(h, 100, Box::new(PlaygroundActor::new(cfg, image, vec![])));
+    for _ in 0..600 {
+        world.run_for(SimDuration::from_millis(100));
+        if done.borrow().is_some() {
+            break;
+        }
+    }
+    let completion = done.borrow().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
+    A3Point { slice, completion, checkpoint_bytes }
+}
+
+/// Convenience: compare two replicas without networking (pure-store
+/// sanity used by the staleness reporting).
+pub fn store_merge_rounds(writes: usize) -> usize {
+    let mut a = RcStore::new(1);
+    let mut b = RcStore::new(2);
+    for i in 0..writes {
+        a.put(&Uri::process(i as u64), Assertion::new("k", "v"), 0);
+    }
+    let mut rounds = 0;
+    loop {
+        let ups = a.updates_since(b.version_vector(), 64);
+        if ups.is_empty() {
+            break;
+        }
+        for u in ups {
+            b.apply(u);
+        }
+        rounds += 1;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_bigger_window_helps_on_lossy_wan() {
+        let small = run_a1(4, 1400, 0.05, 31);
+        let big = run_a1(64, 1400, 0.05, 31);
+        assert!(big.goodput > small.goodput, "{small:?} vs {big:?}");
+    }
+
+    #[test]
+    fn a2_staleness_tracks_sync_interval() {
+        let fast = run_a2(SimDuration::from_millis(100), 32);
+        let slow = run_a2(SimDuration::from_secs(2), 32);
+        assert!(fast.staleness.is_finite() && slow.staleness.is_finite());
+        assert!(slow.staleness > fast.staleness, "{fast:?} vs {slow:?}");
+    }
+
+    #[test]
+    fn a3_larger_slices_finish_sooner() {
+        let small = run_a3(1_000, 33);
+        let big = run_a3(50_000, 33);
+        assert!(big.completion < small.completion, "{small:?} vs {big:?}");
+        assert!(small.checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn merge_rounds_bounded() {
+        assert_eq!(store_merge_rounds(100), 2); // 100 updates / 64 per round
+    }
+}

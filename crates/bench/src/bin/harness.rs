@@ -1,0 +1,275 @@
+//! The experiment harness: regenerates every figure and table of the
+//! paper's evaluation (see DESIGN.md §4 for the index).
+//!
+//! ```text
+//! cargo run -p snipe-bench --release --bin harness            # everything
+//! cargo run -p snipe-bench --release --bin harness -- f1 e3   # selected
+//! ```
+//!
+//! Output goes to stdout and `results/<exp>.txt`.
+
+use snipe_bench::report::{mbps, Table};
+use snipe_bench::{ablations, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, fig1, par_map};
+use snipe_util::time::SimDuration;
+
+fn run_f1() {
+    let mut jobs = Vec::new();
+    for medium in fig1::standard_media() {
+        for proto in [fig1::Protocol::Srudp, fig1::Protocol::Rstream, fig1::Protocol::Mcast] {
+            for &size in &fig1::standard_sizes() {
+                jobs.push((medium.clone(), proto, size));
+            }
+        }
+    }
+    let points = par_map(jobs, |(m, p, s)| fig1::measure(m.clone(), *p, *s));
+    let mut t = Table::new(
+        "F1 (Fig. 1): bandwidth offered to SNIPE clients, MB/s",
+        &["medium", "protocol", "msg size", "MB/s", "media ceiling MB/s", "% of ceiling"],
+    );
+    for p in points.into_iter().flatten() {
+        let frac = p.goodput / p.ceiling * 100.0;
+        t.row(vec![
+            p.medium.to_string(),
+            p.protocol.to_string(),
+            format!("{}", p.msg_size),
+            mbps(p.goodput),
+            mbps(p.ceiling),
+            format!("{frac:.1}%"),
+        ]);
+    }
+    t.emit("f1.txt");
+}
+
+fn run_e2() {
+    // Sizes stay below the Ethernet MTU: the mini-PVM baseline (like
+    // early pvm_send without direct routing) does not fragment, and the
+    // §6.1 claim is about point-to-point latency/overheads.
+    let sizes = vec![64usize, 256, 1024, 1400];
+    let mut rows = Vec::new();
+    for &s in &sizes {
+        rows.push(e2_mpiconnect::run_snipe(s));
+        rows.push(e2_mpiconnect::run_pvmpi(s));
+    }
+    let mut t = Table::new(
+        "E2 (§6.1): MPI Connect (SNIPE) vs PVMPI (PVM), inter-MPP pt2pt",
+        &["system", "msg size", "latency (ms)", "bandwidth MB/s"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.system.to_string(),
+            format!("{}", r.msg_size),
+            format!("{:.3}", r.latency * 1e3),
+            mbps(r.bandwidth),
+        ]);
+    }
+    t.emit("e2.txt");
+}
+
+fn run_e3() {
+    let ks = vec![1usize, 2, 3, 4, 5];
+    let points = par_map(ks, |&k| e3_availability::run(k, 365, 1000 + k as u64));
+    let mut t = Table::new(
+        "E3 (§6): metadata availability over one simulated year (MTBF 10d, MTTR 4h)",
+        &["RC replicas", "availability", "single-host expectation"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{}", p.replicas),
+            format!("{:.5}", p.availability),
+            format!("{:.5}", p.single_host),
+        ]);
+    }
+    t.emit("e3.txt");
+}
+
+fn run_e4() {
+    let ns = vec![4usize, 8, 16, 32, 64, 128];
+    let snipe = par_map(ns.clone(), |&n| e4_scalability::run_snipe(n, 40));
+    let pvm = par_map(ns.clone(), |&n| e4_scalability::run_pvm(n, 40));
+    let mut t = Table::new(
+        "E4 (§2.2): time to start one task on each of N hosts",
+        &["hosts", "SNIPE (s)", "PVM (s)", "PVM/SNIPE"],
+    );
+    for (s, p) in snipe.iter().zip(&pvm) {
+        let ratio = if s.complete && p.complete { p.elapsed / s.elapsed } else { f64::NAN };
+        t.row(vec![
+            format!("{}", s.hosts),
+            if s.complete { format!("{:.4}", s.elapsed) } else { "DNF".into() },
+            if p.complete { format!("{:.4}", p.elapsed) } else { "DNF".into() },
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    t.emit("e4.txt");
+}
+
+fn run_e5() {
+    let p = e5_migration::run(200, 6);
+    let mut t = Table::new(
+        "E5 (§5.6): migration under load — zero loss contract",
+        &["sent", "received", "lost", "out-of-order", "max stall (ms)", "migrated at (s)"],
+    );
+    t.row(vec![
+        format!("{}", p.sent),
+        format!("{}", p.received),
+        format!("{}", p.sent - p.received),
+        format!("{}", p.out_of_order),
+        format!("{:.1}", p.max_gap * 1e3),
+        format!("{:.3}", p.migrated_at),
+    ]);
+    t.emit("e5.txt");
+}
+
+fn run_e6() {
+    let configs = vec![(3usize, 1usize), (5, 2), (7, 3), (9, 4)];
+    let points = par_map(configs, |&(r, k)| e6_multicast::run(r, 6, k, 200, 11));
+    let mut t = Table::new(
+        "E6 (§5.4): multicast delivery with routers killed mid-stream",
+        &["routers", "killed", "sent", "min delivered", "delivery", "dup suppressed"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{}", p.routers),
+            format!("{}", p.killed),
+            format!("{}", p.sent),
+            format!("{}", p.min_delivered),
+            format!("{:.1}%", p.min_delivered as f64 / p.sent as f64 * 100.0),
+            format!("{}", p.duplicates),
+        ]);
+    }
+    t.emit("e6.txt");
+}
+
+fn run_e7() {
+    let p = e7_failover::run(4 << 20, 13);
+    let mut t = Table::new(
+        "E7 (§6): route failover when the preferred (ATM) path blackholes",
+        &["bytes", "delivered", "failover seen", "fault at (s)", "done at (s)"],
+    );
+    t.row(vec![
+        format!("{}", p.total),
+        format!("{}", p.delivered),
+        format!("{}", p.failovers_observed),
+        format!("{:.3}", p.fault_at),
+        format!("{:.3}", p.elapsed),
+    ]);
+    t.emit("e7.txt");
+}
+
+fn run_e8() {
+    let s = e8_spof::run_snipe(21);
+    let p = e8_spof::run_pvm(21);
+    let mut t = Table::new(
+        "E8 (§2.2): killing the name service mid-workload",
+        &["system", "ok before kill", "ok after kill", "post-kill availability"],
+    );
+    for r in [s, p] {
+        t.row(vec![
+            r.system.to_string(),
+            format!("{}/{}", r.ok_before, r.ops_before),
+            format!("{}/{}", r.ok_after, r.ops_after),
+            format!("{:.1}%", r.availability_after() * 100.0),
+        ]);
+    }
+    t.emit("e8.txt");
+}
+
+fn run_a1() {
+    let mut jobs = Vec::new();
+    for window in [4usize, 16, 64, 256] {
+        for frag in [512usize, 1400] {
+            jobs.push((window, frag));
+        }
+    }
+    let points = par_map(jobs, |&(w, f)| ablations::run_a1(w, f, 0.05, 31));
+    let mut t = Table::new(
+        "A1: SRUDP window/fragment sweep on 5%-loss WAN",
+        &["window", "frag size", "goodput MB/s"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{}", p.window),
+            format!("{}", p.frag_size),
+            if p.goodput.is_nan() { "stalled".into() } else { mbps(p.goodput) },
+        ]);
+    }
+    t.emit("a1.txt");
+}
+
+fn run_a2() {
+    let intervals = vec![100u64, 250, 500, 1000, 2000, 5000];
+    let points = par_map(intervals, |&ms| ablations::run_a2(SimDuration::from_millis(ms), 32));
+    let mut t = Table::new(
+        "A2: anti-entropy interval vs cross-replica staleness",
+        &["sync interval (s)", "staleness (s)"],
+    );
+    for p in points {
+        t.row(vec![format!("{:.2}", p.sync_interval), format!("{:.3}", p.staleness)]);
+    }
+    t.emit("a2.txt");
+}
+
+fn run_a3() {
+    let slices = vec![500u64, 1_000, 5_000, 20_000, 100_000];
+    let points = par_map(slices, |&s| ablations::run_a3(s, 33));
+    let mut t = Table::new(
+        "A3: playground fuel-slice size vs completion and checkpoint size",
+        &["slice (instr)", "completion (s)", "checkpoint (bytes)"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{}", p.slice),
+            format!("{:.3}", p.completion),
+            format!("{}", p.checkpoint_bytes),
+        ]);
+    }
+    t.emit("a3.txt");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+    if all {
+        // Fresh full run: clear old tables. Selective runs append /
+        // replace only their own files.
+        let _ = std::fs::remove_dir_all("results");
+    } else {
+        for a in &args {
+            let _ = std::fs::remove_file(format!("results/{a}.txt"));
+        }
+    }
+    if want("f1") {
+        run_f1();
+    }
+    if want("e2") {
+        run_e2();
+    }
+    if want("e3") {
+        run_e3();
+    }
+    if want("e4") {
+        run_e4();
+    }
+    if want("e5") {
+        run_e5();
+    }
+    if want("e6") {
+        run_e6();
+    }
+    if want("e7") {
+        run_e7();
+    }
+    if want("e8") {
+        run_e8();
+    }
+    if want("a1") {
+        run_a1();
+    }
+    if want("a2") {
+        run_a2();
+    }
+    if want("a3") {
+        run_a3();
+    }
+    println!("done. tables written under results/");
+}

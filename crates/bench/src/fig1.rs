@@ -1,0 +1,631 @@
+//! Fig. 1 — "Bandwidth in MegaBytes/Second offered to SNIPE client
+//! applications on various media."
+//!
+//! Two (three for multicast) hosts on one segment of the medium under
+//! test; a sender streams fixed-size messages through the protocol
+//! module under test and we report delivered payload bytes per
+//! simulated second, exactly the quantity the paper plots against
+//! message size for 100 Mbit Ethernet and 155 Mbit ATM.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::medium::Medium;
+use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::world::World;
+use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::frame::{open, seal, Proto};
+use snipe_wire::mcast::{McastMsg, McastRouter};
+use snipe_wire::rstream::{Rstream, RstreamConfig};
+use snipe_wire::stack::{endpoint_key, StackConfig, WireStack};
+use snipe_wire::Out;
+
+/// Protocol module under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// SNIPE's selective re-send UDP.
+    Srudp,
+    /// The TCP substitute.
+    Rstream,
+    /// Router-relayed multicast (per-receiver goodput).
+    Mcast,
+}
+
+impl Protocol {
+    /// Display name (matches the figure legend).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Srudp => "SRUDP",
+            Protocol::Rstream => "TCP(RSTREAM)",
+            Protocol::Mcast => "MCAST",
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct Fig1Point {
+    /// Medium name.
+    pub medium: &'static str,
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Message size in bytes.
+    pub msg_size: usize,
+    /// Delivered payload bytes per simulated second.
+    pub goodput: f64,
+    /// Analytic media ceiling at this packet size (reference line).
+    pub ceiling: f64,
+}
+
+// ---------------------------------------------------------------------------
+// SRUDP driver
+// ---------------------------------------------------------------------------
+
+pub(crate) struct SrudpSender {
+    pub(crate) stack: Option<WireStack>,
+    pub(crate) peer: Endpoint,
+    pub(crate) msg_size: usize,
+    pub(crate) remaining: usize,
+    /// Keep this many payload bytes queued at once.
+    pub(crate) inflight: usize,
+    pub(crate) cfg: StackConfig,
+    /// Ranked pinned routes toward the peer (multi-path, E7).
+    pub(crate) pin: Option<Vec<snipe_util::id::NetId>>,
+    pub(crate) gate: TimerGate,
+}
+
+const TIMER_STACK: u64 = 1;
+
+fn flush_wire(stack: &mut WireStack, gate: &mut TimerGate, ctx: &mut Ctx<'_>, delivered: &mut usize) {
+    for o in stack.drain() {
+        match o {
+            Out::Send { to, via, bytes } => match via {
+                Some(n) => ctx.send_via(to, bytes, n),
+                None => ctx.send(to, bytes),
+            },
+            Out::Deliver { msg, .. } => *delivered += msg.len(),
+            Out::Wake { .. } => {}
+        }
+    }
+    if let Some(dl) = stack.next_deadline() {
+        gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
+    }
+}
+
+impl SrudpSender {
+    fn pump_app(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(stack) = self.stack.as_mut() else { return };
+        // Keep a bounded amount of payload queued in the transport so
+        // the wire stays saturated without unbounded memory use.
+        while self.remaining > 0 && stack_backlog(stack) < self.inflight {
+            let size = self.msg_size.min(self.remaining);
+            stack.send(now, endpoint_key(self.peer), Bytes::from(vec![0xAB; size]));
+            self.remaining -= size;
+        }
+        let mut sink = 0;
+        flush_wire(stack, &mut self.gate, ctx, &mut sink);
+    }
+}
+
+fn stack_backlog(stack: &WireStack) -> usize {
+    // Unacked bytes toward all peers — our pipeline depth proxy.
+    stack.backlog_total()
+}
+
+impl Actor for SrudpSender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                let mut stack = WireStack::new(endpoint_key(me), self.cfg.clone());
+                let routes = self.pin.clone().unwrap_or_default();
+                stack.set_peer_at(ctx.now(), endpoint_key(self.peer), self.peer, routes);
+                self.stack = Some(stack);
+                self.pump_app(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                }
+                self.pump_app(ctx);
+            }
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    let _ = s.on_datagram(now, from, payload);
+                }
+                self.pump_app(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+pub(crate) struct SrudpReceiver {
+    pub(crate) stack: Option<WireStack>,
+    pub(crate) received: Rc<RefCell<usize>>,
+    pub(crate) done_at: Rc<RefCell<Option<SimTime>>>,
+    pub(crate) expect: usize,
+    pub(crate) cfg: StackConfig,
+    /// Ranked routes to pin toward senders (multi-path, E7).
+    pub(crate) pin: Option<Vec<snipe_util::id::NetId>>,
+    pub(crate) gate: TimerGate,
+}
+
+impl Actor for SrudpReceiver {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                self.stack = Some(WireStack::new(endpoint_key(me), self.cfg.clone()));
+            }
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                let Some(stack) = self.stack.as_mut() else { return };
+                let _ = stack.on_datagram(now, from, payload);
+                // Pin our return routes toward the sender (its key was
+                // learned from the packet).
+                if let Some(pin) = &self.pin {
+                    for key in stack.known_peers() {
+                        if stack.route_candidates(key).is_empty() {
+                            if let Some(ep) = stack.peer_endpoint(key) {
+                                stack.set_peer_at(now, key, ep, pin.clone());
+                            }
+                        }
+                    }
+                }
+                let mut got = 0;
+                flush_wire(stack, &mut self.gate, ctx, &mut got);
+                if got > 0 {
+                    let mut r = self.received.borrow_mut();
+                    *r += got;
+                    if *r >= self.expect && self.done_at.borrow().is_none() {
+                        *self.done_at.borrow_mut() = Some(ctx.now());
+                    }
+                }
+            }
+            Event::Timer { token: TIMER_STACK } => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                    let mut got = 0;
+                    flush_wire(s, &mut self.gate, ctx, &mut got);
+                    if got > 0 {
+                        let mut r = self.received.borrow_mut();
+                        *r += got;
+                        if *r >= self.expect && self.done_at.borrow().is_none() {
+                            *self.done_at.borrow_mut() = Some(ctx.now());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RSTREAM driver
+// ---------------------------------------------------------------------------
+
+struct RstreamSender {
+    ep: Option<Rstream>,
+    conn: u64,
+    peer: Endpoint,
+    msg_size: usize,
+    remaining: usize,
+    inflight_cap: usize,
+    gate: TimerGate,
+}
+
+impl RstreamSender {
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(rs) = self.ep.as_mut() else { return };
+        while self.remaining > 0 && rs.unacked_bytes(self.conn) < self.inflight_cap {
+            let size = self.msg_size.min(self.remaining);
+            if rs.send_message(now, self.conn, &vec![0xCD; size]).is_err() {
+                break;
+            }
+            self.remaining -= size;
+        }
+        for o in rs.drain() {
+            if let Out::Send { to, bytes, .. } = o {
+                ctx.send(to, seal(Proto::Rstream, bytes));
+            }
+        }
+        let deadline = rs.next_deadline();
+        if let Some(dl) = deadline {
+            self.gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
+        }
+    }
+}
+
+impl Actor for RstreamSender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let mut rs = Rstream::new(RstreamConfig::default(), 1);
+                self.conn = rs.connect(ctx.now(), self.peer);
+                self.ep = Some(rs);
+                self.pump(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(rs) = self.ep.as_mut() {
+                    rs.on_timer(now);
+                }
+                self.pump(ctx);
+            }
+            Event::Packet { from, payload } => {
+                let Ok((Proto::Rstream, body)) = open(payload) else { return };
+                let now = ctx.now();
+                if let Some(rs) = self.ep.as_mut() {
+                    let _ = rs.on_packet(now, from, body);
+                }
+                self.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct RstreamReceiver {
+    ep: Rstream,
+    received: Rc<RefCell<usize>>,
+    done_at: Rc<RefCell<Option<SimTime>>>,
+    expect: usize,
+}
+
+impl Actor for RstreamReceiver {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        if let Event::Packet { from, payload } = event {
+            let Ok((Proto::Rstream, body)) = open(payload) else { return };
+            let _ = self.ep.on_packet(ctx.now(), from, body);
+            for o in self.ep.drain() {
+                match o {
+                    Out::Send { to, bytes, .. } => ctx.send(to, seal(Proto::Rstream, bytes)),
+                    Out::Deliver { msg, .. } => {
+                        let mut r = self.received.borrow_mut();
+                        *r += msg.len();
+                        if *r >= self.expect && self.done_at.borrow().is_none() {
+                            *self.done_at.borrow_mut() = Some(ctx.now());
+                        }
+                    }
+                    Out::Wake { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast driver (sender → router → member; per-receiver goodput)
+// ---------------------------------------------------------------------------
+
+struct McastSource {
+    router: Endpoint,
+    msg_size: usize,
+    remaining: usize,
+    seq: u64,
+    /// Pace: messages per tick to avoid infinite same-time loops.
+    burst: usize,
+}
+
+impl Actor for McastSource {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } => {
+                for _ in 0..self.burst {
+                    if self.remaining == 0 {
+                        return;
+                    }
+                    let size = self.msg_size.min(self.remaining);
+                    self.remaining -= size;
+                    let msg = McastMsg::Data {
+                        group: 1,
+                        origin: 42,
+                        seq: self.seq,
+                        ttl: 2,
+                        payload: Bytes::from(vec![0xEF; size]),
+                    };
+                    self.seq += 1;
+                    ctx.send(self.router, seal(Proto::Mcast, msg.encode()));
+                }
+                ctx.set_timer(SimDuration::from_micros(200), 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct McastRouterHost {
+    state: McastRouter,
+}
+
+impl Actor for McastRouterHost {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        if let Event::Packet { payload, .. } = event {
+            let Ok((Proto::Mcast, body)) = open(payload) else { return };
+            let Ok(msg) = McastMsg::decode(body) else { return };
+            let mut outs = Vec::new();
+            self.state.on_message(msg, &mut outs);
+            for o in outs {
+                if let Out::Send { to, bytes, .. } = o {
+                    ctx.send(to, bytes);
+                }
+            }
+        }
+    }
+}
+
+struct McastMember {
+    received: Rc<RefCell<usize>>,
+    done_at: Rc<RefCell<Option<SimTime>>>,
+    expect: usize,
+}
+
+impl Actor for McastMember {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        if let Event::Packet { payload, .. } = event {
+            let Ok((Proto::Mcast, body)) = open(payload) else { return };
+            let Ok(McastMsg::Data { payload, .. }) = McastMsg::decode(body) else { return };
+            let mut r = self.received.borrow_mut();
+            *r += payload.len();
+            if *r >= self.expect && self.done_at.borrow().is_none() {
+                *self.done_at.borrow_mut() = Some(ctx.now());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Total payload streamed per measurement.
+fn total_for(msg_size: usize) -> usize {
+    (msg_size * 64).clamp(1 << 21, 1 << 24)
+}
+
+/// Measure one (medium, protocol, size) point.
+pub fn measure(medium: Medium, protocol: Protocol, msg_size: usize) -> Option<Fig1Point> {
+    let medium_name = medium.name;
+    // Multicast is unfragmented: sizes beyond the MTU are not sendable.
+    if protocol == Protocol::Mcast && msg_size + 64 > medium.mtu {
+        return None;
+    }
+    let ceiling = medium.goodput_ceiling(msg_size.min(medium.mtu));
+    let mut topo = Topology::new();
+    let net = topo.add_network("m", medium, true);
+    let a = topo.add_host(HostCfg::named("a"));
+    let b = topo.add_host(HostCfg::named("b"));
+    let c = topo.add_host(HostCfg::named("c"));
+    for h in [a, b, c] {
+        topo.attach(h, net);
+    }
+    let mut world = World::new(topo, 99);
+    let total = total_for(msg_size);
+    let received = Rc::new(RefCell::new(0usize));
+    let done_at = Rc::new(RefCell::new(None));
+    match protocol {
+        Protocol::Srudp => {
+            world.spawn(
+                b,
+                20,
+                Box::new(SrudpReceiver {
+                    stack: None,
+                    received: received.clone(),
+                    done_at: done_at.clone(),
+                    expect: total,
+                    cfg: StackConfig::default(),
+                    pin: None,
+                    gate: TimerGate::new(),
+                }),
+            );
+            world.spawn(
+                a,
+                20,
+                Box::new(SrudpSender {
+                    stack: None,
+                    peer: Endpoint::new(b, 20),
+                    msg_size,
+                    remaining: total,
+                    // Pipeline depth: several messages or a window's
+                    // worth of fragments, whichever is larger.
+                    inflight: (4 * msg_size).max(64 * 1400),
+                    cfg: StackConfig::default(),
+                    pin: None,
+                    gate: TimerGate::new(),
+                }),
+            );
+        }
+        Protocol::Rstream => {
+            world.spawn(
+                b,
+                20,
+                Box::new(RstreamReceiver {
+                    ep: Rstream::new(RstreamConfig::default(), 2),
+                    received: received.clone(),
+                    done_at: done_at.clone(),
+                    expect: total,
+                }),
+            );
+            world.spawn(
+                a,
+                20,
+                Box::new(RstreamSender {
+                    ep: None,
+                    conn: 0,
+                    peer: Endpoint::new(b, 20),
+                    msg_size,
+                    remaining: total,
+                    inflight_cap: 64 * 1400,
+                    gate: TimerGate::new(),
+                }),
+            );
+        }
+        Protocol::Mcast => {
+            world.spawn(
+                c,
+                20,
+                Box::new(McastMember {
+                    received: received.clone(),
+                    done_at: done_at.clone(),
+                    expect: total,
+                }),
+            );
+            let mut router = McastRouter::new();
+            let mut scratch = Vec::new();
+            router.on_message(
+                McastMsg::Join { group: 1, member: Endpoint::new(c, 20) },
+                &mut scratch,
+            );
+            world.spawn(b, 20, Box::new(McastRouterHost { state: router }));
+            world.spawn(
+                a,
+                20,
+                Box::new(McastSource {
+                    router: Endpoint::new(b, 20),
+                    msg_size,
+                    remaining: total,
+                    seq: 0,
+                    burst: 8,
+                }),
+            );
+        }
+    }
+    // Run until done (bounded).
+    for _ in 0..600 {
+        world.run_for(SimDuration::from_millis(100));
+        if done_at.borrow().is_some() {
+            break;
+        }
+    }
+    let t = (*done_at.borrow())?;
+    let secs = t.as_secs_f64();
+    if secs <= 0.0 {
+        return None;
+    }
+    Some(Fig1Point {
+        medium: medium_name,
+        protocol: protocol.name(),
+        msg_size,
+        goodput: total as f64 / secs,
+        ceiling,
+    })
+}
+
+/// Instrumented variant of [`measure`] printing progress (debugging).
+pub fn measure_debug(medium: Medium, protocol: Protocol, msg_size: usize) {
+    let medium_name = medium.name;
+    let _ = medium_name;
+    let mut topo = Topology::new();
+    let net = topo.add_network("m", medium, true);
+    let a = topo.add_host(HostCfg::named("a"));
+    let b = topo.add_host(HostCfg::named("b"));
+    let c = topo.add_host(HostCfg::named("c"));
+    for h in [a, b, c] {
+        topo.attach(h, net);
+    }
+    let mut world = World::new(topo, 99);
+    let total = total_for(msg_size);
+    let received = Rc::new(RefCell::new(0usize));
+    let done_at = Rc::new(RefCell::new(None));
+    assert_eq!(protocol, Protocol::Srudp);
+    world.spawn(
+        b,
+        20,
+        Box::new(SrudpReceiver {
+            stack: None,
+            received: received.clone(),
+            done_at: done_at.clone(),
+            expect: total,
+            cfg: StackConfig::default(),
+            pin: None,
+            gate: TimerGate::new(),
+        }),
+    );
+    world.spawn(
+        a,
+        20,
+        Box::new(SrudpSender {
+            stack: None,
+            peer: Endpoint::new(b, 20),
+            msg_size,
+            remaining: total,
+            inflight: (4 * msg_size).max(64 * 1400),
+            cfg: StackConfig::default(),
+            pin: None,
+            gate: TimerGate::new(),
+        }),
+    );
+    for i in 0..600 {
+        let t0 = std::time::Instant::now();
+        world.run_for(SimDuration::from_millis(100));
+        eprintln!(
+            "iter {i}: wall {:?} received {} / {} events {}",
+            t0.elapsed(),
+            *received.borrow(),
+            total,
+            world.stats().events
+        );
+        if done_at.borrow().is_some() {
+            eprintln!("DONE at {:?}", *done_at.borrow());
+            break;
+        }
+    }
+}
+
+/// The standard message-size series of the figure.
+pub fn standard_sizes() -> Vec<usize> {
+    vec![64, 256, 1024, 1400, 4096, 16384, 65536, 262144, 1 << 20]
+}
+
+/// The standard media of the figure (plus extensions).
+pub fn standard_media() -> Vec<Medium> {
+    vec![Medium::ethernet10(), Medium::ethernet100(), Medium::atm155(), Medium::myrinet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srudp_reaches_reasonable_fraction_of_ethernet() {
+        let p = measure(Medium::ethernet100(), Protocol::Srudp, 65536).expect("completes");
+        // Large messages must achieve a solid fraction of the 12.5 MB/s
+        // raw rate (shape requirement, not absolute).
+        assert!(p.goodput > 6e6, "goodput {} too low", p.goodput);
+        assert!(p.goodput <= p.ceiling * 1.01, "goodput above ceiling?");
+    }
+
+    #[test]
+    fn small_messages_slower_than_large() {
+        let small = measure(Medium::ethernet100(), Protocol::Srudp, 64).expect("completes");
+        let large = measure(Medium::ethernet100(), Protocol::Srudp, 65536).expect("completes");
+        assert!(small.goodput < large.goodput);
+    }
+
+    #[test]
+    fn atm_beats_ethernet_for_bulk() {
+        let eth = measure(Medium::ethernet100(), Protocol::Srudp, 262144).expect("completes");
+        let atm = measure(Medium::atm155(), Protocol::Srudp, 262144).expect("completes");
+        assert!(atm.goodput > eth.goodput, "atm {} vs eth {}", atm.goodput, eth.goodput);
+    }
+
+    #[test]
+    fn mcast_skips_oversized() {
+        assert!(measure(Medium::ethernet100(), Protocol::Mcast, 65536).is_none());
+        let p = measure(Medium::ethernet100(), Protocol::Mcast, 1024).expect("completes");
+        assert!(p.goodput > 1e5);
+    }
+}

@@ -1,0 +1,53 @@
+//! # snipe-bench — experiment runners for every figure and table
+//!
+//! Each module reproduces one artifact of the paper's evaluation (see
+//! `DESIGN.md` §4 for the index). The `harness` binary runs them and
+//! prints the same rows/series the paper reports; `EXPERIMENTS.md`
+//! records paper-vs-measured.
+//!
+//! Parameter sweeps are embarrassingly parallel across *simulations*
+//! (each is single-threaded and deterministic), so runners fan out
+//! over threads with crossbeam's scoped threads.
+
+pub mod ablations;
+pub mod e2_mpiconnect;
+pub mod e3_availability;
+pub mod e4_scalability;
+pub mod e5_migration;
+pub mod e6_multicast;
+pub mod e7_failover;
+pub mod e8_spof;
+pub mod fig1;
+pub mod report;
+
+/// Run closures in parallel, preserving input order in the output.
+pub fn par_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let f = &f;
+            handles.push((i, s.spawn(move |_| f(input))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn par_map_preserves_order() {
+        let out = super::par_map((0..16).collect(), |&x| x * 2);
+        assert_eq!(out, (0..16).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

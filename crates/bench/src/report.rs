@@ -1,0 +1,94 @@
+//! Plain-text tables and result files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple fixed-width table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} ==", self.title);
+        let line = |s: &mut String, cells: &[String]| {
+            let mut parts = Vec::new();
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<w$}", c, w = widths[i]));
+            }
+            let _ = writeln!(s, "| {} |", parts.join(" | "));
+        };
+        line(&mut s, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 3 + 1;
+        let _ = writeln!(s, "{}", "-".repeat(total));
+        for r in &self.rows {
+            line(&mut s, r);
+        }
+        s
+    }
+
+    /// Print to stdout and append to `results/<file>`.
+    pub fn emit(&self, file: &str) {
+        let text = self.render();
+        println!("{text}");
+        let dir = Path::new("results");
+        let _ = fs::create_dir_all(dir);
+        let path = dir.join(file);
+        let mut existing = fs::read_to_string(&path).unwrap_or_default();
+        existing.push_str(&text);
+        existing.push('\n');
+        let _ = fs::write(&path, existing);
+    }
+}
+
+/// Format bytes/second as MB/s (the paper's Fig. 1 unit).
+pub fn mbps(bytes_per_sec: f64) -> String {
+    format!("{:.2}", bytes_per_sec / 1_000_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("| 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

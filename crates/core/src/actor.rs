@@ -1,0 +1,1294 @@
+//! The process actor: the runtime half of the SNIPE client library.
+//!
+//! Wraps a user's [`SnipeProcess`] with everything §3.4 promises:
+//! reliable multi-path messaging (SRUDP with location re-resolution
+//! after migration), RC metadata access, task management through
+//! daemons and resource managers, multicast groups with router
+//! election, replicated file access, notify lists, and self-initiated
+//! migration (§5.6).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::topology::Endpoint;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::uri::Uri;
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::frame::{seal, Proto};
+use snipe_wire::mcast::{majority, McastMsg};
+use snipe_wire::ports;
+use snipe_wire::stack::{Incoming, StackConfig, WireStack};
+use snipe_wire::Out;
+
+use snipe_daemon::proto::{DaemonMsg, SpawnSpec, TaskState};
+use snipe_files::proto::FileMsg;
+use snipe_rm::proto::{AllocMode, RmMsg};
+
+use crate::api::{Command, GroupEvent, ProcRef, SnipeApi, SnipeProcess, SpawnTarget, TicketResult};
+use crate::names::{
+    format_endpoint, group_id, parse_endpoint, parse_routers, ATTR_COMM_ADDRESS,
+    ATTR_LOCATION_PREFIX, ATTR_STATE,
+};
+
+const TIMER_RC: u64 = 1;
+const TIMER_STACK: u64 = 2;
+const TIMER_GROUP: u64 = 3;
+const TIMER_MIGRATE_GRACE: u64 = 4;
+const TIMER_RESOLVE_RETRY: u64 = 5;
+const TIMER_FILE: u64 = 6;
+/// Per-attempt deadline for file server operations.
+const FILE_OP_TIMEOUT: SimDuration = SimDuration::from_millis(800);
+/// App timers: `(token << 4) | APP_TIMER_BIT`.
+const APP_TIMER_BIT: u64 = 0x8;
+
+/// Group refresh period (router liveness / re-registration).
+const GROUP_REFRESH: SimDuration = SimDuration::from_secs(2);
+/// First refresh comes quickly to heal join-time races (simultaneous
+/// router elections that could not see each other yet).
+const GROUP_REFRESH_FIRST: SimDuration = SimDuration::from_millis(300);
+/// How long a migrated-away process keeps redirecting (§5.6 "act as a
+/// relay or redirect for a short period").
+const REDIRECT_GRACE: SimDuration = SimDuration::from_secs(1);
+/// Consecutive SRUDP timeouts before we suspect the peer migrated and
+/// re-resolve its location from RC.
+const RELOOKUP_TIMEOUTS: u32 = 4;
+
+/// Magic for core inter-process payloads.
+const CORE_MAGIC: u8 = 0xA7;
+const CORE_APP: u8 = 1;
+/// Magic for the raw redirect notice.
+const REDIRECT_MAGIC: u8 = 0xA8;
+/// Magic for the raw migrate-request control message (§3.5: an active
+/// resource manager "may ... migrate processes between hosts").
+pub(crate) const MIGRATE_MAGIC: u8 = 0xAA;
+
+/// Static configuration shared by every process of a world.
+#[derive(Clone, Default)]
+pub struct ProcessConfig {
+    /// RC replica endpoints.
+    pub rc_replicas: Vec<Endpoint>,
+    /// File server endpoints, nearest first.
+    pub file_servers: Vec<Endpoint>,
+    /// Resource manager endpoints.
+    pub resource_managers: Vec<Endpoint>,
+    /// Wire stack tuning.
+    pub stack: StackConfig,
+    /// Print `api.log` lines to stdout (examples / demos).
+    pub echo_logs: bool,
+}
+
+/// What an RC completion was for.
+enum RcPending {
+    ResolvePeer { peer_key: u64, ticket: Option<u64> },
+    PseudoLookup { name: String, payload: Bytes },
+    GroupRouters { name: String, refresh: bool },
+    ServiceLookup { ticket: u64, name: String },
+    WatchLookup { peer_key: u64 },
+    Publish,
+}
+
+struct GroupState {
+    gid: u64,
+    routers: Vec<Endpoint>,
+    joined: bool,
+    pending_out: Vec<Bytes>,
+}
+
+enum SpawnPending {
+    App { ticket: u64 },
+    Migration,
+}
+
+struct FilePending {
+    ticket: u64,
+    lifn: String,
+    write: bool,
+    content: Bytes,
+    /// Remaining servers to try (failover for reads *and* writes).
+    remaining: Vec<Endpoint>,
+    deadline: SimTime,
+}
+
+/// Serialized state shipped to the new host during migration.
+pub(crate) struct MigrationPayload {
+    pub program: String,
+    pub args: Bytes,
+    pub user_state: Bytes,
+    pub stack_state: Bytes,
+    pub groups: Vec<String>,
+}
+
+impl MigrationPayload {
+    pub(crate) fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_str(&self.program);
+        e.put_bytes(&self.args);
+        e.put_bytes(&self.user_state);
+        e.put_bytes(&self.stack_state);
+        snipe_util::codec::encode_seq(&mut e, self.groups.iter());
+        e.finish()
+    }
+
+    pub(crate) fn decode(b: Bytes) -> SnipeResult<MigrationPayload> {
+        let mut d = Decoder::new(b);
+        let p = MigrationPayload {
+            program: d.get_str()?,
+            args: Bytes::from(d.get_bytes()?),
+            user_state: Bytes::from(d.get_bytes()?),
+            stack_state: Bytes::from(d.get_bytes()?),
+            groups: snipe_util::codec::decode_seq(&mut d)?,
+        };
+        d.expect_end()?;
+        Ok(p)
+    }
+}
+
+/// The actor hosting one [`SnipeProcess`].
+pub struct ProcessActor {
+    cfg: ProcessConfig,
+    proc_key: u64,
+    /// Program name (needed to recreate the process after migration).
+    program: String,
+    /// Original constructor args.
+    args: Bytes,
+    process: Box<dyn SnipeProcess>,
+    /// Restore data when resuming from migration.
+    resume: Option<MigrationPayload>,
+
+    stack: Option<WireStack>,
+    rc: RcClient,
+    rc_pending: HashMap<u64, RcPending>,
+    /// Peers with an in-flight location resolution.
+    resolving: HashMap<u64, u32>,
+    groups: HashMap<String, GroupState>,
+    member: snipe_wire::mcast::McastMember,
+    spawn_pending: HashMap<u64, SpawnPending>,
+    file_pending: HashMap<u64, FilePending>,
+    next_req: u64,
+    hostname: String,
+
+    stack_gate: TimerGate,
+    rc_gate: TimerGate,
+    commands: Vec<Command>,
+    next_ticket: u64,
+    /// Process log, readable by tests and benches.
+    pub log: Vec<(SimTime, String)>,
+    migrating: bool,
+    redirect_to: Option<Endpoint>,
+    exited: bool,
+    group_timer_armed: bool,
+    group_refreshes: u32,
+}
+
+impl ProcessActor {
+    /// Host a fresh process.
+    pub fn new(
+        cfg: ProcessConfig,
+        proc_key: u64,
+        program: impl Into<String>,
+        args: Bytes,
+        process: Box<dyn SnipeProcess>,
+    ) -> ProcessActor {
+        let rc = RcClient::new(cfg.rc_replicas.clone(), SimDuration::from_millis(250));
+        ProcessActor {
+            cfg,
+            proc_key,
+            program: program.into(),
+            args,
+            process,
+            resume: None,
+            stack: None,
+            rc,
+            rc_pending: HashMap::new(),
+            resolving: HashMap::new(),
+            groups: HashMap::new(),
+            member: snipe_wire::mcast::McastMember::new(),
+            spawn_pending: HashMap::new(),
+            file_pending: HashMap::new(),
+            next_req: 1,
+            hostname: String::new(),
+            stack_gate: TimerGate::new(),
+            rc_gate: TimerGate::new(),
+            commands: Vec::new(),
+            next_ticket: 1,
+            log: Vec::new(),
+            migrating: false,
+            redirect_to: None,
+            exited: false,
+            group_timer_armed: false,
+            group_refreshes: 0,
+        }
+    }
+
+    /// Host a process resuming from a migration payload.
+    pub(crate) fn resume_from(
+        cfg: ProcessConfig,
+        proc_key: u64,
+        payload: MigrationPayload,
+        process: Box<dyn SnipeProcess>,
+    ) -> ProcessActor {
+        let mut a = ProcessActor::new(cfg, proc_key, payload.program.clone(), payload.args.clone(), process);
+        a.resume = Some(payload);
+        a
+    }
+
+    fn req_id(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    // ---- callback plumbing -------------------------------------------------
+
+    fn with_process(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut dyn SnipeProcess, &mut SnipeApi<'_, '_>),
+    ) {
+        if self.exited {
+            return;
+        }
+        let now = ctx.now();
+        let me = ctx.me();
+        let Self { process, commands, next_ticket, log, hostname, proc_key, .. } = self;
+        let mut api = SnipeApi {
+            now,
+            my_key: *proc_key,
+            my_endpoint: me,
+            my_hostname: hostname,
+            commands,
+            next_ticket,
+            log,
+        };
+        f(process.as_mut(), &mut api);
+    }
+
+    fn complete_ticket(&mut self, ctx: &mut Ctx<'_>, ticket: u64, result: TicketResult) {
+        self.with_process(ctx, |p, api| p.on_ticket(api, ticket, result));
+    }
+
+    // ---- wire stack --------------------------------------------------------
+
+    fn flush_stack(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stack) = self.stack.as_mut() else { return };
+        let outs = stack.drain();
+        let mut delivered = Vec::new();
+        for o in outs {
+            match o {
+                Out::Send { to, via, bytes } => match via {
+                    Some(n) => ctx.send_via(to, bytes, n),
+                    None => ctx.send(to, bytes),
+                },
+                Out::Deliver { from_key, from_ep, msg } => delivered.push((from_key, from_ep, msg)),
+                Out::Wake { .. } => {}
+            }
+        }
+        if let Some(dl) = self.stack.as_ref().and_then(|s| s.next_deadline()) {
+            self.stack_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
+        }
+        for (from_key, from_ep, msg) in delivered {
+            self.on_reliable(ctx, from_key, from_ep, msg);
+        }
+    }
+
+    fn on_reliable(&mut self, ctx: &mut Ctx<'_>, from_key: u64, from_ep: Endpoint, msg: Bytes) {
+        // Infrastructure peers (bit 63 set) speak their own protocols.
+        if from_key & (1 << 63) != 0 {
+            if let Ok(fmsg) = FileMsg::decode_from_bytes(msg) {
+                self.on_file_msg(ctx, fmsg);
+            }
+            return;
+        }
+        let mut d = Decoder::new(msg);
+        let Ok(magic) = d.get_u8() else { return };
+        if magic != CORE_MAGIC {
+            return;
+        }
+        let Ok(kind) = d.get_u8() else { return };
+        if kind == CORE_APP {
+            let Ok(payload) = d.get_bytes() else { return };
+            let from = ProcRef { key: from_key, endpoint: from_ep };
+            self.with_process(ctx, |p, api| p.on_message(api, from, payload));
+            self.run_commands(ctx);
+        }
+    }
+
+    fn wrap_app(payload: &Bytes) -> Bytes {
+        let mut e = Encoder::with_capacity(payload.len() + 8);
+        e.put_u8(CORE_MAGIC);
+        e.put_u8(CORE_APP);
+        e.put_bytes(payload);
+        e.finish()
+    }
+
+    // ---- RC ----------------------------------------------------------------
+
+    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        if let Some(dl) = self.rc.next_deadline() {
+            self.rc_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_RC);
+        }
+        let done = self.rc.drain_done();
+        for (id, result) in done {
+            self.on_rc_done(ctx, id, result);
+        }
+    }
+
+    fn on_rc_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: u64,
+        result: SnipeResult<snipe_rcds::client::RcReply>,
+    ) {
+        let Some(pending) = self.rc_pending.remove(&id) else { return };
+        match pending {
+            RcPending::Publish => {}
+            RcPending::ResolvePeer { peer_key, ticket } => {
+                let resolved = result.as_ref().ok().and_then(|r| {
+                    r.assertions
+                        .iter()
+                        .find(|a| a.name == ATTR_COMM_ADDRESS)
+                        .and_then(|a| parse_endpoint(&a.value))
+                });
+                match resolved {
+                    Some(ep) => {
+                        self.resolving.remove(&peer_key);
+                        let now = ctx.now();
+                        if let Some(stack) = self.stack.as_mut() {
+                            stack.set_peer_at(now, peer_key, ep, vec![]);
+                        }
+                        self.flush_stack(ctx);
+                        if let Some(t) = ticket {
+                            self.complete_ticket(
+                                ctx,
+                                t,
+                                TicketResult::Lookup(Ok(ProcRef { key: peer_key, endpoint: ep })),
+                            );
+                            self.run_commands(ctx);
+                        }
+                    }
+                    None => {
+                        if let Some(t) = ticket {
+                            self.resolving.remove(&peer_key);
+                            self.complete_ticket(
+                                ctx,
+                                t,
+                                TicketResult::Lookup(Err(SnipeError::NameNotFound(format!(
+                                    "urn:snipe:proc:{peer_key}"
+                                )))),
+                            );
+                            self.run_commands(ctx);
+                        } else {
+                            // Implicit resolution for a queued send:
+                            // retry with backoff — the target may still
+                            // be starting up or mid-migration.
+                            let attempts = self.resolving.entry(peer_key).or_insert(0);
+                            *attempts += 1;
+                            if *attempts <= 10 {
+                                let backoff = SimDuration::from_millis(50) * (*attempts as u64);
+                                ctx.set_timer(backoff, TIMER_RESOLVE_RETRY);
+                            } else {
+                                self.resolving.remove(&peer_key);
+                            }
+                        }
+                    }
+                }
+            }
+            RcPending::PseudoLookup { name, payload } => {
+                let group = result
+                    .ok()
+                    .and_then(|r| crate::service::pseudo_process_group(&r.assertions).map(str::to_string));
+                match group {
+                    Some(g) => {
+                        // Fan out through the group: join implicitly
+                        // (sender semantics identical to send_group).
+                        self.commands.push(Command::SendGroup { name: g, payload });
+                        self.run_commands(ctx);
+                    }
+                    None => {
+                        self.log.push((
+                            ctx.now(),
+                            format!("pseudo-process {name} has no comm-group metadata"),
+                        ));
+                    }
+                }
+            }
+            RcPending::GroupRouters { name, refresh } => {
+                let routers = result.map(|r| parse_routers(&r.assertions)).unwrap_or_default();
+                self.on_group_routers(ctx, &name, routers, refresh);
+            }
+            RcPending::ServiceLookup { ticket, name } => {
+                let refs = result.map(|r| {
+                    let mut v: Vec<ProcRef> = r
+                        .assertions
+                        .iter()
+                        .filter(|a| a.name.starts_with(ATTR_LOCATION_PREFIX))
+                        .filter_map(|a| {
+                            let key: u64 =
+                                a.name[ATTR_LOCATION_PREFIX.len()..].parse().ok()?;
+                            let ep = parse_endpoint(&a.value)?;
+                            Some(ProcRef { key, endpoint: ep })
+                        })
+                        .collect();
+                    v.sort_by_key(|r| r.key);
+                    v
+                });
+                let _ = name;
+                self.complete_ticket(ctx, ticket, TicketResult::Service(refs));
+                self.run_commands(ctx);
+            }
+            RcPending::WatchLookup { peer_key } => {
+                // Find the peer's location, then ask its host daemon to
+                // add us to the notify list.
+                if let Ok(r) = result {
+                    if let Some(ep) = r
+                        .assertions
+                        .iter()
+                        .find(|a| a.name == ATTR_COMM_ADDRESS)
+                        .and_then(|a| parse_endpoint(&a.value))
+                    {
+                        let me = ctx.me();
+                        let daemon = Endpoint::new(ep.host, ports::DAEMON);
+                        let msg = DaemonMsg::Watch { port: ep.port, watcher: me };
+                        ctx.send(daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+                    }
+                }
+                let _ = peer_key;
+            }
+        }
+    }
+
+    fn publish_location(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let uri = Uri::process(self.proc_key);
+        let now = ctx.now();
+        let id = self.rc.put(
+            now,
+            &uri,
+            vec![
+                Assertion::new(ATTR_COMM_ADDRESS, format_endpoint(me)),
+                Assertion::new(ATTR_STATE, "running"),
+                Assertion::new("host", self.hostname.clone()),
+            ],
+        );
+        self.rc_pending.insert(id, RcPending::Publish);
+        self.flush_rc(ctx);
+    }
+
+    // ---- groups ------------------------------------------------------------
+
+    fn start_join(&mut self, ctx: &mut Ctx<'_>, name: &str, refresh: bool) {
+        let uri = Uri::mcast_group_wire(group_id(name));
+        let now = ctx.now();
+        let id = self.rc.get(now, &uri);
+        self.rc_pending.insert(id, RcPending::GroupRouters { name: name.to_string(), refresh });
+        self.flush_rc(ctx);
+    }
+
+    fn on_group_routers(&mut self, ctx: &mut Ctx<'_>, name: &str, routers: Vec<Endpoint>, refresh: bool) {
+        let Some(g) = self.groups.get_mut(name) else { return };
+        if !routers.is_empty() {
+            g.routers = routers.clone();
+            let was_joined = g.joined;
+            g.joined = true;
+            let gid = g.gid;
+            let me = ctx.me();
+            // Register membership with a majority of routers (§5.4) and
+            // keep the router mesh fully peered.
+            let m = majority(routers.len());
+            let join_targets: Vec<Endpoint> = routers.iter().copied().take(m).collect();
+            for r in &join_targets {
+                let msg = McastMsg::Join { group: gid, member: me };
+                ctx.send(*r, seal(Proto::Mcast, msg.encode()));
+            }
+            for a in &routers {
+                for b in &routers {
+                    if a != b {
+                        let msg = McastMsg::Peer { group: gid, router: *b };
+                        ctx.send(*a, seal(Proto::Mcast, msg.encode()));
+                    }
+                }
+            }
+            let pend = std::mem::take(&mut self.groups.get_mut(name).expect("present").pending_out);
+            for payload in pend {
+                self.do_send_group(ctx, name, payload);
+            }
+            if !was_joined && !refresh {
+                let n = name.to_string();
+                self.with_process(ctx, |p, api| p.on_group_event(api, &n, GroupEvent::Joined));
+                self.run_commands(ctx);
+            }
+            self.arm_group_timer(ctx);
+        } else {
+            // No routers yet: ask the local daemon to elect itself.
+            let daemon = Endpoint::new(ctx.host(), ports::DAEMON);
+            let msg = DaemonMsg::ElectRouter { group: g.gid };
+            ctx.send(daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+        }
+    }
+
+    fn on_elect_resp(&mut self, ctx: &mut Ctx<'_>, gid: u64, router: Endpoint) {
+        let Some(name) = self
+            .groups
+            .iter()
+            .find(|(_, g)| g.gid == gid)
+            .map(|(n, _)| n.clone())
+        else {
+            return;
+        };
+        self.on_group_routers(ctx, &name, vec![router], false);
+    }
+
+    fn do_send_group(&mut self, ctx: &mut Ctx<'_>, name: &str, payload: Bytes) {
+        let Some(g) = self.groups.get_mut(name) else { return };
+        if !g.joined {
+            g.pending_out.push(payload);
+            return;
+        }
+        let gid = g.gid;
+        let seq = self.member.next_seq(gid);
+        // Deliver to ourselves exactly once, too (we are a member).
+        if self.member.accept(gid, self.proc_key, seq, payload.clone()).is_some() {
+            let n = name.to_string();
+            let key = self.proc_key;
+            let pl = payload.clone();
+            self.with_process(ctx, |p, api| p.on_group_message(api, &n, key, pl));
+            self.run_commands(ctx);
+        }
+        let Some(g) = self.groups.get(name) else { return };
+        let m = majority(g.routers.len());
+        for r in g.routers.iter().take(m) {
+            let msg = McastMsg::Data {
+                group: gid,
+                origin: self.proc_key,
+                seq,
+                ttl: 8,
+                payload: payload.clone(),
+            };
+            ctx.send(*r, seal(Proto::Mcast, msg.encode()));
+        }
+    }
+
+    fn arm_group_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.group_timer_armed && !self.groups.is_empty() {
+            self.group_timer_armed = true;
+            let delay = if self.group_refreshes == 0 { GROUP_REFRESH_FIRST } else { GROUP_REFRESH };
+            ctx.set_timer(delay, TIMER_GROUP);
+        }
+    }
+
+    fn on_mcast(&mut self, ctx: &mut Ctx<'_>, body: Bytes) {
+        let Ok(McastMsg::Data { group, origin, seq, payload, .. }) = McastMsg::decode(body) else {
+            return;
+        };
+        let Some(name) = self
+            .groups
+            .iter()
+            .find(|(_, g)| g.gid == group)
+            .map(|(n, _)| n.clone())
+        else {
+            return;
+        };
+        if let Some(p) = self.member.accept(group, origin, seq, payload) {
+            self.with_process(ctx, |proc, api| proc.on_group_message(api, &name, origin, p));
+            self.run_commands(ctx);
+        }
+    }
+
+    // ---- files -------------------------------------------------------------
+
+    fn on_file_msg(&mut self, ctx: &mut Ctx<'_>, msg: FileMsg) {
+        match msg {
+            FileMsg::StoreResp { req_id, ok } => {
+                if let Some(fp) = self.file_pending.remove(&req_id) {
+                    let res = if ok {
+                        Ok(())
+                    } else {
+                        Err(SnipeError::Unavailable("file store rejected".into()))
+                    };
+                    self.complete_ticket(ctx, fp.ticket, TicketResult::FileWritten(res));
+                    self.run_commands(ctx);
+                }
+            }
+            FileMsg::ReadResp { req_id, ok, content, .. } => {
+                if let Some(mut fp) = self.file_pending.remove(&req_id) {
+                    if ok {
+                        self.complete_ticket(ctx, fp.ticket, TicketResult::FileRead(Ok(content)));
+                        self.run_commands(ctx);
+                    } else if let Some(next) = fp.remaining.first().copied() {
+                        // Closest-replica failover: try the next server.
+                        fp.remaining.remove(0);
+                        fp.deadline = ctx.now() + FILE_OP_TIMEOUT;
+                        ctx.set_timer(FILE_OP_TIMEOUT + SimDuration::from_micros(1), TIMER_FILE);
+                        let new_req = self.req_id();
+                        let m = FileMsg::ReadReq { req_id: new_req, lifn: fp.lifn.clone() };
+                        self.file_pending.insert(new_req, fp);
+                        self.send_to_infra(ctx, next, m.encode_to_bytes());
+                    } else {
+                        self.complete_ticket(
+                            ctx,
+                            fp.ticket,
+                            TicketResult::FileRead(Err(SnipeError::NameNotFound(fp.lifn.clone()))),
+                        );
+                        self.run_commands(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Reliable message to an infrastructure endpoint (file server...).
+    fn send_to_infra(&mut self, ctx: &mut Ctx<'_>, to: Endpoint, payload: Bytes) {
+        let now = ctx.now();
+        if let Some(stack) = self.stack.as_mut() {
+            let key = snipe_wire::stack::endpoint_key(to);
+            stack.set_peer_at(now, key, to, vec![]);
+            stack.send(now, key, payload);
+        }
+        self.flush_stack(ctx);
+    }
+
+    // ---- command execution ---------------------------------------------------
+
+    fn run_commands(&mut self, ctx: &mut Ctx<'_>) {
+        // Commands may trigger callbacks that push more commands; loop
+        // with a depth bound for safety.
+        for _ in 0..64 {
+            if self.commands.is_empty() || self.exited {
+                return;
+            }
+            let batch: Vec<Command> = std::mem::take(&mut self.commands);
+            for cmd in batch {
+                self.exec(ctx, cmd);
+                if self.exited {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx<'_>, cmd: Command) {
+        match cmd {
+            Command::Log(line) => {
+                if self.cfg.echo_logs {
+                    println!("[{}] {} {}: {line}", ctx.now(), self.hostname, ctx.me());
+                }
+            }
+            Command::SetTimer { delay, token } => {
+                ctx.set_timer(delay, (token << 4) | APP_TIMER_BIT);
+            }
+            Command::SendProc { to_key, payload } => {
+                let now = ctx.now();
+                let wrapped = Self::wrap_app(&payload);
+                let known = self
+                    .stack
+                    .as_ref()
+                    .is_some_and(|s| s.peer_endpoint(to_key).is_some());
+                if let Some(stack) = self.stack.as_mut() {
+                    stack.send(now, to_key, wrapped);
+                }
+                if !known {
+                    self.resolve_peer(ctx, to_key, None);
+                }
+                self.flush_stack(ctx);
+            }
+            Command::PinRoutes { to_key, routes } => {
+                if let Some(stack) = self.stack.as_mut() {
+                    if let Some(ep) = stack.peer_endpoint(to_key) {
+                        stack.set_peer(to_key, ep, routes);
+                    }
+                }
+            }
+            Command::Lookup { ticket, proc_key } => {
+                self.resolve_peer(ctx, proc_key, Some(ticket));
+            }
+            Command::Spawn { ticket, target, program, args } => {
+                self.do_spawn(ctx, ticket, target, program, args);
+            }
+            Command::JoinGroup { name } => {
+                if !self.groups.contains_key(&name) {
+                    self.groups.insert(
+                        name.clone(),
+                        GroupState {
+                            gid: group_id(&name),
+                            routers: Vec::new(),
+                            joined: false,
+                            pending_out: Vec::new(),
+                        },
+                    );
+                    self.start_join(ctx, &name, false);
+                }
+            }
+            Command::LeaveGroup { name } => {
+                if let Some(g) = self.groups.remove(&name) {
+                    let me = ctx.me();
+                    for r in &g.routers {
+                        let msg = McastMsg::Leave { group: g.gid, member: me };
+                        ctx.send(*r, seal(Proto::Mcast, msg.encode()));
+                    }
+                }
+            }
+            Command::SendGroup { name, payload } => {
+                if !self.groups.contains_key(&name) {
+                    self.groups.insert(
+                        name.clone(),
+                        GroupState {
+                            gid: group_id(&name),
+                            routers: Vec::new(),
+                            joined: false,
+                            pending_out: vec![payload],
+                        },
+                    );
+                    self.start_join(ctx, &name, false);
+                } else {
+                    self.do_send_group(ctx, &name, payload);
+                }
+            }
+            Command::WriteFile { ticket, lifn, content } => {
+                let mut servers = self.cfg.file_servers.clone();
+                if servers.is_empty() {
+                    self.complete_ticket(
+                        ctx,
+                        ticket,
+                        TicketResult::FileWritten(Err(SnipeError::Unavailable(
+                            "no file servers configured".into(),
+                        ))),
+                    );
+                    return;
+                }
+                let first = servers.remove(0);
+                let req = self.req_id();
+                self.file_pending.insert(
+                    req,
+                    FilePending {
+                        ticket,
+                        lifn: lifn.clone(),
+                        write: true,
+                        content: content.clone(),
+                        remaining: servers,
+                        deadline: ctx.now() + FILE_OP_TIMEOUT,
+                    },
+                );
+                ctx.set_timer(FILE_OP_TIMEOUT + SimDuration::from_micros(1), TIMER_FILE);
+                let m = FileMsg::StoreReq { req_id: req, lifn, content };
+                self.send_to_infra(ctx, first, m.encode_to_bytes());
+            }
+            Command::ReadFile { ticket, lifn } => {
+                let mut servers = self.cfg.file_servers.clone();
+                if servers.is_empty() {
+                    self.complete_ticket(
+                        ctx,
+                        ticket,
+                        TicketResult::FileRead(Err(SnipeError::Unavailable(
+                            "no file servers configured".into(),
+                        ))),
+                    );
+                    return;
+                }
+                let first = servers.remove(0);
+                let req = self.req_id();
+                self.file_pending.insert(
+                    req,
+                    FilePending {
+                        ticket,
+                        lifn: lifn.clone(),
+                        write: false,
+                        content: Bytes::new(),
+                        remaining: servers,
+                        deadline: ctx.now() + FILE_OP_TIMEOUT,
+                    },
+                );
+                ctx.set_timer(FILE_OP_TIMEOUT + SimDuration::from_micros(1), TIMER_FILE);
+                let m = FileMsg::ReadReq { req_id: req, lifn };
+                self.send_to_infra(ctx, first, m.encode_to_bytes());
+            }
+            Command::RegisterPseudo { name, group } => {
+                // §5.7: metadata for the pseudo-process, with the group
+                // as its communications address.
+                let Ok(uri) = Uri::parse(format!("urn:snipe:pseudo:{name}")) else { return };
+                let now = ctx.now();
+                let id = self.rc.put(now, &uri, crate::service::pseudo_process_assertions(&group));
+                self.rc_pending.insert(id, RcPending::Publish);
+                // The registrar is usually also a replica coordinator;
+                // joining the group is the replicas' job.
+                self.flush_rc(ctx);
+            }
+            Command::SendPseudo { name, payload } => {
+                let Ok(uri) = Uri::parse(format!("urn:snipe:pseudo:{name}")) else { return };
+                let now = ctx.now();
+                let id = self.rc.get(now, &uri);
+                self.rc_pending.insert(id, RcPending::PseudoLookup { name, payload });
+                self.flush_rc(ctx);
+            }
+            Command::RegisterService { name } => {
+                let uri = Uri::service(&name);
+                let me = ctx.me();
+                let now = ctx.now();
+                let id = self.rc.put(
+                    now,
+                    &uri,
+                    vec![Assertion::new(
+                        format!("{ATTR_LOCATION_PREFIX}{}", self.proc_key),
+                        format_endpoint(me),
+                    )],
+                );
+                self.rc_pending.insert(id, RcPending::Publish);
+                self.flush_rc(ctx);
+            }
+            Command::LookupService { ticket, name } => {
+                let uri = Uri::service(&name);
+                let now = ctx.now();
+                let id = self.rc.get(now, &uri);
+                self.rc_pending.insert(id, RcPending::ServiceLookup { ticket, name });
+                self.flush_rc(ctx);
+            }
+            Command::WatchProcess { proc_key } => {
+                let uri = Uri::process(proc_key);
+                let now = ctx.now();
+                let id = self.rc.get(now, &uri);
+                self.rc_pending.insert(id, RcPending::WatchLookup { peer_key: proc_key });
+                self.flush_rc(ctx);
+            }
+            Command::MigrateTo { hostname } => {
+                self.start_migration(ctx, hostname);
+            }
+            Command::Exit => {
+                self.exited = true;
+                let me = ctx.me();
+                let daemon = Endpoint::new(ctx.host(), ports::DAEMON);
+                let msg = DaemonMsg::TaskReport { port: me.port, state: TaskState::Exited };
+                ctx.send(daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+            }
+        }
+    }
+
+    fn resolve_peer(&mut self, ctx: &mut Ctx<'_>, peer_key: u64, ticket: Option<u64>) {
+        if ticket.is_none() && self.resolving.contains_key(&peer_key) {
+            return; // already in flight
+        }
+        self.resolving.entry(peer_key).or_insert(0);
+        let uri = Uri::process(peer_key);
+        let now = ctx.now();
+        let id = self.rc.get(now, &uri);
+        self.rc_pending.insert(id, RcPending::ResolvePeer { peer_key, ticket });
+        self.flush_rc(ctx);
+    }
+
+    fn do_spawn(&mut self, ctx: &mut Ctx<'_>, ticket: u64, target: SpawnTarget, program: String, args: Bytes) {
+        let me = ctx.me();
+        let mut spec = SpawnSpec::program(program, args);
+        spec.notify = vec![me];
+        match target {
+            SpawnTarget::Host(hostname) => {
+                let Some(h) = ctx.topology().host_by_name(&hostname) else {
+                    self.complete_ticket(
+                        ctx,
+                        ticket,
+                        TicketResult::Spawned(Err(SnipeError::NameNotFound(hostname))),
+                    );
+                    return;
+                };
+                let req = self.req_id();
+                self.spawn_pending.insert(req, SpawnPending::App { ticket });
+                let msg = DaemonMsg::SpawnReq { req_id: req, spec };
+                ctx.send(Endpoint::new(h, ports::DAEMON), seal(Proto::Raw, msg.encode_to_bytes()));
+            }
+            SpawnTarget::ResourceManager => {
+                let Some(&rm) = self.cfg.resource_managers.first() else {
+                    self.complete_ticket(
+                        ctx,
+                        ticket,
+                        TicketResult::Spawned(Err(SnipeError::Unavailable(
+                            "no resource managers configured".into(),
+                        ))),
+                    );
+                    return;
+                };
+                let req = self.req_id();
+                self.spawn_pending.insert(req, SpawnPending::App { ticket });
+                let msg = RmMsg::AllocReq { req_id: req, spec, count: 1, mode: AllocMode::Active };
+                ctx.send(rm, seal(Proto::Raw, msg.encode_to_bytes()));
+            }
+        }
+    }
+
+    // ---- migration -----------------------------------------------------------
+
+    fn start_migration(&mut self, ctx: &mut Ctx<'_>, hostname: String) {
+        if self.migrating {
+            return;
+        }
+        let Some(target) = ctx.topology().host_by_name(&hostname) else {
+            self.with_process(ctx, |p, api| {
+                api.log(format!("migration failed: unknown host {hostname}"));
+                let _ = p;
+            });
+            return;
+        };
+        if target == ctx.host() {
+            return; // already there
+        }
+        self.migrating = true;
+        let user_state = self.process.checkpoint();
+        let stack_state = self
+            .stack
+            .as_ref()
+            .map(|s| s.export_state())
+            .unwrap_or_default();
+        let payload = MigrationPayload {
+            program: self.program.clone(),
+            args: self.args.clone(),
+            user_state,
+            stack_state,
+            groups: self.groups.keys().cloned().collect(),
+        };
+        let mut spec = SpawnSpec::program(crate::world::MIGRATE_PROGRAM, payload.encode());
+        spec.fixed_key = self.proc_key;
+        let req = self.req_id();
+        self.spawn_pending.insert(req, SpawnPending::Migration);
+        let msg = DaemonMsg::SpawnReq { req_id: req, spec };
+        ctx.send(Endpoint::new(target, ports::DAEMON), seal(Proto::Raw, msg.encode_to_bytes()));
+    }
+
+    fn on_spawn_resp(&mut self, ctx: &mut Ctx<'_>, req_id: u64, ok: bool, endpoint: Endpoint, proc_key: u64, error: String) {
+        let Some(pending) = self.spawn_pending.remove(&req_id) else { return };
+        match pending {
+            SpawnPending::App { ticket } => {
+                let res = if ok {
+                    Ok(ProcRef { key: proc_key, endpoint })
+                } else {
+                    Err(SnipeError::Unavailable(format!("spawn failed: {error}")))
+                };
+                self.complete_ticket(ctx, ticket, TicketResult::Spawned(res));
+                self.run_commands(ctx);
+            }
+            SpawnPending::Migration => {
+                if !ok {
+                    self.migrating = false;
+                    self.log.push((ctx.now(), format!("migration rejected: {error}")));
+                    return;
+                }
+                // Handoff: the new incarnation owns all protocol state
+                // now — drop ours so stale retransmissions from the old
+                // address can never confuse peers — then detach from
+                // the daemon, redirect stragglers briefly, and
+                // disappear (§5.6).
+                self.stack = None;
+                self.redirect_to = Some(endpoint);
+                let me = ctx.me();
+                let daemon = Endpoint::new(ctx.host(), ports::DAEMON);
+                let msg = DaemonMsg::Detach { port: me.port };
+                ctx.send(daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+                ctx.set_timer(REDIRECT_GRACE, TIMER_MIGRATE_GRACE);
+            }
+        }
+    }
+
+    fn send_redirect(&mut self, ctx: &mut Ctx<'_>, to: Endpoint) {
+        let Some(new_ep) = self.redirect_to else { return };
+        let mut e = Encoder::new();
+        e.put_u8(REDIRECT_MAGIC);
+        e.put_u64(self.proc_key);
+        e.put_u32(new_ep.host.0);
+        e.put_u16(new_ep.port);
+        ctx.send(to, seal(Proto::Raw, e.finish()));
+    }
+
+    /// An authorized controller (resource manager) asks us to move.
+    fn try_migrate_request(&mut self, ctx: &mut Ctx<'_>, body: &Bytes) -> bool {
+        let mut d = Decoder::new(body.clone());
+        let Ok(m) = d.get_u8() else { return false };
+        if m != MIGRATE_MAGIC {
+            return false;
+        }
+        let Ok(hostname) = d.get_str() else { return true };
+        self.log.push((ctx.now(), format!("resource manager requests migration to {hostname}")));
+        self.start_migration(ctx, hostname);
+        true
+    }
+
+    fn try_redirect_notice(&mut self, ctx: &mut Ctx<'_>, body: &Bytes) -> bool {
+        let mut d = Decoder::new(body.clone());
+        let Ok(m) = d.get_u8() else { return false };
+        if m != REDIRECT_MAGIC {
+            return false;
+        }
+        let (Ok(key), Ok(h), Ok(p)) = (d.get_u64(), d.get_u32(), d.get_u16()) else {
+            return true;
+        };
+        let ep = Endpoint::new(snipe_util::id::HostId(h), p);
+        let now = ctx.now();
+        if let Some(stack) = self.stack.as_mut() {
+            stack.set_peer_at(now, key, ep, vec![]);
+        }
+        self.flush_stack(ctx);
+        true
+    }
+
+    // ---- event entry ----------------------------------------------------------
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.hostname = ctx.topology().host(ctx.host()).name.clone();
+        let me = ctx.me();
+        let now = ctx.now();
+        let migrated = self.resume.is_some();
+        if let Some(payload) = self.resume.take() {
+            let stack = if payload.stack_state.is_empty() {
+                WireStack::new(self.proc_key, self.cfg.stack.clone())
+            } else {
+                WireStack::import_state(payload.stack_state, self.cfg.stack.clone(), now)
+                    .unwrap_or_else(|_| WireStack::new(self.proc_key, self.cfg.stack.clone()))
+            };
+            // No explicit "moved" broadcast is needed: the imported
+            // stack immediately retransmits everything unacknowledged,
+            // and SRUDP receivers learn sender locations from live
+            // traffic; peers that *send to us* re-resolve via RC after
+            // repeated timeouts (see TIMER_STACK) or get a redirect
+            // from the shell we left behind.
+            self.stack = Some(stack);
+            self.process.restore(payload.user_state);
+            self.publish_location(ctx);
+            // Re-join groups on the new host.
+            for name in payload.groups {
+                self.groups.insert(
+                    name.clone(),
+                    GroupState {
+                        gid: group_id(&name),
+                        routers: Vec::new(),
+                        joined: false,
+                        pending_out: Vec::new(),
+                    },
+                );
+                self.start_join(ctx, &name, true);
+            }
+            self.flush_stack(ctx);
+            if migrated {
+                self.with_process(ctx, |p, api| p.on_migrated(api));
+                self.run_commands(ctx);
+            }
+            let _ = me;
+        } else {
+            self.stack = Some(WireStack::new(self.proc_key, self.cfg.stack.clone()));
+            self.publish_location(ctx);
+            self.with_process(ctx, |p, api| p.on_start(api));
+            self.run_commands(ctx);
+        }
+    }
+}
+
+impl Actor for ProcessActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        if self.exited {
+            return;
+        }
+        match event {
+            Event::Start => self.on_start(ctx),
+            Event::HostUp => {
+                // Reboot: RAM state is gone; the daemon reports us
+                // crashed. Just disappear.
+                self.exited = true;
+                let me = ctx.me();
+                ctx.kill(me);
+            }
+            Event::HostDown => {}
+            Event::Timer { token } => {
+                if self.migrating && token != TIMER_MIGRATE_GRACE {
+                    return; // frozen for migration: no timers may mutate state
+                }
+                if token & APP_TIMER_BIT != 0 {
+                    let app_token = token >> 4;
+                    self.with_process(ctx, |p, api| p.on_timer(api, app_token));
+                    self.run_commands(ctx);
+                    return;
+                }
+                match token {
+                    TIMER_RC => {
+                        self.rc_gate.fired();
+                        self.rc.on_timer(ctx.now());
+                        self.flush_rc(ctx);
+                    }
+                    TIMER_STACK => {
+                        self.stack_gate.fired();
+                        let now = ctx.now();
+                        if let Some(stack) = self.stack.as_mut() {
+                            stack.on_timer(now);
+                        }
+                        self.flush_stack(ctx);
+                        // Peers timing out repeatedly may have migrated:
+                        // re-resolve their location from RC metadata
+                        // (§5.6: "processes that do not notice its
+                        // migration ... will find its new location via
+                        // the RC servers").
+                        let in_trouble: Vec<u64> = self
+                            .stack
+                            .as_ref()
+                            .map(|s| s.peers_in_trouble(RELOOKUP_TIMEOUTS))
+                            .unwrap_or_default()
+                            .into_iter()
+                            .filter(|k| k & (1 << 63) == 0)
+                            .collect();
+                        for k in in_trouble {
+                            self.resolve_peer(ctx, k, None);
+                        }
+                    }
+                    TIMER_GROUP => {
+                        self.group_timer_armed = false;
+                        self.group_refreshes += 1;
+                        let names: Vec<String> = self.groups.keys().cloned().collect();
+                        for n in names {
+                            self.start_join(ctx, &n, true);
+                        }
+                        self.arm_group_timer(ctx);
+                    }
+                    TIMER_MIGRATE_GRACE => {
+                        // Done redirecting; vanish.
+                        self.exited = true;
+                        let me = ctx.me();
+                        ctx.kill(me);
+                    }
+                    TIMER_FILE => {
+                        let now = ctx.now();
+                        let expired: Vec<u64> = self
+                            .file_pending
+                            .iter()
+                            .filter(|(_, fp)| fp.deadline <= now)
+                            .map(|(id, _)| *id)
+                            .collect();
+                        for id in expired {
+                            let mut fp = self.file_pending.remove(&id).expect("expired id");
+                            if let Some(next) = fp.remaining.first().copied() {
+                                // Server unresponsive: fail over.
+                                fp.remaining.remove(0);
+                                fp.deadline = now + FILE_OP_TIMEOUT;
+                                ctx.set_timer(
+                                    FILE_OP_TIMEOUT + SimDuration::from_micros(1),
+                                    TIMER_FILE,
+                                );
+                                let req = self.req_id();
+                                let m = if fp.write {
+                                    FileMsg::StoreReq {
+                                        req_id: req,
+                                        lifn: fp.lifn.clone(),
+                                        content: fp.content.clone(),
+                                    }
+                                } else {
+                                    FileMsg::ReadReq { req_id: req, lifn: fp.lifn.clone() }
+                                };
+                                self.file_pending.insert(req, fp);
+                                self.send_to_infra(ctx, next, m.encode_to_bytes());
+                            } else {
+                                let err = SnipeError::Timeout(format!(
+                                    "file operation on {} timed out on every server",
+                                    fp.lifn
+                                ));
+                                let result = if fp.write {
+                                    TicketResult::FileWritten(Err(err))
+                                } else {
+                                    TicketResult::FileRead(Err(err))
+                                };
+                                self.complete_ticket(ctx, fp.ticket, result);
+                                self.run_commands(ctx);
+                            }
+                        }
+                    }
+                    TIMER_RESOLVE_RETRY => {
+                        let keys: Vec<u64> = self.resolving.keys().copied().collect();
+                        for k in keys {
+                            let uri = Uri::process(k);
+                            let now = ctx.now();
+                            let id = self.rc.get(now, &uri);
+                            self.rc_pending
+                                .insert(id, RcPending::ResolvePeer { peer_key: k, ticket: None });
+                        }
+                        self.flush_rc(ctx);
+                    }
+                    _ => {}
+                }
+            }
+            Event::Signal { signum, .. } => {
+                self.with_process(ctx, |p, api| p.on_signal(api, signum));
+                self.run_commands(ctx);
+            }
+            Event::Packet { from, payload } => {
+                // From the instant the checkpoint is taken, this
+                // incarnation must not consume any more traffic (the
+                // new incarnation owns the protocol state). We only
+                // still listen for the daemon's spawn/detach replies,
+                // and redirect stragglers once the cutover completed.
+                // Dropped datagrams are retransmitted by SRUDP, so
+                // nothing is lost (§5.6).
+                if self.migrating {
+                    if let Ok((Proto::Raw, body)) = snipe_wire::frame::open(payload) {
+                        if let Ok(dmsg) = DaemonMsg::decode_from_bytes(body) {
+                            match dmsg {
+                                DaemonMsg::SpawnResp { req_id, ok, endpoint, proc_key, error } => {
+                                    self.on_spawn_resp(ctx, req_id, ok, endpoint, proc_key, error);
+                                    return;
+                                }
+                                DaemonMsg::DetachResp { .. } => return,
+                                _ => {}
+                            }
+                        }
+                    }
+                    if self.redirect_to.is_some() {
+                        self.send_redirect(ctx, from);
+                    }
+                    return;
+                }
+                let now = ctx.now();
+                let incoming = match self.stack.as_mut() {
+                    Some(stack) => stack.on_datagram(now, from, payload).unwrap_or(None),
+                    None => None,
+                };
+                match incoming {
+                    None => {}
+                    Some(Incoming::Mcast { body, .. }) => self.on_mcast(ctx, body),
+                    Some(Incoming::Stream { .. }) => {}
+                    Some(Incoming::Raw { from, msg }) => {
+                        if self.try_redirect_notice(ctx, &msg) {
+                            // handled
+                        } else if self.try_migrate_request(ctx, &msg) {
+                            // handled
+                        } else if let Ok(dmsg) = DaemonMsg::decode_from_bytes(msg.clone()) {
+                            match dmsg {
+                                DaemonMsg::SpawnResp { req_id, ok, endpoint, proc_key, error } => {
+                                    self.on_spawn_resp(ctx, req_id, ok, endpoint, proc_key, error);
+                                }
+                                DaemonMsg::TaskEvent { proc_key, state } => {
+                                    self.with_process(ctx, |p, api| {
+                                        p.on_task_event(api, proc_key, state)
+                                    });
+                                    self.run_commands(ctx);
+                                }
+                                DaemonMsg::ElectResp { group, router } => {
+                                    self.on_elect_resp(ctx, group, router);
+                                }
+                                _ => {}
+                            }
+                        } else if let Ok(rmsg) = RmMsg::decode_from_bytes(msg.clone()) {
+                            if let RmMsg::AllocResp { req_id, ok, allocations, error } = rmsg {
+                                let (ok2, ep, key) = match allocations.first() {
+                                    Some(a) if ok => (true, a.task, a.proc_key),
+                                    _ => (false, Endpoint::new(ctx.host(), 0), 0),
+                                };
+                                self.on_spawn_resp(ctx, req_id, ok2, ep, key, error);
+                            }
+                        } else {
+                            self.rc.on_packet(now, from, msg);
+                            self.flush_rc(ctx);
+                        }
+                    }
+                }
+                self.flush_stack(ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Consoles: SNIPE processes that talk to humans (§3.7).
+//!
+//! "A SNIPE process can also function as an HTTP server ... A
+//! SNIPE-based HTTP server can register a binding between a URN or URL
+//! and its current location, allowing a web browser to find it even
+//! though it may migrate from one host to another." The [`ConsoleActor`]
+//! is that HTTP server; [`BrowserActor`] is the paper's proxy-resolving
+//! web browser, locating consoles through RC metadata.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+
+use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::topology::Endpoint;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::uri::Uri;
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::time::SimDuration;
+use snipe_wire::frame::{open, seal, Proto};
+
+use crate::names::{format_endpoint, parse_endpoint, ATTR_COMM_ADDRESS};
+
+const MAGIC: u8 = 0xA9;
+const TIMER_RC: u64 = 1;
+const TIMER_FETCH: u64 = 2;
+
+/// Minimal HTTP-shaped request/response pair.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HttpMsg {
+    /// GET a path.
+    Get {
+        /// Request id echoed in the response.
+        req_id: u64,
+        /// Path, e.g. `/status`.
+        path: String,
+    },
+    /// Response.
+    Resp {
+        /// Echoed id.
+        req_id: u64,
+        /// 200 or 404.
+        status: u16,
+        /// Body text.
+        body: String,
+    },
+}
+
+impl WireEncode for HttpMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MAGIC);
+        match self {
+            HttpMsg::Get { req_id, path } => {
+                enc.put_u8(1);
+                enc.put_u64(*req_id);
+                enc.put_str(path);
+            }
+            HttpMsg::Resp { req_id, status, body } => {
+                enc.put_u8(2);
+                enc.put_u64(*req_id);
+                enc.put_u16(*status);
+                enc.put_str(body);
+            }
+        }
+    }
+}
+
+impl WireDecode for HttpMsg {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        if dec.get_u8()? != MAGIC {
+            return Err(SnipeError::Codec("not an HTTP message".into()));
+        }
+        Ok(match dec.get_u8()? {
+            1 => HttpMsg::Get { req_id: dec.get_u64()?, path: dec.get_str()? },
+            2 => HttpMsg::Resp { req_id: dec.get_u64()?, status: dec.get_u16()?, body: dec.get_str()? },
+            t => return Err(SnipeError::Codec(format!("unknown HTTP tag {t}"))),
+        })
+    }
+}
+
+/// A console: serves registered pages over the simulated HTTP protocol
+/// and keeps its URL→location binding fresh in RC metadata.
+pub struct ConsoleActor {
+    /// The console's URL (e.g. `http://console.snipe/`).
+    url: Uri,
+    rc_replicas: Vec<Endpoint>,
+    rc: Option<RcClient>,
+    pages: HashMap<String, Box<dyn Fn() -> String>>,
+    /// Requests served (diagnostics).
+    pub served: u64,
+}
+
+impl ConsoleActor {
+    /// A console registered under `url`.
+    pub fn new(url: Uri, rc_replicas: Vec<Endpoint>) -> ConsoleActor {
+        ConsoleActor { url, rc_replicas, rc: None, pages: HashMap::new(), served: 0 }
+    }
+
+    /// Register a page.
+    pub fn page(mut self, path: impl Into<String>, render: impl Fn() -> String + 'static) -> Self {
+        self.pages.insert(path.into(), Box::new(render));
+        self
+    }
+
+    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rc) = self.rc.as_mut() else { return };
+        for (to, bytes) in rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        rc.drain_done();
+        if let Some(dl) = rc.next_deadline() {
+            let delay = dl.saturating_since(ctx.now()) + SimDuration::from_micros(1);
+            ctx.set_timer(delay, TIMER_RC);
+        }
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let url = self.url.clone();
+        let now = ctx.now();
+        if let Some(rc) = self.rc.as_mut() {
+            rc.put(now, &url, vec![Assertion::new(ATTR_COMM_ADDRESS, format_endpoint(me))]);
+        }
+        self.flush_rc(ctx);
+    }
+}
+
+impl Actor for ConsoleActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::HostUp => {
+                if self.rc.is_none() {
+                    self.rc = Some(RcClient::new(self.rc_replicas.clone(), SimDuration::from_millis(250)));
+                }
+                self.publish(ctx);
+            }
+            Event::Timer { token: TIMER_RC } => {
+                let now = ctx.now();
+                if let Some(rc) = self.rc.as_mut() {
+                    rc.on_timer(now);
+                }
+                self.flush_rc(ctx);
+            }
+            Event::Packet { from, payload } => {
+                let Ok((Proto::Raw, body)) = open(payload) else { return };
+                if let Ok(HttpMsg::Get { req_id, path }) = HttpMsg::decode_from_bytes(body.clone()) {
+                    self.served += 1;
+                    let resp = match self.pages.get(&path) {
+                        Some(render) => HttpMsg::Resp { req_id, status: 200, body: render() },
+                        None => HttpMsg::Resp { req_id, status: 404, body: "not found".into() },
+                    };
+                    ctx.send(from, seal(Proto::Raw, resp.encode_to_bytes()));
+                } else if let Some(rc) = self.rc.as_mut() {
+                    rc.on_packet(ctx.now(), from, body);
+                    self.flush_rc(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A scripted "web browser": resolves console URLs via RC metadata (the
+/// §3.7 proxy behaviour) and fetches paths, logging responses.
+pub struct BrowserActor {
+    rc_replicas: Vec<Endpoint>,
+    rc: Option<RcClient>,
+    /// (delay, url, path) fetches to perform in order.
+    script: Vec<(SimDuration, Uri, String)>,
+    /// Pending RC lookups: rc req id → (req_id for HTTP, path).
+    pending_resolve: HashMap<u64, (u64, String)>,
+    next_req: u64,
+    /// Responses received: (status, body).
+    pub responses: Rc<RefCell<Vec<(u16, String)>>>,
+}
+
+impl BrowserActor {
+    /// A browser with a fetch script.
+    pub fn new(
+        rc_replicas: Vec<Endpoint>,
+        script: Vec<(SimDuration, Uri, String)>,
+        responses: Rc<RefCell<Vec<(u16, String)>>>,
+    ) -> BrowserActor {
+        BrowserActor {
+            rc_replicas,
+            rc: None,
+            script,
+            pending_resolve: HashMap::new(),
+            next_req: 1,
+            responses,
+        }
+    }
+
+    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+        let mut resolved = Vec::new();
+        if let Some(rc) = self.rc.as_mut() {
+            for (to, bytes) in rc.drain_sends() {
+                ctx.send(to, seal(Proto::Raw, bytes));
+            }
+            for (id, result) in rc.drain_done() {
+                if let Some((req_id, path)) = self.pending_resolve.remove(&id) {
+                    let ep = result.ok().and_then(|r| {
+                        r.assertions
+                            .iter()
+                            .find(|a| a.name == ATTR_COMM_ADDRESS)
+                            .and_then(|a| parse_endpoint(&a.value))
+                    });
+                    resolved.push((req_id, path, ep));
+                }
+            }
+            if let Some(dl) = rc.next_deadline() {
+                let delay = dl.saturating_since(ctx.now()) + SimDuration::from_micros(1);
+                ctx.set_timer(delay, TIMER_RC);
+            }
+        }
+        for (req_id, path, ep) in resolved {
+            match ep {
+                Some(ep) => {
+                    let msg = HttpMsg::Get { req_id, path };
+                    ctx.send(ep, seal(Proto::Raw, msg.encode_to_bytes()));
+                }
+                None => self.responses.borrow_mut().push((0, format!("resolve failed: {path}"))),
+            }
+        }
+    }
+}
+
+impl Actor for BrowserActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                self.rc = Some(RcClient::new(self.rc_replicas.clone(), SimDuration::from_millis(250)));
+                if !self.script.is_empty() {
+                    ctx.set_timer(self.script[0].0, TIMER_FETCH);
+                }
+            }
+            Event::Timer { token: TIMER_FETCH } => {
+                let (_, url, path) = self.script.remove(0);
+                let req_id = self.next_req;
+                self.next_req += 1;
+                let now = ctx.now();
+                if let Some(rc) = self.rc.as_mut() {
+                    let id = rc.get(now, &url);
+                    self.pending_resolve.insert(id, (req_id, path));
+                }
+                if !self.script.is_empty() {
+                    ctx.set_timer(self.script[0].0, TIMER_FETCH);
+                }
+                self.flush_rc(ctx);
+            }
+            Event::Timer { token: TIMER_RC } => {
+                let now = ctx.now();
+                if let Some(rc) = self.rc.as_mut() {
+                    rc.on_timer(now);
+                }
+                self.flush_rc(ctx);
+            }
+            Event::Timer { .. } => {}
+            Event::Packet { from, payload } => {
+                let Ok((Proto::Raw, body)) = open(payload) else { return };
+                if let Ok(HttpMsg::Resp { status, body, .. }) = HttpMsg::decode_from_bytes(body.clone()) {
+                    self.responses.borrow_mut().push((status, body));
+                } else if let Some(rc) = self.rc.as_mut() {
+                    rc.on_packet(ctx.now(), from, body);
+                    self.flush_rc(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}

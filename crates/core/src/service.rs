@@ -1,0 +1,98 @@
+//! Replicated processes and services (§5.7).
+//!
+//! The paper describes three replication shapes; this module implements
+//! the two that are pure naming conventions over the existing
+//! machinery, as the paper itself does:
+//!
+//! * **Multicast pseudo-processes** — "a multicast group can be created
+//!   to provide input to all of those processes. SNIPE metadata can
+//!   then be created for the new pseudo-process ... with the multicast
+//!   group listed as the communications URL. All data sent to the
+//!   pseudo-process will then be transmitted to each member of the
+//!   group." A pseudo-process is an RC entry whose `comm-group`
+//!   attribute names a multicast group; [`resolve_target`] teaches the
+//!   client library to fan such sends out.
+//!
+//! * **LIFN services** — "a LIFN can be created for that service, and
+//!   each of the service locations (URLs) associated with that LIFN.
+//!   Any process attempting to communicate with that service will then
+//!   see multiple service locations from which to choose." Covered by
+//!   `SnipeApi::register_service` / `lookup_service`; the helpers here
+//!   add the choosing policies.
+
+use snipe_rcds::assertion::Assertion;
+use snipe_util::error::{SnipeError, SnipeResult};
+
+use crate::api::ProcRef;
+use crate::names::ATTR_COMM_GROUP;
+
+/// How a client picks among a service's registered locations (§5.7:
+/// "multiple service locations (URLs) from which to choose").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServicePick {
+    /// The lowest-keyed location (stable primary).
+    Primary,
+    /// Spread load by hashing the chooser's key over locations.
+    HashByCaller(u64),
+}
+
+/// Choose one location from a service lookup result.
+pub fn choose_location(locations: &[ProcRef], policy: ServicePick) -> SnipeResult<ProcRef> {
+    if locations.is_empty() {
+        return Err(SnipeError::NameNotFound("service has no registered locations".into()));
+    }
+    Ok(match policy {
+        ServicePick::Primary => locations[0],
+        ServicePick::HashByCaller(key) => locations[(key % locations.len() as u64) as usize],
+    })
+}
+
+/// The assertions registering a multicast pseudo-process: metadata for
+/// a name whose communications address is a *group*, not an endpoint.
+pub fn pseudo_process_assertions(group: &str) -> Vec<Assertion> {
+    vec![
+        Assertion::new("type", "pseudo-process"),
+        Assertion::new(ATTR_COMM_GROUP, group.to_string()),
+    ]
+}
+
+/// Extract the group name if assertions describe a pseudo-process.
+pub fn pseudo_process_group(assertions: &[Assertion]) -> Option<&str> {
+    assertions
+        .iter()
+        .find(|a| a.name == ATTR_COMM_GROUP)
+        .map(|a| a.value.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_netsim::topology::Endpoint;
+    use snipe_util::id::HostId;
+
+    fn loc(key: u64) -> ProcRef {
+        ProcRef { key, endpoint: Endpoint::new(HostId(key as u32), 1) }
+    }
+
+    #[test]
+    fn choose_primary_and_hash() {
+        let locs = vec![loc(1), loc(2), loc(3)];
+        assert_eq!(choose_location(&locs, ServicePick::Primary).unwrap().key, 1);
+        let a = choose_location(&locs, ServicePick::HashByCaller(7)).unwrap();
+        let b = choose_location(&locs, ServicePick::HashByCaller(7)).unwrap();
+        assert_eq!(a, b, "deterministic per caller");
+        assert_eq!(a.key, 1 + 7 % 3);
+    }
+
+    #[test]
+    fn empty_service_errors() {
+        assert!(choose_location(&[], ServicePick::Primary).is_err());
+    }
+
+    #[test]
+    fn pseudo_process_round_trip() {
+        let asserts = pseudo_process_assertions("replica-pool");
+        assert_eq!(pseudo_process_group(&asserts), Some("replica-pool"));
+        assert_eq!(pseudo_process_group(&[]), None);
+    }
+}

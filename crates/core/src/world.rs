@@ -1,0 +1,382 @@
+//! World assembly: build a SNIPE testbed in one call.
+//!
+//! A [`SnipeWorldBuilder`] lays out hosts and networks; `build()`
+//! installs the full SNIPE runtime on them — RC metadata servers,
+//! per-host daemons, resource managers and file servers — and returns a
+//! [`SnipeWorld`] ready to register programs and spawn processes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use snipe_netsim::medium::Medium;
+use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::world::World;
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::id::{HostId, NetId};
+use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::ports;
+
+use snipe_daemon::registry::{ProgramRegistry, SpawnCtx};
+use snipe_daemon::{DaemonActor, DaemonConfig};
+use snipe_files::{FileServerActor, FileServerConfig};
+use snipe_rcds::server::RcServerActor;
+use snipe_rm::{RmActor, RmConfig};
+
+use crate::actor::{MigrationPayload, ProcessActor, ProcessConfig};
+use crate::api::SnipeProcess;
+
+/// The program name used internally for migrated processes.
+pub const MIGRATE_PROGRAM: &str = "__snipe_migrate__";
+
+/// Application process factory: constructor args → process.
+pub type ProcessFactory = Box<dyn Fn(Bytes) -> Box<dyn SnipeProcess>>;
+
+/// Builder for a SNIPE testbed.
+pub struct SnipeWorldBuilder {
+    seed: u64,
+    topo: Topology,
+    rc_hosts: Vec<HostId>,
+    rm_hosts: Vec<HostId>,
+    file_hosts: Vec<HostId>,
+    rc_sync_interval: SimDuration,
+}
+
+impl SnipeWorldBuilder {
+    /// Empty builder.
+    pub fn new(seed: u64) -> SnipeWorldBuilder {
+        SnipeWorldBuilder {
+            seed,
+            topo: Topology::new(),
+            rc_hosts: Vec::new(),
+            rm_hosts: Vec::new(),
+            file_hosts: Vec::new(),
+            rc_sync_interval: SimDuration::from_millis(200),
+        }
+    }
+
+    /// Add a network segment.
+    pub fn network(&mut self, name: &str, medium: Medium, routable: bool) -> NetId {
+        self.topo.add_network(name, medium, routable)
+    }
+
+    /// Add a host attached to the given networks.
+    pub fn host(&mut self, name: &str, nets: &[NetId]) -> HostId {
+        let h = self.topo.add_host(HostCfg::named(name));
+        for &n in nets {
+            self.topo.attach(h, n);
+        }
+        h
+    }
+
+    /// Add a host with a CPU factor.
+    pub fn host_with_cpu(&mut self, name: &str, cpu_factor: f64, nets: &[NetId]) -> HostId {
+        let mut cfg = HostCfg::named(name);
+        cfg.cpu_factor = cpu_factor;
+        let h = self.topo.add_host(cfg);
+        for &n in nets {
+            self.topo.attach(h, n);
+        }
+        h
+    }
+
+    /// Place an RC metadata replica on a host.
+    pub fn rc_on(&mut self, h: HostId) -> &mut Self {
+        self.rc_hosts.push(h);
+        self
+    }
+
+    /// Place a resource manager on a host.
+    pub fn rm_on(&mut self, h: HostId) -> &mut Self {
+        self.rm_hosts.push(h);
+        self
+    }
+
+    /// Place a file server on a host.
+    pub fn files_on(&mut self, h: HostId) -> &mut Self {
+        self.file_hosts.push(h);
+        self
+    }
+
+    /// Anti-entropy interval for RC replicas.
+    pub fn rc_sync_interval(&mut self, d: SimDuration) -> &mut Self {
+        self.rc_sync_interval = d;
+        self
+    }
+
+    /// A single-segment 100 Mbit Ethernet LAN with `n` hosts named
+    /// `host0..`, RC + RM on host0, file servers on the first two
+    /// hosts.
+    pub fn lan(n: usize, seed: u64) -> SnipeWorldBuilder {
+        let mut b = SnipeWorldBuilder::new(seed);
+        let net = b.network("lan", Medium::ethernet100(), true);
+        let hosts: Vec<HostId> = (0..n).map(|i| b.host(&format!("host{i}"), &[net])).collect();
+        if let Some(&h0) = hosts.first() {
+            b.rc_on(h0);
+            b.rm_on(h0);
+            b.files_on(h0);
+        }
+        if let Some(&h1) = hosts.get(1) {
+            b.files_on(h1);
+        }
+        b
+    }
+
+    /// The UTK-style dual-homed testbed of Fig. 1: `n` hosts on both a
+    /// 100 Mbit Ethernet and a 155 Mbit ATM fabric. RC/RM/files on
+    /// host0, a second RC replica on host1.
+    pub fn utk_testbed(n: usize, seed: u64) -> SnipeWorldBuilder {
+        let mut b = SnipeWorldBuilder::new(seed);
+        let eth = b.network("utk-eth", Medium::ethernet100(), true);
+        let atm = b.network("utk-atm", Medium::atm155(), false);
+        let hosts: Vec<HostId> =
+            (0..n).map(|i| b.host(&format!("host{i}"), &[eth, atm])).collect();
+        if let Some(&h0) = hosts.first() {
+            b.rc_on(h0);
+            b.rm_on(h0);
+            b.files_on(h0);
+        }
+        if let Some(&h1) = hosts.get(1) {
+            b.rc_on(h1);
+            b.files_on(h1);
+        }
+        b
+    }
+
+    /// Two LAN sites joined by routable WAN edges (the cross-MPP /
+    /// cross-site scenarios of §6.1): `site0-hostI` and `site1-hostI`.
+    pub fn two_site(per_site: usize, seed: u64) -> SnipeWorldBuilder {
+        let mut b = SnipeWorldBuilder::new(seed);
+        let s0 = b.network("site0", Medium::ethernet100(), true);
+        let s1 = b.network("site1", Medium::ethernet100(), true);
+        for i in 0..per_site {
+            b.host(&format!("site0-host{i}"), &[s0]);
+        }
+        for i in 0..per_site {
+            b.host(&format!("site1-host{i}"), &[s1]);
+        }
+        let h0 = b.topo.host_by_name("site0-host0").expect("exists");
+        let h1 = b.topo.host_by_name("site1-host0").expect("exists");
+        b.rc_on(h0).rc_on(h1).rm_on(h0).files_on(h0).files_on(h1);
+        b
+    }
+
+    /// Direct access to the topology for custom layouts.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Assemble the runtime.
+    pub fn build(self) -> SnipeWorld {
+        let mut world = World::new(self.topo, self.seed);
+        let registry = ProgramRegistry::new();
+        let rc_eps: Vec<Endpoint> =
+            self.rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
+        let rm_eps: Vec<Endpoint> =
+            self.rm_hosts.iter().map(|&h| Endpoint::new(h, ports::RESOURCE_MANAGER)).collect();
+        let file_eps: Vec<Endpoint> =
+            self.file_hosts.iter().map(|&h| Endpoint::new(h, ports::FILE_SERVER)).collect();
+
+        // RC replicas.
+        for (i, ep) in rc_eps.iter().enumerate() {
+            let peers: Vec<Endpoint> = rc_eps.iter().copied().filter(|e| e != ep).collect();
+            let server = RcServerActor::new(i as u64 + 1, peers, self.rc_sync_interval);
+            world.spawn(ep.host, ep.port, Box::new(server));
+        }
+        // Daemons on every host.
+        let host_count = world.topology().host_count();
+        for i in 0..host_count {
+            let h = HostId::from_index(i);
+            let name = world.topology().host(h).name.clone();
+            let cfg = DaemonConfig::new(name, rc_eps.clone());
+            world.spawn(h, ports::DAEMON, Box::new(DaemonActor::new(cfg, registry.clone())));
+        }
+        // Resource managers.
+        for (i, ep) in rm_eps.iter().enumerate() {
+            let mut cfg = RmConfig::new(rc_eps.clone());
+            cfg.key_seed = 0x524d + i as u64;
+            world.spawn(ep.host, ep.port, Box::new(RmActor::new(cfg)));
+        }
+        // File servers.
+        for (i, ep) in file_eps.iter().enumerate() {
+            let peers: Vec<Endpoint> = file_eps.iter().copied().filter(|e| e != ep).collect();
+            let cfg = FileServerConfig::new(format!("fs{i}"), rc_eps.clone(), peers);
+            world.spawn(ep.host, ep.port, Box::new(FileServerActor::new(cfg)));
+        }
+
+        let proc_cfg = ProcessConfig {
+            rc_replicas: rc_eps.clone(),
+            file_servers: file_eps.clone(),
+            resource_managers: rm_eps.clone(),
+            stack: Default::default(),
+            echo_logs: false,
+        };
+        let programs: Rc<RefCell<HashMap<String, Rc<ProcessFactory>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+
+        // The migration shim: reconstruct the original process from the
+        // payload and resume it under the same key.
+        {
+            let programs = programs.clone();
+            let proc_cfg = proc_cfg.clone();
+            registry.register(MIGRATE_PROGRAM, move |sctx: &SpawnCtx| {
+                let payload = MigrationPayload::decode(sctx.args.clone())
+                    .expect("valid migration payload");
+                let factory = programs
+                    .borrow()
+                    .get(&payload.program)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("unknown migrated program {:?}", payload.program));
+                let process = factory(payload.args.clone());
+                Box::new(ProcessActor::resume_from(
+                    proc_cfg.clone(),
+                    sctx.proc_key,
+                    payload,
+                    process,
+                ))
+            });
+        }
+
+        SnipeWorld {
+            world,
+            registry,
+            programs,
+            proc_cfg,
+            rc_eps,
+            rm_eps,
+            file_eps,
+            next_root_key: 1 << 20,
+        }
+    }
+}
+
+/// A running SNIPE testbed.
+pub struct SnipeWorld {
+    world: World,
+    registry: ProgramRegistry,
+    programs: Rc<RefCell<HashMap<String, Rc<ProcessFactory>>>>,
+    proc_cfg: ProcessConfig,
+    rc_eps: Vec<Endpoint>,
+    rm_eps: Vec<Endpoint>,
+    file_eps: Vec<Endpoint>,
+    next_root_key: u64,
+}
+
+impl SnipeWorld {
+    /// Echo every `api.log` line to stdout. Call **before** registering
+    /// programs — each registration captures the configuration.
+    pub fn echo_logs(&mut self) {
+        self.proc_cfg.echo_logs = true;
+    }
+
+    /// Register an application program so daemons (and migration) can
+    /// instantiate it.
+    pub fn register_process(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(Bytes) -> Box<dyn SnipeProcess> + 'static,
+    ) {
+        let name = name.into();
+        let factory: Rc<ProcessFactory> = Rc::new(Box::new(factory));
+        self.programs.borrow_mut().insert(name.clone(), factory.clone());
+        let cfg = self.proc_cfg.clone();
+        let prog_name = name.clone();
+        self.registry.register(name, move |sctx: &SpawnCtx| {
+            let process = factory(sctx.args.clone());
+            Box::new(ProcessActor::new(
+                cfg.clone(),
+                sctx.proc_key,
+                prog_name.clone(),
+                sctx.args.clone(),
+                process,
+            ))
+        });
+    }
+
+    /// Bootstrap a root process directly on a host (outside the daemon,
+    /// like a user launching a binary from a shell). Returns the
+    /// process key and endpoint.
+    pub fn spawn_on(
+        &mut self,
+        hostname: &str,
+        program: &str,
+        args: Bytes,
+    ) -> SnipeResult<(u64, Endpoint)> {
+        let Some(h) = self.world.topology().host_by_name(hostname) else {
+            return Err(SnipeError::NameNotFound(format!("host {hostname}")));
+        };
+        let factory = self
+            .programs
+            .borrow()
+            .get(program)
+            .cloned()
+            .ok_or_else(|| SnipeError::NameNotFound(format!("program {program}")))?;
+        let process = factory(args.clone());
+        let key = ((h.0 as u64) << 32) | self.next_root_key;
+        self.next_root_key += 1;
+        let port = self.world.alloc_port(h);
+        let actor = ProcessActor::new(self.proc_cfg.clone(), key, program.to_string(), args, process);
+        let ep = self
+            .world
+            .spawn(h, port, Box::new(actor))
+            .ok_or_else(|| SnipeError::WrongState("port collision".into()))?;
+        Ok((key, ep))
+    }
+
+    /// RC replica endpoints.
+    pub fn rc_endpoints(&self) -> &[Endpoint] {
+        &self.rc_eps
+    }
+
+    /// Resource manager endpoints.
+    pub fn rm_endpoints(&self) -> &[Endpoint] {
+        &self.rm_eps
+    }
+
+    /// File server endpoints.
+    pub fn file_endpoints(&self) -> &[Endpoint] {
+        &self.file_eps
+    }
+
+    /// The shared process configuration.
+    pub fn process_config(&self) -> &ProcessConfig {
+        &self.proc_cfg
+    }
+
+    /// The program registry (for registering non-process actors).
+    pub fn registry(&self) -> &ProgramRegistry {
+        &self.registry
+    }
+
+    /// The underlying simulator (fault injection, stats, time).
+    pub fn sim(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Immutable simulator access.
+    pub fn sim_ref(&self) -> &World {
+        &self.world
+    }
+
+    /// Run for a simulated duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Run for whole simulated seconds.
+    pub fn run_for_secs(&mut self, s: u64) {
+        self.world.run_for(SimDuration::from_secs(s));
+    }
+
+    /// Run until the event queue drains (bounded).
+    pub fn run_until_idle(&mut self, limit: u64) -> u64 {
+        self.world.run_until_idle(limit)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+}

@@ -1,0 +1,7 @@
+//! One-off generator for the embedded default Schnorr group constants.
+fn main() {
+    let g = snipe_crypto::group::SchnorrGroup::generate(384, 160, 0x534e495045);
+    println!("P={}", g.p.to_hex());
+    println!("Q={}", g.q.to_hex());
+    println!("G={}", g.g.to_hex());
+}

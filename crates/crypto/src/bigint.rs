@@ -1,0 +1,617 @@
+//! Arbitrary-precision unsigned integers for the public-key substrate.
+//!
+//! A deliberately small big-integer implementation: little-endian `u64`
+//! limbs, schoolbook multiplication and binary long division. At SNIPE's
+//! simulation-grade key sizes (384–768 bit moduli) this is fast enough
+//! for thousands of signature operations per second, and having no
+//! `unsafe` and no clever normalization keeps it easy to audit against
+//! the textbook algorithms.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use snipe_util::rng::Xoshiro256;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` has no trailing zero limbs (so `limbs.is_empty()`
+/// iff the value is zero).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Parse big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_iter = bytes.rchunks(8);
+        for chunk in &mut chunk_iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut v = BigUint { limbs };
+        v.normalize();
+        v
+    }
+
+    /// Serialize as minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        let mut first = true;
+        for &limb in self.limbs.iter().rev() {
+            let bytes = limb.to_be_bytes();
+            if first {
+                let skip = bytes.iter().take_while(|&&b| b == 0).count();
+                out.extend_from_slice(&bytes[skip..]);
+                first = false;
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Parse a lowercase/uppercase hex string.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let s = s.as_bytes();
+        let mut i = 0;
+        if s.len() % 2 == 1 {
+            bytes.push(u8::from_str_radix(std::str::from_utf8(&s[..1]).ok()?, 16).ok()?);
+            i = 1;
+        }
+        while i < s.len() {
+            bytes.push(u8::from_str_radix(std::str::from_utf8(&s[i..i + 2]).ok()?, 16).ok()?);
+            i += 2;
+        }
+        Some(Self::from_bytes_be(&bytes))
+    }
+
+    /// Render as lowercase hex ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let bytes = self.to_bytes_be();
+        let mut s = String::with_capacity(bytes.len() * 2);
+        use std::fmt::Write;
+        write!(s, "{:x}", bytes[0]).expect("write to String cannot fail");
+        for b in &bytes[1..] {
+            write!(s, "{b:02x}").expect("write to String cannot fail");
+        }
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (false beyond the top).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// `self + rhs`.
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let (a, b) = if self.limbs.len() >= rhs.limbs.len() { (self, rhs) } else { (rhs, self) };
+        let mut out = Vec::with_capacity(a.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..a.limbs.len() {
+            let x = a.limbs[i] as u128 + *b.limbs.get(i).unwrap_or(&0) as u128 + carry as u128;
+            out.push(x as u64);
+            carry = (x >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut v = BigUint { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// `self - rhs`.
+    ///
+    /// # Panics
+    /// Panics if `rhs > self`.
+    pub fn sub(&self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as u128 + borrow as u128;
+            let a = self.limbs[i] as u128;
+            if a >= b {
+                out.push((a - b) as u64);
+                borrow = 0;
+            } else {
+                out.push((a + (1u128 << 64) - b) as u64);
+                borrow = 1;
+            }
+        }
+        let mut v = BigUint { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Schoolbook `self * rhs`.
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let x = a as u128 * b as u128 + out[i + j] as u128 + carry as u128;
+                out[i + j] = x as u64;
+                carry = (x >> 64) as u64;
+            }
+            out[i + rhs.limbs.len()] = out[i + rhs.limbs.len()].wrapping_add(carry);
+        }
+        let mut v = BigUint { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if bit_shift == 0 {
+                out[i + limb_shift] |= l;
+            } else {
+                out[i + limb_shift] |= l << bit_shift;
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut v = BigUint { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&hi) = self.limbs.get(i + 1) {
+                    l |= hi << (64 - bit_shift);
+                }
+            }
+            out.push(l);
+        }
+        let mut v = BigUint { limbs: out };
+        v.normalize();
+        v
+    }
+
+    /// Binary long division: returns `(self / rhs, self % rhs)`.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "BigUint division by zero");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        let bits = self.bit_len();
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = BigUint::zero();
+        for i in (0..bits).rev() {
+            // rem = rem << 1 | bit(i)
+            rem = rem.shl(1);
+            if self.bit(i) {
+                if rem.limbs.is_empty() {
+                    rem.limbs.push(1);
+                } else {
+                    rem.limbs[0] |= 1;
+                }
+            }
+            if rem >= *rhs {
+                rem = rem.sub(rhs);
+                quotient[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut q = BigUint { limbs: quotient };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// `(self + rhs) mod m`, where both inputs are already `< m`.
+    pub fn mod_add(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        let s = self.add(rhs);
+        if s >= *m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// `(self - rhs) mod m`, where both inputs are already `< m`.
+    pub fn mod_sub(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        if self >= rhs {
+            self.sub(rhs)
+        } else {
+            self.add(m).sub(rhs)
+        }
+    }
+
+    /// `(self * rhs) mod m`.
+    pub fn mod_mul(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(rhs).rem(m)
+    }
+
+    /// `self^exp mod m` by square-and-multiply (left-to-right).
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn mod_exp(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "mod_exp modulus is zero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let base = self.rem(m);
+        let mut acc = BigUint::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.mod_mul(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, m);
+            }
+        }
+        acc
+    }
+
+    /// Uniform random value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn random_below(rng: &mut Xoshiro256, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "random_below bound is zero");
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(64);
+        let top_mask = if bits % 64 == 0 { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+        loop {
+            let mut l: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+            if let Some(last) = l.last_mut() {
+                *last &= top_mask;
+            }
+            let mut v = BigUint { limbs: l };
+            v.normalize();
+            if v < *bound {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform random value with exactly `bits` bits (top bit set).
+    pub fn random_bits(rng: &mut Xoshiro256, bits: usize) -> BigUint {
+        assert!(bits > 0);
+        let limbs = bits.div_ceil(64);
+        let mut l: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        let top_bit = (bits - 1) % 64;
+        let last = l.last_mut().expect("at least one limb");
+        *last &= if top_bit == 63 { u64::MAX } else { (1u64 << (top_bit + 1)) - 1 };
+        *last |= 1u64 << top_bit;
+        let mut v = BigUint { limbs: l };
+        v.normalize();
+        v
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random
+    /// bases (plus a base-2 round and small-prime trial division).
+    pub fn is_probable_prime(&self, rng: &mut Xoshiro256, rounds: usize) -> bool {
+        const SMALL_PRIMES: [u64; 30] = [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+            83, 89, 97, 101, 103, 107, 109, 113,
+        ];
+        if self.limbs.len() == 1 {
+            let v = self.limbs[0];
+            if v < 2 {
+                return false;
+            }
+            if SMALL_PRIMES.contains(&v) {
+                return true;
+            }
+        }
+        if self.is_zero() || self.is_even() {
+            return false;
+        }
+        for &p in &SMALL_PRIMES[1..] {
+            let pp = BigUint::from_u64(p);
+            if self.rem(&pp).is_zero() {
+                return *self == pp;
+            }
+        }
+        // Write self-1 = d * 2^s.
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+        let two = BigUint::from_u64(2);
+        let n_minus_2 = self.sub(&two);
+        'witness: for round in 0..=rounds {
+            let a = if round == 0 {
+                two.clone()
+            } else {
+                // a in [2, n-2]
+                BigUint::random_below(rng, &n_minus_2.sub(&one)).add(&two)
+            };
+            let mut x = a.mod_exp(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.mod_mul(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(v.to_bytes_be(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 7]).to_bytes_be(), vec![7]);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let v = BigUint::from_hex("deadbeefcafebabe1234").unwrap();
+        assert_eq!(v.to_hex(), "deadbeefcafebabe1234");
+        assert_eq!(BigUint::zero().to_hex(), "0");
+        assert_eq!(BigUint::from_hex("f").unwrap(), n(15));
+        assert!(BigUint::from_hex("xyz").is_none());
+        assert!(BigUint::from_hex("").is_none());
+    }
+
+    #[test]
+    fn add_sub_small_and_carry() {
+        assert_eq!(n(2).add(&n(3)), n(5));
+        let max = BigUint::from_u64(u64::MAX);
+        let sum = max.add(&n(1));
+        assert_eq!(sum.bit_len(), 65);
+        assert_eq!(sum.sub(&n(1)), max);
+        assert_eq!(n(5).sub(&n(5)), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1).sub(&n(2));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(n(1000).mul(&n(1000)), n(1_000_000));
+        let a = BigUint::from_hex("ffffffffffffffff").unwrap();
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+        assert!(n(0).mul(&a).is_zero());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl(64).bit_len(), 65);
+        assert_eq!(n(1).shl(64).shr(64), n(1));
+        assert_eq!(n(0b1011).shr(1), n(0b101));
+        assert_eq!(n(3).shl(127).shr(120), n(3 << 7));
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let cases: [(u128, u128); 6] = [
+            (12345678901234567890, 97),
+            (u128::MAX, 1),
+            (1 << 100, (1 << 50) + 3),
+            (999, 1000),
+            (1000, 1000),
+            (0, 5),
+        ];
+        for (a, b) in cases {
+            let ba = BigUint::from_bytes_be(&a.to_be_bytes());
+            let bb = BigUint::from_bytes_be(&b.to_be_bytes());
+            let (q, r) = ba.div_rem(&bb);
+            assert_eq!(q, BigUint::from_bytes_be(&(a / b).to_be_bytes()), "{a}/{b}");
+            assert_eq!(r, BigUint::from_bytes_be(&(a % b).to_be_bytes()), "{a}%{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = n(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn mod_exp_known_values() {
+        // 2^10 mod 1000 = 24
+        assert_eq!(n(2).mod_exp(&n(10), &n(1000)), n(24));
+        // Fermat: a^(p-1) = 1 mod p for prime p
+        let p = n(1_000_000_007);
+        assert_eq!(n(12345).mod_exp(&n(1_000_000_006), &p), n(1));
+        // x^0 = 1
+        assert_eq!(n(999).mod_exp(&n(0), &p), n(1));
+        // mod 1 = 0
+        assert_eq!(n(5).mod_exp(&n(5), &n(1)), n(0));
+    }
+
+    #[test]
+    fn mod_add_sub() {
+        let m = n(97);
+        assert_eq!(n(90).mod_add(&n(10), &m), n(3));
+        assert_eq!(n(3).mod_sub(&n(10), &m), n(90));
+        assert_eq!(n(10).mod_sub(&n(3), &m), n(7));
+    }
+
+    #[test]
+    fn random_below_in_range_and_varied() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let bound = BigUint::from_hex("ffffffffffffffffffffffff").unwrap();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v < bound);
+            distinct.insert(v.to_hex());
+        }
+        assert!(distinct.len() > 40);
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for bits in [1, 7, 64, 65, 160] {
+            let v = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_classifies_small_numbers() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let primes = [2u64, 3, 5, 7, 97, 101, 127, 65537, 1_000_000_007];
+        let composites = [1u64, 4, 6, 9, 15, 91, 561, 1105, 65535, 1_000_000_008];
+        for p in primes {
+            assert!(n(p).is_probable_prime(&mut rng, 16), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!n(c).is_probable_prime(&mut rng, 16), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_large_known_prime() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(m127.is_probable_prime(&mut rng, 8));
+        // 2^128 - 1 is composite.
+        let c = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!c.is_probable_prime(&mut rng, 8));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(1) < n(2));
+        assert!(BigUint::from_hex("10000000000000000").unwrap() > n(u64::MAX));
+        assert_eq!(n(7).cmp(&n(7)), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,172 @@
+//! HMAC-SHA256 (RFC 2104) and an HKDF-style key derivation.
+//!
+//! HMAC authenticates secure-channel records (hijack detection, paper
+//! §4) and also serves as the PRF for deriving session keys from a
+//! Diffie–Hellman shared secret. The original SNIPE RC servers used "MD5
+//! hashed shared secrets" (§6); HMAC-SHA256 is the modern equivalent of
+//! that construction.
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK: usize = 64;
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(msg);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Create with an arbitrary-length key.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = crate::sha256::sha256(key);
+            k[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, outer_key: opad }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, msg: &[u8]) {
+        self.inner.update(msg);
+    }
+
+    /// Produce the tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// Constant-time-ish tag comparison (full-width XOR accumulate).
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+/// HKDF-style expand: derive `n` bytes of key material from a secret and
+/// a context label (simplified single-salt HKDF, RFC 5869 shape).
+pub fn derive_key(secret: &[u8], label: &str, n: usize) -> Vec<u8> {
+    let prk = hmac_sha256(b"snipe-hkdf-salt", secret);
+    let mut out = Vec::with_capacity(n);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < n {
+        let mut mac = HmacSha256::new(&prk);
+        mac.update(&t);
+        mac.update(label.as_bytes());
+        mac.update(&[counter]);
+        t = mac.finalize().to_vec();
+        let take = (n - out.len()).min(t.len());
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("derive_key output too long");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_key_data() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_oversized_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), hmac_sha256(b"key", b"hello world"));
+    }
+
+    #[test]
+    fn verify_tag_rejects_mismatch() {
+        let t1 = hmac_sha256(b"k", b"a");
+        let mut t2 = t1;
+        t2[0] ^= 1;
+        assert!(verify_tag(&t1, &t1));
+        assert!(!verify_tag(&t1, &t2));
+        assert!(!verify_tag(&t1, &t1[..16]));
+    }
+
+    #[test]
+    fn derive_key_lengths_and_independence() {
+        let a = derive_key(b"secret", "client->server", 44);
+        let b = derive_key(b"secret", "server->client", 44);
+        let c = derive_key(b"other", "client->server", 44);
+        assert_eq!(a.len(), 44);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, derive_key(b"secret", "client->server", 44));
+        // Prefix property: shorter request is a prefix of longer.
+        let long = derive_key(b"secret", "client->server", 100);
+        assert_eq!(&long[..44], &a[..]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # snipe-crypto — the SNIPE security substrate
+//!
+//! Implements the paper's §4 security model:
+//!
+//! * every principal has a public key stored as an attribute of its RC
+//!   metadata; a **key certificate** is a signed subset of that metadata
+//!   ([`cert`]),
+//! * resources are authenticated with **cryptographic hash functions**
+//!   ([`mod@sha256`]) signed by providers ([`sign`]),
+//! * privacy uses a TLS-substitute **secure channel** with hijack
+//!   detection ([`channel`]).
+//!
+//! ## Substitution notice (simulation-grade cryptography)
+//!
+//! The 1997 system used MD5/SHA-1, RSA-era signatures and the TLS 1.0
+//! draft. This reproduction implements the same *model* with primitives
+//! written from scratch: SHA-256, HMAC, ChaCha20, Diffie–Hellman and
+//! Schnorr signatures over a deterministically generated Schnorr group.
+//! The implementations follow the published algorithms and pass their
+//! test vectors, but they are **not constant-time and not audited** —
+//! they exist so that forged signatures, tampered messages and hijacked
+//! connections are *detected in experiments*, not to protect real data.
+
+pub mod bigint;
+pub mod cert;
+pub mod channel;
+pub mod chacha20;
+pub mod group;
+pub mod hmac;
+pub mod sha256;
+pub mod sign;
+
+pub use cert::{Certificate, TrustPurpose, TrustStore};
+pub use channel::SecureChannel;
+pub use group::SchnorrGroup;
+pub use sha256::{sha256, Sha256};
+pub use sign::{KeyPair, PublicKey, SecretKey, Signature};

@@ -1,0 +1,240 @@
+//! Schnorr signatures and key pairs.
+//!
+//! Every SNIPE principal (user, host, resource manager, process) owns a
+//! key pair; public keys live in RC metadata (paper §4). Signatures use
+//! the classic Schnorr scheme over [`SchnorrGroup`]:
+//!
+//! * sign:   pick `k ∈ [1,q)`, `r = g^k mod p`, `e = H(r ‖ m) mod q`,
+//!   `s = (k − x·e) mod q`; the signature is `(e, s)`.
+//! * verify: `r' = g^s · y^e mod p`, accept iff `H(r' ‖ m) mod q == e`.
+
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::rng::Xoshiro256;
+
+use crate::bigint::BigUint;
+use crate::group::SchnorrGroup;
+use crate::sha256::Sha256;
+
+/// A private signing key (`x ∈ [1, q)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecretKey {
+    x: BigUint,
+}
+
+/// A public verification key (`y = g^x mod p`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    y: BigUint,
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    e: BigUint,
+    s: BigUint,
+}
+
+/// A secret/public key pair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// The private half.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+}
+
+/// Hash `r ‖ msg` into a challenge in `[0, q)`.
+fn challenge(r: &BigUint, msg: &[u8], group: &SchnorrGroup) -> BigUint {
+    let mut h = Sha256::new();
+    let rb = r.to_bytes_be();
+    h.update(&(rb.len() as u32).to_be_bytes());
+    h.update(&rb);
+    h.update(msg);
+    BigUint::from_bytes_be(&h.finalize()).rem(&group.q)
+}
+
+impl KeyPair {
+    /// Generate a fresh key pair over the given group.
+    pub fn generate(rng: &mut Xoshiro256, group: &SchnorrGroup) -> KeyPair {
+        let one = BigUint::one();
+        let x = BigUint::random_below(rng, &group.q.sub(&one)).add(&one);
+        let y = group.g.mod_exp(&x, &group.p);
+        KeyPair { secret: SecretKey { x }, public: PublicKey { y } }
+    }
+
+    /// Generate over [`SchnorrGroup::default_group`].
+    pub fn generate_default(rng: &mut Xoshiro256) -> KeyPair {
+        Self::generate(rng, SchnorrGroup::default_group())
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, rng: &mut Xoshiro256, msg: &[u8]) -> Signature {
+        self.sign_in(rng, msg, SchnorrGroup::default_group())
+    }
+
+    /// Sign over an explicit group.
+    pub fn sign_in(&self, rng: &mut Xoshiro256, msg: &[u8], group: &SchnorrGroup) -> Signature {
+        let one = BigUint::one();
+        loop {
+            let k = BigUint::random_below(rng, &group.q.sub(&one)).add(&one);
+            let r = group.g.mod_exp(&k, &group.p);
+            let e = challenge(&r, msg, group);
+            // s = k - x*e mod q
+            let xe = self.secret.x.mod_mul(&e, &group.q);
+            let s = k.rem(&group.q).mod_sub(&xe, &group.q);
+            if !s.is_zero() {
+                return Signature { e, s };
+            }
+        }
+    }
+}
+
+impl PublicKey {
+    /// Verify a signature over the default group.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        self.verify_in(msg, sig, SchnorrGroup::default_group())
+    }
+
+    /// Verify over an explicit group.
+    pub fn verify_in(&self, msg: &[u8], sig: &Signature, group: &SchnorrGroup) -> bool {
+        if sig.e >= group.q || sig.s >= group.q || self.y.is_zero() || self.y >= group.p {
+            return false;
+        }
+        // r' = g^s * y^e mod p
+        let gs = group.g.mod_exp(&sig.s, &group.p);
+        let ye = self.y.mod_exp(&sig.e, &group.p);
+        let r = gs.mod_mul(&ye, &group.p);
+        challenge(&r, msg, group) == sig.e
+    }
+
+    /// A short stable identifier: SHA-256 of the public value.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        crate::sha256::sha256(&self.y.to_bytes_be())
+    }
+
+    /// Fingerprint as hex for embedding in RC metadata values.
+    pub fn fingerprint_hex(&self) -> String {
+        crate::sha256::hex(&self.fingerprint())
+    }
+
+    /// Raw group element (used by the DH handshake).
+    pub fn element(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// Construct from a raw group element (validated at use sites).
+    pub fn from_element(y: BigUint) -> PublicKey {
+        PublicKey { y }
+    }
+}
+
+impl WireEncode for PublicKey {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(&self.y.to_bytes_be());
+    }
+}
+
+impl WireDecode for PublicKey {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        let b = dec.get_bytes()?;
+        Ok(PublicKey { y: BigUint::from_bytes_be(&b) })
+    }
+}
+
+impl WireEncode for Signature {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(&self.e.to_bytes_be());
+        enc.put_bytes(&self.s.to_bytes_be());
+    }
+}
+
+impl WireDecode for Signature {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        let e = BigUint::from_bytes_be(&dec.get_bytes()?);
+        let s = BigUint::from_bytes_be(&dec.get_bytes()?);
+        if e.is_zero() && s.is_zero() {
+            return Err(SnipeError::Codec("degenerate signature".into()));
+        }
+        Ok(Signature { e, s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_group() -> SchnorrGroup {
+        // Small parameters keep tests fast; validity is checked in group.rs.
+        SchnorrGroup::generate(128, 64, 77)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let group = small_group();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let kp = KeyPair::generate(&mut rng, &group);
+        let sig = kp.sign_in(&mut rng, b"hello snipe", &group);
+        assert!(kp.public.verify_in(b"hello snipe", &sig, &group));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let group = small_group();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let kp = KeyPair::generate(&mut rng, &group);
+        let sig = kp.sign_in(&mut rng, b"original", &group);
+        assert!(!kp.public.verify_in(b"tampered", &sig, &group));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let group = small_group();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let kp1 = KeyPair::generate(&mut rng, &group);
+        let kp2 = KeyPair::generate(&mut rng, &group);
+        let sig = kp1.sign_in(&mut rng, b"msg", &group);
+        assert!(!kp2.public.verify_in(b"msg", &sig, &group));
+    }
+
+    #[test]
+    fn signature_wire_round_trip() {
+        let group = small_group();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let kp = KeyPair::generate(&mut rng, &group);
+        let sig = kp.sign_in(&mut rng, b"wire", &group);
+        let bytes = sig.encode_to_bytes();
+        let back = Signature::decode_from_bytes(bytes).unwrap();
+        assert_eq!(back, sig);
+        assert!(kp.public.verify_in(b"wire", &back, &group));
+    }
+
+    #[test]
+    fn public_key_wire_round_trip_and_fingerprint() {
+        let group = small_group();
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let kp = KeyPair::generate(&mut rng, &group);
+        let back = PublicKey::decode_from_bytes(kp.public.encode_to_bytes()).unwrap();
+        assert_eq!(back, kp.public);
+        assert_eq!(back.fingerprint(), kp.public.fingerprint());
+        assert_eq!(kp.public.fingerprint_hex().len(), 64);
+    }
+
+    #[test]
+    fn default_group_signatures_work() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let kp = KeyPair::generate_default(&mut rng);
+        let sig = kp.sign(&mut rng, b"default group");
+        assert!(kp.public.verify(b"default group", &sig));
+        assert!(!kp.public.verify(b"default groupX", &sig));
+    }
+
+    #[test]
+    fn out_of_range_signature_rejected() {
+        let group = small_group();
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let kp = KeyPair::generate(&mut rng, &group);
+        let sig = Signature { e: group.q.clone(), s: BigUint::one() };
+        assert!(!kp.public.verify_in(b"m", &sig, &group));
+    }
+}

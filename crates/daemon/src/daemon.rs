@@ -1,0 +1,399 @@
+//! The per-host daemon actor.
+
+use std::collections::HashMap;
+
+use snipe_crypto::cert::{Certificate, TrustPurpose, TrustStore};
+use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::topology::Endpoint;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::uri::Uri;
+use snipe_util::codec::{WireDecode, WireEncode};
+use snipe_util::time::SimDuration;
+use snipe_wire::frame::{open, seal, Proto};
+use snipe_wire::mcast::McastMsg;
+use snipe_wire::ports;
+
+use crate::proto::{DaemonMsg, SpawnSpec, TaskState};
+use crate::registry::ProgramRegistry;
+use crate::router::McastRouterActor;
+
+const TIMER_LOAD: u64 = 1;
+const TIMER_RC: u64 = 2;
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// This host's name (for its distinguished URL).
+    pub hostname: String,
+    /// RC replica endpoints.
+    pub rc_replicas: Vec<Endpoint>,
+    /// How often to publish load metadata.
+    pub load_interval: SimDuration,
+    /// Architecture tag advertised in host metadata.
+    pub arch: String,
+    /// When set, spawn requests must carry a certificate issued by a
+    /// key trusted for [`TrustPurpose::ResourceAuthorization`] (§4).
+    pub trust: Option<TrustStore>,
+}
+
+impl DaemonConfig {
+    /// Permissive defaults for a named host.
+    pub fn new(hostname: impl Into<String>, rc_replicas: Vec<Endpoint>) -> DaemonConfig {
+        DaemonConfig {
+            hostname: hostname.into(),
+            rc_replicas,
+            load_interval: SimDuration::from_secs(5),
+            arch: "sim64".into(),
+            trust: None,
+        }
+    }
+}
+
+struct TaskInfo {
+    proc_key: u64,
+    state: TaskState,
+    notify: Vec<Endpoint>,
+}
+
+/// The daemon actor (listens on [`ports::DAEMON`]).
+pub struct DaemonActor {
+    cfg: DaemonConfig,
+    registry: ProgramRegistry,
+    rc: RcClient,
+    tasks: HashMap<u16, TaskInfo>,
+    next_task_port: u16,
+    next_local_key: u64,
+    /// Groups this daemon routes (group id → router endpoint).
+    routing: HashMap<u64, Endpoint>,
+    /// Pending RC reads of group router sets: req id → group id.
+    router_lookups: HashMap<u64, u64>,
+    rc_gate: TimerGate,
+    /// Spawns served (diagnostics).
+    pub spawns: u64,
+    /// Spawns rejected for authorization failures.
+    pub rejected: u64,
+}
+
+impl DaemonActor {
+    /// New daemon for a host.
+    pub fn new(cfg: DaemonConfig, registry: ProgramRegistry) -> DaemonActor {
+        let rc = RcClient::new(cfg.rc_replicas.clone(), SimDuration::from_millis(250));
+        DaemonActor {
+            cfg,
+            registry,
+            rc,
+            tasks: HashMap::new(),
+            next_task_port: ports::TASK_BASE,
+            next_local_key: 1,
+            routing: HashMap::new(),
+            router_lookups: HashMap::new(),
+            rc_gate: TimerGate::new(),
+            spawns: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Current task count (diagnostics).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn send_msg(&self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &DaemonMsg) {
+        ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
+    }
+
+    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        let done = self.rc.drain_done();
+        for (id, result) in done {
+            let Some(group) = self.router_lookups.remove(&id) else { continue };
+            // §5.4: a router that adds itself "registers itself with
+            // more than half of the other routers for that group" — we
+            // peer with every existing router, both directions.
+            let Some(&mine) = self.routing.get(&group) else { continue };
+            let Ok(reply) = result else { continue };
+            for a in &reply.assertions {
+                if !a.name.starts_with("router:") {
+                    continue;
+                }
+                let Some((h, p)) = a.value.split_once(':') else { continue };
+                let (Ok(h), Ok(p)) = (h.parse::<u32>(), p.parse::<u16>()) else { continue };
+                let other = Endpoint::new(snipe_util::id::HostId(h), p);
+                if other == mine {
+                    continue;
+                }
+                let m1 = McastMsg::Peer { group, router: mine };
+                ctx.send(other, seal(Proto::Mcast, m1.encode()));
+                let m2 = McastMsg::Peer { group, router: other };
+                ctx.send(mine, seal(Proto::Mcast, m2.encode()));
+            }
+        }
+        if let Some(dl) = self.rc.next_deadline() {
+            self.rc_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_RC);
+        }
+    }
+
+    fn publish_host_metadata(&mut self, ctx: &mut Ctx<'_>) {
+        let uri = Uri::host(&self.cfg.hostname);
+        let host = ctx.host();
+        let topo = ctx.topology();
+        let mut asserts = vec![
+            Assertion::new("type", "host"),
+            Assertion::new("arch", self.cfg.arch.clone()),
+            Assertion::new("cpu-factor", format!("{}", topo.host(host).cpu_factor)),
+            Assertion::new("daemon-endpoint", format!("{}:{}", host.0, ports::DAEMON)),
+            Assertion::new("load", format!("{}", self.tasks.len())),
+        ];
+        for iface in &topo.host(host).interfaces {
+            let net = topo.net(iface.net);
+            asserts.push(Assertion::new(
+                format!("interface:{}", net.name),
+                format!("net={};bw={};up={}", iface.net.0, net.medium.bandwidth_bps, iface.up),
+            ));
+        }
+        let now = ctx.now();
+        self.rc.put(now, &uri, asserts);
+        self.flush_rc(ctx);
+    }
+
+    fn authorize(&self, spec: &SpawnSpec) -> Result<(), String> {
+        let Some(trust) = &self.cfg.trust else {
+            return Ok(());
+        };
+        let Some(cred) = &spec.credential else {
+            return Err("spawn requires a credential".into());
+        };
+        let cert = Certificate::decode_from_bytes(cred.clone())
+            .map_err(|e| format!("bad credential: {e}"))?;
+        trust
+            .verify(TrustPurpose::ResourceAuthorization, &cert)
+            .map_err(|e| format!("credential rejected: {e}"))?;
+        // The certificate must name this host (or any-host "*").
+        match cert.claim("allowed-hosts") {
+            Some(hosts) if hosts == "*" || hosts.split(',').any(|h| h == self.cfg.hostname) => Ok(()),
+            Some(_) => Err("credential does not cover this host".into()),
+            None => Err("credential lacks allowed-hosts claim".into()),
+        }
+    }
+
+    fn handle_spawn(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, req_id: u64, spec: SpawnSpec) {
+        if let Err(error) = self.authorize(&spec) {
+            self.rejected += 1;
+            let resp = DaemonMsg::SpawnResp {
+                req_id,
+                ok: false,
+                endpoint: Endpoint::new(ctx.host(), 0),
+                proc_key: 0,
+                error,
+            };
+            self.send_msg(ctx, from, &resp);
+            return;
+        }
+        let proc_key = if spec.fixed_key != 0 {
+            spec.fixed_key
+        } else {
+            let k = ((ctx.host().0 as u64) << 32) | self.next_local_key;
+            self.next_local_key += 1;
+            k
+        };
+        let sctx = crate::registry::SpawnCtx { args: spec.args.clone(), proc_key };
+        let Some(actor) = self.registry.instantiate(&spec.program, &sctx) else {
+            let resp = DaemonMsg::SpawnResp {
+                req_id,
+                ok: false,
+                endpoint: Endpoint::new(ctx.host(), 0),
+                proc_key: 0,
+                error: format!("unknown program {:?}", spec.program),
+            };
+            self.send_msg(ctx, from, &resp);
+            return;
+        };
+        // Find a free task port.
+        let mut port = self.next_task_port;
+        while ctx.is_bound(Endpoint::new(ctx.host(), port)) {
+            port = port.wrapping_add(1).max(ports::TASK_BASE);
+        }
+        self.next_task_port = port.wrapping_add(1).max(ports::TASK_BASE);
+        let ep = ctx.spawn(ctx.host(), port, actor).expect("port checked free");
+        self.spawns += 1;
+        self.tasks.insert(
+            ep.port,
+            TaskInfo { proc_key, state: TaskState::Running, notify: spec.notify.clone() },
+        );
+        // Publish process metadata: "the new process globally visible"
+        // (§5.5).
+        let uri = Uri::process(proc_key);
+        let now = ctx.now();
+        self.rc.put(
+            now,
+            &uri,
+            vec![
+                Assertion::new("type", "process"),
+                Assertion::new("comm-address", format!("{}:{}", ep.host.0, ep.port)),
+                Assertion::new("host", self.cfg.hostname.clone()),
+                Assertion::new("program", spec.program.clone()),
+                Assertion::new("state", "running"),
+            ],
+        );
+        self.flush_rc(ctx);
+        let resp = DaemonMsg::SpawnResp { req_id, ok: true, endpoint: ep, proc_key, error: String::new() };
+        self.send_msg(ctx, from, &resp);
+    }
+
+    fn broadcast_state(&mut self, ctx: &mut Ctx<'_>, port: u16, state: TaskState) {
+        let Some(info) = self.tasks.get_mut(&port) else {
+            return;
+        };
+        info.state = state;
+        let proc_key = info.proc_key;
+        let notify = info.notify.clone();
+        // Update RC process state.
+        let uri = Uri::process(proc_key);
+        let now = ctx.now();
+        self.rc.put(now, &uri, vec![Assertion::new("state", state.as_str().to_string())]);
+        self.flush_rc(ctx);
+        // Fan out to the notify list.
+        for ep in notify {
+            self.send_msg(ctx, ep, &DaemonMsg::TaskEvent { proc_key, state });
+        }
+        if matches!(state, TaskState::Exited | TaskState::Crashed) {
+            self.tasks.remove(&port);
+        }
+    }
+
+    fn elect_router(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, group: u64) {
+        let router_ep = if let Some(&ep) = self.routing.get(&group) {
+            ep
+        } else {
+            // Spawn (or reuse) the router actor on the well-known port.
+            let ep = Endpoint::new(ctx.host(), ports::MCAST_ROUTER);
+            if !ctx.topology().host(ctx.host()).up {
+                return;
+            }
+            let _ = ctx.spawn(ctx.host(), ports::MCAST_ROUTER, Box::new(McastRouterActor::new()));
+            self.routing.insert(group, ep);
+            // Register as a router for the group in RC metadata and peer
+            // with already-registered routers (§5.2.4/§5.4).
+            let uri = Uri::mcast_group_wire(group);
+            let now = ctx.now();
+            self.rc.put(
+                now,
+                &uri,
+                vec![Assertion::new(format!("router:{}:{}", ep.host.0, ep.port), format!("{}:{}", ep.host.0, ep.port))],
+            );
+            // Discover and peer with the routers that beat us here.
+            let lookup = self.rc.get(now, &uri);
+            self.router_lookups.insert(lookup, group);
+            self.flush_rc(ctx);
+            ep
+        };
+        self.send_msg(ctx, from, &DaemonMsg::ElectResp { group, router: router_ep });
+    }
+}
+
+impl Actor for DaemonActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                self.publish_host_metadata(ctx);
+                ctx.set_timer(self.cfg.load_interval, TIMER_LOAD);
+            }
+            Event::HostUp => {
+                // Reboot: tasks died with the host.
+                let ports_list: Vec<u16> = self.tasks.keys().copied().collect();
+                for p in ports_list {
+                    self.broadcast_state(ctx, p, TaskState::Crashed);
+                }
+                self.publish_host_metadata(ctx);
+                ctx.set_timer(self.cfg.load_interval, TIMER_LOAD);
+            }
+            Event::HostDown => {}
+            Event::Timer { token: TIMER_LOAD } => {
+                self.publish_host_metadata(ctx);
+                ctx.set_timer(self.cfg.load_interval, TIMER_LOAD);
+            }
+            Event::Timer { token: TIMER_RC } => {
+                self.rc_gate.fired();
+                self.rc.on_timer(ctx.now());
+                self.flush_rc(ctx);
+            }
+            Event::Timer { .. } => {}
+            Event::Signal { .. } => {}
+            Event::Packet { from, payload } => {
+                let Ok((proto, body)) = open(payload) else {
+                    return;
+                };
+                match proto {
+                    Proto::Raw => {
+                        // Either an RC response or a daemon message.
+                        if let Ok(msg) = DaemonMsg::decode_from_bytes(body.clone()) {
+                            match msg {
+                                DaemonMsg::SpawnReq { req_id, spec } => {
+                                    self.handle_spawn(ctx, from, req_id, spec)
+                                }
+                                DaemonMsg::Kill { port } => {
+                                    let ep = Endpoint::new(ctx.host(), port);
+                                    ctx.kill(ep);
+                                    self.broadcast_state(ctx, port, TaskState::Exited);
+                                }
+                                DaemonMsg::Signal { port, signum } => {
+                                    let ep = Endpoint::new(ctx.host(), port);
+                                    ctx.signal(ep, signum);
+                                }
+                                DaemonMsg::TaskReport { port, state } => {
+                                    if matches!(state, TaskState::Exited) {
+                                        let ep = Endpoint::new(ctx.host(), port);
+                                        ctx.kill(ep);
+                                    }
+                                    self.broadcast_state(ctx, port, state);
+                                }
+                                DaemonMsg::ElectRouter { group } => {
+                                    self.elect_router(ctx, from, group)
+                                }
+                                DaemonMsg::Watch { port, watcher } => {
+                                    if let Some(t) = self.tasks.get_mut(&port) {
+                                        if !t.notify.contains(&watcher) {
+                                            t.notify.push(watcher);
+                                        }
+                                    }
+                                }
+                                DaemonMsg::Detach { port } => {
+                                    let notify = self
+                                        .tasks
+                                        .remove(&port)
+                                        .map(|t| t.notify)
+                                        .unwrap_or_default();
+                                    let resp = DaemonMsg::DetachResp { port, notify };
+                                    self.send_msg(ctx, from, &resp);
+                                }
+                                DaemonMsg::SpawnResp { .. }
+                                | DaemonMsg::TaskEvent { .. }
+                                | DaemonMsg::ElectResp { .. }
+                                | DaemonMsg::DetachResp { .. } => {}
+                            }
+                        } else {
+                            self.rc.on_packet(ctx.now(), from, body);
+                            self.flush_rc(ctx);
+                        }
+                    }
+                    Proto::Mcast => {
+                        // A join/data arriving at the daemon while no
+                        // router exists here: forward to our router if
+                        // we have one for the group.
+                        if let Ok(McastMsg::Data { group, .. } | McastMsg::Join { group, .. }) =
+                            McastMsg::decode(body.clone())
+                        {
+                            if let Some(&r) = self.routing.get(&group) {
+                                ctx.send(r, seal(Proto::Mcast, body));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Daemon control protocol messages.
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::id::HostId;
+
+/// Task lifecycle states the daemon reports (§3.3: "exit, suspend,
+/// checkpoint").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// Running normally.
+    Running,
+    /// Suspended by a resource manager.
+    Suspended,
+    /// Checkpointed (state captured).
+    Checkpointed,
+    /// Exited.
+    Exited,
+    /// Lost to a host crash.
+    Crashed,
+}
+
+impl TaskState {
+    fn tag(self) -> u8 {
+        match self {
+            TaskState::Running => 1,
+            TaskState::Suspended => 2,
+            TaskState::Checkpointed => 3,
+            TaskState::Exited => 4,
+            TaskState::Crashed => 5,
+        }
+    }
+
+    fn from_tag(t: u8) -> SnipeResult<TaskState> {
+        Ok(match t {
+            1 => TaskState::Running,
+            2 => TaskState::Suspended,
+            3 => TaskState::Checkpointed,
+            4 => TaskState::Exited,
+            5 => TaskState::Crashed,
+            o => return Err(SnipeError::Codec(format!("bad task state {o}"))),
+        })
+    }
+
+    /// RC metadata value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskState::Running => "running",
+            TaskState::Suspended => "suspended",
+            TaskState::Checkpointed => "checkpointed",
+            TaskState::Exited => "exited",
+            TaskState::Crashed => "crashed",
+        }
+    }
+}
+
+/// What to run and under which constraints (§5.5: "a specification of
+/// the program to be run and the environment which the program
+/// requires").
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpawnSpec {
+    /// Registered program name.
+    pub program: String,
+    /// Opaque argument bytes handed to the program factory.
+    pub args: Bytes,
+    /// Environment requirements (matched by resource managers):
+    /// minimum CPU factor.
+    pub min_cpu_factor: f64,
+    /// Required architecture tag (empty = any).
+    pub arch: String,
+    /// Endpoints to notify of task state changes (the "notify list").
+    pub notify: Vec<Endpoint>,
+    /// Optional credential (encoded certificate) authorizing the spawn.
+    pub credential: Option<Bytes>,
+    /// Keep this process key instead of assigning a new one (used by
+    /// migration so the logical identity survives the move, §5.6).
+    pub fixed_key: u64,
+}
+
+impl SpawnSpec {
+    /// A spec with no constraints.
+    pub fn program(name: impl Into<String>, args: Bytes) -> SpawnSpec {
+        SpawnSpec {
+            program: name.into(),
+            args,
+            min_cpu_factor: 0.0,
+            arch: String::new(),
+            notify: Vec::new(),
+            credential: None,
+            fixed_key: 0,
+        }
+    }
+}
+
+fn put_endpoint(enc: &mut Encoder, ep: Endpoint) {
+    enc.put_u32(ep.host.0);
+    enc.put_u16(ep.port);
+}
+
+fn get_endpoint(dec: &mut Decoder) -> SnipeResult<Endpoint> {
+    Ok(Endpoint::new(HostId(dec.get_u32()?), dec.get_u16()?))
+}
+
+impl WireEncode for SpawnSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.program);
+        enc.put_bytes(&self.args);
+        enc.put_f64(self.min_cpu_factor);
+        enc.put_str(&self.arch);
+        enc.put_u32(self.notify.len() as u32);
+        for ep in &self.notify {
+            put_endpoint(enc, *ep);
+        }
+        match &self.credential {
+            None => enc.put_bool(false),
+            Some(c) => {
+                enc.put_bool(true);
+                enc.put_bytes(c);
+            }
+        }
+        enc.put_u64(self.fixed_key);
+    }
+}
+
+impl WireDecode for SpawnSpec {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        let program = dec.get_str()?;
+        let args = dec.get_bytes()?;
+        let min_cpu_factor = dec.get_f64()?;
+        let arch = dec.get_str()?;
+        let n = dec.get_u32()? as usize;
+        let mut notify = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            notify.push(get_endpoint(dec)?);
+        }
+        let credential = if dec.get_bool()? { Some(dec.get_bytes()?) } else { None };
+        let fixed_key = dec.get_u64()?;
+        Ok(SpawnSpec { program, args, min_cpu_factor, arch, notify, credential, fixed_key })
+    }
+}
+
+/// Daemon control messages (Raw-sealed datagrams on the daemon port).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DaemonMsg {
+    /// Ask the daemon to start a task.
+    SpawnReq {
+        /// Request id echoed in the reply.
+        req_id: u64,
+        /// What to run.
+        spec: SpawnSpec,
+    },
+    /// Spawn outcome.
+    SpawnResp {
+        /// Echoed id.
+        req_id: u64,
+        /// Success?
+        ok: bool,
+        /// The task's endpoint (valid when ok).
+        endpoint: Endpoint,
+        /// The task's globally unique process key (valid when ok).
+        proc_key: u64,
+        /// Failure reason (when !ok).
+        error: String,
+    },
+    /// Kill a local task by port.
+    Kill {
+        /// Task port on this daemon's host.
+        port: u16,
+    },
+    /// Deliver a signal to a local task.
+    Signal {
+        /// Task port.
+        port: u16,
+        /// Signal number.
+        signum: u32,
+    },
+    /// A local task reports its own state change (exit, checkpoint...).
+    TaskReport {
+        /// Task port.
+        port: u16,
+        /// New state.
+        state: TaskState,
+    },
+    /// Notification fanned out to the notify list.
+    TaskEvent {
+        /// The task's process key.
+        proc_key: u64,
+        /// New state.
+        state: TaskState,
+    },
+    /// Ask the daemon to (maybe) become a multicast router for a group.
+    ElectRouter {
+        /// Group id (hash of the group URN).
+        group: u64,
+    },
+    /// Reply: the router endpoint serving the group on this host.
+    ElectResp {
+        /// Group id.
+        group: u64,
+        /// Router endpoint (this host's router actor).
+        router: Endpoint,
+    },
+    /// Add a watcher to a local task's notify list (§5.2.3).
+    Watch {
+        /// Task port.
+        port: u16,
+        /// Endpoint to notify of state changes.
+        watcher: Endpoint,
+    },
+    /// Remove a task from this daemon's tables without reporting an
+    /// exit — the migration handoff (§5.6). The daemon replies with
+    /// [`DaemonMsg::DetachResp`].
+    Detach {
+        /// Task port.
+        port: u16,
+    },
+    /// Reply to [`DaemonMsg::Detach`]: the task's notify list, to be
+    /// carried to the new host.
+    DetachResp {
+        /// Task port.
+        port: u16,
+        /// The notify list the daemon held.
+        notify: Vec<Endpoint>,
+    },
+}
+
+/// Protocol magic for daemon traffic.
+const MAGIC: u8 = 0xA2;
+
+const T_SPAWN_REQ: u8 = 1;
+const T_SPAWN_RESP: u8 = 2;
+const T_KILL: u8 = 3;
+const T_SIGNAL: u8 = 4;
+const T_TASK_REPORT: u8 = 5;
+const T_TASK_EVENT: u8 = 6;
+const T_ELECT: u8 = 7;
+const T_ELECT_RESP: u8 = 8;
+const T_WATCH: u8 = 9;
+const T_DETACH: u8 = 10;
+const T_DETACH_RESP: u8 = 11;
+
+impl WireEncode for DaemonMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MAGIC);
+        match self {
+            DaemonMsg::SpawnReq { req_id, spec } => {
+                enc.put_u8(T_SPAWN_REQ);
+                enc.put_u64(*req_id);
+                spec.encode(enc);
+            }
+            DaemonMsg::SpawnResp { req_id, ok, endpoint, proc_key, error } => {
+                enc.put_u8(T_SPAWN_RESP);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                put_endpoint(enc, *endpoint);
+                enc.put_u64(*proc_key);
+                enc.put_str(error);
+            }
+            DaemonMsg::Kill { port } => {
+                enc.put_u8(T_KILL);
+                enc.put_u16(*port);
+            }
+            DaemonMsg::Signal { port, signum } => {
+                enc.put_u8(T_SIGNAL);
+                enc.put_u16(*port);
+                enc.put_u32(*signum);
+            }
+            DaemonMsg::TaskReport { port, state } => {
+                enc.put_u8(T_TASK_REPORT);
+                enc.put_u16(*port);
+                enc.put_u8(state.tag());
+            }
+            DaemonMsg::TaskEvent { proc_key, state } => {
+                enc.put_u8(T_TASK_EVENT);
+                enc.put_u64(*proc_key);
+                enc.put_u8(state.tag());
+            }
+            DaemonMsg::ElectRouter { group } => {
+                enc.put_u8(T_ELECT);
+                enc.put_u64(*group);
+            }
+            DaemonMsg::ElectResp { group, router } => {
+                enc.put_u8(T_ELECT_RESP);
+                enc.put_u64(*group);
+                put_endpoint(enc, *router);
+            }
+            DaemonMsg::Watch { port, watcher } => {
+                enc.put_u8(T_WATCH);
+                enc.put_u16(*port);
+                put_endpoint(enc, *watcher);
+            }
+            DaemonMsg::Detach { port } => {
+                enc.put_u8(T_DETACH);
+                enc.put_u16(*port);
+            }
+            DaemonMsg::DetachResp { port, notify } => {
+                enc.put_u8(T_DETACH_RESP);
+                enc.put_u16(*port);
+                enc.put_u32(notify.len() as u32);
+                for ep in notify {
+                    put_endpoint(enc, *ep);
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for DaemonMsg {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        if dec.get_u8()? != MAGIC {
+            return Err(SnipeError::Codec("not a daemon message".into()));
+        }
+        Ok(match dec.get_u8()? {
+            T_SPAWN_REQ => DaemonMsg::SpawnReq { req_id: dec.get_u64()?, spec: SpawnSpec::decode(dec)? },
+            T_SPAWN_RESP => DaemonMsg::SpawnResp {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                endpoint: get_endpoint(dec)?,
+                proc_key: dec.get_u64()?,
+                error: dec.get_str()?,
+            },
+            T_KILL => DaemonMsg::Kill { port: dec.get_u16()? },
+            T_SIGNAL => DaemonMsg::Signal { port: dec.get_u16()?, signum: dec.get_u32()? },
+            T_TASK_REPORT => DaemonMsg::TaskReport {
+                port: dec.get_u16()?,
+                state: TaskState::from_tag(dec.get_u8()?)?,
+            },
+            T_TASK_EVENT => DaemonMsg::TaskEvent {
+                proc_key: dec.get_u64()?,
+                state: TaskState::from_tag(dec.get_u8()?)?,
+            },
+            T_ELECT => DaemonMsg::ElectRouter { group: dec.get_u64()? },
+            T_ELECT_RESP => DaemonMsg::ElectResp { group: dec.get_u64()?, router: get_endpoint(dec)? },
+            T_WATCH => DaemonMsg::Watch { port: dec.get_u16()?, watcher: get_endpoint(dec)? },
+            T_DETACH => DaemonMsg::Detach { port: dec.get_u16()? },
+            T_DETACH_RESP => {
+                let port = dec.get_u16()?;
+                let n = dec.get_u32()? as usize;
+                let mut notify = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    notify.push(get_endpoint(dec)?);
+                }
+                DaemonMsg::DetachResp { port, notify }
+            }
+            t => return Err(SnipeError::Codec(format!("unknown daemon tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_round_trip() {
+        let spec = SpawnSpec {
+            program: "worker".into(),
+            args: Bytes::from_static(b"a"),
+            min_cpu_factor: 1.5,
+            arch: "sparc".into(),
+            notify: vec![Endpoint::new(HostId(1), 2)],
+            credential: Some(Bytes::from_static(b"cert")),
+            fixed_key: 42,
+        };
+        let msgs = vec![
+            DaemonMsg::SpawnReq { req_id: 1, spec },
+            DaemonMsg::SpawnResp {
+                req_id: 1,
+                ok: true,
+                endpoint: Endpoint::new(HostId(3), 100),
+                proc_key: 77,
+                error: String::new(),
+            },
+            DaemonMsg::Kill { port: 100 },
+            DaemonMsg::Signal { port: 100, signum: 15 },
+            DaemonMsg::TaskReport { port: 100, state: TaskState::Checkpointed },
+            DaemonMsg::TaskEvent { proc_key: 7, state: TaskState::Exited },
+            DaemonMsg::ElectRouter { group: 5 },
+            DaemonMsg::ElectResp { group: 5, router: Endpoint::new(HostId(0), 5) },
+            DaemonMsg::Watch { port: 100, watcher: Endpoint::new(HostId(2), 3) },
+            DaemonMsg::Detach { port: 100 },
+            DaemonMsg::DetachResp { port: 100, notify: vec![Endpoint::new(HostId(2), 3)] },
+        ];
+        for m in msgs {
+            assert_eq!(DaemonMsg::decode_from_bytes(m.encode_to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn task_state_strings() {
+        assert_eq!(TaskState::Running.as_str(), "running");
+        assert_eq!(TaskState::Crashed.as_str(), "crashed");
+    }
+
+    #[test]
+    fn bad_state_tag_rejected() {
+        assert!(TaskState::from_tag(99).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! The program registry: what a daemon can spawn.
+//!
+//! The 1997 daemon exec'd program images from disk (or mobile code via
+//! a playground). In the simulator a "program image" is a factory
+//! closure producing an [`Actor`] from its argument bytes. The registry
+//! is shared by all daemons of one world — the moral equivalent of a
+//! shared filesystem of binaries.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use snipe_netsim::actor::Actor;
+
+/// Everything a program factory learns at spawn time.
+#[derive(Clone, Debug)]
+pub struct SpawnCtx {
+    /// Opaque argument bytes from the spawn request.
+    pub args: Bytes,
+    /// The globally unique process key the daemon assigned (or the
+    /// fixed key a migrating process carried with it).
+    pub proc_key: u64,
+}
+
+/// Factory signature: spawn context → a fresh process actor.
+pub type ProgramFactory = Box<dyn Fn(&SpawnCtx) -> Box<dyn Actor>>;
+
+/// A shared, name-indexed collection of spawnable programs.
+#[derive(Clone, Default)]
+pub struct ProgramRegistry {
+    inner: Rc<RefCell<HashMap<String, Rc<ProgramFactory>>>>,
+}
+
+impl ProgramRegistry {
+    /// Empty registry.
+    pub fn new() -> ProgramRegistry {
+        ProgramRegistry::default()
+    }
+
+    /// Register a program under a name (overwrites).
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        factory: impl Fn(&SpawnCtx) -> Box<dyn Actor> + 'static,
+    ) {
+        self.inner.borrow_mut().insert(name.into(), Rc::new(Box::new(factory)));
+    }
+
+    /// Instantiate a program, or `None` if unknown.
+    pub fn instantiate(&self, name: &str, ctx: &SpawnCtx) -> Option<Box<dyn Actor>> {
+        let f = self.inner.borrow().get(name).cloned()?;
+        Some(f(ctx))
+    }
+
+    /// Is a program registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.borrow().contains_key(name)
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if no programs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_netsim::actor::{Ctx, Event};
+
+    struct Nop;
+    impl Actor for Nop {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: Event) {}
+    }
+
+    #[test]
+    fn register_and_instantiate() {
+        let r = ProgramRegistry::new();
+        assert!(r.is_empty());
+        r.register("nop", |_| Box::new(Nop));
+        assert!(r.contains("nop"));
+        assert_eq!(r.len(), 1);
+        let sctx = SpawnCtx { args: Bytes::new(), proc_key: 1 };
+        assert!(r.instantiate("nop", &sctx).is_some());
+        assert!(r.instantiate("missing", &sctx).is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = ProgramRegistry::new();
+        let r2 = r.clone();
+        r.register("nop", |_| Box::new(Nop));
+        assert!(r2.contains("nop"));
+    }
+}

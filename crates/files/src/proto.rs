@@ -1,0 +1,287 @@
+//! File service protocol messages.
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::id::HostId;
+
+/// Protocol magic for file traffic.
+const MAGIC: u8 = 0xA4;
+
+fn put_ep(enc: &mut Encoder, ep: Endpoint) {
+    enc.put_u32(ep.host.0);
+    enc.put_u16(ep.port);
+}
+
+fn get_ep(dec: &mut Decoder) -> SnipeResult<Endpoint> {
+    Ok(Endpoint::new(HostId(dec.get_u32()?), dec.get_u16()?))
+}
+
+/// File service wire messages (Raw-sealed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FileMsg {
+    /// Spawn a file sink for writing `lifn` (§5.9).
+    OpenSink {
+        /// Echoed id.
+        req_id: u64,
+        /// File name.
+        lifn: String,
+    },
+    /// Sink ready at `sink`.
+    SinkOpened {
+        /// Echoed id.
+        req_id: u64,
+        /// Where to send [`FileMsg::Append`] messages.
+        sink: Endpoint,
+    },
+    /// Append a chunk to a sink.
+    Append {
+        /// Chunk bytes.
+        data: Bytes,
+    },
+    /// Finish a sink; the file becomes readable and replicable.
+    CloseSink,
+    /// Sink → server (loopback): store the assembled file.
+    StoreLocal {
+        /// File name.
+        lifn: String,
+        /// Full content.
+        content: Bytes,
+    },
+    /// Spawn a file source streaming `lifn` to `dest` (§5.9).
+    OpenSource {
+        /// Echoed id.
+        req_id: u64,
+        /// File name.
+        lifn: String,
+        /// Destination for the stream.
+        dest: Endpoint,
+    },
+    /// One streamed chunk from a source.
+    SourceData {
+        /// File name.
+        lifn: String,
+        /// Chunk index.
+        seq: u32,
+        /// Chunk bytes.
+        data: Bytes,
+        /// Last chunk?
+        last: bool,
+    },
+    /// Whole-file read (checkpoints, mobile code images).
+    ReadReq {
+        /// Echoed id.
+        req_id: u64,
+        /// File name.
+        lifn: String,
+    },
+    /// Read outcome.
+    ReadResp {
+        /// Echoed id.
+        req_id: u64,
+        /// Found?
+        ok: bool,
+        /// Content (when ok).
+        content: Bytes,
+        /// SHA-256 of content (when ok).
+        hash: Bytes,
+    },
+    /// Whole-file write.
+    StoreReq {
+        /// Echoed id.
+        req_id: u64,
+        /// File name.
+        lifn: String,
+        /// Content.
+        content: Bytes,
+    },
+    /// Write outcome.
+    StoreResp {
+        /// Echoed id.
+        req_id: u64,
+        /// Stored?
+        ok: bool,
+    },
+    /// Replication daemon push to a peer server.
+    ReplicaPush {
+        /// File name.
+        lifn: String,
+        /// Content.
+        content: Bytes,
+        /// Expected SHA-256 (integrity check, §2.1).
+        hash: Bytes,
+    },
+    /// Peer acknowledges holding a replica.
+    ReplicaAck {
+        /// File name.
+        lifn: String,
+    },
+}
+
+const T_OPEN_SINK: u8 = 1;
+const T_SINK_OPENED: u8 = 2;
+const T_APPEND: u8 = 3;
+const T_CLOSE_SINK: u8 = 4;
+const T_STORE_LOCAL: u8 = 5;
+const T_OPEN_SOURCE: u8 = 6;
+const T_SOURCE_DATA: u8 = 7;
+const T_READ_REQ: u8 = 8;
+const T_READ_RESP: u8 = 9;
+const T_STORE_REQ: u8 = 10;
+const T_STORE_RESP: u8 = 11;
+const T_REPLICA_PUSH: u8 = 12;
+const T_REPLICA_ACK: u8 = 13;
+
+impl WireEncode for FileMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MAGIC);
+        match self {
+            FileMsg::OpenSink { req_id, lifn } => {
+                enc.put_u8(T_OPEN_SINK);
+                enc.put_u64(*req_id);
+                enc.put_str(lifn);
+            }
+            FileMsg::SinkOpened { req_id, sink } => {
+                enc.put_u8(T_SINK_OPENED);
+                enc.put_u64(*req_id);
+                put_ep(enc, *sink);
+            }
+            FileMsg::Append { data } => {
+                enc.put_u8(T_APPEND);
+                enc.put_bytes(data);
+            }
+            FileMsg::CloseSink => enc.put_u8(T_CLOSE_SINK),
+            FileMsg::StoreLocal { lifn, content } => {
+                enc.put_u8(T_STORE_LOCAL);
+                enc.put_str(lifn);
+                enc.put_bytes(content);
+            }
+            FileMsg::OpenSource { req_id, lifn, dest } => {
+                enc.put_u8(T_OPEN_SOURCE);
+                enc.put_u64(*req_id);
+                enc.put_str(lifn);
+                put_ep(enc, *dest);
+            }
+            FileMsg::SourceData { lifn, seq, data, last } => {
+                enc.put_u8(T_SOURCE_DATA);
+                enc.put_str(lifn);
+                enc.put_u32(*seq);
+                enc.put_bytes(data);
+                enc.put_bool(*last);
+            }
+            FileMsg::ReadReq { req_id, lifn } => {
+                enc.put_u8(T_READ_REQ);
+                enc.put_u64(*req_id);
+                enc.put_str(lifn);
+            }
+            FileMsg::ReadResp { req_id, ok, content, hash } => {
+                enc.put_u8(T_READ_RESP);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                enc.put_bytes(content);
+                enc.put_bytes(hash);
+            }
+            FileMsg::StoreReq { req_id, lifn, content } => {
+                enc.put_u8(T_STORE_REQ);
+                enc.put_u64(*req_id);
+                enc.put_str(lifn);
+                enc.put_bytes(content);
+            }
+            FileMsg::StoreResp { req_id, ok } => {
+                enc.put_u8(T_STORE_RESP);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+            }
+            FileMsg::ReplicaPush { lifn, content, hash } => {
+                enc.put_u8(T_REPLICA_PUSH);
+                enc.put_str(lifn);
+                enc.put_bytes(content);
+                enc.put_bytes(hash);
+            }
+            FileMsg::ReplicaAck { lifn } => {
+                enc.put_u8(T_REPLICA_ACK);
+                enc.put_str(lifn);
+            }
+        }
+    }
+}
+
+impl WireDecode for FileMsg {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        if dec.get_u8()? != MAGIC {
+            return Err(SnipeError::Codec("not a file message".into()));
+        }
+        Ok(match dec.get_u8()? {
+            T_OPEN_SINK => FileMsg::OpenSink { req_id: dec.get_u64()?, lifn: dec.get_str()? },
+            T_SINK_OPENED => FileMsg::SinkOpened { req_id: dec.get_u64()?, sink: get_ep(dec)? },
+            T_APPEND => FileMsg::Append { data: dec.get_bytes()? },
+            T_CLOSE_SINK => FileMsg::CloseSink,
+            T_STORE_LOCAL => FileMsg::StoreLocal { lifn: dec.get_str()?, content: dec.get_bytes()? },
+            T_OPEN_SOURCE => FileMsg::OpenSource {
+                req_id: dec.get_u64()?,
+                lifn: dec.get_str()?,
+                dest: get_ep(dec)?,
+            },
+            T_SOURCE_DATA => FileMsg::SourceData {
+                lifn: dec.get_str()?,
+                seq: dec.get_u32()?,
+                data: dec.get_bytes()?,
+                last: dec.get_bool()?,
+            },
+            T_READ_REQ => FileMsg::ReadReq { req_id: dec.get_u64()?, lifn: dec.get_str()? },
+            T_READ_RESP => FileMsg::ReadResp {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                content: dec.get_bytes()?,
+                hash: dec.get_bytes()?,
+            },
+            T_STORE_REQ => FileMsg::StoreReq {
+                req_id: dec.get_u64()?,
+                lifn: dec.get_str()?,
+                content: dec.get_bytes()?,
+            },
+            T_STORE_RESP => FileMsg::StoreResp { req_id: dec.get_u64()?, ok: dec.get_bool()? },
+            T_REPLICA_PUSH => FileMsg::ReplicaPush {
+                lifn: dec.get_str()?,
+                content: dec.get_bytes()?,
+                hash: dec.get_bytes()?,
+            },
+            T_REPLICA_ACK => FileMsg::ReplicaAck { lifn: dec.get_str()? },
+            t => return Err(SnipeError::Codec(format!("unknown file tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_round_trip() {
+        let msgs = vec![
+            FileMsg::OpenSink { req_id: 1, lifn: "lifn:snipe:file:x".into() },
+            FileMsg::SinkOpened { req_id: 1, sink: Endpoint::new(HostId(1), 200) },
+            FileMsg::Append { data: Bytes::from_static(b"chunk") },
+            FileMsg::CloseSink,
+            FileMsg::StoreLocal { lifn: "l".into(), content: Bytes::from_static(b"c") },
+            FileMsg::OpenSource { req_id: 2, lifn: "l".into(), dest: Endpoint::new(HostId(2), 3) },
+            FileMsg::SourceData { lifn: "l".into(), seq: 0, data: Bytes::from_static(b"d"), last: true },
+            FileMsg::ReadReq { req_id: 3, lifn: "l".into() },
+            FileMsg::ReadResp { req_id: 3, ok: true, content: Bytes::from_static(b"c"), hash: Bytes::from_static(&[0; 32]) },
+            FileMsg::StoreReq { req_id: 4, lifn: "l".into(), content: Bytes::from_static(b"c") },
+            FileMsg::StoreResp { req_id: 4, ok: true },
+            FileMsg::ReplicaPush { lifn: "l".into(), content: Bytes::from_static(b"c"), hash: Bytes::from_static(&[1; 32]) },
+            FileMsg::ReplicaAck { lifn: "l".into() },
+        ];
+        for m in msgs {
+            assert_eq!(FileMsg::decode_from_bytes(m.encode_to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(FileMsg::decode_from_bytes(Bytes::from_static(&[0xA1, 1])).is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! The file server actor with its replication daemon.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use snipe_crypto::sha256::sha256;
+use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::topology::Endpoint;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::uri::Uri;
+use snipe_util::codec::{WireDecode, WireEncode};
+use snipe_util::time::SimDuration;
+use snipe_wire::frame::{seal, Proto};
+use snipe_wire::stack::{endpoint_key, Incoming, StackConfig, WireStack};
+use snipe_wire::Out;
+
+use crate::proto::FileMsg;
+use crate::sink::{FileSinkActor, FileSourceActor};
+
+const TIMER_REPLICATE: u64 = 1;
+const TIMER_RC: u64 = 2;
+const TIMER_STACK: u64 = 3;
+
+/// File server configuration.
+#[derive(Clone)]
+pub struct FileServerConfig {
+    /// Name used in replica-location metadata.
+    pub name: String,
+    /// RC replicas for location registration.
+    pub rc_replicas: Vec<Endpoint>,
+    /// Peer file servers to replicate to.
+    pub peers: Vec<Endpoint>,
+    /// Desired replica count per file ("redundancy requirements", §3.2).
+    pub replication_factor: usize,
+    /// Replication daemon tick.
+    pub replicate_interval: SimDuration,
+}
+
+impl FileServerConfig {
+    /// Defaults for a named server.
+    pub fn new(name: impl Into<String>, rc_replicas: Vec<Endpoint>, peers: Vec<Endpoint>) -> Self {
+        FileServerConfig {
+            name: name.into(),
+            rc_replicas,
+            peers,
+            replication_factor: 2,
+            replicate_interval: SimDuration::from_millis(500),
+        }
+    }
+}
+
+struct Stored {
+    content: Bytes,
+    hash: [u8; 32],
+    /// Peers known to hold a replica (including via acks).
+    replicas: usize,
+}
+
+/// The file server actor (listens on `snipe_wire::ports::FILE_SERVER`).
+///
+/// File operations ride the normal SNIPE reliable message layer
+/// (SRUDP via [`WireStack`]) — exactly as §5.9 specifies: files are
+/// read and written "using the normal message passing routines used to
+/// send messages between processes". Only sink/source chunk traffic
+/// (already MTU-sized) and RC lookups stay on raw datagrams.
+pub struct FileServerActor {
+    cfg: FileServerConfig,
+    rc: RcClient,
+    stack: Option<WireStack>,
+    stack_gate: TimerGate,
+    rc_gate: TimerGate,
+    files: HashMap<String, Stored>,
+    /// Integrity rejections observed (diagnostics).
+    pub rejected_pushes: u64,
+}
+
+impl FileServerActor {
+    /// New server.
+    pub fn new(cfg: FileServerConfig) -> FileServerActor {
+        let rc = RcClient::new(cfg.rc_replicas.clone(), SimDuration::from_millis(250));
+        FileServerActor { cfg, rc, stack: None, stack_gate: TimerGate::new(), rc_gate: TimerGate::new(), files: HashMap::new(), rejected_pushes: 0 }
+    }
+
+    fn flush_stack(&mut self, ctx: &mut Ctx<'_>) -> Vec<(u64, Endpoint, FileMsg)> {
+        let mut delivered = Vec::new();
+        let Some(stack) = self.stack.as_mut() else { return delivered };
+        for o in stack.drain() {
+            match o {
+                Out::Send { to, via, bytes } => match via {
+                    Some(n) => ctx.send_via(to, bytes, n),
+                    None => ctx.send(to, bytes),
+                },
+                Out::Deliver { from_key, from_ep, msg } => {
+                    if let Ok(m) = FileMsg::decode_from_bytes(msg) {
+                        delivered.push((from_key, from_ep, m));
+                    }
+                }
+                Out::Wake { .. } => {}
+            }
+        }
+        let deadline = stack.next_deadline();
+        if let Some(dl) = deadline {
+            self.stack_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
+        }
+        delivered
+    }
+
+    fn reliable_send(&mut self, ctx: &mut Ctx<'_>, to_key: u64, msg: &FileMsg) {
+        let now = ctx.now();
+        if let Some(stack) = self.stack.as_mut() {
+            stack.send(now, to_key, msg.encode_to_bytes());
+        }
+        let _ = self.flush_stack(ctx);
+    }
+
+    /// Number of files held.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Does this server hold `lifn`?
+    pub fn holds(&self, lifn: &str) -> bool {
+        self.files.contains_key(lifn)
+    }
+
+    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        self.rc.drain_done();
+        if let Some(dl) = self.rc.next_deadline() {
+            self.rc_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_RC);
+        }
+    }
+
+    fn register_replica(&mut self, ctx: &mut Ctx<'_>, lifn: &str, hash: &[u8]) {
+        // Name-to-location binding in RC (§3.2): one attribute per
+        // replica location, plus the integrity hash.
+        let Ok(uri) = Uri::parse(lifn.to_string()) else { return };
+        let me = ctx.me();
+        let now = ctx.now();
+        self.rc.put(
+            now,
+            &uri,
+            vec![
+                Assertion::new(format!("replica:{}", self.cfg.name), format!("{}:{}", me.host.0, me.port)),
+                Assertion::new("sha256", snipe_crypto::sha256::hex(hash)),
+                Assertion::new("type", "file"),
+            ],
+        );
+        self.flush_rc(ctx);
+    }
+
+    fn store(&mut self, ctx: &mut Ctx<'_>, lifn: String, content: Bytes) {
+        let hash = sha256(&content);
+        self.files.insert(lifn.clone(), Stored { content, hash, replicas: 1 });
+        self.register_replica(ctx, &lifn, &hash);
+    }
+
+    fn replicate_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.cfg.peers.is_empty() {
+            // Push under-replicated files to the first peers in the
+            // (deterministic) peer order; acks raise the replica count.
+            let mut pushes: Vec<(u64, FileMsg)> = Vec::new();
+            let mut names: Vec<&String> = self
+                .files
+                .iter()
+                .filter(|(_, s)| s.replicas < self.cfg.replication_factor)
+                .map(|(n, _)| n)
+                .collect();
+            names.sort();
+            for name in names {
+                let s = &self.files[name];
+                let needed = self.cfg.replication_factor - s.replicas;
+                for &peer in self.cfg.peers.iter().take(needed) {
+                    pushes.push((
+                        endpoint_key(peer),
+                        FileMsg::ReplicaPush {
+                            lifn: name.clone(),
+                            content: s.content.clone(),
+                            hash: Bytes::copy_from_slice(&s.hash),
+                        },
+                    ));
+                }
+            }
+            for (key, msg) in pushes {
+                self.reliable_send(ctx, key, &msg);
+            }
+        }
+        ctx.set_timer(self.cfg.replicate_interval, TIMER_REPLICATE);
+    }
+}
+
+impl Actor for FileServerActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::HostUp => {
+                if self.stack.is_none() {
+                    let me = ctx.me();
+                    let mut stack = WireStack::new(endpoint_key(me), StackConfig::default());
+                    for &peer in &self.cfg.peers {
+                        stack.set_peer(endpoint_key(peer), peer, vec![]);
+                    }
+                    self.stack = Some(stack);
+                }
+                ctx.set_timer(self.cfg.replicate_interval, TIMER_REPLICATE);
+            }
+            Event::HostDown => {}
+            Event::Timer { token: TIMER_REPLICATE } => self.replicate_tick(ctx),
+            Event::Timer { token: TIMER_RC } => {
+                self.rc_gate.fired();
+                self.rc.on_timer(ctx.now());
+                self.flush_rc(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } => {
+                self.stack_gate.fired();
+                let now = ctx.now();
+                if let Some(stack) = self.stack.as_mut() {
+                    stack.on_timer(now);
+                }
+                let delivered = self.flush_stack(ctx);
+                for (from_key, from_ep, msg) in delivered {
+                    self.handle_file_msg(ctx, from_key, from_ep, msg);
+                }
+            }
+            Event::Timer { .. } | Event::Signal { .. } => {}
+            Event::Packet { from, payload } => {
+                // StoreLocal from our own sinks arrives as a raw-sealed
+                // loopback datagram; everything else goes through the
+                // reliable stack (SRUDP) or is an RC response.
+                let now = ctx.now();
+                let incoming = match self.stack.as_mut() {
+                    Some(stack) => match stack.on_datagram(now, from, payload) {
+                        Ok(i) => i,
+                        Err(_) => None,
+                    },
+                    None => None,
+                };
+                match incoming {
+                    Some(Incoming::Raw { from, msg }) => {
+                        if let Ok(fmsg) = FileMsg::decode_from_bytes(msg.clone()) {
+                            self.handle_raw_file_msg(ctx, from, fmsg);
+                        } else {
+                            self.rc.on_packet(now, from, msg);
+                            self.flush_rc(ctx);
+                        }
+                    }
+                    _ => {}
+                }
+                let delivered = self.flush_stack(ctx);
+                for (from_key, from_ep, msg) in delivered {
+                    self.handle_file_msg(ctx, from_key, from_ep, msg);
+                }
+            }
+        }
+    }
+}
+
+impl FileServerActor {
+    /// Raw-path messages: sink StoreLocal (loopback) only.
+    fn handle_raw_file_msg(&mut self, ctx: &mut Ctx<'_>, _from: Endpoint, msg: FileMsg) {
+        if let FileMsg::StoreLocal { lifn, content } = msg {
+            self.store(ctx, lifn, content);
+        }
+    }
+
+    /// Reliable-path file operations.
+    fn handle_file_msg(&mut self, ctx: &mut Ctx<'_>, from_key: u64, _from_ep: Endpoint, msg: FileMsg) {
+        match msg {
+            FileMsg::OpenSink { req_id, lifn } => {
+                let me = ctx.me();
+                let port = ctx.alloc_port(ctx.host());
+                let sink = FileSinkActor::new(lifn, me);
+                if let Some(ep) = ctx.spawn(ctx.host(), port, Box::new(sink)) {
+                    let resp = FileMsg::SinkOpened { req_id, sink: ep };
+                    self.reliable_send(ctx, from_key, &resp);
+                }
+            }
+            FileMsg::OpenSource { req_id, lifn, dest } => {
+                let _ = req_id;
+                let ok = if let Some(s) = self.files.get(&lifn) {
+                    let port = ctx.alloc_port(ctx.host());
+                    let src = FileSourceActor::new(lifn.clone(), s.content.clone(), dest);
+                    ctx.spawn(ctx.host(), port, Box::new(src)).is_some()
+                } else {
+                    false
+                };
+                if !ok {
+                    // Report not-found via an empty last chunk.
+                    let msg = FileMsg::SourceData { lifn, seq: 0, data: Bytes::new(), last: true };
+                    ctx.send(dest, seal(Proto::Raw, msg.encode_to_bytes()));
+                }
+            }
+            FileMsg::ReadReq { req_id, lifn } => {
+                let resp = match self.files.get(&lifn) {
+                    Some(s) => FileMsg::ReadResp {
+                        req_id,
+                        ok: true,
+                        content: s.content.clone(),
+                        hash: Bytes::copy_from_slice(&s.hash),
+                    },
+                    None => FileMsg::ReadResp {
+                        req_id,
+                        ok: false,
+                        content: Bytes::new(),
+                        hash: Bytes::new(),
+                    },
+                };
+                self.reliable_send(ctx, from_key, &resp);
+            }
+            FileMsg::StoreReq { req_id, lifn, content } => {
+                self.store(ctx, lifn, content);
+                let resp = FileMsg::StoreResp { req_id, ok: true };
+                self.reliable_send(ctx, from_key, &resp);
+            }
+            FileMsg::ReplicaPush { lifn, content, hash } => {
+                // Verify integrity before accepting (§2.1).
+                let computed = sha256(&content);
+                if computed[..] != hash[..] {
+                    self.rejected_pushes += 1;
+                    return;
+                }
+                if !self.files.contains_key(&lifn) {
+                    self.store(ctx, lifn.clone(), content);
+                }
+                let ack = FileMsg::ReplicaAck { lifn };
+                self.reliable_send(ctx, from_key, &ack);
+            }
+            FileMsg::ReplicaAck { lifn } => {
+                if let Some(s) = self.files.get_mut(&lifn) {
+                    s.replicas = (s.replicas + 1).min(self.cfg.replication_factor);
+                }
+            }
+            FileMsg::StoreLocal { .. }
+            | FileMsg::SinkOpened { .. }
+            | FileMsg::Append { .. }
+            | FileMsg::CloseSink
+            | FileMsg::SourceData { .. }
+            | FileMsg::ReadResp { .. }
+            | FileMsg::StoreResp { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Integration: file servers over the simulator — sink/source
+//! processes, replication with integrity, and checkpoint-style
+//! store/read. File operations ride the reliable SRUDP stack exactly as
+//! the clients in `snipe-core` do (§5.9).
+
+use bytes::Bytes;
+use snipe_files::proto::FileMsg;
+use snipe_files::{FileServerActor, FileServerConfig};
+use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::medium::Medium;
+use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::world::World;
+use snipe_rcds::server::RcServerActor;
+use snipe_util::codec::{WireDecode, WireEncode};
+use snipe_util::time::SimDuration;
+use snipe_wire::frame::{seal, Proto};
+use snipe_wire::ports;
+use snipe_wire::stack::{endpoint_key, Incoming, StackConfig, WireStack};
+use snipe_wire::Out;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What the driver does at each script step.
+enum Step {
+    /// Reliable FileMsg to a server endpoint.
+    Reliable(Endpoint, FileMsg),
+    /// Raw FileMsg datagram (sink append/close traffic).
+    Raw(Endpoint, FileMsg),
+}
+
+/// Test driver speaking the reliable stack, logging every FileMsg that
+/// arrives either reliably or raw.
+struct StackDriver {
+    stack: Option<WireStack>,
+    script: Vec<(SimDuration, Step)>,
+    log: Rc<RefCell<Vec<FileMsg>>>,
+}
+
+const TIMER_SCRIPT: u64 = 1;
+const TIMER_STACK: u64 = 2;
+
+impl StackDriver {
+    fn new(script: Vec<(SimDuration, Step)>, log: Rc<RefCell<Vec<FileMsg>>>) -> StackDriver {
+        StackDriver { stack: None, script, log }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stack) = self.stack.as_mut() else { return };
+        for o in stack.drain() {
+            match o {
+                Out::Send { to, via, bytes } => match via {
+                    Some(n) => ctx.send_via(to, bytes, n),
+                    None => ctx.send(to, bytes),
+                },
+                Out::Deliver { msg, .. } => {
+                    if let Ok(m) = FileMsg::decode_from_bytes(msg) {
+                        self.log.borrow_mut().push(m);
+                    }
+                }
+                Out::Wake { .. } => {}
+            }
+        }
+        if let Some(dl) = stack.next_deadline() {
+            let delay = dl.saturating_since(ctx.now()) + SimDuration::from_micros(1);
+            ctx.set_timer(delay, TIMER_STACK);
+        }
+    }
+}
+
+impl Actor for StackDriver {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                self.stack = Some(WireStack::new(endpoint_key(me), StackConfig::default()));
+                if !self.script.is_empty() {
+                    ctx.set_timer(self.script[0].0, TIMER_SCRIPT);
+                }
+            }
+            Event::Timer { token: TIMER_SCRIPT } => {
+                let (_, step) = self.script.remove(0);
+                let now = ctx.now();
+                match step {
+                    Step::Reliable(to, msg) => {
+                        let stack = self.stack.as_mut().expect("started");
+                        stack.set_peer(endpoint_key(to), to, vec![]);
+                        stack.send(now, endpoint_key(to), msg.encode_to_bytes());
+                    }
+                    Step::Raw(to, msg) => {
+                        ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
+                    }
+                }
+                if !self.script.is_empty() {
+                    ctx.set_timer(self.script[0].0, TIMER_SCRIPT);
+                }
+                self.flush(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } => {
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                }
+                self.flush(ctx);
+            }
+            Event::Timer { .. } => {}
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                if let Some(stack) = self.stack.as_mut() {
+                    if let Ok(Some(Incoming::Raw { msg, .. })) = stack.on_datagram(now, from, payload) {
+                        if let Ok(m) = FileMsg::decode_from_bytes(msg) {
+                            self.log.borrow_mut().push(m);
+                        }
+                    }
+                }
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build(servers: usize) -> (World, Vec<Endpoint>, snipe_util::id::HostId) {
+    let mut topo = Topology::new();
+    let net = topo.add_network("lan", Medium::ethernet100(), true);
+    let rc_host = topo.add_host(HostCfg::named("rc0"));
+    topo.attach(rc_host, net);
+    let rc_ep = Endpoint::new(rc_host, ports::RC_SERVER);
+    let mut eps = Vec::new();
+    for i in 0..servers {
+        let h = topo.add_host(HostCfg::named(format!("fs{i}")));
+        topo.attach(h, net);
+        eps.push(Endpoint::new(h, ports::FILE_SERVER));
+    }
+    let client = topo.add_host(HostCfg::named("client"));
+    topo.attach(client, net);
+    let mut world = World::new(topo, 3);
+    world.spawn(rc_host, ports::RC_SERVER, Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))));
+    for (i, ep) in eps.iter().enumerate() {
+        let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| e != ep).collect();
+        let cfg = FileServerConfig::new(format!("fs{i}"), vec![rc_ep], peers);
+        world.spawn(ep.host, ep.port, Box::new(FileServerActor::new(cfg)));
+    }
+    (world, eps, client)
+}
+
+#[test]
+fn store_and_read_round_trip_with_hash() {
+    let (mut world, eps, client) = build(1);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let content = Bytes::from(vec![7u8; 5000]);
+    let driver = StackDriver::new(
+        vec![
+            (
+                SimDuration::from_millis(10),
+                Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:data".into(), content: content.clone() }),
+            ),
+            (
+                SimDuration::from_millis(50),
+                Step::Reliable(eps[0], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:data".into() }),
+            ),
+            (
+                SimDuration::from_millis(10),
+                Step::Reliable(eps[0], FileMsg::ReadReq { req_id: 3, lifn: "lifn:snipe:file:missing".into() }),
+            ),
+        ],
+        log.clone(),
+    );
+    world.spawn(client, 40, Box::new(driver));
+    world.run_for(SimDuration::from_secs(2));
+    let log = log.borrow();
+    assert!(log.iter().any(|m| matches!(m, FileMsg::StoreResp { req_id: 1, ok: true })), "{log:?}");
+    let read = log
+        .iter()
+        .find_map(|m| match m {
+            FileMsg::ReadResp { req_id: 2, ok: true, content, hash } => Some((content.clone(), hash.clone())),
+            _ => None,
+        })
+        .expect("read response");
+    assert_eq!(read.0, content);
+    assert_eq!(&read.1[..], &snipe_crypto::sha256::sha256(&content)[..]);
+    assert!(log.iter().any(|m| matches!(m, FileMsg::ReadResp { req_id: 3, ok: false, .. })));
+}
+
+#[test]
+fn sink_accumulates_and_file_becomes_readable() {
+    let (mut world, eps, client) = build(1);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let driver = StackDriver::new(
+        vec![(
+            SimDuration::from_millis(10),
+            Step::Reliable(eps[0], FileMsg::OpenSink { req_id: 1, lifn: "lifn:snipe:file:log".into() }),
+        )],
+        log.clone(),
+    );
+    world.spawn(client, 40, Box::new(driver));
+    world.run_for(SimDuration::from_millis(200));
+    let sink = log
+        .borrow()
+        .iter()
+        .find_map(|m| match m {
+            FileMsg::SinkOpened { req_id: 1, sink } => Some(*sink),
+            _ => None,
+        })
+        .expect("sink opened");
+    let driver2 = StackDriver::new(
+        vec![
+            (SimDuration::from_millis(1), Step::Raw(sink, FileMsg::Append { data: Bytes::from_static(b"hello ") })),
+            (SimDuration::from_millis(1), Step::Raw(sink, FileMsg::Append { data: Bytes::from_static(b"world") })),
+            (SimDuration::from_millis(1), Step::Raw(sink, FileMsg::CloseSink)),
+            (SimDuration::from_millis(50), Step::Reliable(eps[0], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:log".into() })),
+        ],
+        log.clone(),
+    );
+    world.spawn(client, 41, Box::new(driver2));
+    world.run_for(SimDuration::from_secs(2));
+    let log = log.borrow();
+    let read = log
+        .iter()
+        .find_map(|m| match m {
+            FileMsg::ReadResp { req_id: 2, ok: true, content, .. } => Some(content.clone()),
+            _ => None,
+        })
+        .expect("read after sink close");
+    assert_eq!(&read[..], b"hello world");
+    assert!(!world.is_bound(sink), "sink process must exit after close");
+}
+
+#[test]
+fn source_streams_file_to_destination() {
+    let (mut world, eps, client) = build(1);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let content = Bytes::from((0..5000u32).map(|i| (i % 256) as u8).collect::<Vec<u8>>());
+    let dest = Endpoint::new(client, 42);
+    let driver = StackDriver::new(
+        vec![
+            (
+                SimDuration::from_millis(10),
+                Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:big".into(), content: content.clone() }),
+            ),
+            (
+                SimDuration::from_millis(100),
+                Step::Reliable(eps[0], FileMsg::OpenSource { req_id: 2, lifn: "lifn:snipe:file:big".into(), dest }),
+            ),
+        ],
+        log.clone(),
+    );
+    world.spawn(client, 40, Box::new(driver));
+    let recv_log = Rc::new(RefCell::new(Vec::new()));
+    world.spawn(client, 42, Box::new(StackDriver::new(vec![], recv_log.clone())));
+    world.run_for(SimDuration::from_secs(3));
+    let chunks = recv_log.borrow();
+    let mut data = Vec::new();
+    let mut saw_last = false;
+    for m in chunks.iter() {
+        if let FileMsg::SourceData { data: d, last, .. } = m {
+            data.extend_from_slice(d);
+            saw_last |= *last;
+        }
+    }
+    assert!(saw_last, "source must mark the last chunk");
+    assert_eq!(Bytes::from(data), content);
+}
+
+#[test]
+fn replication_daemon_copies_to_peer() {
+    let (mut world, eps, client) = build(3);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let driver = StackDriver::new(
+        vec![(
+            SimDuration::from_millis(10),
+            Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:repl".into(), content: Bytes::from_static(b"replicate me") }),
+        )],
+        log.clone(),
+    );
+    world.spawn(client, 40, Box::new(driver));
+    world.run_for(SimDuration::from_secs(3));
+    let log2 = Rc::new(RefCell::new(Vec::new()));
+    let driver2 = StackDriver::new(
+        vec![(
+            SimDuration::from_millis(1),
+            Step::Reliable(eps[1], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:repl".into() }),
+        )],
+        log2.clone(),
+    );
+    world.spawn(client, 41, Box::new(driver2));
+    world.run_for(SimDuration::from_secs(2));
+    let log2 = log2.borrow();
+    let read = log2.iter().find_map(|m| match m {
+        FileMsg::ReadResp { req_id: 2, ok, content, .. } => Some((*ok, content.clone())),
+        _ => None,
+    });
+    assert_eq!(read, Some((true, Bytes::from_static(b"replicate me"))));
+}
+
+#[test]
+fn replica_survives_origin_server_death() {
+    let (mut world, eps, client) = build(2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let driver = StackDriver::new(
+        vec![(
+            SimDuration::from_millis(10),
+            Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:ckpt".into(), content: Bytes::from_static(b"checkpoint") }),
+        )],
+        log.clone(),
+    );
+    world.spawn(client, 40, Box::new(driver));
+    world.run_for(SimDuration::from_secs(2));
+    world.host_down(eps[0].host);
+    let log2 = Rc::new(RefCell::new(Vec::new()));
+    let driver2 = StackDriver::new(
+        vec![(
+            SimDuration::from_millis(1),
+            Step::Reliable(eps[1], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:ckpt".into() }),
+        )],
+        log2.clone(),
+    );
+    world.spawn(client, 41, Box::new(driver2));
+    world.run_for(SimDuration::from_secs(2));
+    let ok = log2.borrow().iter().any(|m| matches!(m, FileMsg::ReadResp { req_id: 2, ok: true, .. }));
+    assert!(ok, "surviving replica must serve the file");
+}

@@ -1,0 +1,31 @@
+//! # mpi-connect — the paper's §6.1 middleware case study
+//!
+//! PVMPI let "different vendor implementations of MPI-1.1 inter-operate
+//! almost transparently", bridging ranks on different MPPs through PVM.
+//! Because many MPPs could not run a pvmd next to a batch job, "PVMPI
+//! was modified into MPI Connect, a new system based upon PVMPI that
+//! used SNIPE for name resolution and across host communication instead
+//! of utilizing PVM. This system proved easier to maintain (no virtual
+//! machine to disappear) and also offered a slightly higher
+//! point-to-point communication performance."
+//!
+//! This crate reproduces both systems over the same mini-MPI:
+//!
+//! * an [`MpiRank`] application trait with a transport-neutral
+//!   [`MpiApi`];
+//! * [`pvmpi::PvmpiRankActor`] — ranks enrolled in a PVM virtual
+//!   machine, inter-MPP messages routed task → pvmd → pvmd → task;
+//! * [`snipemode::SnipeMpiProcess`] — ranks as SNIPE processes,
+//!   resolved once through RC metadata and then connected directly
+//!   over SRUDP.
+//!
+//! Experiment E2 runs identical ping-pong and bandwidth workloads over
+//! both and compares.
+
+pub mod mpi;
+pub mod pvmpi;
+pub mod snipemode;
+
+pub use mpi::{MpiApi, MpiRank};
+pub use pvmpi::PvmpiRankActor;
+pub use snipemode::SnipeMpiProcess;

@@ -1,0 +1,34 @@
+//! The transport-neutral mini-MPI application model.
+
+use bytes::Bytes;
+
+use snipe_util::time::{SimDuration, SimTime};
+
+/// The API ranks program against; implemented by both the PVMPI and the
+/// MPI Connect adapters. Peers are named by transport-level ids (PVM
+/// tids or SNIPE process keys) distributed out of band, like the
+/// rank-to-id tables both middlewares maintained.
+pub trait MpiApi {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// This rank's transport id.
+    fn my_id(&self) -> u64;
+    /// Reliable message to a peer rank (intra- or inter-MPP).
+    fn send(&mut self, to: u64, data: Bytes);
+    /// Arm a timer.
+    fn set_timer(&mut self, delay: SimDuration, token: u64);
+}
+
+/// An MPI rank program.
+pub trait MpiRank {
+    /// Rank started.
+    fn on_start(&mut self, api: &mut dyn MpiApi);
+    /// Message received.
+    fn on_recv(&mut self, api: &mut dyn MpiApi, from: u64, data: Bytes) {
+        let _ = (api, from, data);
+    }
+    /// Timer fired.
+    fn on_timer(&mut self, api: &mut dyn MpiApi, token: u64) {
+        let _ = (api, token);
+    }
+}

@@ -1,0 +1,63 @@
+//! PVMPI mode: ranks enrolled in PVM, daemon-routed inter-MPP traffic.
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::time::{SimDuration, SimTime};
+
+use pvm_baseline::proto::Tid;
+use pvm_baseline::task::{PvmTask, PvmTaskActor, PvmTaskApi};
+
+use crate::mpi::{MpiApi, MpiRank};
+
+/// Adapter: exposes [`MpiApi`] over the PVM task API.
+struct PvmpiApi<'a, 'b> {
+    inner: &'a mut PvmTaskApi<'b>,
+}
+
+impl MpiApi for PvmpiApi<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn my_id(&self) -> u64 {
+        self.inner.my_tid() as u64
+    }
+    fn send(&mut self, to: u64, data: Bytes) {
+        self.inner.send(to as Tid, data);
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.inner.set_timer(delay, token);
+    }
+}
+
+/// A PVM task hosting an MPI rank.
+struct PvmpiTask {
+    rank: Box<dyn MpiRank>,
+}
+
+impl PvmTask for PvmpiTask {
+    fn on_start(&mut self, api: &mut PvmTaskApi<'_>) {
+        let mut wrapped = PvmpiApi { inner: api };
+        self.rank.on_start(&mut wrapped);
+    }
+    fn on_message(&mut self, api: &mut PvmTaskApi<'_>, from: Tid, msg: Bytes) {
+        let mut wrapped = PvmpiApi { inner: api };
+        self.rank.on_recv(&mut wrapped, from as u64, msg);
+    }
+    fn on_timer(&mut self, api: &mut PvmTaskApi<'_>, token: u64) {
+        let mut wrapped = PvmpiApi { inner: api };
+        self.rank.on_timer(&mut wrapped, token);
+    }
+}
+
+/// Build the actor for a PVMPI-mode rank: enrolled in the virtual
+/// machine at `master`, with all data routed through the pvmds — the
+/// path whose maintenance burden and overhead §6.1 describes.
+pub struct PvmpiRankActor;
+
+impl PvmpiRankActor {
+    /// Construct the rank actor.
+    pub fn build(tid: Tid, master: Endpoint, rank: Box<dyn MpiRank>) -> PvmTaskActor {
+        PvmTaskActor::new(tid, master, Box::new(PvmpiTask { rank })).with_daemon_routing()
+    }
+}

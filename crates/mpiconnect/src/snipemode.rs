@@ -1,0 +1,60 @@
+//! MPI Connect mode: ranks as SNIPE processes.
+//!
+//! "MPI Connect ... used SNIPE for name resolution and across host
+//! communication" (§6.1): a rank resolves its peer's location once
+//! through RC metadata and then talks directly over SRUDP — no pvmd in
+//! the path, no virtual machine to disappear.
+
+use bytes::Bytes;
+
+use snipe_core::{ProcRef, SnipeApi, SnipeProcess};
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::mpi::{MpiApi, MpiRank};
+
+/// Adapter: exposes [`MpiApi`] over the SNIPE client library.
+struct SnipeApiAdapter<'a, 'b, 'c> {
+    inner: &'a mut SnipeApi<'b, 'c>,
+}
+
+impl MpiApi for SnipeApiAdapter<'_, '_, '_> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn my_id(&self) -> u64 {
+        self.inner.my_key()
+    }
+    fn send(&mut self, to: u64, data: Bytes) {
+        self.inner.send(to, data);
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.inner.set_timer(delay, token);
+    }
+}
+
+/// A SNIPE process hosting an MPI rank.
+pub struct SnipeMpiProcess {
+    rank: Box<dyn MpiRank>,
+}
+
+impl SnipeMpiProcess {
+    /// Wrap a rank.
+    pub fn new(rank: Box<dyn MpiRank>) -> SnipeMpiProcess {
+        SnipeMpiProcess { rank }
+    }
+}
+
+impl SnipeProcess for SnipeMpiProcess {
+    fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
+        let mut wrapped = SnipeApiAdapter { inner: api };
+        self.rank.on_start(&mut wrapped);
+    }
+    fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, from: ProcRef, msg: Bytes) {
+        let mut wrapped = SnipeApiAdapter { inner: api };
+        self.rank.on_recv(&mut wrapped, from.key, msg);
+    }
+    fn on_timer(&mut self, api: &mut SnipeApi<'_, '_>, token: u64) {
+        let mut wrapped = SnipeApiAdapter { inner: api };
+        self.rank.on_timer(&mut wrapped, token);
+    }
+}

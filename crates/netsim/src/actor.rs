@@ -1,0 +1,247 @@
+//! The process model: everything that runs on a simulated host —
+//! SNIPE daemons, RC servers, resource managers, file servers,
+//! playgrounds and application tasks — is an [`Actor`].
+//!
+//! Actors are event handlers: the world delivers [`Event`]s and the
+//! actor reacts through its [`Ctx`] (sending packets, setting timers,
+//! spawning further actors). This shape is what makes process
+//! *migration* (paper §5.6) implementable: an actor's entire state is a
+//! value that can be checkpointed, shipped and resumed on another host.
+
+use bytes::Bytes;
+
+use snipe_util::id::HostId;
+use snipe_util::time::SimTime;
+
+use crate::topology::Endpoint;
+
+/// Dense actor handle within one world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u64);
+
+/// Events delivered to actors.
+#[derive(Debug)]
+pub enum Event {
+    /// Delivered once, immediately after spawn.
+    Start,
+    /// A packet arrived.
+    Packet {
+        /// Sender endpoint.
+        from: Endpoint,
+        /// Payload bytes (headers already stripped by the simulator).
+        payload: Bytes,
+    },
+    /// A timer set via [`Ctx::set_timer`] fired.
+    Timer {
+        /// The caller-chosen token identifying which timer.
+        token: u64,
+    },
+    /// The actor's host crashed. State survives (process images on disk
+    /// survive a reboot); actors modelling RAM-only state should reset
+    /// themselves on this event.
+    HostDown,
+    /// The actor's host came back up.
+    HostUp,
+    /// An out-of-band signal (SNIPE daemons deliver signals to local
+    /// tasks, §3.3). The payload is component-defined.
+    Signal {
+        /// Signal number.
+        signum: u32,
+        /// Optional sender.
+        from: Option<Endpoint>,
+    },
+}
+
+/// The trait every simulated process implements.
+pub trait Actor {
+    /// Handle one event. `ctx` exposes the world: current time, packet
+    /// sending, timers, spawning.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event);
+}
+
+/// The world-facing API handed to an actor while it handles an event.
+///
+/// Constructed by [`crate::world::World`]; the lifetime ties it to the
+/// event dispatch so actors cannot stash it.
+pub struct Ctx<'w> {
+    pub(crate) world: &'w mut crate::world::World,
+    pub(crate) me: ActorId,
+    pub(crate) my_endpoint: Endpoint,
+}
+
+impl<'w> Ctx<'w> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// This actor's own endpoint.
+    pub fn me(&self) -> Endpoint {
+        self.my_endpoint
+    }
+
+    /// This actor's host.
+    pub fn host(&self) -> HostId {
+        self.my_endpoint.host
+    }
+
+    /// This actor's id.
+    pub fn actor_id(&self) -> ActorId {
+        self.me
+    }
+
+    /// Send a datagram to `to`. Unreliable: the packet may be lost or
+    /// the destination may be down; reliability lives in `snipe-wire`.
+    ///
+    /// `via` optionally pins the outgoing network (multi-path routing);
+    /// `None` lets the simulator pick per §5.3 (fastest common network,
+    /// else normal IP routing).
+    pub fn send(&mut self, to: Endpoint, payload: Bytes) {
+        self.world.send_packet(self.my_endpoint, to, payload, None);
+    }
+
+    /// Send pinned to a specific network (used by the multi-path layer).
+    pub fn send_via(&mut self, to: Endpoint, payload: Bytes, via: snipe_util::id::NetId) {
+        self.world.send_packet(self.my_endpoint, to, payload, Some(via));
+    }
+
+    /// Schedule a [`Event::Timer`] for this actor after `delay`.
+    pub fn set_timer(&mut self, delay: snipe_util::time::SimDuration, token: u64) {
+        self.world.set_timer(self.me, delay, token);
+    }
+
+    /// Spawn a new actor on `host` at `port`; it receives
+    /// [`Event::Start`] immediately (same timestamp, later in order).
+    ///
+    /// Returns the endpoint, or `None` if the port is taken or host
+    /// unknown.
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn Actor>,
+    ) -> Option<Endpoint> {
+        self.world.spawn(host, port, actor)
+    }
+
+    /// Allocate an unused ephemeral port on a host.
+    pub fn alloc_port(&mut self, host: HostId) -> u16 {
+        self.world.alloc_port(host)
+    }
+
+    /// Is an actor currently bound at `ep`?
+    pub fn is_bound(&self, ep: Endpoint) -> bool {
+        self.world.is_bound(ep)
+    }
+
+    /// Terminate an actor (exit, or kill of a local task).
+    pub fn kill(&mut self, ep: Endpoint) {
+        self.world.kill(ep);
+    }
+
+    /// Deliver a signal to another actor at the same timestamp.
+    pub fn signal(&mut self, to: Endpoint, signum: u32) {
+        self.world.signal(Some(self.my_endpoint), to, signum);
+    }
+
+    /// Deterministic per-world RNG stream.
+    pub fn rng(&mut self) -> &mut snipe_util::rng::Xoshiro256 {
+        self.world.rng()
+    }
+
+    /// Immutable view of the topology (route metadata is public in
+    /// SNIPE: hosts advertise interfaces in RC metadata, §5.2.1).
+    pub fn topology(&self) -> &crate::topology::Topology {
+        self.world.topology()
+    }
+
+    /// Is a host currently up? (Daemons monitor local resources.)
+    pub fn host_up(&self, h: HostId) -> bool {
+        self.world.topology().host(h).up
+    }
+}
+
+/// Deduplicates wake-up timers for one token.
+///
+/// Simulator timers cannot be cancelled, so an actor that re-arms "wake
+/// me at my next protocol deadline" on every event would breed an
+/// ever-growing population of live timers (each firing spawns a new
+/// one). A `TimerGate` arms only when the requested deadline is earlier
+/// than the one already pending; spurious firings are cheap no-ops.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TimerGate {
+    armed_until: Option<SimTime>,
+}
+
+impl TimerGate {
+    /// Fresh gate with nothing armed.
+    pub fn new() -> TimerGate {
+        TimerGate::default()
+    }
+
+    /// Request a wake-up at `deadline` (token `token`); arms a real
+    /// timer only if nothing earlier is already pending.
+    pub fn arm_at(&mut self, ctx: &mut Ctx<'_>, deadline: SimTime, token: u64) {
+        let now = ctx.now();
+        if let Some(armed) = self.armed_until {
+            if armed <= deadline && armed >= now {
+                return; // an earlier (or equal) wake-up is already scheduled
+            }
+        }
+        let delay = deadline.saturating_since(now);
+        ctx.set_timer(delay, token);
+        self.armed_until = Some(deadline);
+    }
+
+    /// Must be called when the gated timer fires, before re-arming.
+    pub fn fired(&mut self) {
+        self.armed_until = None;
+    }
+}
+
+#[cfg(test)]
+mod timer_gate_tests {
+    use super::*;
+    use crate::medium::Medium;
+    use crate::topology::{HostCfg, Topology};
+    use crate::world::World;
+    use snipe_util::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Spammer {
+        gate: TimerGate,
+        fired: Rc<RefCell<u32>>,
+    }
+
+    impl Actor for Spammer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            match event {
+                Event::Start => {
+                    // Request the same deadline many times: one timer.
+                    let dl = ctx.now() + SimDuration::from_millis(10);
+                    for _ in 0..100 {
+                        self.gate.arm_at(ctx, dl, 1);
+                    }
+                }
+                Event::Timer { .. } => {
+                    self.gate.fired();
+                    *self.fired.borrow_mut() += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn gate_collapses_duplicate_arms() {
+        let mut t = Topology::new();
+        let _ = t.add_network("n", Medium::ethernet100(), true);
+        let h = t.add_host(HostCfg::named("h"));
+        let mut w = World::new(t, 1);
+        let fired = Rc::new(RefCell::new(0));
+        w.spawn(h, 5, Box::new(Spammer { gate: TimerGate::new(), fired: fired.clone() }));
+        w.run_until_idle(1000);
+        assert_eq!(*fired.borrow(), 1, "100 arm requests must yield one timer");
+    }
+}

@@ -1,0 +1,107 @@
+//! Failure injection: crash/repair processes for availability studies.
+//!
+//! The paper's §6 claims the replicated testbed "maintained an almost
+//! perfect level of availability" from autumn 1997. Experiments E3/E8
+//! reproduce that statistically: hosts fail and recover following
+//! exponential inter-arrival processes, and we measure the fraction of
+//! operations that still succeed.
+
+use snipe_util::id::HostId;
+use snipe_util::rng::Xoshiro256;
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::world::World;
+
+/// Parameters of a crash/repair renewal process.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureModel {
+    /// Mean time between failures per host.
+    pub mtbf: SimDuration,
+    /// Mean time to repair.
+    pub mttr: SimDuration,
+}
+
+impl FailureModel {
+    /// Steady-state availability of a single host under this model.
+    pub fn single_host_availability(&self) -> f64 {
+        let up = self.mtbf.as_secs_f64();
+        let down = self.mttr.as_secs_f64();
+        up / (up + down)
+    }
+}
+
+/// Pre-computed (deterministic) schedule of crash/repair events for one
+/// host over a horizon.
+pub fn schedule_host_failures(
+    world: &mut World,
+    host: HostId,
+    model: FailureModel,
+    horizon: SimTime,
+    rng: &mut Xoshiro256,
+) {
+    let mut t = SimTime::ZERO;
+    loop {
+        let up_for = SimDuration::from_secs_f64(rng.gen_exp(model.mtbf.as_secs_f64()));
+        t = t + up_for;
+        if t >= horizon {
+            break;
+        }
+        let down_at = t;
+        world.schedule_fn(down_at, move |w| w.host_down(host));
+        let down_for = SimDuration::from_secs_f64(rng.gen_exp(model.mttr.as_secs_f64()));
+        t = t + down_for;
+        if t >= horizon {
+            // Leave it down past the horizon; still schedule recovery so
+            // post-horizon queries find a live system.
+            world.schedule_fn(t, move |w| w.host_up(host));
+            break;
+        }
+        let up_at = t;
+        world.schedule_fn(up_at, move |w| w.host_up(host));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::Medium;
+    use crate::topology::{HostCfg, Topology};
+
+    #[test]
+    fn availability_formula() {
+        let m = FailureModel {
+            mtbf: SimDuration::from_days(10),
+            mttr: SimDuration::from_hours(4),
+        };
+        let a = m.single_host_availability();
+        assert!((a - 0.9836).abs() < 0.001, "availability {a}");
+    }
+
+    #[test]
+    fn schedule_produces_alternating_states() {
+        let mut t = Topology::new();
+        let n = t.add_network("n", Medium::ethernet100(), true);
+        let h = t.add_host(HostCfg::named("h"));
+        t.attach(h, n);
+        let mut w = World::new(t, 1);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let model = FailureModel {
+            mtbf: SimDuration::from_secs(100),
+            mttr: SimDuration::from_secs(10),
+        };
+        let horizon = SimTime::ZERO + SimDuration::from_secs(10_000);
+        schedule_host_failures(&mut w, h, model, horizon, &mut rng);
+        // Sample availability by stepping through the horizon.
+        let mut up_samples = 0u32;
+        let total = 1000u32;
+        for i in 0..total {
+            w.run_until(SimTime::ZERO + SimDuration::from_secs(10) * i as u64);
+            if w.topology().host(h).up {
+                up_samples += 1;
+            }
+        }
+        let frac = up_samples as f64 / total as f64;
+        let expect = model.single_host_availability();
+        assert!((frac - expect).abs() < 0.05, "measured {frac}, expected {expect}");
+    }
+}

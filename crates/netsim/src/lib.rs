@@ -1,0 +1,32 @@
+//! # snipe-netsim — the deterministic testbed substitute
+//!
+//! The SNIPE paper evaluated on real hardware: workstations on 100 Mbit
+//! Ethernet and 155 Mbit ATM at UTK, plus WAN links to Reading and
+//! Wright-Patterson AFB. This crate replaces that testbed with a
+//! discrete-event simulator so that every experiment in `EXPERIMENTS.md`
+//! is reproducible bit-for-bit from a seed:
+//!
+//! * [`medium::Medium`] — calibrated media models (Ethernet 10/100, ATM
+//!   155, Myrinet, WAN) with bandwidth, latency, loss, MTU and framing
+//!   overhead;
+//! * [`topology`] — hosts, interfaces and network segments, including
+//!   multi-homed hosts (the basis of SNIPE's multi-path communication);
+//! * [`world::World`] — the event loop, actor scheduling and packet
+//!   delivery, with link-level serialization so protocols saturate a
+//!   medium realistically (that is what Fig. 1 measures);
+//! * [`actor`] — the process model: SNIPE daemons, RC servers, file
+//!   servers and application tasks are all [`actor::Actor`]s;
+//! * [`fault`] — failure injection: host crash/repair processes, link
+//!   failures and network partitions.
+
+pub mod actor;
+pub mod fault;
+pub mod medium;
+pub mod topology;
+pub mod trace;
+pub mod world;
+
+pub use actor::{Actor, ActorId, Ctx, Event, TimerGate};
+pub use medium::Medium;
+pub use topology::{Endpoint, HostCfg, Topology};
+pub use world::World;

@@ -1,0 +1,210 @@
+//! Calibrated network media models.
+//!
+//! Each model captures what mattered to the paper's Fig. 1: raw signal
+//! rate, per-packet framing overhead, MTU, base propagation latency and
+//! loss. The numbers are taken from the media the paper names (§1, §6:
+//! "wire, optical fiber, terrestrial radio, satellite", performance
+//! figures for "100M-bit ethernet and 155M-bit ATM").
+
+use snipe_util::time::SimDuration;
+
+/// A transmission medium attached to a [`crate::topology::Topology`]
+/// network segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Medium {
+    /// Human-readable name (appears in traces and bench output).
+    pub name: &'static str,
+    /// Signal rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Independent per-packet loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Maximum payload bytes per packet (fragmentation threshold).
+    pub mtu: usize,
+    /// Framing overhead in bytes charged per packet on the wire
+    /// (preamble + headers + trailer/cell tax).
+    pub per_packet_overhead: usize,
+    /// Shared-bus media (classic Ethernet) serialize all hosts on the
+    /// segment through one channel; switched media (ATM, Myrinet) give
+    /// each interface its own full-duplex channel.
+    pub shared_bus: bool,
+}
+
+impl Medium {
+    /// 10BASE-T Ethernet (10 Mbit/s shared bus).
+    pub fn ethernet10() -> Medium {
+        Medium {
+            name: "eth10",
+            bandwidth_bps: 10_000_000,
+            latency: SimDuration::from_micros(100),
+            loss: 0.0,
+            mtu: 1500,
+            per_packet_overhead: 38, // preamble 8 + MAC 18 + IFG 12
+            shared_bus: true,
+        }
+    }
+
+    /// 100BASE-TX Fast Ethernet, as in the paper's Fig. 1.
+    pub fn ethernet100() -> Medium {
+        Medium {
+            name: "eth100",
+            bandwidth_bps: 100_000_000,
+            latency: SimDuration::from_micros(50),
+            loss: 0.0,
+            mtu: 1500,
+            per_packet_overhead: 38,
+            shared_bus: true,
+        }
+    }
+
+    /// 155 Mbit/s OC-3 ATM, as in the paper's Fig. 1. The cell tax
+    /// (5-byte header per 53-byte cell plus AAL5 trailer) is folded
+    /// into an effective ~135 Mbit/s payload rate with per-packet
+    /// AAL5 overhead.
+    pub fn atm155() -> Medium {
+        Medium {
+            name: "atm155",
+            bandwidth_bps: 135_000_000,
+            latency: SimDuration::from_micros(20),
+            loss: 0.0,
+            mtu: 9180, // classical IP over ATM default MTU
+            per_packet_overhead: 48,
+            shared_bus: false,
+        }
+    }
+
+    /// First-generation Myrinet (1.28 Gbit/s, cut-through switched).
+    pub fn myrinet() -> Medium {
+        Medium {
+            name: "myrinet",
+            bandwidth_bps: 1_280_000_000,
+            latency: SimDuration::from_micros(5),
+            loss: 0.0,
+            mtu: 16_384,
+            per_packet_overhead: 16,
+            shared_bus: false,
+        }
+    }
+
+    /// A late-1990s Internet WAN path: T3-class bottleneck, tens of ms
+    /// latency, non-trivial loss.
+    pub fn wan() -> Medium {
+        Medium {
+            name: "wan",
+            bandwidth_bps: 45_000_000,
+            latency: SimDuration::from_millis(35),
+            loss: 0.01,
+            mtu: 1500,
+            per_packet_overhead: 40,
+            shared_bus: false,
+        }
+    }
+
+    /// A lossy WAN variant for the A1 ablation (selective-resend tuning).
+    pub fn wan_lossy(loss: f64) -> Medium {
+        let mut m = Medium::wan();
+        m.name = "wan-lossy";
+        m.loss = loss;
+        m
+    }
+
+    /// Loopback within one host: effectively memory bandwidth.
+    pub fn loopback() -> Medium {
+        Medium {
+            name: "loopback",
+            bandwidth_bps: 8_000_000_000,
+            latency: SimDuration::from_micros(1),
+            loss: 0.0,
+            // Loopback is memory: effectively unlimited datagram size.
+            mtu: 1 << 30,
+            per_packet_overhead: 0,
+            shared_bus: false,
+        }
+    }
+
+    /// Time to clock `payload_len` bytes (plus framing) onto the wire.
+    pub fn tx_time(&self, payload_len: usize) -> SimDuration {
+        let bits = (payload_len + self.per_packet_overhead) as u64 * 8;
+        // ns = bits / (bits/s) * 1e9, computed without overflow for any
+        // realistic packet size.
+        SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+
+    /// The theoretical payload ceiling in bytes/second when sending
+    /// back-to-back packets of `payload_len` bytes — the reference line
+    /// drawn in the Fig. 1 reproduction.
+    pub fn goodput_ceiling(&self, payload_len: usize) -> f64 {
+        let total = (payload_len + self.per_packet_overhead) as f64;
+        self.bandwidth_bps as f64 / 8.0 * (payload_len as f64 / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_scales_linearly() {
+        let m = Medium::ethernet100();
+        let t1 = m.tx_time(1000);
+        let t2 = m.tx_time(2000 + m.per_packet_overhead); // +overhead compensates framing of 1st
+        assert!(t2 > t1);
+        // 1500B at 100Mbit/s ≈ 123 us including overhead
+        let t = m.tx_time(1500);
+        let us = t.as_micros_f64();
+        assert!((us - 123.0).abs() < 2.0, "got {us}us");
+    }
+
+    #[test]
+    fn atm_faster_than_ethernet_for_bulk() {
+        let e = Medium::ethernet100();
+        let a = Medium::atm155();
+        assert!(a.tx_time(9000) < e.tx_time(9000));
+        assert!(a.goodput_ceiling(8192) > e.goodput_ceiling(8192));
+    }
+
+    #[test]
+    fn goodput_ceiling_below_raw_bandwidth() {
+        for m in [Medium::ethernet10(), Medium::ethernet100(), Medium::atm155(), Medium::wan()] {
+            let c = m.goodput_ceiling(1024);
+            assert!(c < m.bandwidth_bps as f64 / 8.0, "{} ceiling {c}", m.name);
+            assert!(c > 0.0);
+        }
+    }
+
+    #[test]
+    fn small_packets_pay_proportionally_more_overhead() {
+        let m = Medium::ethernet100();
+        let small = m.goodput_ceiling(64) / (m.bandwidth_bps as f64 / 8.0);
+        let big = m.goodput_ceiling(1460) / (m.bandwidth_bps as f64 / 8.0);
+        assert!(small < big);
+        assert!(small < 0.7);
+        assert!(big > 0.9);
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let names: Vec<&str> = [
+            Medium::ethernet10(),
+            Medium::ethernet100(),
+            Medium::atm155(),
+            Medium::myrinet(),
+            Medium::wan(),
+            Medium::loopback(),
+        ]
+        .iter()
+        .map(|m| m.name)
+        .collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+
+    #[test]
+    fn lossy_wan_keeps_other_params() {
+        let m = Medium::wan_lossy(0.2);
+        assert_eq!(m.loss, 0.2);
+        assert_eq!(m.bandwidth_bps, Medium::wan().bandwidth_bps);
+    }
+}

@@ -1,0 +1,62 @@
+//! Counters and optional packet tracing.
+
+use std::collections::HashMap;
+
+use snipe_util::id::NetId;
+
+/// Why a packet never arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random loss on the medium.
+    Loss,
+    /// No usable path between the hosts.
+    NoRoute,
+    /// Destination host down at delivery time.
+    HostDown,
+    /// No actor bound to the destination port.
+    NoListener,
+    /// Payload exceeded the path MTU (wire layer should have fragmented).
+    TooBig,
+}
+
+/// Aggregate statistics kept by the world.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Packets handed to `send_packet`.
+    pub sent: u64,
+    /// Packets delivered to an actor.
+    pub delivered: u64,
+    /// Drops by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// Payload bytes carried per network.
+    pub bytes_by_net: HashMap<NetId, u64>,
+    /// Events dispatched in total.
+    pub events: u64,
+}
+
+impl NetStats {
+    /// Total drops across reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Record a drop.
+    pub(crate) fn drop(&mut self, r: DropReason) {
+        *self.drops.entry(r).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_counting() {
+        let mut s = NetStats::default();
+        s.drop(DropReason::Loss);
+        s.drop(DropReason::Loss);
+        s.drop(DropReason::NoRoute);
+        assert_eq!(s.total_drops(), 3);
+        assert_eq!(s.drops[&DropReason::Loss], 2);
+    }
+}

@@ -1,0 +1,919 @@
+//! The discrete-event world: clock, event queue, actor dispatch and
+//! packet delivery with link-level serialization.
+//!
+//! ## Delivery model
+//!
+//! A datagram from `a` to `b` takes the best usable path per the
+//! paper's §5.3: the fastest common network if one exists, otherwise
+//! "normal IP routing" over each side's routable networks. Delivery
+//! time is `max(now, transmitter_free) + serialization + propagation`;
+//! shared-bus media (classic Ethernet) serialize the whole segment
+//! through one channel, switched media serialize per interface. For
+//! routed (two-segment) paths serialization is charged once at the
+//! bottleneck bandwidth and both propagation latencies are added —
+//! the WAN transit itself is modelled by the edge media.
+//!
+//! Packets are dropped (never duplicated or reordered beyond what
+//! differing path delays produce) on: random medium loss, no route,
+//! destination host down, no listener on the port, or payload > MTU.
+//! Reliability is the job of `snipe-wire`, exactly as UDP left it to
+//! SNIPE's selective-resend protocol.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use bytes::Bytes;
+
+use snipe_util::id::{HostId, NetId};
+use snipe_util::rng::Xoshiro256;
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::actor::{Actor, ActorId, Ctx, Event};
+use crate::topology::{Endpoint, PathInfo, Topology};
+use crate::trace::{DropReason, NetStats};
+
+/// First ephemeral port handed out by [`World::alloc_port`].
+pub const EPHEMERAL_BASE: u16 = 49152;
+
+enum Queued {
+    Deliver { from: Endpoint, to: Endpoint, payload: Bytes },
+    Timer { actor: ActorId, token: u64 },
+    Signal { from: Option<Endpoint>, to: Endpoint, signum: u32 },
+    Func { token: u64 },
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: Queued,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Slot {
+    actor: Option<Box<dyn Actor>>,
+    endpoint: Endpoint,
+    alive: bool,
+}
+
+/// The simulation world.
+pub struct World {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    topo: Topology,
+    slots: Vec<Slot>,
+    bindings: HashMap<Endpoint, ActorId>,
+    ephemeral: HashMap<HostId, u16>,
+    rng: Xoshiro256,
+    stats: NetStats,
+    funcs: HashMap<u64, Box<dyn FnOnce(&mut World)>>,
+    next_func: u64,
+}
+
+impl World {
+    /// A world over the given topology, seeded for determinism.
+    pub fn new(topo: Topology, seed: u64) -> World {
+        World {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            topo,
+            slots: Vec::new(),
+            bindings: HashMap::new(),
+            ephemeral: HashMap::new(),
+            rng: Xoshiro256::seed_from_u64(seed),
+            stats: NetStats::default(),
+            funcs: HashMap::new(),
+            next_func: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology (immutable; use the fault APIs to mutate).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Aggregate delivery statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The world RNG (actors reach it through [`Ctx::rng`]).
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+
+    fn push(&mut self, at: SimTime, kind: Queued) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    /// Spawn an actor bound to `(host, port)`. Delivers `Event::Start`
+    /// at the current time. Returns `None` if the port is in use or the
+    /// host id is unknown.
+    pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn Actor>) -> Option<Endpoint> {
+        if host.index() >= self.topo.host_count() {
+            return None;
+        }
+        let ep = Endpoint::new(host, port);
+        if self.bindings.contains_key(&ep) {
+            return None;
+        }
+        let id = ActorId(self.slots.len() as u64);
+        self.slots.push(Slot { actor: Some(actor), endpoint: ep, alive: true });
+        self.bindings.insert(ep, id);
+        self.push(self.now, Queued::Signal { from: None, to: ep, signum: SIGSTART });
+        Some(ep)
+    }
+
+    /// Allocate an unused ephemeral port on `host`.
+    pub fn alloc_port(&mut self, host: HostId) -> u16 {
+        let ctr = self.ephemeral.entry(host).or_insert(EPHEMERAL_BASE);
+        loop {
+            let p = *ctr;
+            *ctr = ctr.checked_add(1).unwrap_or(EPHEMERAL_BASE);
+            if !self.bindings.contains_key(&Endpoint::new(host, p)) {
+                return p;
+            }
+        }
+    }
+
+    /// Kill the actor at `ep` (no-op if none).
+    pub fn kill(&mut self, ep: Endpoint) {
+        if let Some(id) = self.bindings.remove(&ep) {
+            let slot = &mut self.slots[id.0 as usize];
+            slot.alive = false;
+            slot.actor = None; // drop immediately unless currently executing
+        }
+    }
+
+    /// Is an actor currently bound at `ep`?
+    pub fn is_bound(&self, ep: Endpoint) -> bool {
+        self.bindings.contains_key(&ep)
+    }
+
+    /// Deliver a signal at the current time.
+    pub fn signal(&mut self, from: Option<Endpoint>, to: Endpoint, signum: u32) {
+        self.push(self.now, Queued::Signal { from, to, signum });
+    }
+
+    /// Schedule a timer for an actor.
+    pub fn set_timer(&mut self, actor: ActorId, delay: SimDuration, token: u64) {
+        self.push(self.now + delay, Queued::Timer { actor, token });
+    }
+
+    /// Schedule a closure to run against the world at `at` (fault
+    /// scripts, experiment scenarios).
+    pub fn schedule_fn(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        let token = self.next_func;
+        self.next_func += 1;
+        self.funcs.insert(token, Box::new(f));
+        self.push(at, Queued::Func { token });
+    }
+
+    /// Take a host down; every actor on it gets [`Event::HostDown`].
+    pub fn host_down(&mut self, h: HostId) {
+        if !self.topo.host(h).up {
+            return;
+        }
+        self.topo.host_mut(h).up = false;
+        for ep in self.endpoints_on(h) {
+            self.dispatch_to(ep, Event::HostDown);
+        }
+    }
+
+    /// Bring a host back up; every actor on it gets [`Event::HostUp`].
+    pub fn host_up(&mut self, h: HostId) {
+        if self.topo.host(h).up {
+            return;
+        }
+        self.topo.host_mut(h).up = true;
+        for ep in self.endpoints_on(h) {
+            self.dispatch_to(ep, Event::HostUp);
+        }
+    }
+
+    /// Take a network segment down/up.
+    pub fn set_net_up(&mut self, n: NetId, up: bool) {
+        self.topo.net_mut(n).up = up;
+    }
+
+    /// Take one host's interface on `n` down/up.
+    pub fn set_iface_up(&mut self, h: HostId, n: NetId, up: bool) {
+        if let Some(i) = self.topo.host_mut(h).interfaces.iter_mut().find(|i| i.net == n) {
+            i.up = up;
+        }
+    }
+
+    /// Override the loss rate of a network (None restores the medium).
+    pub fn set_net_loss(&mut self, n: NetId, loss: Option<f64>) {
+        self.topo.net_mut(n).loss_override = loss;
+    }
+
+    /// Put a network segment in a partition group.
+    pub fn set_partition(&mut self, n: NetId, group: u32) {
+        self.topo.net_mut(n).partition = group;
+    }
+
+    fn endpoints_on(&self, h: HostId) -> Vec<Endpoint> {
+        let mut eps: Vec<Endpoint> =
+            self.bindings.keys().filter(|ep| ep.host == h).copied().collect();
+        eps.sort(); // determinism
+        eps
+    }
+
+    /// Route selection per §5.3. Returns (path, src-serialization net).
+    fn select_path(&self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+        if let Some(n) = via {
+            let common = self.topo.common_networks(from, to);
+            if common.contains(&n) {
+                return Some(self.topo.direct_path(n));
+            }
+            return None;
+        }
+        // Fastest common network first.
+        let common = self.topo.common_networks(from, to);
+        if let Some(&best) = common.iter().max_by_key(|&&n| {
+            let m = &self.topo.net(n).medium;
+            (m.bandwidth_bps, std::cmp::Reverse(m.latency.as_nanos()))
+        }) {
+            return Some(self.topo.direct_path(best));
+        }
+        // Normal IP routing over routable edges in the same partition.
+        let ra = self.topo.routable_networks(from);
+        let rb = self.topo.routable_networks(to);
+        let mut best: Option<PathInfo> = None;
+        for &na in &ra {
+            for &nb in &rb {
+                if self.topo.net(na).partition != self.topo.net(nb).partition {
+                    continue;
+                }
+                let p = self.topo.routed_path(na, nb);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (p.bandwidth_bps, std::cmp::Reverse(p.latency.as_nanos()))
+                            > (b.bandwidth_bps, std::cmp::Reverse(b.latency.as_nanos()))
+                    }
+                };
+                if better {
+                    best = Some(p);
+                }
+            }
+        }
+        best
+    }
+
+    /// Send a datagram. Called by [`Ctx::send`].
+    pub(crate) fn send_packet(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        payload: Bytes,
+        via: Option<NetId>,
+    ) {
+        self.stats.sent += 1;
+        if from.host == to.host {
+            // Loopback: constant small cost, no shared wire.
+            let m = crate::medium::Medium::loopback();
+            let at = self.now + m.tx_time(payload.len()) + m.latency;
+            self.push(at, Queued::Deliver { from, to, payload });
+            return;
+        }
+        if !self.topo.host(from.host).up {
+            self.stats.drop(DropReason::HostDown);
+            return;
+        }
+        let Some(path) = self.select_path(from.host, to.host, via) else {
+            self.stats.drop(DropReason::NoRoute);
+            return;
+        };
+        if payload.len() > path.mtu {
+            self.stats.drop(DropReason::TooBig);
+            return;
+        }
+        // Serialization on the first-hop transmitter.
+        let src_net = path.via[0];
+        let shared = self.topo.net(src_net).medium.shared_bus;
+        let tx = {
+            // At the bottleneck bandwidth for routed paths.
+            let mut m = self.topo.net(src_net).medium.clone();
+            m.bandwidth_bps = path.bandwidth_bps;
+            m.tx_time(payload.len())
+        };
+        let free = if shared {
+            self.topo.net(src_net).busy_until
+        } else {
+            self.topo
+                .host(from.host)
+                .interfaces
+                .iter()
+                .find(|i| i.net == src_net)
+                .map(|i| i.busy_until)
+                .unwrap_or(SimTime::ZERO)
+        };
+        let start = if free > self.now { free } else { self.now };
+        let finish = start + tx;
+        if shared {
+            self.topo.net_mut(src_net).busy_until = finish;
+        } else if let Some(i) = self
+            .topo
+            .host_mut(from.host)
+            .interfaces
+            .iter_mut()
+            .find(|i| i.net == src_net)
+        {
+            i.busy_until = finish;
+        }
+        // Random loss (checked after wire occupancy: a lost frame still
+        // burned air time).
+        if path.loss > 0.0 && self.rng.gen_bool(path.loss) {
+            self.stats.drop(DropReason::Loss);
+            return;
+        }
+        for &n in &path.via {
+            *self.stats.bytes_by_net.entry(n).or_insert(0) += payload.len() as u64;
+        }
+        let at = finish + path.latency;
+        self.push(at, Queued::Deliver { from, to, payload });
+    }
+
+    fn dispatch_to(&mut self, ep: Endpoint, event: Event) {
+        let Some(&id) = self.bindings.get(&ep) else {
+            return;
+        };
+        let Some(mut actor) = self.slots[id.0 as usize].actor.take() else {
+            return; // re-entrant dispatch to the same actor: drop
+        };
+        {
+            let mut ctx = Ctx { world: self, me: id, my_endpoint: ep };
+            actor.on_event(&mut ctx, event);
+        }
+        let slot = &mut self.slots[id.0 as usize];
+        if slot.alive {
+            slot.actor = Some(actor);
+        }
+    }
+
+    /// Run one queued event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.stats.events += 1;
+        match ev.kind {
+            Queued::Deliver { from, to, payload } => {
+                if !self.topo.host(to.host).up {
+                    self.stats.drop(DropReason::HostDown);
+                } else if !self.bindings.contains_key(&to) {
+                    self.stats.drop(DropReason::NoListener);
+                } else {
+                    self.stats.delivered += 1;
+                    self.dispatch_to(to, Event::Packet { from, payload });
+                }
+            }
+            Queued::Timer { actor, token } => {
+                let idx = actor.0 as usize;
+                if idx < self.slots.len() && self.slots[idx].alive {
+                    let ep = self.slots[idx].endpoint;
+                    // Timers do not fire while the host is down.
+                    if self.topo.host(ep.host).up {
+                        self.dispatch_to(ep, Event::Timer { token });
+                    }
+                }
+            }
+            Queued::Signal { from, to, signum } => {
+                if self.topo.host(to.host).up {
+                    if signum == SIGSTART {
+                        self.dispatch_to(to, Event::Start);
+                    } else {
+                        self.dispatch_to(to, Event::Signal { signum, from });
+                    }
+                }
+            }
+            Queued::Func { token } => {
+                if let Some(f) = self.funcs.remove(&token) {
+                    f(self);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the queue is empty or `limit` events have fired.
+    /// Returns the number of events processed.
+    pub fn run_until_idle(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run events with timestamps `<= t`, then set the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Run for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+}
+
+/// Internal signal number used to carry `Event::Start`.
+const SIGSTART: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::Medium;
+    use crate::topology::HostCfg;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Test actor: records received payload lengths + timestamps,
+    /// optionally echoes packets back.
+    struct Recorder {
+        log: Rc<RefCell<Vec<(SimTime, usize)>>>,
+        echo: bool,
+    }
+
+    impl Actor for Recorder {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            if let Event::Packet { from, payload } = event {
+                self.log.borrow_mut().push((ctx.now(), payload.len()));
+                if self.echo {
+                    ctx.send(from, payload);
+                }
+            }
+        }
+    }
+
+    struct SendOnStart {
+        to: Endpoint,
+        sizes: Vec<usize>,
+    }
+
+    impl Actor for SendOnStart {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            if matches!(event, Event::Start) {
+                for &s in &self.sizes {
+                    ctx.send(self.to, Bytes::from(vec![0u8; s]));
+                }
+            }
+        }
+    }
+
+    fn eth_pair() -> (World, HostId, HostId) {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        (World::new(t, 1), a, b)
+    }
+
+    #[test]
+    fn packet_delivery_with_latency() {
+        let (mut w, a, b) = eth_pair();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![1000] }));
+        w.run_until_idle(100);
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        let (at, len) = entries[0];
+        assert_eq!(len, 1000);
+        // tx(1000+38 bytes @100Mb) ≈ 83us + 50us latency
+        let us = at.as_secs_f64() * 1e6;
+        assert!((us - 133.0).abs() < 5.0, "arrival at {us}us");
+    }
+
+    #[test]
+    fn shared_bus_serializes_packets() {
+        let (mut w, a, b) = eth_pair();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![1000, 1000] }));
+        w.run_until_idle(100);
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 2);
+        let gap = entries[1].0.since(entries[0].0);
+        // Second packet waits for the first to clear the bus: gap ≈ tx time ≈ 83us.
+        assert!(gap >= SimDuration::from_micros(80), "gap {gap}");
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let (mut w, a, b) = eth_pair();
+        let log_a = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(a, 7, Box::new(Recorder { log: log_a.clone(), echo: false }));
+        w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: true }));
+        // a:7 sends to b:5 which echoes back to a:7.
+        w.spawn(a, 8, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![64] }));
+        // redirect: make the sender the recorder instead
+        w.run_until_idle(100);
+        // the echo goes back to a:8 (the sender), which has no recorder;
+        // verify delivery stats instead.
+        assert_eq!(w.stats().delivered, 2);
+    }
+
+    #[test]
+    fn host_down_drops_and_notifies() {
+        let (mut w, a, b) = eth_pair();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
+        w.run_until_idle(10);
+        w.host_down(b);
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100] }));
+        w.run_until_idle(100);
+        assert!(log.borrow().is_empty());
+        let d = w.stats().drops.get(&DropReason::NoRoute).copied().unwrap_or(0)
+            + w.stats().drops.get(&DropReason::HostDown).copied().unwrap_or(0);
+        assert_eq!(d, 1);
+        w.host_up(b);
+        w.spawn(a, 9, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100] }));
+        w.run_until_idle(100);
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn no_listener_counted() {
+        let (mut w, a, b) = eth_pair();
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 99), sizes: vec![10] }));
+        w.run_until_idle(100);
+        assert_eq!(w.stats().drops[&DropReason::NoListener], 1);
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let (mut w, a, b) = eth_pair();
+        w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false }));
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![2000] }));
+        w.run_until_idle(100);
+        assert_eq!(w.stats().drops[&DropReason::TooBig], 1);
+    }
+
+    #[test]
+    fn loss_rate_roughly_honoured() {
+        let mut t = Topology::new();
+        let n = t.add_network("lossy", Medium::wan_lossy(0.3), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, n);
+        t.attach(b, n);
+        let mut w = World::new(t, 7);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100; 1000] }));
+        w.run_until_idle(5000);
+        let received = log.borrow().len() as f64;
+        assert!((received / 1000.0 - 0.7).abs() < 0.05, "received {received}");
+    }
+
+    #[test]
+    fn fastest_common_network_preferred() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let atm = t.add_network("atm", Medium::atm155(), false);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        t.attach(a, atm);
+        t.attach(b, atm);
+        let mut w = World::new(t, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log, echo: false }));
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![1000] }));
+        w.run_until_idle(100);
+        // ATM (faster) carried the bytes.
+        assert_eq!(w.stats().bytes_by_net.get(&atm), Some(&1000));
+        assert_eq!(w.stats().bytes_by_net.get(&eth), None);
+    }
+
+    #[test]
+    fn pinned_route_respected_and_validated() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let atm = t.add_network("atm", Medium::atm155(), false);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        t.attach(a, atm);
+        t.attach(b, atm);
+        struct PinnedSend {
+            to: Endpoint,
+            via: NetId,
+        }
+        impl Actor for PinnedSend {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+                if matches!(event, Event::Start) {
+                    ctx.send_via(self.to, Bytes::from_static(&[0; 100]), self.via);
+                }
+            }
+        }
+        let mut w = World::new(t, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
+        w.spawn(a, 6, Box::new(PinnedSend { to: Endpoint::new(b, 5), via: eth }));
+        w.run_until_idle(100);
+        assert_eq!(w.stats().bytes_by_net.get(&eth), Some(&100));
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn routed_path_when_no_common_segment() {
+        let mut t = Topology::new();
+        let n1 = t.add_network("site1", Medium::ethernet100(), true);
+        let n2 = t.add_network("site2", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, n1);
+        t.attach(b, n2);
+        let mut w = World::new(t, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
+        w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![500] }));
+        w.run_until_idle(100);
+        assert_eq!(log.borrow().len(), 1);
+        // Both edge networks carried the payload.
+        assert_eq!(w.stats().bytes_by_net.get(&n1), Some(&500));
+        assert_eq!(w.stats().bytes_by_net.get(&n2), Some(&500));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut w, a, _b) = eth_pair();
+        struct TimerActor {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Actor for TimerActor {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+                match event {
+                    Event::Start => {
+                        ctx.set_timer(SimDuration::from_millis(20), 2);
+                        ctx.set_timer(SimDuration::from_millis(10), 1);
+                        ctx.set_timer(SimDuration::from_millis(30), 3);
+                    }
+                    Event::Timer { token } => self.log.borrow_mut().push(token),
+                    _ => {}
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(a, 5, Box::new(TimerActor { log: log.clone() }));
+        w.run_until_idle(100);
+        assert_eq!(&*log.borrow(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn scheduled_fn_runs_at_time() {
+        let (mut w, a, _b) = eth_pair();
+        let flag = Rc::new(RefCell::new(SimTime::ZERO));
+        let f2 = flag.clone();
+        w.schedule_fn(SimTime::from_nanos(5_000_000), move |w| {
+            *f2.borrow_mut() = w.now();
+            w.host_down(a);
+        });
+        w.run_until_idle(10);
+        assert_eq!(*flag.borrow(), SimTime::from_nanos(5_000_000));
+        assert!(!w.topology().host(a).up);
+    }
+
+    #[test]
+    fn kill_unbinds() {
+        let (mut w, _a, b) = eth_pair();
+        let ep = w
+            .spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false }))
+            .unwrap();
+        w.run_until_idle(10);
+        assert!(w.is_bound(ep));
+        w.kill(ep);
+        assert!(!w.is_bound(ep));
+        // Port is reusable.
+        assert!(w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false })).is_some());
+    }
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let (mut w, _a, b) = eth_pair();
+        let r = || Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false });
+        assert!(w.spawn(b, 5, r()).is_some());
+        assert!(w.spawn(b, 5, r()).is_none());
+    }
+
+    #[test]
+    fn ephemeral_ports_unique() {
+        let (mut w, _a, b) = eth_pair();
+        let p1 = w.alloc_port(b);
+        let p2 = w.alloc_port(b);
+        assert_ne!(p1, p2);
+        assert!(p1 >= EPHEMERAL_BASE);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut t = Topology::new();
+            let n = t.add_network("lossy", Medium::wan_lossy(0.2), true);
+            let a = t.add_host(HostCfg::named("a"));
+            let b = t.add_host(HostCfg::named("b"));
+            t.attach(a, n);
+            t.attach(b, n);
+            let mut w = World::new(t, seed);
+            w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: true }));
+            w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100; 200] }));
+            w.run_until_idle(10_000);
+            (w.stats().delivered, w.stats().total_drops())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43)); // loss pattern differs (with overwhelming probability)
+    }
+
+    #[test]
+    fn timers_suppressed_while_host_down() {
+        let (mut w, a, _b) = eth_pair();
+        struct T {
+            fired: Rc<RefCell<u32>>,
+        }
+        impl Actor for T {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+                match event {
+                    Event::Start => ctx.set_timer(SimDuration::from_millis(10), 1),
+                    Event::Timer { .. } => *self.fired.borrow_mut() += 1,
+                    _ => {}
+                }
+            }
+        }
+        let fired = Rc::new(RefCell::new(0));
+        w.spawn(a, 5, Box::new(T { fired: fired.clone() }));
+        w.run_until_idle(1); // deliver Start only
+        w.host_down(a);
+        w.run_for(SimDuration::from_millis(50));
+        assert_eq!(*fired.borrow(), 0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::medium::Medium;
+    use crate::topology::HostCfg;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Recorder {
+        log: Rc<RefCell<Vec<usize>>>,
+    }
+
+    impl Actor for Recorder {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
+            if let Event::Packet { payload, .. } = event {
+                self.log.borrow_mut().push(payload.len());
+            }
+        }
+    }
+
+    struct Sender {
+        to: Endpoint,
+        size: usize,
+    }
+
+    impl Actor for Sender {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            if matches!(event, Event::Start) {
+                ctx.send(self.to, Bytes::from(vec![0u8; self.size]));
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_delivery_between_ports_of_one_host() {
+        let mut t = Topology::new();
+        let _n = t.add_network("lan", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        // Loopback works even with no attached interface.
+        let mut w = World::new(t, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(a, 5, Box::new(Recorder { log: log.clone() }));
+        w.spawn(a, 6, Box::new(Sender { to: Endpoint::new(a, 5), size: 1 << 20 }));
+        w.run_until_idle(100);
+        // Huge loopback datagrams pass (MTU is effectively unlimited).
+        assert_eq!(&*log.borrow(), &[1 << 20]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let t = Topology::new();
+        let mut w = World::new(t, 1);
+        w.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(w.now(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn iface_down_reroutes_to_remaining_network() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let atm = t.add_network("atm", Medium::atm155(), false);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        for h in [a, b] {
+            t.attach(h, eth);
+            t.attach(h, atm);
+        }
+        let mut w = World::new(t, 1);
+        // ATM preferred (faster); kill a's ATM interface: traffic must
+        // flow over Ethernet instead, automatically.
+        w.set_iface_up(a, atm, false);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone() }));
+        w.spawn(a, 6, Box::new(Sender { to: Endpoint::new(b, 5), size: 500 }));
+        w.run_until_idle(100);
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(w.stats().bytes_by_net.get(&eth), Some(&500));
+        assert!(w.stats().bytes_by_net.get(&atm).is_none());
+    }
+
+    #[test]
+    fn partition_heals() {
+        let mut t = Topology::new();
+        let n1 = t.add_network("s1", Medium::ethernet100(), true);
+        let n2 = t.add_network("s2", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, n1);
+        t.attach(b, n2);
+        let mut w = World::new(t, 1);
+        w.set_partition(n2, 9);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone() }));
+        w.spawn(a, 6, Box::new(Sender { to: Endpoint::new(b, 5), size: 10 }));
+        w.run_until_idle(100);
+        assert!(log.borrow().is_empty(), "partitioned: nothing may arrive");
+        w.set_partition(n2, 0);
+        w.spawn(a, 7, Box::new(Sender { to: Endpoint::new(b, 5), size: 10 }));
+        w.run_until_idle(100);
+        assert_eq!(log.borrow().len(), 1, "healed: delivery resumes");
+    }
+
+    #[test]
+    fn signals_are_delivered_with_sender() {
+        let mut t = Topology::new();
+        let _ = t.add_network("lan", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        struct SignalLog {
+            got: Rc<RefCell<Vec<(u32, Option<Endpoint>)>>>,
+        }
+        impl Actor for SignalLog {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
+                if let Event::Signal { signum, from } = event {
+                    self.got.borrow_mut().push((signum, from));
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut w = World::new(t, 1);
+        let ep = w.spawn(a, 5, Box::new(SignalLog { got: got.clone() })).unwrap();
+        w.run_until_idle(5);
+        w.signal(None, ep, 15);
+        w.run_until_idle(5);
+        assert_eq!(&*got.borrow(), &[(15, None)]);
+    }
+}

@@ -1,0 +1,357 @@
+//! The mobile-code format: instructions, programs and signed images.
+
+use bytes::Bytes;
+
+use snipe_crypto::sha256::sha256;
+use snipe_crypto::sign::{KeyPair, PublicKey, Signature};
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::rng::Xoshiro256;
+
+/// One VM instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an immediate.
+    PushI(i64),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two values.
+    Swap,
+    /// Pop b, a; push a+b.
+    Add,
+    /// Pop b, a; push a−b.
+    Sub,
+    /// Pop b, a; push a·b.
+    Mul,
+    /// Pop b, a; push a/b (traps on b = 0).
+    Div,
+    /// Pop b, a; push a mod b (traps on b = 0).
+    Mod,
+    /// Negate the top of stack.
+    Neg,
+    /// Pop b, a; push (a == b) as 0/1.
+    Eq,
+    /// Pop b, a; push (a < b) as 0/1.
+    Lt,
+    /// Pop b, a; push (a > b) as 0/1.
+    Gt,
+    /// Logical not of the top (0 → 1, nonzero → 0).
+    Not,
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+    /// Unconditional jump to instruction index.
+    Jmp(u32),
+    /// Pop; jump when zero.
+    Jz(u32),
+    /// Call a function at instruction index (pushes return address).
+    Call(u32),
+    /// Return to caller (traps on empty call stack).
+    Ret,
+    /// Stop successfully.
+    Halt,
+    /// Capability-gated host call; see [`crate::vm`] syscall numbers.
+    Syscall(u8),
+}
+
+impl Instr {
+    fn tag(self) -> u8 {
+        match self {
+            Instr::PushI(_) => 1,
+            Instr::Pop => 2,
+            Instr::Dup => 3,
+            Instr::Swap => 4,
+            Instr::Add => 5,
+            Instr::Sub => 6,
+            Instr::Mul => 7,
+            Instr::Div => 8,
+            Instr::Mod => 9,
+            Instr::Neg => 10,
+            Instr::Eq => 11,
+            Instr::Lt => 12,
+            Instr::Gt => 13,
+            Instr::Not => 14,
+            Instr::Load(_) => 15,
+            Instr::Store(_) => 16,
+            Instr::Jmp(_) => 17,
+            Instr::Jz(_) => 18,
+            Instr::Call(_) => 19,
+            Instr::Ret => 20,
+            Instr::Halt => 21,
+            Instr::Syscall(_) => 22,
+        }
+    }
+}
+
+impl WireEncode for Instr {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.tag());
+        match self {
+            Instr::PushI(v) => enc.put_i64(*v),
+            Instr::Load(n) | Instr::Store(n) => enc.put_u16(*n),
+            Instr::Jmp(t) | Instr::Jz(t) | Instr::Call(t) => enc.put_u32(*t),
+            Instr::Syscall(n) => enc.put_u8(*n),
+            _ => {}
+        }
+    }
+}
+
+impl WireDecode for Instr {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        Ok(match dec.get_u8()? {
+            1 => Instr::PushI(dec.get_i64()?),
+            2 => Instr::Pop,
+            3 => Instr::Dup,
+            4 => Instr::Swap,
+            5 => Instr::Add,
+            6 => Instr::Sub,
+            7 => Instr::Mul,
+            8 => Instr::Div,
+            9 => Instr::Mod,
+            10 => Instr::Neg,
+            11 => Instr::Eq,
+            12 => Instr::Lt,
+            13 => Instr::Gt,
+            14 => Instr::Not,
+            15 => Instr::Load(dec.get_u16()?),
+            16 => Instr::Store(dec.get_u16()?),
+            17 => Instr::Jmp(dec.get_u32()?),
+            18 => Instr::Jz(dec.get_u32()?),
+            19 => Instr::Call(dec.get_u32()?),
+            20 => Instr::Ret,
+            21 => Instr::Halt,
+            22 => Instr::Syscall(dec.get_u8()?),
+            t => return Err(SnipeError::Codec(format!("unknown instruction tag {t}"))),
+        })
+    }
+}
+
+/// A program: instruction sequence plus static metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// The code.
+    pub code: Vec<Instr>,
+    /// Number of local slots used.
+    pub locals: u16,
+    /// Capability bits the code needs (see `vm::CAP_*`).
+    pub required_caps: u32,
+}
+
+impl Program {
+    /// Serialize for hashing / shipping.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_u16(self.locals);
+        e.put_u32(self.required_caps);
+        snipe_util::codec::encode_seq(&mut e, self.code.iter());
+        e.finish()
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(b: Bytes) -> SnipeResult<Program> {
+        let mut d = Decoder::new(b);
+        let locals = d.get_u16()?;
+        let required_caps = d.get_u32()?;
+        let code = snipe_util::codec::decode_seq(&mut d)?;
+        d.expect_end()?;
+        Ok(Program { code, locals, required_caps })
+    }
+
+    /// Static verification: every jump/call target and local index is
+    /// in range. Hostile images fail here before execution.
+    pub fn verify_static(&self) -> SnipeResult<()> {
+        let n = self.code.len() as u32;
+        for (i, instr) in self.code.iter().enumerate() {
+            match instr {
+                Instr::Jmp(t) | Instr::Jz(t) | Instr::Call(t) => {
+                    if *t >= n {
+                        return Err(SnipeError::Invalid(format!(
+                            "instruction {i}: jump target {t} out of range ({n})"
+                        )));
+                    }
+                }
+                Instr::Load(s) | Instr::Store(s) => {
+                    if *s >= self.locals {
+                        return Err(SnipeError::Invalid(format!(
+                            "instruction {i}: local {s} out of range ({})",
+                            self.locals
+                        )));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A signed mobile-code image: "the metadata can contain signed
+/// descriptions of mobile code, allowing playgrounds to verify the
+/// code's authenticity and integrity and to identify the resources and
+/// access rights needed for that code to operate" (§3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodeImage {
+    /// Human-readable name.
+    pub name: String,
+    /// The serialized program.
+    pub program: Bytes,
+    /// SHA-256 of `program` (integrity).
+    pub hash: [u8; 32],
+    /// Signature over `name ‖ hash` by the code signer (authenticity).
+    pub signature: Signature,
+}
+
+impl CodeImage {
+    fn signed_bytes(name: &str, hash: &[u8; 32]) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_str(name);
+        e.put_raw(hash);
+        e.finish()
+    }
+
+    /// Build and sign an image.
+    pub fn sign(rng: &mut Xoshiro256, signer: &KeyPair, name: impl Into<String>, program: &Program) -> CodeImage {
+        let name = name.into();
+        let bytes = program.to_bytes();
+        let hash = sha256(&bytes);
+        let signature = signer.sign(rng, &Self::signed_bytes(&name, &hash));
+        CodeImage { name, program: bytes, hash, signature }
+    }
+
+    /// Verify integrity (hash) and authenticity (signature) and decode.
+    pub fn verify(&self, signer: &PublicKey) -> SnipeResult<Program> {
+        if sha256(&self.program) != self.hash {
+            return Err(SnipeError::AuthenticationFailed(format!(
+                "code image {:?}: hash mismatch",
+                self.name
+            )));
+        }
+        if !signer.verify(&Self::signed_bytes(&self.name, &self.hash), &self.signature) {
+            return Err(SnipeError::AuthenticationFailed(format!(
+                "code image {:?}: bad signature",
+                self.name
+            )));
+        }
+        let p = Program::from_bytes(self.program.clone())?;
+        p.verify_static()?;
+        Ok(p)
+    }
+}
+
+impl WireEncode for CodeImage {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        enc.put_bytes(&self.program);
+        enc.put_raw(&self.hash);
+        self.signature.encode(enc);
+    }
+}
+
+impl WireDecode for CodeImage {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        let name = dec.get_str()?;
+        let program = Bytes::from(dec.get_bytes()?);
+        let raw = dec.get_raw(32)?;
+        let mut hash = [0u8; 32];
+        hash.copy_from_slice(&raw);
+        let signature = Signature::decode(dec)?;
+        Ok(CodeImage { name, program, hash, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            code: vec![Instr::PushI(2), Instr::PushI(3), Instr::Add, Instr::Halt],
+            locals: 0,
+            required_caps: 0,
+        }
+    }
+
+    #[test]
+    fn instr_round_trip() {
+        let all = vec![
+            Instr::PushI(-7),
+            Instr::Pop,
+            Instr::Dup,
+            Instr::Swap,
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::Div,
+            Instr::Mod,
+            Instr::Neg,
+            Instr::Eq,
+            Instr::Lt,
+            Instr::Gt,
+            Instr::Not,
+            Instr::Load(3),
+            Instr::Store(4),
+            Instr::Jmp(9),
+            Instr::Jz(10),
+            Instr::Call(11),
+            Instr::Ret,
+            Instr::Halt,
+            Instr::Syscall(2),
+        ];
+        for i in all {
+            let mut e = Encoder::new();
+            i.encode(&mut e);
+            let mut d = Decoder::new(e.finish());
+            assert_eq!(Instr::decode(&mut d).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let p = sample();
+        let back = Program::from_bytes(p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn static_verification_catches_bad_targets() {
+        let mut p = sample();
+        p.code.push(Instr::Jmp(999));
+        assert!(p.verify_static().is_err());
+        let mut p2 = sample();
+        p2.code.push(Instr::Load(0)); // locals = 0
+        assert!(p2.verify_static().is_err());
+        assert!(sample().verify_static().is_ok());
+    }
+
+    #[test]
+    fn signed_image_verifies_and_detects_tamper() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let signer = KeyPair::generate_default(&mut rng);
+        let img = CodeImage::sign(&mut rng, &signer, "job", &sample());
+        assert!(img.verify(&signer.public).is_ok());
+
+        // Tampered program body.
+        let mut bad = img.clone();
+        let mut body = bad.program.to_vec();
+        body[0] ^= 1;
+        bad.program = Bytes::from(body);
+        assert_eq!(bad.verify(&signer.public).unwrap_err().kind(), "auth-failed");
+
+        // Wrong signer.
+        let other = KeyPair::generate_default(&mut rng);
+        assert_eq!(img.verify(&other.public).unwrap_err().kind(), "auth-failed");
+    }
+
+    #[test]
+    fn image_wire_round_trip() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let signer = KeyPair::generate_default(&mut rng);
+        let img = CodeImage::sign(&mut rng, &signer, "job", &sample());
+        let back = CodeImage::decode_from_bytes(img.encode_to_bytes()).unwrap();
+        assert_eq!(back, img);
+        assert!(back.verify(&signer.public).is_ok());
+    }
+}

@@ -1,0 +1,27 @@
+//! # snipe-playground — secure execution of mobile code
+//!
+//! "A 'playground' runs under the supervision of a SNIPE daemon and
+//! facilitates the secure execution of mobile code. It is a trusted
+//! environment which safely allows the execution of such code within an
+//! untrusted environment. The playground is responsible for downloading
+//! the code from a file server, verifying its authenticity and
+//! integrity, verifying that the code has the rights needed to access
+//! restricted resources, enforcing access restrictions and resource
+//! usage quotas, and logging access violations and excess resource use"
+//! (§3.6).
+//!
+//! The paper anticipated mobile code in "a machine-independent language
+//! such as Java, Python, or Limbo ... Implementations of such languages
+//! may also be able to arrange the allocation of program storage, in a
+//! way that facilitates checkpointing, restart, and migration" (§3.6).
+//! This crate implements exactly that: a small stack [`vm`] whose
+//! entire state serializes through the canonical codec, so checkpoint,
+//! restart and migration are byte-exact by construction.
+
+pub mod bytecode;
+pub mod playground;
+pub mod vm;
+
+pub use bytecode::{CodeImage, Instr, Program};
+pub use playground::{PlaygroundActor, PlaygroundConfig, Violation};
+pub use vm::{Quotas, StepOutcome, SyscallHost, Trap, Vm, CAP_EMIT, CAP_LOG, CAP_SEND, CAP_TIME};

@@ -1,0 +1,29 @@
+//! # pvm-baseline — a miniature PVM for comparison experiments
+//!
+//! The paper motivates SNIPE by PVM's limits (§2.2):
+//!
+//! * "PVM allows practical scalability to tens of hosts ... limitations
+//!   in PVM's resource management and internal state management tend to
+//!   make such configurations unreliable and inefficient."
+//! * "PVM can tolerate slave failures but not failure of its master
+//!   host. It also cannot tolerate link failures during host table
+//!   updates."
+//! * "The PVM resource manager uses centralized decision making. This
+//!   would be a bottleneck for a very large virtual machine."
+//! * "PVM lacks a global name space. Process names are valid only
+//!   within a single 'virtual machine.'"
+//!
+//! This crate reproduces those *behaviours* as a measurable baseline:
+//! a master `pvmd` that serializes every naming, spawn and host-table
+//! operation (with realistic per-request service time that grows with
+//! the host table), slave daemons that depend on the master, and tasks
+//! whose names are master-issued TIDs. Experiments E4 and E8 run the
+//! same workloads against this and against SNIPE.
+
+pub mod proto;
+pub mod pvmd;
+pub mod task;
+
+pub use proto::{PvmMsg, Tid};
+pub use pvmd::{PvmMaster, PvmSlave, MASTER_PORT, SLAVE_PORT};
+pub use task::{PvmTask, PvmTaskActor, PvmTaskApi};

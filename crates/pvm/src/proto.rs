@@ -1,0 +1,279 @@
+//! PVM wire messages.
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::id::HostId;
+
+/// A PVM task identifier: valid only inside one virtual machine (the
+/// paper's point about the missing global name space).
+pub type Tid = u32;
+
+const MAGIC: u8 = 0xB0;
+
+fn put_ep(enc: &mut Encoder, ep: Endpoint) {
+    enc.put_u32(ep.host.0);
+    enc.put_u16(ep.port);
+}
+
+fn get_ep(dec: &mut Decoder) -> SnipeResult<Endpoint> {
+    Ok(Endpoint::new(HostId(dec.get_u32()?), dec.get_u16()?))
+}
+
+/// PVM control and data messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PvmMsg {
+    /// Slave asks to join the VM (pvm_addhosts).
+    AddHost {
+        /// The slave daemon's endpoint.
+        slave: Endpoint,
+    },
+    /// Master broadcasts the new host table; every slave must ack
+    /// before the update commits.
+    HostTable {
+        /// Table version.
+        version: u32,
+        /// All slave endpoints.
+        slaves: Vec<Endpoint>,
+    },
+    /// Slave acks a host table version.
+    HostTableAck {
+        /// Acked version.
+        version: u32,
+        /// The acking slave.
+        slave: Endpoint,
+    },
+    /// Client asks the master to spawn (central RM decides placement).
+    SpawnReq {
+        /// Request id.
+        req_id: u64,
+        /// Program name.
+        program: String,
+        /// Args.
+        args: Bytes,
+    },
+    /// Master → chosen slave: start the task.
+    SlaveSpawn {
+        /// Request id (flows through).
+        req_id: u64,
+        /// Assigned tid.
+        tid: Tid,
+        /// Program.
+        program: String,
+        /// Args.
+        args: Bytes,
+        /// Who asked (for the final reply).
+        reply_to: Endpoint,
+    },
+    /// Slave → requester (via master bookkeeping): task started.
+    SpawnResp {
+        /// Request id.
+        req_id: u64,
+        /// Success?
+        ok: bool,
+        /// The new task's tid.
+        tid: Tid,
+        /// The new task's endpoint.
+        endpoint: Endpoint,
+    },
+    /// Resolve a tid to an endpoint (every lookup hits the master).
+    LookupReq {
+        /// Request id.
+        req_id: u64,
+        /// The tid.
+        tid: Tid,
+    },
+    /// Lookup answer.
+    LookupResp {
+        /// Request id.
+        req_id: u64,
+        /// Found?
+        ok: bool,
+        /// Endpoint when found.
+        endpoint: Endpoint,
+    },
+    /// Task registers itself after starting.
+    Register {
+        /// Its tid.
+        tid: Tid,
+        /// Its endpoint.
+        endpoint: Endpoint,
+    },
+    /// Task-to-task data (direct route once resolved).
+    Data {
+        /// Sender tid.
+        from: Tid,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// Daemon-routed task data (the PVM default route: task → local
+    /// pvmd → remote pvmd → task, which PVMPI inherited, §6.1).
+    RouteData {
+        /// Destination tid.
+        dest: Tid,
+        /// Sender tid.
+        from: Tid,
+        /// Payload.
+        payload: Bytes,
+    },
+}
+
+impl WireEncode for PvmMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MAGIC);
+        match self {
+            PvmMsg::AddHost { slave } => {
+                enc.put_u8(1);
+                put_ep(enc, *slave);
+            }
+            PvmMsg::HostTable { version, slaves } => {
+                enc.put_u8(2);
+                enc.put_u32(*version);
+                enc.put_u32(slaves.len() as u32);
+                for s in slaves {
+                    put_ep(enc, *s);
+                }
+            }
+            PvmMsg::HostTableAck { version, slave } => {
+                enc.put_u8(3);
+                enc.put_u32(*version);
+                put_ep(enc, *slave);
+            }
+            PvmMsg::SpawnReq { req_id, program, args } => {
+                enc.put_u8(4);
+                enc.put_u64(*req_id);
+                enc.put_str(program);
+                enc.put_bytes(args);
+            }
+            PvmMsg::SlaveSpawn { req_id, tid, program, args, reply_to } => {
+                enc.put_u8(5);
+                enc.put_u64(*req_id);
+                enc.put_u32(*tid);
+                enc.put_str(program);
+                enc.put_bytes(args);
+                put_ep(enc, *reply_to);
+            }
+            PvmMsg::SpawnResp { req_id, ok, tid, endpoint } => {
+                enc.put_u8(6);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                enc.put_u32(*tid);
+                put_ep(enc, *endpoint);
+            }
+            PvmMsg::LookupReq { req_id, tid } => {
+                enc.put_u8(7);
+                enc.put_u64(*req_id);
+                enc.put_u32(*tid);
+            }
+            PvmMsg::LookupResp { req_id, ok, endpoint } => {
+                enc.put_u8(8);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                put_ep(enc, *endpoint);
+            }
+            PvmMsg::Register { tid, endpoint } => {
+                enc.put_u8(9);
+                enc.put_u32(*tid);
+                put_ep(enc, *endpoint);
+            }
+            PvmMsg::Data { from, payload } => {
+                enc.put_u8(10);
+                enc.put_u32(*from);
+                enc.put_bytes(payload);
+            }
+            PvmMsg::RouteData { dest, from, payload } => {
+                enc.put_u8(11);
+                enc.put_u32(*dest);
+                enc.put_u32(*from);
+                enc.put_bytes(payload);
+            }
+        }
+    }
+}
+
+impl WireDecode for PvmMsg {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        if dec.get_u8()? != MAGIC {
+            return Err(SnipeError::Codec("not a PVM message".into()));
+        }
+        Ok(match dec.get_u8()? {
+            1 => PvmMsg::AddHost { slave: get_ep(dec)? },
+            2 => {
+                let version = dec.get_u32()?;
+                let n = dec.get_u32()? as usize;
+                let mut slaves = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    slaves.push(get_ep(dec)?);
+                }
+                PvmMsg::HostTable { version, slaves }
+            }
+            3 => PvmMsg::HostTableAck { version: dec.get_u32()?, slave: get_ep(dec)? },
+            4 => PvmMsg::SpawnReq {
+                req_id: dec.get_u64()?,
+                program: dec.get_str()?,
+                args: dec.get_bytes()?,
+            },
+            5 => PvmMsg::SlaveSpawn {
+                req_id: dec.get_u64()?,
+                tid: dec.get_u32()?,
+                program: dec.get_str()?,
+                args: dec.get_bytes()?,
+                reply_to: get_ep(dec)?,
+            },
+            6 => PvmMsg::SpawnResp {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                tid: dec.get_u32()?,
+                endpoint: get_ep(dec)?,
+            },
+            7 => PvmMsg::LookupReq { req_id: dec.get_u64()?, tid: dec.get_u32()? },
+            8 => PvmMsg::LookupResp {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                endpoint: get_ep(dec)?,
+            },
+            9 => PvmMsg::Register { tid: dec.get_u32()?, endpoint: get_ep(dec)? },
+            10 => PvmMsg::Data { from: dec.get_u32()?, payload: dec.get_bytes()? },
+            11 => PvmMsg::RouteData {
+                dest: dec.get_u32()?,
+                from: dec.get_u32()?,
+                payload: dec.get_bytes()?,
+            },
+            t => return Err(SnipeError::Codec(format!("unknown PVM tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_round_trip() {
+        let ep = Endpoint::new(HostId(1), 11);
+        let msgs = vec![
+            PvmMsg::AddHost { slave: ep },
+            PvmMsg::HostTable { version: 2, slaves: vec![ep, Endpoint::new(HostId(2), 11)] },
+            PvmMsg::HostTableAck { version: 2, slave: ep },
+            PvmMsg::SpawnReq { req_id: 1, program: "w".into(), args: Bytes::from_static(b"a") },
+            PvmMsg::SlaveSpawn {
+                req_id: 1,
+                tid: 7,
+                program: "w".into(),
+                args: Bytes::new(),
+                reply_to: ep,
+            },
+            PvmMsg::SpawnResp { req_id: 1, ok: true, tid: 7, endpoint: ep },
+            PvmMsg::LookupReq { req_id: 2, tid: 7 },
+            PvmMsg::LookupResp { req_id: 2, ok: false, endpoint: ep },
+            PvmMsg::Register { tid: 7, endpoint: ep },
+            PvmMsg::Data { from: 7, payload: Bytes::from_static(b"x") },
+            PvmMsg::RouteData { dest: 8, from: 7, payload: Bytes::from_static(b"y") },
+        ];
+        for m in msgs {
+            assert_eq!(PvmMsg::decode_from_bytes(m.encode_to_bytes()).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The sans-IO RC client with replica failover.
+//!
+//! Every SNIPE component embeds one of these to read and publish
+//! metadata. Requests go to the preferred replica; on timeout the
+//! client rotates to the next replica and retries, which is what made
+//! the paper's testbed observe "an almost perfect level of
+//! availability" (§6) — reproduced as experiment E3.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::assertion::Assertion;
+use crate::proto::{RcMsg, RcOp};
+use crate::uri::Uri;
+
+/// The payload of a completed RC operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RcReply {
+    /// Assertions returned (Get/Put).
+    pub assertions: Vec<Assertion>,
+    /// URIs returned (Find).
+    pub uris: Vec<String>,
+}
+
+/// A completed request: (request id, outcome).
+pub type Completion = (u64, SnipeResult<RcReply>);
+
+struct Pending {
+    op: RcOp,
+    deadline: SimTime,
+    attempts: u32,
+}
+
+/// The client state machine.
+pub struct RcClient {
+    replicas: Vec<Endpoint>,
+    preferred: usize,
+    timeout: SimDuration,
+    max_attempts: u32,
+    next_id: u64,
+    pending: HashMap<u64, Pending>,
+    sends: Vec<(Endpoint, Bytes)>,
+    done: Vec<Completion>,
+}
+
+impl RcClient {
+    /// A client talking to the given replicas.
+    pub fn new(replicas: Vec<Endpoint>, timeout: SimDuration) -> RcClient {
+        RcClient {
+            replicas,
+            preferred: 0,
+            timeout,
+            max_attempts: 6,
+            next_id: 1,
+            pending: HashMap::new(),
+            sends: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Known replica endpoints.
+    pub fn replicas(&self) -> &[Endpoint] {
+        &self.replicas
+    }
+
+    /// Outstanding request count.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn issue(&mut self, now: SimTime, op: RcOp) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = now + self.timeout;
+        self.transmit(id, &op);
+        self.pending.insert(id, Pending { op, deadline, attempts: 1 });
+        id
+    }
+
+    fn transmit(&mut self, id: u64, op: &RcOp) {
+        if self.replicas.is_empty() {
+            return;
+        }
+        let target = self.replicas[self.preferred % self.replicas.len()];
+        let msg = RcMsg::Request { id, op: op.clone() };
+        self.sends.push((target, msg.encode_to_bytes()));
+    }
+
+    /// Fetch assertions for a URI. Returns the request id.
+    pub fn get(&mut self, now: SimTime, uri: &Uri) -> u64 {
+        self.issue(now, RcOp::Get(uri.as_str().to_string()))
+    }
+
+    /// Publish assertions about a URI.
+    pub fn put(&mut self, now: SimTime, uri: &Uri, assertions: Vec<Assertion>) -> u64 {
+        self.issue(now, RcOp::Put(uri.as_str().to_string(), assertions))
+    }
+
+    /// Tombstone one attribute.
+    pub fn delete(&mut self, now: SimTime, uri: &Uri, name: &str) -> u64 {
+        self.issue(now, RcOp::Delete(uri.as_str().to_string(), name.to_string()))
+    }
+
+    /// Find URIs by exact attribute match.
+    pub fn find(&mut self, now: SimTime, name: &str, value: &str) -> u64 {
+        self.issue(now, RcOp::Find(name.to_string(), value.to_string()))
+    }
+
+    /// Feed a raw datagram payload that arrived on our port.
+    /// Non-RC or unknown-id messages are ignored.
+    pub fn on_packet(&mut self, _now: SimTime, _from: Endpoint, body: Bytes) {
+        let Ok(msg) = RcMsg::decode_from_bytes(body) else {
+            return;
+        };
+        let RcMsg::Response { id, ok, assertions, uris } = msg else {
+            return;
+        };
+        if let Some(_p) = self.pending.remove(&id) {
+            let result = if ok {
+                Ok(RcReply { assertions, uris })
+            } else {
+                Err(SnipeError::Invalid("server rejected request".into()))
+            };
+            self.done.push((id, result));
+        }
+    }
+
+    /// Retry / fail over requests whose deadline passed.
+    pub fn on_timer(&mut self, now: SimTime) {
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            let mut p = self.pending.remove(&id).expect("expired id present");
+            if p.attempts >= self.max_attempts {
+                self.done.push((
+                    id,
+                    Err(SnipeError::Unavailable(format!(
+                        "RC request gave up after {} attempts",
+                        p.attempts
+                    ))),
+                ));
+                continue;
+            }
+            // Fail over to the next replica.
+            self.preferred = (self.preferred + 1) % self.replicas.len().max(1);
+            p.attempts += 1;
+            p.deadline = now + self.timeout;
+            self.transmit(id, &p.op);
+            self.pending.insert(id, p);
+        }
+    }
+
+    /// Earliest wanted wake-up.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+
+    /// Datagrams to transmit (payloads for `WireStack::send_raw` /
+    /// direct `ctx.send` after Raw-sealing).
+    pub fn drain_sends(&mut self) -> Vec<(Endpoint, Bytes)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Completed operations.
+    pub fn drain_done(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_util::id::HostId;
+
+    fn ep(h: u32) -> Endpoint {
+        Endpoint::new(HostId(h), 2)
+    }
+
+    fn reply(id: u64) -> Bytes {
+        RcMsg::Response { id, ok: true, assertions: vec![], uris: vec![] }.encode_to_bytes()
+    }
+
+    #[test]
+    fn request_reply_cycle() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(100));
+        let id = c.get(SimTime::ZERO, &Uri::process(1));
+        let sends = c.drain_sends();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, ep(1));
+        c.on_packet(SimTime::ZERO, ep(1), reply(id));
+        let done = c.drain_done();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].1.is_ok());
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn timeout_fails_over_to_next_replica() {
+        let mut c = RcClient::new(vec![ep(1), ep(2)], SimDuration::from_millis(100));
+        let _id = c.get(SimTime::ZERO, &Uri::process(1));
+        assert_eq!(c.drain_sends()[0].0, ep(1));
+        c.on_timer(SimTime::ZERO + SimDuration::from_millis(150));
+        let sends = c.drain_sends();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, ep(2), "retry must target the next replica");
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(10));
+        let id = c.get(SimTime::ZERO, &Uri::process(1));
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now = now + SimDuration::from_millis(20);
+            c.on_timer(now);
+            c.drain_sends();
+        }
+        let done = c.drain_done();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, id);
+        assert_eq!(done[0].1.as_ref().unwrap_err().kind(), "unavailable");
+    }
+
+    #[test]
+    fn late_duplicate_response_ignored() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(100));
+        let id = c.get(SimTime::ZERO, &Uri::process(1));
+        c.on_packet(SimTime::ZERO, ep(1), reply(id));
+        c.on_packet(SimTime::ZERO, ep(1), reply(id));
+        assert_eq!(c.drain_done().len(), 1);
+    }
+
+    #[test]
+    fn unknown_or_garbage_packets_ignored() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(100));
+        c.on_packet(SimTime::ZERO, ep(1), Bytes::from_static(b"garbage"));
+        c.on_packet(SimTime::ZERO, ep(1), reply(999));
+        assert!(c.drain_done().is_empty());
+    }
+
+    #[test]
+    fn deadline_reporting() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(100));
+        assert!(c.next_deadline().is_none());
+        c.get(SimTime::ZERO, &Uri::process(1));
+        assert_eq!(c.next_deadline(), Some(SimTime::ZERO + SimDuration::from_millis(100)));
+    }
+}

@@ -1,0 +1,153 @@
+//! The RC / metadata server actor.
+//!
+//! Each server is one replica of the catalog. It answers client RPCs
+//! and runs pairwise anti-entropy with its peer replicas: every
+//! `sync_interval` it asks one (deterministically random) peer to push
+//! the updates it lacks. Because [`crate::store::RcStore::apply`] is
+//! idempotent and commutative, replicas converge regardless of loss,
+//! reordering or crash/recovery — host state survives crashes as the
+//! paper's disk-backed servers did.
+
+
+use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{WireDecode, WireEncode};
+use snipe_util::time::SimDuration;
+use snipe_wire::frame::{open, seal, Proto};
+
+use crate::proto::{RcMsg, RcOp};
+use crate::store::RcStore;
+use crate::uri::Uri;
+
+/// Timer token for the anti-entropy tick.
+const TIMER_SYNC: u64 = 1;
+/// Maximum updates per SyncPush datagram.
+const PUSH_BATCH: usize = 64;
+
+/// The RC server actor.
+pub struct RcServerActor {
+    store: RcStore,
+    peers: Vec<Endpoint>,
+    sync_interval: SimDuration,
+    /// Served client requests (diagnostics).
+    pub requests_served: u64,
+    /// Anti-entropy rounds initiated.
+    pub sync_rounds: u64,
+}
+
+impl RcServerActor {
+    /// A replica with the given id and peer replica endpoints.
+    pub fn new(server_id: u64, peers: Vec<Endpoint>, sync_interval: SimDuration) -> RcServerActor {
+        RcServerActor {
+            store: RcStore::new(server_id),
+            peers,
+            sync_interval,
+            requests_served: 0,
+            sync_rounds: 0,
+        }
+    }
+
+    /// Read access to the replica state (tests/experiments).
+    pub fn store(&self) -> &RcStore {
+        &self.store
+    }
+
+    /// Pre-load an assertion before the world starts (bootstrap data
+    /// such as host descriptors).
+    pub fn preload(&mut self, uri: &Uri, assertion: crate::assertion::Assertion) {
+        self.store.put(uri, assertion, 0);
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &RcMsg) {
+        ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
+    }
+
+    fn handle_request(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, id: u64, op: RcOp) {
+        self.requests_served += 1;
+        let now_ns = ctx.now().as_nanos();
+        let resp = match op {
+            RcOp::Get(uri) => match Uri::parse(uri) {
+                Ok(u) => RcMsg::Response { id, ok: true, assertions: self.store.get(&u), uris: vec![] },
+                Err(_) => RcMsg::Response { id, ok: false, assertions: vec![], uris: vec![] },
+            },
+            RcOp::Put(uri, asserts) => match Uri::parse(uri) {
+                Ok(u) => {
+                    let stored: Vec<_> =
+                        asserts.into_iter().map(|a| self.store.put(&u, a, now_ns)).collect();
+                    RcMsg::Response { id, ok: true, assertions: stored, uris: vec![] }
+                }
+                Err(_) => RcMsg::Response { id, ok: false, assertions: vec![], uris: vec![] },
+            },
+            RcOp::Delete(uri, name) => match Uri::parse(uri) {
+                Ok(u) => {
+                    self.store.delete(&u, &name, now_ns);
+                    RcMsg::Response { id, ok: true, assertions: vec![], uris: vec![] }
+                }
+                Err(_) => RcMsg::Response { id, ok: false, assertions: vec![], uris: vec![] },
+            },
+            RcOp::Find(name, value) => RcMsg::Response {
+                id,
+                ok: true,
+                assertions: vec![],
+                uris: self.store.find_by_attr(&name, &value),
+            },
+        };
+        self.send(ctx, from, &resp);
+    }
+
+    fn arm_timer(&self, ctx: &mut Ctx<'_>) {
+        if !self.peers.is_empty() {
+            ctx.set_timer(self.sync_interval, TIMER_SYNC);
+        }
+    }
+}
+
+impl Actor for RcServerActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::HostUp => self.arm_timer(ctx),
+            Event::Timer { token: TIMER_SYNC } => {
+                self.sync_rounds += 1;
+                let peers: Vec<Endpoint> =
+                    self.peers.iter().copied().filter(|p| p.host != ctx.host()).collect();
+                if let Some(&peer) = ctx.rng().choose(&peers) {
+                    let msg = RcMsg::SyncReq { vector: self.store.version_vector().clone() };
+                    self.send(ctx, peer, &msg);
+                }
+                self.arm_timer(ctx);
+            }
+            Event::Timer { .. } => {}
+            Event::Packet { from, payload } => {
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return; // not RC traffic; ignore
+                };
+                let Ok(msg) = RcMsg::decode_from_bytes(body) else {
+                    return;
+                };
+                match msg {
+                    RcMsg::Request { id, op } => self.handle_request(ctx, from, id, op),
+                    RcMsg::SyncReq { vector } => {
+                        let updates = self.store.updates_since(&vector, PUSH_BATCH);
+                        let more = updates.len() == PUSH_BATCH;
+                        if !updates.is_empty() {
+                            self.send(ctx, from, &RcMsg::SyncPush { updates, more });
+                        }
+                    }
+                    RcMsg::SyncPush { updates, more } => {
+                        for u in updates {
+                            self.store.apply(u);
+                        }
+                        if more {
+                            // Keep draining the peer without waiting a round.
+                            let msg =
+                                RcMsg::SyncReq { vector: self.store.version_vector().clone() };
+                            self.send(ctx, from, &msg);
+                        }
+                    }
+                    RcMsg::Response { .. } => {}
+                }
+            }
+            Event::HostDown | Event::Signal { .. } => {}
+        }
+    }
+}

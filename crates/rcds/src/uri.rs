@@ -1,0 +1,162 @@
+//! The global name space.
+//!
+//! "Because RCDS resources are named by URLs or URNs, SNIPE processes
+//! and their metadata are addressable using a widely-deployed global
+//! name space" (§3.1). Three syntaxes appear in the paper:
+//!
+//! * **URLs** — locations, e.g. `snipe://ajax.cs.utk.edu/` for a host;
+//! * **URNs** — location-independent names, e.g. `urn:snipe:proc:42`;
+//! * **LIFNs** — Location-Independent File Names for replicated files
+//!   and multi-location services (§5.7), e.g. `lifn:snipe:ckpt-7`.
+
+use std::fmt;
+
+use snipe_util::error::{SnipeError, SnipeResult};
+
+/// A validated URI (URL, URN or LIFN).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uri(String);
+
+impl Uri {
+    /// Parse and validate. Accepts `scheme:rest` where scheme is
+    /// alphanumeric and rest is non-empty printable ASCII.
+    pub fn parse(s: impl Into<String>) -> SnipeResult<Uri> {
+        let s = s.into();
+        let Some(colon) = s.find(':') else {
+            return Err(SnipeError::Invalid(format!("URI without scheme: {s}")));
+        };
+        let (scheme, rest) = s.split_at(colon);
+        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-') {
+            return Err(SnipeError::Invalid(format!("bad URI scheme: {s}")));
+        }
+        if rest.len() <= 1 || !rest.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+            return Err(SnipeError::Invalid(format!("bad URI body: {s}")));
+        }
+        Ok(Uri(s))
+    }
+
+    /// The scheme (before the first colon).
+    pub fn scheme(&self) -> &str {
+        &self.0[..self.0.find(':').expect("validated")]
+    }
+
+    /// The full string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Is this a URN (location-independent name)?
+    pub fn is_urn(&self) -> bool {
+        self.scheme() == "urn"
+    }
+
+    /// Is this a LIFN?
+    pub fn is_lifn(&self) -> bool {
+        self.scheme() == "lifn"
+    }
+
+    // ---- canonical SNIPE name constructors ----
+
+    /// The distinguished URL for a host (§5.2.1).
+    pub fn host(hostname: &str) -> Uri {
+        Uri(format!("snipe://{hostname}/"))
+    }
+
+    /// The distinguished URN for a process (§5.2.3).
+    pub fn process(proc_id: u64) -> Uri {
+        Uri(format!("urn:snipe:proc:{proc_id}"))
+    }
+
+    /// The URN of a multicast group (§5.2.4).
+    pub fn mcast_group(name: &str) -> Uri {
+        Uri(format!("urn:snipe:mcast:{name}"))
+    }
+
+    /// The URI under which a group's *router set* is registered, keyed
+    /// by the group's 64-bit wire id (what daemons and members share).
+    pub fn mcast_group_wire(gid: u64) -> Uri {
+        Uri(format!("urn:snipe:mcastgrp:{gid}"))
+    }
+
+    /// The LIFN of a replicated file (§5.9).
+    pub fn file(name: &str) -> Uri {
+        Uri(format!("lifn:snipe:file:{name}"))
+    }
+
+    /// The LIFN of a multi-location service (§5.7).
+    pub fn service(name: &str) -> Uri {
+        Uri(format!("lifn:snipe:service:{name}"))
+    }
+
+    /// The URN of a named user principal (§4).
+    pub fn user(name: &str) -> Uri {
+        Uri(format!("urn:snipe:user:{name}"))
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_schemes() {
+        for s in ["http://x.y/z", "urn:snipe:proc:1", "lifn:snipe:file:a", "snipe://h/"] {
+            let u = Uri::parse(s).unwrap();
+            assert_eq!(u.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "noscheme", ":", "a:", "sp ace:x", "urn:with space"] {
+            assert!(Uri::parse(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn scheme_classification() {
+        assert!(Uri::process(1).is_urn());
+        assert!(!Uri::process(1).is_lifn());
+        assert!(Uri::file("f").is_lifn());
+        assert_eq!(Uri::host("ajax.cs.utk.edu").scheme(), "snipe");
+    }
+
+    #[test]
+    fn constructors_are_parseable_and_distinct() {
+        let all = [
+            Uri::host("h"),
+            Uri::process(7),
+            Uri::mcast_group("g"),
+            Uri::file("f"),
+            Uri::service("s"),
+            Uri::user("u"),
+        ];
+        for u in &all {
+            assert!(Uri::parse(u.as_str()).is_ok());
+        }
+        let mut strings: Vec<&str> = all.iter().map(|u| u.as_str()).collect();
+        strings.sort_unstable();
+        strings.dedup();
+        assert_eq!(strings.len(), all.len());
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        let a = Uri::process(1);
+        let b = Uri::process(2);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "urn:snipe:proc:1");
+    }
+}

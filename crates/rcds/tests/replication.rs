@@ -1,0 +1,192 @@
+//! Integration: RC replicas over the network simulator — convergence by
+//! anti-entropy and availability through replica failover (paper §2.1,
+//! §6; basis of experiment E3).
+
+use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::medium::Medium;
+use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::world::World;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::server::RcServerActor;
+use snipe_rcds::uri::Uri;
+use snipe_util::id::HostId;
+use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::frame::{open, seal, Proto};
+use snipe_wire::ports;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A test client actor wrapping RcClient.
+struct ClientActor {
+    rc: RcClient,
+    script: Vec<(SimDuration, Op)>,
+    results: Rc<RefCell<Vec<(u64, bool, Vec<Assertion>)>>>,
+}
+
+enum Op {
+    Put(Uri, &'static str, &'static str),
+    Get(Uri),
+}
+
+const TIMER_SCRIPT: u64 = 100;
+const TIMER_RC: u64 = 101;
+
+impl ClientActor {
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        for (id, result) in self.rc.drain_done() {
+            match result {
+                Ok(reply) => self.results.borrow_mut().push((id, true, reply.assertions)),
+                Err(_) => self.results.borrow_mut().push((id, false, vec![])),
+            }
+        }
+        if let Some(dl) = self.rc.next_deadline() {
+            let delay = dl.saturating_since(ctx.now()) + SimDuration::from_micros(1);
+            ctx.set_timer(delay, TIMER_RC);
+        }
+    }
+}
+
+impl Actor for ClientActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                if !self.script.is_empty() {
+                    ctx.set_timer(self.script[0].0, TIMER_SCRIPT);
+                }
+            }
+            Event::Timer { token: TIMER_SCRIPT } => {
+                let (_, op) = self.script.remove(0);
+                match op {
+                    Op::Put(uri, k, v) => {
+                        self.rc.put(ctx.now(), &uri, vec![Assertion::new(k, v)]);
+                    }
+                    Op::Get(uri) => {
+                        self.rc.get(ctx.now(), &uri);
+                    }
+                }
+                if !self.script.is_empty() {
+                    let next = self.script[0].0;
+                    ctx.set_timer(next, TIMER_SCRIPT);
+                }
+                self.flush(ctx);
+            }
+            Event::Timer { token: TIMER_RC } => {
+                self.rc.on_timer(ctx.now());
+                self.flush(ctx);
+            }
+            Event::Packet { from, payload } => {
+                if let Ok((Proto::Raw, body)) = open(payload) {
+                    self.rc.on_packet(ctx.now(), from, body);
+                }
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build_world(replicas: usize) -> (World, Vec<Endpoint>, HostId) {
+    let mut topo = Topology::new();
+    let net = topo.add_network("lan", Medium::ethernet100(), true);
+    let mut eps = Vec::new();
+    for i in 0..replicas {
+        let h = topo.add_host(HostCfg::named(format!("rc{i}")));
+        topo.attach(h, net);
+        eps.push(Endpoint::new(h, ports::RC_SERVER));
+    }
+    let client_host = topo.add_host(HostCfg::named("client"));
+    topo.attach(client_host, net);
+    let mut world = World::new(topo, 42);
+    for (i, ep) in eps.iter().enumerate() {
+        let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| e != ep).collect();
+        let server = RcServerActor::new(i as u64 + 1, peers, SimDuration::from_millis(200));
+        world.spawn(ep.host, ep.port, Box::new(server));
+    }
+    (world, eps, client_host)
+}
+
+#[test]
+fn put_on_one_replica_readable_from_another_after_sync() {
+    let (mut world, eps, client_host) = build_world(3);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let uri = Uri::process(7);
+    // Writer talks only to replica 0; reader only to replica 2.
+    let writer = ClientActor {
+        rc: RcClient::new(vec![eps[0]], SimDuration::from_millis(50)),
+        script: vec![(SimDuration::from_millis(1), Op::Put(uri.clone(), "loc", "h9:100"))],
+        results: results.clone(),
+    };
+    let reader = ClientActor {
+        rc: RcClient::new(vec![eps[2]], SimDuration::from_millis(50)),
+        script: vec![(SimDuration::from_secs(2), Op::Get(uri.clone()))],
+        results: results.clone(),
+    };
+    world.spawn(client_host, 50, Box::new(writer));
+    world.spawn(client_host, 51, Box::new(reader));
+    world.run_for(SimDuration::from_secs(3));
+    let res = results.borrow();
+    assert_eq!(res.len(), 2, "both ops must complete: {res:?}");
+    let get = res.iter().find(|(_, _, a)| !a.is_empty()).expect("get returned data");
+    assert_eq!(get.2[0].name, "loc");
+    assert_eq!(get.2[0].value, "h9:100");
+}
+
+#[test]
+fn client_fails_over_when_preferred_replica_dies() {
+    let (mut world, eps, client_host) = build_world(3);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let uri = Uri::process(9);
+    // Seed data into replica 1 (which gossips to all).
+    let writer = ClientActor {
+        rc: RcClient::new(vec![eps[1]], SimDuration::from_millis(50)),
+        script: vec![(SimDuration::from_millis(1), Op::Put(uri.clone(), "k", "v"))],
+        results: results.clone(),
+    };
+    // Reader prefers replica 0, which we kill before the read.
+    let reader = ClientActor {
+        rc: RcClient::new(vec![eps[0], eps[1], eps[2]], SimDuration::from_millis(50)),
+        script: vec![(SimDuration::from_secs(2), Op::Get(uri.clone()))],
+        results: results.clone(),
+    };
+    world.spawn(client_host, 50, Box::new(writer));
+    world.spawn(client_host, 51, Box::new(reader));
+    let dead = eps[0].host;
+    world.schedule_fn(SimTime::ZERO + SimDuration::from_secs(1), move |w| w.host_down(dead));
+    world.run_for(SimDuration::from_secs(4));
+    let res = results.borrow();
+    let get = res.iter().find(|(_, _, a)| !a.is_empty());
+    assert!(get.is_some(), "read must succeed via failover: {res:?}");
+}
+
+#[test]
+fn recovered_replica_catches_up() {
+    let (mut world, eps, client_host) = build_world(2);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let uri = Uri::process(11);
+    // Kill replica 1 first; write to replica 0 while 1 is down; revive
+    // 1; then read from 1 only.
+    let dead = eps[1].host;
+    world.schedule_fn(SimTime::ZERO + SimDuration::from_millis(10), move |w| w.host_down(dead));
+    let writer = ClientActor {
+        rc: RcClient::new(vec![eps[0]], SimDuration::from_millis(50)),
+        script: vec![(SimDuration::from_millis(100), Op::Put(uri.clone(), "k", "late"))],
+        results: results.clone(),
+    };
+    world.schedule_fn(SimTime::ZERO + SimDuration::from_secs(1), move |w| w.host_up(dead));
+    let reader = ClientActor {
+        rc: RcClient::new(vec![eps[1]], SimDuration::from_millis(50)),
+        script: vec![(SimDuration::from_secs(3), Op::Get(uri.clone()))],
+        results: results.clone(),
+    };
+    world.spawn(client_host, 50, Box::new(writer));
+    world.spawn(client_host, 51, Box::new(reader));
+    world.run_for(SimDuration::from_secs(5));
+    let res = results.borrow();
+    let get = res.iter().find(|(_, _, a)| !a.is_empty());
+    assert!(get.is_some(), "revived replica must have caught up: {res:?}");
+    assert_eq!(get.unwrap().2[0].value, "late");
+}

@@ -1,0 +1,517 @@
+//! The resource manager actor.
+//!
+//! State design: the RM keeps **no private authoritative state** — it
+//! reads host descriptors and load from RC metadata (§5.2: "little is
+//! hidden in internal data structures") and holds only soft caches and
+//! in-flight request bookkeeping. That is what makes redundant RMs
+//! trivially correct: clients fail over to any replica RM and observe
+//! the same RC-backed view.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use snipe_crypto::cert::{CertClaim, Certificate, TrustPurpose, TrustStore};
+use snipe_crypto::sign::KeyPair;
+use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::topology::Endpoint;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::uri::Uri;
+use snipe_util::codec::{WireDecode, WireEncode};
+use snipe_util::id::HostId;
+use snipe_util::rng::Xoshiro256;
+use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::frame::{open, seal, Proto};
+
+use snipe_daemon::proto::{DaemonMsg, SpawnSpec};
+
+use crate::proto::{AllocMode, Allocation, RmMsg};
+
+const TIMER_REFRESH: u64 = 1;
+const TIMER_RC: u64 = 2;
+const TIMER_PENDING: u64 = 3;
+
+/// RM configuration.
+#[derive(Clone)]
+pub struct RmConfig {
+    /// RC replicas to read host metadata from.
+    pub rc_replicas: Vec<Endpoint>,
+    /// How often to refresh the host cache.
+    pub refresh_interval: SimDuration,
+    /// Per-allocation daemon response timeout.
+    pub spawn_timeout: SimDuration,
+    /// Keys this RM trusts for user/host certification (§4 CA role).
+    pub trust: TrustStore,
+    /// Deterministic seed for this RM's signing key.
+    pub key_seed: u64,
+}
+
+impl RmConfig {
+    /// Defaults against the given RC replicas.
+    pub fn new(rc_replicas: Vec<Endpoint>) -> RmConfig {
+        RmConfig {
+            rc_replicas,
+            refresh_interval: SimDuration::from_secs(2),
+            spawn_timeout: SimDuration::from_millis(500),
+            trust: TrustStore::new(),
+            key_seed: 0x524d,
+        }
+    }
+}
+
+/// Cached view of one managed host.
+#[derive(Clone, Debug)]
+struct HostInfo {
+    hostname: String,
+    daemon: Endpoint,
+    cpu_factor: f64,
+    load: f64,
+    arch: String,
+}
+
+/// An allocation in progress.
+struct PendingAlloc {
+    client: Endpoint,
+    client_req: u64,
+    spec: SpawnSpec,
+    want: u32,
+    granted: Vec<Allocation>,
+    /// daemon req id -> (hostname, daemon ep)
+    outstanding: HashMap<u64, (String, Endpoint)>,
+    /// Hosts already tried (avoid retrying a dead host).
+    tried: Vec<String>,
+    deadline: SimTime,
+    retries: u32,
+}
+
+/// The resource manager actor (listens on `snipe_wire::ports::RESOURCE_MANAGER`).
+pub struct RmActor {
+    cfg: RmConfig,
+    rc: RcClient,
+    keypair: KeyPair,
+    hosts: Vec<HostInfo>,
+    /// Soft reservations: hostname -> count, decayed on refresh.
+    reserved: HashMap<String, u32>,
+    /// RC request id -> host URI being fetched.
+    rc_gets: HashMap<u64, String>,
+    pending: HashMap<u64, PendingAlloc>,
+    rc_gate: TimerGate,
+    next_id: u64,
+    /// Allocations served (diagnostics).
+    pub allocations_served: u64,
+    /// Authorizations granted / denied (diagnostics).
+    pub auth_granted: u64,
+    /// Authorizations denied.
+    pub auth_denied: u64,
+}
+
+impl RmActor {
+    /// New RM.
+    pub fn new(cfg: RmConfig) -> RmActor {
+        let mut rng = Xoshiro256::seed_from_u64(cfg.key_seed);
+        let keypair = KeyPair::generate_default(&mut rng);
+        let rc = RcClient::new(cfg.rc_replicas.clone(), SimDuration::from_millis(250));
+        RmActor {
+            cfg,
+            rc,
+            keypair,
+            hosts: Vec::new(),
+            reserved: HashMap::new(),
+            rc_gets: HashMap::new(),
+            pending: HashMap::new(),
+            rc_gate: TimerGate::new(),
+            next_id: 1,
+            allocations_served: 0,
+            auth_granted: 0,
+            auth_denied: 0,
+        }
+    }
+
+    /// The RM's public key (trust anchor for daemons, §4).
+    pub fn public_key(&self) -> &snipe_crypto::sign::PublicKey {
+        &self.keypair.public
+    }
+
+    /// The RM's signing keypair (so worlds can pre-distribute trust).
+    pub fn keypair_for_seed(seed: u64) -> KeyPair {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        KeyPair::generate_default(&mut rng)
+    }
+
+    /// Number of hosts currently cached.
+    pub fn known_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn send_msg(&self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &RmMsg) {
+        ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
+    }
+
+    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        let done = self.rc.drain_done();
+        for (id, result) in done {
+            let Some(uri) = self.rc_gets.remove(&id) else {
+                // A Find completion: schedule Gets for each found host.
+                if let Ok(reply) = &result {
+                    for u in &reply.uris {
+                        if let Ok(parsed) = Uri::parse(u.clone()) {
+                            let rid = self.rc.get(ctx.now(), &parsed);
+                            self.rc_gets.insert(rid, u.clone());
+                        }
+                    }
+                }
+                continue;
+            };
+            let Ok(reply) = result else { continue };
+            // Parse a host descriptor.
+            let mut hostname = String::new();
+            let mut daemon = None;
+            let mut cpu_factor = 1.0;
+            let mut load = 0.0;
+            let mut arch = String::new();
+            if let Some(rest) = uri.strip_prefix("snipe://") {
+                hostname = rest.trim_end_matches('/').to_string();
+            }
+            for a in &reply.assertions {
+                match a.name.as_str() {
+                    "daemon-endpoint" => {
+                        if let Some((h, p)) = a.value.split_once(':') {
+                            if let (Ok(h), Ok(p)) = (h.parse::<u32>(), p.parse::<u16>()) {
+                                daemon = Some(Endpoint::new(HostId(h), p));
+                            }
+                        }
+                    }
+                    "cpu-factor" => cpu_factor = a.value.parse().unwrap_or(1.0),
+                    "load" => load = a.value.parse().unwrap_or(0.0),
+                    "arch" => arch = a.value.clone(),
+                    _ => {}
+                }
+            }
+            if let Some(daemon) = daemon {
+                match self.hosts.iter_mut().find(|h| h.hostname == hostname) {
+                    Some(h) => {
+                        h.daemon = daemon;
+                        h.cpu_factor = cpu_factor;
+                        h.load = load;
+                        h.arch = arch;
+                    }
+                    None => self.hosts.push(HostInfo { hostname, daemon, cpu_factor, load, arch }),
+                }
+            }
+        }
+        if let Some(dl) = self.rc.next_deadline() {
+            self.rc_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_RC);
+        }
+    }
+
+    /// Rank usable hosts for a spec: effective load ascending.
+    fn select_hosts(&self, spec: &SpawnSpec, count: usize, exclude: &[String]) -> Vec<HostInfo> {
+        let mut candidates: Vec<&HostInfo> = self
+            .hosts
+            .iter()
+            .filter(|h| spec.arch.is_empty() || h.arch == spec.arch)
+            .filter(|h| h.cpu_factor >= spec.min_cpu_factor)
+            .filter(|h| !exclude.contains(&h.hostname))
+            .collect();
+        candidates.sort_by(|a, b| {
+            let ea = (a.load + *self.reserved.get(&a.hostname).unwrap_or(&0) as f64) / a.cpu_factor;
+            let eb = (b.load + *self.reserved.get(&b.hostname).unwrap_or(&0) as f64) / b.cpu_factor;
+            ea.partial_cmp(&eb).expect("loads are finite").then(a.hostname.cmp(&b.hostname))
+        });
+        candidates.into_iter().take(count).cloned().collect()
+    }
+
+    fn handle_alloc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Endpoint,
+        req_id: u64,
+        spec: SpawnSpec,
+        count: u32,
+        mode: AllocMode,
+    ) {
+        let chosen = self.select_hosts(&spec, count as usize, &[]);
+        if chosen.len() < count as usize {
+            let resp = RmMsg::AllocResp {
+                req_id,
+                ok: false,
+                allocations: vec![],
+                error: format!("only {} of {count} hosts available", chosen.len()),
+            };
+            self.send_msg(ctx, from, &resp);
+            return;
+        }
+        for h in &chosen {
+            *self.reserved.entry(h.hostname.clone()).or_insert(0) += 1;
+        }
+        match mode {
+            AllocMode::Passive => {
+                self.allocations_served += 1;
+                let allocations = chosen
+                    .iter()
+                    .map(|h| Allocation {
+                        hostname: h.hostname.clone(),
+                        daemon: h.daemon,
+                        task: Endpoint::new(h.daemon.host, 0),
+                        proc_key: 0,
+                    })
+                    .collect();
+                let resp =
+                    RmMsg::AllocResp { req_id, ok: true, allocations, error: String::new() };
+                self.send_msg(ctx, from, &resp);
+            }
+            AllocMode::Active => {
+                // Proxy: spawn on each chosen daemon.
+                let alloc_id = self.next_id;
+                self.next_id += 1;
+                let mut outstanding = HashMap::new();
+                let mut tried = Vec::new();
+                for h in &chosen {
+                    let did = self.next_id;
+                    self.next_id += 1;
+                    let msg = DaemonMsg::SpawnReq { req_id: did, spec: spec.clone() };
+                    ctx.send(h.daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+                    outstanding.insert(did, (h.hostname.clone(), h.daemon));
+                    tried.push(h.hostname.clone());
+                }
+                let deadline = ctx.now() + self.cfg.spawn_timeout;
+                self.pending.insert(
+                    alloc_id,
+                    PendingAlloc {
+                        client: from,
+                        client_req: req_id,
+                        spec,
+                        want: count,
+                        granted: Vec::new(),
+                        outstanding,
+                        tried,
+                        deadline,
+                        retries: 0,
+                    },
+                );
+                ctx.set_timer(self.cfg.spawn_timeout + SimDuration::from_micros(1), TIMER_PENDING);
+            }
+        }
+    }
+
+    fn handle_spawn_resp(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        did: u64,
+        ok: bool,
+        endpoint: Endpoint,
+        proc_key: u64,
+    ) {
+        let Some((alloc_id, _)) = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.outstanding.contains_key(&did))
+            .map(|(k, p)| (*k, p.client))
+        else {
+            return;
+        };
+        let p = self.pending.get_mut(&alloc_id).expect("found above");
+        let (hostname, daemon) = p.outstanding.remove(&did).expect("contains did");
+        if ok {
+            p.granted.push(Allocation { hostname, daemon, task: endpoint, proc_key });
+        }
+        if p.granted.len() as u32 == p.want {
+            let p = self.pending.remove(&alloc_id).expect("present");
+            self.allocations_served += 1;
+            let resp = RmMsg::AllocResp {
+                req_id: p.client_req,
+                ok: true,
+                allocations: p.granted,
+                error: String::new(),
+            };
+            self.send_msg(ctx, p.client, &resp);
+        }
+    }
+
+    /// Timeout path: retry missing spawns on other hosts, or fail.
+    fn check_pending(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now && !p.outstanding.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        for alloc_id in expired {
+            let p = self.pending.get_mut(&alloc_id).expect("expired present");
+            p.outstanding.clear();
+            let missing = p.want as usize - p.granted.len();
+            if p.retries >= 2 {
+                let p = self.pending.remove(&alloc_id).expect("present");
+                let resp = RmMsg::AllocResp {
+                    req_id: p.client_req,
+                    ok: false,
+                    allocations: p.granted,
+                    error: "spawn timeout".into(),
+                };
+                self.send_msg(ctx, p.client, &resp);
+                continue;
+            }
+            p.retries += 1;
+            p.deadline = now + self.cfg.spawn_timeout;
+            let spec = p.spec.clone();
+            let tried = p.tried.clone();
+            let replacement = self.select_hosts(&spec, missing, &tried);
+            if replacement.len() < missing {
+                let p = self.pending.remove(&alloc_id).expect("present");
+                let resp = RmMsg::AllocResp {
+                    req_id: p.client_req,
+                    ok: false,
+                    allocations: p.granted,
+                    error: "no replacement hosts".into(),
+                };
+                self.send_msg(ctx, p.client, &resp);
+                continue;
+            }
+            let mut new_outstanding = Vec::new();
+            for h in &replacement {
+                let did = self.next_id;
+                self.next_id += 1;
+                new_outstanding.push((did, h.hostname.clone(), h.daemon));
+            }
+            let p = self.pending.get_mut(&alloc_id).expect("still present");
+            for (did, hostname, daemon) in &new_outstanding {
+                p.outstanding.insert(*did, (hostname.clone(), *daemon));
+                p.tried.push(hostname.clone());
+            }
+            let spec = p.spec.clone();
+            for (did, _, daemon) in new_outstanding {
+                let msg = DaemonMsg::SpawnReq { req_id: did, spec: spec.clone() };
+                ctx.send(daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+            }
+            ctx.set_timer(self.cfg.spawn_timeout + SimDuration::from_micros(1), TIMER_PENDING);
+        }
+    }
+
+    /// §4: verify the two certificates and issue a signed authorization.
+    fn handle_auth(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Endpoint,
+        req_id: u64,
+        user_cert: Bytes,
+        host_cert: Bytes,
+        resource: String,
+    ) {
+        let deny = |this: &mut Self, ctx: &mut Ctx<'_>, error: String| {
+            this.auth_denied += 1;
+            let resp = RmMsg::AuthResp { req_id, ok: false, grant: Bytes::new(), error };
+            this.send_msg(ctx, from, &resp);
+        };
+        let user = match Certificate::decode_from_bytes(user_cert) {
+            Ok(c) => c,
+            Err(e) => return deny(self, ctx, format!("bad user cert: {e}")),
+        };
+        let host = match Certificate::decode_from_bytes(host_cert) {
+            Ok(c) => c,
+            Err(e) => return deny(self, ctx, format!("bad host cert: {e}")),
+        };
+        // "The first certificate is verified by checking the user's key
+        // certificate ... the second by checking the requesting host's
+        // key certificate" (§4).
+        if let Err(e) = self.cfg.trust.verify(TrustPurpose::UserCertification, &user) {
+            return deny(self, ctx, format!("user cert untrusted: {e}"));
+        }
+        if let Err(e) = self.cfg.trust.verify(TrustPurpose::HostCertification, &host) {
+            return deny(self, ctx, format!("host cert untrusted: {e}"));
+        }
+        // The user's certificate must cover the requested resource.
+        match user.claim("resources") {
+            Some(r) if r == "*" || r.split(',').any(|x| x == resource) => {}
+            _ => return deny(self, ctx, "user not granted this resource".into()),
+        }
+        // Issue our own signed authorization (the statement transmitted
+        // to the hosts where the resources reside).
+        self.auth_granted += 1;
+        let grant = Certificate::issue(
+            ctx.rng(),
+            &self.keypair,
+            user.subject.clone(),
+            user.subject_key.clone(),
+            vec![
+                CertClaim { name: "allowed-hosts".into(), value: resource },
+                CertClaim { name: "granted-by".into(), value: self.keypair.public.fingerprint_hex() },
+            ],
+        );
+        let resp = RmMsg::AuthResp {
+            req_id,
+            ok: true,
+            grant: grant.encode_to_bytes(),
+            error: String::new(),
+        };
+        self.send_msg(ctx, from, &resp);
+    }
+
+    fn refresh(&mut self, ctx: &mut Ctx<'_>) {
+        // Decay reservations (daemon load reports supersede them).
+        self.reserved.clear();
+        self.rc.find(ctx.now(), "type", "host");
+        self.flush_rc(ctx);
+        ctx.set_timer(self.cfg.refresh_interval, TIMER_REFRESH);
+    }
+}
+
+impl Actor for RmActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::HostUp => self.refresh(ctx),
+            Event::HostDown => {}
+            Event::Timer { token: TIMER_REFRESH } => self.refresh(ctx),
+            Event::Timer { token: TIMER_RC } => {
+                self.rc_gate.fired();
+                self.rc.on_timer(ctx.now());
+                self.flush_rc(ctx);
+            }
+            Event::Timer { token: TIMER_PENDING } => self.check_pending(ctx),
+            Event::Timer { .. } | Event::Signal { .. } => {}
+            Event::Packet { from, payload } => {
+                let Ok((Proto::Raw, body)) = open(payload) else { return };
+                if let Ok(msg) = RmMsg::decode_from_bytes(body.clone()) {
+                    match msg {
+                        RmMsg::AllocReq { req_id, spec, count, mode } => {
+                            self.handle_alloc(ctx, from, req_id, spec, count, mode)
+                        }
+                        RmMsg::AuthReq { req_id, user_cert, host_cert, resource } => {
+                            self.handle_auth(ctx, from, req_id, user_cert, host_cert, resource)
+                        }
+                        RmMsg::TaskControl { daemon, port, signum } => {
+                            let msg = if signum == 0 {
+                                DaemonMsg::Kill { port }
+                            } else {
+                                DaemonMsg::Signal { port, signum }
+                            };
+                            ctx.send(daemon, seal(Proto::Raw, msg.encode_to_bytes()));
+                        }
+                        RmMsg::Migrate { task, target_host } => {
+                            // §3.5 active mode: the RM directs a mobile
+                            // process to another host; the process
+                            // checkpoint/cutover machinery does the rest.
+                            let mut e = snipe_util::codec::Encoder::new();
+                            e.put_u8(0xAA);
+                            e.put_str(&target_host);
+                            ctx.send(task, seal(Proto::Raw, e.finish()));
+                        }
+                        RmMsg::AllocResp { .. } | RmMsg::AuthResp { .. } => {}
+                    }
+                    return;
+                }
+                if let Ok(dmsg) = DaemonMsg::decode_from_bytes(body.clone()) {
+                    if let DaemonMsg::SpawnResp { req_id, ok, endpoint, proc_key, .. } = dmsg {
+                        self.handle_spawn_resp(ctx, req_id, ok, endpoint, proc_key);
+                    }
+                    return;
+                }
+                self.rc.on_packet(ctx.now(), from, body);
+                self.flush_rc(ctx);
+            }
+        }
+    }
+}

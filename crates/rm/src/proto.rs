@@ -1,0 +1,265 @@
+//! Resource manager protocol messages.
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::id::HostId;
+
+use snipe_daemon::proto::SpawnSpec;
+
+/// Passive reservation vs active proxy allocation (§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Reserve capacity; the caller spawns via the daemons itself.
+    Passive,
+    /// The RM spawns on the caller's behalf and returns live endpoints.
+    Active,
+}
+
+/// One granted allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allocation {
+    /// Chosen host's name.
+    pub hostname: String,
+    /// The host's daemon endpoint (always valid).
+    pub daemon: Endpoint,
+    /// Spawned task endpoint (active mode only; port 0 otherwise).
+    pub task: Endpoint,
+    /// Spawned task's process key (active mode only; 0 otherwise).
+    pub proc_key: u64,
+}
+
+fn put_ep(enc: &mut Encoder, ep: Endpoint) {
+    enc.put_u32(ep.host.0);
+    enc.put_u16(ep.port);
+}
+
+fn get_ep(dec: &mut Decoder) -> SnipeResult<Endpoint> {
+    Ok(Endpoint::new(HostId(dec.get_u32()?), dec.get_u16()?))
+}
+
+impl WireEncode for Allocation {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.hostname);
+        put_ep(enc, self.daemon);
+        put_ep(enc, self.task);
+        enc.put_u64(self.proc_key);
+    }
+}
+
+impl WireDecode for Allocation {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        Ok(Allocation {
+            hostname: dec.get_str()?,
+            daemon: get_ep(dec)?,
+            task: get_ep(dec)?,
+            proc_key: dec.get_u64()?,
+        })
+    }
+}
+
+/// RM wire messages (Raw-sealed on the RM port).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RmMsg {
+    /// Request `count` resources matching `spec`.
+    AllocReq {
+        /// Echoed id.
+        req_id: u64,
+        /// Requirements + program (program used in active mode).
+        spec: SpawnSpec,
+        /// How many tasks/hosts.
+        count: u32,
+        /// Passive or active.
+        mode: AllocMode,
+    },
+    /// Allocation outcome.
+    AllocResp {
+        /// Echoed id.
+        req_id: u64,
+        /// All `count` allocations succeeded?
+        ok: bool,
+        /// Granted allocations (possibly partial on !ok).
+        allocations: Vec<Allocation>,
+        /// Failure description.
+        error: String,
+    },
+    /// §4 dual-certificate authorization request.
+    AuthReq {
+        /// Echoed id.
+        req_id: u64,
+        /// Encoded user certificate granting the process access.
+        user_cert: Bytes,
+        /// Encoded host certificate vouching for the requesting process.
+        host_cert: Bytes,
+        /// The resource being requested (hostname or URI).
+        resource: String,
+    },
+    /// Authorization outcome: a certificate signed by the RM.
+    AuthResp {
+        /// Echoed id.
+        req_id: u64,
+        /// Granted?
+        ok: bool,
+        /// Encoded authorization certificate (when ok).
+        grant: Bytes,
+        /// Failure description.
+        error: String,
+    },
+    /// Active-mode task control: suspend/kill relayed to the daemon.
+    TaskControl {
+        /// Target daemon.
+        daemon: Endpoint,
+        /// Task port on that host.
+        port: u16,
+        /// 0 = kill, otherwise the signal number to deliver.
+        signum: u32,
+    },
+    /// Active-mode migration (§3.5): tell the task at `task` to move to
+    /// `target_host`.
+    Migrate {
+        /// The task's current endpoint.
+        task: Endpoint,
+        /// Destination hostname.
+        target_host: String,
+    },
+}
+
+/// Protocol magic for RM traffic.
+const MAGIC: u8 = 0xA3;
+
+const T_ALLOC_REQ: u8 = 1;
+const T_ALLOC_RESP: u8 = 2;
+const T_AUTH_REQ: u8 = 3;
+const T_AUTH_RESP: u8 = 4;
+const T_TASK_CONTROL: u8 = 5;
+const T_MIGRATE: u8 = 6;
+
+impl WireEncode for RmMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MAGIC);
+        match self {
+            RmMsg::AllocReq { req_id, spec, count, mode } => {
+                enc.put_u8(T_ALLOC_REQ);
+                enc.put_u64(*req_id);
+                spec.encode(enc);
+                enc.put_u32(*count);
+                enc.put_u8(matches!(mode, AllocMode::Active) as u8);
+            }
+            RmMsg::AllocResp { req_id, ok, allocations, error } => {
+                enc.put_u8(T_ALLOC_RESP);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                snipe_util::codec::encode_seq(enc, allocations.iter());
+                enc.put_str(error);
+            }
+            RmMsg::AuthReq { req_id, user_cert, host_cert, resource } => {
+                enc.put_u8(T_AUTH_REQ);
+                enc.put_u64(*req_id);
+                enc.put_bytes(user_cert);
+                enc.put_bytes(host_cert);
+                enc.put_str(resource);
+            }
+            RmMsg::AuthResp { req_id, ok, grant, error } => {
+                enc.put_u8(T_AUTH_RESP);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                enc.put_bytes(grant);
+                enc.put_str(error);
+            }
+            RmMsg::TaskControl { daemon, port, signum } => {
+                enc.put_u8(T_TASK_CONTROL);
+                put_ep(enc, *daemon);
+                enc.put_u16(*port);
+                enc.put_u32(*signum);
+            }
+            RmMsg::Migrate { task, target_host } => {
+                enc.put_u8(T_MIGRATE);
+                put_ep(enc, *task);
+                enc.put_str(target_host);
+            }
+        }
+    }
+}
+
+impl WireDecode for RmMsg {
+    fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
+        if dec.get_u8()? != MAGIC {
+            return Err(SnipeError::Codec("not an RM message".into()));
+        }
+        Ok(match dec.get_u8()? {
+            T_ALLOC_REQ => RmMsg::AllocReq {
+                req_id: dec.get_u64()?,
+                spec: SpawnSpec::decode(dec)?,
+                count: dec.get_u32()?,
+                mode: if dec.get_u8()? == 1 { AllocMode::Active } else { AllocMode::Passive },
+            },
+            T_ALLOC_RESP => RmMsg::AllocResp {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                allocations: snipe_util::codec::decode_seq(dec)?,
+                error: dec.get_str()?,
+            },
+            T_AUTH_REQ => RmMsg::AuthReq {
+                req_id: dec.get_u64()?,
+                user_cert: Bytes::from(dec.get_bytes()?),
+                host_cert: Bytes::from(dec.get_bytes()?),
+                resource: dec.get_str()?,
+            },
+            T_AUTH_RESP => RmMsg::AuthResp {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                grant: Bytes::from(dec.get_bytes()?),
+                error: dec.get_str()?,
+            },
+            T_TASK_CONTROL => RmMsg::TaskControl {
+                daemon: get_ep(dec)?,
+                port: dec.get_u16()?,
+                signum: dec.get_u32()?,
+            },
+            T_MIGRATE => RmMsg::Migrate { task: get_ep(dec)?, target_host: dec.get_str()? },
+            t => return Err(SnipeError::Codec(format!("unknown RM tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_round_trip() {
+        let msgs = vec![
+            RmMsg::AllocReq {
+                req_id: 1,
+                spec: SpawnSpec::program("w", Bytes::new()),
+                count: 4,
+                mode: AllocMode::Active,
+            },
+            RmMsg::AllocResp {
+                req_id: 1,
+                ok: true,
+                allocations: vec![Allocation {
+                    hostname: "h".into(),
+                    daemon: Endpoint::new(HostId(1), 1),
+                    task: Endpoint::new(HostId(1), 100),
+                    proc_key: 9,
+                }],
+                error: String::new(),
+            },
+            RmMsg::AuthReq {
+                req_id: 2,
+                user_cert: Bytes::from_static(b"u"),
+                host_cert: Bytes::from_static(b"h"),
+                resource: "worker1".into(),
+            },
+            RmMsg::AuthResp { req_id: 2, ok: false, grant: Bytes::new(), error: "no".into() },
+            RmMsg::TaskControl { daemon: Endpoint::new(HostId(2), 1), port: 100, signum: 0 },
+            RmMsg::Migrate { task: Endpoint::new(HostId(2), 100), target_host: "w3".into() },
+        ];
+        for m in msgs {
+            assert_eq!(RmMsg::decode_from_bytes(m.encode_to_bytes()).unwrap(), m);
+        }
+    }
+}

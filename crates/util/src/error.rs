@@ -1,0 +1,97 @@
+//! The common error type used across the SNIPE workspace.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type SnipeResult<T> = Result<T, SnipeError>;
+
+/// Errors surfaced by SNIPE components.
+///
+/// The variants mirror the failure classes the paper cares about:
+/// unreachable/unknown names, authentication failures, quota and
+/// permission violations in playgrounds, and malformed wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnipeError {
+    /// A URI / name could not be resolved by any reachable RC server.
+    NameNotFound(String),
+    /// No route / all replicas or links unreachable.
+    Unreachable(String),
+    /// A peer, server or host is down.
+    Unavailable(String),
+    /// Cryptographic verification failed (bad signature, bad MAC,
+    /// untrusted certificate chain).
+    AuthenticationFailed(String),
+    /// The caller holds no credential granting the operation.
+    PermissionDenied(String),
+    /// A playground resource quota (fuel, memory, messages) was exceeded.
+    QuotaExceeded(String),
+    /// Malformed or truncated wire data.
+    Codec(String),
+    /// Protocol violation (unexpected message for connection state, ...).
+    Protocol(String),
+    /// The operation timed out in simulated time.
+    Timeout(String),
+    /// Invalid argument or configuration.
+    Invalid(String),
+    /// The target exists but is in the wrong state (e.g. migrating,
+    /// exited, already registered).
+    WrongState(String),
+}
+
+impl SnipeError {
+    /// Short machine-readable tag for logs and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnipeError::NameNotFound(_) => "name-not-found",
+            SnipeError::Unreachable(_) => "unreachable",
+            SnipeError::Unavailable(_) => "unavailable",
+            SnipeError::AuthenticationFailed(_) => "auth-failed",
+            SnipeError::PermissionDenied(_) => "permission-denied",
+            SnipeError::QuotaExceeded(_) => "quota-exceeded",
+            SnipeError::Codec(_) => "codec",
+            SnipeError::Protocol(_) => "protocol",
+            SnipeError::Timeout(_) => "timeout",
+            SnipeError::Invalid(_) => "invalid",
+            SnipeError::WrongState(_) => "wrong-state",
+        }
+    }
+}
+
+impl fmt::Display for SnipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (tag, msg) = match self {
+            SnipeError::NameNotFound(m) => ("name not found", m),
+            SnipeError::Unreachable(m) => ("unreachable", m),
+            SnipeError::Unavailable(m) => ("unavailable", m),
+            SnipeError::AuthenticationFailed(m) => ("authentication failed", m),
+            SnipeError::PermissionDenied(m) => ("permission denied", m),
+            SnipeError::QuotaExceeded(m) => ("quota exceeded", m),
+            SnipeError::Codec(m) => ("codec error", m),
+            SnipeError::Protocol(m) => ("protocol error", m),
+            SnipeError::Timeout(m) => ("timeout", m),
+            SnipeError::Invalid(m) => ("invalid", m),
+            SnipeError::WrongState(m) => ("wrong state", m),
+        };
+        write!(f, "{tag}: {msg}")
+    }
+}
+
+impl std::error::Error for SnipeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind() {
+        let e = SnipeError::NameNotFound("urn:snipe:x".into());
+        assert_eq!(e.kind(), "name-not-found");
+        assert_eq!(format!("{e}"), "name not found: urn:snipe:x");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SnipeError::Timeout("t".into()));
+    }
+}

@@ -1,0 +1,112 @@
+//! Small integer identifiers for simulation entities.
+//!
+//! Global, Internet-wide names in SNIPE are URIs (see `snipe-rcds`);
+//! these dense integer ids exist purely so the simulator and its tables
+//! can index hosts, networks, links and processes in O(1) without string
+//! hashing on the hot path.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A simulated host (workstation, MPP node, PDA, ...).
+    HostId,
+    "h"
+);
+define_id!(
+    /// A simulated network segment (one medium: an Ethernet, an ATM
+    /// switch fabric, a WAN cloud...).
+    NetId,
+    "net"
+);
+define_id!(
+    /// One host's attachment to one network (a NIC).
+    LinkId,
+    "if"
+);
+
+/// A process identifier, unique within one simulation world.
+///
+/// SNIPE itself names processes by URN; `ProcId` is the simulator-local
+/// handle that the URN's metadata resolves to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u64);
+
+impl ProcId {
+    /// Raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let h = HostId::from_index(7);
+        assert_eq!(h.index(), 7);
+        assert_eq!(format!("{h}"), "h7");
+        assert_eq!(format!("{}", NetId(3)), "net3");
+        assert_eq!(format!("{}", LinkId(1)), "if1");
+        assert_eq!(format!("{}", ProcId(42)), "p42");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(HostId(1));
+        s.insert(HostId(1));
+        s.insert(HostId(2));
+        assert_eq!(s.len(), 2);
+        assert!(HostId(1) < HostId(2));
+    }
+}

@@ -1,0 +1,257 @@
+//! Streaming statistics and fixed-bucket histograms.
+//!
+//! Used by the benchmark harness to summarize experiment runs (mean,
+//! stddev, percentiles) without storing every sample, and by tests to
+//! check distributional properties of the failure injectors.
+
+/// Welford online mean/variance accumulator plus min/max.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact-percentile reservoir: stores all samples (fine for bench-scale
+/// sample counts) and answers arbitrary quantiles.
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Empty reservoir.
+    pub fn new() -> Self {
+        Percentiles { samples: Vec::new(), sorted: true }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; NaN if empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let idx = ((self.samples.len() as f64 - 1.0) * q).floor() as usize;
+        self.samples[idx]
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Fixed-width linear histogram over `[lo, hi)` with overflow buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `n` equal buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0, "invalid histogram bounds");
+        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let i = ((x - self.lo) / w) as usize;
+            let i = i.min(self.buckets.len() - 1);
+            self.buckets[i] += 1;
+        }
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Total samples recorded, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.stddev() - 1.2909944487).abs() < 1e-6);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.add(i as f64);
+        }
+        assert_eq!(p.median(), 50.0);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.quantile(1.0), 100.0);
+        assert_eq!(p.quantile(0.99), 99.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.buckets()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.buckets()[9], 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! The outer wire envelope.
+//!
+//! Every datagram on a SNIPE wire carries a one-byte protocol
+//! discriminator followed by the protocol's own header and payload, so
+//! one port can speak several protocols (the daemons multiplex control,
+//! SRUDP and multicast relay traffic).
+
+use bytes::Bytes;
+use snipe_util::codec::{Decoder, Encoder};
+use snipe_util::error::{SnipeError, SnipeResult};
+
+/// Protocol discriminators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// Selective-resend UDP (SNIPE's own reliable datagram protocol).
+    Srudp,
+    /// Reliable stream (TCP substitute).
+    Rstream,
+    /// Multicast relay.
+    Mcast,
+    /// Raw datagram: no reliability, delivered as-is.
+    Raw,
+}
+
+impl Proto {
+    fn tag(self) -> u8 {
+        match self {
+            Proto::Srudp => 1,
+            Proto::Rstream => 2,
+            Proto::Mcast => 3,
+            Proto::Raw => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> SnipeResult<Proto> {
+        Ok(match t {
+            1 => Proto::Srudp,
+            2 => Proto::Rstream,
+            3 => Proto::Mcast,
+            4 => Proto::Raw,
+            other => return Err(SnipeError::Codec(format!("unknown protocol tag {other}"))),
+        })
+    }
+}
+
+/// Wrap a protocol body in the envelope.
+pub fn seal(proto: Proto, body: Bytes) -> Bytes {
+    let mut enc = Encoder::with_capacity(body.len() + 1);
+    enc.put_u8(proto.tag());
+    enc.put_raw(&body);
+    enc.finish()
+}
+
+/// Split an envelope into protocol and body.
+pub fn open(datagram: Bytes) -> SnipeResult<(Proto, Bytes)> {
+    let mut dec = Decoder::new(datagram);
+    let proto = Proto::from_tag(dec.get_u8()?)?;
+    let rest = dec.get_raw(dec.remaining())?;
+    Ok((proto, rest))
+}
+
+/// Bytes of envelope overhead per datagram.
+pub const ENVELOPE_OVERHEAD: usize = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let b = seal(Proto::Srudp, Bytes::from_static(b"payload"));
+        let (p, body) = open(b).unwrap();
+        assert_eq!(p, Proto::Srudp);
+        assert_eq!(&body[..], b"payload");
+    }
+
+    #[test]
+    fn empty_body_ok() {
+        let b = seal(Proto::Raw, Bytes::new());
+        let (p, body) = open(b).unwrap();
+        assert_eq!(p, Proto::Raw);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let err = open(Bytes::from_static(&[99, 1, 2])).unwrap_err();
+        assert_eq!(err.kind(), "codec");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(open(Bytes::new()).is_err());
+    }
+}

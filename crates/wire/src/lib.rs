@@ -1,0 +1,66 @@
+//! # snipe-wire — SNIPE's multi-path communications sub-library
+//!
+//! The paper (§3, §6) describes a "separate non-PVM based communications
+//! sub-library ... based initially upon the UDP and TCP Internet
+//! protocols", providing:
+//!
+//! * a **selective re-send UDP protocol** ([`srudp`]) — SNIPE's own
+//!   reliable datagram protocol, the headline series of Fig. 1;
+//! * **TCP/IP** ([`rstream`]) — reproduced here as a from-scratch
+//!   reliable byte stream with cumulative ACKs and fast retransmit;
+//! * an **experimental multicast protocol** ([`mcast`]) — router-based
+//!   reliable group messaging per §5.4;
+//! * **fragmentation** ([`frag`]) and framing ([`frame`]);
+//! * **multiple communication paths** with transparent failover
+//!   ([`route`]): "the ability to switch routes/interfaces as links
+//!   failed without user applications intervention" (§6);
+//! * **system buffering** so "migrating or temporarily unavailable
+//!   tasks did not result in lost messages" ([`stack`]).
+//!
+//! All protocol logic is *sans-IO*: state machines consume
+//! `(now, packet)` and emit [`Out`] actions. [`stack::WireStack`] glues
+//! them together for embedding in a `snipe-netsim` actor.
+
+pub mod frag;
+pub mod frame;
+pub mod mcast;
+pub mod ports;
+pub mod route;
+pub mod rstream;
+pub mod srudp;
+pub mod stack;
+
+use bytes::Bytes;
+use snipe_netsim::topology::Endpoint;
+use snipe_util::id::NetId;
+use snipe_util::time::SimTime;
+
+/// Actions emitted by the sans-IO protocol state machines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Out {
+    /// Transmit a datagram.
+    Send {
+        /// Destination endpoint.
+        to: Endpoint,
+        /// Pinned network (multi-path), or `None` for default routing.
+        via: Option<NetId>,
+        /// Wire bytes.
+        bytes: Bytes,
+    },
+    /// A complete application message arrived.
+    Deliver {
+        /// The stable node key of the logical sender (survives
+        /// migration; see [`srudp`]).
+        from_key: u64,
+        /// The endpoint the final packet came from (the sender's
+        /// current location).
+        from_ep: Endpoint,
+        /// Message payload.
+        msg: Bytes,
+    },
+    /// The stack wants `on_timer` called no later than this instant.
+    Wake {
+        /// Deadline.
+        at: SimTime,
+    },
+}

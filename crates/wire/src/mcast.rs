@@ -1,0 +1,415 @@
+//! Reliable group communication: the router-based multicast of §5.4.
+//!
+//! "Multicast messages are sent to one or more host daemons which are
+//! acting as routers for that particular multicast group. Each router
+//! is responsible for relaying messages to a subset of the processes in
+//! the group, and to other routers which have not received the message.
+//! ... each process ... may register its membership with multiple
+//! multicast routers. Each router ... registers itself with more than
+//! half of the other routers ... and any message sent to that group is
+//! initially sent to more than half of the routers ... to ensure that
+//! there is at least one path from the sending process to each
+//! recipient."
+//!
+//! Reliability therefore comes from **redundant paths** (majority
+//! fan-out plus router-to-router flooding with dedup), not per-leg
+//! retransmission; this module implements the router relay state and
+//! member-side dedup as sans-IO state machines.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder};
+use snipe_util::error::{SnipeError, SnipeResult};
+
+use crate::Out;
+
+/// A multicast group identifier (hash of the group URN; the URN itself
+/// lives in RC metadata).
+pub type GroupId = u64;
+
+const KIND_DATA: u8 = 1;
+const KIND_JOIN: u8 = 2;
+const KIND_LEAVE: u8 = 3;
+const KIND_PEER: u8 = 4;
+
+/// A parsed multicast packet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum McastMsg {
+    /// Group payload in flight.
+    Data {
+        /// Group.
+        group: GroupId,
+        /// Stable key of the original sender.
+        origin: u64,
+        /// Origin's per-group sequence number (dedup key).
+        seq: u64,
+        /// Remaining router-to-router hops allowed.
+        ttl: u8,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// A member registers with this router.
+    Join {
+        /// Group.
+        group: GroupId,
+        /// Member's delivery endpoint.
+        member: Endpoint,
+    },
+    /// A member leaves.
+    Leave {
+        /// Group.
+        group: GroupId,
+        /// Member endpoint to remove.
+        member: Endpoint,
+    },
+    /// Another router announces itself as a peer for the group.
+    Peer {
+        /// Group.
+        group: GroupId,
+        /// The peer router's endpoint.
+        router: Endpoint,
+    },
+}
+
+impl McastMsg {
+    /// Encode to wire bytes (the MCAST envelope body).
+    pub fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        match self {
+            McastMsg::Data { group, origin, seq, ttl, payload } => {
+                e.put_u8(KIND_DATA);
+                e.put_u64(*group);
+                e.put_u64(*origin);
+                e.put_u64(*seq);
+                e.put_u8(*ttl);
+                e.put_bytes(payload);
+            }
+            McastMsg::Join { group, member } => {
+                e.put_u8(KIND_JOIN);
+                e.put_u64(*group);
+                e.put_u32(member.host.0);
+                e.put_u16(member.port);
+            }
+            McastMsg::Leave { group, member } => {
+                e.put_u8(KIND_LEAVE);
+                e.put_u64(*group);
+                e.put_u32(member.host.0);
+                e.put_u16(member.port);
+            }
+            McastMsg::Peer { group, router } => {
+                e.put_u8(KIND_PEER);
+                e.put_u64(*group);
+                e.put_u32(router.host.0);
+                e.put_u16(router.port);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(body: Bytes) -> SnipeResult<McastMsg> {
+        let mut d = Decoder::new(body);
+        let kind = d.get_u8()?;
+        let group = d.get_u64()?;
+        Ok(match kind {
+            KIND_DATA => McastMsg::Data {
+                group,
+                origin: d.get_u64()?,
+                seq: d.get_u64()?,
+                ttl: d.get_u8()?,
+                payload: d.get_bytes()?,
+            },
+            KIND_JOIN => McastMsg::Join {
+                group,
+                member: Endpoint::new(snipe_util::id::HostId(d.get_u32()?), d.get_u16()?),
+            },
+            KIND_LEAVE => McastMsg::Leave {
+                group,
+                member: Endpoint::new(snipe_util::id::HostId(d.get_u32()?), d.get_u16()?),
+            },
+            KIND_PEER => McastMsg::Peer {
+                group,
+                router: Endpoint::new(snipe_util::id::HostId(d.get_u32()?), d.get_u16()?),
+            },
+            k => return Err(SnipeError::Protocol(format!("unknown MCAST kind {k}"))),
+        })
+    }
+}
+
+/// Per-group relay state held by a router (a SNIPE daemon that elected
+/// itself, §5.4).
+#[derive(Debug, Default)]
+struct GroupState {
+    members: HashSet<Endpoint>,
+    peers: HashSet<Endpoint>,
+    seen: HashSet<(u64, u64)>,
+}
+
+/// The router relay: dedup + fan-out to members and peer routers.
+#[derive(Debug, Default)]
+pub struct McastRouter {
+    groups: HashMap<GroupId, GroupState>,
+    /// Messages relayed (for stats).
+    pub relayed: u64,
+    /// Duplicates suppressed.
+    pub duplicates: u64,
+}
+
+impl McastRouter {
+    /// Empty router.
+    pub fn new() -> McastRouter {
+        McastRouter::default()
+    }
+
+    /// Member endpoints of a group on this router.
+    pub fn members(&self, g: GroupId) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> =
+            self.groups.get(&g).map(|s| s.members.iter().copied().collect()).unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Peer routers of a group on this router.
+    pub fn peers(&self, g: GroupId) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> =
+            self.groups.get(&g).map(|s| s.peers.iter().copied().collect()).unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Handle one MCAST packet arriving at this router; emits relays
+    /// into `out`.
+    pub fn on_message(&mut self, msg: McastMsg, out: &mut Vec<Out>) {
+        match msg {
+            McastMsg::Join { group, member } => {
+                self.groups.entry(group).or_default().members.insert(member);
+            }
+            McastMsg::Leave { group, member } => {
+                if let Some(s) = self.groups.get_mut(&group) {
+                    s.members.remove(&member);
+                }
+            }
+            McastMsg::Peer { group, router } => {
+                self.groups.entry(group).or_default().peers.insert(router);
+            }
+            McastMsg::Data { group, origin, seq, ttl, payload } => {
+                let state = self.groups.entry(group).or_default();
+                if !state.seen.insert((origin, seq)) {
+                    self.duplicates += 1;
+                    return;
+                }
+                self.relayed += 1;
+                // Deliver to local members.
+                let mut members: Vec<Endpoint> = state.members.iter().copied().collect();
+                members.sort();
+                for m in members {
+                    let fwd = McastMsg::Data { group, origin, seq, ttl, payload: payload.clone() };
+                    out.push(Out::Send {
+                        to: m,
+                        via: None,
+                        bytes: crate::frame::seal(crate::frame::Proto::Mcast, fwd.encode()),
+                    });
+                }
+                // Relay to peer routers while TTL remains.
+                if ttl > 0 {
+                    let mut peers: Vec<Endpoint> = state.peers.iter().copied().collect();
+                    peers.sort();
+                    for p in peers {
+                        let fwd = McastMsg::Data {
+                            group,
+                            origin,
+                            seq,
+                            ttl: ttl - 1,
+                            payload: payload.clone(),
+                        };
+                        out.push(Out::Send {
+                            to: p,
+                            via: None,
+                            bytes: crate::frame::seal(crate::frame::Proto::Mcast, fwd.encode()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Member-side dedup: a process registered with several routers receives
+/// each message up to once per router and must deliver exactly once.
+#[derive(Debug, Default)]
+pub struct McastMember {
+    seen: HashMap<GroupId, HashSet<(u64, u64)>>,
+    next_seq: HashMap<GroupId, u64>,
+}
+
+impl McastMember {
+    /// Empty member state.
+    pub fn new() -> McastMember {
+        McastMember::default()
+    }
+
+    /// Allocate the next per-group sequence number for sending.
+    pub fn next_seq(&mut self, g: GroupId) -> u64 {
+        let s = self.next_seq.entry(g).or_insert(0);
+        let v = *s;
+        *s += 1;
+        v
+    }
+
+    /// Returns the payload exactly once per (origin, seq); `None` for
+    /// duplicates.
+    pub fn accept(&mut self, group: GroupId, origin: u64, seq: u64, payload: Bytes) -> Option<Bytes> {
+        if self.seen.entry(group).or_default().insert((origin, seq)) {
+            Some(payload)
+        } else {
+            None
+        }
+    }
+}
+
+/// How many routers a sender must initially target: "more than half".
+pub fn majority(router_count: usize) -> usize {
+    router_count / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_util::id::HostId;
+
+    fn ep(h: u32, p: u16) -> Endpoint {
+        Endpoint::new(HostId(h), p)
+    }
+
+    fn data(group: GroupId, origin: u64, seq: u64, ttl: u8) -> McastMsg {
+        McastMsg::Data { group, origin, seq, ttl, payload: Bytes::from_static(b"m") }
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        for msg in [
+            data(7, 1, 2, 3),
+            McastMsg::Join { group: 7, member: ep(1, 2) },
+            McastMsg::Leave { group: 7, member: ep(1, 2) },
+            McastMsg::Peer { group: 7, router: ep(3, 5) },
+        ] {
+            assert_eq!(McastMsg::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn router_fans_out_to_members_and_peers() {
+        let mut r = McastRouter::new();
+        let mut out = Vec::new();
+        r.on_message(McastMsg::Join { group: 1, member: ep(10, 5) }, &mut out);
+        r.on_message(McastMsg::Join { group: 1, member: ep(11, 5) }, &mut out);
+        r.on_message(McastMsg::Peer { group: 1, router: ep(20, 5) }, &mut out);
+        assert!(out.is_empty());
+        r.on_message(data(1, 99, 0, 4), &mut out);
+        let targets: Vec<Endpoint> = out
+            .iter()
+            .map(|o| match o {
+                Out::Send { to, .. } => *to,
+                _ => panic!("unexpected"),
+            })
+            .collect();
+        assert!(targets.contains(&ep(10, 5)));
+        assert!(targets.contains(&ep(11, 5)));
+        assert!(targets.contains(&ep(20, 5)));
+        assert_eq!(targets.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_suppressed() {
+        let mut r = McastRouter::new();
+        let mut out = Vec::new();
+        r.on_message(McastMsg::Join { group: 1, member: ep(10, 5) }, &mut out);
+        r.on_message(data(1, 99, 0, 4), &mut out);
+        let first = out.len();
+        r.on_message(data(1, 99, 0, 4), &mut out);
+        assert_eq!(out.len(), first, "duplicate must not refan");
+        assert_eq!(r.duplicates, 1);
+    }
+
+    #[test]
+    fn ttl_stops_relay_but_not_delivery() {
+        let mut r = McastRouter::new();
+        let mut out = Vec::new();
+        r.on_message(McastMsg::Join { group: 1, member: ep(10, 5) }, &mut out);
+        r.on_message(McastMsg::Peer { group: 1, router: ep(20, 5) }, &mut out);
+        r.on_message(data(1, 99, 0, 0), &mut out);
+        assert_eq!(out.len(), 1); // member only, no peer relay
+    }
+
+    #[test]
+    fn leave_removes_member() {
+        let mut r = McastRouter::new();
+        let mut out = Vec::new();
+        r.on_message(McastMsg::Join { group: 1, member: ep(10, 5) }, &mut out);
+        r.on_message(McastMsg::Leave { group: 1, member: ep(10, 5) }, &mut out);
+        r.on_message(data(1, 99, 0, 4), &mut out);
+        assert!(out.is_empty());
+        assert!(r.members(1).is_empty());
+    }
+
+    #[test]
+    fn member_dedup_exactly_once() {
+        let mut m = McastMember::new();
+        assert!(m.accept(1, 9, 0, Bytes::from_static(b"x")).is_some());
+        assert!(m.accept(1, 9, 0, Bytes::from_static(b"x")).is_none());
+        assert!(m.accept(1, 9, 1, Bytes::from_static(b"y")).is_some());
+        assert!(m.accept(2, 9, 0, Bytes::from_static(b"z")).is_some());
+    }
+
+    #[test]
+    fn member_seq_allocation_monotonic() {
+        let mut m = McastMember::new();
+        assert_eq!(m.next_seq(1), 0);
+        assert_eq!(m.next_seq(1), 1);
+        assert_eq!(m.next_seq(2), 0);
+    }
+
+    #[test]
+    fn majority_rule() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+    }
+
+    #[test]
+    fn flood_covers_router_mesh() {
+        // Three routers in a line: r0 - r1 - r2; member on r2.
+        // A message entering r0 must reach the member via flooding.
+        let mut routers = [McastRouter::new(), McastRouter::new(), McastRouter::new()];
+        let eps = [ep(0, 5), ep(1, 5), ep(2, 5)];
+        let mut out = Vec::new();
+        routers[0].on_message(McastMsg::Peer { group: 1, router: eps[1] }, &mut out);
+        routers[1].on_message(McastMsg::Peer { group: 1, router: eps[0] }, &mut out);
+        routers[1].on_message(McastMsg::Peer { group: 1, router: eps[2] }, &mut out);
+        routers[2].on_message(McastMsg::Peer { group: 1, router: eps[1] }, &mut out);
+        routers[2].on_message(McastMsg::Join { group: 1, member: ep(9, 7) }, &mut out);
+        // Inject at r0 and shuttle.
+        let mut inbox: Vec<(usize, McastMsg)> = vec![(0, data(1, 42, 0, 8))];
+        let mut member_got = 0;
+        while let Some((ri, msg)) = inbox.pop() {
+            let mut outs = Vec::new();
+            routers[ri].on_message(msg, &mut outs);
+            for o in outs {
+                let Out::Send { to, bytes, .. } = o else { continue };
+                let (_, body) = crate::frame::open(bytes).unwrap();
+                let m = McastMsg::decode(body).unwrap();
+                if to == ep(9, 7) {
+                    member_got += 1;
+                } else if let Some(i) = eps.iter().position(|&e| e == to) {
+                    inbox.push((i, m));
+                }
+            }
+        }
+        assert_eq!(member_got, 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Well-known SNIPE service ports.
+//!
+//! SNIPE components listen on fixed ports the way 1990s Unix daemons
+//! did; client libraries learn everything else from RC metadata.
+
+/// Per-host SNIPE daemon (§3.3).
+pub const DAEMON: u16 = 1;
+/// RC / metadata server (§3.1).
+pub const RC_SERVER: u16 = 2;
+/// Resource manager (§3.5).
+pub const RESOURCE_MANAGER: u16 = 3;
+/// File server (§3.2).
+pub const FILE_SERVER: u16 = 4;
+/// Multicast router service hosted by daemons (§5.4).
+pub const MCAST_ROUTER: u16 = 5;
+/// Console / HTTP gateway (§3.7).
+pub const CONSOLE: u16 = 6;
+/// First port used for spawned application tasks.
+pub const TASK_BASE: u16 = 100;

@@ -1,0 +1,130 @@
+//! Multi-path route management.
+//!
+//! The paper (§6): the communications module "provided the ability to
+//! switch routes/interfaces as links failed without user applications
+//! intervention". A [`RouteManager`] holds the ranked candidate
+//! networks to one peer (learned from the peer host's interface
+//! metadata in RC, §5.2.1) and rotates to the next candidate when the
+//! transport reports consecutive timeouts.
+
+use snipe_util::id::NetId;
+
+/// Timeouts against a peer before the route is rotated.
+pub const FAILOVER_THRESHOLD: u32 = 2;
+
+/// Ranked candidate routes to one peer.
+#[derive(Clone, Debug, Default)]
+pub struct RouteManager {
+    /// Candidates, best first. Empty = let the simulator route.
+    candidates: Vec<NetId>,
+    current: usize,
+    /// Count of rotations performed (for tests/benches).
+    pub failovers: u32,
+}
+
+impl RouteManager {
+    /// With an explicit candidate ranking.
+    pub fn new(candidates: Vec<NetId>) -> RouteManager {
+        RouteManager { candidates, current: 0, failovers: 0 }
+    }
+
+    /// No pinning: default routing.
+    pub fn unpinned() -> RouteManager {
+        RouteManager::default()
+    }
+
+    /// The currently preferred network, if any are pinned.
+    pub fn current(&self) -> Option<NetId> {
+        self.candidates.get(self.current).copied()
+    }
+
+    /// All candidates.
+    pub fn candidates(&self) -> &[NetId] {
+        &self.candidates
+    }
+
+    /// Replace the candidate set (fresh metadata), keeping the current
+    /// choice when it is still present.
+    pub fn update(&mut self, candidates: Vec<NetId>) {
+        let keep = self.current();
+        self.candidates = candidates;
+        self.current = keep
+            .and_then(|n| self.candidates.iter().position(|&c| c == n))
+            .unwrap_or(0);
+    }
+
+    /// Rotate to the next candidate (wraps). Returns the new choice.
+    pub fn rotate(&mut self) -> Option<NetId> {
+        if self.candidates.is_empty() {
+            return None;
+        }
+        self.current = (self.current + 1) % self.candidates.len();
+        self.failovers += 1;
+        self.current()
+    }
+
+    /// Feed the transport's consecutive-timeout count; rotates when the
+    /// threshold is crossed. Returns `true` if a rotation happened (the
+    /// caller should reset the transport's counter).
+    pub fn report_timeouts(&mut self, consecutive: u32) -> bool {
+        if consecutive >= FAILOVER_THRESHOLD && self.candidates.len() > 1 {
+            self.rotate();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NetId {
+        NetId(i)
+    }
+
+    #[test]
+    fn rotation_cycles() {
+        let mut r = RouteManager::new(vec![n(1), n(2), n(3)]);
+        assert_eq!(r.current(), Some(n(1)));
+        assert_eq!(r.rotate(), Some(n(2)));
+        assert_eq!(r.rotate(), Some(n(3)));
+        assert_eq!(r.rotate(), Some(n(1)));
+        assert_eq!(r.failovers, 3);
+    }
+
+    #[test]
+    fn unpinned_never_rotates() {
+        let mut r = RouteManager::unpinned();
+        assert_eq!(r.current(), None);
+        assert_eq!(r.rotate(), None);
+        assert!(!r.report_timeouts(10));
+    }
+
+    #[test]
+    fn threshold_behaviour() {
+        let mut r = RouteManager::new(vec![n(1), n(2)]);
+        assert!(!r.report_timeouts(FAILOVER_THRESHOLD - 1));
+        assert_eq!(r.current(), Some(n(1)));
+        assert!(r.report_timeouts(FAILOVER_THRESHOLD));
+        assert_eq!(r.current(), Some(n(2)));
+    }
+
+    #[test]
+    fn single_candidate_does_not_flap() {
+        let mut r = RouteManager::new(vec![n(1)]);
+        assert!(!r.report_timeouts(10));
+        assert_eq!(r.current(), Some(n(1)));
+    }
+
+    #[test]
+    fn update_preserves_current_when_possible() {
+        let mut r = RouteManager::new(vec![n(1), n(2)]);
+        r.rotate(); // now n(2)
+        r.update(vec![n(3), n(2)]);
+        assert_eq!(r.current(), Some(n(2)));
+        r.update(vec![n(4), n(5)]);
+        assert_eq!(r.current(), Some(n(4)));
+    }
+}

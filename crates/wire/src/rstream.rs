@@ -1,0 +1,664 @@
+//! RSTREAM — the reliable byte-stream protocol (TCP substitute).
+//!
+//! The paper's communications module "supported a selective re-send UDP
+//! protocol as well as TCP/IP" (§6). The authors used the kernel's TCP;
+//! our substrate has no kernel, so this module re-implements a minimal
+//! TCP-shaped protocol from scratch: three-way handshake, cumulative
+//! ACKs over byte offsets, a fixed flow-control window, RTO and fast
+//! retransmit on triple duplicate ACKs, plus 4-byte length framing so
+//! the stream carries discrete messages.
+//!
+//! Connections are endpoint-addressed and — deliberately, unlike
+//! [`crate::srudp`] — do **not** survive process migration; experiment
+//! E5 uses that contrast.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::Out;
+
+/// RSTREAM tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RstreamConfig {
+    /// Maximum segment size (payload bytes per DATA packet).
+    pub mss: usize,
+    /// Flow-control window in bytes.
+    pub window: usize,
+    /// Initial retransmission timeout.
+    pub rto_initial: SimDuration,
+    /// RTO clamp floor / ceiling.
+    pub rto_min: SimDuration,
+    /// RTO clamp ceiling.
+    pub rto_max: SimDuration,
+    /// Abort the connection after this many consecutive RTO expiries.
+    pub max_timeouts: u32,
+}
+
+impl Default for RstreamConfig {
+    fn default() -> Self {
+        RstreamConfig {
+            mss: 1400,
+            window: 64 * 1400,
+            rto_initial: SimDuration::from_millis(100),
+            rto_min: SimDuration::from_millis(2),
+            rto_max: SimDuration::from_secs(4),
+            max_timeouts: 10,
+        }
+    }
+}
+
+/// Connection identifier (chosen by the initiator, shared by both ends).
+pub type ConnId = u64;
+
+const KIND_SYN: u8 = 1;
+const KIND_SYNACK: u8 = 2;
+const KIND_DATA: u8 = 3;
+const KIND_ACK: u8 = 4;
+const KIND_FIN: u8 = 5;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    SynSent,
+    Established,
+    Closed,
+}
+
+struct Conn {
+    peer: Endpoint,
+    state: State,
+    // Sender.
+    snd_buf: VecDeque<u8>,
+    /// Stream offset of snd_buf[0] (== lowest unacked byte).
+    snd_una: u64,
+    /// Next offset to transmit.
+    snd_nxt: u64,
+    sent_at: HashMap<u64, (SimTime, bool)>, // segment start -> (time, retransmitted)
+    dup_acks: u32,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    timeouts: u32,
+    rto_deadline: Option<SimTime>,
+    // Receiver.
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, Bytes>,
+    rcv_buf: Vec<u8>,
+    /// Messages waiting in snd_buf before the handshake completes.
+    connected: bool,
+}
+
+impl Conn {
+    fn new(peer: Endpoint, state: State, cfg: &RstreamConfig) -> Conn {
+        Conn {
+            peer,
+            state,
+            snd_buf: VecDeque::new(),
+            snd_una: 0,
+            snd_nxt: 0,
+            sent_at: HashMap::new(),
+            dup_acks: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: cfg.rto_initial,
+            timeouts: 0,
+            rto_deadline: None,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            rcv_buf: Vec::new(),
+            connected: state == State::Established,
+        }
+    }
+}
+
+/// Counters for benches and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RstreamStats {
+    /// DATA segments first-transmitted.
+    pub segments_sent: u64,
+    /// Retransmitted segments (RTO + fast retransmit).
+    pub retransmits: u64,
+    /// Fast retransmits triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Messages delivered to the application.
+    pub delivered: u64,
+    /// Connections aborted.
+    pub aborted: u64,
+}
+
+/// The RSTREAM endpoint: many connections, client and server roles.
+pub struct Rstream {
+    cfg: RstreamConfig,
+    conns: HashMap<ConnId, Conn>,
+    out: Vec<Out>,
+    stats: RstreamStats,
+    next_conn_seed: u64,
+}
+
+impl Rstream {
+    /// New endpoint. `seed` randomizes connection ids.
+    pub fn new(cfg: RstreamConfig, seed: u64) -> Rstream {
+        Rstream { cfg, conns: HashMap::new(), out: Vec::new(), stats: RstreamStats::default(), next_conn_seed: seed }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RstreamStats {
+        self.stats
+    }
+
+    /// Open a connection to `peer`. Data may be queued immediately; it
+    /// flows once the handshake completes.
+    pub fn connect(&mut self, _now: SimTime, peer: Endpoint) -> ConnId {
+        // Deterministic but distinct ids.
+        self.next_conn_seed = self.next_conn_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let id = self.next_conn_seed | 1;
+        self.conns.insert(id, Conn::new(peer, State::SynSent, &self.cfg.clone()));
+        let mut enc = Encoder::new();
+        enc.put_u8(KIND_SYN);
+        enc.put_u64(id);
+        self.out.push(Out::Send { to: peer, via: None, bytes: enc.finish() });
+        id
+    }
+
+    /// Is the connection established?
+    pub fn is_established(&self, id: ConnId) -> bool {
+        self.conns.get(&id).is_some_and(|c| c.state == State::Established)
+    }
+
+    /// Is the connection closed/aborted (or unknown)?
+    pub fn is_closed(&self, id: ConnId) -> bool {
+        self.conns.get(&id).is_none_or(|c| c.state == State::Closed)
+    }
+
+    /// Bytes not yet acknowledged by the peer.
+    pub fn unacked_bytes(&self, id: ConnId) -> usize {
+        self.conns.get(&id).map_or(0, |c| c.snd_buf.len())
+    }
+
+    /// Queue a framed message on the stream.
+    pub fn send_message(&mut self, now: SimTime, id: ConnId, msg: &[u8]) -> SnipeResult<()> {
+        let conn = self
+            .conns
+            .get_mut(&id)
+            .ok_or_else(|| SnipeError::WrongState(format!("unknown connection {id:#x}")))?;
+        if conn.state == State::Closed {
+            return Err(SnipeError::WrongState("connection closed".into()));
+        }
+        conn.snd_buf.extend((msg.len() as u32).to_be_bytes());
+        conn.snd_buf.extend(msg.iter().copied());
+        self.pump(now, id);
+        Ok(())
+    }
+
+    /// Close a connection gracefully (FIN); queued data is flushed first
+    /// by the peer's ACK progress, but this simple FIN is immediate.
+    pub fn close(&mut self, id: ConnId) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            if c.state != State::Closed {
+                let mut enc = Encoder::new();
+                enc.put_u8(KIND_FIN);
+                enc.put_u64(id);
+                self.out.push(Out::Send { to: c.peer, via: None, bytes: enc.finish() });
+                c.state = State::Closed;
+            }
+        }
+    }
+
+    /// Abort every connection to a peer (e.g. the peer host died).
+    pub fn abort_peer(&mut self, peer: Endpoint) {
+        for c in self.conns.values_mut() {
+            if c.peer == peer && c.state != State::Closed {
+                c.state = State::Closed;
+                self.stats.aborted += 1;
+            }
+        }
+    }
+
+    /// Earliest RTO deadline across connections.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.conns.values().filter_map(|c| c.rto_deadline).min()
+    }
+
+    /// Drain queued output actions.
+    pub fn drain(&mut self) -> Vec<Out> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn emit_data(out: &mut Vec<Out>, stats: &mut RstreamStats, conn: &Conn, id: ConnId, offset: u64, payload: &[u8], retx: bool) {
+        let mut enc = Encoder::with_capacity(payload.len() + 24);
+        enc.put_u8(KIND_DATA);
+        enc.put_u64(id);
+        enc.put_u64(offset);
+        enc.put_bytes(payload);
+        if retx {
+            stats.retransmits += 1;
+        } else {
+            stats.segments_sent += 1;
+        }
+        out.push(Out::Send { to: conn.peer, via: None, bytes: enc.finish() });
+    }
+
+    fn pump(&mut self, now: SimTime, id: ConnId) {
+        let cfg_mss = self.cfg.mss;
+        let cfg_window = self.cfg.window;
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.state != State::Established {
+            return;
+        }
+        while (conn.snd_nxt - conn.snd_una) < cfg_window as u64 {
+            let offset_in_buf = (conn.snd_nxt - conn.snd_una) as usize;
+            if offset_in_buf >= conn.snd_buf.len() {
+                break;
+            }
+            let take = cfg_mss.min(conn.snd_buf.len() - offset_in_buf).min(
+                cfg_window - (conn.snd_nxt - conn.snd_una) as usize,
+            );
+            let seg: Vec<u8> = conn.snd_buf.iter().skip(offset_in_buf).take(take).copied().collect();
+            let offset = conn.snd_nxt;
+            conn.snd_nxt += take as u64;
+            conn.sent_at.insert(offset, (now, false));
+            Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, false);
+            if conn.rto_deadline.is_none() {
+                conn.rto_deadline = Some(now + conn.rto);
+            }
+        }
+    }
+
+    /// Handle an incoming RSTREAM body.
+    pub fn on_packet(&mut self, now: SimTime, from: Endpoint, body: Bytes) -> SnipeResult<()> {
+        let mut dec = Decoder::new(body);
+        let kind = dec.get_u8()?;
+        let id = dec.get_u64()?;
+        match kind {
+            KIND_SYN => {
+                // Passive open (every Rstream listens).
+                let cfg = self.cfg.clone();
+                self.conns.entry(id).or_insert_with(|| Conn::new(from, State::Established, &cfg));
+                let mut enc = Encoder::new();
+                enc.put_u8(KIND_SYNACK);
+                enc.put_u64(id);
+                self.out.push(Out::Send { to: from, via: None, bytes: enc.finish() });
+                Ok(())
+            }
+            KIND_SYNACK => {
+                if let Some(c) = self.conns.get_mut(&id) {
+                    if c.state == State::SynSent {
+                        c.state = State::Established;
+                        c.connected = true;
+                        self.pump(now, id);
+                    }
+                }
+                Ok(())
+            }
+            KIND_DATA => {
+                let offset = dec.get_u64()?;
+                let payload = dec.get_bytes()?;
+                self.on_data(now, id, offset, payload);
+                Ok(())
+            }
+            KIND_ACK => {
+                let cum = dec.get_u64()?;
+                self.on_ack(now, id, cum);
+                Ok(())
+            }
+            KIND_FIN => {
+                if let Some(c) = self.conns.get_mut(&id) {
+                    c.state = State::Closed;
+                }
+                Ok(())
+            }
+            k => Err(SnipeError::Protocol(format!("unknown RSTREAM kind {k}"))),
+        }
+    }
+
+    fn on_data(&mut self, _now: SimTime, id: ConnId, offset: u64, payload: Bytes) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.state == State::Closed {
+            return;
+        }
+        if offset >= conn.rcv_nxt {
+            conn.ooo.insert(offset, payload);
+            // Absorb in-order prefix.
+            while let Some(entry) = conn.ooo.first_entry() {
+                let seg_off = *entry.key();
+                if seg_off > conn.rcv_nxt {
+                    break;
+                }
+                let seg = entry.remove();
+                if seg_off + seg.len() as u64 > conn.rcv_nxt {
+                    let skip = (conn.rcv_nxt - seg_off) as usize;
+                    conn.rcv_buf.extend_from_slice(&seg[skip..]);
+                    conn.rcv_nxt = seg_off + seg.len() as u64;
+                }
+            }
+        }
+        // Cumulative ACK on every DATA.
+        let mut enc = Encoder::new();
+        enc.put_u8(KIND_ACK);
+        enc.put_u64(id);
+        enc.put_u64(conn.rcv_nxt);
+        self.out.push(Out::Send { to: conn.peer, via: None, bytes: enc.finish() });
+        // Extract length-framed messages.
+        let peer = conn.peer;
+        loop {
+            if conn.rcv_buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([conn.rcv_buf[0], conn.rcv_buf[1], conn.rcv_buf[2], conn.rcv_buf[3]]) as usize;
+            if conn.rcv_buf.len() < 4 + len {
+                break;
+            }
+            let msg = Bytes::from(conn.rcv_buf[4..4 + len].to_vec());
+            conn.rcv_buf.drain(..4 + len);
+            self.stats.delivered += 1;
+            self.out.push(Out::Deliver { from_key: id, from_ep: peer, msg });
+        }
+    }
+
+    fn on_ack(&mut self, now: SimTime, id: ConnId, cum: u64) {
+        let cfg = self.cfg.clone();
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if cum > conn.snd_una {
+            // New data acked: RTT sample from the oldest acked segment.
+            let acked_segments: Vec<u64> =
+                conn.sent_at.keys().filter(|&&o| o < cum).copied().collect();
+            let mut sample: Option<SimDuration> = None;
+            for o in acked_segments {
+                if let Some((t, retx)) = conn.sent_at.remove(&o) {
+                    if !retx {
+                        sample = Some(now.saturating_since(t));
+                    }
+                }
+            }
+            let advance = (cum - conn.snd_una) as usize;
+            conn.snd_buf.drain(..advance.min(conn.snd_buf.len()));
+            conn.snd_una = cum;
+            conn.dup_acks = 0;
+            conn.timeouts = 0;
+            if let Some(s) = sample {
+                match conn.srtt {
+                    None => {
+                        conn.srtt = Some(s);
+                        conn.rttvar = s / 2;
+                    }
+                    Some(srtt) => {
+                        let diff = if srtt > s { srtt - s } else { s - srtt };
+                        conn.rttvar = (conn.rttvar * 3 + diff) / 4;
+                        conn.srtt = Some((srtt * 7 + s) / 8);
+                    }
+                }
+                conn.rto = (conn.srtt.expect("set") + conn.rttvar * 4).clamp(cfg.rto_min, cfg.rto_max);
+            }
+            conn.rto_deadline = if conn.snd_una == conn.snd_nxt {
+                None
+            } else {
+                Some(now + conn.rto)
+            };
+            self.pump(now, id);
+        } else if cum == conn.snd_una && conn.snd_nxt > conn.snd_una {
+            conn.dup_acks += 1;
+            if conn.dup_acks == 3 {
+                conn.dup_acks = 0;
+                // Fast retransmit the first unacked segment.
+                let take = cfg.mss.min(conn.snd_buf.len());
+                if take > 0 {
+                    let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
+                    let offset = conn.snd_una;
+                    conn.sent_at.insert(offset, (now, true));
+                    self.stats.fast_retransmits += 1;
+                    Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+                }
+            }
+        }
+    }
+
+    /// Retransmit on RTO expiry.
+    pub fn on_timer(&mut self, now: SimTime) {
+        let cfg = self.cfg.clone();
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(conn) = self.conns.get_mut(&id) else { continue };
+            let Some(dl) = conn.rto_deadline else { continue };
+            if dl > now || conn.state != State::Established {
+                continue;
+            }
+            conn.timeouts += 1;
+            if conn.timeouts >= cfg.max_timeouts {
+                conn.state = State::Closed;
+                self.stats.aborted += 1;
+                continue;
+            }
+            conn.rto = (conn.rto * 2).clamp(cfg.rto_min, cfg.rto_max);
+            conn.rto_deadline = Some(now + conn.rto);
+            let take = cfg.mss.min(conn.snd_buf.len());
+            if take > 0 {
+                let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
+                let offset = conn.snd_una;
+                conn.sent_at.insert(offset, (now, true));
+                Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+            } else {
+                conn.rto_deadline = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_util::id::HostId;
+
+    fn ep(h: u32, p: u16) -> Endpoint {
+        Endpoint::new(HostId(h), p)
+    }
+
+    /// Shuttle packets between the two endpoints with an optional
+    /// drop filter, firing timers whenever traffic stalls.
+    fn run(
+        a: &mut Rstream,
+        b: &mut Rstream,
+        a_ep: Endpoint,
+        b_ep: Endpoint,
+        drop: &mut dyn FnMut(usize) -> bool,
+        steps: usize,
+    ) -> (Vec<Bytes>, Vec<Bytes>) {
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut n = 0usize;
+        for _ in 0..steps {
+            let mut moved = false;
+            for o in a.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        n += 1;
+                        moved = true;
+                        if !drop(n) {
+                            b.on_packet(now, a_ep, bytes).unwrap();
+                        }
+                    }
+                    Out::Deliver { msg, .. } => got_a.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            for o in b.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        n += 1;
+                        moved = true;
+                        if !drop(n) {
+                            a.on_packet(now, b_ep, bytes).unwrap();
+                        }
+                    }
+                    Out::Deliver { msg, .. } => got_b.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            if !moved {
+                now = now + SimDuration::from_millis(50);
+                a.on_timer(now);
+                b.on_timer(now);
+            }
+            now = now + SimDuration::from_micros(100);
+        }
+        (got_a, got_b)
+    }
+
+    #[test]
+    fn handshake_and_message() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let mut b = Rstream::new(RstreamConfig::default(), 2);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        a.send_message(SimTime::ZERO, id, b"hello stream").unwrap();
+        let (_, got_b) = run(&mut a, &mut b, ep(0, 5), ep(1, 5), &mut |_| false, 50);
+        assert!(a.is_established(id));
+        assert!(b.is_established(id));
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(&got_b[0][..], b"hello stream");
+    }
+
+    #[test]
+    fn large_transfer_segments() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let mut b = Rstream::new(RstreamConfig::default(), 2);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 253) as u8).collect();
+        a.send_message(SimTime::ZERO, id, &payload).unwrap();
+        let (_, got_b) = run(&mut a, &mut b, ep(0, 5), ep(1, 5), &mut |_| false, 2000);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(&got_b[0][..], &payload[..]);
+        assert!(a.stats().segments_sent as usize >= payload.len() / 1400);
+    }
+
+    #[test]
+    fn multiple_messages_in_order() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let mut b = Rstream::new(RstreamConfig::default(), 2);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        for i in 0..10u8 {
+            a.send_message(SimTime::ZERO, id, &[i; 100]).unwrap();
+        }
+        let (_, got_b) = run(&mut a, &mut b, ep(0, 5), ep(1, 5), &mut |_| false, 200);
+        assert_eq!(got_b.len(), 10);
+        for (i, m) in got_b.iter().enumerate() {
+            assert_eq!(m[0] as usize, i);
+        }
+    }
+
+    #[test]
+    fn recovers_from_loss() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let mut b = Rstream::new(RstreamConfig::default(), 2);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        let payload = vec![7u8; 50_000];
+        a.send_message(SimTime::ZERO, id, &payload).unwrap();
+        let (_, got_b) = run(&mut a, &mut b, ep(0, 5), ep(1, 5), &mut |n| n % 7 == 3, 5000);
+        assert_eq!(got_b.len(), 1, "stats {:?}", a.stats());
+        assert_eq!(&got_b[0][..], &payload[..]);
+        assert!(a.stats().retransmits > 0);
+    }
+
+    #[test]
+    fn bidirectional_streams() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let mut b = Rstream::new(RstreamConfig::default(), 2);
+        let id_ab = a.connect(SimTime::ZERO, ep(1, 5));
+        let id_ba = b.connect(SimTime::ZERO, ep(0, 5));
+        a.send_message(SimTime::ZERO, id_ab, b"ping").unwrap();
+        b.send_message(SimTime::ZERO, id_ba, b"pong").unwrap();
+        let (got_a, got_b) = run(&mut a, &mut b, ep(0, 5), ep(1, 5), &mut |_| false, 100);
+        assert_eq!(&got_b[0][..], b"ping");
+        assert_eq!(&got_a[0][..], b"pong");
+    }
+
+    #[test]
+    fn send_on_unknown_or_closed_conn_errors() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        assert_eq!(
+            a.send_message(SimTime::ZERO, 42, b"x").unwrap_err().kind(),
+            "wrong-state"
+        );
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        a.close(id);
+        assert!(a.is_closed(id));
+        assert!(a.send_message(SimTime::ZERO, id, b"x").is_err());
+    }
+
+    #[test]
+    fn fin_closes_peer() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let mut b = Rstream::new(RstreamConfig::default(), 2);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        let (_, _) = run(&mut a, &mut b, ep(0, 5), ep(1, 5), &mut |_| false, 20);
+        a.close(id);
+        for o in a.drain() {
+            if let Out::Send { bytes, .. } = o {
+                b.on_packet(SimTime::ZERO, ep(0, 5), bytes).unwrap();
+            }
+        }
+        assert!(b.is_closed(id));
+    }
+
+    #[test]
+    fn connection_aborts_after_repeated_timeouts() {
+        let mut cfg = RstreamConfig::default();
+        cfg.rto_initial = SimDuration::from_millis(1);
+        cfg.rto_min = SimDuration::from_millis(1);
+        cfg.rto_max = SimDuration::from_millis(1);
+        cfg.max_timeouts = 3;
+        let mut a = Rstream::new(cfg, 1);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        // SYN+SYNACK never happen; force establishment to test data path.
+        a.on_packet(SimTime::ZERO, ep(1, 5), {
+            let mut e = Encoder::new();
+            e.put_u8(KIND_SYNACK);
+            e.put_u64(id);
+            e.finish()
+        })
+        .unwrap();
+        a.send_message(SimTime::ZERO, id, b"into the void").unwrap();
+        a.drain();
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now = now + SimDuration::from_millis(2);
+            a.on_timer(now);
+            a.drain();
+        }
+        assert!(a.is_closed(id));
+        assert_eq!(a.stats().aborted, 1);
+    }
+
+    #[test]
+    fn abort_peer_kills_connections() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let id = a.connect(SimTime::ZERO, ep(1, 5));
+        a.abort_peer(ep(1, 5));
+        assert!(a.is_closed(id));
+    }
+
+    #[test]
+    fn distinct_connection_ids() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        let i1 = a.connect(SimTime::ZERO, ep(1, 5));
+        let i2 = a.connect(SimTime::ZERO, ep(1, 5));
+        assert_ne!(i1, i2);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut a = Rstream::new(RstreamConfig::default(), 1);
+        assert!(a.on_packet(SimTime::ZERO, ep(1, 5), Bytes::new()).is_err());
+        let mut e = Encoder::new();
+        e.put_u8(99);
+        e.put_u64(1);
+        assert_eq!(
+            a.on_packet(SimTime::ZERO, ep(1, 5), e.finish()).unwrap_err().kind(),
+            "protocol"
+        );
+    }
+}

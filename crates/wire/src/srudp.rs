@@ -1,0 +1,1260 @@
+//! SRUDP — SNIPE's selective re-send UDP protocol (paper §6).
+//!
+//! A reliable, fragmenting, FIFO-per-peer datagram protocol:
+//!
+//! * messages are split into numbered fragments sent under a sliding
+//!   window;
+//! * the receiver returns **selective acknowledgements** (a bitmap per
+//!   message), so only genuinely missing fragments are re-sent — the
+//!   "selective re-send" the paper names;
+//! * RTO with RTT estimation (Karn-style: no samples from retransmits)
+//!   and exponential backoff recovers from total loss;
+//! * peers are identified by a stable **node key**, not by endpoint:
+//!   when a process migrates (§5.6) the key→endpoint mapping changes
+//!   and retransmissions flow to the new location, which is how SNIPE
+//!   guarantees "no loss of data while migration is in progress".
+//!
+//! The implementation is sans-IO: [`Srudp::send_message`],
+//! [`Srudp::on_packet`] and [`Srudp::on_timer`] mutate the state
+//! machine and queue [`Out`] actions retrieved with [`Srudp::drain`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::codec::{Decoder, Encoder};
+use snipe_util::error::{SnipeError, SnipeResult};
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::frag::{split, ReassemblySet};
+use crate::Out;
+
+/// Stable logical identity of a wire peer (a SNIPE process or daemon).
+pub type NodeKey = u64;
+
+/// SRUDP tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SrudpConfig {
+    /// Payload bytes per DATA packet.
+    pub frag_size: usize,
+    /// Maximum unacknowledged DATA packets in flight per peer.
+    pub window: usize,
+    /// Receiver sends a SACK after this many DATA packets of a message.
+    pub ack_every: usize,
+    /// Receiver flushes a SACK at most this long after the first
+    /// unacknowledged DATA of a message (delayed-ACK bound; keeps small
+    /// sender windows from stalling until `ack_every` accumulates).
+    pub ack_delay: SimDuration,
+    /// Initial retransmission timeout.
+    pub rto_initial: SimDuration,
+    /// RTO clamp floor.
+    pub rto_min: SimDuration,
+    /// RTO clamp ceiling.
+    pub rto_max: SimDuration,
+    /// Give up on a fragment after this many retransmissions.
+    pub max_retries: u32,
+}
+
+impl Default for SrudpConfig {
+    fn default() -> Self {
+        SrudpConfig {
+            frag_size: 1400,
+            window: 64,
+            ack_every: 8,
+            ack_delay: SimDuration::from_millis(5),
+            rto_initial: SimDuration::from_millis(100),
+            rto_min: SimDuration::from_millis(2),
+            rto_max: SimDuration::from_secs(4),
+            max_retries: 12,
+        }
+    }
+}
+
+const KIND_DATA: u8 = 1;
+const KIND_SACK: u8 = 2;
+
+struct InFlight {
+    sent_at: SimTime,
+    retries: u32,
+    /// Karn: never sample RTT from retransmitted fragments.
+    retransmitted: bool,
+}
+
+struct OutMsg {
+    msg_id: u64,
+    frags: Vec<Bytes>,
+    acked: Vec<bool>,
+    acked_count: usize,
+    /// Next fragment index never yet transmitted.
+    next_tx: usize,
+}
+
+/// Per-peer protocol state.
+struct Peer {
+    // --- sender side ---
+    queue: VecDeque<OutMsg>,
+    inflight: BTreeMap<(u64, u32), InFlight>,
+    /// Index into `queue` of the first message that may still have
+    /// untransmitted fragments (pump never rescans earlier entries).
+    pump_hint: usize,
+    /// Running count of unacked payload bytes in `queue`.
+    backlog_bytes: usize,
+    next_msg_id: u64,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff: u32,
+    consecutive_timeouts: u32,
+    // --- receiver side ---
+    reasm: ReassemblySet,
+    /// Next msg id to deliver (FIFO per peer).
+    next_deliver: u64,
+    /// Completed-but-early messages awaiting FIFO order.
+    held: BTreeMap<u64, Bytes>,
+    /// DATA packets received since last SACK, per message.
+    unsacked: HashMap<u64, usize>,
+    /// Fragment counts of in-progress incoming messages (for bitmaps).
+    counts: HashMap<u64, u32>,
+    /// Delayed-ACK deadline for the oldest unsacked DATA, if any.
+    sack_deadline: Option<(u64, SimTime)>,
+    /// Consecutive duplicate DATA packets received — a sign our SACKs
+    /// are not reaching the sender (path trouble on our return route).
+    dup_streak: u32,
+}
+
+impl Peer {
+    fn new(cfg: &SrudpConfig) -> Peer {
+        Peer {
+            queue: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            pump_hint: 0,
+            backlog_bytes: 0,
+            next_msg_id: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: cfg.rto_initial,
+            backoff: 0,
+            consecutive_timeouts: 0,
+            reasm: ReassemblySet::new(),
+            next_deliver: 0,
+            held: BTreeMap::new(),
+            unsacked: HashMap::new(),
+            counts: HashMap::new(),
+            sack_deadline: None,
+            dup_streak: 0,
+        }
+    }
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SrudpStats {
+    /// DATA packets first-transmitted.
+    pub data_sent: u64,
+    /// DATA packets retransmitted.
+    pub retransmits: u64,
+    /// SACK packets sent.
+    pub sacks_sent: u64,
+    /// Messages fully delivered to the application.
+    pub delivered: u64,
+    /// Messages abandoned after `max_retries`.
+    pub failed: u64,
+}
+
+/// The SRUDP endpoint state machine.
+pub struct Srudp {
+    my_key: NodeKey,
+    cfg: SrudpConfig,
+    peers: HashMap<NodeKey, Peer>,
+    /// Current location of each peer.
+    locations: HashMap<NodeKey, Endpoint>,
+    out: Vec<Out>,
+    stats: SrudpStats,
+}
+
+impl Srudp {
+    /// New endpoint with the given stable node key.
+    pub fn new(my_key: NodeKey, cfg: SrudpConfig) -> Srudp {
+        Srudp {
+            my_key,
+            cfg,
+            peers: HashMap::new(),
+            locations: HashMap::new(),
+            out: Vec::new(),
+            stats: SrudpStats::default(),
+        }
+    }
+
+    /// Our node key.
+    pub fn key(&self) -> NodeKey {
+        self.my_key
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> SrudpStats {
+        self.stats
+    }
+
+    /// Record (or update) where a peer currently lives. Called by the
+    /// stack from RC metadata lookups and on migration notifications.
+    pub fn set_peer_endpoint(&mut self, key: NodeKey, ep: Endpoint) {
+        self.locations.insert(key, ep);
+    }
+
+    /// Transmit any queued fragments toward a peer (call after its
+    /// location becomes known).
+    pub fn pump_peer(&mut self, now: SimTime, key: NodeKey) {
+        self.pump(now, key);
+    }
+
+    /// The current known location of a peer.
+    pub fn peer_endpoint(&self, key: NodeKey) -> Option<Endpoint> {
+        self.locations.get(&key).copied()
+    }
+
+    /// Consecutive whole-RTO expiries against this peer with nothing
+    /// acked — the stack's signal to try another route (§6 failover).
+    pub fn peer_timeouts(&self, key: NodeKey) -> u32 {
+        self.peers.get(&key).map_or(0, |p| p.consecutive_timeouts)
+    }
+
+    /// Consecutive duplicate DATA packets from a peer — evidence that
+    /// our SACKs are being lost on the return path.
+    pub fn peer_dup_streak(&self, key: NodeKey) -> u32 {
+        self.peers.get(&key).map_or(0, |p| p.dup_streak)
+    }
+
+    /// Reset the duplicate streak (after acting on it).
+    pub fn reset_dup_streak(&mut self, key: NodeKey) {
+        if let Some(p) = self.peers.get_mut(&key) {
+            p.dup_streak = 0;
+        }
+    }
+
+    /// All peer keys with protocol state.
+    pub fn peer_keys(&self) -> Vec<NodeKey> {
+        let mut v: Vec<NodeKey> = self.peers.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Unsent + unacked payload bytes queued toward a peer.
+    pub fn backlog(&self, key: NodeKey) -> usize {
+        self.peers.get(&key).map_or(0, |p| p.backlog_bytes)
+    }
+
+    /// Unsent + unacked payload bytes across all peers.
+    pub fn backlog_total(&self) -> usize {
+        self.peers.values().map(|p| p.backlog_bytes).sum()
+    }
+
+    /// True when nothing is queued or in flight anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.peers.values().all(|p| p.queue.is_empty() && p.inflight.is_empty())
+    }
+
+    /// Queue a message for reliable FIFO delivery to `to`.
+    ///
+    /// The peer's endpoint must be known (via [`Self::set_peer_endpoint`])
+    /// by the time packets are emitted, or sends silently wait.
+    pub fn send_message(&mut self, now: SimTime, to: NodeKey, msg: Bytes) {
+        let frag_size = self.cfg.frag_size;
+        let peer = self.peers.entry(to).or_insert_with(|| Peer::new(&self.cfg));
+        let frags = split(&msg, frag_size);
+        let n = frags.len();
+        let msg_id = peer.next_msg_id;
+        peer.next_msg_id += 1;
+        peer.backlog_bytes += msg.len();
+        peer.queue.push_back(OutMsg {
+            msg_id,
+            frags,
+            acked: vec![false; n],
+            acked_count: 0,
+            next_tx: 0,
+        });
+        self.pump(now, to);
+    }
+
+    /// Earliest instant at which [`Self::on_timer`] needs to run.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        let mut consider = |f: SimTime| {
+            min = Some(match min {
+                None => f,
+                Some(m) if f < m => f,
+                Some(m) => m,
+            });
+        };
+        for p in self.peers.values() {
+            if let Some(f) = p.inflight.values().map(|f| f.sent_at + p.rto).min() {
+                consider(f);
+            }
+            if let Some((_, at)) = p.sack_deadline {
+                consider(at);
+            }
+        }
+        min
+    }
+
+    /// Drain pending output actions.
+    pub fn drain(&mut self) -> Vec<Out> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn emit_data(
+        out: &mut Vec<Out>,
+        stats: &mut SrudpStats,
+        my_key: NodeKey,
+        to_ep: Endpoint,
+        msg_id: u64,
+        frag_idx: u32,
+        frag_count: u32,
+        payload: &Bytes,
+        retransmit: bool,
+    ) {
+        let mut enc = Encoder::with_capacity(payload.len() + 32);
+        enc.put_u8(KIND_DATA);
+        enc.put_u64(my_key);
+        enc.put_u64(msg_id);
+        enc.put_u32(frag_idx);
+        enc.put_u32(frag_count);
+        enc.put_bytes(payload);
+        if retransmit {
+            stats.retransmits += 1;
+        } else {
+            stats.data_sent += 1;
+        }
+        out.push(Out::Send { to: to_ep, via: None, bytes: enc.finish() });
+    }
+
+    /// Fill the window toward a peer with untransmitted fragments.
+    fn pump(&mut self, now: SimTime, key: NodeKey) {
+        let Some(&ep) = self.locations.get(&key) else {
+            return; // location unknown; stack will pump after resolving
+        };
+        let Some(peer) = self.peers.get_mut(&key) else {
+            return;
+        };
+        while peer.inflight.len() < self.cfg.window {
+            // Advance the cursor past fully-transmitted messages, then
+            // take the next untransmitted fragment (skipping fragments
+            // already acknowledged, e.g. after an imported checkpoint
+            // reset the cursor).
+            loop {
+                let Some(m) = peer.queue.get_mut(peer.pump_hint) else {
+                    return;
+                };
+                while m.next_tx < m.frags.len() && m.acked[m.next_tx] {
+                    m.next_tx += 1;
+                }
+                if m.next_tx < m.frags.len() {
+                    break;
+                }
+                peer.pump_hint += 1;
+            }
+            let m = peer.queue.get_mut(peer.pump_hint).expect("cursor in range");
+            let idx = m.next_tx;
+            m.next_tx += 1;
+            let frag = m.frags[idx].clone();
+            let count = m.frags.len() as u32;
+            let msg_id = m.msg_id;
+            peer.inflight.insert(
+                (msg_id, idx as u32),
+                InFlight { sent_at: now, retries: 0, retransmitted: false },
+            );
+            Self::emit_data(
+                &mut self.out,
+                &mut self.stats,
+                self.my_key,
+                ep,
+                msg_id,
+                idx as u32,
+                count,
+                &frag,
+                false,
+            );
+        }
+    }
+
+    /// Handle an incoming SRUDP body (after the envelope is opened).
+    pub fn on_packet(&mut self, now: SimTime, from_ep: Endpoint, body: Bytes) -> SnipeResult<()> {
+        let mut dec = Decoder::new(body);
+        match dec.get_u8()? {
+            KIND_DATA => {
+                let src_key = dec.get_u64()?;
+                let msg_id = dec.get_u64()?;
+                let frag_idx = dec.get_u32()?;
+                let frag_count = dec.get_u32()?;
+                let payload = dec.get_bytes()?;
+                self.on_data(now, src_key, from_ep, msg_id, frag_idx, frag_count, payload)
+            }
+            KIND_SACK => {
+                let src_key = dec.get_u64()?;
+                let msg_id = dec.get_u64()?;
+                let done = dec.get_bool()?;
+                let bitmap = dec.get_bytes()?;
+                self.on_sack(now, src_key, from_ep, msg_id, done, &bitmap);
+                Ok(())
+            }
+            k => Err(SnipeError::Protocol(format!("unknown SRUDP kind {k}"))),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_data(
+        &mut self,
+        now: SimTime,
+        src_key: NodeKey,
+        from_ep: Endpoint,
+        msg_id: u64,
+        frag_idx: u32,
+        frag_count: u32,
+        payload: Bytes,
+    ) -> SnipeResult<()> {
+        // Learn / refresh the peer's location from live traffic.
+        self.locations.insert(src_key, from_ep);
+        let ack_every = self.cfg.ack_every;
+        let peer = self.peers.entry(src_key).or_insert_with(|| Peer::new(&self.cfg));
+        // Already delivered? Re-SACK "done" so the sender frees state.
+        if msg_id < peer.next_deliver || peer.held.contains_key(&msg_id) {
+            peer.dup_streak += 1;
+            Self::emit_done_sack(&mut self.out, &mut self.stats, self.my_key, from_ep, msg_id);
+            return Ok(());
+        }
+        peer.counts.insert(msg_id, frag_count);
+        let was_present = peer.reasm.has(msg_id, frag_idx as usize);
+        if was_present {
+            peer.dup_streak += 1;
+        } else {
+            peer.dup_streak = 0;
+        }
+        let completed =
+            peer.reasm.insert(msg_id, frag_idx as usize, frag_count as usize, payload)?;
+        match completed {
+            Some(full_msg) => {
+                peer.unsacked.remove(&msg_id);
+                peer.counts.remove(&msg_id);
+                peer.sack_deadline = None;
+                Self::emit_done_sack(&mut self.out, &mut self.stats, self.my_key, from_ep, msg_id);
+                peer.held.insert(msg_id, full_msg);
+                // FIFO delivery of any now-in-order messages.
+                while let Some(m) = peer.held.remove(&peer.next_deliver) {
+                    self.out.push(Out::Deliver { from_key: src_key, from_ep, msg: m });
+                    self.stats.delivered += 1;
+                    peer.next_deliver += 1;
+                }
+            }
+            None => {
+                let c = peer.unsacked.entry(msg_id).or_insert(0);
+                *c += 1;
+                if *c >= ack_every {
+                    *c = 0;
+                    peer.sack_deadline = None;
+                    let missing = peer.reasm.missing(msg_id);
+                    Self::emit_bitmap_sack(
+                        &mut self.out,
+                        &mut self.stats,
+                        self.my_key,
+                        from_ep,
+                        msg_id,
+                        frag_count,
+                        &missing,
+                    );
+                } else if peer.sack_deadline.is_none() {
+                    peer.sack_deadline = Some((msg_id, now + self.cfg.ack_delay));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_done_sack(
+        out: &mut Vec<Out>,
+        stats: &mut SrudpStats,
+        my_key: NodeKey,
+        to: Endpoint,
+        msg_id: u64,
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u8(KIND_SACK);
+        enc.put_u64(my_key);
+        enc.put_u64(msg_id);
+        enc.put_bool(true);
+        enc.put_bytes(&[]);
+        stats.sacks_sent += 1;
+        out.push(Out::Send { to, via: None, bytes: enc.finish() });
+    }
+
+    fn emit_bitmap_sack(
+        out: &mut Vec<Out>,
+        stats: &mut SrudpStats,
+        my_key: NodeKey,
+        to: Endpoint,
+        msg_id: u64,
+        frag_count: u32,
+        missing: &[u32],
+    ) {
+        let mut bitmap = vec![0xFFu8; (frag_count as usize).div_ceil(8)];
+        for &m in missing {
+            bitmap[(m / 8) as usize] &= !(1 << (m % 8));
+        }
+        let mut enc = Encoder::new();
+        enc.put_u8(KIND_SACK);
+        enc.put_u64(my_key);
+        enc.put_u64(msg_id);
+        enc.put_bool(false);
+        enc.put_bytes(&bitmap);
+        stats.sacks_sent += 1;
+        out.push(Out::Send { to, via: None, bytes: enc.finish() });
+    }
+
+    fn on_sack(
+        &mut self,
+        now: SimTime,
+        src_key: NodeKey,
+        from_ep: Endpoint,
+        msg_id: u64,
+        done: bool,
+        bitmap: &[u8],
+    ) {
+        self.locations.insert(src_key, from_ep);
+        let Some(peer) = self.peers.get_mut(&src_key) else {
+            return;
+        };
+        peer.consecutive_timeouts = 0;
+        peer.backoff = 0;
+        let Some(pos) = peer.queue.iter().position(|m| m.msg_id == msg_id) else {
+            return; // already freed
+        };
+        // RTT sample from the newest acked, never-retransmitted fragment.
+        let mut rtt_sample: Option<SimDuration> = None;
+        let mut newly_acked: Vec<u32> = Vec::new();
+        {
+            let m = &mut peer.queue[pos];
+            let count = m.frags.len() as u32;
+            for idx in 0..count {
+                let acked = if done {
+                    true
+                } else {
+                    let byte = (idx / 8) as usize;
+                    byte < bitmap.len() && bitmap[byte] & (1 << (idx % 8)) != 0
+                };
+                if acked && !m.acked[idx as usize] {
+                    m.acked[idx as usize] = true;
+                    m.acked_count += 1;
+                    newly_acked.push(idx);
+                }
+            }
+            for idx in &newly_acked {
+                peer.backlog_bytes =
+                    peer.backlog_bytes.saturating_sub(m.frags[*idx as usize].len());
+                if let Some(f) = peer.inflight.remove(&(msg_id, *idx)) {
+                    if !f.retransmitted {
+                        rtt_sample = Some(now.saturating_since(f.sent_at));
+                    }
+                }
+            }
+            if m.acked_count == m.frags.len() {
+                peer.queue.remove(pos);
+                if pos < peer.pump_hint {
+                    peer.pump_hint -= 1;
+                }
+                // Ensure no stale inflight entries remain for the message.
+                peer.inflight.retain(|(mid, _), _| *mid != msg_id);
+            }
+        }
+        if let Some(s) = rtt_sample {
+            Self::update_rtt(peer, s, &self.cfg);
+        }
+        // Selective resend with gap semantics: a fragment is presumed
+        // lost only if the receiver already holds a *later* fragment of
+        // the same message (otherwise it may simply still be in
+        // flight). This is the datagram analogue of fast retransmit.
+        if !done {
+            let ep = self.locations.get(&src_key).copied();
+            if let (Some(ep), Some(m)) =
+                (ep, self.peers.get_mut(&src_key).and_then(|p| p.queue.iter_mut().find(|m| m.msg_id == msg_id)))
+            {
+                let count = m.frags.len() as u32;
+                let highest_acked = (0..count)
+                    .rev()
+                    .find(|&idx| {
+                        let byte = (idx / 8) as usize;
+                        byte < bitmap.len() && bitmap[byte] & (1 << (idx % 8)) != 0
+                    });
+                let Some(highest_acked) = highest_acked else {
+                    self.pump(now, src_key);
+                    return;
+                };
+                let mut resend: Vec<(u32, Bytes)> = Vec::new();
+                for idx in 0..highest_acked {
+                    let byte = (idx / 8) as usize;
+                    let acked = byte < bitmap.len() && bitmap[byte] & (1 << (idx % 8)) != 0;
+                    if !acked && (idx as usize) < m.next_tx && !m.acked[idx as usize] {
+                        resend.push((idx, m.frags[idx as usize].clone()));
+                    }
+                }
+                let peer = self.peers.get_mut(&src_key).expect("peer exists");
+                for (idx, frag) in resend {
+                    let count_total = peer
+                        .queue
+                        .iter()
+                        .find(|m| m.msg_id == msg_id)
+                        .map(|m| m.frags.len() as u32)
+                        .unwrap_or(count);
+                    if let Some(f) = peer.inflight.get_mut(&(msg_id, idx)) {
+                        f.sent_at = now;
+                        f.retries += 1;
+                        f.retransmitted = true;
+                    } else {
+                        peer.inflight.insert(
+                            (msg_id, idx),
+                            InFlight { sent_at: now, retries: 1, retransmitted: true },
+                        );
+                    }
+                    Self::emit_data(
+                        &mut self.out,
+                        &mut self.stats,
+                        self.my_key,
+                        ep,
+                        msg_id,
+                        idx,
+                        count_total,
+                        &frag,
+                        true,
+                    );
+                }
+            }
+        }
+        self.pump(now, src_key);
+    }
+
+    fn update_rtt(peer: &mut Peer, sample: SimDuration, cfg: &SrudpConfig) {
+        // RFC 6298 style.
+        match peer.srtt {
+            None => {
+                peer.srtt = Some(sample);
+                peer.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                peer.rttvar = (peer.rttvar * 3 + diff) / 4;
+                peer.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+        let rto = peer.srtt.expect("just set") + peer.rttvar * 4;
+        peer.rto = rto.clamp(cfg.rto_min, cfg.rto_max);
+    }
+
+    /// Serialize the complete protocol state (sender queues + receiver
+    /// reassembly) for migration. In-flight bookkeeping is dropped: on
+    /// import every unacked fragment is eligible for retransmission,
+    /// and receivers deduplicate, so nothing is lost (§5.6).
+    pub fn export_state(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_u64(self.my_key);
+        let mut keys: Vec<NodeKey> = self.peers.keys().copied().collect();
+        keys.sort_unstable();
+        e.put_u32(keys.len() as u32);
+        for k in keys {
+            let p = &self.peers[&k];
+            e.put_u64(k);
+            match self.locations.get(&k) {
+                Some(ep) => {
+                    e.put_bool(true);
+                    e.put_u32(ep.host.0);
+                    e.put_u16(ep.port);
+                }
+                None => e.put_bool(false),
+            }
+            e.put_u64(p.next_msg_id);
+            // Sender queue.
+            e.put_u32(p.queue.len() as u32);
+            for m in &p.queue {
+                e.put_u64(m.msg_id);
+                e.put_u32(m.frags.len() as u32);
+                for (i, f) in m.frags.iter().enumerate() {
+                    e.put_bool(m.acked[i]);
+                    e.put_bytes(f);
+                }
+            }
+            // Receiver state.
+            e.put_u64(p.next_deliver);
+            e.put_u32(p.held.len() as u32);
+            for (id, msg) in &p.held {
+                e.put_u64(*id);
+                e.put_bytes(msg);
+            }
+            let partials = p.reasm.export();
+            e.put_u32(partials.len() as u32);
+            for (id, frags) in partials {
+                e.put_u64(id);
+                let count = p.counts.get(&id).copied().unwrap_or(frags.len() as u32);
+                e.put_u32(count);
+                e.put_u32(frags.len() as u32);
+                for f in frags {
+                    match f {
+                        Some(b) => {
+                            e.put_bool(true);
+                            e.put_bytes(&b);
+                        }
+                        None => e.put_bool(false),
+                    }
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Restore exported state into a fresh endpoint with the given
+    /// configuration. The transmit cursors are reset so every unacked
+    /// fragment is retransmitted.
+    pub fn import_state(bytes: Bytes, cfg: SrudpConfig) -> SnipeResult<Srudp> {
+        let mut d = Decoder::new(bytes);
+        let my_key = d.get_u64()?;
+        let mut s = Srudp::new(my_key, cfg);
+        let n_peers = d.get_u32()? as usize;
+        for _ in 0..n_peers {
+            let k = d.get_u64()?;
+            if d.get_bool()? {
+                let host = d.get_u32()?;
+                let port = d.get_u16()?;
+                s.locations.insert(k, Endpoint::new(snipe_util::id::HostId(host), port));
+            }
+            let mut peer = Peer::new(&s.cfg);
+            peer.next_msg_id = d.get_u64()?;
+            let n_msgs = d.get_u32()? as usize;
+            for _ in 0..n_msgs {
+                let msg_id = d.get_u64()?;
+                let n_frags = d.get_u32()? as usize;
+                let mut frags = Vec::with_capacity(n_frags);
+                let mut acked = Vec::with_capacity(n_frags);
+                let mut acked_count = 0;
+                for _ in 0..n_frags {
+                    let a = d.get_bool()?;
+                    acked.push(a);
+                    if a {
+                        acked_count += 1;
+                    }
+                    frags.push(d.get_bytes()?);
+                }
+                let unacked: usize = frags
+                    .iter()
+                    .zip(&acked)
+                    .filter(|(_, a)| !**a)
+                    .map(|(f, _)| f.len())
+                    .sum();
+                peer.backlog_bytes += unacked;
+                peer.queue.push_back(OutMsg { msg_id, frags, acked, acked_count, next_tx: 0 });
+            }
+            peer.next_deliver = d.get_u64()?;
+            let n_held = d.get_u32()? as usize;
+            for _ in 0..n_held {
+                let id = d.get_u64()?;
+                peer.held.insert(id, d.get_bytes()?);
+            }
+            let n_partials = d.get_u32()? as usize;
+            let mut partials = Vec::with_capacity(n_partials);
+            for _ in 0..n_partials {
+                let id = d.get_u64()?;
+                let count = d.get_u32()?;
+                let n = d.get_u32()? as usize;
+                let mut frags = Vec::with_capacity(n);
+                for _ in 0..n {
+                    frags.push(if d.get_bool()? { Some(d.get_bytes()?) } else { None });
+                }
+                peer.counts.insert(id, count);
+                partials.push((id, frags));
+            }
+            peer.reasm.import(partials);
+            s.peers.insert(k, peer);
+        }
+        d.expect_end()?;
+        Ok(s)
+    }
+
+    /// Kick retransmission of everything unacked toward every peer
+    /// (used right after an import, once locations are refreshed).
+    pub fn retransmit_all(&mut self, now: SimTime) {
+        let keys: Vec<NodeKey> = self.peers.keys().copied().collect();
+        for k in keys {
+            self.pump(now, k);
+        }
+    }
+
+    /// Retransmit fragments whose RTO expired; escalate backoff. Also
+    /// flushes due delayed SACKs on the receiver side.
+    pub fn on_timer(&mut self, now: SimTime) {
+        let keys: Vec<NodeKey> = self.peers.keys().copied().collect();
+        for key in &keys {
+            let key = *key;
+            let Some(&ep) = self.locations.get(&key) else { continue };
+            let peer = self.peers.get_mut(&key).expect("key from iteration");
+            if let Some((msg_id, at)) = peer.sack_deadline {
+                if at <= now {
+                    peer.sack_deadline = None;
+                    peer.unsacked.insert(msg_id, 0);
+                    let count = peer.counts.get(&msg_id).copied().unwrap_or(0);
+                    let missing = peer.reasm.missing(msg_id);
+                    if count > 0 {
+                        Self::emit_bitmap_sack(
+                            &mut self.out,
+                            &mut self.stats,
+                            self.my_key,
+                            ep,
+                            msg_id,
+                            count,
+                            &missing,
+                        );
+                    }
+                }
+            }
+        }
+        for key in keys {
+            let Some(&ep) = self.locations.get(&key) else {
+                continue;
+            };
+            let peer = self.peers.get_mut(&key).expect("key from iteration");
+            let rto = peer.rto;
+            let mut expired: Vec<(u64, u32)> = peer
+                .inflight
+                .iter()
+                .filter(|(_, f)| f.sent_at + rto <= now)
+                .map(|(k, _)| *k)
+                .collect();
+            if expired.is_empty() {
+                continue;
+            }
+            expired.sort_unstable();
+            peer.consecutive_timeouts += 1;
+            peer.backoff = (peer.backoff + 1).min(10);
+            peer.rto = (rto * 2).clamp(self.cfg.rto_min, self.cfg.rto_max);
+            let mut gave_up: Vec<u64> = Vec::new();
+            for (msg_id, idx) in expired {
+                let f = peer.inflight.get_mut(&(msg_id, idx)).expect("expired entry");
+                if f.retries >= self.cfg.max_retries {
+                    gave_up.push(msg_id);
+                    continue;
+                }
+                f.retries += 1;
+                f.retransmitted = true;
+                f.sent_at = now;
+                let frag_data = peer
+                    .queue
+                    .iter()
+                    .find(|m| m.msg_id == msg_id)
+                    .map(|m| (m.frags[idx as usize].clone(), m.frags.len() as u32));
+                if let Some((frag, count)) = frag_data {
+                    Self::emit_data(
+                        &mut self.out,
+                        &mut self.stats,
+                        self.my_key,
+                        ep,
+                        msg_id,
+                        idx,
+                        count,
+                        &frag,
+                        true,
+                    );
+                }
+            }
+            for msg_id in gave_up {
+                peer.inflight.retain(|(mid, _), _| *mid != msg_id);
+                if let Some(pos) = peer.queue.iter().position(|m| m.msg_id == msg_id) {
+                    let m = &peer.queue[pos];
+                    let unacked: usize = m
+                        .frags
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !m.acked[*i])
+                        .map(|(_, f)| f.len())
+                        .sum();
+                    peer.backlog_bytes = peer.backlog_bytes.saturating_sub(unacked);
+                    peer.queue.remove(pos);
+                    if pos < peer.pump_hint {
+                        peer.pump_hint -= 1;
+                    }
+                    self.stats.failed += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_util::id::HostId;
+
+    fn ep(h: u32, p: u16) -> Endpoint {
+        Endpoint::new(HostId(h), p)
+    }
+
+    /// Shuttle packets between two endpoints with an optional drop
+    /// filter; returns delivered messages per side.
+    fn shuttle(
+        a: &mut Srudp,
+        b: &mut Srudp,
+        a_ep: Endpoint,
+        b_ep: Endpoint,
+        mut now: SimTime,
+        mut drop: impl FnMut(usize) -> bool,
+        steps: usize,
+    ) -> (Vec<Bytes>, Vec<Bytes>, SimTime) {
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        let mut n = 0usize;
+        for _ in 0..steps {
+            let mut moved = false;
+            for o in a.drain() {
+                match o {
+                    Out::Send { to, bytes, .. } => {
+                        moved = true;
+                        n += 1;
+                        if drop(n) {
+                            continue;
+                        }
+                        assert_eq!(to, b_ep, "packet to unexpected endpoint");
+                        b.on_packet(now, a_ep, bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got_a.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            for o in b.drain() {
+                match o {
+                    Out::Send { to, bytes, .. } => {
+                        moved = true;
+                        n += 1;
+                        if drop(n) {
+                            continue;
+                        }
+                        assert_eq!(to, a_ep, "packet to unexpected endpoint");
+                        a.on_packet(now, b_ep, bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got_b.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            if !moved {
+                now = now + SimDuration::from_millis(30);
+                a.on_timer(now);
+                b.on_timer(now);
+            }
+            now = now + SimDuration::from_micros(100);
+        }
+        // Collect any remaining delivers.
+        for o in a.drain() {
+            if let Out::Deliver { msg, .. } = o {
+                got_a.push(msg);
+            }
+        }
+        for o in b.drain() {
+            if let Out::Deliver { msg, .. } = o {
+                got_b.push(msg);
+            }
+        }
+        (got_a, got_b, now)
+    }
+
+    #[test]
+    fn small_message_delivered() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"hello"));
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 50);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(&got_b[0][..], b"hello");
+        assert!(a.quiescent());
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        let payload = Bytes::from((0..100_000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        a.send_message(SimTime::ZERO, 2, payload.clone());
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 500);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(got_b[0], payload);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        for i in 0..20u8 {
+            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i; 10]));
+        }
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 200);
+        assert_eq!(got_b.len(), 20);
+        for (i, m) in got_b.iter().enumerate() {
+            assert_eq!(m[0] as usize, i);
+        }
+    }
+
+    #[test]
+    fn survives_heavy_loss() {
+        let mut cfg = SrudpConfig::default();
+        cfg.rto_initial = SimDuration::from_millis(10);
+        let mut a = Srudp::new(1, cfg.clone());
+        let mut b = Srudp::new(2, cfg);
+        a.set_peer_endpoint(2, ep(1, 5));
+        let payload = Bytes::from(vec![9u8; 50_000]);
+        a.send_message(SimTime::ZERO, 2, payload.clone());
+        // Drop every 3rd packet.
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |n| n % 3 == 0, 3000);
+        assert_eq!(got_b.len(), 1, "stats: {:?} / {:?}", a.stats(), b.stats());
+        assert_eq!(got_b[0], payload);
+        assert!(a.stats().retransmits > 0, "loss must trigger selective resends");
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        b.set_peer_endpoint(1, ep(0, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"ping"));
+        b.send_message(SimTime::ZERO, 1, Bytes::from_static(b"pong"));
+        let (got_a, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 100);
+        assert_eq!(&got_b[0][..], b"ping");
+        assert_eq!(&got_a[0][..], b"pong");
+    }
+
+    #[test]
+    fn duplicate_data_reacked_not_redelivered() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"once"));
+        // Capture the DATA packet and play it twice.
+        let outs = a.drain();
+        let Out::Send { bytes, .. } = &outs[0] else { panic!("expected send") };
+        b.on_packet(SimTime::ZERO, ep(0, 5), bytes.clone()).unwrap();
+        b.on_packet(SimTime::ZERO, ep(0, 5), bytes.clone()).unwrap();
+        let delivers = b
+            .drain()
+            .into_iter()
+            .filter(|o| matches!(o, Out::Deliver { .. }))
+            .count();
+        assert_eq!(delivers, 1);
+        assert_eq!(b.stats().delivered, 1);
+        assert!(b.stats().sacks_sent >= 2, "duplicate must be re-SACKed");
+    }
+
+    #[test]
+    fn migration_retargets_retransmissions() {
+        let mut cfg = SrudpConfig::default();
+        cfg.rto_initial = SimDuration::from_millis(10);
+        let mut a = Srudp::new(1, cfg.clone());
+        let mut b = Srudp::new(2, cfg);
+        a.set_peer_endpoint(2, ep(1, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"follow me"));
+        // Drop everything sent to the old endpoint.
+        for o in a.drain() {
+            let Out::Send { to, .. } = o else { continue };
+            assert_eq!(to, ep(1, 5));
+        }
+        // Peer migrates to a new host; location updated (as the core
+        // layer would after an RC lookup).
+        a.set_peer_endpoint(2, ep(7, 9));
+        let now = SimTime::ZERO + SimDuration::from_millis(20);
+        a.on_timer(now);
+        let outs = a.drain();
+        assert!(!outs.is_empty(), "RTO must retransmit");
+        for o in &outs {
+            if let Out::Send { to, bytes, .. } = o {
+                assert_eq!(*to, ep(7, 9), "retransmit must go to the new location");
+                b.on_packet(now, ep(0, 5), bytes.clone()).unwrap();
+            }
+        }
+        let msgs: Vec<_> = b
+            .drain()
+            .into_iter()
+            .filter_map(|o| match o {
+                Out::Deliver { msg, .. } => Some(msg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(&msgs[0][..], b"follow me");
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let mut cfg = SrudpConfig::default();
+        cfg.rto_initial = SimDuration::from_millis(1);
+        cfg.rto_min = SimDuration::from_millis(1);
+        cfg.rto_max = SimDuration::from_millis(1);
+        cfg.max_retries = 3;
+        let mut a = Srudp::new(1, cfg);
+        a.set_peer_endpoint(2, ep(1, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"void"));
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now = now + SimDuration::from_millis(2);
+            a.on_timer(now);
+            a.drain();
+        }
+        assert_eq!(a.stats().failed, 1);
+        assert!(a.quiescent());
+        assert!(a.peer_timeouts(2) >= 3);
+    }
+
+    #[test]
+    fn rtt_estimation_tightens_rto() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        // Several message exchanges with ~1ms RTT.
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            a.send_message(now, 2, Bytes::from(vec![0u8; 100]));
+            for o in a.drain() {
+                if let Out::Send { bytes, .. } = o {
+                    b.on_packet(now + SimDuration::from_micros(500), ep(0, 5), bytes).unwrap();
+                }
+            }
+            now = now + SimDuration::from_millis(1);
+            for o in b.drain() {
+                if let Out::Send { bytes, .. } = o {
+                    a.on_packet(now, ep(1, 5), bytes).unwrap();
+                }
+            }
+        }
+        let peer = a.peers.get(&2).unwrap();
+        assert!(peer.srtt.is_some());
+        assert!(peer.rto < SimDuration::from_millis(50), "rto {}", peer.rto);
+    }
+
+    #[test]
+    fn malformed_packet_rejected() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let err = a.on_packet(SimTime::ZERO, ep(1, 5), Bytes::from_static(&[42])).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+        assert!(a.on_packet(SimTime::ZERO, ep(1, 5), Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn backlog_and_deadline_reporting() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        assert!(a.next_deadline().is_none());
+        a.set_peer_endpoint(2, ep(1, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::from(vec![0u8; 5000]));
+        assert!(a.backlog(2) > 0);
+        assert!(a.next_deadline().is_some());
+    }
+
+    #[test]
+    fn empty_message_delivered() {
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        a.set_peer_endpoint(2, ep(1, 5));
+        a.send_message(SimTime::ZERO, 2, Bytes::new());
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 50);
+        assert_eq!(got_b.len(), 1);
+        assert!(got_b[0].is_empty());
+    }
+}
+
+#[cfg(test)]
+mod migration_tests {
+    use super::*;
+    use snipe_util::id::HostId;
+
+    fn ep(h: u32, p: u16) -> Endpoint {
+        Endpoint::new(HostId(h), p)
+    }
+
+    /// Full migration drill: receiver checkpointed mid-message and
+    /// resurrected elsewhere; nothing is lost, FIFO holds.
+    #[test]
+    fn export_import_preserves_in_flight_traffic() {
+        let mut cfg = SrudpConfig::default();
+        cfg.rto_initial = SimDuration::from_millis(5);
+        let mut a = Srudp::new(1, cfg.clone());
+        let mut b = Srudp::new(2, cfg.clone());
+        a.set_peer_endpoint(2, ep(1, 5));
+        // Queue three multi-fragment messages.
+        for i in 0..3u8 {
+            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i; 4000]));
+        }
+        // Deliver only the first few packets to b, drop the rest.
+        let mut delivered_packets = 0;
+        for o in a.drain() {
+            if let Out::Send { bytes, .. } = o {
+                if delivered_packets < 2 {
+                    b.on_packet(SimTime::ZERO, ep(0, 5), bytes).unwrap();
+                    delivered_packets += 1;
+                }
+            }
+        }
+        b.drain();
+        // "Migrate" BOTH endpoints: checkpoint and restore.
+        let a2_state = a.export_state();
+        let b2_state = b.export_state();
+        let mut a2 = Srudp::import_state(a2_state, cfg.clone()).unwrap();
+        let mut b2 = Srudp::import_state(b2_state, cfg.clone()).unwrap();
+        // b now lives at a new endpoint; a2 learns it.
+        a2.set_peer_endpoint(2, ep(9, 5));
+        let now = SimTime::ZERO + SimDuration::from_millis(10);
+        a2.retransmit_all(now);
+        // Shuttle to completion.
+        let mut got = Vec::new();
+        let mut t = now;
+        for _ in 0..500 {
+            let mut moved = false;
+            for o in a2.drain() {
+                if let Out::Send { bytes, .. } = o {
+                    moved = true;
+                    b2.on_packet(t, ep(0, 5), bytes).unwrap();
+                }
+            }
+            for o in b2.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        moved = true;
+                        a2.on_packet(t, ep(9, 5), bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            if !moved {
+                t = t + SimDuration::from_millis(10);
+                a2.on_timer(t);
+                b2.on_timer(t);
+            }
+        }
+        assert_eq!(got.len(), 3, "all messages must survive migration");
+        for (i, m) in got.iter().enumerate() {
+            assert_eq!(m[0] as usize, i, "FIFO order preserved");
+            assert_eq!(m.len(), 4000);
+        }
+        assert!(a2.quiescent());
+    }
+
+    #[test]
+    fn export_of_fresh_endpoint_is_importable() {
+        let a = Srudp::new(7, SrudpConfig::default());
+        let b = Srudp::import_state(a.export_state(), SrudpConfig::default()).unwrap();
+        assert_eq!(b.key(), 7);
+        assert!(b.quiescent());
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(Srudp::import_state(Bytes::from_static(b"junk"), SrudpConfig::default()).is_err());
+    }
+}

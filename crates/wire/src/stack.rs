@@ -1,0 +1,469 @@
+//! The assembled wire stack embedded in every SNIPE process actor.
+//!
+//! [`WireStack`] glues together:
+//!
+//! * [`crate::srudp`] for reliable FIFO messaging keyed by stable node
+//!   keys (so messages survive migration, §5.6),
+//! * [`crate::route`] for multi-path pinning with automatic failover
+//!   (§6),
+//! * the [`crate::frame`] envelope so one simulator port carries every
+//!   protocol,
+//! * raw (unreliable) datagrams for protocols that bring their own
+//!   redundancy (multicast relay legs).
+//!
+//! The stack is still sans-IO; a `snipe-netsim` actor drives it:
+//! packets in via [`WireStack::on_datagram`], timer events via
+//! [`WireStack::on_timer`], and emitted [`Out`] actions are translated
+//! into `ctx.send`/`ctx.set_timer` calls by the embedding actor.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+use snipe_netsim::topology::Endpoint;
+use snipe_util::error::SnipeResult;
+use snipe_util::id::NetId;
+use snipe_util::time::SimTime;
+
+use crate::frame::{open, seal, Proto};
+use crate::route::RouteManager;
+use crate::srudp::{NodeKey, Srudp, SrudpConfig, SrudpStats};
+use crate::Out;
+
+/// Configuration for the assembled stack.
+#[derive(Clone, Debug, Default)]
+pub struct StackConfig {
+    /// SRUDP tuning.
+    pub srudp: SrudpConfig,
+}
+
+/// An incoming item after protocol demultiplexing.
+///
+/// Reliable SRUDP messages are *not* surfaced here: the stack consumes
+/// them internally and yields them as [`Out::Deliver`] from
+/// [`WireStack::drain`] (they may complete later than the datagram that
+/// carried the final fragment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A raw datagram (no reliability).
+    Raw {
+        /// Sender endpoint.
+        from: Endpoint,
+        /// Payload.
+        msg: Bytes,
+    },
+    /// A multicast relay packet for the host's router logic.
+    Mcast {
+        /// Sender endpoint.
+        from: Endpoint,
+        /// MCAST body (decode with [`crate::mcast::McastMsg::decode`]).
+        body: Bytes,
+    },
+    /// An RSTREAM body for a co-hosted [`crate::rstream::Rstream`].
+    Stream {
+        /// Sender endpoint.
+        from: Endpoint,
+        /// RSTREAM body.
+        body: Bytes,
+    },
+}
+
+/// Derive the conventional node key of a non-migrating infrastructure
+/// service (daemon, RC server, file server) from its well-known
+/// endpoint. Application processes instead use the globally unique
+/// process key their daemon assigned, which survives migration.
+pub fn endpoint_key(ep: Endpoint) -> NodeKey {
+    ((ep.host.0 as u64) << 32) | (1 << 63) | ep.port as u64
+}
+
+/// The per-process wire stack.
+pub struct WireStack {
+    srudp: Srudp,
+    routes: HashMap<NodeKey, RouteManager>,
+    out: Vec<Out>,
+}
+
+impl WireStack {
+    /// New stack for a process with the given stable key.
+    pub fn new(my_key: NodeKey, cfg: StackConfig) -> WireStack {
+        WireStack { srudp: Srudp::new(my_key, cfg.srudp), routes: HashMap::new(), out: Vec::new() }
+    }
+
+    /// Our node key.
+    pub fn key(&self) -> NodeKey {
+        self.srudp.key()
+    }
+
+    /// SRUDP counters.
+    pub fn srudp_stats(&self) -> SrudpStats {
+        self.srudp.stats()
+    }
+
+    /// Record a peer's location and (optionally) its ranked candidate
+    /// networks from host metadata. Messages queued while the location
+    /// was unknown start flowing immediately.
+    pub fn set_peer(&mut self, key: NodeKey, ep: Endpoint, routes: Vec<NetId>) {
+        self.set_peer_at(SimTime::ZERO, key, ep, routes)
+    }
+
+    /// [`Self::set_peer`] with an explicit current time (affects RTT
+    /// bookkeeping of the fragments transmitted right away).
+    pub fn set_peer_at(&mut self, now: SimTime, key: NodeKey, ep: Endpoint, routes: Vec<NetId>) {
+        self.srudp.set_peer_endpoint(key, ep);
+        match self.routes.get_mut(&key) {
+            Some(r) => r.update(routes),
+            None => {
+                self.routes.insert(
+                    key,
+                    if routes.is_empty() { RouteManager::unpinned() } else { RouteManager::new(routes) },
+                );
+            }
+        }
+        self.srudp.pump_peer(now, key);
+        self.harvest();
+    }
+
+    /// Current known location of a peer.
+    pub fn peer_endpoint(&self, key: NodeKey) -> Option<Endpoint> {
+        self.srudp.peer_endpoint(key)
+    }
+
+    /// Number of route failovers performed for a peer.
+    pub fn failovers(&self, key: NodeKey) -> u32 {
+        self.routes.get(&key).map_or(0, |r| r.failovers)
+    }
+
+    /// All peer keys with transport state (learned or configured).
+    pub fn known_peers(&self) -> Vec<NodeKey> {
+        self.srudp.peer_keys()
+    }
+
+    /// The pinned route candidates for a peer (empty = default routing).
+    pub fn route_candidates(&self, key: NodeKey) -> Vec<snipe_util::id::NetId> {
+        self.routes.get(&key).map(|r| r.candidates().to_vec()).unwrap_or_default()
+    }
+
+    /// Peers whose consecutive-timeout count reached `threshold` —
+    /// candidates for RC location re-resolution (they may have
+    /// migrated, §5.6).
+    pub fn peers_in_trouble(&self, threshold: u32) -> Vec<NodeKey> {
+        self.srudp
+            .peer_keys()
+            .into_iter()
+            .filter(|&k| self.srudp.peer_timeouts(k) >= threshold)
+            .collect()
+    }
+
+    /// Send a reliable FIFO message to a peer by key.
+    pub fn send(&mut self, now: SimTime, to: NodeKey, msg: Bytes) {
+        self.srudp.send_message(now, to, msg);
+        self.harvest();
+    }
+
+    /// Send a raw (unreliable) datagram to an endpoint.
+    pub fn send_raw(&mut self, to: Endpoint, msg: Bytes) {
+        self.out.push(Out::Send { to, via: None, bytes: seal(Proto::Raw, msg) });
+    }
+
+    /// Send a multicast relay packet (already MCAST-encoded body).
+    pub fn send_mcast(&mut self, to: Endpoint, body: Bytes) {
+        self.out.push(Out::Send { to, via: None, bytes: seal(Proto::Mcast, body) });
+    }
+
+    /// Handle an incoming datagram from the simulator.
+    ///
+    /// SRUDP traffic is consumed internally (the stack answers with
+    /// SACKs and delivers complete messages through [`Self::drain`]);
+    /// other protocols are surfaced to the caller.
+    pub fn on_datagram(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        datagram: Bytes,
+    ) -> SnipeResult<Option<Incoming>> {
+        let (proto, body) = open(datagram)?;
+        match proto {
+            Proto::Srudp => {
+                self.srudp.on_packet(now, from, body)?;
+                self.check_failover();
+                self.harvest();
+                Ok(None)
+            }
+            Proto::Raw => Ok(Some(Incoming::Raw { from, msg: body })),
+            Proto::Mcast => Ok(Some(Incoming::Mcast { from, body })),
+            Proto::Rstream => Ok(Some(Incoming::Stream { from, body })),
+        }
+    }
+
+    /// Fire retransmission timers.
+    pub fn on_timer(&mut self, now: SimTime) {
+        self.srudp.on_timer(now);
+        self.check_failover();
+        self.harvest();
+    }
+
+    /// Rotate routes for peers in trouble: sender-side evidence is
+    /// consecutive RTO expiries; receiver-side evidence is a streak of
+    /// duplicate DATA (our SACKs are not getting back, §6 failover).
+    fn check_failover(&mut self) {
+        let keys: Vec<NodeKey> = self.routes.keys().copied().collect();
+        for k in keys {
+            let t = self.srudp.peer_timeouts(k);
+            let rotated = match self.routes.get_mut(&k) {
+                Some(r) => r.report_timeouts(t),
+                None => false,
+            };
+            let dup = self.srudp.peer_dup_streak(k);
+            if dup >= 3 {
+                if let Some(r) = self.routes.get_mut(&k) {
+                    r.rotate();
+                }
+                self.srudp.reset_dup_streak(k);
+            }
+            let _ = rotated;
+        }
+    }
+
+    /// Earliest wanted wake-up.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.srudp.next_deadline()
+    }
+
+    /// Unsent + unacked payload bytes across all peers.
+    pub fn backlog_total(&self) -> usize {
+        self.srudp.backlog_total()
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn quiescent(&self) -> bool {
+        self.srudp.quiescent() && self.out.is_empty()
+    }
+
+    /// Move SRUDP outputs into the stack queue, enveloping and pinning
+    /// routes.
+    fn harvest(&mut self) {
+        for o in self.srudp.drain() {
+            match o {
+                Out::Send { to, bytes, .. } => {
+                    // Find which peer this endpoint belongs to, to apply
+                    // its pinned route (linear scan: peer counts are
+                    // small per process).
+                    let via = self
+                        .routes
+                        .iter()
+                        .find(|(k, _)| self.srudp.peer_endpoint(**k) == Some(to))
+                        .and_then(|(_, r)| r.current());
+                    self.out.push(Out::Send { to, via, bytes: seal(Proto::Srudp, bytes) });
+                }
+                Out::Deliver { from_key, from_ep, msg } => {
+                    self.out.push(Out::Deliver { from_key, from_ep, msg });
+                }
+                Out::Wake { at } => self.out.push(Out::Wake { at }),
+            }
+        }
+    }
+
+    /// Drain pending actions (sends to execute + received messages).
+    pub fn drain(&mut self) -> Vec<Out> {
+        self.harvest();
+        std::mem::take(&mut self.out)
+    }
+
+    /// Serialize the reliable-transport state for migration (§5.6).
+    /// Route managers are not carried: the new host has different
+    /// interfaces, so routes are re-learned from RC metadata.
+    pub fn export_state(&self) -> Bytes {
+        self.srudp.export_state()
+    }
+
+    /// Rebuild a stack from exported state and kick retransmission of
+    /// everything unacknowledged.
+    pub fn import_state(bytes: Bytes, cfg: StackConfig, now: SimTime) -> SnipeResult<WireStack> {
+        let mut srudp = Srudp::import_state(bytes, cfg.srudp)?;
+        srudp.retransmit_all(now);
+        Ok(WireStack { srudp, routes: HashMap::new(), out: Vec::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snipe_util::id::HostId;
+    use snipe_util::time::SimDuration;
+
+    fn ep(h: u32, p: u16) -> Endpoint {
+        Endpoint::new(HostId(h), p)
+    }
+
+    fn pump(a: &mut WireStack, b: &mut WireStack, a_ep: Endpoint, b_ep: Endpoint, steps: usize) -> (Vec<Bytes>, Vec<Bytes>) {
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..steps {
+            let mut moved = false;
+            for o in a.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        moved = true;
+                        b.on_datagram(now, a_ep, bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got_a.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            for o in b.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        moved = true;
+                        a.on_datagram(now, b_ep, bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got_b.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            if !moved {
+                now = now + SimDuration::from_millis(50);
+                a.on_timer(now);
+                b.on_timer(now);
+            }
+            now = now + SimDuration::from_micros(10);
+        }
+        (got_a, got_b)
+    }
+
+    #[test]
+    fn reliable_message_end_to_end() {
+        let mut a = WireStack::new(1, StackConfig::default());
+        let mut b = WireStack::new(2, StackConfig::default());
+        a.set_peer(2, ep(1, 5), vec![]);
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"over the stack"));
+        let (_, got_b) = pump(&mut a, &mut b, ep(0, 5), ep(1, 5), 50);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(&got_b[0][..], b"over the stack");
+        assert!(a.quiescent());
+    }
+
+    #[test]
+    fn raw_datagram_surfaces() {
+        let mut a = WireStack::new(1, StackConfig::default());
+        let mut b = WireStack::new(2, StackConfig::default());
+        a.send_raw(ep(1, 5), Bytes::from_static(b"raw"));
+        let outs = a.drain();
+        let Out::Send { bytes, .. } = &outs[0] else { panic!() };
+        let inc = b.on_datagram(SimTime::ZERO, ep(0, 5), bytes.clone()).unwrap().unwrap();
+        assert_eq!(inc, Incoming::Raw { from: ep(0, 5), msg: Bytes::from_static(b"raw") });
+    }
+
+    #[test]
+    fn pinned_route_applied_to_srudp_sends() {
+        let mut a = WireStack::new(1, StackConfig::default());
+        a.set_peer(2, ep(1, 5), vec![NetId(3), NetId(4)]);
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"pin me"));
+        let outs = a.drain();
+        assert!(!outs.is_empty());
+        for o in outs {
+            if let Out::Send { via, .. } = o {
+                assert_eq!(via, Some(NetId(3)));
+            }
+        }
+    }
+
+    #[test]
+    fn failover_rotates_route_after_timeouts() {
+        let mut cfg = StackConfig::default();
+        cfg.srudp.rto_initial = SimDuration::from_millis(1);
+        cfg.srudp.rto_min = SimDuration::from_millis(1);
+        cfg.srudp.rto_max = SimDuration::from_millis(1);
+        let mut a = WireStack::new(1, cfg);
+        a.set_peer(2, ep(1, 5), vec![NetId(3), NetId(4)]);
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"blackhole"));
+        a.drain();
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            now = now + SimDuration::from_millis(2);
+            a.on_timer(now);
+            a.drain();
+        }
+        assert!(a.failovers(2) >= 1, "route must rotate after repeated timeouts");
+        // Subsequent sends use the alternate network.
+        a.send(now, 2, Bytes::from_static(b"retry"));
+        let outs = a.drain();
+        let vias: Vec<Option<NetId>> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Out::Send { via, .. } => Some(*via),
+                _ => None,
+            })
+            .collect();
+        assert!(vias.contains(&Some(NetId(4))), "vias: {vias:?}");
+    }
+
+    #[test]
+    fn mcast_and_stream_surface() {
+        let mut b = WireStack::new(2, StackConfig::default());
+        let dg = seal(Proto::Mcast, Bytes::from_static(b"mc"));
+        let inc = b.on_datagram(SimTime::ZERO, ep(0, 5), dg).unwrap().unwrap();
+        assert!(matches!(inc, Incoming::Mcast { .. }));
+        let dg = seal(Proto::Rstream, Bytes::from_static(b"st"));
+        let inc = b.on_datagram(SimTime::ZERO, ep(0, 5), dg).unwrap().unwrap();
+        assert!(matches!(inc, Incoming::Stream { .. }));
+    }
+
+    #[test]
+    fn corrupt_datagram_is_an_error() {
+        let mut b = WireStack::new(2, StackConfig::default());
+        assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), Bytes::from_static(&[0])).is_err());
+    }
+
+    #[test]
+    fn migration_mid_stream_loses_nothing() {
+        // Peer 2 "migrates" between endpoints while 1 streams to it:
+        // messages queued toward the old endpoint are retransmitted to
+        // the new one once the location updates (paper §5.6 guarantee).
+        let mut cfg = StackConfig::default();
+        cfg.srudp.rto_initial = SimDuration::from_millis(5);
+        let mut a = WireStack::new(1, cfg.clone());
+        let mut b = WireStack::new(2, cfg);
+        a.set_peer(2, ep(1, 5), vec![]);
+        for i in 0..5u8 {
+            a.send(SimTime::ZERO, 2, Bytes::from(vec![i; 2000]));
+        }
+        // Packets to the old endpoint are dropped (host gone).
+        a.drain();
+        // Migration completes: new location known.
+        a.set_peer(2, ep(9, 5), vec![]);
+        let mut got_b = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            let mut moved = false;
+            for o in a.drain() {
+                match o {
+                    Out::Send { to, bytes, .. } => {
+                        moved = true;
+                        assert_eq!(to, ep(9, 5));
+                        b.on_datagram(now, ep(0, 5), bytes).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            for o in b.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        moved = true;
+                        a.on_datagram(now, ep(9, 5), bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got_b.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            if !moved {
+                now = now + SimDuration::from_millis(10);
+                a.on_timer(now);
+            }
+            now = now + SimDuration::from_micros(10);
+        }
+        assert_eq!(got_b.len(), 5, "all pre-migration messages must arrive");
+        for (i, m) in got_b.iter().enumerate() {
+            assert_eq!(m[0] as usize, i, "FIFO order preserved across migration");
+        }
+    }
+}

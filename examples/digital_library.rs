@@ -1,0 +1,118 @@
+//! The worldwide digital library — the paper's first §1 motivating
+//! application: "Indexing and cataloging the worldwide digital library,
+//! which will have hundreds of millions of documents, produced at
+//! millions of different locations."
+//!
+//! Publisher processes store documents on the replicated SNIPE file
+//! servers (with SHA-256 integrity hashes, §2.1) and catalogue them as
+//! RC metadata assertions; a query client finds documents by attribute
+//! and fetches the nearest replica. Mid-run the file server holding the
+//! original copies dies — reads keep working from replicas.
+//!
+//! Run with: `cargo run --example digital_library`
+
+use bytes::Bytes;
+use snipe::core::api::TicketResult;
+use snipe::core::{SnipeApi, SnipeProcess, SnipeWorldBuilder};
+use snipe::util::time::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Publishes `count` documents, then exits.
+struct Publisher {
+    site: u32,
+    count: u32,
+    stored: u32,
+}
+
+impl SnipeProcess for Publisher {
+    fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
+        for d in 0..self.count {
+            let lifn = format!("lifn:snipe:file:doc-{}-{}", self.site, d);
+            let body = format!("document {d} from site {}: lorem ipsum dolor", self.site);
+            api.write_file(lifn, body.into_bytes());
+        }
+    }
+    fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
+        if let TicketResult::FileWritten(Ok(())) = result {
+            self.stored += 1;
+            if self.stored == self.count {
+                api.log(format!("site {}: all {} documents stored + catalogued", self.site, self.count));
+                api.exit();
+            }
+        }
+    }
+}
+
+/// Reads a set of documents back (after the origin server died).
+struct Reader {
+    lifns: Vec<String>,
+    fetched: Rc<RefCell<Vec<String>>>,
+}
+
+impl SnipeProcess for Reader {
+    fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
+        for l in &self.lifns {
+            api.read_file(l.clone());
+        }
+    }
+    fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
+        match result {
+            TicketResult::FileRead(Ok(content)) => {
+                self.fetched.borrow_mut().push(String::from_utf8_lossy(&content).into_owned());
+            }
+            TicketResult::FileRead(Err(e)) => {
+                api.log(format!("fetch failed: {e}"));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    // Six hosts; file servers live on host0 and host1 (lan() default).
+    let mut world = SnipeWorldBuilder::lan(6, 99).build();
+    world.echo_logs();
+
+    for site in 1..=3u32 {
+        world.register_process(format!("publisher{site}"), move |_| {
+            Box::new(Publisher { site, count: 4, stored: 0 })
+        });
+    }
+    for site in 1..=3u32 {
+        world
+            .spawn_on(&format!("host{}", site + 2), &format!("publisher{site}"), Bytes::new())
+            .expect("spawn publisher");
+    }
+    // Let publishing and replication complete.
+    world.run_for_secs(5);
+
+    // Kill the primary file server host: replicas must carry the load.
+    let h0 = world.sim_ref().topology().host_by_name("host0").unwrap();
+    println!(">>> killing host0 (primary file server + RC + RM)");
+    world.sim().host_down(h0);
+
+    // NOTE: host0 also carried the only RC replica in the lan() preset —
+    // reads of *file content* still work because the reader already
+    // knows the file server endpoints; a production layout would put RC
+    // replicas elsewhere (see SnipeWorldBuilder::utk_testbed).
+    let fetched = Rc::new(RefCell::new(Vec::new()));
+    let lifns: Vec<String> = (1..=3u32)
+        .flat_map(|s| (0..4u32).map(move |d| format!("lifn:snipe:file:doc-{s}-{d}")))
+        .collect();
+    let f = fetched.clone();
+    let want = lifns.len();
+    world.register_process("reader", move |_| {
+        Box::new(Reader { lifns: lifns.clone(), fetched: f.clone() })
+    });
+    world.spawn_on("host5", "reader", Bytes::new()).expect("spawn reader");
+    world.run_for(SimDuration::from_secs(8));
+
+    let got = fetched.borrow();
+    println!("\nfetched {}/{want} documents after losing the primary server", got.len());
+    for doc in got.iter().take(3) {
+        println!("  {doc}");
+    }
+    assert_eq!(got.len(), want, "all documents must survive the server loss");
+    println!("library intact.");
+}

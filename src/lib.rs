@@ -1,0 +1,21 @@
+//! # SNIPE — Scalable Networked Information Processing Environment
+//!
+//! Umbrella crate re-exporting the full SNIPE workspace: the metacomputing
+//! system of Fagg, Moore & Dongarra (SC'97), reproduced in Rust on a
+//! deterministic discrete-event substrate.
+//!
+//! Start with [`snipe_core::SnipeWorld`] (re-exported as [`core`]) and the
+//! `examples/` directory.
+
+pub use mpi_connect as mpiconnect;
+pub use pvm_baseline as pvm;
+pub use snipe_core as core;
+pub use snipe_crypto as crypto;
+pub use snipe_daemon as daemon;
+pub use snipe_files as files;
+pub use snipe_netsim as netsim;
+pub use snipe_playground as playground;
+pub use snipe_rcds as rcds;
+pub use snipe_rm as rm;
+pub use snipe_util as util;
+pub use snipe_wire as wire;
