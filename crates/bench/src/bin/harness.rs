@@ -9,7 +9,7 @@
 //! Output goes to stdout and `results/<exp>.txt`.
 
 use snipe_bench::report::{mbps, Table};
-use snipe_bench::{ablations, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, fig1, par_map};
+use snipe_bench::{ablations, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, engine, fig1, par_map};
 use snipe_util::time::SimDuration;
 
 fn run_f1() {
@@ -225,6 +225,84 @@ fn run_a3() {
     t.emit("a3.txt");
 }
 
+/// Events/second of the seed engine (pre fast-path: per-packet route
+/// recomputation, `Medium` clones, single `BinaryHeap`, `HashMap`
+/// counters), measured on this machine with the identical storm
+/// (32 hosts, 2 s sim, seed 42) at the commit before the fast path
+/// landed. Kept so `results/bench_engine.json` always records the
+/// before/after pair the fast-path PR was gated on.
+const SEED_ENGINE_EVENTS_PER_SEC: f64 = 1_861_863.0;
+
+fn run_engine() {
+    let sim = SimDuration::from_secs(2);
+    let run = engine::storm_with("cached", 32, sim, 42, true);
+    let uncached = engine::storm_with("uncached", 32, sim, 42, false);
+    assert_eq!(
+        engine::fingerprint(&run),
+        engine::fingerprint(&uncached),
+        "route cache changed the traffic — it must be a pure memo"
+    );
+    let mut t = Table::new(
+        "ENGINE: event-loop throughput, 32-host multi-net storm with fault injection",
+        &["config", "events", "sent", "delivered", "drops", "wall (s)", "events/sec"],
+    );
+    for r in [&run, &uncached] {
+        t.row(vec![
+            r.label.clone(),
+            format!("{}", r.events),
+            format!("{}", r.sent),
+            format!("{}", r.delivered),
+            format!("{}", r.drops),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.0}", r.events_per_sec),
+        ]);
+    }
+    t.row(vec![
+        "seed engine".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{SEED_ENGINE_EVENTS_PER_SEC:.0}"),
+    ]);
+    let mut c = Table::new(
+        "ENGINE: queue-tier and route-cache counters (cached run)",
+        &["heap pops", "now pops", "stream pops", "cache hits", "cache misses", "peak depth"],
+    );
+    c.row(vec![
+        format!("{}", run.heap_pops),
+        format!("{}", run.now_pops),
+        format!("{}", run.stream_pops),
+        format!("{}", run.route_cache_hits),
+        format!("{}", run.route_cache_misses),
+        format!("{}", run.peak_queue_depth),
+    ]);
+    t.emit("engine.txt");
+    c.emit("engine.txt");
+    let json = format!(
+        "{{\n  \"experiment\": \"bench_engine\",\n  \"storm\": {{\"hosts\": 32, \"sim_seconds\": {:.1}, \"seed\": 42}},\n  \"seed_engine_events_per_sec\": {:.0},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_uncached\": {:.0},\n  \"speedup_vs_seed\": {:.2},\n  \"events\": {},\n  \"sent\": {},\n  \"delivered\": {},\n  \"drops\": {},\n  \"wall_seconds\": {:.4},\n  \"engine\": {{\n    \"heap_pops\": {},\n    \"now_pops\": {},\n    \"stream_pops\": {},\n    \"route_cache_hits\": {},\n    \"route_cache_misses\": {},\n    \"peak_queue_depth\": {}\n  }}\n}}\n",
+        run.sim_seconds,
+        SEED_ENGINE_EVENTS_PER_SEC,
+        run.events_per_sec,
+        uncached.events_per_sec,
+        run.events_per_sec / SEED_ENGINE_EVENTS_PER_SEC,
+        run.events,
+        run.sent,
+        run.delivered,
+        run.drops,
+        run.wall_seconds,
+        run.heap_pops,
+        run.now_pops,
+        run.stream_pops,
+        run.route_cache_hits,
+        run.route_cache_misses,
+        run.peak_queue_depth,
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/bench_engine.json", json);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -270,6 +348,9 @@ fn main() {
     }
     if want("a3") {
         run_a3();
+    }
+    if want("engine") {
+        run_engine();
     }
     println!("done. tables written under results/");
 }

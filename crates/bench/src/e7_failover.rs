@@ -87,7 +87,7 @@ pub fn run(total: usize, seed: u64) -> E7Point {
     }
     let elapsed = done_at.borrow().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
     // Failovers happened iff bytes flowed on Ethernet after the fault.
-    let eth_bytes = world.stats().bytes_by_net.get(&eth).copied().unwrap_or(0);
+    let eth_bytes = world.stats().bytes_on(eth);
     let delivered = *received.borrow();
     E7Point {
         total,

@@ -1,0 +1,219 @@
+//! Engine benchmark: raw event-loop throughput of the netsim world.
+//!
+//! Every experiment in this repro funnels through `World::send_packet`
+//! and the event queue, so wall-clock events/second is the ceiling on
+//! how large E4 host counts and how long E3 horizons can get. This
+//! module drives a packet storm over a multi-network topology with
+//! periodic fault injection (the workload shape of E3/E7) and reports
+//! simulator throughput; `results/bench_engine.json` tracks the number
+//! across PRs.
+//!
+//! The storm is deterministic in simulation terms (event and packet
+//! counts depend only on the seed); only the wall-clock figures vary
+//! between machines/runs.
+
+use bytes::Bytes;
+
+use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::medium::Medium;
+use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::world::World;
+use snipe_util::id::{HostId, NetId};
+use snipe_util::time::SimDuration;
+
+/// Outcome of one storm run.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// Configuration label (e.g. `cached` / `uncached`).
+    pub label: String,
+    /// Simulated span.
+    pub sim_seconds: f64,
+    /// Events dispatched by the engine.
+    pub events: u64,
+    /// Datagrams handed to `send_packet`.
+    pub sent: u64,
+    /// Datagrams delivered to an actor.
+    pub delivered: u64,
+    /// Datagrams dropped (loss, partitions, downed interfaces...).
+    pub drops: u64,
+    /// Wall-clock time for the run.
+    pub wall_seconds: f64,
+    /// Engine throughput: `events / wall_seconds`.
+    pub events_per_sec: f64,
+    /// Events popped from the future-event heap.
+    pub heap_pops: u64,
+    /// Events popped from the same-timestamp now-queue.
+    pub now_pops: u64,
+    /// Deliveries popped from per-transmitter FIFO streams.
+    pub stream_pops: u64,
+    /// Route lookups answered from the cache.
+    pub route_cache_hits: u64,
+    /// Route lookups recomputed.
+    pub route_cache_misses: u64,
+    /// High-water mark of pending events.
+    pub peak_queue_depth: u64,
+}
+
+const STORM_PAYLOAD: &[u8] = &[0xA5; 64];
+/// Port every storm actor binds.
+const STORM_PORT: u16 = 9000;
+
+/// Traffic generator: timer-driven bursts to two peers plus a loopback
+/// datagram and a signal to a neighbor; echoes every non-loopback
+/// packet back to its sender. The timer keeps load alive through fault
+/// windows that would otherwise extinguish a pure ping-pong.
+struct StormActor {
+    peer_far: Endpoint,
+    peer_near: Endpoint,
+    neighbor: Endpoint,
+    burst: usize,
+    period: SimDuration,
+}
+
+impl Actor for StormActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } => {
+                for i in 0..self.burst {
+                    let to = if i % 2 == 0 { self.peer_far } else { self.peer_near };
+                    ctx.send(to, Bytes::from_static(STORM_PAYLOAD));
+                }
+                // Same-timestamp work: a loopback datagram and a signal.
+                ctx.send(ctx.me(), Bytes::from_static(STORM_PAYLOAD));
+                ctx.signal(self.neighbor, 7);
+                ctx.set_timer(self.period, 1);
+            }
+            Event::Packet { from, payload } => {
+                // Echo, except loopback (which would self-amplify).
+                if from.host != ctx.host() {
+                    ctx.send(from, payload);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Two Ethernet sites bridged by IP routing, with an ATM fabric
+/// spanning every third host — the multi-homed UTK shape scaled up.
+fn storm_topology(hosts: usize) -> (Topology, Vec<HostId>, [NetId; 3]) {
+    assert!(hosts >= 4 && hosts % 2 == 0, "need an even host count >= 4");
+    let mut t = Topology::new();
+    let eth0 = t.add_network("site0-eth", Medium::ethernet100(), true);
+    let eth1 = t.add_network("site1-eth", Medium::ethernet100(), true);
+    let atm = t.add_network("campus-atm", Medium::atm155(), false);
+    let mut ids = Vec::with_capacity(hosts);
+    for i in 0..hosts {
+        let h = t.add_host(HostCfg::named(format!("storm{i}")));
+        t.attach(h, if i < hosts / 2 { eth0 } else { eth1 });
+        if i % 3 == 0 {
+            t.attach(h, atm);
+        }
+        ids.push(h);
+    }
+    (t, ids, [eth0, eth1, atm])
+}
+
+/// Periodic fault script: every 50 ms of simulated time one rotating
+/// mutation lands (interface flaps, loss injection, a partition window,
+/// one host crash/repair cycle) — enough churn to invalidate routing
+/// state the way E3/E7 do, while most packets still see a stable
+/// topology.
+fn schedule_faults(world: &mut World, ids: &[HostId], nets: [NetId; 3], sim: SimDuration) {
+    let [eth0, eth1, atm] = nets;
+    let step = SimDuration::from_millis(50);
+    let steps = (sim.as_nanos() / step.as_nanos()) as usize;
+    let victim = ids[0];
+    let flapper = ids[ids.len() / 2];
+    for k in 0..steps {
+        let at = snipe_util::time::SimTime::ZERO + step * k as u64;
+        match k % 8 {
+            0 => world.schedule_fn(at, move |w| w.set_iface_up(victim, atm, false)),
+            1 => world.schedule_fn(at, move |w| w.set_iface_up(victim, atm, true)),
+            2 => world.schedule_fn(at, move |w| w.set_net_loss(eth0, Some(0.02))),
+            3 => world.schedule_fn(at, move |w| w.set_net_loss(eth0, None)),
+            4 => world.schedule_fn(at, move |w| w.set_partition(eth1, 1)),
+            5 => world.schedule_fn(at, move |w| w.set_partition(eth1, 0)),
+            6 => world.schedule_fn(at, move |w| w.host_down(flapper)),
+            _ => world.schedule_fn(at, move |w| w.host_up(flapper)),
+        }
+    }
+}
+
+/// Build the storm world (shared by the harness run and the criterion
+/// bench).
+pub fn build_storm(hosts: usize, sim: SimDuration, seed: u64) -> World {
+    let (topo, ids, nets) = storm_topology(hosts);
+    let n = ids.len();
+    let mut world = World::new(topo, seed);
+    for (i, &h) in ids.iter().enumerate() {
+        let actor = StormActor {
+            peer_far: Endpoint::new(ids[(i + n / 2) % n], STORM_PORT),
+            peer_near: Endpoint::new(ids[(i + 1) % n], STORM_PORT),
+            neighbor: Endpoint::new(ids[(i + 2) % n], STORM_PORT),
+            burst: 6,
+            period: SimDuration::from_millis(1),
+        };
+        world.spawn(h, STORM_PORT, Box::new(actor));
+    }
+    schedule_faults(&mut world, &ids, nets, sim);
+    world
+}
+
+/// Run the storm for `sim` simulated time and measure engine
+/// throughput.
+pub fn storm(label: &str, hosts: usize, sim: SimDuration, seed: u64) -> EngineRun {
+    storm_with(label, hosts, sim, seed, true)
+}
+
+/// [`storm`] with the route cache optionally disabled (A/B runs; the
+/// traffic fingerprint must be identical either way).
+pub fn storm_with(
+    label: &str,
+    hosts: usize,
+    sim: SimDuration,
+    seed: u64,
+    route_cache: bool,
+) -> EngineRun {
+    let mut world = build_storm(hosts, sim, seed);
+    world.set_route_cache(route_cache);
+    let t0 = std::time::Instant::now();
+    world.run_for(sim);
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = world.stats();
+    EngineRun {
+        label: label.to_string(),
+        sim_seconds: sim.as_secs_f64(),
+        events: stats.events,
+        sent: stats.sent,
+        delivered: stats.delivered,
+        drops: stats.total_drops(),
+        wall_seconds: wall,
+        events_per_sec: stats.events as f64 / wall,
+        heap_pops: stats.engine.heap_pops,
+        now_pops: stats.engine.now_pops,
+        stream_pops: stats.engine.stream_pops,
+        route_cache_hits: stats.engine.route_cache_hits,
+        route_cache_misses: stats.engine.route_cache_misses,
+        peak_queue_depth: stats.engine.peak_queue_depth,
+    }
+}
+
+/// Deterministic fingerprint of a run (must not depend on wall clock).
+pub fn fingerprint(r: &EngineRun) -> (u64, u64, u64, u64) {
+    (r.events, r.sent, r.delivered, r.drops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_is_deterministic_and_busy() {
+        let a = storm("a", 16, SimDuration::from_millis(200), 42);
+        let b = storm("b", 16, SimDuration::from_millis(200), 42);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(a.delivered > 10_000, "storm too quiet: {a:?}");
+        assert!(a.drops > 0, "faults should cause some drops: {a:?}");
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod e2_mpiconnect;
+pub mod engine;
 pub mod e3_availability;
 pub mod e4_scalability;
 pub mod e5_migration;

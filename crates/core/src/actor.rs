@@ -138,9 +138,9 @@ impl MigrationPayload {
         let mut d = Decoder::new(b);
         let p = MigrationPayload {
             program: d.get_str()?,
-            args: Bytes::from(d.get_bytes()?),
-            user_state: Bytes::from(d.get_bytes()?),
-            stack_state: Bytes::from(d.get_bytes()?),
+            args: d.get_bytes()?,
+            user_state: d.get_bytes()?,
+            stack_state: d.get_bytes()?,
             groups: snipe_util::codec::decode_seq(&mut d)?,
         };
         d.expect_end()?;
@@ -1253,9 +1253,9 @@ impl Actor for ProcessActor {
                     Some(Incoming::Mcast { body, .. }) => self.on_mcast(ctx, body),
                     Some(Incoming::Stream { .. }) => {}
                     Some(Incoming::Raw { from, msg }) => {
-                        if self.try_redirect_notice(ctx, &msg) {
-                            // handled
-                        } else if self.try_migrate_request(ctx, &msg) {
+                        if self.try_redirect_notice(ctx, &msg)
+                            || self.try_migrate_request(ctx, &msg)
+                        {
                             // handled
                         } else if let Ok(dmsg) = DaemonMsg::decode_from_bytes(msg.clone()) {
                             match dmsg {

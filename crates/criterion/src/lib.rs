@@ -1,0 +1,260 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crate registry, so external
+//! dependencies are vendored. This implements the subset of the
+//! criterion 0.5 API the workspace's benches use — `criterion_group!`/
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] with `iter`/`iter_batched`,
+//! [`Throughput`] and `sample_size` — backed by a plain wall-clock
+//! timer. It reports the median over samples plus min/max, and derived
+//! throughput when configured. No statistics beyond that: the goal is
+//! honest, reproducible numbers without a registry, not criterion's
+//! full analysis.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (all variants behave the same
+/// here: setup runs outside the timed section for every batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// Work per iteration, used to derive throughput lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let samples = self.sample_size.unwrap_or(self._c.default_sample_size);
+        let mut b = Bencher { samples, results: Vec::new() };
+        f(&mut b);
+        let stats = b.stats();
+        let id = format!("{}/{}", self.name, name);
+        report(&id, &stats, self.throughput);
+        self
+    }
+
+    /// End the group (parity with criterion; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Median/min/max of per-iteration nanoseconds.
+struct SampleStats {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn report(id: &str, s: &SampleStats, throughput: Option<Throughput>) {
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) if s.median_ns > 0.0 => {
+            let mbps = n as f64 / (s.median_ns / 1e9) / 1e6;
+            format!("  {mbps:.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) if s.median_ns > 0.0 => {
+            let eps = n as f64 / (s.median_ns / 1e9);
+            format!("  {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {id:<44} {:>12} ns/iter (min {}, max {}){tp}",
+        fmt_ns(s.median_ns),
+        fmt_ns(s.min_ns),
+        fmt_ns(s.max_ns),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample mean nanoseconds per iteration.
+    results: Vec<f64>,
+}
+
+/// Target wall-clock time for one timed sample; iteration counts adapt
+/// so fast routines still get a measurable window.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    /// Benchmark a routine.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fill the target window?
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            let scale = (TARGET_SAMPLE_TIME.as_secs_f64() / el.as_secs_f64().max(1e-9))
+                .clamp(2.0, 100.0);
+            iters = ((iters as f64 * scale) as u64).max(iters + 1);
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            let el = t.elapsed();
+            self.results.push(el.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Benchmark a routine whose input is rebuilt (outside the timed
+    /// section) for every batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            hint::black_box(routine(input));
+            let el = t.elapsed();
+            self.results.push(el.as_nanos() as f64);
+        }
+    }
+
+    fn stats(&self) -> SampleStats {
+        assert!(!self.results.is_empty(), "bench_function closure never called iter()");
+        let mut v = self.results.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        SampleStats {
+            median_ns: v[v.len() / 2],
+            min_ns: v[0],
+            max_ns: v[v.len() - 1],
+        }
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(4);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam)
+//! crate.
+//!
+//! The build environment has no crate registry, so external
+//! dependencies are vendored. The workspace only uses
+//! `crossbeam::thread::scope` + `Scope::spawn` (scoped fork/join for
+//! embarrassingly parallel experiment sweeps); since Rust 1.63 the
+//! standard library provides the same capability, so this is a thin
+//! signature adapter over [`std::thread::scope`].
+
+/// Scoped threads (crossbeam 0.8 `thread` module surface).
+pub mod thread {
+    /// Panic payload of a scoped thread.
+    pub type ThreadPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive one,
+    /// allowing nested spawns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` = panic).
+        pub fn join(self) -> Result<T, ThreadPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope so it
+        /// can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before this returns.
+    ///
+    /// Unlike crossbeam (which collects panics from unjoined threads
+    /// into the `Err` variant), a panicking unjoined thread propagates
+    /// through `std::thread::scope`; callers that join every handle —
+    /// the only pattern in this workspace — observe identical behavior.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ThreadPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_fork_join_borrows_stack_data() {
+        let data = vec![1u32, 2, 3, 4];
+        let sum = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

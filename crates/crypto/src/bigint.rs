@@ -129,7 +129,7 @@ impl BigUint {
 
     /// True iff even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -343,7 +343,7 @@ impl BigUint {
         assert!(!bound.is_zero(), "random_below bound is zero");
         let bits = bound.bit_len();
         let limbs = bits.div_ceil(64);
-        let top_mask = if bits % 64 == 0 { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+        let top_mask = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
         loop {
             let mut l: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
             if let Some(last) = l.last_mut() {

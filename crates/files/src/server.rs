@@ -231,23 +231,17 @@ impl Actor for FileServerActor {
                 // loopback datagram; everything else goes through the
                 // reliable stack (SRUDP) or is an RC response.
                 let now = ctx.now();
-                let incoming = match self.stack.as_mut() {
-                    Some(stack) => match stack.on_datagram(now, from, payload) {
-                        Ok(i) => i,
-                        Err(_) => None,
-                    },
-                    None => None,
-                };
-                match incoming {
-                    Some(Incoming::Raw { from, msg }) => {
-                        if let Ok(fmsg) = FileMsg::decode_from_bytes(msg.clone()) {
-                            self.handle_raw_file_msg(ctx, from, fmsg);
-                        } else {
-                            self.rc.on_packet(now, from, msg);
-                            self.flush_rc(ctx);
-                        }
+                let incoming = self
+                    .stack
+                    .as_mut()
+                    .and_then(|stack| stack.on_datagram(now, from, payload).unwrap_or_default());
+                if let Some(Incoming::Raw { from, msg }) = incoming {
+                    if let Ok(fmsg) = FileMsg::decode_from_bytes(msg.clone()) {
+                        self.handle_raw_file_msg(ctx, from, fmsg);
+                    } else {
+                        self.rc.on_packet(now, from, msg);
+                        self.flush_rc(ctx);
                     }
-                    _ => {}
                 }
                 let delivered = self.flush_stack(ctx);
                 for (from_key, from_ep, msg) in delivered {

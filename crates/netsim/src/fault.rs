@@ -42,14 +42,14 @@ pub fn schedule_host_failures(
     let mut t = SimTime::ZERO;
     loop {
         let up_for = SimDuration::from_secs_f64(rng.gen_exp(model.mtbf.as_secs_f64()));
-        t = t + up_for;
+        t += up_for;
         if t >= horizon {
             break;
         }
         let down_at = t;
         world.schedule_fn(down_at, move |w| w.host_down(host));
         let down_for = SimDuration::from_secs_f64(rng.gen_exp(model.mttr.as_secs_f64()));
-        t = t + down_for;
+        t += down_for;
         if t >= horizon {
             // Leave it down past the horizon; still schedule recovery so
             // post-horizon queries find a live system.

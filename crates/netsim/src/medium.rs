@@ -125,10 +125,17 @@ impl Medium {
 
     /// Time to clock `payload_len` bytes (plus framing) onto the wire.
     pub fn tx_time(&self, payload_len: usize) -> SimDuration {
+        self.tx_time_at(self.bandwidth_bps, payload_len)
+    }
+
+    /// [`Medium::tx_time`] at an overridden signal rate — used for
+    /// routed paths, which serialize at the bottleneck bandwidth while
+    /// keeping this medium's framing overhead.
+    pub fn tx_time_at(&self, bandwidth_bps: u64, payload_len: usize) -> SimDuration {
         let bits = (payload_len + self.per_packet_overhead) as u64 * 8;
         // ns = bits / (bits/s) * 1e9, computed without overflow for any
         // realistic packet size.
-        SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / self.bandwidth_bps)
+        SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / bandwidth_bps)
     }
 
     /// The theoretical payload ceiling in bytes/second when sending
@@ -154,6 +161,16 @@ mod tests {
         let t = m.tx_time(1500);
         let us = t.as_micros_f64();
         assert!((us - 123.0).abs() < 2.0, "got {us}us");
+    }
+
+    #[test]
+    fn tx_time_at_matches_cloned_medium() {
+        let m = Medium::atm155();
+        let bottleneck = Medium::ethernet100().bandwidth_bps;
+        let mut clone = m.clone();
+        clone.bandwidth_bps = bottleneck;
+        assert_eq!(m.tx_time_at(bottleneck, 1400), clone.tx_time(1400));
+        assert_eq!(m.tx_time_at(m.bandwidth_bps, 1400), m.tx_time(1400));
     }
 
     #[test]

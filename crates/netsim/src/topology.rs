@@ -115,13 +115,19 @@ pub struct Topology {
     hosts: Vec<Host>,
     nets: Vec<Network>,
     by_name: HashMap<String, HostId>,
+    epoch: u64,
 }
 
 /// A candidate path between two hosts, as seen by route selection.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Paths traverse one network (a shared segment) or two (routed via
+/// each side's edge network), so the hop list is inline and the whole
+/// struct is `Copy` — route lookups and the world's route cache never
+/// touch the heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PathInfo {
-    /// Networks traversed (one for a common segment, two for routed).
-    pub via: Vec<NetId>,
+    via: [NetId; 2],
+    hops: u8,
     /// Bottleneck bandwidth in bits/s.
     pub bandwidth_bps: u64,
     /// End-to-end propagation latency estimate.
@@ -130,6 +136,18 @@ pub struct PathInfo {
     pub loss: f64,
     /// Smallest MTU along the path.
     pub mtu: usize,
+}
+
+impl PathInfo {
+    /// Networks traversed (one for a common segment, two for routed).
+    pub fn nets(&self) -> &[NetId] {
+        &self.via[..self.hops as usize]
+    }
+
+    /// The first-hop network (where the sender serializes).
+    pub fn first_net(&self) -> NetId {
+        self.via[0]
+    }
 }
 
 impl Topology {
@@ -186,7 +204,25 @@ impl Topology {
         );
         h.interfaces.push(Interface { link, net, up: true, busy_until: SimTime::ZERO });
         self.nets[net.index()].attached.push((host, link));
+        self.bump_epoch();
         link
+    }
+
+    /// Monotone counter bumped by every mutation that can change route
+    /// selection. Cached routing decisions are valid only while the
+    /// epoch they were computed under still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record a routing-relevant mutation. [`Topology::attach`] calls
+    /// this itself; the world's fault APIs call it after flipping
+    /// up/down flags, loss overrides or partition groups through
+    /// [`Topology::host_mut`] / [`Topology::net_mut`]. (Those accessors
+    /// deliberately do *not* bump: the packet hot path updates
+    /// `busy_until` through them, which never affects route choice.)
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Host accessor.
@@ -247,36 +283,54 @@ impl Topology {
             && self.net(net).up
     }
 
-    /// All networks both hosts are attached to with usable interfaces.
-    pub fn common_networks(&self, a: HostId, b: HostId) -> Vec<NetId> {
-        if a == b {
-            return Vec::new();
-        }
+    /// Networks both hosts are attached to with usable interfaces,
+    /// without allocating (route selection runs this per cache miss).
+    pub fn common_networks_iter(
+        &self,
+        a: HostId,
+        b: HostId,
+    ) -> impl Iterator<Item = NetId> + '_ {
+        let same = a == b;
         self.host(a)
             .interfaces
             .iter()
+            .filter(move |_| !same)
             .filter(|ia| ia.up)
             .map(|ia| ia.net)
-            .filter(|&n| self.iface_usable(a, n) && self.iface_usable(b, n))
-            .collect()
+            .filter(move |&n| self.iface_usable(a, n) && self.iface_usable(b, n))
     }
 
-    /// Usable routable networks of a host (for "normal IP routing").
-    pub fn routable_networks(&self, h: HostId) -> Vec<NetId> {
+    /// All networks both hosts are attached to with usable interfaces.
+    pub fn common_networks(&self, a: HostId, b: HostId) -> Vec<NetId> {
+        self.common_networks_iter(a, b).collect()
+    }
+
+    /// Is `n` a usable common segment between `a` and `b`?
+    pub fn is_common_network(&self, a: HostId, b: HostId, n: NetId) -> bool {
+        a != b && self.iface_usable(a, n) && self.iface_usable(b, n)
+    }
+
+    /// Usable routable networks of a host, without allocating.
+    pub fn routable_networks_iter(&self, h: HostId) -> impl Iterator<Item = NetId> + '_ {
         self.host(h)
             .interfaces
             .iter()
             .filter(|i| i.up)
             .map(|i| i.net)
-            .filter(|&n| self.net(n).routable && self.iface_usable(h, n))
-            .collect()
+            .filter(move |&n| self.net(n).routable && self.iface_usable(h, n))
+    }
+
+    /// Usable routable networks of a host (for "normal IP routing").
+    pub fn routable_networks(&self, h: HostId) -> Vec<NetId> {
+        self.routable_networks_iter(h).collect()
     }
 
     /// Describe the direct path over one shared segment.
     pub fn direct_path(&self, net: NetId) -> PathInfo {
         let n = self.net(net);
         PathInfo {
-            via: vec![net],
+            via: [net, net],
+            hops: 1,
             bandwidth_bps: n.medium.bandwidth_bps,
             latency: n.medium.latency,
             loss: self.effective_loss(net),
@@ -292,7 +346,8 @@ impl Topology {
         let loss_a = self.effective_loss(src_net);
         let loss_b = self.effective_loss(dst_net);
         PathInfo {
-            via: vec![src_net, dst_net],
+            via: [src_net, dst_net],
+            hops: 2,
             bandwidth_bps: a.medium.bandwidth_bps.min(b.medium.bandwidth_bps),
             latency: a.medium.latency + b.medium.latency,
             loss: 1.0 - (1.0 - loss_a) * (1.0 - loss_b),
@@ -309,13 +364,12 @@ impl Topology {
         if !self.host(a).up || !self.host(b).up {
             return false;
         }
-        if !self.common_networks(a, b).is_empty() {
+        if self.common_networks_iter(a, b).next().is_some() {
             return true;
         }
-        let ra = self.routable_networks(a);
-        let rb = self.routable_networks(b);
-        ra.iter().any(|&na| {
-            rb.iter().any(|&nb| self.net(na).partition == self.net(nb).partition)
+        self.routable_networks_iter(a).any(|na| {
+            self.routable_networks_iter(b)
+                .any(|nb| self.net(na).partition == self.net(nb).partition)
         })
     }
 }

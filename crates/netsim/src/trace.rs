@@ -1,6 +1,11 @@
 //! Counters and optional packet tracing.
-
-use std::collections::HashMap;
+//!
+//! All hot-path counters are flat arrays/vectors rather than hash maps:
+//! `send_packet` and `step` bump them once per packet/event, so a
+//! `HashMap` entry lookup there costs more than the rest of the
+//! accounting combined. Drop reasons index a fixed array; per-network
+//! byte counts index a `Vec` by `NetId` (network ids are dense, handed
+//! out sequentially by `Topology::add_network`).
 
 use snipe_util::id::NetId;
 
@@ -19,6 +24,40 @@ pub enum DropReason {
     TooBig,
 }
 
+impl DropReason {
+    /// Number of variants (size of the flat drop-counter array).
+    pub const COUNT: usize = 5;
+
+    /// All variants, in counter order.
+    pub const ALL: [DropReason; DropReason::COUNT] = [
+        DropReason::Loss,
+        DropReason::NoRoute,
+        DropReason::HostDown,
+        DropReason::NoListener,
+        DropReason::TooBig,
+    ];
+}
+
+/// Event-engine internals: queue and route-cache behaviour. Exposed for
+/// the bench harness and for regression tests on the fast path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped from the future-event heap.
+    pub heap_pops: u64,
+    /// Events popped from the same-timestamp now-queue (these skipped
+    /// the heap entirely).
+    pub now_pops: u64,
+    /// Deliveries popped from per-transmitter FIFO streams (in-flight
+    /// serialized packets that never paid heap sift costs).
+    pub stream_pops: u64,
+    /// Route lookups answered from the cache.
+    pub route_cache_hits: u64,
+    /// Route lookups that fell through to a fresh computation.
+    pub route_cache_misses: u64,
+    /// High-water mark of pending events (heap + now-queue).
+    pub peak_queue_depth: u64,
+}
+
 /// Aggregate statistics kept by the world.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -26,23 +65,59 @@ pub struct NetStats {
     pub sent: u64,
     /// Packets delivered to an actor.
     pub delivered: u64,
-    /// Drops by reason.
-    pub drops: HashMap<DropReason, u64>,
-    /// Payload bytes carried per network.
-    pub bytes_by_net: HashMap<NetId, u64>,
     /// Events dispatched in total.
     pub events: u64,
+    /// Engine internals (queue tiers, route cache, queue depth).
+    pub engine: EngineStats,
+    drops: [u64; DropReason::COUNT],
+    bytes_by_net: Vec<u64>,
 }
 
 impl NetStats {
+    /// Drops for one reason.
+    pub fn drops(&self, r: DropReason) -> u64 {
+        self.drops[r as usize]
+    }
+
     /// Total drops across reasons.
     pub fn total_drops(&self) -> u64 {
-        self.drops.values().sum()
+        self.drops.iter().sum()
+    }
+
+    /// Payload bytes carried by network `n`.
+    pub fn bytes_on(&self, n: NetId) -> u64 {
+        self.bytes_by_net.get(n.index()).copied().unwrap_or(0)
+    }
+
+    /// `(net, bytes)` for every network that carried traffic.
+    pub fn bytes_by_net(&self) -> impl Iterator<Item = (NetId, u64)> + '_ {
+        self.bytes_by_net
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, &b)| (NetId::from_index(i), b))
     }
 
     /// Record a drop.
     pub(crate) fn drop(&mut self, r: DropReason) {
-        *self.drops.entry(r).or_insert(0) += 1;
+        self.drops[r as usize] += 1;
+    }
+
+    /// Account `len` payload bytes to network `n`.
+    pub(crate) fn add_bytes(&mut self, n: NetId, len: u64) {
+        let i = n.index();
+        if i >= self.bytes_by_net.len() {
+            self.bytes_by_net.resize(i + 1, 0);
+        }
+        self.bytes_by_net[i] += len;
+    }
+
+    /// Pre-size the per-network byte counters so the send path never
+    /// grows the vector.
+    pub(crate) fn reserve_nets(&mut self, nets: usize) {
+        if self.bytes_by_net.len() < nets {
+            self.bytes_by_net.resize(nets, 0);
+        }
     }
 }
 
@@ -57,6 +132,29 @@ mod tests {
         s.drop(DropReason::Loss);
         s.drop(DropReason::NoRoute);
         assert_eq!(s.total_drops(), 3);
-        assert_eq!(s.drops[&DropReason::Loss], 2);
+        assert_eq!(s.drops(DropReason::Loss), 2);
+        assert_eq!(s.drops(DropReason::TooBig), 0);
+    }
+
+    #[test]
+    fn drop_reason_indices_are_dense() {
+        for (i, r) in DropReason::ALL.iter().enumerate() {
+            assert_eq!(*r as usize, i);
+        }
+    }
+
+    #[test]
+    fn byte_accounting_by_net() {
+        let mut s = NetStats::default();
+        let n0 = NetId::from_index(0);
+        let n2 = NetId::from_index(2);
+        s.add_bytes(n2, 100);
+        s.add_bytes(n0, 7);
+        s.add_bytes(n2, 1);
+        assert_eq!(s.bytes_on(n0), 7);
+        assert_eq!(s.bytes_on(NetId::from_index(1)), 0);
+        assert_eq!(s.bytes_on(n2), 101);
+        let carried: Vec<_> = s.bytes_by_net().collect();
+        assert_eq!(carried, vec![(n0, 7), (n2, 101)]);
     }
 }

@@ -20,11 +20,12 @@
 //! SNIPE's selective-resend protocol.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use bytes::Bytes;
 
-use snipe_util::id::{HostId, NetId};
+use snipe_util::id::{HostId, LinkId, NetId};
 use snipe_util::rng::Xoshiro256;
 use snipe_util::time::{SimDuration, SimTime};
 
@@ -34,6 +35,36 @@ use crate::trace::{DropReason, NetStats};
 
 /// First ephemeral port handed out by [`World::alloc_port`].
 pub const EPHEMERAL_BASE: u16 = 49152;
+
+/// FNV-1a, for the hot-path maps (route cache, port bindings). Those
+/// are probed once or more per packet, where SipHash (std's default,
+/// DoS-hardened) is measurable overhead; keys are attacker-free
+/// simulator ids, so the cheap hash is safe. Keys hash identically
+/// across runs, keeping behaviour independent of process-random hash
+/// state.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf29ce484222325 } else { self.0 };
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+type RouteKey = (HostId, HostId, Option<NetId>);
+type RouteCache = FnvMap<RouteKey, Option<PathInfo>>;
+
+/// A one-shot closure scheduled via [`World::schedule_fn`].
+type ScheduledFn = Box<dyn FnOnce(&mut World)>;
 
 enum Queued {
     Deliver { from: Endpoint, to: Endpoint, payload: Bytes },
@@ -48,22 +79,69 @@ struct QueuedEvent {
     kind: Queued,
 }
 
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Future-heap entry: ordering key plus a slab index for the event
+/// body. Keeping the heap element at three words matters more than
+/// anything else in the engine — an oversubscribed storm parks
+/// hundreds of thousands of pending deliveries in the heap, and every
+/// push/pop sifts `O(log n)` elements. Sifting 24-byte keys instead of
+/// full `QueuedEvent`s (5+ words of payload enum) cuts the dominant
+/// memory traffic of the event loop; the bodies sit still in the slab
+/// and are touched exactly twice (insert, remove).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    idx: u32,
 }
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
+
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for QueuedEvent {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // (at, seq) is unique: idx never participates.
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
+
+/// The serializing transmitter of a delivery: the segment itself for
+/// shared-bus media, the sender's interface for switched media.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum TxChannel {
+    Bus(NetId),
+    Link(LinkId),
+}
+
+/// FIFO of pending deliveries that share a transmitter and a
+/// propagation latency.
+///
+/// Such deliveries arrive in exactly the order they were sent: each
+/// transmitter's `busy_until` only moves forward, so serialization
+/// finish times are monotone per channel, and adding a constant
+/// latency preserves that. An oversubscribed segment can have hundreds
+/// of thousands of packets in flight — as a heap they are `O(log n)`
+/// sift traffic each, as a stream they cost `O(1)` at both ends. The
+/// engine pops the global minimum across stream fronts, the now-queue
+/// and the residual heap, so the dispatch order is identical to a
+/// single heap's.
+struct DeliveryStream {
+    /// `(at, seq)` of the front event; `STREAM_EMPTY` when drained.
+    /// Kept inline so the pop scan touches one contiguous array.
+    front: (SimTime, u64),
+    queue: VecDeque<QueuedEvent>,
+}
+
+/// Sort key no real event can have (seq is bumped past any use long
+/// before u64 wraps).
+const STREAM_EMPTY: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+
+/// Cap on distinct `(channel, latency)` streams; beyond it, new
+/// channels fall back to the heap. Real topologies produce a handful
+/// (shared buses × path latencies + active switched links); the cap
+/// only bounds the per-pop scan in adversarial shapes.
+const MAX_STREAMS: usize = 64;
 
 struct Slot {
     actor: Option<Box<dyn Actor>>,
@@ -74,34 +152,77 @@ struct Slot {
 /// The simulation world.
 pub struct World {
     now: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Future events, ordered by `(at, seq)`; bodies live in `slab`.
+    queue: BinaryHeap<Reverse<HeapEntry>>,
+    /// Bodies of heap-resident events, indexed by `HeapEntry::idx`.
+    /// Vacated slots are recycled through `slab_free`, so the slab
+    /// stops allocating once it reaches the high-water mark.
+    slab: Vec<Option<Queued>>,
+    slab_free: Vec<u32>,
+    /// Per-transmitter delivery FIFOs (see [`DeliveryStream`]).
+    streams: Vec<DeliveryStream>,
+    stream_ids: FnvMap<(TxChannel, SimDuration), u32>,
+    /// Events scheduled *at the current timestamp*, in seq (FIFO)
+    /// order. Packet storms are dominated by same-instant bursts
+    /// (loopback sends, signals, zero-delay chains); pushing those
+    /// through the heap costs `O(log n)` sift per event for an ordering
+    /// the FIFO already has. Invariant: every entry has `at == now`
+    /// (enforced in `push`; the clock only advances once this queue is
+    /// drained, because its entries sort before anything later).
+    now_queue: VecDeque<QueuedEvent>,
     seq: u64,
     topo: Topology,
     slots: Vec<Slot>,
-    bindings: HashMap<Endpoint, ActorId>,
+    bindings: FnvMap<Endpoint, ActorId>,
     ephemeral: HashMap<HostId, u16>,
     rng: Xoshiro256,
     stats: NetStats,
-    funcs: HashMap<u64, Box<dyn FnOnce(&mut World)>>,
+    funcs: HashMap<u64, ScheduledFn>,
     next_func: u64,
+    /// Memoized `select_path` results, valid while `route_epoch`
+    /// matches `topo.epoch()`. Negative results (`None`) are cached
+    /// too: a partitioned destination is asked for just as often.
+    route_cache: RouteCache,
+    route_epoch: u64,
+    route_cache_enabled: bool,
 }
 
 impl World {
     /// A world over the given topology, seeded for determinism.
     pub fn new(topo: Topology, seed: u64) -> World {
+        let mut stats = NetStats::default();
+        stats.reserve_nets(topo.net_count());
+        let route_epoch = topo.epoch();
         World {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
+            slab: Vec::new(),
+            slab_free: Vec::new(),
+            streams: Vec::new(),
+            stream_ids: FnvMap::default(),
+            now_queue: VecDeque::new(),
             seq: 0,
             topo,
             slots: Vec::new(),
-            bindings: HashMap::new(),
+            bindings: FnvMap::default(),
             ephemeral: HashMap::new(),
             rng: Xoshiro256::seed_from_u64(seed),
-            stats: NetStats::default(),
+            stats,
             funcs: HashMap::new(),
             next_func: 0,
+            route_cache: RouteCache::default(),
+            route_epoch,
+            route_cache_enabled: true,
         }
+    }
+
+    /// Enable/disable route memoization (on by default). Disabling
+    /// recomputes every lookup — route decisions and traffic are
+    /// identical either way (a property the test suite asserts); this
+    /// exists for A/B measurement and cache-validation tests.
+    pub fn set_route_cache(&mut self, enabled: bool) {
+        self.route_cache_enabled = enabled;
+        self.route_cache.clear();
     }
 
     /// Current simulated time.
@@ -125,9 +246,161 @@ impl World {
     }
 
     fn push(&mut self, at: SimTime, kind: Queued) {
+        let seq = self.next_seq();
+        if at == self.now {
+            self.now_queue.push_back(QueuedEvent { at, seq, kind });
+        } else {
+            self.push_heap(QueuedEvent { at, seq, kind });
+        }
+        self.note_depth();
+    }
+
+    /// Queue a delivery serialized by `channel` with a fixed
+    /// propagation latency, using its FIFO stream when the arrival
+    /// order allows (it always does — the guard only covers hostile
+    /// direct topology mutation).
+    fn push_delivery(
+        &mut self,
+        at: SimTime,
+        kind: Queued,
+        channel: TxChannel,
+        latency: SimDuration,
+    ) {
+        let seq = self.next_seq();
+        let ev = QueuedEvent { at, seq, kind };
+        if at == self.now {
+            self.now_queue.push_back(ev);
+            self.note_depth();
+            return;
+        }
+        let sid = match self.stream_ids.get(&(channel, latency)) {
+            Some(&s) => Some(s),
+            None if self.streams.len() < MAX_STREAMS => {
+                let s = self.streams.len() as u32;
+                self.streams.push(DeliveryStream {
+                    front: STREAM_EMPTY,
+                    queue: VecDeque::new(),
+                });
+                self.stream_ids.insert((channel, latency), s);
+                Some(s)
+            }
+            None => None,
+        };
+        match sid {
+            Some(s) => {
+                let stream = &mut self.streams[s as usize];
+                if stream.queue.back().is_some_and(|b| ev.at < b.at) {
+                    self.push_heap(ev);
+                } else {
+                    if stream.queue.is_empty() {
+                        stream.front = (ev.at, ev.seq);
+                    }
+                    stream.queue.push_back(ev);
+                }
+            }
+            None => self.push_heap(ev),
+        }
+        self.note_depth();
+    }
+
+    fn next_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        seq
+    }
+
+    fn push_heap(&mut self, ev: QueuedEvent) {
+        let idx = match self.slab_free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(ev.kind);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slab.len()).expect("event slab overflow");
+                self.slab.push(Some(ev.kind));
+                i
+            }
+        };
+        self.queue.push(Reverse(HeapEntry { at: ev.at, seq: ev.seq, idx }));
+    }
+
+    fn note_depth(&mut self) {
+        let depth = (self.queue.len()
+            + self.now_queue.len()
+            + self.streams.iter().map(|s| s.queue.len()).sum::<usize>()) as u64;
+        if depth > self.stats.engine.peak_queue_depth {
+            self.stats.engine.peak_queue_depth = depth;
+        }
+    }
+
+    /// Pop the globally next event by `(at, seq)` across the three
+    /// tiers (now-queue, delivery streams, heap). Any tier can hold
+    /// events tied on timestamp with another — e.g. the heap keeps
+    /// events at `now` that were scheduled *before* the clock reached
+    /// it — so ties always compare by seq, and the pop order is
+    /// exactly the order a single heap would produce.
+    fn pop_event(&mut self) -> Option<QueuedEvent> {
+        // 0 = now-queue, 1 = heap, 2+i = stream i.
+        let mut best = match self.now_queue.front() {
+            Some(ev) => (ev.at, ev.seq),
+            None => STREAM_EMPTY,
+        };
+        let mut src = 0usize;
+        if let Some(Reverse(h)) = self.queue.peek() {
+            if (h.at, h.seq) < best {
+                best = (h.at, h.seq);
+                src = 1;
+            }
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.front < best {
+                best = s.front;
+                src = 2 + i;
+            }
+        }
+        if best == STREAM_EMPTY {
+            return None;
+        }
+        match src {
+            0 => {
+                self.stats.engine.now_pops += 1;
+                self.now_queue.pop_front()
+            }
+            1 => {
+                self.stats.engine.heap_pops += 1;
+                let Reverse(h) = self.queue.pop()?;
+                let kind = self.slab[h.idx as usize].take().expect("heap entry without body");
+                self.slab_free.push(h.idx);
+                Some(QueuedEvent { at: h.at, seq: h.seq, kind })
+            }
+            i => {
+                self.stats.engine.stream_pops += 1;
+                let stream = &mut self.streams[i - 2];
+                let ev = stream.queue.pop_front();
+                stream.front = match stream.queue.front() {
+                    Some(next) => (next.at, next.seq),
+                    None => STREAM_EMPTY,
+                };
+                ev
+            }
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    fn peek_at(&self) -> Option<SimTime> {
+        let mut best = match self.now_queue.front() {
+            Some(ev) => ev.at,
+            None => SimTime::MAX,
+        };
+        if let Some(Reverse(h)) = self.queue.peek() {
+            best = best.min(h.at);
+        }
+        for s in &self.streams {
+            best = best.min(s.front.0);
+        }
+        // An event at SimTime::MAX is unschedulable (arrival times add
+        // latency to a finite clock), so MAX means "no events".
+        (best != SimTime::MAX).then_some(best)
     }
 
     /// Spawn an actor bound to `(host, port)`. Delivers `Event::Start`
@@ -149,15 +422,22 @@ impl World {
     }
 
     /// Allocate an unused ephemeral port on `host`.
+    ///
+    /// # Panics
+    /// Panics if every ephemeral port on the host is bound — scanning
+    /// is bounded to one full wrap of the ephemeral range so exhaustion
+    /// fails loudly instead of spinning forever.
     pub fn alloc_port(&mut self, host: HostId) -> u16 {
         let ctr = self.ephemeral.entry(host).or_insert(EPHEMERAL_BASE);
-        loop {
+        let span = (u16::MAX - EPHEMERAL_BASE) as u32 + 1;
+        for _ in 0..span {
             let p = *ctr;
-            *ctr = ctr.checked_add(1).unwrap_or(EPHEMERAL_BASE);
+            *ctr = p.checked_add(1).unwrap_or(EPHEMERAL_BASE);
             if !self.bindings.contains_key(&Endpoint::new(host, p)) {
                 return p;
             }
         }
+        panic!("alloc_port: all {span} ephemeral ports on host {host} are bound");
     }
 
     /// Kill the actor at `ep` (no-op if none).
@@ -199,6 +479,7 @@ impl World {
             return;
         }
         self.topo.host_mut(h).up = false;
+        self.topo.bump_epoch();
         for ep in self.endpoints_on(h) {
             self.dispatch_to(ep, Event::HostDown);
         }
@@ -210,6 +491,7 @@ impl World {
             return;
         }
         self.topo.host_mut(h).up = true;
+        self.topo.bump_epoch();
         for ep in self.endpoints_on(h) {
             self.dispatch_to(ep, Event::HostUp);
         }
@@ -218,23 +500,27 @@ impl World {
     /// Take a network segment down/up.
     pub fn set_net_up(&mut self, n: NetId, up: bool) {
         self.topo.net_mut(n).up = up;
+        self.topo.bump_epoch();
     }
 
     /// Take one host's interface on `n` down/up.
     pub fn set_iface_up(&mut self, h: HostId, n: NetId, up: bool) {
         if let Some(i) = self.topo.host_mut(h).interfaces.iter_mut().find(|i| i.net == n) {
             i.up = up;
+            self.topo.bump_epoch();
         }
     }
 
     /// Override the loss rate of a network (None restores the medium).
     pub fn set_net_loss(&mut self, n: NetId, loss: Option<f64>) {
         self.topo.net_mut(n).loss_override = loss;
+        self.topo.bump_epoch();
     }
 
     /// Put a network segment in a partition group.
     pub fn set_partition(&mut self, n: NetId, group: u32) {
         self.topo.net_mut(n).partition = group;
+        self.topo.bump_epoch();
     }
 
     fn endpoints_on(&self, h: HostId) -> Vec<Endpoint> {
@@ -244,29 +530,58 @@ impl World {
         eps
     }
 
-    /// Route selection per §5.3. Returns (path, src-serialization net).
-    fn select_path(&self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+    /// Route selection per §5.3, memoized. Cache entries live until the
+    /// next topology epoch bump (any fault/attach mutation).
+    fn select_path(&mut self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+        if !self.route_cache_enabled {
+            return self.compute_path(from, to, via);
+        }
+        if self.route_epoch != self.topo.epoch() {
+            self.route_cache.clear();
+            self.route_epoch = self.topo.epoch();
+        }
+        if let Some(&hit) = self.route_cache.get(&(from, to, via)) {
+            self.stats.engine.route_cache_hits += 1;
+            return hit;
+        }
+        self.stats.engine.route_cache_misses += 1;
+        let path = self.compute_path(from, to, via);
+        self.route_cache.insert((from, to, via), path);
+        path
+    }
+
+    /// The route the engine would use for a packet from `from` to `to`
+    /// right now (memoized, exactly as `send_packet` sees it).
+    pub fn route(&mut self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+        self.select_path(from, to, via)
+    }
+
+    /// Fresh, uncached route computation — the reference the cache is
+    /// validated against in tests.
+    pub fn route_uncached(&self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+        self.compute_path(from, to, via)
+    }
+
+    /// Uncached route selection per §5.3. Runs allocation-free: the
+    /// candidate scans are iterator-based and `PathInfo` is `Copy`.
+    fn compute_path(&self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
         if let Some(n) = via {
-            let common = self.topo.common_networks(from, to);
-            if common.contains(&n) {
+            if self.topo.is_common_network(from, to, n) {
                 return Some(self.topo.direct_path(n));
             }
             return None;
         }
         // Fastest common network first.
-        let common = self.topo.common_networks(from, to);
-        if let Some(&best) = common.iter().max_by_key(|&&n| {
+        if let Some(best) = self.topo.common_networks_iter(from, to).max_by_key(|&n| {
             let m = &self.topo.net(n).medium;
             (m.bandwidth_bps, std::cmp::Reverse(m.latency.as_nanos()))
         }) {
             return Some(self.topo.direct_path(best));
         }
         // Normal IP routing over routable edges in the same partition.
-        let ra = self.topo.routable_networks(from);
-        let rb = self.topo.routable_networks(to);
         let mut best: Option<PathInfo> = None;
-        for &na in &ra {
-            for &nb in &rb {
+        for na in self.topo.routable_networks_iter(from) {
+            for nb in self.topo.routable_networks_iter(to) {
                 if self.topo.net(na).partition != self.topo.net(nb).partition {
                     continue;
                 }
@@ -314,25 +629,22 @@ impl World {
             self.stats.drop(DropReason::TooBig);
             return;
         }
-        // Serialization on the first-hop transmitter.
-        let src_net = path.via[0];
-        let shared = self.topo.net(src_net).medium.shared_bus;
-        let tx = {
-            // At the bottleneck bandwidth for routed paths.
-            let mut m = self.topo.net(src_net).medium.clone();
-            m.bandwidth_bps = path.bandwidth_bps;
-            m.tx_time(payload.len())
-        };
-        let free = if shared {
-            self.topo.net(src_net).busy_until
+        // Serialization on the first-hop transmitter, at the bottleneck
+        // bandwidth for routed paths.
+        let src_net = path.first_net();
+        let medium = &self.topo.net(src_net).medium;
+        let shared = medium.shared_bus;
+        let tx = medium.tx_time_at(path.bandwidth_bps, payload.len());
+        let (free, channel) = if shared {
+            (self.topo.net(src_net).busy_until, TxChannel::Bus(src_net))
         } else {
             self.topo
                 .host(from.host)
                 .interfaces
                 .iter()
                 .find(|i| i.net == src_net)
-                .map(|i| i.busy_until)
-                .unwrap_or(SimTime::ZERO)
+                .map(|i| (i.busy_until, TxChannel::Link(i.link)))
+                .unwrap_or((SimTime::ZERO, TxChannel::Bus(src_net)))
         };
         let start = if free > self.now { free } else { self.now };
         let finish = start + tx;
@@ -353,17 +665,21 @@ impl World {
             self.stats.drop(DropReason::Loss);
             return;
         }
-        for &n in &path.via {
-            *self.stats.bytes_by_net.entry(n).or_insert(0) += payload.len() as u64;
+        for &n in path.nets() {
+            self.stats.add_bytes(n, payload.len() as u64);
         }
         let at = finish + path.latency;
-        self.push(at, Queued::Deliver { from, to, payload });
+        self.push_delivery(at, Queued::Deliver { from, to, payload }, channel, path.latency);
     }
 
     fn dispatch_to(&mut self, ep: Endpoint, event: Event) {
         let Some(&id) = self.bindings.get(&ep) else {
             return;
         };
+        self.dispatch_id(id, ep, event);
+    }
+
+    fn dispatch_id(&mut self, id: ActorId, ep: Endpoint, event: Event) {
         let Some(mut actor) = self.slots[id.0 as usize].actor.take() else {
             return; // re-entrant dispatch to the same actor: drop
         };
@@ -379,7 +695,7 @@ impl World {
 
     /// Run one queued event. Returns false if the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.pop_event() else {
             return false;
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
@@ -389,11 +705,11 @@ impl World {
             Queued::Deliver { from, to, payload } => {
                 if !self.topo.host(to.host).up {
                     self.stats.drop(DropReason::HostDown);
-                } else if !self.bindings.contains_key(&to) {
-                    self.stats.drop(DropReason::NoListener);
-                } else {
+                } else if let Some(&id) = self.bindings.get(&to) {
                     self.stats.delivered += 1;
-                    self.dispatch_to(to, Event::Packet { from, payload });
+                    self.dispatch_id(id, to, Event::Packet { from, payload });
+                } else {
+                    self.stats.drop(DropReason::NoListener);
                 }
             }
             Queued::Timer { actor, token } => {
@@ -436,8 +752,8 @@ impl World {
 
     /// Run events with timestamps `<= t`, then set the clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > t {
+        while let Some(at) = self.peek_at() {
+            if at > t {
                 break;
             }
             self.step();
@@ -563,8 +879,7 @@ mod tests {
         w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100] }));
         w.run_until_idle(100);
         assert!(log.borrow().is_empty());
-        let d = w.stats().drops.get(&DropReason::NoRoute).copied().unwrap_or(0)
-            + w.stats().drops.get(&DropReason::HostDown).copied().unwrap_or(0);
+        let d = w.stats().drops(DropReason::NoRoute) + w.stats().drops(DropReason::HostDown);
         assert_eq!(d, 1);
         w.host_up(b);
         w.spawn(a, 9, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100] }));
@@ -577,7 +892,7 @@ mod tests {
         let (mut w, a, b) = eth_pair();
         w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 99), sizes: vec![10] }));
         w.run_until_idle(100);
-        assert_eq!(w.stats().drops[&DropReason::NoListener], 1);
+        assert_eq!(w.stats().drops(DropReason::NoListener), 1);
     }
 
     #[test]
@@ -586,7 +901,7 @@ mod tests {
         w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false }));
         w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![2000] }));
         w.run_until_idle(100);
-        assert_eq!(w.stats().drops[&DropReason::TooBig], 1);
+        assert_eq!(w.stats().drops(DropReason::TooBig), 1);
     }
 
     #[test]
@@ -623,8 +938,8 @@ mod tests {
         w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![1000] }));
         w.run_until_idle(100);
         // ATM (faster) carried the bytes.
-        assert_eq!(w.stats().bytes_by_net.get(&atm), Some(&1000));
-        assert_eq!(w.stats().bytes_by_net.get(&eth), None);
+        assert_eq!(w.stats().bytes_on(atm), 1000);
+        assert_eq!(w.stats().bytes_on(eth), 0);
     }
 
     #[test]
@@ -654,7 +969,7 @@ mod tests {
         w.spawn(b, 5, Box::new(Recorder { log: log.clone(), echo: false }));
         w.spawn(a, 6, Box::new(PinnedSend { to: Endpoint::new(b, 5), via: eth }));
         w.run_until_idle(100);
-        assert_eq!(w.stats().bytes_by_net.get(&eth), Some(&100));
+        assert_eq!(w.stats().bytes_on(eth), 100);
         assert_eq!(log.borrow().len(), 1);
     }
 
@@ -674,8 +989,8 @@ mod tests {
         w.run_until_idle(100);
         assert_eq!(log.borrow().len(), 1);
         // Both edge networks carried the payload.
-        assert_eq!(w.stats().bytes_by_net.get(&n1), Some(&500));
-        assert_eq!(w.stats().bytes_by_net.get(&n2), Some(&500));
+        assert_eq!(w.stats().bytes_on(n1), 500);
+        assert_eq!(w.stats().bytes_on(n2), 500);
     }
 
     #[test]
@@ -867,8 +1182,8 @@ mod more_tests {
         w.spawn(a, 6, Box::new(Sender { to: Endpoint::new(b, 5), size: 500 }));
         w.run_until_idle(100);
         assert_eq!(log.borrow().len(), 1);
-        assert_eq!(w.stats().bytes_by_net.get(&eth), Some(&500));
-        assert!(w.stats().bytes_by_net.get(&atm).is_none());
+        assert_eq!(w.stats().bytes_on(eth), 500);
+        assert_eq!(w.stats().bytes_on(atm), 0);
     }
 
     #[test]
@@ -891,6 +1206,95 @@ mod more_tests {
         w.spawn(a, 7, Box::new(Sender { to: Endpoint::new(b, 5), size: 10 }));
         w.run_until_idle(100);
         assert_eq!(log.borrow().len(), 1, "healed: delivery resumes");
+    }
+
+    #[test]
+    fn alloc_port_skips_bound_ports_and_wraps() {
+        let mut t = Topology::new();
+        let _ = t.add_network("lan", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let mut w = World::new(t, 1);
+        w.spawn(a, EPHEMERAL_BASE, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())) }));
+        assert_eq!(w.alloc_port(a), EPHEMERAL_BASE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ephemeral ports")]
+    fn alloc_port_exhaustion_panics() {
+        let mut t = Topology::new();
+        let _ = t.add_network("lan", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let mut w = World::new(t, 1);
+        for p in EPHEMERAL_BASE..=u16::MAX {
+            w.spawn(a, p, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())) }));
+        }
+        let _ = w.alloc_port(a); // must panic, not spin forever
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_every_fault_api() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let atm = t.add_network("atm", Medium::atm155(), false);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        for h in [a, b] {
+            t.attach(h, eth);
+            t.attach(h, atm);
+        }
+        let mut w = World::new(t, 1);
+        let check = |w: &mut World| {
+            assert_eq!(w.route(a, b, None), w.route_uncached(a, b, None));
+            assert_eq!(w.route(b, a, None), w.route_uncached(b, a, None));
+            assert_eq!(w.route(a, b, Some(atm)), w.route_uncached(a, b, Some(atm)));
+        };
+        check(&mut w);
+        // Cached path is ATM; each mutation must be visible immediately.
+        w.set_iface_up(a, atm, false);
+        assert_eq!(w.route(a, b, None).unwrap().first_net(), eth);
+        check(&mut w);
+        w.set_iface_up(a, atm, true);
+        check(&mut w);
+        w.set_net_up(atm, false);
+        assert_eq!(w.route(a, b, None).unwrap().first_net(), eth);
+        w.set_net_up(atm, true);
+        w.set_net_loss(atm, Some(0.25));
+        assert_eq!(w.route(a, b, None).unwrap().loss, 0.25);
+        w.set_net_loss(atm, None);
+        w.host_down(b);
+        assert_eq!(w.route(a, b, None), None);
+        w.host_up(b);
+        check(&mut w);
+        w.set_partition(eth, 3);
+        check(&mut w);
+        assert!(
+            w.stats().engine.route_cache_hits > 0,
+            "repeated same-epoch lookups should hit"
+        );
+    }
+
+    #[test]
+    fn engine_counters_track_queue_tiers() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        let mut w = World::new(t, 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log }));
+        w.spawn(a, 6, Box::new(Sender { to: Endpoint::new(b, 5), size: 100 }));
+        w.spawn(a, 7, Box::new(Sender { to: Endpoint::new(b, 5), size: 100 }));
+        w.run_until_idle(100);
+        let e = &w.stats().engine;
+        // Start signals fire at t=0 (now-queue); bus deliveries ride
+        // their transmitter's FIFO stream. Every event came off
+        // exactly one tier.
+        assert_eq!(e.now_pops + e.heap_pops + e.stream_pops, w.stats().events);
+        assert!(e.now_pops >= 3, "Start signals should use the now-queue: {e:?}");
+        assert!(e.stream_pops >= 2, "shared-bus deliveries should stream: {e:?}");
+        assert!(e.peak_queue_depth >= 2);
     }
 
     #[test]

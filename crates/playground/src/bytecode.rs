@@ -166,20 +166,16 @@ impl Program {
         let n = self.code.len() as u32;
         for (i, instr) in self.code.iter().enumerate() {
             match instr {
-                Instr::Jmp(t) | Instr::Jz(t) | Instr::Call(t) => {
-                    if *t >= n {
-                        return Err(SnipeError::Invalid(format!(
-                            "instruction {i}: jump target {t} out of range ({n})"
-                        )));
-                    }
+                Instr::Jmp(t) | Instr::Jz(t) | Instr::Call(t) if *t >= n => {
+                    return Err(SnipeError::Invalid(format!(
+                        "instruction {i}: jump target {t} out of range ({n})"
+                    )));
                 }
-                Instr::Load(s) | Instr::Store(s) => {
-                    if *s >= self.locals {
-                        return Err(SnipeError::Invalid(format!(
-                            "instruction {i}: local {s} out of range ({})",
-                            self.locals
-                        )));
-                    }
+                Instr::Load(s) | Instr::Store(s) if *s >= self.locals => {
+                    return Err(SnipeError::Invalid(format!(
+                        "instruction {i}: local {s} out of range ({})",
+                        self.locals
+                    )));
                 }
                 _ => {}
             }
@@ -253,7 +249,7 @@ impl WireEncode for CodeImage {
 impl WireDecode for CodeImage {
     fn decode(dec: &mut Decoder) -> SnipeResult<Self> {
         let name = dec.get_str()?;
-        let program = Bytes::from(dec.get_bytes()?);
+        let program = dec.get_bytes()?;
         let raw = dec.get_raw(32)?;
         let mut hash = [0u8; 32];
         hash.copy_from_slice(&raw);

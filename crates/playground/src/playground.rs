@@ -96,7 +96,7 @@ impl WireDecode for PlaygroundMsg {
                 fuel_used: dec.get_u64()?,
             },
             2 => PlaygroundMsg::Failed { reason: dec.get_str()? },
-            3 => PlaygroundMsg::Checkpoint { state: Bytes::from(dec.get_bytes()?) },
+            3 => PlaygroundMsg::Checkpoint { state: dec.get_bytes()? },
             t => return Err(SnipeError::Codec(format!("unknown playground tag {t}"))),
         })
     }

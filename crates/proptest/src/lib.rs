@@ -1,0 +1,445 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crate registry, so external
+//! dependencies are vendored. This implements the subset of the
+//! proptest 1.x surface the workspace's tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`);
+//! * [`Strategy`] implemented for integer ranges (`0u8..3`, `1u64..`),
+//!   string "regex" literals (`"[a-z]{1,6}"`, `"\\PC{0,64}"`), tuples,
+//!   and [`collection::vec`];
+//! * [`any`] for primitive types;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (failures report the generated inputs and the deterministic case
+//! seed instead), and a fixed-derivation RNG rather than a persisted
+//! failure file. Case count defaults to 64, override with
+//! `PROPTEST_CASES`.
+
+use std::ops::{Range, RangeFrom};
+
+/// Deterministic per-case RNG (splitmix64). Each `(test name, case
+/// index)` pair derives its own stream, so failures are reproducible
+/// from the printed case index alone.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one generated case of one test.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+}
+
+/// How many cases each property runs (`PROPTEST_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full-range strategy for a primitive type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Marker returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only; property tests here feed arithmetic.
+        let v = rng.next_u64() as f64 / u64::MAX as f64;
+        (v - 0.5) * 2e9
+    }
+}
+
+macro_rules! range_strategy_uint {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u128) - (self.start as u128);
+                    (self.start as u128 + rng.below(width)) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let width = (<$t>::MAX as u128) - (self.start as u128) + 1;
+                    (self.start as u128 + rng.below(width)) as $t
+                }
+            }
+        )*
+    };
+}
+range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let width = (<$t>::MAX as i128 - self.start as i128 + 1) as u128;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+range_strategy_int!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+))*) => {
+        $(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// String strategies from "regex" literals — the subset proptest tests
+/// here use: a sequence of atoms, each a char class (`[a-z0-9]`, with
+/// ranges), `\PC` (any printable char), or a literal char, optionally
+/// followed by `{n}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, min, max) in atoms {
+            let n = if min == max { min } else { min + rng.below((max - min + 1) as u128) as usize };
+            for _ in 0..n {
+                out.push(atom.generate_char(rng));
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    /// `\PC` — any printable (non-control) character.
+    Printable,
+    /// Explicit candidate set from a char class.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl Atom {
+    fn generate_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(cs) => cs[rng.below(cs.len() as u128) as usize],
+            Atom::Printable => {
+                // Mostly ASCII graphic/space, sprinkled with multi-byte
+                // code points to exercise UTF-8 boundaries.
+                const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '☃', '🦀', '\u{00a0}', 'Ω'];
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u128) as usize]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ascii")
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                // Only `\PC` (printable) is supported; `\\` escapes.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    let c = *chars.get(i + 1).expect("dangling escape in pattern");
+                    i += 2;
+                    Atom::Literal(c)
+                }
+            }
+            '[' => {
+                let close = chars[i..].iter().position(|&c| c == ']').expect("unclosed [") + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in pattern");
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("class char"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty char class in pattern");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad repetition min"),
+                    b.trim().parse().expect("bad repetition max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition range in pattern");
+        out.push((atom, min, max));
+    }
+    out
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element_strategy, min..max)` — proptest's collection::vec.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start) as u128;
+            let n = self.size.start + rng.below(width) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, case_count, Arbitrary, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `case_count()` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::case_count();
+                for case in 0..cases {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng); )*
+                    let run = || -> () { $body };
+                    // No shrinking: report the case index, which fully
+                    // determines the inputs.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest {}: failed at case {case}/{cases} (deterministic; \
+                             rerun reproduces it)",
+                            stringify!($name)
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (1u64..).generate(&mut rng);
+            assert!(w >= 1);
+            let x = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::for_case("strings", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let p = "\\PC{0,64}".generate(&mut rng);
+            assert!(p.chars().count() <= 64);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut rng = TestRng::for_case("vecs", 1);
+        for _ in 0..100 {
+            let v = collection::vec((0u8..3, 0u64..8, "[a-z]{1,6}"), 1..40).generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            for (a, b, s) in &v {
+                assert!(*a < 3 && *b < 8 && !s.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::for_case("det", 7);
+            (0..10).map(|_| (0u64..1000).generate(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::for_case("det", 7);
+            (0..10).map(|_| (0u64..1000).generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in any::<u16>(), v in collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(v.len() < 16);
+            prop_assert_eq!(a as u32 + 1, u32::from(a) + 1);
+        }
+    }
+}

@@ -193,13 +193,12 @@ impl Actor for PvmTaskActor {
                 self.with_task(ctx, |t, api| t.on_start(api));
                 self.run_cmds(ctx);
             }
-            Event::Timer { token } => {
-                if token & APP_TIMER_BIT != 0 {
-                    let app = token >> 4;
-                    self.with_task(ctx, |t, api| t.on_timer(api, app));
-                    self.run_cmds(ctx);
-                }
+            Event::Timer { token } if token & APP_TIMER_BIT != 0 => {
+                let app = token >> 4;
+                self.with_task(ctx, |t, api| t.on_timer(api, app));
+                self.run_cmds(ctx);
             }
+            Event::Timer { .. } => {}
             Event::Packet { from: _, payload } => {
                 let Ok((Proto::Raw, body)) = open(payload) else { return };
                 let Ok(msg) = PvmMsg::decode_from_bytes(body) else { return };

@@ -1,0 +1,43 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The build environment has no crate registry, so external
+//! dependencies are vendored. The workspace lists `rand` as a
+//! dev-dependency in several crates but never imports its API — all
+//! simulation randomness flows through the deterministic
+//! `snipe_util::rng::Xoshiro256`. This crate exists only to satisfy the
+//! dependency edge; a tiny seedable generator is provided in case a
+//! future test wants one without reaching into `snipe-util`.
+
+/// A minimal splitmix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -203,14 +203,14 @@ impl WireDecode for RmMsg {
             },
             T_AUTH_REQ => RmMsg::AuthReq {
                 req_id: dec.get_u64()?,
-                user_cert: Bytes::from(dec.get_bytes()?),
-                host_cert: Bytes::from(dec.get_bytes()?),
+                user_cert: dec.get_bytes()?,
+                host_cert: dec.get_bytes()?,
                 resource: dec.get_str()?,
             },
             T_AUTH_RESP => RmMsg::AuthResp {
                 req_id: dec.get_u64()?,
                 ok: dec.get_bool()?,
-                grant: Bytes::from(dec.get_bytes()?),
+                grant: dec.get_bytes()?,
                 error: dec.get_str()?,
             },
             T_TASK_CONTROL => RmMsg::TaskControl {

@@ -92,8 +92,14 @@ impl Reassembly {
     ///
     /// # Panics
     /// Panics if not [`Self::complete`].
-    pub fn assemble(self) -> Bytes {
+    pub fn assemble(mut self) -> Bytes {
         assert!(self.complete(), "assembling incomplete message");
+        // A message that fit in one fragment needs no concatenation:
+        // hand the original buffer back without copying (the common
+        // case for sub-MTU traffic).
+        if self.frags.len() == 1 {
+            return self.frags[0].take().expect("complete");
+        }
         let total: usize = self.frags.iter().map(|f| f.as_ref().expect("complete").len()).sum();
         let mut out = Vec::with_capacity(total);
         for f in self.frags {
@@ -219,6 +225,19 @@ mod tests {
         }
         assert!(r.complete());
         assert_eq!(r.assemble(), payload);
+    }
+
+    #[test]
+    fn single_fragment_assemble_is_zero_copy() {
+        let payload = Bytes::from_static(b"fits in one fragment");
+        let frags = split(&payload, 1400);
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembly::new(1);
+        r.insert(0, frags[0].clone()).unwrap();
+        let out = r.assemble();
+        assert_eq!(out, payload);
+        // Same backing storage, not a copy.
+        assert_eq!(out.as_ptr(), payload.as_ptr());
     }
 
     #[test]

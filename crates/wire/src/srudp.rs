@@ -302,6 +302,7 @@ impl Srudp {
         std::mem::take(&mut self.out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_data(
         out: &mut Vec<Out>,
         stats: &mut SrudpStats,

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+#
+#   ./scripts/check.sh
+#
+# Builds release (the bench harness and perf-sensitive tests run
+# optimized), runs the whole test suite, then lints with clippy at
+# deny-warnings. CI and local workflows run the exact same line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "check.sh: all gates green"
