@@ -9,7 +9,7 @@
 //! Output goes to stdout and `results/<exp>.txt`.
 
 use snipe_bench::report::{mbps, Table};
-use snipe_bench::{ablations, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, engine, fig1, par_map};
+use snipe_bench::{ablations, chaos, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, engine, fig1, par_map};
 use snipe_util::time::SimDuration;
 
 fn run_f1() {
@@ -303,6 +303,74 @@ fn run_engine() {
     let _ = std::fs::write("results/bench_engine.json", json);
 }
 
+/// The chaos soak (C1): fan seeded fault plans over every workload,
+/// demand green oracles, then prove the oracles have teeth by catching
+/// the planted migration-freeze bug and shrinking its plan.
+fn run_chaos(seeds_per_workload: u64) -> bool {
+    let runs = chaos::soak(seeds_per_workload);
+    let mut t = Table::new(
+        "C1: chaos soak — seeded fault plans vs invariant oracles",
+        &["workload", "plan seed", "wseed", "ops", "packet", "verdict"],
+    );
+    let mut failures = Vec::new();
+    for r in &runs {
+        t.row(vec![
+            r.workload.to_string(),
+            format!("{:#x}", r.plan_seed),
+            format!("{:#x}", r.workload_seed),
+            format!("{}", r.ops),
+            format!("{}", r.packet),
+            if r.violations.is_empty() { "green".into() } else { "VIOLATED".into() },
+        ]);
+        if !r.violations.is_empty() {
+            failures.push(r.clone());
+        }
+    }
+    t.emit("chaos.txt");
+    for f in &failures {
+        println!("VIOLATION in {}: {}", f.workload, f.violations[0]);
+        println!("  {}", f.replay);
+    }
+
+    let drill = chaos::planted_bug_drill(8);
+    let mut d = Table::new(
+        "C1b: planted-bug drill — migration freeze disabled on purpose",
+        &["caught", "violation", "shrunk plan"],
+    );
+    d.row(vec![
+        format!("{}", drill.caught),
+        drill.first_violation.clone(),
+        drill.replay.clone(),
+    ]);
+    d.emit("chaos.txt");
+    if drill.caught {
+        println!("planted bug caught: {}", drill.first_violation);
+        println!("  {}", drill.replay);
+    } else {
+        println!("planted bug NOT caught — the oracle layer has a blind spot");
+    }
+
+    let per_workload: Vec<String> = chaos::ALL_WORKLOADS
+        .iter()
+        .map(|w| {
+            let bad =
+                runs.iter().filter(|r| r.workload == w.name() && !r.violations.is_empty()).count();
+            format!("    {{\"workload\": \"{}\", \"plans\": {}, \"violations\": {}}}", w.name(), seeds_per_workload, bad)
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"chaos_soak\",\n  \"plans\": {},\n  \"violations\": {},\n  \"workloads\": [\n{}\n  ],\n  \"planted_bug_caught\": {},\n  \"planted_bug_replay\": \"{}\"\n}}\n",
+        runs.len(),
+        failures.len(),
+        per_workload.join(",\n"),
+        drill.caught,
+        drill.replay.replace('"', "'"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/chaos.json", json);
+    failures.is_empty() && drill.caught
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -352,5 +420,16 @@ fn main() {
     if want("engine") {
         run_engine();
     }
+    let mut chaos_ok = true;
+    if args.iter().any(|a| a == "chaos-smoke") {
+        // Bounded gate for CI: 2 plans per workload plus the drill.
+        let _ = std::fs::remove_file("results/chaos.txt");
+        chaos_ok = run_chaos(2);
+    } else if want("chaos") {
+        chaos_ok = run_chaos(16);
+    }
     println!("done. tables written under results/");
+    if !chaos_ok {
+        std::process::exit(1);
+    }
 }

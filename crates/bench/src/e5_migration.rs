@@ -29,11 +29,11 @@ pub struct E5Point {
     pub migrated_at: f64,
 }
 
-struct Worker {
-    deliveries: Rc<RefCell<Vec<(SimTime, u32)>>>,
-    migrated_at: Rc<RefCell<Option<SimTime>>>,
-    move_after: SimDuration,
-    target: String,
+pub(crate) struct Worker {
+    pub(crate) deliveries: Rc<RefCell<Vec<(SimTime, u32)>>>,
+    pub(crate) migrated_at: Rc<RefCell<Option<SimTime>>>,
+    pub(crate) move_after: SimDuration,
+    pub(crate) target: String,
 }
 
 impl SnipeProcess for Worker {
@@ -47,19 +47,21 @@ impl SnipeProcess for Worker {
         *self.migrated_at.borrow_mut() = Some(api.now());
     }
     fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, _from: ProcRef, msg: Bytes) {
+        // Under chaos a peer could hand us a runt; never slice past it.
+        let Some(head) = msg.get(..4) else { return };
         let mut b = [0u8; 4];
-        b.copy_from_slice(&msg[..4]);
+        b.copy_from_slice(head);
         self.deliveries.borrow_mut().push((api.now(), u32::from_be_bytes(b)));
     }
     // Worker state rides along: the delivery log lives outside (test
     // instrumentation), so nothing to checkpoint.
 }
 
-struct Streamer {
-    peer: u64,
-    total: u32,
-    sent: u32,
-    interval: SimDuration,
+pub(crate) struct Streamer {
+    pub(crate) peer: u64,
+    pub(crate) total: u32,
+    pub(crate) sent: u32,
+    pub(crate) interval: SimDuration,
 }
 
 impl SnipeProcess for Streamer {

@@ -127,7 +127,11 @@ impl Actor for SrudpSender {
                 self.stack = Some(stack);
                 self.pump_app(ctx);
             }
-            Event::Timer { token: TIMER_STACK } => {
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                // HostUp: timers queued while the host was down were
+                // swallowed by the engine, so the gate may reference a
+                // deadline that will never fire. Re-drive the stack now
+                // to resume retransmission after recovery.
                 self.gate.fired();
                 let now = ctx.now();
                 if let Some(s) = self.stack.as_mut() {
@@ -190,7 +194,8 @@ impl Actor for SrudpReceiver {
                     }
                 }
             }
-            Event::Timer { token: TIMER_STACK } => {
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                // See SrudpSender: re-arm after a flap swallowed timers.
                 self.gate.fired();
                 let now = ctx.now();
                 if let Some(s) = self.stack.as_mut() {

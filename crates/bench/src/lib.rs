@@ -10,6 +10,7 @@
 //! over threads with crossbeam's scoped threads.
 
 pub mod ablations;
+pub mod chaos;
 pub mod e2_mpiconnect;
 pub mod engine;
 pub mod e3_availability;
@@ -19,6 +20,7 @@ pub mod e6_multicast;
 pub mod e7_failover;
 pub mod e8_spof;
 pub mod fig1;
+pub mod oracles;
 pub mod report;
 
 /// Run closures in parallel, preserving input order in the output.

@@ -1,0 +1,156 @@
+//! Cross-stack invariant oracles for chaos runs.
+//!
+//! Each check inspects the *outcome* of a finished (or watchdogged)
+//! simulation and returns human-readable violation strings — empty
+//! means the invariant held. Workloads in [`crate::chaos`] compose the
+//! checks relevant to their contract; the soak driver treats any
+//! non-empty result as a failing plan and shrinks it.
+
+use snipe_netsim::world::World;
+use snipe_rcds::assertion::Assertion;
+
+/// Exactly-once, in-order delivery: the receiver's sequence log must be
+/// precisely `0..sent` in that order. Covers loss (missing), duplication
+/// (repeats) and reordering (wrong position) in one pass.
+pub fn check_exactly_once_in_order(label: &str, sent: u32, delivered: &[u32]) -> Vec<String> {
+    let mut v = Vec::new();
+    if delivered.len() != sent as usize {
+        v.push(format!(
+            "{label}: exactly-once violated — sent {sent}, delivered {} entries",
+            delivered.len()
+        ));
+    }
+    let mut dup = 0u32;
+    let mut reordered = 0u32;
+    let mut seen = vec![false; sent as usize];
+    let mut prev: Option<u32> = None;
+    for &seq in delivered {
+        if let Some(s) = seen.get_mut(seq as usize) {
+            if *s {
+                dup += 1;
+            }
+            *s = true;
+        } else {
+            v.push(format!("{label}: delivered unknown sequence {seq} (sent {sent})"));
+        }
+        if let Some(p) = prev {
+            if seq < p {
+                reordered += 1;
+            }
+        }
+        prev = Some(seq);
+    }
+    if dup > 0 {
+        v.push(format!("{label}: {dup} duplicate deliveries"));
+    }
+    if reordered > 0 {
+        v.push(format!("{label}: {reordered} out-of-order deliveries"));
+    }
+    let missing = seen.iter().filter(|s| !**s).count();
+    if missing > 0 {
+        v.push(format!("{label}: {missing} of {sent} messages lost"));
+    }
+    v
+}
+
+/// Engine-boundedness: after a run the event/timer population must be
+/// bounded (steady-state timers only, no unbounded retransmit storms)
+/// and the peak queue depth must stay under a generous ceiling.
+pub fn check_engine_bounded(label: &str, world: &World, max_residual: usize, max_peak: u64) -> Vec<String> {
+    let mut v = Vec::new();
+    let depth = world.queue_depth();
+    if depth > max_residual {
+        v.push(format!(
+            "{label}: {depth} events still queued after quiesce (bound {max_residual})"
+        ));
+    }
+    let peak = world.stats().engine.peak_queue_depth;
+    if peak > max_peak {
+        v.push(format!("{label}: peak queue depth {peak} exceeded bound {max_peak}"));
+    }
+    v
+}
+
+/// Replica convergence: once faults quiesce and anti-entropy has had
+/// time to run, every replica must report the same non-empty assertion
+/// set for the probed URI.
+pub fn check_replicas_converged(label: &str, replies: &[Option<Vec<Assertion>>]) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut canon: Option<Vec<Assertion>> = None;
+    for (i, r) in replies.iter().enumerate() {
+        let Some(assertions) = r else {
+            v.push(format!("{label}: replica {i} never answered the probe"));
+            continue;
+        };
+        let mut sorted = assertions.clone();
+        sorted.sort_by(|a, b| (&a.name, &a.value).cmp(&(&b.name, &b.value)));
+        if sorted.is_empty() {
+            v.push(format!("{label}: replica {i} converged to an empty record"));
+            continue;
+        }
+        match &canon {
+            None => canon = Some(sorted),
+            Some(c) if *c != sorted => {
+                v.push(format!(
+                    "{label}: replica {i} disagrees with replica 0 ({} vs {} assertions)",
+                    sorted.len(),
+                    c.len()
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    v
+}
+
+/// Corruption containment: chaos flipped bits in `corrupted` frames;
+/// the wire layer must have rejected them (checksums) without a panic —
+/// reaching this check at all proves no panic, so the oracle only
+/// verifies the injection really happened when the plan asked for it.
+pub fn check_corruption_exercised(label: &str, world: &World, expected: bool) -> Vec<String> {
+    let c = world.stats().chaos.corrupted;
+    if expected && c == 0 {
+        vec![format!("{label}: plan enabled corruption but no frame was corrupted")]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_once_accepts_perfect_log() {
+        let log: Vec<u32> = (0..10).collect();
+        assert!(check_exactly_once_in_order("t", 10, &log).is_empty());
+    }
+
+    #[test]
+    fn exactly_once_flags_each_failure_mode() {
+        // Loss.
+        let v = check_exactly_once_in_order("t", 3, &[0, 2]);
+        assert!(v.iter().any(|s| s.contains("lost")), "{v:?}");
+        // Duplication.
+        let v = check_exactly_once_in_order("t", 3, &[0, 1, 1, 2]);
+        assert!(v.iter().any(|s| s.contains("duplicate")), "{v:?}");
+        // Reordering.
+        let v = check_exactly_once_in_order("t", 3, &[0, 2, 1]);
+        assert!(v.iter().any(|s| s.contains("out-of-order")), "{v:?}");
+        // Phantom sequence numbers.
+        let v = check_exactly_once_in_order("t", 2, &[0, 1, 7]);
+        assert!(v.iter().any(|s| s.contains("unknown sequence")), "{v:?}");
+    }
+
+    #[test]
+    fn convergence_flags_disagreement_and_silence() {
+        let a = vec![Assertion::new("k", "v")];
+        let b = vec![Assertion::new("k", "w")];
+        let v = check_replicas_converged("t", &[Some(a.clone()), Some(b)]);
+        assert!(v.iter().any(|s| s.contains("disagrees")), "{v:?}");
+        let v = check_replicas_converged("t", &[Some(a.clone()), None]);
+        assert!(v.iter().any(|s| s.contains("never answered")), "{v:?}");
+        let v = check_replicas_converged("t", &[Some(a.clone()), Some(a)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -80,6 +80,12 @@ pub struct ProcessConfig {
     pub stack: StackConfig,
     /// Print `api.log` lines to stdout (examples / demos).
     pub echo_logs: bool,
+    /// **Fault-injection knob, tests only.** Disables the packet-side
+    /// freeze during migration cutover, the guard that parks incoming
+    /// DATA until the new incarnation owns the stack. With it off, the
+    /// old stack keeps acking deliveries it will never hand to anyone —
+    /// the exact message-loss bug the chaos oracles must catch.
+    pub chaos_disable_migration_freeze: bool,
 }
 
 /// What an RC completion was for.
@@ -1225,7 +1231,7 @@ impl Actor for ProcessActor {
                 // and redirect stragglers once the cutover completed.
                 // Dropped datagrams are retransmitted by SRUDP, so
                 // nothing is lost (§5.6).
-                if self.migrating {
+                if self.migrating && !self.cfg.chaos_disable_migration_freeze {
                     if let Ok((Proto::Raw, body)) = snipe_wire::frame::open(payload) {
                         if let Ok(dmsg) = DaemonMsg::decode_from_bytes(body) {
                             match dmsg {

@@ -212,6 +212,7 @@ impl SnipeWorldBuilder {
             resource_managers: rm_eps.clone(),
             stack: Default::default(),
             echo_logs: false,
+            chaos_disable_migration_freeze: false,
         };
         let programs: Rc<RefCell<HashMap<String, Rc<ProcessFactory>>>> =
             Rc::new(RefCell::new(HashMap::new()));
@@ -221,21 +222,26 @@ impl SnipeWorldBuilder {
         {
             let programs = programs.clone();
             let proc_cfg = proc_cfg.clone();
-            registry.register(MIGRATE_PROGRAM, move |sctx: &SpawnCtx| {
+            // Fallible: the payload arrived over the wire, so a corrupt
+            // or stale SpawnReq must turn into a SpawnResp error the
+            // migration protocol retries — never a panic.
+            registry.register_fallible(MIGRATE_PROGRAM, move |sctx: &SpawnCtx| {
                 let payload = MigrationPayload::decode(sctx.args.clone())
-                    .expect("valid migration payload");
-                let factory = programs
-                    .borrow()
-                    .get(&payload.program)
-                    .cloned()
-                    .unwrap_or_else(|| panic!("unknown migrated program {:?}", payload.program));
+                    .map_err(|e| SnipeError::Codec(format!("bad migration payload: {e}")))?;
+                let factory =
+                    programs.borrow().get(&payload.program).cloned().ok_or_else(|| {
+                        SnipeError::NameNotFound(format!(
+                            "migrated program {:?}",
+                            payload.program
+                        ))
+                    })?;
                 let process = factory(payload.args.clone());
-                Box::new(ProcessActor::resume_from(
+                Ok(Box::new(ProcessActor::resume_from(
                     proc_cfg.clone(),
                     sctx.proc_key,
                     payload,
                     process,
-                ))
+                )) as Box<dyn snipe_netsim::actor::Actor>)
             });
         }
 
@@ -343,6 +349,13 @@ impl SnipeWorld {
     /// The shared process configuration.
     pub fn process_config(&self) -> &ProcessConfig {
         &self.proc_cfg
+    }
+
+    /// Mutate the shared process configuration. Like
+    /// [`SnipeWorld::echo_logs`], call **before** registering programs:
+    /// each registration captures a snapshot of the configuration.
+    pub fn process_config_mut(&mut self) -> &mut ProcessConfig {
+        &mut self.proc_cfg
     }
 
     /// The program registry (for registering non-process actors).

@@ -193,6 +193,25 @@ impl DaemonActor {
             return;
         }
         let proc_key = if spec.fixed_key != 0 {
+            // Fixed-key spawns (migration) are idempotent: a duplicated
+            // or retransmitted SpawnReq must not start a second
+            // incarnation, it re-acks the one already running.
+            if let Some((&port, _)) = self
+                .tasks
+                .iter()
+                .find(|(_, t)| t.proc_key == spec.fixed_key && t.state == TaskState::Running)
+            {
+                let ep = Endpoint::new(ctx.host(), port);
+                let resp = DaemonMsg::SpawnResp {
+                    req_id,
+                    ok: true,
+                    endpoint: ep,
+                    proc_key: spec.fixed_key,
+                    error: String::new(),
+                };
+                self.send_msg(ctx, from, &resp);
+                return;
+            }
             spec.fixed_key
         } else {
             let k = ((ctx.host().0 as u64) << 32) | self.next_local_key;
@@ -200,16 +219,24 @@ impl DaemonActor {
             k
         };
         let sctx = crate::registry::SpawnCtx { args: spec.args.clone(), proc_key };
-        let Some(actor) = self.registry.instantiate(&spec.program, &sctx) else {
-            let resp = DaemonMsg::SpawnResp {
-                req_id,
-                ok: false,
-                endpoint: Endpoint::new(ctx.host(), 0),
-                proc_key: 0,
-                error: format!("unknown program {:?}", spec.program),
-            };
-            self.send_msg(ctx, from, &resp);
-            return;
+        let actor = match self.registry.instantiate(&spec.program, &sctx) {
+            Some(Ok(actor)) => actor,
+            res => {
+                let error = match res {
+                    None => format!("unknown program {:?}", spec.program),
+                    Some(Err(e)) => format!("program {:?} rejected spawn: {e}", spec.program),
+                    Some(Ok(_)) => unreachable!(),
+                };
+                let resp = DaemonMsg::SpawnResp {
+                    req_id,
+                    ok: false,
+                    endpoint: Endpoint::new(ctx.host(), 0),
+                    proc_key: 0,
+                    error,
+                };
+                self.send_msg(ctx, from, &resp);
+                return;
+            }
         };
         // Find a free task port.
         let mut port = self.next_task_port;

@@ -13,6 +13,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use snipe_netsim::actor::Actor;
+use snipe_util::error::SnipeResult;
 
 /// Everything a program factory learns at spawn time.
 #[derive(Clone, Debug)]
@@ -24,8 +25,11 @@ pub struct SpawnCtx {
     pub proc_key: u64,
 }
 
-/// Factory signature: spawn context → a fresh process actor.
-pub type ProgramFactory = Box<dyn Fn(&SpawnCtx) -> Box<dyn Actor>>;
+/// Factory signature: spawn context → a fresh process actor, or an
+/// error when the spawn arguments are unusable (e.g. a corrupt
+/// migration payload arriving over a chaotic wire). Factories must
+/// never panic on hostile argument bytes.
+pub type ProgramFactory = Box<dyn Fn(&SpawnCtx) -> SnipeResult<Box<dyn Actor>>>;
 
 /// A shared, name-indexed collection of spawnable programs.
 #[derive(Clone, Default)]
@@ -39,17 +43,29 @@ impl ProgramRegistry {
         ProgramRegistry::default()
     }
 
-    /// Register a program under a name (overwrites).
+    /// Register an infallible program under a name (overwrites). Most
+    /// programs ignore their argument bytes or tolerate any value;
+    /// those that parse them should use [`ProgramRegistry::register_fallible`].
     pub fn register(
         &self,
         name: impl Into<String>,
         factory: impl Fn(&SpawnCtx) -> Box<dyn Actor> + 'static,
     ) {
+        self.register_fallible(name, move |ctx| Ok(factory(ctx)));
+    }
+
+    /// Register a program whose factory can reject its spawn context.
+    pub fn register_fallible(
+        &self,
+        name: impl Into<String>,
+        factory: impl Fn(&SpawnCtx) -> SnipeResult<Box<dyn Actor>> + 'static,
+    ) {
         self.inner.borrow_mut().insert(name.into(), Rc::new(Box::new(factory)));
     }
 
-    /// Instantiate a program, or `None` if unknown.
-    pub fn instantiate(&self, name: &str, ctx: &SpawnCtx) -> Option<Box<dyn Actor>> {
+    /// Instantiate a program: `None` if unknown, `Some(Err)` if the
+    /// factory rejected the spawn context.
+    pub fn instantiate(&self, name: &str, ctx: &SpawnCtx) -> Option<SnipeResult<Box<dyn Actor>>> {
         let f = self.inner.borrow().get(name).cloned()?;
         Some(f(ctx))
     }
@@ -88,8 +104,23 @@ mod tests {
         assert!(r.contains("nop"));
         assert_eq!(r.len(), 1);
         let sctx = SpawnCtx { args: Bytes::new(), proc_key: 1 };
-        assert!(r.instantiate("nop", &sctx).is_some());
+        assert!(r.instantiate("nop", &sctx).expect("registered").is_ok());
         assert!(r.instantiate("missing", &sctx).is_none());
+    }
+
+    #[test]
+    fn fallible_factory_rejects_bad_args() {
+        let r = ProgramRegistry::new();
+        r.register_fallible("picky", |sctx| {
+            if sctx.args.is_empty() {
+                return Err(snipe_util::error::SnipeError::Codec("empty args".into()));
+            }
+            Ok(Box::new(Nop) as Box<dyn Actor>)
+        });
+        let bad = SpawnCtx { args: Bytes::new(), proc_key: 1 };
+        let good = SpawnCtx { args: Bytes::from_static(b"x"), proc_key: 1 };
+        assert!(r.instantiate("picky", &bad).expect("registered").is_err());
+        assert!(r.instantiate("picky", &good).expect("registered").is_ok());
     }
 
     #[test]

@@ -104,4 +104,35 @@ mod tests {
         let expect = model.single_host_availability();
         assert!((frac - expect).abs() < 0.05, "measured {frac}, expected {expect}");
     }
+
+    #[test]
+    fn overlapping_schedules_leave_world_consistent() {
+        let mut t = Topology::new();
+        let n = t.add_network("n", Medium::ethernet100(), true);
+        let h = t.add_host(HostCfg::named("h"));
+        t.attach(h, n);
+        let mut w = World::new(t, 1);
+        let horizon = SimTime::ZERO + SimDuration::from_secs(1_000);
+        // Two independent renewal processes targeting the same host:
+        // down/up events interleave arbitrarily. host_down/host_up are
+        // idempotent, so the overlap must neither panic nor wedge the
+        // host in a phantom state.
+        let mut rng_a = Xoshiro256::seed_from_u64(11);
+        let mut rng_b = Xoshiro256::seed_from_u64(99);
+        let fast = FailureModel {
+            mtbf: SimDuration::from_secs(30),
+            mttr: SimDuration::from_secs(5),
+        };
+        let slow = FailureModel {
+            mtbf: SimDuration::from_secs(70),
+            mttr: SimDuration::from_secs(20),
+        };
+        schedule_host_failures(&mut w, h, fast, horizon, &mut rng_a);
+        schedule_host_failures(&mut w, h, slow, horizon, &mut rng_b);
+        w.run_until(horizon + SimDuration::from_secs(120));
+        // Every schedule ends with a recovery event, so after both
+        // horizons pass the host must be up and the queue drained.
+        assert!(w.topology().host(h).up, "host recovered after overlap");
+        assert_eq!(w.queue_depth(), 0, "no stragglers in the event queue");
+    }
 }

@@ -17,9 +17,13 @@
 //! * [`actor`] — the process model: SNIPE daemons, RC servers, file
 //!   servers and application tasks are all [`actor::Actor`]s;
 //! * [`fault`] — failure injection: host crash/repair processes, link
-//!   failures and network partitions.
+//!   failures and network partitions;
+//! * [`chaos`] — declarative, seed-driven fault plans: packet
+//!   corruption/duplication/reordering, gray links, flapping and
+//!   process restarts, replayable bit-for-bit from a plan seed.
 
 pub mod actor;
+pub mod chaos;
 pub mod fault;
 pub mod medium;
 pub mod topology;
@@ -27,6 +31,7 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, ActorId, Ctx, Event, TimerGate};
+pub use chaos::{ChaosBinding, ChaosOp, ChaosPlan, ChaosShape, PacketChaos};
 pub use medium::Medium;
 pub use topology::{Endpoint, HostCfg, Topology};
 pub use world::World;

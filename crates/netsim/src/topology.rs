@@ -68,6 +68,18 @@ pub struct Host {
     pub cpu_factor: f64,
 }
 
+/// Gray-link degradation: the segment stays up and lossless but slower
+/// — the failure mode timeout escalation handles worst (a dead link is
+/// detected fast; a link at 10% bandwidth and 5× latency looks alive
+/// forever). Injected by fault scripts via `World::set_gray`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GrayLevel {
+    /// Propagation latency multiplier (≥ 1.0 degrades).
+    pub latency_factor: f64,
+    /// Bandwidth multiplier in `(0, 1]` (< 1.0 degrades).
+    pub bandwidth_factor: f64,
+}
+
 /// A network segment.
 #[derive(Clone, Debug)]
 pub struct Network {
@@ -91,6 +103,8 @@ pub struct Network {
     /// Partition group: two hosts can only communicate over routable
     /// paths if their partition groups match (0 = default group).
     pub partition: u32,
+    /// Optional gray-link degradation injected by fault scripts.
+    pub gray: Option<GrayLevel>,
 }
 
 /// Host configuration passed to [`Topology::add_host`].
@@ -183,6 +197,7 @@ impl Topology {
             busy_until: SimTime::ZERO,
             loss_override: None,
             partition: 0,
+            gray: None,
         });
         id
     }
@@ -276,6 +291,25 @@ impl Topology {
         n.loss_override.unwrap_or(n.medium.loss)
     }
 
+    /// Effective bandwidth of a network (gray degradation applied).
+    pub fn effective_bandwidth(&self, net: NetId) -> u64 {
+        let n = self.net(net);
+        match n.gray {
+            Some(g) => ((n.medium.bandwidth_bps as f64 * g.bandwidth_factor) as u64).max(1),
+            None => n.medium.bandwidth_bps,
+        }
+    }
+
+    /// Effective propagation latency of a network (gray degradation
+    /// applied).
+    pub fn effective_latency(&self, net: NetId) -> snipe_util::time::SimDuration {
+        let n = self.net(net);
+        match n.gray {
+            Some(g) => n.medium.latency.mul_f64(g.latency_factor),
+            None => n.medium.latency,
+        }
+    }
+
     fn iface_usable(&self, host: HostId, net: NetId) -> bool {
         let h = self.host(host);
         h.up
@@ -331,8 +365,8 @@ impl Topology {
         PathInfo {
             via: [net, net],
             hops: 1,
-            bandwidth_bps: n.medium.bandwidth_bps,
-            latency: n.medium.latency,
+            bandwidth_bps: self.effective_bandwidth(net),
+            latency: self.effective_latency(net),
             loss: self.effective_loss(net),
             mtu: n.medium.mtu,
         }
@@ -348,8 +382,8 @@ impl Topology {
         PathInfo {
             via: [src_net, dst_net],
             hops: 2,
-            bandwidth_bps: a.medium.bandwidth_bps.min(b.medium.bandwidth_bps),
-            latency: a.medium.latency + b.medium.latency,
+            bandwidth_bps: self.effective_bandwidth(src_net).min(self.effective_bandwidth(dst_net)),
+            latency: self.effective_latency(src_net) + self.effective_latency(dst_net),
             loss: 1.0 - (1.0 - loss_a) * (1.0 - loss_b),
             mtu: a.medium.mtu.min(b.medium.mtu),
         }
@@ -482,5 +516,18 @@ mod tests {
         let (t, a, _b, _c, _e, _m) = two_net_world();
         assert_eq!(t.host_by_name("a"), Some(a));
         assert_eq!(t.host_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn gray_degrades_paths_without_loss() {
+        let (mut t, _a, _b, _c, eth, _atm) = two_net_world();
+        let clean = t.direct_path(eth);
+        t.net_mut(eth).gray = Some(GrayLevel { latency_factor: 4.0, bandwidth_factor: 0.25 });
+        let gray = t.direct_path(eth);
+        assert_eq!(gray.bandwidth_bps, clean.bandwidth_bps / 4);
+        assert_eq!(gray.latency, clean.latency * 4);
+        assert_eq!(gray.loss, clean.loss, "gray links degrade, they do not drop");
+        t.net_mut(eth).gray = None;
+        assert_eq!(t.direct_path(eth), clean);
     }
 }

@@ -58,6 +58,19 @@ pub struct EngineStats {
     pub peak_queue_depth: u64,
 }
 
+/// Per-packet fault injections performed by the chaos layer. Corrupted
+/// and duplicated packets are still *delivered* (the wire layer's
+/// checksums and dedup must cope), so none of these count as drops.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Payloads with flipped bytes.
+    pub corrupted: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Deliveries given extra reordering jitter.
+    pub reordered: u64,
+}
+
 /// Aggregate statistics kept by the world.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -69,6 +82,8 @@ pub struct NetStats {
     pub events: u64,
     /// Engine internals (queue tiers, route cache, queue depth).
     pub engine: EngineStats,
+    /// Per-packet chaos injections (zero unless chaos is enabled).
+    pub chaos: ChaosStats,
     drops: [u64; DropReason::COUNT],
     bytes_by_net: Vec<u64>,
 }

@@ -30,7 +30,8 @@ use snipe_util::rng::Xoshiro256;
 use snipe_util::time::{SimDuration, SimTime};
 
 use crate::actor::{Actor, ActorId, Ctx, Event};
-use crate::topology::{Endpoint, PathInfo, Topology};
+use crate::chaos::PacketChaos;
+use crate::topology::{Endpoint, GrayLevel, PathInfo, Topology};
 use crate::trace::{DropReason, NetStats};
 
 /// First ephemeral port handed out by [`World::alloc_port`].
@@ -185,6 +186,13 @@ pub struct World {
     route_cache: RouteCache,
     route_epoch: u64,
     route_cache_enabled: bool,
+    /// Per-packet chaos injection (corruption/duplication/reorder),
+    /// None when chaos is off (the common case — one branch per send).
+    chaos: Option<PacketChaos>,
+    /// Chaos draws come from their own stream so a chaos plan never
+    /// perturbs the workload's RNG: a failing run replays bit-for-bit
+    /// from `(plan seed, workload seed)` independently.
+    chaos_rng: Xoshiro256,
 }
 
 impl World {
@@ -213,6 +221,8 @@ impl World {
             route_cache: RouteCache::default(),
             route_epoch,
             route_cache_enabled: true,
+            chaos: None,
+            chaos_rng: Xoshiro256::seed_from_u64(0),
         }
     }
 
@@ -238,6 +248,14 @@ impl World {
     /// Aggregate delivery statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Total events pending across all three queue tiers. Invariant
+    /// oracles use this to assert the engine quiesces after a run.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+            + self.now_queue.len()
+            + self.streams.iter().map(|s| s.queue.len()).sum::<usize>()
     }
 
     /// The world RNG (actors reach it through [`Ctx::rng`]).
@@ -497,30 +515,75 @@ impl World {
         }
     }
 
-    /// Take a network segment down/up.
+    /// Take a network segment down/up. A no-op mutation (already in the
+    /// requested state) leaves the topology epoch alone, so it does not
+    /// needlessly invalidate the route cache.
     pub fn set_net_up(&mut self, n: NetId, up: bool) {
-        self.topo.net_mut(n).up = up;
+        let net = self.topo.net_mut(n);
+        if net.up == up {
+            return;
+        }
+        net.up = up;
         self.topo.bump_epoch();
     }
 
-    /// Take one host's interface on `n` down/up.
-    pub fn set_iface_up(&mut self, h: HostId, n: NetId, up: bool) {
-        if let Some(i) = self.topo.host_mut(h).interfaces.iter_mut().find(|i| i.net == n) {
-            i.up = up;
-            self.topo.bump_epoch();
+    /// Take one host's interface on `n` down/up. Returns `false` if the
+    /// host has no interface on that network (previously a silent
+    /// no-op); unchanged state is acknowledged with `true` but does not
+    /// bump the topology epoch.
+    pub fn set_iface_up(&mut self, h: HostId, n: NetId, up: bool) -> bool {
+        match self.topo.host_mut(h).interfaces.iter_mut().find(|i| i.net == n) {
+            Some(i) if i.up == up => true,
+            Some(i) => {
+                i.up = up;
+                self.topo.bump_epoch();
+                true
+            }
+            None => false,
         }
     }
 
     /// Override the loss rate of a network (None restores the medium).
+    /// Idempotent: re-setting the current override does not bump the
+    /// topology epoch.
     pub fn set_net_loss(&mut self, n: NetId, loss: Option<f64>) {
-        self.topo.net_mut(n).loss_override = loss;
+        let net = self.topo.net_mut(n);
+        if net.loss_override == loss {
+            return;
+        }
+        net.loss_override = loss;
         self.topo.bump_epoch();
     }
 
-    /// Put a network segment in a partition group.
+    /// Put a network segment in a partition group. Idempotent: joining
+    /// the current group does not bump the topology epoch.
     pub fn set_partition(&mut self, n: NetId, group: u32) {
-        self.topo.net_mut(n).partition = group;
+        let net = self.topo.net_mut(n);
+        if net.partition == group {
+            return;
+        }
+        net.partition = group;
         self.topo.bump_epoch();
+    }
+
+    /// Degrade a network into a gray link (None restores the medium).
+    /// Idempotent like the other fault APIs.
+    pub fn set_gray(&mut self, n: NetId, gray: Option<GrayLevel>) {
+        let net = self.topo.net_mut(n);
+        if net.gray == gray {
+            return;
+        }
+        net.gray = gray;
+        self.topo.bump_epoch();
+    }
+
+    /// Install (or clear) per-packet chaos injection. The chaos RNG is
+    /// reseeded on every call, so the injection pattern depends only on
+    /// `(seed, traffic)` — never on how long a previous chaos window
+    /// ran.
+    pub fn set_packet_chaos(&mut self, chaos: Option<PacketChaos>, seed: u64) {
+        self.chaos = chaos;
+        self.chaos_rng = Xoshiro256::seed_from_u64(seed);
     }
 
     fn endpoints_on(&self, h: HostId) -> Vec<Endpoint> {
@@ -571,10 +634,13 @@ impl World {
             }
             return None;
         }
-        // Fastest common network first.
+        // Fastest common network first, by *effective* speed: a grayed
+        // segment can lose the preference to a healthy slower one.
         if let Some(best) = self.topo.common_networks_iter(from, to).max_by_key(|&n| {
-            let m = &self.topo.net(n).medium;
-            (m.bandwidth_bps, std::cmp::Reverse(m.latency.as_nanos()))
+            (
+                self.topo.effective_bandwidth(n),
+                std::cmp::Reverse(self.topo.effective_latency(n).as_nanos()),
+            )
         }) {
             return Some(self.topo.direct_path(best));
         }
@@ -669,7 +735,56 @@ impl World {
             self.stats.add_bytes(n, payload.len() as u64);
         }
         let at = finish + path.latency;
-        self.push_delivery(at, Queued::Deliver { from, to, payload }, channel, path.latency);
+        if self.chaos.is_some() {
+            self.chaos_deliver(at, from, to, payload, channel, path.latency);
+        } else {
+            self.push_delivery(at, Queued::Deliver { from, to, payload }, channel, path.latency);
+        }
+    }
+
+    /// Deliver one packet under per-packet chaos: maybe corrupt the
+    /// payload, maybe inject a duplicate, maybe jitter the arrival.
+    /// Jittered copies go through the heap, not the delivery streams —
+    /// their arrival times are not monotone per channel, which is the
+    /// invariant the streams rely on.
+    fn chaos_deliver(
+        &mut self,
+        at: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        payload: Bytes,
+        channel: TxChannel,
+        latency: SimDuration,
+    ) {
+        let fx = self.chaos.expect("chaos_deliver called without chaos");
+        let mut payload = payload;
+        if fx.corrupt > 0.0 && !payload.is_empty() && self.chaos_rng.gen_bool(fx.corrupt) {
+            let mut bytes = payload.to_vec();
+            let flips = self.chaos_rng.gen_range_inclusive(1, 3);
+            for _ in 0..flips {
+                let i = self.chaos_rng.gen_range(bytes.len() as u64) as usize;
+                let bit = self.chaos_rng.gen_range(8) as u8;
+                bytes[i] ^= 1 << bit;
+            }
+            payload = Bytes::from(bytes);
+            self.stats.chaos.corrupted += 1;
+        }
+        if fx.duplicate > 0.0 && self.chaos_rng.gen_bool(fx.duplicate) {
+            let dup_at = at + self.jitter_draw(fx.jitter);
+            self.push(dup_at, Queued::Deliver { from, to, payload: payload.clone() });
+            self.stats.chaos.duplicated += 1;
+        }
+        if fx.reorder > 0.0 && self.chaos_rng.gen_bool(fx.reorder) {
+            let late_at = at + self.jitter_draw(fx.jitter);
+            self.push(late_at, Queued::Deliver { from, to, payload });
+            self.stats.chaos.reordered += 1;
+            return;
+        }
+        self.push_delivery(at, Queued::Deliver { from, to, payload }, channel, latency);
+    }
+
+    fn jitter_draw(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(1 + self.chaos_rng.gen_range(max.as_nanos().max(1)))
     }
 
     fn dispatch_to(&mut self, ep: Endpoint, event: Event) {
@@ -1295,6 +1410,195 @@ mod more_tests {
         assert!(e.now_pops >= 3, "Start signals should use the now-queue: {e:?}");
         assert!(e.stream_pops >= 2, "shared-bus deliveries should stream: {e:?}");
         assert!(e.peak_queue_depth >= 2);
+    }
+
+    #[test]
+    fn fault_apis_are_idempotence_aware() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let atm = t.add_network("atm", Medium::atm155(), false);
+        let a = t.add_host(HostCfg::named("a"));
+        t.attach(a, eth);
+        let mut w = World::new(t, 1);
+        let epoch = |w: &World| w.topology().epoch();
+
+        // No-op mutations leave the epoch (and thus the route cache)
+        // alone; real mutations bump it.
+        let e0 = epoch(&w);
+        w.set_net_up(eth, true);
+        w.set_net_loss(eth, None);
+        w.set_partition(eth, 0);
+        w.set_gray(eth, None);
+        assert!(w.set_iface_up(a, eth, true));
+        assert_eq!(epoch(&w), e0, "unchanged state must not invalidate routes");
+
+        w.set_net_up(eth, false);
+        assert_eq!(epoch(&w), e0 + 1);
+        w.set_net_up(eth, false); // repeat: no bump
+        assert_eq!(epoch(&w), e0 + 1);
+        w.set_net_up(eth, true);
+        w.set_net_loss(eth, Some(0.1));
+        w.set_net_loss(eth, Some(0.1));
+        w.set_partition(eth, 2);
+        w.set_partition(eth, 2);
+        w.set_gray(eth, Some(GrayLevel { latency_factor: 2.0, bandwidth_factor: 0.5 }));
+        w.set_gray(eth, Some(GrayLevel { latency_factor: 2.0, bandwidth_factor: 0.5 }));
+        assert!(w.set_iface_up(a, eth, false));
+        assert!(w.set_iface_up(a, eth, false));
+        assert_eq!(epoch(&w), e0 + 6, "one bump per actual state change");
+
+        // Missing interface is surfaced, not silently ignored, and
+        // does not touch the epoch.
+        let e1 = epoch(&w);
+        assert!(!w.set_iface_up(a, atm, false), "host a has no ATM interface");
+        assert_eq!(epoch(&w), e1);
+    }
+
+    #[test]
+    fn chaos_corruption_still_delivers_and_counts() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        let mut w = World::new(t, 1);
+        w.set_packet_chaos(
+            Some(crate::chaos::PacketChaos {
+                corrupt: 1.0,
+                duplicate: 0.0,
+                reorder: 0.0,
+                jitter: SimDuration::from_millis(1),
+            }),
+            99,
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone() }));
+        w.spawn(a, 6, Box::new(Sender { to: Endpoint::new(b, 5), size: 100 }));
+        w.run_until_idle(100);
+        // Corruption is not a drop: the mangled payload arrives.
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(w.stats().chaos.corrupted, 1);
+        assert_eq!(w.stats().total_drops(), 0);
+    }
+
+    #[test]
+    fn chaos_duplication_delivers_extra_copies() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        let mut w = World::new(t, 1);
+        w.set_packet_chaos(
+            Some(crate::chaos::PacketChaos {
+                corrupt: 0.0,
+                duplicate: 1.0,
+                reorder: 0.0,
+                jitter: SimDuration::from_millis(2),
+            }),
+            7,
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone() }));
+        for p in 0..4 {
+            w.spawn(a, 10 + p, Box::new(Sender { to: Endpoint::new(b, 5), size: 64 }));
+        }
+        w.run_until_idle(1000);
+        assert_eq!(log.borrow().len(), 8, "every packet arrives twice");
+        assert_eq!(w.stats().chaos.duplicated, 4);
+    }
+
+    #[test]
+    fn chaos_reorder_keeps_every_packet() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        t.attach(a, eth);
+        t.attach(b, eth);
+        let mut w = World::new(t, 1);
+        w.set_packet_chaos(
+            Some(crate::chaos::PacketChaos {
+                corrupt: 0.0,
+                duplicate: 0.0,
+                reorder: 1.0,
+                jitter: SimDuration::from_millis(10),
+            }),
+            7,
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(b, 5, Box::new(Recorder { log: log.clone() }));
+        for p in 0..8 {
+            w.spawn(a, 10 + p, Box::new(Sender { to: Endpoint::new(b, 5), size: 64 }));
+        }
+        w.run_until_idle(1000);
+        assert_eq!(log.borrow().len(), 8, "reordering never loses packets");
+        assert_eq!(w.stats().chaos.reordered, 8);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_does_not_perturb_workload_rng() {
+        let run = |chaos: bool| -> (u64, u64, u64) {
+            let mut t = Topology::new();
+            let n = t.add_network("lossy", Medium::wan_lossy(0.2), true);
+            let a = t.add_host(HostCfg::named("a"));
+            let b = t.add_host(HostCfg::named("b"));
+            t.attach(a, n);
+            t.attach(b, n);
+            let mut w = World::new(t, 42);
+            if chaos {
+                w.set_packet_chaos(
+                    Some(crate::chaos::PacketChaos {
+                        corrupt: 1.0,
+                        duplicate: 0.0,
+                        reorder: 0.0,
+                        jitter: SimDuration::from_millis(1),
+                    }),
+                    5,
+                );
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            w.spawn(b, 5, Box::new(Recorder { log }));
+            for p in 0..50 {
+                w.spawn(a, 10 + p, Box::new(Sender { to: Endpoint::new(b, 5), size: 100 }));
+            }
+            w.run_until_idle(10_000);
+            (w.stats().delivered, w.stats().total_drops(), w.stats().chaos.corrupted)
+        };
+        // Chaos draws come from a separate stream: the workload's loss
+        // pattern (world RNG) is identical with chaos on or off, and
+        // corruption never drops a packet.
+        let plain = run(false);
+        let chaotic = run(true);
+        assert_eq!(plain.0, chaotic.0, "same deliveries");
+        assert_eq!(plain.1, chaotic.1, "same loss pattern");
+        assert_eq!(plain.2, 0);
+        assert_eq!(chaotic.2, chaotic.0, "every delivered packet was corrupted");
+        // And the chaotic run itself replays exactly.
+        assert_eq!(run(true), chaotic);
+    }
+
+    #[test]
+    fn gray_link_loses_route_preference() {
+        let mut t = Topology::new();
+        let eth = t.add_network("eth", Medium::ethernet100(), true);
+        let atm = t.add_network("atm", Medium::atm155(), false);
+        let a = t.add_host(HostCfg::named("a"));
+        let b = t.add_host(HostCfg::named("b"));
+        for h in [a, b] {
+            t.attach(h, eth);
+            t.attach(h, atm);
+        }
+        let mut w = World::new(t, 1);
+        // ATM is normally preferred (155 > 100 Mbit)...
+        assert_eq!(w.route(a, b, None).unwrap().first_net(), atm);
+        // ...but grayed down to 10% bandwidth it loses to Ethernet.
+        w.set_gray(atm, Some(GrayLevel { latency_factor: 5.0, bandwidth_factor: 0.1 }));
+        assert_eq!(w.route(a, b, None).unwrap().first_net(), eth);
+        w.set_gray(atm, None);
+        assert_eq!(w.route(a, b, None).unwrap().first_net(), atm);
     }
 
     #[test]

@@ -306,7 +306,7 @@ impl Actor for PvmSlave {
                     }
                     PvmMsg::SlaveSpawn { req_id, tid, program, args, reply_to } => {
                         let sctx = SpawnCtx { args, proc_key: tid as u64 };
-                        let Some(actor) = self.registry.instantiate(&program, &sctx) else {
+                        let Some(Ok(actor)) = self.registry.instantiate(&program, &sctx) else {
                             let resp = PvmMsg::SpawnResp {
                                 req_id,
                                 ok: false,

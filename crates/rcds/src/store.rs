@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use snipe_util::codec::{decode_seq, encode_seq, Decoder, Encoder, WireDecode, WireEncode};
-use snipe_util::error::SnipeResult;
+use snipe_util::error::{SnipeError, SnipeResult};
 
 use crate::assertion::{Assertion, Stamp};
 use crate::uri::Uri;
@@ -211,6 +211,12 @@ pub fn encode_vector(enc: &mut Encoder, v: &VersionVector) {
 /// Decode a version vector.
 pub fn decode_vector(dec: &mut Decoder) -> SnipeResult<VersionVector> {
     let n = dec.get_u32()? as usize;
+    // Each entry is 16 encoded bytes; a count beyond the remaining
+    // payload is corrupt. Rejecting here keeps a hostile count from
+    // sizing the allocation.
+    if n > dec.remaining() / 16 {
+        return Err(SnipeError::Codec(format!("vector length {n} exceeds payload")));
+    }
     let mut v = VersionVector::with_capacity(n);
     for _ in 0..n {
         let k = dec.get_u64()?;

@@ -3,7 +3,11 @@
 //! Every datagram on a SNIPE wire carries a one-byte protocol
 //! discriminator followed by the protocol's own header and payload, so
 //! one port can speak several protocols (the daemons multiplex control,
-//! SRUDP and multicast relay traffic).
+//! SRUDP and multicast relay traffic). A trailing FNV-1a checksum over
+//! the tag and body catches payload corruption on the wire: a flipped
+//! bit anywhere in the datagram turns `open` into a codec error, which
+//! every receiver treats as a drop (and SRUDP/RSTREAM retransmit) —
+//! corrupt frames must never panic or be delivered.
 
 use bytes::Bytes;
 use snipe_util::codec::{Decoder, Encoder};
@@ -43,24 +47,53 @@ impl Proto {
     }
 }
 
+/// FNV-1a over the tag and body. 32 bits keeps the per-datagram
+/// overhead at 4 bytes while making an undetected flip a 1-in-4-billion
+/// event — plenty for a simulated wire whose corruption is injected,
+/// not thermal.
+fn checksum(tag: u8, body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    h = (h ^ tag as u32).wrapping_mul(0x01000193);
+    for &b in body {
+        h = (h ^ b as u32).wrapping_mul(0x01000193);
+    }
+    h
+}
+
 /// Wrap a protocol body in the envelope.
 pub fn seal(proto: Proto, body: Bytes) -> Bytes {
-    let mut enc = Encoder::with_capacity(body.len() + 1);
-    enc.put_u8(proto.tag());
+    let mut enc = Encoder::with_capacity(body.len() + ENVELOPE_OVERHEAD);
+    let tag = proto.tag();
+    enc.put_u8(tag);
     enc.put_raw(&body);
+    enc.put_u32(checksum(tag, &body));
     enc.finish()
 }
 
-/// Split an envelope into protocol and body.
+/// Split an envelope into protocol and body, verifying the checksum.
 pub fn open(datagram: Bytes) -> SnipeResult<(Proto, Bytes)> {
+    if datagram.len() < ENVELOPE_OVERHEAD {
+        return Err(SnipeError::Codec(format!(
+            "truncated envelope: {} bytes",
+            datagram.len()
+        )));
+    }
     let mut dec = Decoder::new(datagram);
-    let proto = Proto::from_tag(dec.get_u8()?)?;
-    let rest = dec.get_raw(dec.remaining())?;
-    Ok((proto, rest))
+    let tag = dec.get_u8()?;
+    let body = dec.get_raw(dec.remaining() - 4)?;
+    let want = dec.get_u32()?;
+    let got = checksum(tag, &body);
+    if want != got {
+        return Err(SnipeError::Codec(format!(
+            "frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    let proto = Proto::from_tag(tag)?;
+    Ok((proto, body))
 }
 
-/// Bytes of envelope overhead per datagram.
-pub const ENVELOPE_OVERHEAD: usize = 1;
+/// Bytes of envelope overhead per datagram (tag + checksum).
+pub const ENVELOPE_OVERHEAD: usize = 5;
 
 #[cfg(test)]
 mod tests {
@@ -84,12 +117,38 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        let err = open(Bytes::from_static(&[99, 1, 2])).unwrap_err();
+        // A well-checksummed frame with a bogus protocol tag.
+        let mut enc = Encoder::new();
+        enc.put_u8(99);
+        enc.put_raw(b"xy");
+        enc.put_u32(super::checksum(99, b"xy"));
+        let err = open(enc.finish()).unwrap_err();
         assert_eq!(err.kind(), "codec");
     }
 
     #[test]
     fn truncated_rejected() {
         assert!(open(Bytes::new()).is_err());
+        assert!(open(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let orig = seal(Proto::Srudp, Bytes::from_static(b"hello, wire"));
+        for i in 0..orig.len() {
+            for bit in 0..8 {
+                let mut flipped = orig.to_vec();
+                flipped[i] ^= 1 << bit;
+                let r = open(Bytes::from(flipped));
+                assert!(r.is_err(), "flip of byte {i} bit {bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_constant_is_accurate() {
+        let body = Bytes::from_static(b"abc");
+        let sealed = seal(Proto::Mcast, body.clone());
+        assert_eq!(sealed.len(), body.len() + ENVELOPE_OVERHEAD);
     }
 }

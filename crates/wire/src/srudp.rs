@@ -74,6 +74,12 @@ impl Default for SrudpConfig {
 const KIND_DATA: u8 = 1;
 const KIND_SACK: u8 = 2;
 
+/// Upper bound on fragments per message accepted from the wire. The
+/// fragment count in a DATA header sizes the reassembly buffer, so a
+/// corrupt/hostile value must not be allowed to drive allocation
+/// (2^16 × frag_size comfortably covers any real message).
+const MAX_FRAG_COUNT: u32 = 1 << 16;
+
 struct InFlight {
     sent_at: SimTime,
     retries: u32,
@@ -413,6 +419,11 @@ impl Srudp {
         frag_count: u32,
         payload: Bytes,
     ) -> SnipeResult<()> {
+        if frag_count == 0 || frag_count > MAX_FRAG_COUNT {
+            return Err(SnipeError::Protocol(format!(
+                "unacceptable fragment count {frag_count}"
+            )));
+        }
         // Learn / refresh the peer's location from live traffic.
         self.locations.insert(src_key, from_ep);
         let ack_every = self.cfg.ack_every;
@@ -729,6 +740,14 @@ impl Srudp {
             for _ in 0..n_msgs {
                 let msg_id = d.get_u64()?;
                 let n_frags = d.get_u32()? as usize;
+                // Every fragment costs ≥ 1 encoded byte, so a count
+                // beyond the remaining payload is corrupt — reject it
+                // before it sizes any allocation.
+                if n_frags > d.remaining() {
+                    return Err(SnipeError::Codec(format!(
+                        "fragment count {n_frags} exceeds payload"
+                    )));
+                }
                 let mut frags = Vec::with_capacity(n_frags);
                 let mut acked = Vec::with_capacity(n_frags);
                 let mut acked_count = 0;
@@ -756,11 +775,21 @@ impl Srudp {
                 peer.held.insert(id, d.get_bytes()?);
             }
             let n_partials = d.get_u32()? as usize;
+            if n_partials > d.remaining() {
+                return Err(SnipeError::Codec(format!(
+                    "partial count {n_partials} exceeds payload"
+                )));
+            }
             let mut partials = Vec::with_capacity(n_partials);
             for _ in 0..n_partials {
                 let id = d.get_u64()?;
                 let count = d.get_u32()?;
                 let n = d.get_u32()? as usize;
+                if n > d.remaining() {
+                    return Err(SnipeError::Codec(format!(
+                        "partial fragment count {n} exceeds payload"
+                    )));
+                }
                 let mut frags = Vec::with_capacity(n);
                 for _ in 0..n {
                     frags.push(if d.get_bool()? { Some(d.get_bytes()?) } else { None });
@@ -1167,6 +1196,63 @@ mod tests {
         assert_eq!(got_b.len(), 1);
         assert!(got_b[0].is_empty());
     }
+
+    #[test]
+    fn timeout_bookkeeping_resets_on_peer_recovery() {
+        let cfg = SrudpConfig::default();
+        let a_ep = ep(0, 5);
+        let b_ep = ep(1, 5);
+        let mut a = Srudp::new(1, cfg.clone());
+        let mut b = Srudp::new(2, cfg.clone());
+        a.set_peer_endpoint(2, b_ep);
+        let mut now = SimTime::ZERO;
+        a.send_message(now, 2, Bytes::from(vec![9u8; 500]));
+        // Black-hole the peer: fire timers until escalation piles up.
+        let mut blackholed = 0u32;
+        while a.peer_timeouts(2) < 5 {
+            for o in a.drain() {
+                if matches!(o, Out::Send { .. }) {
+                    blackholed += 1;
+                }
+            }
+            now = now + SimDuration::from_millis(5000);
+            a.on_timer(now);
+        }
+        assert!(blackholed > 0);
+        assert!(a.peers.get(&2).expect("peer").backoff > 0, "backoff escalated");
+        // Peer comes back: shuttle traffic until delivery completes.
+        let (_, got_b, _) = shuttle(&mut a, &mut b, a_ep, b_ep, now, |_| false, 200);
+        assert_eq!(got_b.len(), 1, "message survives the outage");
+        let peer = a.peers.get(&2).expect("peer");
+        assert_eq!(peer.consecutive_timeouts, 0, "timeouts reset by SACK");
+        assert_eq!(peer.backoff, 0, "backoff reset by SACK");
+        assert_eq!(a.peer_timeouts(2), 0);
+    }
+
+    #[test]
+    fn rto_stays_clamped_through_repeated_escalation() {
+        let cfg = SrudpConfig::default();
+        let mut a = Srudp::new(1, cfg.clone());
+        a.set_peer_endpoint(2, ep(1, 5));
+        let mut now = SimTime::ZERO;
+        a.send_message(now, 2, Bytes::from(vec![9u8; 100]));
+        let _ = a.drain();
+        // 40 unanswered timer rounds: rto doubles each round but must
+        // never leave [rto_min, rto_max].
+        for _ in 0..40 {
+            now = now + SimDuration::from_millis(5000);
+            a.on_timer(now);
+            let _ = a.drain();
+            let rto = a.peers.get(&2).expect("peer").rto;
+            assert!(rto >= cfg.rto_min, "rto {rto} below floor");
+            assert!(rto <= cfg.rto_max, "rto {rto} above ceiling");
+        }
+        assert_eq!(
+            a.peers.get(&2).expect("peer").rto,
+            cfg.rto_max,
+            "escalation saturates at rto_max"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1258,4 +1344,50 @@ mod migration_tests {
     fn import_rejects_garbage() {
         assert!(Srudp::import_state(Bytes::from_static(b"junk"), SrudpConfig::default()).is_err());
     }
+
+    #[test]
+    fn hostile_frag_count_rejected_without_allocating() {
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        // Handcraft a DATA header claiming u32::MAX fragments; accepting
+        // it would size a multi-gigabyte reassembly buffer.
+        let mut e = Encoder::new();
+        e.put_u8(KIND_DATA);
+        e.put_u64(1); // src key
+        e.put_u64(0); // msg id
+        e.put_u32(0); // frag idx
+        e.put_u32(u32::MAX); // frag count
+        e.put_bytes(b"x");
+        let err = b.on_packet(SimTime::ZERO, ep(0, 5), e.finish()).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+        // Zero is equally corrupt (every message has ≥ 1 fragment).
+        let mut e = Encoder::new();
+        e.put_u8(KIND_DATA);
+        e.put_u64(1);
+        e.put_u64(0);
+        e.put_u32(0);
+        e.put_u32(0);
+        e.put_bytes(b"x");
+        assert!(b.on_packet(SimTime::ZERO, ep(0, 5), e.finish()).is_err());
+    }
+
+    #[test]
+    fn import_rejects_hostile_counts() {
+        // A checkpoint claiming a huge fragment vector but carrying no
+        // bytes must error out, not preallocate.
+        let mut e = Encoder::new();
+        e.put_u64(7); // my key
+        e.put_u32(1); // one peer
+        e.put_u64(3); // peer key
+        e.put_bool(false); // no location
+        e.put_u64(0); // next_msg_id
+        e.put_u32(1); // one queued message
+        e.put_u64(0); // msg id
+        e.put_u32(u32::MAX); // n_frags: hostile
+        let err = match Srudp::import_state(e.finish(), SrudpConfig::default()) {
+            Ok(_) => panic!("hostile checkpoint accepted"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), "codec");
+    }
+
 }

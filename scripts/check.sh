@@ -12,4 +12,8 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+# Bounded chaos smoke: a few seeded fault plans per workload plus the
+# planted-bug drill; exits nonzero on any oracle violation and writes
+# results/chaos.json for inspection.
+cargo run -q --release -p snipe-bench --bin harness -- chaos-smoke
 echo "check.sh: all gates green"

@@ -253,7 +253,9 @@ proptest! {
             match kind {
                 0 => if flag { w.host_up(h) } else { w.host_down(h) },
                 1 => w.set_net_up(n, flag),
-                2 => w.set_iface_up(h, n, flag),
+                2 => {
+                    let _ = w.set_iface_up(h, n, flag);
+                }
                 3 => w.set_net_loss(n, flag.then_some(0.5)),
                 4 => w.set_partition(n, u32::from(flag)),
                 _ => {} // query-only step: cache keeps serving old epoch
