@@ -27,10 +27,11 @@ use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::mcast::{majority, McastMember, McastMsg, McastRouter};
 use snipe_wire::ports;
+use snipe_wire::rstream::RstreamConfig;
 use snipe_wire::stack::StackConfig;
 use snipe_wire::Out;
 
-use crate::fig1::{SrudpReceiver, SrudpSender};
+use crate::fig1::{RstreamReceiver, RstreamSender, SrudpReceiver, SrudpSender};
 use crate::oracles;
 use crate::{e5_migration, par_map};
 
@@ -47,11 +48,14 @@ const RECOVERY_TAIL: SimDuration = SimDuration::from_secs(30);
 const MAX_RESIDUAL_EVENTS: usize = 512;
 const MAX_PEAK_DEPTH: u64 = 250_000;
 
-/// The four chaos workloads, one per experiment family.
+/// The five chaos workloads, one per experiment family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// E7-shape: dual-homed SRUDP bulk transfer with route pinning.
     SrudpTransfer,
+    /// Fig.1-shape: RSTREAM bulk transfer under host flaps and packet
+    /// chaos (exercises the stream driver's timer re-arm paths).
+    RstreamTransfer,
     /// E5-shape: process migration under a message stream.
     Migration,
     /// E3-shape: replicated metadata with crash/restart servers.
@@ -61,14 +65,20 @@ pub enum Workload {
 }
 
 /// Every workload, in soak order.
-pub const ALL_WORKLOADS: [Workload; 4] =
-    [Workload::SrudpTransfer, Workload::Migration, Workload::RcdsConverge, Workload::Mcast];
+pub const ALL_WORKLOADS: [Workload; 5] = [
+    Workload::SrudpTransfer,
+    Workload::RstreamTransfer,
+    Workload::Migration,
+    Workload::RcdsConverge,
+    Workload::Mcast,
+];
 
 impl Workload {
     /// Stable name used in replay lines and reports.
     pub fn name(&self) -> &'static str {
         match self {
             Workload::SrudpTransfer => "srudp-transfer",
+            Workload::RstreamTransfer => "rstream-transfer",
             Workload::Migration => "migration",
             Workload::RcdsConverge => "rcds-converge",
             Workload::Mcast => "mcast",
@@ -83,6 +93,19 @@ impl Workload {
                 hosts: 2,
                 nets: 2,
                 ifaces: 4,
+                procs: 0,
+                max_ops: 6,
+                jitter_max: SimDuration::from_millis(20),
+                ..ChaosShape::default()
+            },
+            // Single network (RSTREAM does not fail over routes); host
+            // and interface flaps plus packet chaos are in contract —
+            // the stream must resume once connectivity heals.
+            Workload::RstreamTransfer => ChaosShape {
+                horizon: SimDuration::from_secs(5),
+                hosts: 2,
+                nets: 1,
+                ifaces: 2,
                 procs: 0,
                 max_ops: 6,
                 jitter_max: SimDuration::from_millis(20),
@@ -113,10 +136,12 @@ impl Workload {
             // Multicast routers relay unreliably: only duplication,
             // reordering and gray degradation are within contract
             // (corruption/loss of every redundant copy may drop a
-            // message, which §5.4 does not promise to survive).
+            // message, which §5.4 does not promise to survive). The
+            // one host eligible for flapping is the *source* — it must
+            // resume its paced stream after recovery.
             Workload::Mcast => ChaosShape {
                 horizon: SimDuration::from_secs(3),
-                hosts: 0,
+                hosts: 1,
                 nets: 1,
                 ifaces: 0,
                 procs: 0,
@@ -135,6 +160,7 @@ impl Workload {
     pub fn run(&self, plan: &ChaosPlan, wseed: u64) -> Vec<String> {
         match self {
             Workload::SrudpTransfer => run_srudp_transfer(plan, wseed),
+            Workload::RstreamTransfer => run_rstream_transfer(plan, wseed),
             Workload::Migration => run_migration(plan, wseed, false),
             Workload::RcdsConverge => run_rcds_converge(plan, wseed),
             Workload::Mcast => run_mcast(plan, wseed),
@@ -243,6 +269,110 @@ fn run_srudp_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     }
     violations.extend(oracles::check_engine_bounded(
         "srudp-transfer",
+        &world,
+        MAX_RESIDUAL_EVENTS,
+        MAX_PEAK_DEPTH,
+    ));
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// W1b: RSTREAM bulk transfer (Fig.1 shape) under host flaps
+// ---------------------------------------------------------------------------
+
+fn run_rstream_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
+    // ~2.7s at Ethernet rate against the 5s fault horizon.
+    let total: usize = 32 << 20;
+    let mut topo = Topology::new();
+    let net = topo.add_network("eth", Medium::ethernet100(), true);
+    let a = topo.add_host(HostCfg::named("a"));
+    let b = topo.add_host(HostCfg::named("b"));
+    for h in [a, b] {
+        topo.attach(h, net);
+    }
+    let mut world = World::new(topo, wseed);
+    let received = Rc::new(RefCell::new(0usize));
+    let done_at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    // Faults may sever connectivity for most of the 5s horizon; widen
+    // the abort budget so the stream outlives them and resumes.
+    let mut rcfg = RstreamConfig::default();
+    rcfg.max_timeouts = 100;
+    world.spawn(
+        b,
+        20,
+        Box::new(RstreamReceiver {
+            stack: None,
+            cfg: rcfg.clone(),
+            received: received.clone(),
+            done_at: done_at.clone(),
+            expect: total,
+            gate: TimerGate::new(),
+        }),
+    );
+    world.spawn(
+        a,
+        20,
+        Box::new(RstreamSender {
+            stack: None,
+            cfg: rcfg,
+            conn: 0,
+            peer: Endpoint::new(b, 20),
+            msg_size: 16 * 1024,
+            remaining: total,
+            inflight_cap: 64 * 1400,
+            gate: TimerGate::new(),
+        }),
+    );
+    let binding = ChaosBinding {
+        hosts: vec![a, b],
+        nets: vec![net],
+        ifaces: vec![(a, net), (b, net)],
+        procs: vec![],
+    };
+    plan.apply(&mut world, &binding);
+
+    let mut violations = Vec::new();
+    let deadline = plan.quiesce_at() + RECOVERY_TAIL;
+    let step = SimDuration::from_millis(250);
+    let mut last = 0usize;
+    let mut stall = SimDuration::from_nanos(0);
+    loop {
+        world.run_for(step);
+        if done_at.borrow().is_some() {
+            break;
+        }
+        let got = *received.borrow();
+        if got > last {
+            last = got;
+            stall = SimDuration::from_nanos(0);
+        } else if world.topology().reachable(a, b) {
+            stall = stall + step;
+            if stall >= STALL_LIMIT {
+                violations.push(format!(
+                    "rstream-transfer: no progress for {:.1}s of virtual time with a live \
+                     path ({last} of {total} bytes)",
+                    stall.as_secs_f64()
+                ));
+                break;
+            }
+        }
+        if world.now() >= deadline {
+            violations.push(format!(
+                "rstream-transfer: transfer incomplete at quiesce+{}s ({} of {total} bytes)",
+                RECOVERY_TAIL.as_secs_f64(),
+                *received.borrow()
+            ));
+            break;
+        }
+    }
+    let got = *received.borrow();
+    if done_at.borrow().is_some() && got != total {
+        violations.push(format!(
+            "rstream-transfer: exactly-once violated — {got} bytes delivered for {total} sent"
+        ));
+    }
+    violations.extend(oracles::check_engine_bounded(
+        "rstream-transfer",
         &world,
         MAX_RESIDUAL_EVENTS,
         MAX_PEAK_DEPTH,
@@ -569,7 +699,8 @@ struct ChaosMcastSender {
 impl Actor for ChaosMcastSender {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         match event {
-            Event::Start | Event::Timer { .. } => {
+            // HostUp: a flap swallows the pacing timer; restart it.
+            Event::Start | Event::Timer { .. } | Event::HostUp => {
                 if self.seq as u32 >= self.total {
                     return;
                 }
@@ -620,10 +751,13 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     // 2s of stream against the 3s fault horizon.
     let total = 400u32;
     // Multicast relays are fire-and-forget: of the net-level ops only
-    // gray degradation (no loss) is within the §5.4 contract, so the
-    // plan is deterministically narrowed to it before applying.
+    // gray degradation (no loss) is within the §5.4 contract. Host
+    // flaps are kept too — the binding exposes only the source host,
+    // whose paced stream must survive a flap. The plan is
+    // deterministically narrowed before applying.
     let mut plan = plan.clone();
-    plan.ops.retain(|o| matches!(o, ChaosOp::Gray { .. }));
+    plan.ops
+        .retain(|o| matches!(o, ChaosOp::Gray { .. } | ChaosOp::HostFlap { .. }));
 
     let mut topo = Topology::new();
     let net = topo.add_network("eth", Medium::ethernet100(), true);
@@ -677,7 +811,10 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
             interval: SimDuration::from_millis(5),
         }),
     );
-    plan.apply(&mut world, &ChaosBinding { nets: vec![net], ..ChaosBinding::default() });
+    plan.apply(
+        &mut world,
+        &ChaosBinding { hosts: vec![sender_host], nets: vec![net], ..ChaosBinding::default() },
+    );
 
     let stream_end = SimTime::ZERO + SimDuration::from_millis(5) * (total as u64 + 2);
     let deadline = plan.quiesce_at().max(stream_end) + RECOVERY_TAIL;
@@ -840,12 +977,25 @@ pub const REGRESSION_CORPUS: &[(Workload, u64, u64)] = &[
     (Workload::SrudpTransfer, 0xC0FF_EE01, 0x5EED + 1),
     (Workload::SrudpTransfer, 0xC0FF_EE0A, 0x5EED + 10),
     (Workload::SrudpTransfer, 0xC0FF_EE0D, 0x5EED + 13),
+    (Workload::RstreamTransfer, 0xC0FF_EE00, 0x5EED),
+    // These wedged in the RTO death crawl: a receiver-side flap loses a
+    // whole window, and without NewReno partial-ACK recovery the stream
+    // refills the hole at one segment per fully-escalated RTO (~4s per
+    // 1400 bytes). Also covers the driver's HostUp timer re-arm and SYN
+    // retransmission (a connect whose SYN is lost used to wedge forever).
+    (Workload::RstreamTransfer, 0xC0FF_EE02, 0x5EED + 2),
+    (Workload::RstreamTransfer, 0xC0FF_EE04, 0x5EED + 4),
+    (Workload::RstreamTransfer, 0xC0FF_EE07, 0x5EED + 7),
     (Workload::Migration, 0xC0FF_EE00, 0x5EED),
     (Workload::Migration, 0xC0FF_EE03, 0x5EED + 3),
     (Workload::RcdsConverge, 0xC0FF_EE00, 0x5EED),
     (Workload::RcdsConverge, 0xC0FF_EE05, 0x5EED + 5),
     (Workload::Mcast, 0xC0FF_EE00, 0x5EED),
+    // Both plans flap the multicast source host mid-stream: without the
+    // `Event::HostUp` re-arm the pacing timer is swallowed and the
+    // stream never resumes.
     (Workload::Mcast, 0xC0FF_EE01, 0x5EED + 1),
+    (Workload::Mcast, 0xC0FF_EE06, 0x5EED + 6),
 ];
 
 #[cfg(test)]

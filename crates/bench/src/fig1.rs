@@ -19,7 +19,7 @@ use snipe_netsim::world::World;
 use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::mcast::{McastMsg, McastRouter};
-use snipe_wire::rstream::{Rstream, RstreamConfig};
+use snipe_wire::rstream::RstreamConfig;
 use snipe_wire::stack::{endpoint_key, StackConfig, WireStack};
 use snipe_wire::Out;
 
@@ -220,36 +220,33 @@ impl Actor for SrudpReceiver {
 // RSTREAM driver
 // ---------------------------------------------------------------------------
 
-struct RstreamSender {
-    ep: Option<Rstream>,
-    conn: u64,
-    peer: Endpoint,
-    msg_size: usize,
-    remaining: usize,
-    inflight_cap: usize,
-    gate: TimerGate,
+pub(crate) struct RstreamSender {
+    pub(crate) stack: Option<WireStack>,
+    pub(crate) cfg: RstreamConfig,
+    pub(crate) conn: u64,
+    pub(crate) peer: Endpoint,
+    pub(crate) msg_size: usize,
+    pub(crate) remaining: usize,
+    pub(crate) inflight_cap: usize,
+    pub(crate) gate: TimerGate,
 }
 
 impl RstreamSender {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let Some(rs) = self.ep.as_mut() else { return };
-        while self.remaining > 0 && rs.unacked_bytes(self.conn) < self.inflight_cap {
-            let size = self.msg_size.min(self.remaining);
-            if rs.send_message(now, self.conn, &vec![0xCD; size]).is_err() {
-                break;
-            }
-            self.remaining -= size;
-        }
-        for o in rs.drain() {
-            if let Out::Send { to, bytes, .. } = o {
-                ctx.send(to, seal(Proto::Rstream, bytes));
+        let Some(stack) = self.stack.as_mut() else { return };
+        {
+            let rs = stack.rstream_mut().expect("RSTREAM driver registered");
+            while self.remaining > 0 && rs.unacked_bytes(self.conn) < self.inflight_cap {
+                let size = self.msg_size.min(self.remaining);
+                if rs.send_message(now, self.conn, &vec![0xCD; size]).is_err() {
+                    break;
+                }
+                self.remaining -= size;
             }
         }
-        let deadline = rs.next_deadline();
-        if let Some(dl) = deadline {
-            self.gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
-        }
+        let mut sink = 0;
+        flush_wire(stack, &mut self.gate, ctx, &mut sink);
     }
 }
 
@@ -257,24 +254,32 @@ impl Actor for RstreamSender {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         match event {
             Event::Start => {
-                let mut rs = Rstream::new(RstreamConfig::default(), 1);
-                self.conn = rs.connect(ctx.now(), self.peer);
-                self.ep = Some(rs);
+                let me = ctx.me();
+                let cfg = StackConfig {
+                    rstream: Some(self.cfg.clone()),
+                    ..StackConfig::default()
+                };
+                let mut stack = WireStack::new(endpoint_key(me), cfg);
+                self.conn = stack
+                    .rstream_mut()
+                    .expect("RSTREAM driver registered")
+                    .connect(ctx.now(), self.peer);
+                self.stack = Some(stack);
                 self.pump(ctx);
             }
-            Event::Timer { token: TIMER_STACK } => {
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                // See SrudpSender: re-drive after a flap swallowed timers.
                 self.gate.fired();
                 let now = ctx.now();
-                if let Some(rs) = self.ep.as_mut() {
-                    rs.on_timer(now);
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
                 }
                 self.pump(ctx);
             }
             Event::Packet { from, payload } => {
-                let Ok((Proto::Rstream, body)) = open(payload) else { return };
                 let now = ctx.now();
-                if let Some(rs) = self.ep.as_mut() {
-                    let _ = rs.on_packet(now, from, body);
+                if let Some(s) = self.stack.as_mut() {
+                    let _ = s.on_datagram(now, from, payload);
                 }
                 self.pump(ctx);
             }
@@ -283,31 +288,57 @@ impl Actor for RstreamSender {
     }
 }
 
-struct RstreamReceiver {
-    ep: Rstream,
-    received: Rc<RefCell<usize>>,
-    done_at: Rc<RefCell<Option<SimTime>>>,
-    expect: usize,
+pub(crate) struct RstreamReceiver {
+    pub(crate) stack: Option<WireStack>,
+    pub(crate) cfg: RstreamConfig,
+    pub(crate) received: Rc<RefCell<usize>>,
+    pub(crate) done_at: Rc<RefCell<Option<SimTime>>>,
+    pub(crate) expect: usize,
+    pub(crate) gate: TimerGate,
+}
+
+impl RstreamReceiver {
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stack) = self.stack.as_mut() else { return };
+        let mut got = 0;
+        flush_wire(stack, &mut self.gate, ctx, &mut got);
+        if got > 0 {
+            let mut r = self.received.borrow_mut();
+            *r += got;
+            if *r >= self.expect && self.done_at.borrow().is_none() {
+                *self.done_at.borrow_mut() = Some(ctx.now());
+            }
+        }
+    }
 }
 
 impl Actor for RstreamReceiver {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
-        if let Event::Packet { from, payload } = event {
-            let Ok((Proto::Rstream, body)) = open(payload) else { return };
-            let _ = self.ep.on_packet(ctx.now(), from, body);
-            for o in self.ep.drain() {
-                match o {
-                    Out::Send { to, bytes, .. } => ctx.send(to, seal(Proto::Rstream, bytes)),
-                    Out::Deliver { msg, .. } => {
-                        let mut r = self.received.borrow_mut();
-                        *r += msg.len();
-                        if *r >= self.expect && self.done_at.borrow().is_none() {
-                            *self.done_at.borrow_mut() = Some(ctx.now());
-                        }
-                    }
-                    Out::Wake { .. } => {}
-                }
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                let cfg = StackConfig {
+                    rstream: Some(self.cfg.clone()),
+                    ..StackConfig::default()
+                };
+                self.stack = Some(WireStack::new(endpoint_key(me), cfg));
             }
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    let _ = s.on_datagram(now, from, payload);
+                }
+                self.drain(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                }
+                self.drain(ctx);
+            }
+            _ => {}
         }
     }
 }
@@ -328,7 +359,8 @@ struct McastSource {
 impl Actor for McastSource {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         match event {
-            Event::Start | Event::Timer { .. } => {
+            // HostUp: a flap swallows the pacing timer; restart it.
+            Event::Start | Event::Timer { .. } | Event::HostUp => {
                 for _ in 0..self.burst {
                     if self.remaining == 0 {
                         return;
@@ -372,22 +404,68 @@ impl Actor for McastRouterHost {
     }
 }
 
-struct McastMember {
+struct McastMemberHost {
+    stack: Option<WireStack>,
     received: Rc<RefCell<usize>>,
     done_at: Rc<RefCell<Option<SimTime>>>,
     expect: usize,
+    gate: TimerGate,
 }
 
-impl Actor for McastMember {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
-        if let Event::Packet { payload, .. } = event {
-            let Ok((Proto::Mcast, body)) = open(payload) else { return };
-            let Ok(McastMsg::Data { payload, .. }) = McastMsg::decode(body) else { return };
-            let mut r = self.received.borrow_mut();
-            *r += payload.len();
-            if *r >= self.expect && self.done_at.borrow().is_none() {
-                *self.done_at.borrow_mut() = Some(ctx.now());
+impl McastMemberHost {
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stack) = self.stack.as_mut() else { return };
+        for o in stack.drain() {
+            match o {
+                Out::Send { to, via, bytes } => match via {
+                    Some(n) => ctx.send_via(to, bytes, n),
+                    None => ctx.send(to, bytes),
+                },
+                // Member deliveries carry the whole MCAST envelope;
+                // goodput counts only the application payload.
+                Out::Deliver { msg, .. } => {
+                    let Ok(McastMsg::Data { payload, .. }) = McastMsg::decode(msg) else {
+                        continue;
+                    };
+                    let mut r = self.received.borrow_mut();
+                    *r += payload.len();
+                    if *r >= self.expect && self.done_at.borrow().is_none() {
+                        *self.done_at.borrow_mut() = Some(ctx.now());
+                    }
+                }
+                Out::Wake { .. } => {}
             }
+        }
+        if let Some(dl) = stack.next_deadline() {
+            self.gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
+        }
+    }
+}
+
+impl Actor for McastMemberHost {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                let cfg = StackConfig { mcast_member: true, ..StackConfig::default() };
+                self.stack = Some(WireStack::new(endpoint_key(me), cfg));
+            }
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    let _ = s.on_datagram(now, from, payload);
+                }
+                self.drain(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                }
+                self.drain(ctx);
+            }
+            _ => {}
         }
     }
 }
@@ -458,17 +536,20 @@ pub fn measure(medium: Medium, protocol: Protocol, msg_size: usize) -> Option<Fi
                 b,
                 20,
                 Box::new(RstreamReceiver {
-                    ep: Rstream::new(RstreamConfig::default(), 2),
+                    stack: None,
+                    cfg: RstreamConfig::default(),
                     received: received.clone(),
                     done_at: done_at.clone(),
                     expect: total,
+                    gate: TimerGate::new(),
                 }),
             );
             world.spawn(
                 a,
                 20,
                 Box::new(RstreamSender {
-                    ep: None,
+                    stack: None,
+                    cfg: RstreamConfig::default(),
                     conn: 0,
                     peer: Endpoint::new(b, 20),
                     msg_size,
@@ -482,10 +563,12 @@ pub fn measure(medium: Medium, protocol: Protocol, msg_size: usize) -> Option<Fi
             world.spawn(
                 c,
                 20,
-                Box::new(McastMember {
+                Box::new(McastMemberHost {
+                    stack: None,
                     received: received.clone(),
                     done_at: done_at.clone(),
                     expect: total,
+                    gate: TimerGate::new(),
                 }),
             );
             let mut router = McastRouter::new();

@@ -172,7 +172,6 @@ pub struct ProcessActor {
     /// Peers with an in-flight location resolution.
     resolving: HashMap<u64, u32>,
     groups: HashMap<String, GroupState>,
-    member: snipe_wire::mcast::McastMember,
     spawn_pending: HashMap<u64, SpawnPending>,
     file_pending: HashMap<u64, FilePending>,
     next_req: u64,
@@ -180,6 +179,9 @@ pub struct ProcessActor {
 
     stack_gate: TimerGate,
     rc_gate: TimerGate,
+    /// Reused scratch for the peers-in-trouble scan (no steady-state
+    /// allocation on the stack timer path).
+    trouble_scratch: Vec<u64>,
     commands: Vec<Command>,
     next_ticket: u64,
     /// Process log, readable by tests and benches.
@@ -213,13 +215,13 @@ impl ProcessActor {
             rc_pending: HashMap::new(),
             resolving: HashMap::new(),
             groups: HashMap::new(),
-            member: snipe_wire::mcast::McastMember::new(),
             spawn_pending: HashMap::new(),
             file_pending: HashMap::new(),
             next_req: 1,
             hostname: String::new(),
             stack_gate: TimerGate::new(),
             rc_gate: TimerGate::new(),
+            trouble_scratch: Vec::new(),
             commands: Vec::new(),
             next_ticket: 1,
             log: Vec::new(),
@@ -280,6 +282,15 @@ impl ProcessActor {
 
     // ---- wire stack --------------------------------------------------------
 
+    /// The stack configuration for this process: the user's tuning plus
+    /// the member-side multicast driver every SNIPE process runs (group
+    /// dedup state then rides the stack's migration snapshot).
+    fn stack_config(&self) -> StackConfig {
+        let mut c = self.cfg.stack.clone();
+        c.mcast_member = true;
+        c
+    }
+
     fn flush_stack(&mut self, ctx: &mut Ctx<'_>) {
         let Some(stack) = self.stack.as_mut() else { return };
         let outs = stack.drain();
@@ -290,15 +301,21 @@ impl ProcessActor {
                     Some(n) => ctx.send_via(to, bytes, n),
                     None => ctx.send(to, bytes),
                 },
-                Out::Deliver { from_key, from_ep, msg } => delivered.push((from_key, from_ep, msg)),
+                Out::Deliver { proto, from_key, from_ep, msg } => {
+                    delivered.push((proto, from_key, from_ep, msg))
+                }
                 Out::Wake { .. } => {}
             }
         }
         if let Some(dl) = self.stack.as_ref().and_then(|s| s.next_deadline()) {
             self.stack_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
         }
-        for (from_key, from_ep, msg) in delivered {
-            self.on_reliable(ctx, from_key, from_ep, msg);
+        for (proto, from_key, from_ep, msg) in delivered {
+            match proto {
+                Proto::Srudp => self.on_reliable(ctx, from_key, from_ep, msg),
+                Proto::Mcast => self.on_group_deliver(ctx, msg),
+                _ => {}
+            }
         }
     }
 
@@ -559,11 +576,17 @@ impl ProcessActor {
             return;
         }
         let gid = g.gid;
-        let seq = self.member.next_seq(gid);
+        let key = self.proc_key;
+        // Sequence allocation and self-dedup live in the stack's member
+        // driver, the same state that suppresses the router echo of
+        // this very message.
+        let Some(member) = self.stack.as_mut().and_then(|s| s.mcast_member_mut()) else {
+            return;
+        };
+        let seq = member.next_seq(gid);
         // Deliver to ourselves exactly once, too (we are a member).
-        if self.member.accept(gid, self.proc_key, seq, payload.clone()).is_some() {
+        if member.accept(gid, key, seq, payload.clone()).is_some() {
             let n = name.to_string();
-            let key = self.proc_key;
             let pl = payload.clone();
             self.with_process(ctx, |p, api| p.on_group_message(api, &n, key, pl));
             self.run_commands(ctx);
@@ -590,8 +613,10 @@ impl ProcessActor {
         }
     }
 
-    fn on_mcast(&mut self, ctx: &mut Ctx<'_>, body: Bytes) {
-        let Ok(McastMsg::Data { group, origin, seq, payload, .. }) = McastMsg::decode(body) else {
+    /// A group message delivered by the stack's member driver (already
+    /// dedup'd across router legs); `body` is the encoded [`McastMsg`].
+    fn on_group_deliver(&mut self, ctx: &mut Ctx<'_>, body: Bytes) {
+        let Ok(McastMsg::Data { group, origin, payload, .. }) = McastMsg::decode(body) else {
             return;
         };
         let Some(name) = self
@@ -602,10 +627,8 @@ impl ProcessActor {
         else {
             return;
         };
-        if let Some(p) = self.member.accept(group, origin, seq, payload) {
-            self.with_process(ctx, |proc, api| proc.on_group_message(api, &name, origin, p));
-            self.run_commands(ctx);
-        }
+        self.with_process(ctx, |proc, api| proc.on_group_message(api, &name, origin, payload));
+        self.run_commands(ctx);
     }
 
     // ---- files -------------------------------------------------------------
@@ -1047,11 +1070,12 @@ impl ProcessActor {
         let now = ctx.now();
         let migrated = self.resume.is_some();
         if let Some(payload) = self.resume.take() {
+            let scfg = self.stack_config();
             let stack = if payload.stack_state.is_empty() {
-                WireStack::new(self.proc_key, self.cfg.stack.clone())
+                WireStack::new(self.proc_key, scfg)
             } else {
-                WireStack::import_state(payload.stack_state, self.cfg.stack.clone(), now)
-                    .unwrap_or_else(|_| WireStack::new(self.proc_key, self.cfg.stack.clone()))
+                WireStack::import_state(payload.stack_state, scfg.clone(), now)
+                    .unwrap_or_else(|_| WireStack::new(self.proc_key, scfg))
             };
             // No explicit "moved" broadcast is needed: the imported
             // stack immediately retransmits everything unacknowledged,
@@ -1082,7 +1106,7 @@ impl ProcessActor {
             }
             let _ = me;
         } else {
-            self.stack = Some(WireStack::new(self.proc_key, self.cfg.stack.clone()));
+            self.stack = Some(WireStack::new(self.proc_key, self.stack_config()));
             self.publish_location(ctx);
             self.with_process(ctx, |p, api| p.on_start(api));
             self.run_commands(ctx);
@@ -1133,17 +1157,16 @@ impl Actor for ProcessActor {
                         // (§5.6: "processes that do not notice its
                         // migration ... will find its new location via
                         // the RC servers").
-                        let in_trouble: Vec<u64> = self
-                            .stack
-                            .as_ref()
-                            .map(|s| s.peers_in_trouble(RELOOKUP_TIMEOUTS))
-                            .unwrap_or_default()
-                            .into_iter()
-                            .filter(|k| k & (1 << 63) == 0)
-                            .collect();
-                        for k in in_trouble {
+                        let mut scratch = std::mem::take(&mut self.trouble_scratch);
+                        scratch.clear();
+                        if let Some(s) = self.stack.as_ref() {
+                            s.peers_in_trouble_into(RELOOKUP_TIMEOUTS, &mut scratch);
+                        }
+                        scratch.retain(|k| k & (1 << 63) == 0);
+                        for &k in &scratch {
                             self.resolve_peer(ctx, k, None);
                         }
+                        self.trouble_scratch = scratch;
                     }
                     TIMER_GROUP => {
                         self.group_timer_armed = false;
@@ -1256,7 +1279,9 @@ impl Actor for ProcessActor {
                 };
                 match incoming {
                     None => {}
-                    Some(Incoming::Mcast { body, .. }) => self.on_mcast(ctx, body),
+                    // MCAST traffic is consumed by the stack's member
+                    // driver and arrives as tagged deliveries.
+                    Some(Incoming::Mcast { .. }) => {}
                     Some(Incoming::Stream { .. }) => {}
                     Some(Incoming::Raw { from, msg }) => {
                         if self.try_redirect_notice(ctx, &msg)

@@ -10,8 +10,8 @@
 //!   group listed as the communications URL. All data sent to the
 //!   pseudo-process will then be transmitted to each member of the
 //!   group." A pseudo-process is an RC entry whose `comm-group`
-//!   attribute names a multicast group; [`resolve_target`] teaches the
-//!   client library to fan such sends out.
+//!   attribute names a multicast group; [`pseudo_process_group`] teaches
+//!   the client library to fan such sends out.
 //!
 //! * **LIFN services** — "a LIFN can be created for that service, and
 //!   each of the service locations (URLs) associated with that LIFN.

@@ -92,7 +92,7 @@ impl FileServerActor {
                     Some(n) => ctx.send_via(to, bytes, n),
                     None => ctx.send(to, bytes),
                 },
-                Out::Deliver { from_key, from_ep, msg } => {
+                Out::Deliver { from_key, from_ep, msg, .. } => {
                     if let Ok(m) = FileMsg::decode_from_bytes(msg) {
                         delivered.push((from_key, from_ep, m));
                     }

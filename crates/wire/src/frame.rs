@@ -27,7 +27,9 @@ pub enum Proto {
 }
 
 impl Proto {
-    fn tag(self) -> u8 {
+    /// The one-byte wire discriminator (also used to tag per-driver
+    /// sections in stack snapshots).
+    pub(crate) fn tag(self) -> u8 {
         match self {
             Proto::Srudp => 1,
             Proto::Rstream => 2,
@@ -36,7 +38,7 @@ impl Proto {
         }
     }
 
-    fn from_tag(t: u8) -> SnipeResult<Proto> {
+    pub(crate) fn from_tag(t: u8) -> SnipeResult<Proto> {
         Ok(match t {
             1 => Proto::Srudp,
             2 => Proto::Rstream,

@@ -12,23 +12,29 @@
 //!   reliable group messaging per §5.4;
 //! * **fragmentation** ([`frag`]) and framing ([`frame`]);
 //! * **multiple communication paths** with transparent failover
-//!   ([`route`]): "the ability to switch routes/interfaces as links
+//!   ([`path`]): "the ability to switch routes/interfaces as links
 //!   failed without user applications intervention" (§6);
 //! * **system buffering** so "migrating or temporarily unavailable
 //!   tasks did not result in lost messages" ([`stack`]).
 //!
 //! All protocol logic is *sans-IO*: state machines consume
-//! `(now, packet)` and emit [`Out`] actions. [`stack::WireStack`] glues
-//! them together for embedding in a `snipe-netsim` actor.
+//! `(now, packet)` and emit [`Out`] actions. Every transport
+//! implements the [`driver::Driver`] trait, schedules deadlines on the
+//! shared [`timers::TimerWheel`], and is registered with
+//! [`stack::WireStack`] — a thin registry-plus-demux that seals
+//! envelopes, applies [`path::PathSelector`] routing, and glues the
+//! modules together for embedding in a `snipe-netsim` actor.
 
+pub mod driver;
 pub mod frag;
 pub mod frame;
 pub mod mcast;
+pub mod path;
 pub mod ports;
-pub mod route;
 pub mod rstream;
 pub mod srudp;
 pub mod stack;
+pub mod timers;
 
 use bytes::Bytes;
 use snipe_netsim::topology::Endpoint;
@@ -49,6 +55,10 @@ pub enum Out {
     },
     /// A complete application message arrived.
     Deliver {
+        /// The protocol module that produced this delivery; a stack
+        /// can run several drivers at once, and consumers dispatch on
+        /// this tag (SRUDP app messages vs multicast group traffic).
+        proto: frame::Proto,
         /// The stable node key of the logical sender (survives
         /// migration; see [`srudp`]).
         from_key: u64,

@@ -1,0 +1,468 @@
+//! Multi-path route scoring and per-message medium selection.
+//!
+//! The paper (§3, §6): SNIPE's communications layer is "multi-path,
+//! multi-media" — a peer may be reachable over several networks
+//! (Ethernet, ATM, ...) and the library "provided the ability to
+//! switch routes/interfaces as links failed without user applications
+//! intervening". The old `RouteManager` only kept a ranked list and a
+//! cursor; [`PathSelector`] keeps, per `(peer, route/medium)`
+//! candidate, an RTT EWMA and a loss/failover penalty, and chooses a
+//! medium *per message*:
+//!
+//! * healthy traffic keeps flowing on the current route (a candidate
+//!   is only abandoned on a *strictly* better score, so equal-scoring
+//!   routes never flap);
+//! * consecutive transport timeouts past [`FAILOVER_THRESHOLD`]
+//!   penalise the current route and rotate to the best-scoring
+//!   alternative (ties break in rank order, preserving the old
+//!   deterministic next-candidate behaviour);
+//! * forward progress decays the carrying route's penalty, so a gray
+//!   link that heals earns its way back — once rotation retries it —
+//!   instead of being blacklisted forever.
+//!
+//! Scores are unitless: one failover costs [`PENALTY_PER_FAILOVER`],
+//! measured RTT contributes its value in seconds, and a route we have
+//! never measured is assumed to cost [`UNMEASURED_RTT_SCORE`] (the
+//! default initial RTO) so an untried alternative never beats a
+//! working route on RTT alone, but always beats one that is failing.
+
+use std::collections::HashMap;
+
+use snipe_util::id::NetId;
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::srudp::NodeKey;
+
+/// Consecutive transport timeouts against a peer before its route is
+/// rotated.
+pub const FAILOVER_THRESHOLD: u32 = 2;
+
+/// Score cost added to a route each time we fail over away from it.
+pub const PENALTY_PER_FAILOVER: f64 = 1.0;
+
+/// Multiplicative penalty decay applied on each forward-progress
+/// report. ~60 acked datagrams take a full failover penalty below
+/// 0.05, at which point a healed route competes on RTT again.
+pub const PENALTY_DECAY: f64 = 0.95;
+
+/// Assumed RTT score (seconds) for a route with no EWMA yet: the
+/// default initial RTO. Untried routes look mediocre, not perfect.
+pub const UNMEASURED_RTT_SCORE: f64 = 0.100;
+
+/// Penalties below this are snapped to zero so scores converge exactly.
+const PENALTY_FLOOR: f64 = 1e-6;
+
+/// Score slack below which two routes are considered equal; prevents
+/// float-dust flapping between near-identical candidates.
+const SCORE_EPSILON: f64 = 1e-9;
+
+/// EWMA gain: `srtt = srtt * 7/8 + sample * 1/8` (RFC 6298 alpha).
+const RTT_EWMA_SHIFT: u32 = 3;
+
+/// Minimum spacing between duplicate-evidence rotations. One
+/// retransmit burst fans out into many packet events within well
+/// under a millisecond; dup reports inside this window are the same
+/// burst still arriving, not fresh proof that the *new* return route
+/// is also failing, so at most one rotation may act on them.
+pub const DUP_ROTATE_GUARD: SimDuration = SimDuration::from_millis(10);
+
+/// One candidate route/medium to a peer.
+#[derive(Clone, Debug)]
+struct Candidate {
+    net: NetId,
+    /// Smoothed RTT in nanoseconds, once measured on this route.
+    srtt_ns: Option<u64>,
+    /// Accumulated failover/loss pressure; decays on progress.
+    penalty: f64,
+}
+
+impl Candidate {
+    fn new(net: NetId) -> Candidate {
+        Candidate { net, srtt_ns: None, penalty: 0.0 }
+    }
+
+    fn score(&self) -> f64 {
+        let rtt = match self.srtt_ns {
+            Some(ns) => ns as f64 / 1e9,
+            None => UNMEASURED_RTT_SCORE,
+        };
+        self.penalty + rtt
+    }
+}
+
+/// Ranked, scored candidate routes to one peer.
+///
+/// Keeps the old `RouteManager` contract — `current`/`rotate`/
+/// `update`/`report_timeouts` with rank-order determinism — and adds
+/// the per-candidate scoring used by [`select`](PeerPaths::select).
+#[derive(Clone, Debug, Default)]
+pub struct PeerPaths {
+    /// Candidates, best-ranked first. Empty = let the simulator route.
+    candidates: Vec<Candidate>,
+    current: usize,
+    /// Count of rotations performed (for tests/benches).
+    pub failovers: u32,
+    /// Timeout count at the last timeout-driven rotation. Rotation is
+    /// edge-triggered: the counter must grow by a full
+    /// [`FAILOVER_THRESHOLD`] beyond this before we rotate again, so
+    /// polling `report_timeouts` with an unchanged count (which the
+    /// stack does on every datagram and timer) cannot flap the route.
+    last_timeout_rotation: u32,
+    /// When the last duplicate-evidence rotation happened; gates
+    /// [`rotate_for_dups`](PeerPaths::rotate_for_dups).
+    last_dup_rotation: Option<SimTime>,
+}
+
+impl PeerPaths {
+    /// With an explicit candidate ranking.
+    pub fn new(candidates: Vec<NetId>) -> PeerPaths {
+        PeerPaths {
+            candidates: candidates.into_iter().map(Candidate::new).collect(),
+            ..PeerPaths::default()
+        }
+    }
+
+    /// No pinning: default routing.
+    pub fn unpinned() -> PeerPaths {
+        PeerPaths::default()
+    }
+
+    /// The currently preferred network, if any are pinned.
+    pub fn current(&self) -> Option<NetId> {
+        self.candidates.get(self.current).map(|c| c.net)
+    }
+
+    /// All candidate networks, in rank order.
+    pub fn candidates(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.candidates.iter().map(|c| c.net)
+    }
+
+    /// The score of `net`, if it is a candidate. Lower is better.
+    pub fn score(&self, net: NetId) -> Option<f64> {
+        self.candidates.iter().find(|c| c.net == net).map(|c| c.score())
+    }
+
+    /// Replace the candidate set (fresh RC metadata), keeping the
+    /// current choice — and any accumulated RTT/penalty state for
+    /// retained networks — when still present.
+    pub fn update(&mut self, candidates: Vec<NetId>) {
+        let keep = self.current();
+        let old = std::mem::take(&mut self.candidates);
+        self.candidates = candidates
+            .into_iter()
+            .map(|net| {
+                old.iter()
+                    .find(|c| c.net == net)
+                    .cloned()
+                    .unwrap_or_else(|| Candidate::new(net))
+            })
+            .collect();
+        self.current = keep
+            .and_then(|n| self.candidates.iter().position(|c| c.net == n))
+            .unwrap_or(0);
+    }
+
+    /// Penalise the current route and move to the best-scoring
+    /// alternative (ties in rank order, wrapping). Returns the new
+    /// choice.
+    pub fn rotate(&mut self) -> Option<NetId> {
+        let n = self.candidates.len();
+        if n == 0 {
+            return None;
+        }
+        self.candidates[self.current].penalty += PENALTY_PER_FAILOVER;
+        self.failovers += 1;
+        if n > 1 {
+            let mut best = (self.current + 1) % n;
+            let mut best_score = self.candidates[best].score();
+            for off in 2..n {
+                let i = (self.current + off) % n;
+                let s = self.candidates[i].score();
+                if s + SCORE_EPSILON < best_score {
+                    best = i;
+                    best_score = s;
+                }
+            }
+            self.current = best;
+        }
+        self.current()
+    }
+
+    /// Feed the transport's consecutive-timeout count; rotates when
+    /// the count has grown by a full [`FAILOVER_THRESHOLD`] since the
+    /// last timeout-driven rotation. Returns `true` if a rotation
+    /// happened.
+    ///
+    /// This is deliberately *edge*-triggered: the stack polls this
+    /// with the same count on every datagram and timer, and the count
+    /// only resets when an ACK finally lands. A level-triggered
+    /// rotation would therefore fire on every poll during an outage,
+    /// ping-ponging the route and never letting the freshly chosen
+    /// alternative carry a full round trip. Instead, each new route
+    /// gets the same [`FAILOVER_THRESHOLD`] timeouts of grace the
+    /// original had before it is abandoned in turn.
+    pub fn report_timeouts(&mut self, consecutive: u32) -> bool {
+        if consecutive == 0 {
+            self.last_timeout_rotation = 0;
+            return false;
+        }
+        if consecutive >= self.last_timeout_rotation + FAILOVER_THRESHOLD
+            && self.candidates.len() > 1
+        {
+            self.last_timeout_rotation = consecutive;
+            self.rotate();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rotate on duplicate-DATA evidence (our ACKs are dying on the
+    /// return route), rate-limited to one rotation per
+    /// [`DUP_ROTATE_GUARD`]: the retransmit burst that produced the
+    /// evidence keeps arriving for a while after we have already
+    /// switched, and those stragglers say nothing about the new route.
+    /// Returns `true` if a rotation happened.
+    pub fn rotate_for_dups(&mut self, now: SimTime) -> bool {
+        let guarded = self
+            .last_dup_rotation
+            .map(|t| now.since(t) < DUP_ROTATE_GUARD)
+            .unwrap_or(false);
+        if guarded || self.candidates.len() < 2 {
+            return false;
+        }
+        self.last_dup_rotation = Some(now);
+        self.rotate();
+        true
+    }
+
+    /// Fold an RTT sample into the current route's EWMA.
+    pub fn record_rtt(&mut self, sample: SimDuration) {
+        if let Some(c) = self.candidates.get_mut(self.current) {
+            let ns = sample.as_nanos();
+            c.srtt_ns = Some(match c.srtt_ns {
+                None => ns,
+                Some(s) => s - (s >> RTT_EWMA_SHIFT) + (ns >> RTT_EWMA_SHIFT),
+            });
+        }
+    }
+
+    /// The transport made forward progress on the *current* route:
+    /// decay its penalty so past failures there are forgiven by fresh
+    /// evidence. Other routes keep their penalties — absence of
+    /// traffic is not evidence of health (a blackholed route must not
+    /// "heal" while another route carries the transfer); they earn
+    /// their way back when rotation tries them again.
+    pub fn record_progress(&mut self) {
+        if let Some(c) = self.candidates.get_mut(self.current) {
+            c.penalty *= PENALTY_DECAY;
+            if c.penalty < PENALTY_FLOOR {
+                c.penalty = 0.0;
+            }
+        }
+    }
+
+    /// Per-message medium selection: the best-scoring candidate,
+    /// preferring the current route on ties (so equal routes never
+    /// flap) and breaking remaining ties in cyclic rank order.
+    pub fn select(&self) -> Option<NetId> {
+        let n = self.candidates.len();
+        if n == 0 {
+            return None;
+        }
+        let mut best = self.current;
+        let mut best_score = self.candidates[best].score();
+        for off in 1..n {
+            let i = (self.current + off) % n;
+            let s = self.candidates[i].score();
+            if s + SCORE_EPSILON < best_score {
+                best = i;
+                best_score = s;
+            }
+        }
+        Some(self.candidates[best].net)
+    }
+}
+
+/// Per-peer path state for a whole stack: `(peer, route, medium)`
+/// scoring and selection behind one keyed façade.
+#[derive(Debug, Default)]
+pub struct PathSelector {
+    peers: HashMap<NodeKey, PeerPaths>,
+}
+
+impl PathSelector {
+    pub fn new() -> PathSelector {
+        PathSelector::default()
+    }
+
+    /// Install or refresh the candidate ranking for `key`.
+    pub fn update(&mut self, key: NodeKey, candidates: Vec<NetId>) {
+        match self.peers.get_mut(&key) {
+            Some(p) => p.update(candidates),
+            None => {
+                let paths =
+                    if candidates.is_empty() { PeerPaths::unpinned() } else { PeerPaths::new(candidates) };
+                self.peers.insert(key, paths);
+            }
+        }
+    }
+
+    /// Per-peer state, if `key` is known.
+    pub fn peer(&self, key: NodeKey) -> Option<&PeerPaths> {
+        self.peers.get(&key)
+    }
+
+    /// Mutable per-peer state, if `key` is known.
+    pub fn peer_mut(&mut self, key: NodeKey) -> Option<&mut PeerPaths> {
+        self.peers.get_mut(&key)
+    }
+
+    /// The medium to use for the next message to `key` (None = let the
+    /// simulator route).
+    pub fn select(&self, key: NodeKey) -> Option<NetId> {
+        self.peers.get(&key).and_then(|p| p.select())
+    }
+
+    /// Rotations performed for `key`.
+    pub fn failovers(&self, key: NodeKey) -> u32 {
+        self.peers.get(&key).map(|p| p.failovers).unwrap_or(0)
+    }
+
+    /// Append every tracked peer key to `into` (reused scratch, no
+    /// per-call allocation in steady state).
+    pub fn keys_into(&self, into: &mut Vec<NodeKey>) {
+        into.extend(self.peers.keys().copied());
+    }
+
+    /// Iterate every tracked peer key.
+    pub fn keys(&self) -> impl Iterator<Item = NodeKey> + '_ {
+        self.peers.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NetId {
+        NetId(i)
+    }
+
+    #[test]
+    fn rotation_cycles() {
+        let mut r = PeerPaths::new(vec![n(1), n(2), n(3)]);
+        assert_eq!(r.current(), Some(n(1)));
+        assert_eq!(r.rotate(), Some(n(2)));
+        assert_eq!(r.rotate(), Some(n(3)));
+        assert_eq!(r.rotate(), Some(n(1)));
+        assert_eq!(r.failovers, 3);
+    }
+
+    #[test]
+    fn unpinned_never_rotates() {
+        let mut r = PeerPaths::unpinned();
+        assert_eq!(r.current(), None);
+        assert_eq!(r.rotate(), None);
+        assert!(!r.report_timeouts(10));
+    }
+
+    #[test]
+    fn threshold_behaviour() {
+        let mut r = PeerPaths::new(vec![n(1), n(2)]);
+        assert!(!r.report_timeouts(FAILOVER_THRESHOLD - 1));
+        assert_eq!(r.current(), Some(n(1)));
+        assert!(r.report_timeouts(FAILOVER_THRESHOLD));
+        assert_eq!(r.current(), Some(n(2)));
+    }
+
+    #[test]
+    fn single_candidate_does_not_flap() {
+        let mut r = PeerPaths::new(vec![n(1)]);
+        assert!(!r.report_timeouts(10));
+        assert_eq!(r.current(), Some(n(1)));
+    }
+
+    #[test]
+    fn update_preserves_current_when_possible() {
+        let mut r = PeerPaths::new(vec![n(1), n(2)]);
+        r.rotate(); // now n(2)
+        r.update(vec![n(3), n(2)]);
+        assert_eq!(r.current(), Some(n(2)));
+        r.update(vec![n(4), n(5)]);
+        assert_eq!(r.current(), Some(n(4)));
+    }
+
+    #[test]
+    fn select_prefers_current_on_equal_scores() {
+        let r = PeerPaths::new(vec![n(1), n(2), n(3)]);
+        assert_eq!(r.select(), Some(n(1)));
+        let mut r2 = r.clone();
+        r2.rotate();
+        assert_eq!(r2.select(), Some(n(2)));
+    }
+
+    #[test]
+    fn rotation_avoids_the_worst_scored_candidate() {
+        let mut r = PeerPaths::new(vec![n(1), n(2), n(3)]);
+        // Fail over away from n(1) and then n(2): the second rotation
+        // must skip the already-penalised n(1) and land on n(3).
+        r.rotate();
+        assert_eq!(r.current(), Some(n(2)));
+        r.rotate();
+        assert_eq!(r.current(), Some(n(3)));
+        // Third rotation: n(1) and n(2) are equally penalised, cyclic
+        // order picks n(1).
+        r.rotate();
+        assert_eq!(r.current(), Some(n(1)));
+    }
+
+    #[test]
+    fn measured_rtt_beats_unmeasured_prior_only_when_healthy() {
+        let mut r = PeerPaths::new(vec![n(1), n(2)]);
+        // A fast measured route keeps selection even though the
+        // alternative has no penalty.
+        r.record_rtt(SimDuration::from_millis(5));
+        assert_eq!(r.select(), Some(n(1)));
+        assert!(r.score(n(1)).unwrap() < r.score(n(2)).unwrap());
+        // But once it accumulates a failover penalty, the untried
+        // route wins.
+        r.rotate();
+        assert_eq!(r.select(), Some(n(2)));
+    }
+
+    #[test]
+    fn progress_decays_only_the_current_routes_penalty() {
+        let mut r = PeerPaths::new(vec![n(1), n(2)]);
+        r.rotate(); // n(1) penalised, current = n(2)
+        r.rotate(); // n(2) penalised, current back on n(1)
+        assert_eq!(r.current(), Some(n(1)));
+        let hot_other = r.score(n(2)).unwrap();
+        assert!(hot_other >= PENALTY_PER_FAILOVER);
+        for _ in 0..400 {
+            r.record_progress();
+        }
+        // The route carrying traffic fully heals: only the RTT prior
+        // remains.
+        assert!((r.score(n(1)).unwrap() - UNMEASURED_RTT_SCORE).abs() < 1e-12);
+        // The idle route is not forgiven by someone else's progress.
+        assert_eq!(r.score(n(2)).unwrap(), hot_other);
+    }
+
+    #[test]
+    fn selector_tracks_peers_independently(){
+        let mut s = PathSelector::new();
+        s.update(7, vec![n(1), n(2)]);
+        s.update(8, vec![]);
+        assert_eq!(s.select(7), Some(n(1)));
+        assert_eq!(s.select(8), None);
+        assert!(s.peer_mut(7).unwrap().report_timeouts(2));
+        assert_eq!(s.select(7), Some(n(2)));
+        assert_eq!(s.failovers(7), 1);
+        assert_eq!(s.failovers(8), 0);
+        let mut keys = Vec::new();
+        s.keys_into(&mut keys);
+        keys.sort_unstable();
+        assert_eq!(keys, vec![7, 8]);
+    }
+}

@@ -21,6 +21,7 @@ use snipe_util::codec::{Decoder, Encoder};
 use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::time::{SimDuration, SimTime};
 
+use crate::timers::TimerWheel;
 use crate::Out;
 
 /// RSTREAM tuning knobs.
@@ -84,7 +85,11 @@ struct Conn {
     rttvar: SimDuration,
     rto: SimDuration,
     timeouts: u32,
-    rto_deadline: Option<SimTime>,
+    /// Loss-recovery horizon (NewReno): after an RTO, ACKs below this
+    /// offset are partial — the hole extends further, so the next
+    /// unacked segment is retransmitted immediately instead of waiting
+    /// out another full (escalated) RTO per segment.
+    recover: u64,
     // Receiver.
     rcv_nxt: u64,
     ooo: BTreeMap<u64, Bytes>,
@@ -107,7 +112,7 @@ impl Conn {
             rttvar: SimDuration::ZERO,
             rto: cfg.rto_initial,
             timeouts: 0,
-            rto_deadline: None,
+            recover: 0,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             rcv_buf: Vec::new(),
@@ -135,6 +140,9 @@ pub struct RstreamStats {
 pub struct Rstream {
     cfg: RstreamConfig,
     conns: HashMap<ConnId, Conn>,
+    /// Per-connection RTO deadlines, shared-wheel scheduled; the only
+    /// timer source in this driver.
+    wheel: TimerWheel<ConnId>,
     out: Vec<Out>,
     stats: RstreamStats,
     next_conn_seed: u64,
@@ -143,7 +151,14 @@ pub struct Rstream {
 impl Rstream {
     /// New endpoint. `seed` randomizes connection ids.
     pub fn new(cfg: RstreamConfig, seed: u64) -> Rstream {
-        Rstream { cfg, conns: HashMap::new(), out: Vec::new(), stats: RstreamStats::default(), next_conn_seed: seed }
+        Rstream {
+            cfg,
+            conns: HashMap::new(),
+            wheel: TimerWheel::new(),
+            out: Vec::new(),
+            stats: RstreamStats::default(),
+            next_conn_seed: seed,
+        }
     }
 
     /// Counters.
@@ -153,16 +168,24 @@ impl Rstream {
 
     /// Open a connection to `peer`. Data may be queued immediately; it
     /// flows once the handshake completes.
-    pub fn connect(&mut self, _now: SimTime, peer: Endpoint) -> ConnId {
+    pub fn connect(&mut self, now: SimTime, peer: Endpoint) -> ConnId {
         // Deterministic but distinct ids.
         self.next_conn_seed = self.next_conn_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let id = self.next_conn_seed | 1;
-        self.conns.insert(id, Conn::new(peer, State::SynSent, &self.cfg.clone()));
+        let conn = Conn::new(peer, State::SynSent, &self.cfg.clone());
+        // The handshake has no ACK clock: arm the wheel so a lost SYN
+        // is retransmitted instead of wedging the connection.
+        self.wheel.schedule(id, now + conn.rto);
+        self.conns.insert(id, conn);
+        Self::emit_syn(&mut self.out, peer, id);
+        id
+    }
+
+    fn emit_syn(out: &mut Vec<Out>, peer: Endpoint, id: ConnId) {
         let mut enc = Encoder::new();
         enc.put_u8(KIND_SYN);
         enc.put_u64(id);
-        self.out.push(Out::Send { to: peer, via: None, bytes: enc.finish() });
-        id
+        out.push(Out::Send { to: peer, via: None, bytes: enc.finish() });
     }
 
     /// Is the connection established?
@@ -205,23 +228,25 @@ impl Rstream {
                 enc.put_u64(id);
                 self.out.push(Out::Send { to: c.peer, via: None, bytes: enc.finish() });
                 c.state = State::Closed;
+                self.wheel.cancel(id);
             }
         }
     }
 
     /// Abort every connection to a peer (e.g. the peer host died).
     pub fn abort_peer(&mut self, peer: Endpoint) {
-        for c in self.conns.values_mut() {
+        for (id, c) in self.conns.iter_mut() {
             if c.peer == peer && c.state != State::Closed {
                 c.state = State::Closed;
                 self.stats.aborted += 1;
+                self.wheel.cancel(*id);
             }
         }
     }
 
     /// Earliest RTO deadline across connections.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.conns.values().filter_map(|c| c.rto_deadline).min()
+        self.wheel.next_deadline()
     }
 
     /// Drain queued output actions.
@@ -263,8 +288,8 @@ impl Rstream {
             conn.snd_nxt += take as u64;
             conn.sent_at.insert(offset, (now, false));
             Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, false);
-            if conn.rto_deadline.is_none() {
-                conn.rto_deadline = Some(now + conn.rto);
+            if self.wheel.deadline_of(id).is_none() {
+                self.wheel.schedule(id, now + conn.rto);
             }
         }
     }
@@ -290,6 +315,11 @@ impl Rstream {
                     if c.state == State::SynSent {
                         c.state = State::Established;
                         c.connected = true;
+                        // Handshake retries must not count against the
+                        // established connection's abort budget.
+                        c.timeouts = 0;
+                        c.rto = self.cfg.rto_initial;
+                        self.wheel.cancel(id);
                         self.pump(now, id);
                     }
                 }
@@ -309,6 +339,7 @@ impl Rstream {
             KIND_FIN => {
                 if let Some(c) = self.conns.get_mut(&id) {
                     c.state = State::Closed;
+                    self.wheel.cancel(id);
                 }
                 Ok(())
             }
@@ -356,7 +387,12 @@ impl Rstream {
             let msg = Bytes::from(conn.rcv_buf[4..4 + len].to_vec());
             conn.rcv_buf.drain(..4 + len);
             self.stats.delivered += 1;
-            self.out.push(Out::Deliver { from_key: id, from_ep: peer, msg });
+            self.out.push(Out::Deliver {
+                proto: crate::frame::Proto::Rstream,
+                from_key: id,
+                from_ep: peer,
+                msg,
+            });
         }
     }
 
@@ -394,11 +430,25 @@ impl Rstream {
                 }
                 conn.rto = (conn.srtt.expect("set") + conn.rttvar * 4).clamp(cfg.rto_min, cfg.rto_max);
             }
-            conn.rto_deadline = if conn.snd_una == conn.snd_nxt {
-                None
+            if conn.snd_una < conn.recover && conn.snd_una < conn.snd_nxt {
+                // Partial ACK: the RTO-era hole extends past this
+                // segment. Retransmit the next unacked segment now —
+                // one segment per ACK keeps recovery self-clocked at
+                // RTT pace rather than one segment per escalated RTO.
+                let take = cfg.mss.min(conn.snd_buf.len());
+                if take > 0 {
+                    let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
+                    let offset = conn.snd_una;
+                    conn.sent_at.insert(offset, (now, true));
+                    Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+                }
+            }
+            if conn.snd_una == conn.snd_nxt {
+                conn.recover = 0;
+                self.wheel.cancel(id);
             } else {
-                Some(now + conn.rto)
-            };
+                self.wheel.schedule(id, now + conn.rto);
+            }
             self.pump(now, id);
         } else if cum == conn.snd_una && conn.snd_nxt > conn.snd_una {
             conn.dup_acks += 1;
@@ -417,34 +467,113 @@ impl Rstream {
         }
     }
 
-    /// Retransmit on RTO expiry.
+    /// Fire due RTO wheel tokens. Safe to call early or spuriously —
+    /// a connection whose oldest outstanding segment has not actually
+    /// outlived its RTO is re-armed without escalation.
     pub fn on_timer(&mut self, now: SimTime) {
+        let mut due: Vec<ConnId> = Vec::new();
+        self.wheel.expire_into(now, &mut due);
+        due.sort_unstable();
+        for id in due {
+            self.fire_rto(now, id);
+        }
+    }
+
+    fn fire_rto(&mut self, now: SimTime, id: ConnId) {
         let cfg = self.cfg.clone();
-        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
-        for id in ids {
-            let Some(conn) = self.conns.get_mut(&id) else { continue };
-            let Some(dl) = conn.rto_deadline else { continue };
-            if dl > now || conn.state != State::Established {
-                continue;
-            }
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.state == State::SynSent {
             conn.timeouts += 1;
             if conn.timeouts >= cfg.max_timeouts {
                 conn.state = State::Closed;
                 self.stats.aborted += 1;
-                continue;
+                return;
             }
             conn.rto = (conn.rto * 2).clamp(cfg.rto_min, cfg.rto_max);
-            conn.rto_deadline = Some(now + conn.rto);
-            let take = cfg.mss.min(conn.snd_buf.len());
-            if take > 0 {
-                let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
-                let offset = conn.snd_una;
-                conn.sent_at.insert(offset, (now, true));
-                Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
-            } else {
-                conn.rto_deadline = None;
+            self.stats.retransmits += 1;
+            Self::emit_syn(&mut self.out, conn.peer, id);
+            self.wheel.schedule(id, now + conn.rto);
+            return;
+        }
+        if conn.state != State::Established || conn.snd_una == conn.snd_nxt {
+            return; // closed or fully acked: nothing outstanding
+        }
+        // Early/spurious fire: escalate only when the oldest
+        // outstanding segment has genuinely outlived the RTO.
+        if let Some(oldest) = conn.sent_at.values().map(|&(t, _)| t).min() {
+            if oldest + conn.rto > now {
+                self.wheel.schedule(id, oldest + conn.rto);
+                return;
             }
         }
+        conn.timeouts += 1;
+        if conn.timeouts >= cfg.max_timeouts {
+            conn.state = State::Closed;
+            self.stats.aborted += 1;
+            return;
+        }
+        conn.rto = (conn.rto * 2).clamp(cfg.rto_min, cfg.rto_max);
+        conn.recover = conn.snd_nxt;
+        let take = cfg.mss.min(conn.snd_buf.len());
+        if take > 0 {
+            let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
+            let offset = conn.snd_una;
+            conn.sent_at.insert(offset, (now, true));
+            Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+            self.wheel.schedule(id, now + conn.rto);
+        }
+    }
+}
+
+impl crate::driver::Driver for Rstream {
+    fn proto(&self) -> crate::frame::Proto {
+        crate::frame::Proto::Rstream
+    }
+
+    fn on_datagram(&mut self, now: SimTime, from: Endpoint, body: Bytes) -> SnipeResult<()> {
+        self.on_packet(now, from, body)
+    }
+
+    fn on_timer(&mut self, now: SimTime) {
+        Rstream::on_timer(self, now);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        Rstream::next_deadline(self)
+    }
+
+    fn drain(&mut self) -> Vec<Out> {
+        Rstream::drain(self)
+    }
+
+    /// Connections are endpoint-addressed and deliberately die with
+    /// the process (the E5 contrast case): the snapshot is an empty
+    /// marker.
+    fn export_state(&self) -> Bytes {
+        Bytes::new()
+    }
+
+    /// Restores nothing, by design — see [`Driver::export_state`].
+    ///
+    /// [`Driver::export_state`]: crate::driver::Driver::export_state
+    fn import_state(&mut self, _bytes: Bytes, _now: SimTime) -> SnipeResult<()> {
+        Ok(())
+    }
+
+    fn quiescent(&self) -> bool {
+        self.out.is_empty()
+            && self
+                .conns
+                .values()
+                .all(|c| c.state != State::Established || c.snd_buf.is_empty())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -28,10 +28,20 @@ use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::time::{SimDuration, SimTime};
 
 use crate::frag::{split, ReassemblySet};
+use crate::timers::TimerWheel;
 use crate::Out;
 
 /// Stable logical identity of a wire peer (a SNIPE process or daemon).
 pub type NodeKey = u64;
+
+/// What a scheduled wheel token means for a peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum TimerKind {
+    /// Retransmission timeout: the earliest in-flight fragment's RTO.
+    Rto,
+    /// Delayed-ACK flush for the pending unsacked message.
+    Sack,
+}
 
 /// SRUDP tuning knobs.
 #[derive(Clone, Debug)]
@@ -122,11 +132,17 @@ struct Peer {
     unsacked: HashMap<u64, usize>,
     /// Fragment counts of in-progress incoming messages (for bitmaps).
     counts: HashMap<u64, u32>,
-    /// Delayed-ACK deadline for the oldest unsacked DATA, if any.
-    sack_deadline: Option<(u64, SimTime)>,
+    /// Message id awaiting a delayed-ACK flush; the deadline itself
+    /// lives in the stack-shared [`TimerWheel`].
+    pending_sack: Option<u64>,
     /// Consecutive duplicate DATA packets received — a sign our SACKs
     /// are not reaching the sender (path trouble on our return route).
     dup_streak: u32,
+    /// When the last *fresh* (non-duplicate) DATA fragment was
+    /// accepted. Duplicates arriving while fresh data still flows are
+    /// retransmission noise, not return-route evidence; the stack only
+    /// acts on `dup_streak` once fresh progress has stalled.
+    last_fresh: Option<SimTime>,
 }
 
 impl Peer {
@@ -147,8 +163,9 @@ impl Peer {
             held: BTreeMap::new(),
             unsacked: HashMap::new(),
             counts: HashMap::new(),
-            sack_deadline: None,
+            pending_sack: None,
             dup_streak: 0,
+            last_fresh: None,
         }
     }
 }
@@ -175,6 +192,9 @@ pub struct Srudp {
     peers: HashMap<NodeKey, Peer>,
     /// Current location of each peer.
     locations: HashMap<NodeKey, Endpoint>,
+    /// All deadlines (per-peer RTO and delayed-ACK), shared-wheel
+    /// scheduled; the only timer source in this driver.
+    wheel: TimerWheel<(NodeKey, TimerKind)>,
     out: Vec<Out>,
     stats: SrudpStats,
 }
@@ -187,6 +207,7 @@ impl Srudp {
             cfg,
             peers: HashMap::new(),
             locations: HashMap::new(),
+            wheel: TimerWheel::new(),
             out: Vec::new(),
             stats: SrudpStats::default(),
         }
@@ -238,11 +259,33 @@ impl Srudp {
         }
     }
 
+    /// When the last fresh (non-duplicate) DATA fragment arrived from
+    /// `key`, if any has. Duplicates seen while this is recent are
+    /// retransmission noise, not evidence against the return route.
+    pub fn peer_last_fresh(&self, key: NodeKey) -> Option<SimTime> {
+        self.peers.get(&key).and_then(|p| p.last_fresh)
+    }
+
     /// All peer keys with protocol state.
     pub fn peer_keys(&self) -> Vec<NodeKey> {
-        let mut v: Vec<NodeKey> = self.peers.keys().copied().collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.peer_keys_into(&mut v);
         v
+    }
+
+    /// Append all peer keys (sorted) to `into` without allocating when
+    /// `into` has capacity — the scratch-buffer form of
+    /// [`Self::peer_keys`] for steady-state callers.
+    pub fn peer_keys_into(&self, into: &mut Vec<NodeKey>) {
+        let start = into.len();
+        into.extend(self.peers.keys().copied());
+        into[start..].sort_unstable();
+    }
+
+    /// The smoothed RTT estimate toward a peer, once measured. Feeds
+    /// the stack's [`PathSelector`](crate::path::PathSelector) scoring.
+    pub fn peer_srtt(&self, key: NodeKey) -> Option<SimDuration> {
+        self.peers.get(&key).and_then(|p| p.srtt)
     }
 
     /// Unsent + unacked payload bytes queued toward a peer.
@@ -284,23 +327,7 @@ impl Srudp {
 
     /// Earliest instant at which [`Self::on_timer`] needs to run.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        let mut min: Option<SimTime> = None;
-        let mut consider = |f: SimTime| {
-            min = Some(match min {
-                None => f,
-                Some(m) if f < m => f,
-                Some(m) => m,
-            });
-        };
-        for p in self.peers.values() {
-            if let Some(f) = p.inflight.values().map(|f| f.sent_at + p.rto).min() {
-                consider(f);
-            }
-            if let Some((_, at)) = p.sack_deadline {
-                consider(at);
-            }
-        }
-        min
+        self.wheel.next_deadline()
     }
 
     /// Drain pending output actions.
@@ -370,6 +397,7 @@ impl Srudp {
                 (msg_id, idx as u32),
                 InFlight { sent_at: now, retries: 0, retransmitted: false },
             );
+            self.wheel.schedule_min((key, TimerKind::Rto), now + peer.rto);
             Self::emit_data(
                 &mut self.out,
                 &mut self.stats,
@@ -440,6 +468,7 @@ impl Srudp {
             peer.dup_streak += 1;
         } else {
             peer.dup_streak = 0;
+            peer.last_fresh = Some(now);
         }
         let completed =
             peer.reasm.insert(msg_id, frag_idx as usize, frag_count as usize, payload)?;
@@ -447,12 +476,18 @@ impl Srudp {
             Some(full_msg) => {
                 peer.unsacked.remove(&msg_id);
                 peer.counts.remove(&msg_id);
-                peer.sack_deadline = None;
+                peer.pending_sack = None;
+                self.wheel.cancel((src_key, TimerKind::Sack));
                 Self::emit_done_sack(&mut self.out, &mut self.stats, self.my_key, from_ep, msg_id);
                 peer.held.insert(msg_id, full_msg);
                 // FIFO delivery of any now-in-order messages.
                 while let Some(m) = peer.held.remove(&peer.next_deliver) {
-                    self.out.push(Out::Deliver { from_key: src_key, from_ep, msg: m });
+                    self.out.push(Out::Deliver {
+                        proto: crate::frame::Proto::Srudp,
+                        from_key: src_key,
+                        from_ep,
+                        msg: m,
+                    });
                     self.stats.delivered += 1;
                     peer.next_deliver += 1;
                 }
@@ -462,7 +497,8 @@ impl Srudp {
                 *c += 1;
                 if *c >= ack_every {
                     *c = 0;
-                    peer.sack_deadline = None;
+                    peer.pending_sack = None;
+                    self.wheel.cancel((src_key, TimerKind::Sack));
                     let missing = peer.reasm.missing(msg_id);
                     Self::emit_bitmap_sack(
                         &mut self.out,
@@ -473,8 +509,9 @@ impl Srudp {
                         frag_count,
                         &missing,
                     );
-                } else if peer.sack_deadline.is_none() {
-                    peer.sack_deadline = Some((msg_id, now + self.cfg.ack_delay));
+                } else if peer.pending_sack.is_none() {
+                    peer.pending_sack = Some(msg_id);
+                    self.wheel.schedule((src_key, TimerKind::Sack), now + self.cfg.ack_delay);
                 }
             }
         }
@@ -625,6 +662,7 @@ impl Srudp {
                             InFlight { sent_at: now, retries: 1, retransmitted: true },
                         );
                     }
+                    self.wheel.schedule_min((src_key, TimerKind::Rto), now + peer.rto);
                     Self::emit_data(
                         &mut self.out,
                         &mut self.stats,
@@ -640,6 +678,13 @@ impl Srudp {
             }
         }
         self.pump(now, src_key);
+        // Fully drained flight: drop the RTO token so the deadline
+        // report goes quiet with the peer.
+        if let Some(p) = self.peers.get(&src_key) {
+            if p.inflight.is_empty() {
+                self.wheel.cancel((src_key, TimerKind::Rto));
+            }
+        }
     }
 
     fn update_rtt(peer: &mut Peer, sample: SimDuration, cfg: &SrudpConfig) {
@@ -813,102 +858,186 @@ impl Srudp {
         }
     }
 
-    /// Retransmit fragments whose RTO expired; escalate backoff. Also
-    /// flushes due delayed SACKs on the receiver side.
+    /// Fire due wheel tokens: retransmit fragments whose RTO expired
+    /// (escalating backoff) and flush due delayed SACKs. Safe to call
+    /// early or spuriously — a token whose work turns out not to be
+    /// due is re-armed at its true deadline without escalation, which
+    /// is what makes the HostUp "fire everything on resurrection"
+    /// pattern harmless.
     pub fn on_timer(&mut self, now: SimTime) {
-        let keys: Vec<NodeKey> = self.peers.keys().copied().collect();
-        for key in &keys {
-            let key = *key;
-            let Some(&ep) = self.locations.get(&key) else { continue };
-            let peer = self.peers.get_mut(&key).expect("key from iteration");
-            if let Some((msg_id, at)) = peer.sack_deadline {
-                if at <= now {
-                    peer.sack_deadline = None;
-                    peer.unsacked.insert(msg_id, 0);
-                    let count = peer.counts.get(&msg_id).copied().unwrap_or(0);
-                    let missing = peer.reasm.missing(msg_id);
-                    if count > 0 {
-                        Self::emit_bitmap_sack(
-                            &mut self.out,
-                            &mut self.stats,
-                            self.my_key,
-                            ep,
-                            msg_id,
-                            count,
-                            &missing,
-                        );
-                    }
-                }
+        let mut due: Vec<(NodeKey, TimerKind)> = Vec::new();
+        self.wheel.expire_into(now, &mut due);
+        // Deterministic firing order (SACK flushes before RTO
+        // escalations, peers by key), independent of wheel layout.
+        due.sort_unstable_by_key(|&(k, kind)| (std::cmp::Reverse(kind as u8), k));
+        for (key, kind) in due {
+            match kind {
+                TimerKind::Sack => self.fire_sack(now, key),
+                TimerKind::Rto => self.fire_rto(now, key),
             }
         }
-        for key in keys {
-            let Some(&ep) = self.locations.get(&key) else {
+    }
+
+    /// Delayed-ACK flush for a peer's pending unsacked message.
+    fn fire_sack(&mut self, now: SimTime, key: NodeKey) {
+        let Some(&ep) = self.locations.get(&key) else {
+            // Location unknown (cannot happen for a peer we received
+            // DATA from, but keep the deadline alive rather than lose
+            // the flush).
+            if self.peers.get(&key).is_some_and(|p| p.pending_sack.is_some()) {
+                self.wheel.schedule((key, TimerKind::Sack), now + self.cfg.ack_delay);
+            }
+            return;
+        };
+        let Some(peer) = self.peers.get_mut(&key) else { return };
+        let Some(msg_id) = peer.pending_sack.take() else {
+            return; // already flushed by ack_every; stale fire
+        };
+        peer.unsacked.insert(msg_id, 0);
+        let count = peer.counts.get(&msg_id).copied().unwrap_or(0);
+        let missing = peer.reasm.missing(msg_id);
+        if count > 0 {
+            Self::emit_bitmap_sack(
+                &mut self.out,
+                &mut self.stats,
+                self.my_key,
+                ep,
+                msg_id,
+                count,
+                &missing,
+            );
+        }
+    }
+
+    /// RTO expiry against a peer: retransmit everything due, escalate
+    /// backoff once per firing, re-arm for whatever remains in flight.
+    fn fire_rto(&mut self, now: SimTime, key: NodeKey) {
+        let Some(&ep) = self.locations.get(&key) else {
+            // Can't retransmit anywhere yet; retry after one RTO so
+            // the flight isn't orphaned when the location resolves.
+            if let Some(p) = self.peers.get(&key) {
+                if !p.inflight.is_empty() {
+                    self.wheel.schedule((key, TimerKind::Rto), now + p.rto);
+                }
+            }
+            return;
+        };
+        let Some(peer) = self.peers.get_mut(&key) else { return };
+        let rto = peer.rto;
+        let mut expired: Vec<(u64, u32)> = peer
+            .inflight
+            .iter()
+            .filter(|(_, f)| f.sent_at + rto <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        if expired.is_empty() {
+            // Early fire (flight shrank since arming): re-arm exactly.
+            if let Some(min) = peer.inflight.values().map(|f| f.sent_at + rto).min() {
+                self.wheel.schedule((key, TimerKind::Rto), min);
+            }
+            return;
+        }
+        expired.sort_unstable();
+        peer.consecutive_timeouts += 1;
+        peer.backoff = (peer.backoff + 1).min(10);
+        peer.rto = (rto * 2).clamp(self.cfg.rto_min, self.cfg.rto_max);
+        let mut gave_up: Vec<u64> = Vec::new();
+        for (msg_id, idx) in expired {
+            let f = peer.inflight.get_mut(&(msg_id, idx)).expect("expired entry");
+            if f.retries >= self.cfg.max_retries {
+                gave_up.push(msg_id);
                 continue;
-            };
-            let peer = self.peers.get_mut(&key).expect("key from iteration");
-            let rto = peer.rto;
-            let mut expired: Vec<(u64, u32)> = peer
-                .inflight
+            }
+            f.retries += 1;
+            f.retransmitted = true;
+            f.sent_at = now;
+            let frag_data = peer
+                .queue
                 .iter()
-                .filter(|(_, f)| f.sent_at + rto <= now)
-                .map(|(k, _)| *k)
-                .collect();
-            if expired.is_empty() {
-                continue;
-            }
-            expired.sort_unstable();
-            peer.consecutive_timeouts += 1;
-            peer.backoff = (peer.backoff + 1).min(10);
-            peer.rto = (rto * 2).clamp(self.cfg.rto_min, self.cfg.rto_max);
-            let mut gave_up: Vec<u64> = Vec::new();
-            for (msg_id, idx) in expired {
-                let f = peer.inflight.get_mut(&(msg_id, idx)).expect("expired entry");
-                if f.retries >= self.cfg.max_retries {
-                    gave_up.push(msg_id);
-                    continue;
-                }
-                f.retries += 1;
-                f.retransmitted = true;
-                f.sent_at = now;
-                let frag_data = peer
-                    .queue
-                    .iter()
-                    .find(|m| m.msg_id == msg_id)
-                    .map(|m| (m.frags[idx as usize].clone(), m.frags.len() as u32));
-                if let Some((frag, count)) = frag_data {
-                    Self::emit_data(
-                        &mut self.out,
-                        &mut self.stats,
-                        self.my_key,
-                        ep,
-                        msg_id,
-                        idx,
-                        count,
-                        &frag,
-                        true,
-                    );
-                }
-            }
-            for msg_id in gave_up {
-                peer.inflight.retain(|(mid, _), _| *mid != msg_id);
-                if let Some(pos) = peer.queue.iter().position(|m| m.msg_id == msg_id) {
-                    let m = &peer.queue[pos];
-                    let unacked: usize = m
-                        .frags
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| !m.acked[*i])
-                        .map(|(_, f)| f.len())
-                        .sum();
-                    peer.backlog_bytes = peer.backlog_bytes.saturating_sub(unacked);
-                    peer.queue.remove(pos);
-                    if pos < peer.pump_hint {
-                        peer.pump_hint -= 1;
-                    }
-                    self.stats.failed += 1;
-                }
+                .find(|m| m.msg_id == msg_id)
+                .map(|m| (m.frags[idx as usize].clone(), m.frags.len() as u32));
+            if let Some((frag, count)) = frag_data {
+                Self::emit_data(
+                    &mut self.out,
+                    &mut self.stats,
+                    self.my_key,
+                    ep,
+                    msg_id,
+                    idx,
+                    count,
+                    &frag,
+                    true,
+                );
             }
         }
+        for msg_id in gave_up {
+            peer.inflight.retain(|(mid, _), _| *mid != msg_id);
+            if let Some(pos) = peer.queue.iter().position(|m| m.msg_id == msg_id) {
+                let m = &peer.queue[pos];
+                let unacked: usize = m
+                    .frags
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !m.acked[*i])
+                    .map(|(_, f)| f.len())
+                    .sum();
+                peer.backlog_bytes = peer.backlog_bytes.saturating_sub(unacked);
+                peer.queue.remove(pos);
+                if pos < peer.pump_hint {
+                    peer.pump_hint -= 1;
+                }
+                self.stats.failed += 1;
+            }
+        }
+        // Re-arm for the earliest surviving in-flight fragment.
+        if let Some(min) = peer.inflight.values().map(|f| f.sent_at + peer.rto).min() {
+            self.wheel.schedule((key, TimerKind::Rto), min);
+        }
+    }
+}
+
+impl crate::driver::Driver for Srudp {
+    fn proto(&self) -> crate::frame::Proto {
+        crate::frame::Proto::Srudp
+    }
+
+    fn on_datagram(&mut self, now: SimTime, from: Endpoint, body: Bytes) -> SnipeResult<()> {
+        self.on_packet(now, from, body)
+    }
+
+    fn on_timer(&mut self, now: SimTime) {
+        Srudp::on_timer(self, now);
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        Srudp::next_deadline(self)
+    }
+
+    fn drain(&mut self) -> Vec<Out> {
+        Srudp::drain(self)
+    }
+
+    fn export_state(&self) -> Bytes {
+        Srudp::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: Bytes, now: SimTime) -> SnipeResult<()> {
+        let mut restored = Srudp::import_state(bytes, self.cfg.clone())?;
+        restored.retransmit_all(now);
+        *self = restored;
+        Ok(())
+    }
+
+    fn quiescent(&self) -> bool {
+        Srudp::quiescent(self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

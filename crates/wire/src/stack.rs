@@ -1,15 +1,21 @@
 //! The assembled wire stack embedded in every SNIPE process actor.
 //!
-//! [`WireStack`] glues together:
+//! [`WireStack`] is a registry-plus-demux over the wire protocol
+//! modules (§3's "multiplexing library"):
 //!
-//! * [`crate::srudp`] for reliable FIFO messaging keyed by stable node
-//!   keys (so messages survive migration, §5.6),
-//! * [`crate::route`] for multi-path pinning with automatic failover
-//!   (§6),
-//! * the [`crate::frame`] envelope so one simulator port carries every
-//!   protocol,
-//! * raw (unreliable) datagrams for protocols that bring their own
-//!   redundancy (multicast relay legs).
+//! * every registered transport implements [`Driver`] — SRUDP is
+//!   always present (reliable FIFO messaging keyed by stable node
+//!   keys, §5.6); RSTREAM and member-side multicast dedup are opt-in
+//!   via [`StackConfig`];
+//! * incoming datagrams are demultiplexed on the [`crate::frame`]
+//!   envelope tag: a registered driver consumes the body (completed
+//!   messages come back as [`Out::Deliver`], tagged with the driver's
+//!   protocol), anything else is surfaced as [`Incoming`] for
+//!   host-level logic (raw datagrams, the daemon's multicast router);
+//! * outgoing `Send`s are sealed under the emitting driver's tag and
+//!   routed through one [`PathSelector`] (multi-path failover, §6);
+//! * migration snapshots concatenate each driver's exported state
+//!   under its protocol tag ([`WireStack::export_state`]).
 //!
 //! The stack is still sans-IO; a `snipe-netsim` actor drives it:
 //! packets in via [`WireStack::on_datagram`], timer events via
@@ -17,15 +23,18 @@
 //! into `ctx.send`/`ctx.set_timer` calls by the embedding actor.
 
 use bytes::Bytes;
-use std::collections::HashMap;
 
 use snipe_netsim::topology::Endpoint;
-use snipe_util::error::SnipeResult;
+use snipe_util::codec::{Decoder, Encoder};
+use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::id::NetId;
-use snipe_util::time::SimTime;
+use snipe_util::time::{SimDuration, SimTime};
 
+use crate::driver::Driver;
 use crate::frame::{open, seal, Proto};
-use crate::route::RouteManager;
+use crate::mcast::McastMember;
+use crate::path::PathSelector;
+use crate::rstream::{Rstream, RstreamConfig};
 use crate::srudp::{NodeKey, Srudp, SrudpConfig, SrudpStats};
 use crate::Out;
 
@@ -34,14 +43,21 @@ use crate::Out;
 pub struct StackConfig {
     /// SRUDP tuning.
     pub srudp: SrudpConfig,
+    /// Register an RSTREAM driver with this tuning (off by default:
+    /// most SNIPE processes speak SRUDP only).
+    pub rstream: Option<RstreamConfig>,
+    /// Register a member-side multicast dedup driver; MCAST datagrams
+    /// are then consumed and delivered (tagged [`Proto::Mcast`])
+    /// instead of surfacing as [`Incoming::Mcast`].
+    pub mcast_member: bool,
 }
 
 /// An incoming item after protocol demultiplexing.
 ///
-/// Reliable SRUDP messages are *not* surfaced here: the stack consumes
-/// them internally and yields them as [`Out::Deliver`] from
-/// [`WireStack::drain`] (they may complete later than the datagram that
-/// carried the final fragment).
+/// Traffic for a *registered* driver is never surfaced here: the stack
+/// consumes it internally and yields completed messages as
+/// [`Out::Deliver`] from [`WireStack::drain`] (they may complete later
+/// than the datagram that carried the final fragment).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Incoming {
     /// A raw datagram (no reliability).
@@ -58,7 +74,8 @@ pub enum Incoming {
         /// MCAST body (decode with [`crate::mcast::McastMsg::decode`]).
         body: Bytes,
     },
-    /// An RSTREAM body for a co-hosted [`crate::rstream::Rstream`].
+    /// An RSTREAM body for a co-hosted [`Rstream`] not owned by this
+    /// stack.
     Stream {
         /// Sender endpoint.
         from: Endpoint,
@@ -75,27 +92,94 @@ pub fn endpoint_key(ep: Endpoint) -> NodeKey {
     ((ep.host.0 as u64) << 32) | (1 << 63) | ep.port as u64
 }
 
+/// Consecutive duplicate-DATA streak that counts as receiver-side
+/// evidence of a dead return path (our SACKs are not getting back).
+const DUP_STREAK_ROTATE: u32 = 3;
+
+/// A duplicate streak only counts as return-route evidence once fresh
+/// DATA has been absent this long. While fresh fragments still arrive,
+/// duplicates are just the sender's escalated retransmissions catching
+/// up — rotating on them would flap a receiver off a working route.
+const DUP_FRESH_STALL: SimDuration = SimDuration::from_millis(10);
+
 /// The per-process wire stack.
 pub struct WireStack {
-    srudp: Srudp,
-    routes: HashMap<NodeKey, RouteManager>,
+    my_key: NodeKey,
+    /// Registered protocol modules; index 0 is always SRUDP.
+    drivers: Vec<Box<dyn Driver>>,
+    paths: PathSelector,
     out: Vec<Out>,
+    /// Reused scratch for failover scans (no steady-state allocation).
+    key_scratch: Vec<NodeKey>,
 }
 
 impl WireStack {
     /// New stack for a process with the given stable key.
     pub fn new(my_key: NodeKey, cfg: StackConfig) -> WireStack {
-        WireStack { srudp: Srudp::new(my_key, cfg.srudp), routes: HashMap::new(), out: Vec::new() }
+        let mut drivers: Vec<Box<dyn Driver>> = Vec::with_capacity(3);
+        drivers.push(Box::new(Srudp::new(my_key, cfg.srudp)));
+        if let Some(rc) = cfg.rstream {
+            drivers.push(Box::new(Rstream::new(rc, my_key)));
+        }
+        if cfg.mcast_member {
+            drivers.push(Box::new(McastMember::new()));
+        }
+        WireStack {
+            my_key,
+            drivers,
+            paths: PathSelector::new(),
+            out: Vec::new(),
+            key_scratch: Vec::new(),
+        }
     }
 
     /// Our node key.
     pub fn key(&self) -> NodeKey {
-        self.srudp.key()
+        self.my_key
+    }
+
+    fn srudp(&self) -> &Srudp {
+        self.drivers[0].as_any().downcast_ref::<Srudp>().expect("driver 0 is SRUDP")
+    }
+
+    fn srudp_mut(&mut self) -> &mut Srudp {
+        self.drivers[0].as_any_mut().downcast_mut::<Srudp>().expect("driver 0 is SRUDP")
+    }
+
+    fn driver_index(&self, proto: Proto) -> Option<usize> {
+        self.drivers.iter().position(|d| d.proto() == proto)
+    }
+
+    /// The stack-owned RSTREAM driver, if one was registered.
+    pub fn rstream(&self) -> Option<&Rstream> {
+        self.driver_index(Proto::Rstream)
+            .and_then(|i| self.drivers[i].as_any().downcast_ref::<Rstream>())
+    }
+
+    /// Mutable access to the stack-owned RSTREAM driver. Actions it
+    /// emits (connect/send/close) are collected on the next
+    /// [`WireStack::drain`].
+    pub fn rstream_mut(&mut self) -> Option<&mut Rstream> {
+        self.driver_index(Proto::Rstream)
+            .and_then(|i| self.drivers[i].as_any_mut().downcast_mut::<Rstream>())
+    }
+
+    /// The stack-owned multicast member driver, if one was registered.
+    pub fn mcast_member(&self) -> Option<&McastMember> {
+        self.driver_index(Proto::Mcast)
+            .and_then(|i| self.drivers[i].as_any().downcast_ref::<McastMember>())
+    }
+
+    /// Mutable access to the stack-owned multicast member driver
+    /// (sequence allocation for sending).
+    pub fn mcast_member_mut(&mut self) -> Option<&mut McastMember> {
+        self.driver_index(Proto::Mcast)
+            .and_then(|i| self.drivers[i].as_any_mut().downcast_mut::<McastMember>())
     }
 
     /// SRUDP counters.
     pub fn srudp_stats(&self) -> SrudpStats {
-        self.srudp.stats()
+        self.srudp().stats()
     }
 
     /// Record a peer's location and (optionally) its ranked candidate
@@ -108,54 +192,69 @@ impl WireStack {
     /// [`Self::set_peer`] with an explicit current time (affects RTT
     /// bookkeeping of the fragments transmitted right away).
     pub fn set_peer_at(&mut self, now: SimTime, key: NodeKey, ep: Endpoint, routes: Vec<NetId>) {
-        self.srudp.set_peer_endpoint(key, ep);
-        match self.routes.get_mut(&key) {
-            Some(r) => r.update(routes),
-            None => {
-                self.routes.insert(
-                    key,
-                    if routes.is_empty() { RouteManager::unpinned() } else { RouteManager::new(routes) },
-                );
-            }
-        }
-        self.srudp.pump_peer(now, key);
+        self.srudp_mut().set_peer_endpoint(key, ep);
+        self.paths.update(key, routes);
+        self.srudp_mut().pump_peer(now, key);
         self.harvest();
     }
 
     /// Current known location of a peer.
     pub fn peer_endpoint(&self, key: NodeKey) -> Option<Endpoint> {
-        self.srudp.peer_endpoint(key)
+        self.srudp().peer_endpoint(key)
     }
 
     /// Number of route failovers performed for a peer.
     pub fn failovers(&self, key: NodeKey) -> u32 {
-        self.routes.get(&key).map_or(0, |r| r.failovers)
+        self.paths.failovers(key)
     }
 
     /// All peer keys with transport state (learned or configured).
     pub fn known_peers(&self) -> Vec<NodeKey> {
-        self.srudp.peer_keys()
+        let mut v = Vec::new();
+        self.known_peers_into(&mut v);
+        v
+    }
+
+    /// [`Self::known_peers`] into a caller-owned scratch vector:
+    /// appends (sorted) without allocating when capacity suffices.
+    pub fn known_peers_into(&self, into: &mut Vec<NodeKey>) {
+        self.srudp().peer_keys_into(into);
     }
 
     /// The pinned route candidates for a peer (empty = default routing).
-    pub fn route_candidates(&self, key: NodeKey) -> Vec<snipe_util::id::NetId> {
-        self.routes.get(&key).map(|r| r.candidates().to_vec()).unwrap_or_default()
+    pub fn route_candidates(&self, key: NodeKey) -> Vec<NetId> {
+        self.paths.peer(key).map(|p| p.candidates().collect()).unwrap_or_default()
     }
 
     /// Peers whose consecutive-timeout count reached `threshold` —
     /// candidates for RC location re-resolution (they may have
     /// migrated, §5.6).
     pub fn peers_in_trouble(&self, threshold: u32) -> Vec<NodeKey> {
-        self.srudp
-            .peer_keys()
-            .into_iter()
-            .filter(|&k| self.srudp.peer_timeouts(k) >= threshold)
-            .collect()
+        let mut v = Vec::new();
+        self.peers_in_trouble_into(threshold, &mut v);
+        v
+    }
+
+    /// [`Self::peers_in_trouble`] into a caller-owned scratch vector:
+    /// appends (sorted) without allocating when capacity suffices.
+    pub fn peers_in_trouble_into(&self, threshold: u32, into: &mut Vec<NodeKey>) {
+        let srudp = self.srudp();
+        let start = into.len();
+        srudp.peer_keys_into(into);
+        let mut w = start;
+        for i in start..into.len() {
+            let k = into[i];
+            if srudp.peer_timeouts(k) >= threshold {
+                into[w] = k;
+                w += 1;
+            }
+        }
+        into.truncate(w);
     }
 
     /// Send a reliable FIFO message to a peer by key.
     pub fn send(&mut self, now: SimTime, to: NodeKey, msg: Bytes) {
-        self.srudp.send_message(now, to, msg);
+        self.srudp_mut().send_message(now, to, msg);
         self.harvest();
     }
 
@@ -171,9 +270,10 @@ impl WireStack {
 
     /// Handle an incoming datagram from the simulator.
     ///
-    /// SRUDP traffic is consumed internally (the stack answers with
-    /// SACKs and delivers complete messages through [`Self::drain`]);
-    /// other protocols are surfaced to the caller.
+    /// Traffic for a registered driver is consumed internally (drivers
+    /// answer with their own control packets and deliver complete
+    /// messages through [`Self::drain`]); anything else is surfaced to
+    /// the caller.
     pub fn on_datagram(
         &mut self,
         now: SimTime,
@@ -181,83 +281,110 @@ impl WireStack {
         datagram: Bytes,
     ) -> SnipeResult<Option<Incoming>> {
         let (proto, body) = open(datagram)?;
-        match proto {
-            Proto::Srudp => {
-                self.srudp.on_packet(now, from, body)?;
-                self.check_failover();
-                self.harvest();
-                Ok(None)
-            }
-            Proto::Raw => Ok(Some(Incoming::Raw { from, msg: body })),
-            Proto::Mcast => Ok(Some(Incoming::Mcast { from, body })),
-            Proto::Rstream => Ok(Some(Incoming::Stream { from, body })),
+        if let Some(i) = self.driver_index(proto) {
+            self.drivers[i].on_datagram(now, from, body)?;
+            self.check_failover(now);
+            self.harvest();
+            return Ok(None);
         }
+        Ok(match proto {
+            Proto::Raw => Some(Incoming::Raw { from, msg: body }),
+            Proto::Mcast => Some(Incoming::Mcast { from, body }),
+            Proto::Rstream => Some(Incoming::Stream { from, body }),
+            // SRUDP is always registered (driver index 0).
+            Proto::Srudp => unreachable!("SRUDP driver is always registered"),
+        })
     }
 
-    /// Fire retransmission timers.
+    /// Fire protocol timers (safe to call early or spuriously: drivers
+    /// re-check their own deadlines).
     pub fn on_timer(&mut self, now: SimTime) {
-        self.srudp.on_timer(now);
-        self.check_failover();
+        for d in &mut self.drivers {
+            d.on_timer(now);
+        }
+        self.check_failover(now);
         self.harvest();
     }
 
-    /// Rotate routes for peers in trouble: sender-side evidence is
-    /// consecutive RTO expiries; receiver-side evidence is a streak of
-    /// duplicate DATA (our SACKs are not getting back, §6 failover).
-    fn check_failover(&mut self) {
-        let keys: Vec<NodeKey> = self.routes.keys().copied().collect();
-        for k in keys {
-            let t = self.srudp.peer_timeouts(k);
-            let rotated = match self.routes.get_mut(&k) {
-                Some(r) => r.report_timeouts(t),
-                None => false,
-            };
-            let dup = self.srudp.peer_dup_streak(k);
-            if dup >= 3 {
-                if let Some(r) = self.routes.get_mut(&k) {
-                    r.rotate();
+    /// Feed transport evidence into the path scorer and rotate routes
+    /// for peers in trouble: sender-side evidence is consecutive RTO
+    /// expiries; receiver-side evidence is a streak of duplicate DATA
+    /// (our SACKs are not getting back, §6 failover). Forward progress
+    /// (no outstanding timeouts) decays past penalties and folds the
+    /// transport's RTT estimate into the current route's score.
+    fn check_failover(&mut self, now: SimTime) {
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+        self.paths.keys_into(&mut keys);
+        for &k in &keys {
+            let timeouts = self.srudp().peer_timeouts(k);
+            let srtt = self.srudp().peer_srtt(k);
+            let dup = self.srudp().peer_dup_streak(k);
+            let fresh_stalled = self
+                .srudp()
+                .peer_last_fresh(k)
+                .map(|t| now.since(t) >= DUP_FRESH_STALL)
+                .unwrap_or(true);
+            let mut dup_rotated = false;
+            if let Some(p) = self.paths.peer_mut(k) {
+                p.report_timeouts(timeouts);
+                if timeouts == 0 {
+                    if let Some(s) = srtt {
+                        p.record_rtt(s);
+                    }
+                    p.record_progress();
                 }
-                self.srudp.reset_dup_streak(k);
+                if dup >= DUP_STREAK_ROTATE && fresh_stalled {
+                    dup_rotated = p.rotate_for_dups(now);
+                }
             }
-            let _ = rotated;
+            if dup_rotated {
+                self.srudp_mut().reset_dup_streak(k);
+            }
         }
+        self.key_scratch = keys;
     }
 
-    /// Earliest wanted wake-up.
+    /// Earliest wanted wake-up across every registered driver.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.srudp.next_deadline()
+        self.drivers.iter().filter_map(|d| d.next_deadline()).min()
     }
 
     /// Unsent + unacked payload bytes across all peers.
     pub fn backlog_total(&self) -> usize {
-        self.srudp.backlog_total()
+        self.srudp().backlog_total()
     }
 
-    /// True when nothing is queued or in flight.
+    /// True when nothing is queued or in flight in any driver.
     pub fn quiescent(&self) -> bool {
-        self.srudp.quiescent() && self.out.is_empty()
+        self.out.is_empty() && self.drivers.iter().all(|d| d.quiescent())
     }
 
-    /// Move SRUDP outputs into the stack queue, enveloping and pinning
-    /// routes.
+    /// Route an SRUDP datagram: find which peer owns this endpoint and
+    /// ask the selector for its current medium (linear scan: peer
+    /// counts are small per process).
+    fn select_via(&self, to: Endpoint) -> Option<NetId> {
+        let srudp = self.srudp();
+        self.paths
+            .keys()
+            .find(|&k| srudp.peer_endpoint(k) == Some(to))
+            .and_then(|k| self.paths.select(k))
+    }
+
+    /// Move driver outputs into the stack queue, enveloping `Send`s
+    /// under the emitting driver's protocol tag and pinning routes.
     fn harvest(&mut self) {
-        for o in self.srudp.drain() {
-            match o {
-                Out::Send { to, bytes, .. } => {
-                    // Find which peer this endpoint belongs to, to apply
-                    // its pinned route (linear scan: peer counts are
-                    // small per process).
-                    let via = self
-                        .routes
-                        .iter()
-                        .find(|(k, _)| self.srudp.peer_endpoint(**k) == Some(to))
-                        .and_then(|(_, r)| r.current());
-                    self.out.push(Out::Send { to, via, bytes: seal(Proto::Srudp, bytes) });
+        for i in 0..self.drivers.len() {
+            let proto = self.drivers[i].proto();
+            for o in self.drivers[i].drain() {
+                match o {
+                    Out::Send { to, via, bytes } => {
+                        let via =
+                            if proto == Proto::Srudp { self.select_via(to) } else { via };
+                        self.out.push(Out::Send { to, via, bytes: seal(proto, bytes) });
+                    }
+                    other => self.out.push(other),
                 }
-                Out::Deliver { from_key, from_ep, msg } => {
-                    self.out.push(Out::Deliver { from_key, from_ep, msg });
-                }
-                Out::Wake { at } => self.out.push(Out::Wake { at }),
             }
         }
     }
@@ -268,19 +395,64 @@ impl WireStack {
         std::mem::take(&mut self.out)
     }
 
-    /// Serialize the reliable-transport state for migration (§5.6).
-    /// Route managers are not carried: the new host has different
-    /// interfaces, so routes are re-learned from RC metadata.
+    /// Serialize the migratable transport state (§5.6): each driver's
+    /// snapshot under its protocol tag. Path state is not carried: the
+    /// new host has different interfaces, so routes are re-learned
+    /// from RC metadata.
     pub fn export_state(&self) -> Bytes {
-        self.srudp.export_state()
+        let mut e = Encoder::new();
+        e.put_u32(self.drivers.len() as u32);
+        for d in &self.drivers {
+            e.put_u8(d.proto().tag());
+            e.put_bytes(&d.export_state());
+        }
+        e.finish()
     }
 
-    /// Rebuild a stack from exported state and kick retransmission of
-    /// everything unacknowledged.
+    /// Rebuild a stack from exported state: drivers are registered per
+    /// `cfg`, handed their tagged snapshot section, and kick
+    /// retransmission of everything unacknowledged. Sections for
+    /// drivers the new configuration does not register are dropped.
     pub fn import_state(bytes: Bytes, cfg: StackConfig, now: SimTime) -> SnipeResult<WireStack> {
-        let mut srudp = Srudp::import_state(bytes, cfg.srudp)?;
+        let mut d = Decoder::new(bytes);
+        let n = d.get_u32()?;
+        let mut sections: Vec<(Proto, Bytes)> = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let proto = Proto::from_tag(d.get_u8()?)?;
+            sections.push((proto, d.get_bytes()?));
+        }
+        let srudp_bytes = sections
+            .iter()
+            .find(|(p, _)| *p == Proto::Srudp)
+            .map(|(_, b)| b.clone())
+            .ok_or_else(|| SnipeError::Codec("stack snapshot missing SRUDP section".into()))?;
+        let mut srudp = Srudp::import_state(srudp_bytes, cfg.srudp)?;
         srudp.retransmit_all(now);
-        Ok(WireStack { srudp, routes: HashMap::new(), out: Vec::new() })
+        let my_key = srudp.key();
+        let mut drivers: Vec<Box<dyn Driver>> = Vec::with_capacity(3);
+        drivers.push(Box::new(srudp));
+        if let Some(rc) = cfg.rstream {
+            drivers.push(Box::new(Rstream::new(rc, my_key)));
+        }
+        if cfg.mcast_member {
+            drivers.push(Box::new(McastMember::new()));
+        }
+        let mut stack = WireStack {
+            my_key,
+            drivers,
+            paths: PathSelector::new(),
+            out: Vec::new(),
+            key_scratch: Vec::new(),
+        };
+        for (proto, payload) in sections {
+            if proto == Proto::Srudp {
+                continue;
+            }
+            if let Some(i) = stack.driver_index(proto) {
+                stack.drivers[i].import_state(payload, now)?;
+            }
+        }
+        Ok(stack)
     }
 }
 
@@ -378,12 +550,18 @@ mod tests {
         a.send(SimTime::ZERO, 2, Bytes::from_static(b"blackhole"));
         a.drain();
         let mut now = SimTime::ZERO;
-        for _ in 0..4 {
+        for _ in 0..2 {
             now = now + SimDuration::from_millis(2);
             a.on_timer(now);
             a.drain();
         }
-        assert!(a.failovers(2) >= 1, "route must rotate after repeated timeouts");
+        assert_eq!(a.failovers(2), 1, "route must rotate after repeated timeouts");
+        // The fresh route gets the same threshold of grace before it
+        // is abandoned in turn: one more timeout must NOT rotate…
+        now = now + SimDuration::from_millis(2);
+        a.on_timer(now);
+        a.drain();
+        assert_eq!(a.failovers(2), 1, "grace period: no rotation on a single new timeout");
         // Subsequent sends use the alternate network.
         a.send(now, 2, Bytes::from_static(b"retry"));
         let outs = a.drain();
@@ -395,6 +573,11 @@ mod tests {
             })
             .collect();
         assert!(vias.contains(&Some(NetId(4))), "vias: {vias:?}");
+        // …but a full further threshold of timeouts rotates again.
+        now = now + SimDuration::from_millis(2);
+        a.on_timer(now);
+        a.drain();
+        assert_eq!(a.failovers(2), 2, "continued timeouts keep probing other routes");
     }
 
     #[test]
@@ -465,5 +648,98 @@ mod tests {
         for (i, m) in got_b.iter().enumerate() {
             assert_eq!(m[0] as usize, i, "FIFO order preserved across migration");
         }
+    }
+
+    #[test]
+    fn rstream_driver_runs_over_the_stack() {
+        let mut cfg = StackConfig::default();
+        cfg.rstream = Some(RstreamConfig::default());
+        let mut a = WireStack::new(1, cfg.clone());
+        let mut b = WireStack::new(2, cfg);
+        let a_ep = ep(0, 5);
+        let b_ep = ep(1, 5);
+        let id = a.rstream_mut().unwrap().connect(SimTime::ZERO, b_ep);
+        a.rstream_mut().unwrap().send_message(SimTime::ZERO, id, b"streamed bytes").unwrap();
+        let (_, got_b) = pump(&mut a, &mut b, a_ep, b_ep, 80);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(&got_b[0][..], b"streamed bytes");
+        assert!(a.rstream().unwrap().is_established(id));
+    }
+
+    #[test]
+    fn rstream_sends_carry_the_rstream_envelope() {
+        let mut cfg = StackConfig::default();
+        cfg.rstream = Some(RstreamConfig::default());
+        let mut a = WireStack::new(1, cfg);
+        a.rstream_mut().unwrap().connect(SimTime::ZERO, ep(1, 5));
+        let outs = a.drain();
+        assert!(!outs.is_empty());
+        for o in outs {
+            let Out::Send { bytes, .. } = o else { continue };
+            let (proto, _) = open(bytes).unwrap();
+            assert_eq!(proto, Proto::Rstream);
+        }
+    }
+
+    #[test]
+    fn mcast_member_driver_consumes_and_delivers() {
+        use crate::mcast::McastMsg;
+        let mut cfg = StackConfig::default();
+        cfg.mcast_member = true;
+        let mut b = WireStack::new(2, cfg);
+        let body = McastMsg::Data {
+            group: 7,
+            origin: 42,
+            seq: 0,
+            ttl: 2,
+            payload: Bytes::from_static(b"group msg"),
+        }
+        .encode();
+        let dg = seal(Proto::Mcast, body.clone());
+        // Consumed by the member driver, not surfaced.
+        assert_eq!(b.on_datagram(SimTime::ZERO, ep(0, 5), dg.clone()).unwrap(), None);
+        // Duplicate via a second router leg: dedup'd.
+        assert_eq!(b.on_datagram(SimTime::ZERO, ep(3, 5), dg).unwrap(), None);
+        let delivers: Vec<Out> = b
+            .drain()
+            .into_iter()
+            .filter(|o| matches!(o, Out::Deliver { .. }))
+            .collect();
+        assert_eq!(delivers.len(), 1);
+        let Out::Deliver { proto, from_key, msg, .. } = &delivers[0] else { unreachable!() };
+        assert_eq!(*proto, Proto::Mcast);
+        assert_eq!(*from_key, 42);
+        let decoded = McastMsg::decode(msg.clone()).unwrap();
+        assert!(matches!(decoded, McastMsg::Data { group: 7, .. }));
+    }
+
+    #[test]
+    fn tagged_snapshot_round_trips_every_driver() {
+        let mut cfg = StackConfig::default();
+        cfg.rstream = Some(RstreamConfig::default());
+        cfg.mcast_member = true;
+        let mut a = WireStack::new(1, cfg.clone());
+        a.set_peer(2, ep(1, 5), vec![]);
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"unacked"));
+        a.drain();
+        a.mcast_member_mut().unwrap().accept(7, 9, 0, Bytes::new());
+
+        let snap = a.export_state();
+        let mut r = WireStack::import_state(snap, cfg, SimTime::ZERO).unwrap();
+        assert_eq!(r.key(), 1);
+        // SRUDP state survived and retransmits are queued.
+        assert!(r.backlog_total() > 0);
+        let sends = r
+            .drain()
+            .into_iter()
+            .filter(|o| matches!(o, Out::Send { .. }))
+            .count();
+        assert!(sends > 0, "import must kick retransmission");
+        // Mcast dedup state survived.
+        assert!(r.mcast_member_mut().unwrap().accept(7, 9, 0, Bytes::new()).is_none());
+        assert!(r.mcast_member_mut().unwrap().accept(7, 9, 1, Bytes::new()).is_some());
+        // RSTREAM deliberately restores nothing (connections die with
+        // the process) but the driver is registered and usable.
+        assert!(r.rstream().is_some());
     }
 }

@@ -1,0 +1,88 @@
+//! Allocation regression test for the stack's steady-state queries.
+//!
+//! The daemon's supervision sweep polls every process stack once per
+//! tick: which peers exist, which of them are in RTO trouble (and so
+//! need an RC location re-resolution), plus the timer sweep itself.
+//! After warm-up (scratch vectors at capacity, transport state
+//! populated) those per-tick calls must not touch the heap. A counting
+//! global allocator makes any regression an immediate test failure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, new)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+use bytes::Bytes;
+use snipe_netsim::topology::Endpoint;
+use snipe_util::id::HostId;
+use snipe_util::time::SimTime;
+use snipe_wire::stack::{StackConfig, WireStack};
+
+const PEERS: u64 = 32;
+
+#[test]
+fn steady_state_peer_queries_do_not_allocate() {
+    let now = SimTime::ZERO;
+    let mut stack = WireStack::new(1, StackConfig::default());
+    // Populate transport state: a located peer plus one queued message
+    // each, so every peer has SRUDP protocol state and a path entry.
+    for i in 0..PEERS {
+        let key = 100 + i;
+        stack.set_peer(key, Endpoint::new(HostId(i as u32 + 2), 40), Vec::new());
+        stack.send(now, key, Bytes::from_static(b"supervision ping"));
+    }
+    let _ = stack.drain();
+
+    // Warm-up: grow both scratch vectors to steady-state capacity
+    // (threshold 0 matches every peer, so the trouble scan appends the
+    // full key set before filtering) and run one timer sweep so the
+    // stack's internal key scratch reaches capacity too.
+    let mut keys = Vec::new();
+    let mut trouble = Vec::new();
+    stack.known_peers_into(&mut keys);
+    assert_eq!(keys.len(), PEERS as usize, "warm-up should see every peer");
+    stack.peers_in_trouble_into(0, &mut trouble);
+    assert_eq!(trouble.len(), PEERS as usize);
+    stack.on_timer(now);
+    let _ = stack.drain();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        keys.clear();
+        stack.known_peers_into(&mut keys);
+        trouble.clear();
+        stack.peers_in_trouble_into(1, &mut trouble);
+        stack.on_timer(now);
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(keys.len(), PEERS as usize);
+    assert!(trouble.is_empty(), "no peer has timed out");
+    assert_eq!(
+        allocated, 0,
+        "steady-state peer queries allocated {allocated} times"
+    );
+}

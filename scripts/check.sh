@@ -12,6 +12,13 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+# Rustdoc gate: first-party crates must document cleanly. Broken
+# intra-doc links and malformed examples rot fastest in the wire layer,
+# where the Driver trait docs double as the transport-author guide.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p snipe-util -p snipe-netsim -p snipe-wire -p snipe-rcds \
+    -p snipe-core -p snipe-crypto -p snipe-daemon -p snipe-files \
+    -p snipe-rm -p snipe-bench -p snipe-playground -p snipe
 # Bounded chaos smoke: a few seeded fault plans per workload plus the
 # planted-bug drill; exits nonzero on any oracle violation and writes
 # results/chaos.json for inspection.
