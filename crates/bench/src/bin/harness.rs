@@ -281,7 +281,7 @@ fn run_engine() {
     t.emit("engine.txt");
     c.emit("engine.txt");
     let json = format!(
-        "{{\n  \"experiment\": \"bench_engine\",\n  \"storm\": {{\"hosts\": 32, \"sim_seconds\": {:.1}, \"seed\": 42}},\n  \"seed_engine_events_per_sec\": {:.0},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_uncached\": {:.0},\n  \"speedup_vs_seed\": {:.2},\n  \"events\": {},\n  \"sent\": {},\n  \"delivered\": {},\n  \"drops\": {},\n  \"wall_seconds\": {:.4},\n  \"engine\": {{\n    \"heap_pops\": {},\n    \"now_pops\": {},\n    \"stream_pops\": {},\n    \"route_cache_hits\": {},\n    \"route_cache_misses\": {},\n    \"peak_queue_depth\": {}\n  }}\n}}\n",
+        "{{\n  \"experiment\": \"bench_engine\",\n  \"storm\": {{\"hosts\": 32, \"sim_seconds\": {:.1}, \"seed\": 42}},\n  \"seed_engine_events_per_sec\": {:.0},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_uncached\": {:.0},\n  \"speedup_vs_seed\": {:.2},\n  \"events\": {},\n  \"sent\": {},\n  \"delivered\": {},\n  \"drops\": {},\n  \"wall_seconds\": {:.4},\n  \"engine\": {{\n    \"heap_pops\": {},\n    \"now_pops\": {},\n    \"stream_pops\": {},\n    \"route_cache_hits\": {},\n    \"route_cache_misses\": {},\n    \"peak_queue_depth\": {}\n  }},\n  \"metrics\": {}\n}}\n",
         run.sim_seconds,
         SEED_ENGINE_EVENTS_PER_SEC,
         run.events_per_sec,
@@ -298,6 +298,7 @@ fn run_engine() {
         run.route_cache_hits,
         run.route_cache_misses,
         run.peak_queue_depth,
+        run.metrics_json.trim_end(),
     );
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/bench_engine.json", json);
@@ -330,6 +331,12 @@ fn run_chaos(seeds_per_workload: u64) -> bool {
     for f in &failures {
         println!("VIOLATION in {}: {}", f.workload, f.violations[0]);
         println!("  {}", f.replay);
+        if let Some(dump) = &f.trace_dump {
+            println!("  flight recorder — last {} events before the verdict:", chaos::TRACE_DUMP_EVENTS);
+            for line in dump.lines() {
+                println!("    {line}");
+            }
+        }
     }
 
     let drill = chaos::planted_bug_drill(8);
@@ -346,6 +353,12 @@ fn run_chaos(seeds_per_workload: u64) -> bool {
     if drill.caught {
         println!("planted bug caught: {}", drill.first_violation);
         println!("  {}", drill.replay);
+        if let Some(dump) = &drill.trace_dump {
+            println!("  flight recorder — last {} events of the shrunk replay:", chaos::TRACE_DUMP_EVENTS);
+            for line in dump.lines() {
+                println!("    {line}");
+            }
+        }
     } else {
         println!("planted bug NOT caught — the oracle layer has a blind spot");
     }
@@ -359,20 +372,149 @@ fn run_chaos(seeds_per_workload: u64) -> bool {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"chaos_soak\",\n  \"plans\": {},\n  \"violations\": {},\n  \"workloads\": [\n{}\n  ],\n  \"planted_bug_caught\": {},\n  \"planted_bug_replay\": \"{}\"\n}}\n",
+        "{{\n  \"experiment\": \"chaos_soak\",\n  \"plans\": {},\n  \"violations\": {},\n  \"workloads\": [\n{}\n  ],\n  \"planted_bug_caught\": {},\n  \"planted_bug_replay\": \"{}\",\n  \"metrics\": {}\n}}\n",
         runs.len(),
         failures.len(),
         per_workload.join(",\n"),
         drill.caught,
         drill.replay.replace('"', "'"),
+        chaos::aggregate_metrics_json(&runs, 2).trim_end(),
     );
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/chaos.json", json);
     failures.is_empty() && drill.caught
 }
 
+/// Parse a seed as printed by the soak table / replay lines: decimal or
+/// `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// `harness trace <plan-seed> <workload-seed> [workload]`: replay any
+/// chaos run with the flight recorder armed and print the full trace,
+/// green or not. Defaults to replaying the seed pair against every
+/// workload; name one (as printed in replay lines) to narrow it.
+fn run_trace(rest: &[String]) -> bool {
+    let (Some(plan_seed), Some(workload_seed)) =
+        (rest.first().and_then(|s| parse_seed(s)), rest.get(1).and_then(|s| parse_seed(s)))
+    else {
+        eprintln!("usage: harness trace <plan-seed> <workload-seed> [workload]");
+        eprintln!("workloads: {}", chaos::ALL_WORKLOADS.map(|w| w.name()).join(", "));
+        return false;
+    };
+    let workloads: Vec<chaos::Workload> = match rest.get(2) {
+        Some(name) => match chaos::Workload::from_name(name) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!(
+                    "unknown workload {name:?}; expected one of: {}",
+                    chaos::ALL_WORKLOADS.map(|w| w.name()).join(", ")
+                );
+                return false;
+            }
+        },
+        None => chaos::ALL_WORKLOADS.to_vec(),
+    };
+    let mut ok = true;
+    for w in workloads {
+        let r = chaos::trace_one(w, plan_seed, workload_seed);
+        println!("=== {} | {}", r.workload, r.replay);
+        println!("{}", r.trace_dump.as_deref().unwrap_or("(no events recorded)"));
+        println!("event totals: {}", r.metrics_json.trim_end());
+        if r.violations.is_empty() {
+            println!("verdict: green");
+        } else {
+            ok = false;
+            for v in &r.violations {
+                println!("VIOLATION: {v}");
+            }
+        }
+        println!();
+    }
+    ok
+}
+
+/// Allowed recorder-compiled-in-but-disabled overhead: best-of-N must
+/// stay at or above this fraction of the observability-free baseline
+/// (i.e. at most 2% slower).
+const GATE_FRACTION: f64 = 0.98;
+/// Trials for the standalone `engine-gate` form. Wall-clock noise on a
+/// shared machine dwarfs a 2% effect on any single run; best-of-N
+/// isolates the machine's quiet moments.
+const GATE_TRIALS: usize = 7;
+
+/// `harness engine-probe`: one storm, recorder disabled, events/s as a
+/// bare number on stdout. `scripts/check.sh` interleaves probes of the
+/// default build against an `--features obs-off` build (observability
+/// compile-folded out of the same tree -- the hot path as it was before
+/// the flight recorder landed) so machine-load drift cancels out of the
+/// comparison.
+fn run_engine_probe() {
+    assert!(
+        !snipe_netsim::trace::enabled(),
+        "probe measures the recorder-disabled configuration"
+    );
+    let r = engine::storm_with("probe", 32, SimDuration::from_secs(2), 42, true);
+    println!("{:.0}", r.events_per_sec);
+}
+
+/// `harness engine-gate <baseline-events-per-sec>`: best-of-N of the
+/// recorder-disabled storm must reach [`GATE_FRACTION`] of `baseline`
+/// (an `engine-probe` reading from the `obs-off` build of this tree).
+fn run_engine_gate(baseline: f64) -> bool {
+    assert!(
+        !snipe_netsim::trace::enabled(),
+        "gate measures the recorder-disabled configuration"
+    );
+    let sim = SimDuration::from_secs(2);
+    let mut best = 0.0f64;
+    for trial in 0..GATE_TRIALS {
+        let r = engine::storm_with("gate", 32, sim, 42, true);
+        println!("  trial {trial}: {:.0} events/s", r.events_per_sec);
+        if r.events_per_sec > best {
+            best = r.events_per_sec;
+        }
+    }
+    let floor = baseline * GATE_FRACTION;
+    let ok = best >= floor;
+    println!(
+        "engine overhead gate: best-of-{GATE_TRIALS} {best:.0} events/s vs floor {floor:.0} \
+         ({:.1}% of observability-free baseline {baseline:.0}) -> {}",
+        best / baseline * 100.0,
+        if ok { "PASS" } else { "FAIL" },
+    );
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        if !run_trace(&args[1..]) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("engine-probe") {
+        run_engine_probe();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("engine-gate") {
+        let Some(baseline) = args.get(1).and_then(|a| a.parse::<f64>().ok()).filter(|b| *b > 0.0)
+        else {
+            eprintln!("usage: harness engine-gate <baseline-events-per-sec>");
+            eprintln!("(get the baseline from `harness engine-probe` built with --features obs-off)");
+            std::process::exit(1);
+        };
+        if !run_engine_gate(baseline) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let all = args.is_empty();
     let want = |k: &str| all || args.iter().any(|a| a == k);
     if all {

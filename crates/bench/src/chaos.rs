@@ -17,12 +17,14 @@ use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
 use snipe_netsim::chaos::{ChaosBinding, ChaosOp, ChaosPlan, ChaosShape, shrink_plan};
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
+use snipe_netsim::trace::{self, TraceKind};
 use snipe_netsim::world::World;
 use snipe_rcds::assertion::Assertion;
 use snipe_rcds::client::RcClient;
 use snipe_rcds::server::RcServerActor;
 use snipe_rcds::uri::Uri;
 use snipe_util::id::NetId;
+use snipe_util::metrics::Registry;
 use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::mcast::{majority, McastMember, McastMsg, McastRouter};
@@ -83,6 +85,12 @@ impl Workload {
             Workload::RcdsConverge => "rcds-converge",
             Workload::Mcast => "mcast",
         }
+    }
+
+    /// Inverse of [`Workload::name`] — resolves the workload named in a
+    /// replay line (for the `harness trace` subcommand).
+    pub fn from_name(name: &str) -> Option<Workload> {
+        ALL_WORKLOADS.iter().copied().find(|w| w.name() == name)
     }
 
     /// The fault envelope this workload's contract tolerates.
@@ -848,6 +856,14 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
 // Soak driver, shrinking and the planted-bug drill
 // ---------------------------------------------------------------------------
 
+/// Flight-recorder ring capacity for chaos runs: big enough to hold
+/// the last fault window's worth of events, small enough to stay cheap
+/// (one reserve per run).
+pub const TRACE_RING: usize = 8192;
+
+/// How many trailing events a violation dump shows.
+pub const TRACE_DUMP_EVENTS: usize = 40;
+
 /// Outcome of one `(workload, plan, workload-seed)` chaos run.
 #[derive(Clone, Debug)]
 pub struct ChaosRun {
@@ -865,6 +881,45 @@ pub struct ChaosRun {
     pub violations: Vec<String>,
     /// One-line replay recipe.
     pub replay: String,
+    /// Flight-recorder dump of the run's last events — populated only
+    /// when an oracle was violated (the diagnosis trail).
+    pub trace_dump: Option<String>,
+    /// Per-kind flight-recorder event totals for the whole run,
+    /// rendered as a metrics-registry JSON object.
+    pub metrics_json: String,
+    /// Raw per-kind event totals (indexed by `TraceKind::tag()`), kept
+    /// alongside the rendered JSON so the harness can aggregate across
+    /// a soak without re-parsing.
+    pub kind_counts: [u64; TraceKind::COUNT],
+    /// Events overwritten by ring wrap-around during the run.
+    pub ring_dropped: u64,
+}
+
+/// Render per-kind event totals as a metrics-registry JSON object.
+fn trace_metrics_json(kind_counts: &[u64; TraceKind::COUNT], ring_dropped: u64, indent: usize) -> String {
+    let mut metrics = Registry::new();
+    for (i, n) in TraceKind::NAMES.iter().enumerate() {
+        let name = format!("trace.{n}");
+        let id = metrics.counter(&name);
+        metrics.set_counter(id, kind_counts[i]);
+    }
+    let id = metrics.counter("trace.ring_dropped");
+    metrics.set_counter(id, ring_dropped);
+    metrics.render_json(indent)
+}
+
+/// Sum the per-run flight-recorder totals over a whole soak and render
+/// them as one metrics-registry snapshot (for `results/chaos.json`).
+pub fn aggregate_metrics_json(runs: &[ChaosRun], indent: usize) -> String {
+    let mut counts = [0u64; TraceKind::COUNT];
+    let mut dropped = 0u64;
+    for r in runs {
+        for (acc, c) in counts.iter_mut().zip(&r.kind_counts) {
+            *acc += c;
+        }
+        dropped += r.ring_dropped;
+    }
+    trace_metrics_json(&counts, dropped, indent)
 }
 
 /// Derive the `(plan_seed, workload_seed)` pair for soak index `i`.
@@ -873,10 +928,35 @@ pub fn soak_seeds(i: u64) -> (u64, u64) {
     (0xC0FF_EE00 + i, 0x5EED + i)
 }
 
-/// Run one seeded plan against one workload.
+/// Run one seeded plan against one workload, with the flight recorder
+/// armed for the whole run. The recorder is thread-local, so parallel
+/// soak runs each get their own ring; on an oracle violation the run
+/// carries a readable dump of the last [`TRACE_DUMP_EVENTS`] events.
 pub fn run_one(w: Workload, plan_seed: u64, workload_seed: u64) -> ChaosRun {
+    run_traced(w, plan_seed, workload_seed, false)
+}
+
+/// [`run_one`], but the trace dump covers the full ring regardless of
+/// verdict — the `harness trace <plan-seed> <workload-seed>` replay
+/// path for post-mortems on green-looking seeds.
+pub fn trace_one(w: Workload, plan_seed: u64, workload_seed: u64) -> ChaosRun {
+    run_traced(w, plan_seed, workload_seed, true)
+}
+
+fn run_traced(w: Workload, plan_seed: u64, workload_seed: u64, dump_always: bool) -> ChaosRun {
     let plan = ChaosPlan::generate(plan_seed, &w.shape());
+    trace::enable(TRACE_RING);
     let violations = w.run(&plan, workload_seed);
+    let trace_dump = if dump_always {
+        Some(trace::render_last(TRACE_RING))
+    } else if violations.is_empty() {
+        None
+    } else {
+        Some(trace::render_last(TRACE_DUMP_EVENTS))
+    };
+    let kind_counts = trace::kind_counts();
+    let ring_dropped = trace::trace_dropped();
+    trace::disable();
     ChaosRun {
         workload: w.name(),
         plan_seed,
@@ -885,6 +965,10 @@ pub fn run_one(w: Workload, plan_seed: u64, workload_seed: u64) -> ChaosRun {
         packet: plan.packet.is_some(),
         violations,
         replay: plan.replay_line(w.name(), workload_seed),
+        trace_dump,
+        metrics_json: trace_metrics_json(&kind_counts, ring_dropped, 6),
+        kind_counts,
+        ring_dropped,
     }
 }
 
@@ -920,6 +1004,8 @@ pub struct PlantedBugReport {
     pub shrunk: Option<ChaosPlan>,
     /// Replay recipe for the shrunk plan.
     pub replay: String,
+    /// Flight-recorder dump of the shrunk plan's violating replay.
+    pub trace_dump: Option<String>,
 }
 
 /// The planted-bug drill: disable the migration packet freeze (the
@@ -944,6 +1030,13 @@ pub fn planted_bug_drill(max_seeds: u64) -> PlantedBugReport {
             shrunk.ops.len(),
             shrunk.packet
         );
+        // Replay the minimal plan with the flight recorder armed: the
+        // drill's report carries the trace that pins the loss to the
+        // cutover window, same as any organic violation would.
+        trace::enable(TRACE_RING);
+        let _ = run_migration(&shrunk, workload_seed, true);
+        let trace_dump = trace::render_last(TRACE_DUMP_EVENTS);
+        trace::disable();
         return PlantedBugReport {
             caught: true,
             plan_seed,
@@ -951,6 +1044,7 @@ pub fn planted_bug_drill(max_seeds: u64) -> PlantedBugReport {
             first_violation: violations[0].clone(),
             shrunk: Some(shrunk),
             replay,
+            trace_dump: Some(trace_dump),
         };
     }
     PlantedBugReport {
@@ -960,6 +1054,7 @@ pub fn planted_bug_drill(max_seeds: u64) -> PlantedBugReport {
         first_violation: String::new(),
         shrunk: None,
         replay: String::new(),
+        trace_dump: None,
     }
 }
 

@@ -52,6 +52,9 @@ pub struct EngineRun {
     pub route_cache_misses: u64,
     /// High-water mark of pending events.
     pub peak_queue_depth: u64,
+    /// The world's metrics-registry snapshot, rendered as a JSON
+    /// object (counters, gauges, latency histogram).
+    pub metrics_json: String,
 }
 
 const STORM_PAYLOAD: &[u8] = &[0xA5; 64];
@@ -180,6 +183,7 @@ pub fn storm_with(
     let t0 = std::time::Instant::now();
     world.run_for(sim);
     let wall = t0.elapsed().as_secs_f64();
+    let metrics_json = world.metrics_json(2);
     let stats = world.stats();
     EngineRun {
         label: label.to_string(),
@@ -196,6 +200,7 @@ pub fn storm_with(
         route_cache_hits: stats.engine.route_cache_hits,
         route_cache_misses: stats.engine.route_cache_misses,
         peak_queue_depth: stats.engine.peak_queue_depth,
+        metrics_json,
     }
 }
 

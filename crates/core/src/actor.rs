@@ -13,6 +13,7 @@ use bytes::Bytes;
 
 use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
 use snipe_netsim::topology::Endpoint;
+use snipe_netsim::trace::{self, MigrationPhase, TraceKind};
 use snipe_rcds::assertion::Assertion;
 use snipe_rcds::client::RcClient;
 use snipe_rcds::uri::Uri;
@@ -966,6 +967,12 @@ impl ProcessActor {
             return; // already there
         }
         self.migrating = true;
+        if trace::enabled() {
+            trace::record(
+                ctx.now(),
+                TraceKind::Migration { phase: MigrationPhase::Checkpoint, key: self.proc_key },
+            );
+        }
         let user_state = self.process.checkpoint();
         let stack_state = self
             .stack
@@ -1010,6 +1017,15 @@ impl ProcessActor {
                 // address can never confuse peers — then detach from
                 // the daemon, redirect stragglers briefly, and
                 // disappear (§5.6).
+                if trace::enabled() {
+                    trace::record(
+                        ctx.now(),
+                        TraceKind::Migration {
+                            phase: MigrationPhase::Cutover,
+                            key: self.proc_key,
+                        },
+                    );
+                }
                 self.stack = None;
                 self.redirect_to = Some(endpoint);
                 let me = ctx.me();
@@ -1070,6 +1086,12 @@ impl ProcessActor {
         let now = ctx.now();
         let migrated = self.resume.is_some();
         if let Some(payload) = self.resume.take() {
+            if trace::enabled() {
+                trace::record(
+                    now,
+                    TraceKind::Migration { phase: MigrationPhase::Resume, key: self.proc_key },
+                );
+            }
             let scfg = self.stack_config();
             let stack = if payload.stack_state.is_empty() {
                 WireStack::new(self.proc_key, scfg)
@@ -1179,6 +1201,15 @@ impl Actor for ProcessActor {
                     }
                     TIMER_MIGRATE_GRACE => {
                         // Done redirecting; vanish.
+                        if trace::enabled() {
+                            trace::record(
+                                ctx.now(),
+                                TraceKind::Migration {
+                                    phase: MigrationPhase::Vanish,
+                                    key: self.proc_key,
+                                },
+                            );
+                        }
                         self.exited = true;
                         let me = ctx.me();
                         ctx.kill(me);

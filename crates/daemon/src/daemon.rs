@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use snipe_crypto::cert::{Certificate, TrustPurpose, TrustStore};
 use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
 use snipe_netsim::topology::Endpoint;
+use snipe_netsim::trace::{self, FaultOp, TraceKind};
 use snipe_rcds::assertion::Assertion;
 use snipe_rcds::client::RcClient;
 use snipe_rcds::uri::Uri;
@@ -246,6 +247,14 @@ impl DaemonActor {
         self.next_task_port = port.wrapping_add(1).max(ports::TASK_BASE);
         let ep = ctx.spawn(ctx.host(), port, actor).expect("port checked free");
         self.spawns += 1;
+        if trace::enabled() {
+            trace::record(
+                ctx.now(),
+                TraceKind::Fault {
+                    op: FaultOp { what: "daemon_spawn", a: proc_key, b: port as u64 },
+                },
+            );
+        }
         self.tasks.insert(
             ep.port,
             TaskInfo { proc_key, state: TaskState::Running, notify: spec.notify.clone() },
@@ -287,6 +296,18 @@ impl DaemonActor {
             self.send_msg(ctx, ep, &DaemonMsg::TaskEvent { proc_key, state });
         }
         if matches!(state, TaskState::Exited | TaskState::Crashed) {
+            if trace::enabled() {
+                let what = match state {
+                    TaskState::Crashed => "task_crashed",
+                    _ => "task_exited",
+                };
+                trace::record(
+                    ctx.now(),
+                    TraceKind::Fault {
+                        op: FaultOp { what, a: proc_key, b: port as u64 },
+                    },
+                );
+            }
             self.tasks.remove(&port);
         }
     }

@@ -20,7 +20,10 @@
 //!   failures and network partitions;
 //! * [`chaos`] — declarative, seed-driven fault plans: packet
 //!   corruption/duplication/reordering, gray links, flapping and
-//!   process restarts, replayable bit-for-bit from a plan seed.
+//!   process restarts, replayable bit-for-bit from a plan seed;
+//! * [`trace`] — flat stats counters plus the thread-local flight
+//!   recorder: a fixed-capacity ring of virtual-time-stamped events
+//!   every layer records into, dumped on chaos-oracle violations.
 
 pub mod actor;
 pub mod chaos;
@@ -34,4 +37,5 @@ pub use actor::{Actor, ActorId, Ctx, Event, TimerGate};
 pub use chaos::{ChaosBinding, ChaosOp, ChaosPlan, ChaosShape, PacketChaos};
 pub use medium::Medium;
 pub use topology::{Endpoint, HostCfg, Topology};
+pub use trace::{FaultOp, MigrationPhase, TraceEvent, TraceKind};
 pub use world::World;

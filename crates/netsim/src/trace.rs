@@ -1,4 +1,4 @@
-//! Counters and optional packet tracing.
+//! Counters, the flight recorder, and optional packet tracing.
 //!
 //! All hot-path counters are flat arrays/vectors rather than hash maps:
 //! `send_packet` and `step` bump them once per packet/event, so a
@@ -6,8 +6,31 @@
 //! accounting combined. Drop reasons index a fixed array; per-network
 //! byte counts index a `Vec` by `NetId` (network ids are dense, handed
 //! out sequentially by `Topology::add_network`).
+//!
+//! ## Flight recorder
+//!
+//! A fixed-capacity ring of structured [`TraceEvent`]s, stamped with
+//! virtual time and a per-run sequence number. Every layer above the
+//! simulator records into it — the engine (sends, deliveries, drops,
+//! timer fires, fault ops), the wire transports (retransmits, path
+//! rotations) and the process layer (migration phases) — so when a
+//! chaos oracle trips, the harness can dump the last N events as a
+//! readable story instead of bisecting seeds blind.
+//!
+//! The recorder is **thread-local** and off by default: disabled, the
+//! whole record path is one `Cell<bool>` load. Enabled, it never
+//! allocates after [`enable`] preallocates the ring — at capacity it
+//! drops the *oldest* event and counts it in `trace_dropped`. Thread
+//! locality keeps recording deterministic under the chaos soak's
+//! fan-out (each seeded run owns its thread, and its trace) with zero
+//! synchronization on the simulator hot path.
+
+use std::cell::{Cell, RefCell};
 
 use snipe_util::id::NetId;
+use snipe_util::time::SimTime;
+
+use crate::topology::Endpoint;
 
 /// Why a packet never arrived.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -36,6 +59,17 @@ impl DropReason {
         DropReason::NoListener,
         DropReason::TooBig,
     ];
+
+    /// Stable lowercase name (metrics keys, trace dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::NoRoute => "no_route",
+            DropReason::HostDown => "host_down",
+            DropReason::NoListener => "no_listener",
+            DropReason::TooBig => "too_big",
+        }
+    }
 }
 
 /// Event-engine internals: queue and route-cache behaviour. Exposed for
@@ -136,6 +170,272 @@ impl NetStats {
     }
 }
 
+/// A fault-layer operation, recorded as `what` plus two generic
+/// operands (host/net ids, group numbers, process keys — whatever the
+/// op manipulates). `&'static str` keeps the event `Copy` and the
+/// record path allocation-free while dumps stay self-describing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultOp {
+    /// Operation name (`"host_down"`, `"set_gray"`, `"respawn"`, …).
+    pub what: &'static str,
+    /// First operand (meaning depends on `what`).
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+}
+
+/// Phase marker for a live-process migration (§6 of the paper): the
+/// checkpoint on the old host, the cutover to forwarding, the old
+/// incarnation vanishing, and the resume on the new host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// State checkpointed and shipped in a spawn request.
+    Checkpoint,
+    /// Spawn confirmed: stack dropped, forwarding redirect installed.
+    Cutover,
+    /// Grace period over; the old incarnation exits.
+    Vanish,
+    /// New incarnation imported the snapshot and took over.
+    Resume,
+}
+
+/// One structured flight-recorder event kind. Every variant is `Copy`
+/// and fixed-size: recording is a ring-slot write, never a heap touch.
+#[derive(Clone, Copy, Debug)]
+pub enum TraceKind {
+    /// A datagram entered `send_packet`.
+    Send {
+        /// Sender endpoint.
+        from: Endpoint,
+        /// Destination endpoint.
+        to: Endpoint,
+        /// Payload length.
+        len: u32,
+    },
+    /// A datagram reached a bound actor.
+    Recv {
+        /// Original sender.
+        from: Endpoint,
+        /// Receiving endpoint.
+        to: Endpoint,
+        /// Payload length.
+        len: u32,
+    },
+    /// A datagram was dropped by the engine.
+    Drop {
+        /// Why it never arrived.
+        reason: DropReason,
+    },
+    /// A wire driver re-sent unacknowledged data (RTO or kicked).
+    Retransmit {
+        /// Peer process key (or 0 when unkeyed).
+        peer: u64,
+        /// Bytes re-sent.
+        len: u32,
+    },
+    /// An actor timer fired.
+    TimerFire {
+        /// The actor's timer token.
+        token: u64,
+    },
+    /// The path selector rotated a peer to a new primary route.
+    PathRotate {
+        /// Peer process key.
+        peer: u64,
+        /// Raw id of the network now carrying traffic (`u32::MAX`
+        /// when the peer has no pinned candidates).
+        rank: u32,
+    },
+    /// A fault-layer or supervision operation ran.
+    Fault {
+        /// The operation.
+        op: FaultOp,
+    },
+    /// A process migration crossed a phase boundary.
+    Migration {
+        /// Which phase.
+        phase: MigrationPhase,
+        /// The migrating process key.
+        key: u64,
+    },
+}
+
+impl TraceKind {
+    /// Number of variants (size of the per-kind counter array).
+    pub const COUNT: usize = 8;
+
+    /// Kind names, indexed by [`TraceKind::tag`].
+    pub const NAMES: [&'static str; TraceKind::COUNT] = [
+        "send",
+        "recv",
+        "drop",
+        "retransmit",
+        "timer_fire",
+        "path_rotate",
+        "fault_op",
+        "migration",
+    ];
+
+    /// Dense discriminant for the per-kind counters.
+    pub fn tag(&self) -> usize {
+        match self {
+            TraceKind::Send { .. } => 0,
+            TraceKind::Recv { .. } => 1,
+            TraceKind::Drop { .. } => 2,
+            TraceKind::Retransmit { .. } => 3,
+            TraceKind::TimerFire { .. } => 4,
+            TraceKind::PathRotate { .. } => 5,
+            TraceKind::Fault { .. } => 6,
+            TraceKind::Migration { .. } => 7,
+        }
+    }
+}
+
+/// One recorded event: virtual timestamp, seed-deterministic sequence
+/// number (position in this run's record stream), and the payload.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Monotone per-run sequence number (0-based).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+struct Recorder {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next slot to (over)write once the ring is full.
+    next: usize,
+    seq: u64,
+    dropped: u64,
+    kind_counts: [u64; TraceKind::COUNT],
+}
+
+impl Recorder {
+    const fn empty() -> Recorder {
+        Recorder {
+            buf: Vec::new(),
+            cap: 0,
+            next: 0,
+            seq: 0,
+            dropped: 0,
+            kind_counts: [0; TraceKind::COUNT],
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: TraceKind) {
+        let ev = TraceEvent { seq: self.seq, at, kind };
+        self.seq += 1;
+        self.kind_counts[kind.tag()] += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            // Full: overwrite the oldest (the slot `next` points at).
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in chronological order, oldest retained first.
+    fn iter_ordered(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.buf.split_at(self.next.min(self.buf.len()));
+        head.iter().chain(tail.iter())
+    }
+}
+
+thread_local! {
+    static TRACE_ON: Cell<bool> = const { Cell::new(false) };
+    static RECORDER: RefCell<Recorder> = const { RefCell::new(Recorder::empty()) };
+}
+
+/// Turn the flight recorder on for this thread with a fresh ring of
+/// `capacity` events (clamped to at least 1). Resets sequence numbers,
+/// per-kind counts and the `trace_dropped` counter — one `enable` per
+/// seeded run is what keeps traces replayable.
+pub fn enable(capacity: usize) {
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let cap = capacity.max(1);
+        *r = Recorder::empty();
+        r.cap = cap;
+        r.buf.reserve_exact(cap);
+    });
+    TRACE_ON.with(|t| t.set(true));
+}
+
+/// Turn the recorder off (the ring is kept until the next [`enable`],
+/// so a post-mortem can still render it).
+pub fn disable() {
+    TRACE_ON.with(|t| t.set(false));
+}
+
+/// Is the recorder on for this thread? One `Cell` load — cheap enough
+/// for cold call sites; hot loops should cache it (the `World` does).
+/// Constant `false` under the `obs-off` gate-baseline feature, which
+/// compile-folds every recording branch away.
+#[inline]
+pub fn enabled() -> bool {
+    !cfg!(feature = "obs-off") && TRACE_ON.with(|t| t.get())
+}
+
+/// Record one event at virtual time `at`. No-op when disabled; never
+/// allocates when enabled (the ring was preallocated by [`enable`]).
+#[inline]
+pub fn record(at: SimTime, kind: TraceKind) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| r.borrow_mut().push(at, kind));
+}
+
+/// Events overwritten because the ring was full (drop-oldest policy).
+pub fn trace_dropped() -> u64 {
+    RECORDER.with(|r| r.borrow().dropped)
+}
+
+/// Total events recorded since [`enable`], by kind tag. Survives ring
+/// overwrite, so rates (retransmits, rotations) stay exact on long
+/// runs even though only the tail of the story is retained.
+pub fn kind_counts() -> [u64; TraceKind::COUNT] {
+    RECORDER.with(|r| r.borrow().kind_counts)
+}
+
+/// Copy out the last `n` retained events in chronological order.
+pub fn last_events(n: usize) -> Vec<TraceEvent> {
+    RECORDER.with(|r| {
+        let r = r.borrow();
+        let have = r.buf.len();
+        r.iter_ordered().skip(have.saturating_sub(n)).copied().collect()
+    })
+}
+
+/// Render the last `n` retained events as a readable multi-line trace
+/// (one event per line, virtual-time stamped), with a header noting
+/// how much of the run the ring retained.
+pub fn render_last(n: usize) -> String {
+    RECORDER.with(|r| {
+        let r = r.borrow();
+        let have = r.buf.len();
+        let shown = have.min(n);
+        let mut out = format!(
+            "flight recorder: {} events total, {} overwritten, showing last {}\n",
+            r.seq, r.dropped, shown
+        );
+        for ev in r.iter_ordered().skip(have - shown) {
+            out.push_str(&format!(
+                "  #{:<8} t={:>12.6}ms  {:?}\n",
+                ev.seq,
+                ev.at.as_secs_f64() * 1e3,
+                ev.kind
+            ));
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +456,59 @@ mod tests {
         for (i, r) in DropReason::ALL.iter().enumerate() {
             assert_eq!(*r as usize, i);
         }
+    }
+
+    /// Off-by-one hunting at the wrap point: fill a capacity-8 ring
+    /// with 11 events. Exactly the 3 oldest must be overwritten (and
+    /// counted), the survivors must come back in order with no seam at
+    /// the wrap, and rendering must agree.
+    #[test]
+    fn ring_wraps_drop_oldest_and_count() {
+        enable(8);
+        assert!(enabled());
+        assert_eq!(trace_dropped(), 0);
+        for i in 0..11u64 {
+            record(SimTime::from_nanos(1000 * i), TraceKind::TimerFire { token: i });
+        }
+        assert_eq!(trace_dropped(), 3, "capacity 8, 11 pushed: 3 overwritten");
+        let evs = last_events(100);
+        assert_eq!(evs.len(), 8, "ring retains exactly its capacity");
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (3..=10).collect::<Vec<u64>>(), "oldest 3 gone, order intact");
+        for (e, want) in evs.iter().zip(3u64..) {
+            assert_eq!(e.at, SimTime::from_nanos(1000 * want));
+            assert!(matches!(e.kind, TraceKind::TimerFire { token } if token == want));
+        }
+        // last_events(n < retained) returns the newest n.
+        let tail: Vec<u64> = last_events(2).iter().map(|e| e.seq).collect();
+        assert_eq!(tail, vec![9, 10]);
+        let dump = render_last(4);
+        assert!(dump.contains("11 events total, 3 overwritten, showing last 4"), "{dump}");
+        assert!(dump.contains("#7"), "{dump}");
+        assert!(dump.contains("#10"), "{dump}");
+        assert!(!dump.contains("#6 "), "{dump}");
+        assert_eq!(kind_counts()[4], 11, "kind counts survive overwrite");
+        disable();
+        record(SimTime::ZERO, TraceKind::TimerFire { token: 99 });
+        assert_eq!(kind_counts()[4], 11, "disabled recorder must not record");
+    }
+
+    /// Exactly-at-capacity is the other wrap-point edge: nothing may
+    /// be dropped, and the very next event evicts exactly one.
+    #[test]
+    fn ring_at_exact_capacity_drops_nothing() {
+        enable(4);
+        for i in 0..4u64 {
+            record(SimTime::from_nanos(i), TraceKind::TimerFire { token: i });
+        }
+        assert_eq!(trace_dropped(), 0);
+        assert_eq!(last_events(100).len(), 4);
+        assert_eq!(last_events(100)[0].seq, 0);
+        record(SimTime::from_nanos(4), TraceKind::TimerFire { token: 4 });
+        assert_eq!(trace_dropped(), 1);
+        let seqs: Vec<u64> = last_events(100).iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        disable();
     }
 
     #[test]

@@ -26,13 +26,14 @@ use std::hash::{BuildHasherDefault, Hasher};
 use bytes::Bytes;
 
 use snipe_util::id::{HostId, LinkId, NetId};
+use snipe_util::metrics::{HistoId, Log2Histogram, Registry};
 use snipe_util::rng::Xoshiro256;
 use snipe_util::time::{SimDuration, SimTime};
 
 use crate::actor::{Actor, ActorId, Ctx, Event};
 use crate::chaos::PacketChaos;
 use crate::topology::{Endpoint, GrayLevel, PathInfo, Topology};
-use crate::trace::{DropReason, NetStats};
+use crate::trace::{self, DropReason, FaultOp, NetStats, TraceKind};
 
 /// First ephemeral port handed out by [`World::alloc_port`].
 pub const EPHEMERAL_BASE: u16 = 49152;
@@ -193,6 +194,22 @@ pub struct World {
     /// perturbs the workload's RNG: a failing run replays bit-for-bit
     /// from `(plan seed, workload seed)` independently.
     chaos_rng: Xoshiro256,
+    /// Snapshot of `trace::enabled()` — the flight-recorder check on
+    /// the packet/timer hot paths is one predictable branch on this
+    /// field, not a TLS lookup per event.
+    recording: bool,
+    /// The world's metrics registry. Hot counters still accumulate in
+    /// `NetStats` (flat struct fields, same as ever) and the latency
+    /// histogram in [`World::h_latency`]; everything is mirrored in at
+    /// snapshot time so the registry itself is fully off the hot path.
+    metrics: Registry,
+    /// End-to-end delivery latency (queue + serialization +
+    /// propagation) in nanoseconds, one sample per queued delivery.
+    /// Inline field, not a registry slot: recording is a direct
+    /// fixed-array bump with no id indirection.
+    h_latency: Log2Histogram,
+    /// Registry slot `net.delivery_latency_ns` mirrors into.
+    h_latency_id: HistoId,
 }
 
 impl World {
@@ -201,6 +218,8 @@ impl World {
         let mut stats = NetStats::default();
         stats.reserve_nets(topo.net_count());
         let route_epoch = topo.epoch();
+        let mut metrics = Registry::new();
+        let h_latency_id = metrics.histogram("net.delivery_latency_ns");
         World {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
@@ -223,7 +242,18 @@ impl World {
             route_cache_enabled: true,
             chaos: None,
             chaos_rng: Xoshiro256::seed_from_u64(0),
+            recording: trace::enabled(),
+            metrics,
+            h_latency: Log2Histogram::default(),
+            h_latency_id,
         }
+    }
+
+    /// Re-sample the thread-local flight-recorder flag. Only needed
+    /// when `trace::enable`/`disable` ran *after* this world was
+    /// constructed (`World::new` samples it once).
+    pub fn sync_recording(&mut self) {
+        self.recording = trace::enabled();
     }
 
     /// Enable/disable route memoization (on by default). Disabling
@@ -248,6 +278,66 @@ impl World {
     /// Aggregate delivery statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// The world's metrics registry (latency histogram plus, after
+    /// [`World::sync_metrics`], mirrors of every flat counter).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Mirror the flat hot-path counters (`NetStats`, `EngineStats`,
+    /// `ChaosStats`, per-net bytes) and the flight recorder's per-kind
+    /// totals into the registry. Cold: call at snapshot/render time,
+    /// idempotent across repeated syncs.
+    pub fn sync_metrics(&mut self) {
+        let s = self.stats.clone();
+        let m = &mut self.metrics;
+        let pairs: [(&str, u64); 16] = [
+            ("net.sent", s.sent),
+            ("net.delivered", s.delivered),
+            ("net.events", s.events),
+            ("net.drop.loss", s.drops(DropReason::Loss)),
+            ("net.drop.no_route", s.drops(DropReason::NoRoute)),
+            ("net.drop.host_down", s.drops(DropReason::HostDown)),
+            ("net.drop.no_listener", s.drops(DropReason::NoListener)),
+            ("net.drop.too_big", s.drops(DropReason::TooBig)),
+            ("net.chaos.corrupted", s.chaos.corrupted),
+            ("net.chaos.duplicated", s.chaos.duplicated),
+            ("net.chaos.reordered", s.chaos.reordered),
+            ("engine.heap_pops", s.engine.heap_pops),
+            ("engine.now_pops", s.engine.now_pops),
+            ("engine.stream_pops", s.engine.stream_pops),
+            ("engine.route_cache_hits", s.engine.route_cache_hits),
+            ("engine.route_cache_misses", s.engine.route_cache_misses),
+        ];
+        for (name, v) in pairs {
+            let id = m.counter(name);
+            m.set_counter(id, v);
+        }
+        let depth = m.gauge("engine.peak_queue_depth");
+        m.set(depth, s.engine.peak_queue_depth);
+        m.set_histo(self.h_latency_id, &self.h_latency);
+        for (net, bytes) in s.bytes_by_net() {
+            let id = m.counter(&format!("net.bytes.{}", net.index()));
+            m.set_counter(id, bytes);
+        }
+        // Flight-recorder totals (exact even after ring overwrite):
+        // retransmit and rotation *rates* come from here.
+        if trace::enabled() {
+            for (name, v) in TraceKind::NAMES.iter().zip(trace::kind_counts()) {
+                let id = m.counter(&format!("trace.{name}"));
+                m.set_counter(id, v);
+            }
+            let id = m.counter("trace.ring_dropped");
+            m.set_counter(id, trace::trace_dropped());
+        }
+    }
+
+    /// Sync and render the registry as a JSON object string.
+    pub fn metrics_json(&mut self, indent: usize) -> String {
+        self.sync_metrics();
+        self.metrics.render_json(indent)
     }
 
     /// Total events pending across all three queue tiers. Invariant
@@ -348,6 +438,21 @@ impl World {
             + self.streams.iter().map(|s| s.queue.len()).sum::<usize>()) as u64;
         if depth > self.stats.engine.peak_queue_depth {
             self.stats.engine.peak_queue_depth = depth;
+        }
+    }
+
+    /// Count a drop and, when the flight recorder is on, record it.
+    fn note_drop(&mut self, reason: DropReason) {
+        self.stats.drop(reason);
+        if cfg!(not(feature = "obs-off")) && self.recording {
+            trace::record(self.now, TraceKind::Drop { reason });
+        }
+    }
+
+    /// Record a fault-layer operation in the flight recorder.
+    fn note_fault(&mut self, what: &'static str, a: u64, b: u64) {
+        if cfg!(not(feature = "obs-off")) && self.recording {
+            trace::record(self.now, TraceKind::Fault { op: FaultOp { what, a, b } });
         }
     }
 
@@ -496,6 +601,7 @@ impl World {
         if !self.topo.host(h).up {
             return;
         }
+        self.note_fault("host_down", h.index() as u64, 0);
         self.topo.host_mut(h).up = false;
         self.topo.bump_epoch();
         for ep in self.endpoints_on(h) {
@@ -508,6 +614,7 @@ impl World {
         if self.topo.host(h).up {
             return;
         }
+        self.note_fault("host_up", h.index() as u64, 0);
         self.topo.host_mut(h).up = true;
         self.topo.bump_epoch();
         for ep in self.endpoints_on(h) {
@@ -525,6 +632,7 @@ impl World {
         }
         net.up = up;
         self.topo.bump_epoch();
+        self.note_fault("set_net_up", n.index() as u64, up as u64);
     }
 
     /// Take one host's interface on `n` down/up. Returns `false` if the
@@ -537,6 +645,7 @@ impl World {
             Some(i) => {
                 i.up = up;
                 self.topo.bump_epoch();
+                self.note_fault("set_iface_up", h.index() as u64, n.index() as u64);
                 true
             }
             None => false,
@@ -553,6 +662,7 @@ impl World {
         }
         net.loss_override = loss;
         self.topo.bump_epoch();
+        self.note_fault("set_net_loss", n.index() as u64, loss.is_some() as u64);
     }
 
     /// Put a network segment in a partition group. Idempotent: joining
@@ -564,6 +674,7 @@ impl World {
         }
         net.partition = group;
         self.topo.bump_epoch();
+        self.note_fault("set_partition", n.index() as u64, group as u64);
     }
 
     /// Degrade a network into a gray link (None restores the medium).
@@ -575,6 +686,7 @@ impl World {
         }
         net.gray = gray;
         self.topo.bump_epoch();
+        self.note_fault("set_gray", n.index() as u64, gray.is_some() as u64);
     }
 
     /// Install (or clear) per-packet chaos injection. The chaos RNG is
@@ -582,6 +694,7 @@ impl World {
     /// `(seed, traffic)` — never on how long a previous chaos window
     /// ran.
     pub fn set_packet_chaos(&mut self, chaos: Option<PacketChaos>, seed: u64) {
+        self.note_fault("set_packet_chaos", chaos.is_some() as u64, seed);
         self.chaos = chaos;
         self.chaos_rng = Xoshiro256::seed_from_u64(seed);
     }
@@ -676,23 +789,32 @@ impl World {
         via: Option<NetId>,
     ) {
         self.stats.sent += 1;
+        if cfg!(not(feature = "obs-off")) && self.recording {
+            trace::record(
+                self.now,
+                TraceKind::Send { from, to, len: payload.len() as u32 },
+            );
+        }
         if from.host == to.host {
             // Loopback: constant small cost, no shared wire.
             let m = crate::medium::Medium::loopback();
             let at = self.now + m.tx_time(payload.len()) + m.latency;
+            if cfg!(not(feature = "obs-off")) {
+                self.h_latency.observe(at.since(self.now).as_nanos());
+            }
             self.push(at, Queued::Deliver { from, to, payload });
             return;
         }
         if !self.topo.host(from.host).up {
-            self.stats.drop(DropReason::HostDown);
+            self.note_drop(DropReason::HostDown);
             return;
         }
         let Some(path) = self.select_path(from.host, to.host, via) else {
-            self.stats.drop(DropReason::NoRoute);
+            self.note_drop(DropReason::NoRoute);
             return;
         };
         if payload.len() > path.mtu {
-            self.stats.drop(DropReason::TooBig);
+            self.note_drop(DropReason::TooBig);
             return;
         }
         // Serialization on the first-hop transmitter, at the bottleneck
@@ -728,13 +850,16 @@ impl World {
         // Random loss (checked after wire occupancy: a lost frame still
         // burned air time).
         if path.loss > 0.0 && self.rng.gen_bool(path.loss) {
-            self.stats.drop(DropReason::Loss);
+            self.note_drop(DropReason::Loss);
             return;
         }
         for &n in path.nets() {
             self.stats.add_bytes(n, payload.len() as u64);
         }
         let at = finish + path.latency;
+        if cfg!(not(feature = "obs-off")) {
+            self.h_latency.observe(at.since(self.now).as_nanos());
+        }
         if self.chaos.is_some() {
             self.chaos_deliver(at, from, to, payload, channel, path.latency);
         } else {
@@ -819,12 +944,18 @@ impl World {
         match ev.kind {
             Queued::Deliver { from, to, payload } => {
                 if !self.topo.host(to.host).up {
-                    self.stats.drop(DropReason::HostDown);
+                    self.note_drop(DropReason::HostDown);
                 } else if let Some(&id) = self.bindings.get(&to) {
                     self.stats.delivered += 1;
+                    if cfg!(not(feature = "obs-off")) && self.recording {
+                        trace::record(
+                            self.now,
+                            TraceKind::Recv { from, to, len: payload.len() as u32 },
+                        );
+                    }
                     self.dispatch_id(id, to, Event::Packet { from, payload });
                 } else {
-                    self.stats.drop(DropReason::NoListener);
+                    self.note_drop(DropReason::NoListener);
                 }
             }
             Queued::Timer { actor, token } => {
@@ -833,6 +964,9 @@ impl World {
                     let ep = self.slots[idx].endpoint;
                     // Timers do not fire while the host is down.
                     if self.topo.host(ep.host).up {
+                        if cfg!(not(feature = "obs-off")) && self.recording {
+                            trace::record(self.now, TraceKind::TimerFire { token });
+                        }
                         self.dispatch_to(ep, Event::Timer { token });
                     }
                 }

@@ -15,11 +15,14 @@
 //! * [`error`] — the common error type.
 //! * [`stats`] — streaming statistics and histograms for the benchmark
 //!   harness.
+//! * [`metrics`] — the typed counter/gauge/histogram registry every
+//!   subsystem reports through (flat storage, zero-alloc updates).
 //! * [`id`] — small integer identifiers for simulation entities.
 
 pub mod codec;
 pub mod error;
 pub mod id;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -27,5 +30,6 @@ pub mod time;
 pub use codec::{Decoder, Encoder, WireDecode, WireEncode};
 pub use error::{SnipeError, SnipeResult};
 pub use id::{HostId, LinkId, NetId, ProcId};
+pub use metrics::{CounterId, GaugeId, HistoId, Log2Histogram, Registry};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,362 @@
+//! Typed metrics registry: named counters, gauges and log2-bucket
+//! histograms behind flat storage.
+//!
+//! The registry replaces ad-hoc per-subsystem counter structs with one
+//! uniform namespace (`"net.sent"`, `"wire.decode.checksum"`, …) that
+//! the bench harness snapshots into `results/*.json`. The design rule
+//! is the same one the engine's `NetStats` already follows: **hot-path
+//! updates are plain array increments**. Registration (name → id) is
+//! the only map-shaped work and happens once, at setup; after that a
+//! [`CounterId`]/[`GaugeId`]/[`HistoId`] is an index into a flat `Vec`
+//! and `add`/`set_max`/`observe` never allocate or hash.
+//!
+//! Naming convention: dot-separated lowercase path, subsystem first
+//! (`net.drop.loss`, `engine.heap_pops`, `wire.rotations`). Per-entity
+//! series append the entity index last (`net.bytes.3`).
+
+/// Handle to a registered counter (flat index; `Copy`, 4 bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistoId(u32);
+
+/// Number of log2 buckets: one per bit width of a `u64` sample, plus
+/// bucket 0 for the sample `0`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// Power-of-two histogram: bucket `b` counts samples whose bit width
+/// is `b` (i.e. `2^(b-1) <= x < 2^b`; bucket 0 holds exact zeros).
+/// Fixed 65-slot array — recording is a shift, three adds, no bounds
+/// surprises, no allocation ever.
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; LOG2_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, x: u64) {
+        let b = (64 - x.leading_zeros()) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(x);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Bucket counts (index = sample bit width).
+    pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-bucket quantile estimate: the upper bound `2^b` of the
+    /// bucket containing the `q`-th sample (0 for an empty histogram).
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q.clamp(0.0, 1.0)) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return if b >= 64 { u64::MAX } else { 1u64 << b };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A metrics registry: flat counter/gauge/histogram storage addressed
+/// by typed ids, with names kept aside for registration and rendering.
+///
+/// Not global and not thread-safe by design — each owner (a `World`, a
+/// `WireStack`) embeds its own registry, exactly like it embedded its
+/// own stats struct before. Determinism falls out: snapshots depend
+/// only on the owner's event stream.
+#[derive(Default)]
+pub struct Registry {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<u64>,
+    histo_names: Vec<String>,
+    histos: Vec<Log2Histogram>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter by name. Cold path: linear name
+    /// scan, possible allocation. Call at setup, keep the id.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(i as u32);
+        }
+        self.counter_names.push(name.to_owned());
+        self.counters.push(0);
+        CounterId((self.counters.len() - 1) as u32)
+    }
+
+    /// Register (or look up) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauge_names.iter().position(|n| n == name) {
+            return GaugeId(i as u32);
+        }
+        self.gauge_names.push(name.to_owned());
+        self.gauges.push(0);
+        GaugeId((self.gauges.len() - 1) as u32)
+    }
+
+    /// Register (or look up) a histogram by name.
+    pub fn histogram(&mut self, name: &str) -> HistoId {
+        if let Some(i) = self.histo_names.iter().position(|n| n == name) {
+            return HistoId(i as u32);
+        }
+        self.histo_names.push(name.to_owned());
+        self.histos.push(Log2Histogram::default());
+        HistoId((self.histos.len() - 1) as u32)
+    }
+
+    /// Bump a counter. Hot path: one indexed add.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize] += n;
+    }
+
+    /// Bump a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0 as usize] += 1;
+    }
+
+    /// Overwrite a counter with an externally accumulated total. For
+    /// cold snapshot-sync from a subsystem's own flat counters (the
+    /// source stays the hot accumulator; the registry mirrors it at
+    /// render time). Idempotent across repeated syncs.
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0 as usize] = v;
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: u64) {
+        self.gauges[id.0 as usize] = v;
+    }
+
+    /// Raise a gauge to `v` if larger (high-water marks).
+    #[inline]
+    pub fn set_max(&mut self, id: GaugeId, v: u64) {
+        let g = &mut self.gauges[id.0 as usize];
+        if v > *g {
+            *g = v;
+        }
+    }
+
+    /// Record a histogram sample. Hot path: no allocation.
+    #[inline]
+    pub fn observe(&mut self, id: HistoId, x: u64) {
+        self.histos[id.0 as usize].observe(x);
+    }
+
+    /// Overwrite a histogram with an externally accumulated one. Cold
+    /// snapshot-sync counterpart of [`Registry::set_counter`] for
+    /// subsystems that keep the hot histogram inline (no registry
+    /// indirection on the record path). Idempotent across syncs.
+    pub fn set_histo(&mut self, id: HistoId, h: &Log2Histogram) {
+        self.histos[id.0 as usize] = h.clone();
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize]
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0 as usize]
+    }
+
+    /// Histogram by id.
+    pub fn histo(&self, id: HistoId) -> &Log2Histogram {
+        &self.histos[id.0 as usize]
+    }
+
+    /// Counter value by name (tests, ad-hoc inspection).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counter_names.iter().position(|n| n == name).map(|i| self.counters[i])
+    }
+
+    /// Sum of every counter whose name starts with `prefix` — handy
+    /// for "total decode drops" style assertions.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counter_names
+            .iter()
+            .zip(&self.counters)
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Render the whole registry as a JSON object, names sorted, zero
+    /// histogram buckets elided. Cold path (allocates freely).
+    pub fn render_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let pad2 = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+
+        let mut counters: Vec<(&str, u64)> =
+            self.counter_names.iter().map(String::as_str).zip(self.counters.iter().copied()).collect();
+        counters.sort_unstable_by_key(|&(n, _)| n);
+        out.push_str(&format!("{pad2}\"counters\": {{"));
+        for (i, (n, v)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            out.push_str(&format!("{sep}\"{n}\": {v}"));
+        }
+        out.push_str("},\n");
+
+        let mut gauges: Vec<(&str, u64)> =
+            self.gauge_names.iter().map(String::as_str).zip(self.gauges.iter().copied()).collect();
+        gauges.sort_unstable_by_key(|&(n, _)| n);
+        out.push_str(&format!("{pad2}\"gauges\": {{"));
+        for (i, (n, v)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            out.push_str(&format!("{sep}\"{n}\": {v}"));
+        }
+        out.push_str("},\n");
+
+        let mut histos: Vec<(&str, &Log2Histogram)> =
+            self.histo_names.iter().map(String::as_str).zip(self.histos.iter()).collect();
+        histos.sort_unstable_by_key(|&(n, _)| n);
+        out.push_str(&format!("{pad2}\"histograms\": {{"));
+        for (i, (n, h)) in histos.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            out.push_str(&format!(
+                "{sep}\"{n}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+                h.count(),
+                h.sum(),
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.99),
+            ));
+            let mut first = true;
+            for (b, &c) in h.buckets().iter().enumerate() {
+                if c > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("[{b}, {c}]"));
+                    first = false;
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}\n");
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_ids_are_stable() {
+        let mut r = Registry::new();
+        let a = r.counter("net.sent");
+        let b = r.counter("net.drop.loss");
+        assert_ne!(a, b);
+        assert_eq!(r.counter("net.sent"), a);
+        r.add(a, 3);
+        r.inc(a);
+        assert_eq!(r.counter_value(a), 4);
+        assert_eq!(r.counter_by_name("net.sent"), Some(4));
+        assert_eq!(r.counter_by_name("nope"), None);
+        assert_eq!(r.counter_prefix_sum("net."), 4);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let mut r = Registry::new();
+        let g = r.gauge("engine.peak_depth");
+        r.set_max(g, 10);
+        r.set_max(g, 4);
+        assert_eq!(r.gauge_value(g), 10);
+        r.set(g, 2);
+        assert_eq!(r.gauge_value(g), 2);
+    }
+
+    #[test]
+    fn log2_buckets_land_on_bit_width() {
+        let mut h = Log2Histogram::default();
+        for x in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.observe(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 1); // 4
+        assert_eq!(h.buckets()[11], 1); // 1024
+        assert_eq!(h.buckets()[64], 1); // u64::MAX
+    }
+
+    #[test]
+    fn quantile_bound_tracks_the_mass() {
+        let mut h = Log2Histogram::default();
+        for _ in 0..99 {
+            h.observe(100); // bucket 7, bound 128
+        }
+        h.observe(1 << 40);
+        assert_eq!(h.quantile_bound(0.5), 128);
+        assert_eq!(h.quantile_bound(1.0), 1 << 41);
+        assert_eq!(Log2Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn render_json_is_sorted_and_parsable_shape() {
+        let mut r = Registry::new();
+        let b = r.counter("b.two");
+        let a = r.counter("a.one");
+        r.inc(b);
+        r.add(a, 7);
+        let g = r.gauge("g.depth");
+        r.set(g, 9);
+        let h = r.histogram("h.lat");
+        r.observe(h, 5);
+        let s = r.render_json(0);
+        let ia = s.find("\"a.one\": 7").expect("a.one rendered");
+        let ib = s.find("\"b.two\": 1").expect("b.two rendered");
+        assert!(ia < ib, "names must render sorted:\n{s}");
+        assert!(s.contains("\"g.depth\": 9"));
+        assert!(s.contains("\"h.lat\""));
+        assert!(s.contains("[3, 1]"), "sample 5 has bit width 3:\n{s}");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

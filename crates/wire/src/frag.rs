@@ -109,6 +109,13 @@ impl Reassembly {
     }
 }
 
+/// Most fragments one message may claim. A hostile DATA packet carries
+/// an arbitrary 32-bit count; without this bound a single forged header
+/// makes [`Reassembly::new`] allocate gigabytes before any payload
+/// arrives. 64 Ki fragments × the ~1400-byte MTU is a ~90 MB message —
+/// far beyond anything the workloads send.
+pub const MAX_FRAGMENTS: usize = 1 << 16;
+
 /// Reassembly across many concurrent messages from one peer.
 #[derive(Debug, Default)]
 pub struct ReassemblySet {
@@ -132,6 +139,18 @@ impl ReassemblySet {
     ) -> SnipeResult<Option<Bytes>> {
         if count == 0 {
             return Err(SnipeError::Protocol("zero fragment count".into()));
+        }
+        if count > MAX_FRAGMENTS {
+            return Err(SnipeError::Protocol(format!(
+                "fragment count {count} exceeds limit {MAX_FRAGMENTS}"
+            )));
+        }
+        // Validate before the entry exists: a bogus index must not
+        // leave an empty reassembly buffer behind (state poisoning).
+        if idx >= count {
+            return Err(SnipeError::Protocol(format!(
+                "fragment index {idx} out of range (count {count})"
+            )));
         }
         let r = self.msgs.entry(msg_id).or_insert_with(|| Reassembly::new(count));
         if r.expected() != count {

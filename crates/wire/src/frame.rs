@@ -49,6 +49,34 @@ impl Proto {
     }
 }
 
+/// Why an envelope failed to open. The dense classification the
+/// stack's decode-drop counters index by: hostile bytes are expected
+/// input on a real wire, so each failure class is *counted*, never
+/// panicked on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than tag + checksum ([`ENVELOPE_OVERHEAD`]).
+    Truncated,
+    /// Stored checksum does not match the computed one.
+    Checksum,
+    /// Checksum fine, but the protocol tag names no known protocol.
+    UnknownTag,
+}
+
+impl FrameError {
+    /// Number of variants (size of a flat per-class counter array).
+    pub const COUNT: usize = 3;
+
+    /// Stable lowercase name (metrics keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameError::Truncated => "truncated",
+            FrameError::Checksum => "checksum",
+            FrameError::UnknownTag => "unknown_tag",
+        }
+    }
+}
+
 /// FNV-1a over the tag and body. 32 bits keeps the per-datagram
 /// overhead at 4 bytes while making an undetected flip a 1-in-4-billion
 /// event — plenty for a simulated wire whose corruption is injected,
@@ -74,23 +102,33 @@ pub fn seal(proto: Proto, body: Bytes) -> Bytes {
 
 /// Split an envelope into protocol and body, verifying the checksum.
 pub fn open(datagram: Bytes) -> SnipeResult<(Proto, Bytes)> {
+    let len = datagram.len();
+    open_classified(datagram).map_err(|e| match e {
+        FrameError::Truncated => {
+            SnipeError::Codec(format!("truncated envelope: {len} bytes"))
+        }
+        FrameError::Checksum => SnipeError::Codec("frame checksum mismatch".to_string()),
+        FrameError::UnknownTag => SnipeError::Codec("unknown protocol tag".to_string()),
+    })
+}
+
+/// [`open`], but with the failure *class* preserved so the stack can
+/// count truncation, corruption and unknown tags separately. The
+/// length guard runs first: `remaining() - 4` below can never
+/// underflow on a datagram that passed it.
+pub fn open_classified(datagram: Bytes) -> Result<(Proto, Bytes), FrameError> {
     if datagram.len() < ENVELOPE_OVERHEAD {
-        return Err(SnipeError::Codec(format!(
-            "truncated envelope: {} bytes",
-            datagram.len()
-        )));
+        return Err(FrameError::Truncated);
     }
     let mut dec = Decoder::new(datagram);
-    let tag = dec.get_u8()?;
-    let body = dec.get_raw(dec.remaining() - 4)?;
-    let want = dec.get_u32()?;
+    let tag = dec.get_u8().map_err(|_| FrameError::Truncated)?;
+    let body = dec.get_raw(dec.remaining() - 4).map_err(|_| FrameError::Truncated)?;
+    let want = dec.get_u32().map_err(|_| FrameError::Truncated)?;
     let got = checksum(tag, &body);
     if want != got {
-        return Err(SnipeError::Codec(format!(
-            "frame checksum mismatch: stored {want:#010x}, computed {got:#010x}"
-        )));
+        return Err(FrameError::Checksum);
     }
-    let proto = Proto::from_tag(tag)?;
+    let proto = Proto::from_tag(tag).map_err(|_| FrameError::UnknownTag)?;
     Ok((proto, body))
 }
 
@@ -145,6 +183,25 @@ mod tests {
                 assert!(r.is_err(), "flip of byte {i} bit {bit} went undetected");
             }
         }
+    }
+
+    #[test]
+    fn open_classified_reports_the_failure_class() {
+        assert_eq!(open_classified(Bytes::new()).unwrap_err(), FrameError::Truncated);
+        assert_eq!(
+            open_classified(Bytes::from_static(&[1, 2, 3, 4])).unwrap_err(),
+            FrameError::Truncated
+        );
+        let good = seal(Proto::Raw, Bytes::from_static(b"ok"));
+        let mut corrupt = good.to_vec();
+        corrupt[1] ^= 0xFF;
+        assert_eq!(open_classified(Bytes::from(corrupt)).unwrap_err(), FrameError::Checksum);
+        let mut enc = Encoder::new();
+        enc.put_u8(42);
+        enc.put_raw(b"zz");
+        enc.put_u32(super::checksum(42, b"zz"));
+        assert_eq!(open_classified(enc.finish()).unwrap_err(), FrameError::UnknownTag);
+        assert!(open_classified(good).is_ok());
     }
 
     #[test]

@@ -66,6 +66,19 @@ const RTT_EWMA_SHIFT: u32 = 3;
 /// is also failing, so at most one rotation may act on them.
 pub const DUP_ROTATE_GUARD: SimDuration = SimDuration::from_millis(10);
 
+/// Smallest RTT sample folded into the EWMA. A zero (or near-zero)
+/// sample — a corrupted timestamp echo, a clock artifact — would seed
+/// `srtt` at 0 and make the route score *perfect* forever (and small
+/// integer samples vanish in the `>> 3` EWMA shift). One microsecond
+/// is faster than any simulated medium round trip.
+pub const RTT_SAMPLE_MIN: SimDuration = SimDuration::from_micros(1);
+
+/// Largest RTT sample folded into the EWMA. A corrupted echo can
+/// claim an absurd RTT; unclamped, one such sample poisons the EWMA
+/// so badly that ~`8 * log2(huge/real)` genuine samples are needed to
+/// recover. Ten seconds is beyond any real path and any RTO clamp.
+pub const RTT_SAMPLE_MAX: SimDuration = SimDuration::from_millis(10_000);
+
 /// One candidate route/medium to a peer.
 #[derive(Clone, Debug)]
 struct Candidate {
@@ -86,7 +99,15 @@ impl Candidate {
             Some(ns) => ns as f64 / 1e9,
             None => UNMEASURED_RTT_SCORE,
         };
-        self.penalty + rtt
+        let s = self.penalty + rtt;
+        // A non-finite score (poisoned penalty arithmetic) must never
+        // win a comparison: NaN compares false against everything, so
+        // an unguarded NaN would *stick* as the selected route.
+        if s.is_finite() {
+            s
+        } else {
+            f64::MAX
+        }
     }
 }
 
@@ -167,24 +188,27 @@ impl PeerPaths {
     /// choice.
     pub fn rotate(&mut self) -> Option<NetId> {
         let n = self.candidates.len();
-        if n == 0 {
-            return None;
+        if n < 2 {
+            // With one candidate (or none) there is nothing to rotate
+            // *to*: a "self-swap" here would penalise the only usable
+            // route and count a phantom failover — poisoning its score
+            // against routes a later RC refresh adds — so this is a
+            // strict no-op.
+            return self.current();
         }
         self.candidates[self.current].penalty += PENALTY_PER_FAILOVER;
         self.failovers += 1;
-        if n > 1 {
-            let mut best = (self.current + 1) % n;
-            let mut best_score = self.candidates[best].score();
-            for off in 2..n {
-                let i = (self.current + off) % n;
-                let s = self.candidates[i].score();
-                if s + SCORE_EPSILON < best_score {
-                    best = i;
-                    best_score = s;
-                }
+        let mut best = (self.current + 1) % n;
+        let mut best_score = self.candidates[best].score();
+        for off in 2..n {
+            let i = (self.current + off) % n;
+            let s = self.candidates[i].score();
+            if s + SCORE_EPSILON < best_score {
+                best = i;
+                best_score = s;
             }
-            self.current = best;
         }
+        self.current = best;
         self.current()
     }
 
@@ -236,10 +260,15 @@ impl PeerPaths {
         true
     }
 
-    /// Fold an RTT sample into the current route's EWMA.
+    /// Fold an RTT sample into the current route's EWMA. Samples are
+    /// clamped to `[`[`RTT_SAMPLE_MIN`]`, `[`RTT_SAMPLE_MAX`]`]` so a
+    /// corrupted echo (zero or absurdly huge) cannot seed the EWMA
+    /// with a score the route could never have earned.
     pub fn record_rtt(&mut self, sample: SimDuration) {
         if let Some(c) = self.candidates.get_mut(self.current) {
-            let ns = sample.as_nanos();
+            let ns = sample
+                .as_nanos()
+                .clamp(RTT_SAMPLE_MIN.as_nanos(), RTT_SAMPLE_MAX.as_nanos());
             c.srtt_ns = Some(match c.srtt_ns {
                 None => ns,
                 Some(s) => s - (s >> RTT_EWMA_SHIFT) + (ns >> RTT_EWMA_SHIFT),
@@ -256,7 +285,10 @@ impl PeerPaths {
     pub fn record_progress(&mut self) {
         if let Some(c) = self.candidates.get_mut(self.current) {
             c.penalty *= PENALTY_DECAY;
-            if c.penalty < PENALTY_FLOOR {
+            // The floor snaps decay dust, negative values (a penalty
+            // must never *reward* a route) and poisoned arithmetic
+            // alike back to exactly zero.
+            if c.penalty <= PENALTY_FLOOR || c.penalty.is_nan() {
                 c.penalty = 0.0;
             }
         }

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use bytes::Bytes;
 
 use snipe_netsim::topology::Endpoint;
+use snipe_netsim::trace::{self, TraceKind};
 use snipe_util::codec::{Decoder, Encoder};
 use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::time::{SimDuration, SimTime};
@@ -254,7 +255,8 @@ impl Rstream {
         std::mem::take(&mut self.out)
     }
 
-    fn emit_data(out: &mut Vec<Out>, stats: &mut RstreamStats, conn: &Conn, id: ConnId, offset: u64, payload: &[u8], retx: bool) {
+    #[allow(clippy::too_many_arguments)]
+    fn emit_data(out: &mut Vec<Out>, stats: &mut RstreamStats, now: SimTime, conn: &Conn, id: ConnId, offset: u64, payload: &[u8], retx: bool) {
         let mut enc = Encoder::with_capacity(payload.len() + 24);
         enc.put_u8(KIND_DATA);
         enc.put_u64(id);
@@ -262,6 +264,11 @@ impl Rstream {
         enc.put_bytes(payload);
         if retx {
             stats.retransmits += 1;
+            if trace::enabled() {
+                // RSTREAM peers are endpoints, not keyed nodes: the
+                // connection id stands in as the peer discriminator.
+                trace::record(now, TraceKind::Retransmit { peer: id, len: payload.len() as u32 });
+            }
         } else {
             stats.segments_sent += 1;
         }
@@ -287,7 +294,7 @@ impl Rstream {
             let offset = conn.snd_nxt;
             conn.snd_nxt += take as u64;
             conn.sent_at.insert(offset, (now, false));
-            Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, false);
+            Self::emit_data(&mut self.out, &mut self.stats, now, conn, id, offset, &seg, false);
             if self.wheel.deadline_of(id).is_none() {
                 self.wheel.schedule(id, now + conn.rto);
             }
@@ -440,7 +447,7 @@ impl Rstream {
                     let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
                     let offset = conn.snd_una;
                     conn.sent_at.insert(offset, (now, true));
-                    Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+                    Self::emit_data(&mut self.out, &mut self.stats, now, conn, id, offset, &seg, true);
                 }
             }
             if conn.snd_una == conn.snd_nxt {
@@ -461,7 +468,7 @@ impl Rstream {
                     let offset = conn.snd_una;
                     conn.sent_at.insert(offset, (now, true));
                     self.stats.fast_retransmits += 1;
-                    Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+                    Self::emit_data(&mut self.out, &mut self.stats, now, conn, id, offset, &seg, true);
                 }
             }
         }
@@ -519,7 +526,7 @@ impl Rstream {
             let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
             let offset = conn.snd_una;
             conn.sent_at.insert(offset, (now, true));
-            Self::emit_data(&mut self.out, &mut self.stats, conn, id, offset, &seg, true);
+            Self::emit_data(&mut self.out, &mut self.stats, now, conn, id, offset, &seg, true);
             self.wheel.schedule(id, now + conn.rto);
         }
     }

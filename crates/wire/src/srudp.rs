@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use bytes::Bytes;
 
 use snipe_netsim::topology::Endpoint;
+use snipe_netsim::trace::{self, TraceKind};
 use snipe_util::codec::{Decoder, Encoder};
 use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::time::{SimDuration, SimTime};
@@ -339,6 +340,8 @@ impl Srudp {
     fn emit_data(
         out: &mut Vec<Out>,
         stats: &mut SrudpStats,
+        now: SimTime,
+        peer: NodeKey,
         my_key: NodeKey,
         to_ep: Endpoint,
         msg_id: u64,
@@ -356,6 +359,12 @@ impl Srudp {
         enc.put_bytes(payload);
         if retransmit {
             stats.retransmits += 1;
+            if trace::enabled() {
+                trace::record(
+                    now,
+                    TraceKind::Retransmit { peer, len: payload.len() as u32 },
+                );
+            }
         } else {
             stats.data_sent += 1;
         }
@@ -401,6 +410,8 @@ impl Srudp {
             Self::emit_data(
                 &mut self.out,
                 &mut self.stats,
+                now,
+                key,
                 self.my_key,
                 ep,
                 msg_id,
@@ -666,6 +677,8 @@ impl Srudp {
                     Self::emit_data(
                         &mut self.out,
                         &mut self.stats,
+                        now,
+                        src_key,
                         self.my_key,
                         ep,
                         msg_id,
@@ -960,6 +973,8 @@ impl Srudp {
                 Self::emit_data(
                     &mut self.out,
                     &mut self.stats,
+                    now,
+                    key,
                     self.my_key,
                     ep,
                     msg_id,

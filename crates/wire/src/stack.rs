@@ -25,13 +25,15 @@
 use bytes::Bytes;
 
 use snipe_netsim::topology::Endpoint;
+use snipe_netsim::trace::{self, TraceKind};
 use snipe_util::codec::{Decoder, Encoder};
 use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::id::NetId;
+use snipe_util::metrics::{CounterId, Registry};
 use snipe_util::time::{SimDuration, SimTime};
 
 use crate::driver::Driver;
-use crate::frame::{open, seal, Proto};
+use crate::frame::{open_classified, seal, FrameError, Proto};
 use crate::mcast::McastMember;
 use crate::path::PathSelector;
 use crate::rstream::{Rstream, RstreamConfig};
@@ -111,6 +113,29 @@ pub struct WireStack {
     out: Vec<Out>,
     /// Reused scratch for failover scans (no steady-state allocation).
     key_scratch: Vec<NodeKey>,
+    /// Per-stack observability counters (decode drops, rotations).
+    metrics: Registry,
+    /// Flat ids cached at construction so hot increments never hash.
+    c_decode: [CounterId; FrameError::COUNT],
+    c_body: CounterId,
+    c_rotations: CounterId,
+}
+
+/// Build the stack's registry with its counters pre-registered; both
+/// constructors ([`WireStack::new`] and [`WireStack::import_state`])
+/// share it so ids always line up.
+fn stack_registry() -> (Registry, [CounterId; FrameError::COUNT], CounterId, CounterId) {
+    let mut m = Registry::new();
+    // Indexed by `FrameError as usize`: keep this order in sync with
+    // the enum's variant order.
+    let c_decode = [
+        m.counter("wire.decode.truncated"),
+        m.counter("wire.decode.checksum"),
+        m.counter("wire.decode.unknown_tag"),
+    ];
+    let c_body = m.counter("wire.decode.body");
+    let c_rotations = m.counter("wire.path.rotations");
+    (m, c_decode, c_body, c_rotations)
 }
 
 impl WireStack {
@@ -124,12 +149,17 @@ impl WireStack {
         if cfg.mcast_member {
             drivers.push(Box::new(McastMember::new()));
         }
+        let (metrics, c_decode, c_body, c_rotations) = stack_registry();
         WireStack {
             my_key,
             drivers,
             paths: PathSelector::new(),
             out: Vec::new(),
             key_scratch: Vec::new(),
+            metrics,
+            c_decode,
+            c_body,
+            c_rotations,
         }
     }
 
@@ -280,9 +310,20 @@ impl WireStack {
         from: Endpoint,
         datagram: Bytes,
     ) -> SnipeResult<Option<Incoming>> {
-        let (proto, body) = open(datagram)?;
+        let (proto, body) = match open_classified(datagram) {
+            Ok(opened) => opened,
+            Err(e) => {
+                self.metrics.inc(self.c_decode[e as usize]);
+                return Err(SnipeError::Codec(format!("bad envelope: {}", e.name())));
+            }
+        };
         if let Some(i) = self.driver_index(proto) {
-            self.drivers[i].on_datagram(now, from, body)?;
+            if let Err(e) = self.drivers[i].on_datagram(now, from, body) {
+                // A valid envelope carrying a malformed protocol body:
+                // counted, surfaced, never panicked on.
+                self.metrics.inc(self.c_body);
+                return Err(e);
+            }
             self.check_failover(now);
             self.harvest();
             return Ok(None);
@@ -326,8 +367,9 @@ impl WireStack {
                 .map(|t| now.since(t) >= DUP_FRESH_STALL)
                 .unwrap_or(true);
             let mut dup_rotated = false;
+            let mut timeout_rotated = false;
             if let Some(p) = self.paths.peer_mut(k) {
-                p.report_timeouts(timeouts);
+                timeout_rotated = p.report_timeouts(timeouts);
                 if timeouts == 0 {
                     if let Some(s) = srtt {
                         p.record_rtt(s);
@@ -341,8 +383,28 @@ impl WireStack {
             if dup_rotated {
                 self.srudp_mut().reset_dup_streak(k);
             }
+            if timeout_rotated || dup_rotated {
+                self.metrics.inc(self.c_rotations);
+                if trace::enabled() {
+                    let net =
+                        self.paths.select(k).map(|n| n.0).unwrap_or(u32::MAX);
+                    trace::record(now, TraceKind::PathRotate { peer: k, rank: net });
+                }
+            }
         }
         self.key_scratch = keys;
+    }
+
+    /// The stack's observability counters (decode drops by class, path
+    /// rotations).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Total datagrams rejected by the decode path (any class),
+    /// including valid envelopes with malformed protocol bodies.
+    pub fn decode_drops(&self) -> u64 {
+        self.metrics.counter_prefix_sum("wire.decode.")
     }
 
     /// Earliest wanted wake-up across every registered driver.
@@ -437,12 +499,17 @@ impl WireStack {
         if cfg.mcast_member {
             drivers.push(Box::new(McastMember::new()));
         }
+        let (metrics, c_decode, c_body, c_rotations) = stack_registry();
         let mut stack = WireStack {
             my_key,
             drivers,
             paths: PathSelector::new(),
             out: Vec::new(),
             key_scratch: Vec::new(),
+            metrics,
+            c_decode,
+            c_body,
+            c_rotations,
         };
         for (proto, payload) in sections {
             if proto == Proto::Srudp {
@@ -459,6 +526,7 @@ impl WireStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::open;
     use snipe_util::id::HostId;
     use snipe_util::time::SimDuration;
 

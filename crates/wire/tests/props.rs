@@ -15,7 +15,9 @@ use snipe_util::id::{HostId, NetId};
 use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::frame::{seal, Proto};
 use snipe_wire::mcast::McastMsg;
-use snipe_wire::path::{PeerPaths, PENALTY_PER_FAILOVER};
+use snipe_wire::path::{
+    PeerPaths, PENALTY_PER_FAILOVER, RTT_SAMPLE_MAX, RTT_SAMPLE_MIN, UNMEASURED_RTT_SCORE,
+};
 use snipe_wire::rstream::RstreamConfig;
 use snipe_wire::stack::{StackConfig, WireStack};
 use snipe_wire::Out;
@@ -190,4 +192,98 @@ proptest! {
         let slim = WireStack::import_state(snap, StackConfig::default(), now).unwrap();
         prop_assert_eq!(slim.known_peers(), stack.known_peers());
     }
+}
+
+// ---------------------------------------------------------------------
+// Pinned regressions: PathSelector edge cases reachable from corrupted
+// transport input (hostile RTT echoes) or degenerate RC metadata (a
+// single advertised route). Each of these failed before the fix.
+// ---------------------------------------------------------------------
+
+/// A zero RTT sample (corrupted timestamp echo) must not seed the EWMA
+/// at 0: a score of exactly 0.0 is unbeatable, so the poisoned route
+/// would stay selected forever no matter how it fails later.
+#[test]
+fn zero_rtt_sample_cannot_seed_a_perfect_score() {
+    let a = NetId(0);
+    let b = NetId(1);
+    let mut p = PeerPaths::new(vec![a, b]);
+    p.record_rtt(SimDuration::ZERO);
+    let s = p.score(a).unwrap();
+    assert!(
+        s >= RTT_SAMPLE_MIN.as_nanos() as f64 / 1e9,
+        "zero sample must clamp to RTT_SAMPLE_MIN, got score {s}"
+    );
+    // The clamped route is still beatable: after a failover penalty it
+    // loses selection to the untried alternative.
+    p.rotate();
+    assert_eq!(p.select(), Some(b), "poisoned route must not be unbeatable");
+}
+
+/// A huge RTT sample (corrupted echo claiming ~11.5 days) must clamp:
+/// unclamped it poisons the EWMA so badly that no realistic number of
+/// genuine samples wins the route back.
+#[test]
+fn huge_rtt_sample_is_clamped() {
+    let a = NetId(0);
+    let mut p = PeerPaths::new(vec![a]);
+    p.record_rtt(SimDuration::from_millis(1_000_000_000));
+    let cap = RTT_SAMPLE_MAX.as_nanos() as f64 / 1e9;
+    let s = p.score(a).unwrap();
+    assert!(s <= cap + 1e-9, "huge sample must clamp to RTT_SAMPLE_MAX, got {s}");
+    // Genuine traffic recovers the score in a handful of samples, not
+    // thousands: 64 samples at 5ms must pull the EWMA under 100ms.
+    for _ in 0..64 {
+        p.record_rtt(SimDuration::from_millis(5));
+    }
+    assert!(p.score(a).unwrap() < 0.100, "EWMA must recover: {:?}", p.score(a));
+}
+
+/// With exactly one candidate, rotation has nothing to rotate to: it
+/// must be a strict no-op, not a self-swap that penalises the only
+/// usable route and counts a phantom failover.
+#[test]
+fn single_candidate_rotation_is_a_no_op() {
+    let a = NetId(0);
+    let mut p = PeerPaths::new(vec![a]);
+    assert_eq!(p.rotate(), Some(a), "the only route stays current");
+    assert_eq!(p.failovers, 0, "no failover may be counted");
+    assert!(
+        (p.score(a).unwrap() - UNMEASURED_RTT_SCORE).abs() < 1e-12,
+        "no penalty may accrue: {:?}",
+        p.score(a)
+    );
+    // The un-poisoned score means a later RC refresh adding a second
+    // (untried) route does not instantly steal traffic from a healthy
+    // single route that had weathered a few such calls.
+    for _ in 0..5 {
+        p.rotate();
+    }
+    p.update(vec![a, NetId(1)]);
+    assert_eq!(p.select(), Some(a), "healthy route keeps selection after refresh");
+}
+
+/// Scores must stay finite (and selection functional) under a hostile
+/// history: extreme samples, thousands of rotations, decay cycles.
+/// NaN is the killer — it compares false against everything, so one
+/// non-finite score would wedge selection permanently.
+#[test]
+fn scores_stay_finite_under_hostile_history() {
+    let a = NetId(0);
+    let b = NetId(1);
+    let mut p = PeerPaths::new(vec![a, b]);
+    p.record_rtt(SimDuration::from_nanos(u64::MAX));
+    for _ in 0..10_000 {
+        p.rotate();
+    }
+    for _ in 0..10_000 {
+        p.record_progress();
+    }
+    p.record_rtt(SimDuration::ZERO);
+    for net in [a, b] {
+        let s = p.score(net).unwrap();
+        assert!(s.is_finite(), "score({net:?}) went non-finite: {s}");
+    }
+    assert!(p.select().is_some(), "selection must survive hostile history");
+    assert!(!p.report_timeouts(0), "a zero-timeout poll never rotates");
 }

@@ -23,4 +23,29 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
 # planted-bug drill; exits nonzero on any oracle violation and writes
 # results/chaos.json for inspection.
 cargo run -q --release -p snipe-bench --bin harness -- chaos-smoke
+# Observability overhead gate: the flight recorder + metrics layer is
+# compiled into the engine hot path, so the recorder-disabled build must
+# stay within 2% of an observability-free (`--features obs-off`) build
+# of the same tree. The comparison is differential — both binaries are
+# probed interleaved on this machine right now — because wall-clock
+# noise on a shared box dwarfs a 2% effect against any stored absolute
+# baseline. Best-of-5 each side: the quiet-moment maxima are the stable
+# statistic.
+cargo build -q --release -p snipe-bench --bin harness --features obs-off
+cp target/release/harness target/release/harness-obs-off
+cargo build -q --release -p snipe-bench --bin harness
+best_base=0
+best_head=0
+for _ in 1 2 3 4 5; do
+    b=$(./target/release/harness-obs-off engine-probe)
+    h=$(./target/release/harness engine-probe)
+    [ "$b" -gt "$best_base" ] && best_base=$b
+    [ "$h" -gt "$best_head" ] && best_head=$h
+done
+echo "overhead gate: recorder-disabled best $best_head events/s vs obs-off baseline $best_base"
+awk -v h="$best_head" -v b="$best_base" 'BEGIN {
+    ratio = h / b;
+    printf "overhead gate: ratio %.3f (floor 0.980)\n", ratio;
+    exit (ratio >= 0.98 ? 0 : 1);
+}'
 echo "check.sh: all gates green"
