@@ -1,0 +1,29 @@
+//! `bench_shard` — sharded-engine throughput under the campus storm.
+//!
+//! Runs the same deterministic storm as `harness shard` (routable
+//! cluster LANs, ~10% cross-region traffic) at a 1k-host size through
+//! criterion, at one worker thread vs four, so regressions in the
+//! barrier/mailbox machinery or the parallel speedup show up in
+//! `cargo bench`. The full scaling matrix (to 100k hosts) lives in the
+//! harness, which writes `results/bench_shard.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use snipe_bench::shard_storm;
+use snipe_util::time::SimDuration;
+
+fn bench_shard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard");
+    g.sample_size(10);
+    let sim = SimDuration::from_millis(100);
+    g.bench_function("storm_1k_100ms_1t", |b| {
+        b.iter(|| shard_storm::storm(1_000, sim, 42, 1))
+    });
+    g.bench_function("storm_1k_100ms_4t", |b| {
+        b.iter(|| shard_storm::storm(1_000, sim, 42, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

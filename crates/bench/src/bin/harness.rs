@@ -9,7 +9,7 @@
 //! Output goes to stdout and `results/<exp>.txt`.
 
 use snipe_bench::report::{mbps, Table};
-use snipe_bench::{ablations, chaos, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, engine, fig1, par_map};
+use snipe_bench::{ablations, chaos, chaos_shard, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, engine, fig1, par_map, shard_storm};
 use snipe_util::time::SimDuration;
 
 fn run_f1() {
@@ -491,8 +491,183 @@ fn run_engine_gate(baseline: f64) -> bool {
     ok
 }
 
+/// `harness shard`: the sharded-engine scaling matrix — every world
+/// size in [`shard_storm::scaling_matrix`] at every thread count in
+/// [`shard_storm::THREAD_SWEEP`]. Digests must agree across thread
+/// counts at each size (determinism is not optional in a benchmark
+/// that exists to prove it). Writes `results/bench_shard.json`.
+fn run_shard() -> bool {
+    // Early-return dispatch skips main()'s per-experiment cleanup, and
+    // Table::emit appends — clear our own file or reruns stack tables.
+    let _ = std::fs::remove_file("results/shard.txt");
+    let mut t = Table::new(
+        "SHARD: sharded-engine storm scaling, hosts x worker threads",
+        &["hosts", "threads", "regions", "events", "delivered", "wall (s)", "events/sec", "speedup"],
+    );
+    let mut ok = true;
+    let mut size_json = Vec::new();
+    for (hosts, sim) in shard_storm::scaling_matrix() {
+        let mut runs = Vec::new();
+        for &threads in &shard_storm::THREAD_SWEEP {
+            runs.push(shard_storm::storm(hosts, sim, 42, threads));
+        }
+        let base = runs[0].events_per_sec;
+        for r in &runs {
+            if r.digest != runs[0].digest {
+                ok = false;
+                println!(
+                    "DETERMINISM VIOLATION at {hosts} hosts: {} threads -> {:#x}, 1 thread -> {:#x}",
+                    r.threads, r.digest, runs[0].digest
+                );
+            }
+            t.row(vec![
+                format!("{hosts}"),
+                format!("{}", r.threads),
+                format!("{}", r.regions),
+                format!("{}", r.events),
+                format!("{}", r.delivered),
+                format!("{:.3}", r.wall_seconds),
+                format!("{:.0}", r.events_per_sec),
+                format!("{:.2}x", r.events_per_sec / base),
+            ]);
+        }
+        let best = runs.iter().cloned().reduce(|a, b| if b.events_per_sec > a.events_per_sec { b } else { a }).expect("runs");
+        let run_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "        {{\"threads\": {}, \"events\": {}, \"sent\": {}, \"delivered\": {}, \"wall_seconds\": {:.4}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+                    r.threads, r.events, r.sent, r.delivered, r.wall_seconds, r.events_per_sec,
+                    r.events_per_sec / base,
+                )
+            })
+            .collect();
+        size_json.push(format!(
+            "    {{\n      \"hosts\": {hosts},\n      \"sim_seconds\": {:.3},\n      \"regions\": {},\n      \"digest\": \"{:#x}\",\n      \"digests_agree\": {},\n      \"best_threads\": {},\n      \"best_speedup\": {:.2},\n      \"runs\": [\n{}\n      ]\n    }}",
+            runs[0].sim_seconds,
+            runs[0].regions,
+            runs[0].digest,
+            runs.iter().all(|r| r.digest == runs[0].digest),
+            best.threads,
+            best.events_per_sec / base,
+            run_json.join(",\n"),
+        ));
+    }
+    t.emit("shard.txt");
+    // Wall-clock speedup is bounded by the cores this process may
+    // actually use; record it so the sweep is interpretable (on a
+    // 1-core box the thread columns measure overhead, not scaling).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"bench_shard\",\n  \"storm\": {{\"cluster\": {}, \"seed\": 42, \"burst\": 6, \"cross_region_fraction\": 0.1}},\n  \"thread_sweep\": [1, 2, 4, 8],\n  \"cpu_cores\": {cores},\n  \"determinism_ok\": {ok},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        shard_storm::CLUSTER,
+        size_json.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/bench_shard.json", json);
+    ok
+}
+
+/// `harness shard-digest <threads> [seed]`: print the behavioural
+/// digest of the fixed [`shard_storm::digest_run`] configuration. The
+/// `shard-determinism` gate in `scripts/check.sh` compares the output
+/// at 1 and 4 threads byte-for-byte.
+fn run_shard_digest(rest: &[String]) -> bool {
+    let Some(threads) = rest.first().and_then(|s| s.parse::<usize>().ok()).filter(|t| *t > 0)
+    else {
+        eprintln!("usage: harness shard-digest <threads> [seed]");
+        return false;
+    };
+    let seed = match rest.get(1) {
+        Some(s) => match parse_seed(s) {
+            Some(seed) => seed,
+            None => {
+                eprintln!("unparseable seed {s:?}");
+                return false;
+            }
+        },
+        None => 42,
+    };
+    println!("{:#018x}", shard_storm::digest_run(threads, seed));
+    true
+}
+
+/// `harness shard-soak [seeds-per-workload]` (C2): seeded fault plans
+/// against the sharded-engine workloads, every run doubled at a second
+/// thread count as a differential determinism check.
+fn run_shard_soak(seeds_per_workload: u64) -> bool {
+    let _ = std::fs::remove_file("results/chaos_shard.txt");
+    let runs = chaos_shard::soak(seeds_per_workload);
+    let mut t = Table::new(
+        "C2: sharded-engine chaos soak — fault plans vs engine-level oracles",
+        &["workload", "plan seed", "wseed", "ops", "packet", "digest", "verdict"],
+    );
+    let mut failures = Vec::new();
+    for r in &runs {
+        t.row(vec![
+            r.workload.to_string(),
+            format!("{:#x}", r.plan_seed),
+            format!("{:#x}", r.workload_seed),
+            format!("{}", r.ops),
+            format!("{}", r.packet),
+            format!("{:#x}", r.digest),
+            if r.violations.is_empty() { "green".into() } else { "VIOLATED".into() },
+        ]);
+        if !r.violations.is_empty() {
+            failures.push(r.clone());
+        }
+    }
+    t.emit("chaos_shard.txt");
+    for f in &failures {
+        println!("VIOLATION in {}: {}", f.workload, f.violations[0]);
+        println!("  {}", f.replay);
+    }
+    let per_workload: Vec<String> = chaos_shard::ALL_SHARD_WORKLOADS
+        .iter()
+        .map(|w| {
+            let bad =
+                runs.iter().filter(|r| r.workload == w.name() && !r.violations.is_empty()).count();
+            format!(
+                "    {{\"workload\": \"{}\", \"plans\": {}, \"violations\": {}}}",
+                w.name(),
+                seeds_per_workload,
+                bad
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"chaos_shard_soak\",\n  \"hosts\": {},\n  \"plans\": {},\n  \"violations\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        chaos_shard::SOAK_HOSTS,
+        runs.len(),
+        failures.len(),
+        per_workload.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/chaos_shard.json", json);
+    failures.is_empty()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("shard") {
+        if !run_shard() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("shard-digest") {
+        if !run_shard_digest(&args[1..]) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("shard-soak") {
+        let seeds = args.get(1).and_then(|a| a.parse::<u64>().ok()).unwrap_or(4);
+        if !run_shard_soak(seeds) {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("trace") {
         if !run_trace(&args[1..]) {
             std::process::exit(1);

@@ -1,0 +1,867 @@
+//! C2 — the chaos soak for the sharded engine.
+//!
+//! The single-world soak ([`crate::chaos`]) exercises the full SNIPE
+//! protocol stack, whose drivers are `Rc`-webbed and therefore stay on
+//! [`World`](snipe_netsim::world::World). This soak exercises the
+//! *engine-level* contracts of [`ShardedWorld`] instead — mailbox
+//! routing, fault dispatch across regions, chaos determinism, bounded
+//! per-shard queues — with five `Send` workload shapes mirroring the
+//! originals: an acked transfer with retransmission, a go-back-N
+//! sequenced stream, an intra-region service migration, a gossip
+//! convergence mesh and a relayed multicast fan-out.
+//!
+//! Every run happens on a 1000-host campus (16 regions) with a small
+//! active cast, runs its seeded [`ChaosPlan`] to quiescence plus a
+//! recovery tail, and then asserts its invariants plus the per-shard
+//! boundedness oracle. Each run is also executed at two thread counts
+//! and must produce the same digest — a soak-shaped differential
+//! determinism check on top of the dedicated proptests.
+
+use bytes::Bytes;
+
+use snipe_netsim::actor::Event;
+use snipe_netsim::chaos::{ChaosBinding, ChaosPlan, ChaosShape};
+use snipe_netsim::shard::{ShardActor, ShardCtx, ShardedWorld};
+use snipe_netsim::topology::Endpoint;
+use snipe_util::id::{HostId, NetId};
+use snipe_util::time::SimDuration;
+
+use crate::chaos::soak_seeds;
+use crate::oracles;
+use crate::par_map;
+use crate::shard_storm::cluster_topology;
+
+/// Hosts in every soak world (16 regions of 64).
+pub const SOAK_HOSTS: usize = 1000;
+/// Worker threads for the primary run of each plan.
+pub const SOAK_THREADS: usize = 4;
+/// Thread count for the differential re-run (digests must match).
+pub const DIFF_THREADS: usize = 1;
+/// Recovery tail after the plan quiesces.
+const RECOVERY_TAIL: SimDuration = SimDuration::from_secs(30);
+/// Per-shard bounds for [`oracles::check_shard_bounded`].
+const MAX_RESIDUAL_EVENTS: usize = 512;
+const MAX_PEAK_DEPTH: u64 = 100_000;
+const MAX_MAILBOX_BURST: u64 = 10_000;
+
+const PORT: u16 = 7000;
+
+// ---------------------------------------------------------------------------
+// Checksummed frames
+// ---------------------------------------------------------------------------
+// Packet chaos flips payload bits; workloads that promise delivery
+// treat a corrupt frame as loss (drop + retransmit). An FNV-1a trailer
+// makes corruption detectable.
+
+fn fnv(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// `[tag, seq, value, csum]`, all little-endian u32s plus padding to a
+/// plausible datagram size.
+fn frame(tag: u32, seq: u32, value: u32) -> Bytes {
+    let mut b = Vec::with_capacity(64);
+    b.extend_from_slice(&tag.to_le_bytes());
+    b.extend_from_slice(&seq.to_le_bytes());
+    b.extend_from_slice(&value.to_le_bytes());
+    let c = fnv(&b);
+    b.extend_from_slice(&c.to_le_bytes());
+    b.resize(64, 0x5A);
+    Bytes::from(b)
+}
+
+/// Parse + verify; `None` = corrupt (caller treats as loss).
+fn parse(payload: &[u8]) -> Option<(u32, u32, u32)> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let word = |i: usize| u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap());
+    if fnv(&payload[..12]) != word(3) {
+        return None;
+    }
+    if payload[16..].iter().any(|&b| b != 0x5A) {
+        return None;
+    }
+    Some((word(0), word(1), word(2)))
+}
+
+const TAG_DATA: u32 = 1;
+const TAG_ACK: u32 = 2;
+const TAG_SWITCH: u32 = 3;
+
+// ---------------------------------------------------------------------------
+// W1: acked transfer with retransmission (cross-region)
+// ---------------------------------------------------------------------------
+
+/// Sender: windowed chunks, blanket retransmit of the unacked set on a
+/// periodic timer. Tolerates loss, duplication, reordering, corruption
+/// and flaps of either endpoint.
+struct XferSender {
+    peer: Endpoint,
+    total: u32,
+    acked: Vec<bool>,
+    done: bool,
+}
+
+impl XferSender {
+    fn pump(&mut self, ctx: &mut ShardCtx<'_>) {
+        let mut sent = 0;
+        for seq in 0..self.total {
+            if !self.acked[seq as usize] {
+                ctx.send(self.peer, frame(TAG_DATA, seq, seq ^ 0xABCD));
+                sent += 1;
+                if sent >= 32 {
+                    break;
+                }
+            }
+        }
+        if sent > 0 {
+            ctx.set_timer(SimDuration::from_millis(100), 1);
+        } else {
+            self.done = true;
+        }
+    }
+}
+
+impl ShardActor for XferSender {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } | Event::HostUp => self.pump(ctx),
+            Event::Packet { payload, .. } => {
+                if let Some((TAG_ACK, seq, _)) = parse(&payload) {
+                    if (seq as usize) < self.acked.len() {
+                        self.acked[seq as usize] = true;
+                    }
+                    if self.acked.iter().all(|&a| a) && !self.done {
+                        self.done = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Receiver: dedups by sequence number, acks everything (acks are
+/// idempotent, so ack loss only costs a retransmit).
+struct XferReceiver {
+    seen: Vec<bool>,
+    distinct: u32,
+}
+
+impl ShardActor for XferReceiver {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        if let Event::Packet { from, payload } = event {
+            if let Some((TAG_DATA, seq, _)) = parse(&payload) {
+                if (seq as usize) < self.seen.len() {
+                    if !self.seen[seq as usize] {
+                        self.seen[seq as usize] = true;
+                        self.distinct += 1;
+                    }
+                    ctx.send(from, frame(TAG_ACK, seq, 0));
+                }
+            }
+        }
+    }
+}
+
+fn run_transfer(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    const TOTAL: u32 = 256;
+    let mut w = soak_world(wseed, threads);
+    let a = HostId(3); // cluster 0
+    let b = HostId(200); // cluster 3 — routed cross-region path
+    let tx = w
+        .spawn(a, PORT, Box::new(XferSender { peer: Endpoint::new(b, PORT), total: TOTAL, acked: vec![false; TOTAL as usize], done: false }))
+        .unwrap();
+    let rx = w
+        .spawn(b, PORT, Box::new(XferReceiver { seen: vec![false; TOTAL as usize], distinct: 0 }))
+        .unwrap();
+    apply(&mut w, plan, &[a, b]);
+    let mut v = run_to_deadline(&mut w, plan, |w| {
+        w.actor_ref::<XferSender>(tx).map(|s| s.done).unwrap_or(false)
+    });
+    let got = w.actor_ref::<XferReceiver>(rx).map(|r| r.distinct).unwrap_or(0);
+    if got != TOTAL {
+        v.push(format!("shard-transfer: receiver holds {got} of {TOTAL} distinct chunks"));
+    }
+    if !w.actor_ref::<XferSender>(tx).map(|s| s.done).unwrap_or(false) {
+        v.push("shard-transfer: sender never saw every ack".into());
+    }
+    v.extend(bounded("shard-transfer", &w));
+    (v, w.digest())
+}
+
+// ---------------------------------------------------------------------------
+// W2: go-back-N sequenced stream (in-order, exactly-once delivery)
+// ---------------------------------------------------------------------------
+
+struct StreamSender {
+    peer: Endpoint,
+    total: u32,
+    base: u32,
+    window: u32,
+}
+
+impl StreamSender {
+    fn pump(&mut self, ctx: &mut ShardCtx<'_>) {
+        if self.base >= self.total {
+            return;
+        }
+        for seq in self.base..(self.base + self.window).min(self.total) {
+            ctx.send(self.peer, frame(TAG_DATA, seq, seq.wrapping_mul(31)));
+        }
+        ctx.set_timer(SimDuration::from_millis(120), 1);
+    }
+}
+
+impl ShardActor for StreamSender {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } | Event::HostUp => self.pump(ctx),
+            Event::Packet { payload, .. } => {
+                // Cumulative ack: `seq` = receiver's next expected.
+                if let Some((TAG_ACK, seq, _)) = parse(&payload) {
+                    if seq > self.base && seq <= self.total {
+                        self.base = seq;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// In-order receiver: accepts only `next`, acks cumulatively. The
+/// delivery log is the in-order prefix by construction; the oracle
+/// checks it reaches `total` and that `log[i] == i`.
+struct StreamReceiver {
+    next: u32,
+    log: Vec<u32>,
+}
+
+impl ShardActor for StreamReceiver {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        if let Event::Packet { from, payload } = event {
+            if let Some((TAG_DATA, seq, _)) = parse(&payload) {
+                if seq == self.next {
+                    self.log.push(seq);
+                    self.next += 1;
+                }
+                ctx.send(from, frame(TAG_ACK, self.next, 0));
+            }
+        }
+    }
+}
+
+fn run_stream(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    const TOTAL: u32 = 200;
+    let mut w = soak_world(wseed, threads);
+    let a = HostId(70); // cluster 1
+    let b = HostId(400); // cluster 6
+    let tx = w
+        .spawn(a, PORT, Box::new(StreamSender { peer: Endpoint::new(b, PORT), total: TOTAL, base: 0, window: 16 }))
+        .unwrap();
+    let rx = w.spawn(b, PORT, Box::new(StreamReceiver { next: 0, log: Vec::new() })).unwrap();
+    apply(&mut w, plan, &[a, b]);
+    let mut v = run_to_deadline(&mut w, plan, |w| {
+        w.actor_ref::<StreamSender>(tx).map(|s| s.base >= TOTAL).unwrap_or(false)
+    });
+    let log = w.actor_ref::<StreamReceiver>(rx).map(|r| r.log.clone()).unwrap_or_default();
+    v.extend(oracles::check_exactly_once_in_order("shard-stream", TOTAL, &log));
+    v.extend(bounded("shard-stream", &w));
+    (v, w.digest())
+}
+
+// ---------------------------------------------------------------------------
+// W3: intra-region service migration under a message stream
+// ---------------------------------------------------------------------------
+
+/// Stop-and-wait driver: sends message `seq` until acked, then moves
+/// on; a `TAG_SWITCH` control frame retargets it mid-stream.
+struct MigDriver {
+    target: Endpoint,
+    total: u32,
+    acked: u32,
+}
+
+impl MigDriver {
+    fn pump(&mut self, ctx: &mut ShardCtx<'_>) {
+        if self.acked >= self.total {
+            return;
+        }
+        ctx.send(self.target, frame(TAG_DATA, self.acked, 7));
+        ctx.set_timer(SimDuration::from_millis(80), 1);
+    }
+}
+
+impl ShardActor for MigDriver {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } | Event::HostUp => self.pump(ctx),
+            Event::Packet { payload, .. } => match parse(&payload) {
+                Some((TAG_ACK, seq, _)) => {
+                    if seq == self.acked {
+                        self.acked += 1;
+                        self.pump(ctx);
+                    }
+                }
+                Some((TAG_SWITCH, _, host)) => {
+                    self.target = Endpoint::new(HostId(host), PORT + 1);
+                    self.pump(ctx);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// The service: dedups by sequence, acks, and at a fixed virtual time
+/// hands its state to a successor spawned on a sibling host in the
+/// same region, then unbinds.
+struct MigService {
+    seen: Vec<bool>,
+    distinct: u32,
+    driver: Endpoint,
+    move_to: Option<HostId>,
+}
+
+impl ShardActor for MigService {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::HostUp => {
+                if self.move_to.is_some() {
+                    ctx.set_timer(SimDuration::from_millis(900), 2);
+                }
+            }
+            Event::Timer { token: 2 } => {
+                if let Some(dest) = self.move_to.take() {
+                    let successor = MigService {
+                        seen: self.seen.clone(),
+                        distinct: self.distinct,
+                        driver: self.driver,
+                        move_to: None,
+                    };
+                    if ctx.spawn(dest, PORT + 1, Box::new(successor)).is_some() {
+                        ctx.send(self.driver, frame(TAG_SWITCH, 0, dest.0));
+                        let me = ctx.me();
+                        ctx.kill(me);
+                    } else {
+                        // Port race (can't happen here) — retry later.
+                        self.move_to = Some(dest);
+                        ctx.set_timer(SimDuration::from_millis(100), 2);
+                    }
+                }
+            }
+            Event::Packet { from, payload } => {
+                if let Some((TAG_DATA, seq, _)) = parse(&payload) {
+                    if (seq as usize) < self.seen.len() {
+                        if !self.seen[seq as usize] {
+                            self.seen[seq as usize] = true;
+                            self.distinct += 1;
+                        }
+                        ctx.send(from, frame(TAG_ACK, seq, 0));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_migration(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    const TOTAL: u32 = 100;
+    let mut w = soak_world(wseed, threads);
+    let driver_h = HostId(130); // cluster 2
+    let svc_h = HostId(520); // cluster 8
+    let dest_h = HostId(530); // same cluster: intra-region handoff
+    let drv = w
+        .spawn(driver_h, PORT, Box::new(MigDriver { target: Endpoint::new(svc_h, PORT + 1), total: TOTAL, acked: 0 }))
+        .unwrap();
+    w.spawn(
+        svc_h,
+        PORT + 1,
+        Box::new(MigService { seen: vec![false; TOTAL as usize], distinct: 0, driver: Endpoint::new(driver_h, PORT), move_to: Some(dest_h) }),
+    )
+    .unwrap();
+    apply(&mut w, plan, &[driver_h, dest_h]);
+    let mut v = run_to_deadline(&mut w, plan, |w| {
+        w.actor_ref::<MigDriver>(drv).map(|d| d.acked >= TOTAL).unwrap_or(false)
+    });
+    let successor = Endpoint::new(dest_h, PORT + 1);
+    match w.actor_ref::<MigService>(successor) {
+        None => v.push("shard-migration: successor never came up on the destination host".into()),
+        Some(s) => {
+            if s.distinct != TOTAL {
+                v.push(format!(
+                    "shard-migration: successor holds {} of {TOTAL} messages after handoff",
+                    s.distinct
+                ));
+            }
+        }
+    }
+    if w.is_bound(Endpoint::new(svc_h, PORT + 1)) {
+        v.push("shard-migration: origin service still bound after handoff".into());
+    }
+    v.extend(bounded("shard-migration", &w));
+    (v, w.digest())
+}
+
+// ---------------------------------------------------------------------------
+// W4: gossip convergence across regions
+// ---------------------------------------------------------------------------
+
+/// Max-merge gossip: each member pushes its current maximum to a
+/// rotating peer on a jittered period. Convergence needs only eventual
+/// connectivity, so every fault class is in contract.
+struct Gossip {
+    peers: Vec<Endpoint>,
+    value: u32,
+    cursor: usize,
+}
+
+impl ShardActor for Gossip {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } | Event::HostUp => {
+                let peer = self.peers[self.cursor % self.peers.len()];
+                self.cursor += 1;
+                ctx.send(peer, frame(TAG_DATA, 0, self.value));
+                let jitter = ctx.rng().gen_range(20) as u64;
+                ctx.set_timer(SimDuration::from_millis(40 + jitter), 1);
+            }
+            Event::Packet { payload, .. } => {
+                if let Some((TAG_DATA, _, value)) = parse(&payload) {
+                    if value > self.value {
+                        self.value = value;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_gossip(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    const MEMBERS: usize = 24;
+    let mut w = soak_world(wseed, threads);
+    // Spread the mesh over six clusters, four members each.
+    let hosts: Vec<HostId> = (0..MEMBERS).map(|i| HostId((i / 4 * 64 + i % 4) as u32)).collect();
+    let eps: Vec<Endpoint> = hosts.iter().map(|&h| Endpoint::new(h, PORT)).collect();
+    let max_value = 1_000 + MEMBERS as u32 - 1;
+    for (i, &h) in hosts.iter().enumerate() {
+        let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| e.host != h).collect();
+        w.spawn(h, PORT, Box::new(Gossip { peers, value: 1_000 + i as u32, cursor: i }));
+    }
+    apply(&mut w, plan, &hosts);
+    let eps2 = eps.clone();
+    let mut v = run_to_deadline(&mut w, plan, move |w| {
+        eps2.iter().all(|&e| w.actor_ref::<Gossip>(e).map(|g| g.value == max_value).unwrap_or(false))
+    });
+    for &e in &eps {
+        let got = w.actor_ref::<Gossip>(e).map(|g| g.value).unwrap_or(0);
+        if got != max_value {
+            v.push(format!(
+                "shard-gossip: {e} stuck at {got}, never saw the maximum {max_value}"
+            ));
+        }
+    }
+    v.extend(bounded("shard-gossip", &w));
+    (v, w.digest())
+}
+
+// ---------------------------------------------------------------------------
+// W5: relayed multicast fan-out
+// ---------------------------------------------------------------------------
+
+/// Source: paces `total` messages, each pushed to every relay; repeats
+/// the full schedule three times so duplication-only chaos and source
+/// flaps cannot starve a leaf.
+struct McastSource {
+    relays: Vec<Endpoint>,
+    total: u32,
+    sent: u32,
+    rounds: u32,
+}
+
+impl ShardActor for McastSource {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } | Event::HostUp => {
+                if self.sent == self.total {
+                    if self.rounds == 0 {
+                        return;
+                    }
+                    self.rounds -= 1;
+                    self.sent = 0;
+                }
+                let seq = self.sent;
+                for &r in &self.relays {
+                    ctx.send(r, frame(TAG_DATA, seq, 0));
+                }
+                self.sent += 1;
+                ctx.set_timer(SimDuration::from_millis(15), 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Relay: forwards every valid frame to all leaves (stateless).
+struct McastRelay {
+    leaves: Vec<Endpoint>,
+}
+
+impl ShardActor for McastRelay {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        if let Event::Packet { payload, .. } = event {
+            if parse(&payload).is_some() {
+                for &l in &self.leaves {
+                    ctx.send(l, payload.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Leaf: records which sequence numbers arrived (at least once).
+struct McastLeaf {
+    seen: Vec<bool>,
+}
+
+impl ShardActor for McastLeaf {
+    fn on_event(&mut self, _ctx: &mut ShardCtx<'_>, event: Event) {
+        if let Event::Packet { payload, .. } = event {
+            if let Some((TAG_DATA, seq, _)) = parse(&payload) {
+                if (seq as usize) < self.seen.len() {
+                    self.seen[seq as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+fn run_mcast(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    const TOTAL: u32 = 50;
+    let mut w = soak_world(wseed, threads);
+    let src = HostId(0);
+    let relays: Vec<HostId> = vec![HostId(64), HostId(128), HostId(192)];
+    let leaves: Vec<HostId> = (0..8).map(|i| HostId(256 + i * 64)).collect();
+    let leaf_eps: Vec<Endpoint> = leaves.iter().map(|&h| Endpoint::new(h, PORT)).collect();
+    for &r in &relays {
+        w.spawn(r, PORT, Box::new(McastRelay { leaves: leaf_eps.clone() }));
+    }
+    for &l in &leaves {
+        w.spawn(l, PORT, Box::new(McastLeaf { seen: vec![false; TOTAL as usize] }));
+    }
+    w.spawn(
+        src,
+        PORT,
+        Box::new(McastSource {
+            relays: relays.iter().map(|&h| Endpoint::new(h, PORT)).collect(),
+            total: TOTAL,
+            sent: 0,
+            rounds: 2,
+        }),
+    );
+    // Only the source host may flap (matching the single-world mcast
+    // contract: relays are unreliable but must stay up).
+    apply(&mut w, plan, &[src]);
+    let eps2 = leaf_eps.clone();
+    let mut v = run_to_deadline(&mut w, plan, move |w| {
+        eps2.iter().all(|&e| {
+            w.actor_ref::<McastLeaf>(e).map(|l| l.seen.iter().all(|&s| s)).unwrap_or(false)
+        })
+    });
+    for &e in &leaf_eps {
+        let missing = w
+            .actor_ref::<McastLeaf>(e)
+            .map(|l| l.seen.iter().filter(|&&s| !s).count())
+            .unwrap_or(TOTAL as usize);
+        if missing > 0 {
+            v.push(format!("shard-mcast: leaf {e} missing {missing} of {TOTAL} messages"));
+        }
+    }
+    v.extend(bounded("shard-mcast", &w));
+    (v, w.digest())
+}
+
+// ---------------------------------------------------------------------------
+// Soak plumbing
+// ---------------------------------------------------------------------------
+
+fn soak_world(wseed: u64, threads: usize) -> ShardedWorld {
+    ShardedWorld::new(cluster_topology(SOAK_HOSTS), wseed, threads)
+}
+
+/// Translate the plan and bind its abstract targets: flappable hosts
+/// are the workload's cast, net-level faults rotate over the first six
+/// cluster LANs, interface flaps over the cast's interfaces.
+fn apply(w: &mut ShardedWorld, plan: &ChaosPlan, cast: &[HostId]) {
+    let nets: Vec<NetId> = (0..6).map(NetId).collect();
+    let ifaces: Vec<(HostId, NetId)> =
+        cast.iter().map(|&h| (h, NetId(h.index() as u32 / 64))).collect();
+    let binding =
+        ChaosBinding { hosts: cast.to_vec(), nets, ifaces, procs: Vec::new() };
+    w.apply_chaos_plan(plan, &binding);
+}
+
+/// Drive the world in 250 ms slices until `done` or the deadline
+/// (quiesce + recovery tail). A missed deadline is the liveness
+/// violation; invariant details are the caller's to report.
+fn run_to_deadline(
+    w: &mut ShardedWorld,
+    plan: &ChaosPlan,
+    done: impl Fn(&ShardedWorld) -> bool,
+) -> Vec<String> {
+    let deadline = plan.quiesce_at() + RECOVERY_TAIL;
+    let step = SimDuration::from_millis(250);
+    loop {
+        w.run_for(step);
+        if done(w) {
+            // A short drain so in-flight retransmissions/acks settle
+            // before residual-queue bounds are checked.
+            w.run_for(SimDuration::from_secs(1));
+            return Vec::new();
+        }
+        if w.now() >= deadline {
+            return vec![format!(
+                "liveness: workload incomplete at quiesce+{}s of virtual time",
+                RECOVERY_TAIL.as_secs_f64()
+            )];
+        }
+    }
+}
+
+fn bounded(label: &str, w: &ShardedWorld) -> Vec<String> {
+    oracles::check_shard_bounded(label, w, MAX_RESIDUAL_EVENTS, MAX_PEAK_DEPTH, MAX_MAILBOX_BURST)
+}
+
+/// The five sharded-engine workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardWorkload {
+    /// Acked transfer with blanket retransmission, cross-region.
+    Transfer,
+    /// Go-back-N sequenced stream (exactly-once, in-order).
+    Stream,
+    /// Intra-region service migration under a stop-and-wait stream.
+    Migration,
+    /// Max-merge gossip mesh over six regions.
+    Gossip,
+    /// Relayed multicast fan-out (duplication/reorder chaos only).
+    Mcast,
+}
+
+/// Every workload, in soak order.
+pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 5] = [
+    ShardWorkload::Transfer,
+    ShardWorkload::Stream,
+    ShardWorkload::Migration,
+    ShardWorkload::Gossip,
+    ShardWorkload::Mcast,
+];
+
+impl ShardWorkload {
+    /// Stable name used in replay lines and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardWorkload::Transfer => "shard-transfer",
+            ShardWorkload::Stream => "shard-stream",
+            ShardWorkload::Migration => "shard-migration",
+            ShardWorkload::Gossip => "shard-gossip",
+            ShardWorkload::Mcast => "shard-mcast",
+        }
+    }
+
+    /// Inverse of [`ShardWorkload::name`].
+    pub fn from_name(name: &str) -> Option<ShardWorkload> {
+        ALL_SHARD_WORKLOADS.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// The fault envelope each workload's contract tolerates. Horizons
+    /// are short (the workloads are small); the recovery tail does the
+    /// healing.
+    pub fn shape(&self) -> ChaosShape {
+        match self {
+            ShardWorkload::Transfer => ChaosShape {
+                horizon: SimDuration::from_secs(4),
+                hosts: 2,
+                nets: 4,
+                ifaces: 2,
+                procs: 0,
+                max_ops: 6,
+                jitter_max: SimDuration::from_millis(20),
+                ..ChaosShape::default()
+            },
+            ShardWorkload::Stream => ChaosShape {
+                horizon: SimDuration::from_secs(4),
+                hosts: 2,
+                nets: 4,
+                ifaces: 2,
+                procs: 0,
+                max_ops: 6,
+                jitter_max: SimDuration::from_millis(20),
+                ..ChaosShape::default()
+            },
+            ShardWorkload::Migration => ChaosShape {
+                horizon: SimDuration::from_secs(4),
+                hosts: 2,
+                nets: 3,
+                ifaces: 0,
+                procs: 0,
+                max_ops: 4,
+                corrupt_max: 0.02,
+                jitter_max: SimDuration::from_millis(10),
+                ..ChaosShape::default()
+            },
+            ShardWorkload::Gossip => ChaosShape {
+                horizon: SimDuration::from_secs(5),
+                hosts: 6,
+                nets: 6,
+                ifaces: 4,
+                procs: 0,
+                max_ops: 6,
+                ..ChaosShape::default()
+            },
+            // Relays are unreliable by design: only duplication,
+            // reordering and gray degradation are in contract, plus
+            // flaps of the source host (it must resume pacing).
+            ShardWorkload::Mcast => ChaosShape {
+                horizon: SimDuration::from_secs(3),
+                hosts: 1,
+                nets: 2,
+                ifaces: 0,
+                procs: 0,
+                max_ops: 4,
+                packet_prob: 0.9,
+                corrupt_max: 0.0,
+                duplicate_max: 0.3,
+                reorder_max: 0.3,
+                jitter_max: SimDuration::from_millis(15),
+                ..ChaosShape::default()
+            },
+        }
+    }
+
+    /// Run the workload under `plan` at `threads` workers; returns
+    /// oracle violations (empty = green) and the world digest.
+    pub fn run(&self, plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+        match self {
+            ShardWorkload::Transfer => run_transfer(plan, wseed, threads),
+            ShardWorkload::Stream => run_stream(plan, wseed, threads),
+            ShardWorkload::Migration => run_migration(plan, wseed, threads),
+            ShardWorkload::Gossip => run_gossip(plan, wseed, threads),
+            ShardWorkload::Mcast => run_mcast(plan, wseed, threads),
+        }
+    }
+}
+
+/// Outcome of one `(workload, plan, workload-seed)` sharded chaos run.
+#[derive(Clone, Debug)]
+pub struct ShardChaosRun {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Seed the plan was generated from.
+    pub plan_seed: u64,
+    /// Seed driving the workload world.
+    pub workload_seed: u64,
+    /// Fault ops in the plan.
+    pub ops: usize,
+    /// Whether per-packet chaos was active.
+    pub packet: bool,
+    /// Oracle violations (empty = green).
+    pub violations: Vec<String>,
+    /// One-line replay recipe.
+    pub replay: String,
+    /// World digest of the primary run.
+    pub digest: u64,
+}
+
+/// Run one plan: primary at [`SOAK_THREADS`] workers plus a
+/// differential re-run at [`DIFF_THREADS`]; a digest mismatch is
+/// itself an oracle violation.
+pub fn run_one(w: ShardWorkload, plan_seed: u64, workload_seed: u64) -> ShardChaosRun {
+    let plan = ChaosPlan::generate(plan_seed, &w.shape());
+    let (mut violations, digest) = w.run(&plan, workload_seed, SOAK_THREADS);
+    let (_, digest1) = w.run(&plan, workload_seed, DIFF_THREADS);
+    if digest != digest1 {
+        violations.push(format!(
+            "{}: digest diverged across thread counts ({SOAK_THREADS} -> {digest:#x}, \
+             {DIFF_THREADS} -> {digest1:#x})",
+            w.name()
+        ));
+    }
+    ShardChaosRun {
+        workload: w.name(),
+        plan_seed,
+        workload_seed,
+        ops: plan.ops.len(),
+        packet: plan.packet.is_some(),
+        violations,
+        replay: plan.replay_line(w.name(), workload_seed),
+        digest,
+    }
+}
+
+/// Fan `seeds_per_workload` plans over every workload in parallel
+/// (each simulation already uses [`SOAK_THREADS`] workers internally,
+/// so the outer fan-out stays modest).
+pub fn soak(seeds_per_workload: u64) -> Vec<ShardChaosRun> {
+    let mut jobs = Vec::new();
+    for w in ALL_SHARD_WORKLOADS {
+        for i in 0..seeds_per_workload {
+            let (ps, ws) = soak_seeds(i);
+            jobs.push((w, ps, ws));
+        }
+    }
+    par_map(jobs, |&(w, ps, ws)| run_one(w, ps, ws))
+}
+
+/// `(workload, plan_seed, workload_seed)` triples pinned from soak
+/// runs during development — each must stay green forever. The first
+/// pins per workload are the soak's leading seeds; the extra transfer
+/// and stream pins wedged until senders learned to re-arm their
+/// retransmit timers on [`Event::HostUp`] (a flap of the sending host
+/// swallows any timer queued while it was down — same failure family
+/// as the single-world corpus).
+pub const SHARD_REGRESSION_CORPUS: &[(ShardWorkload, u64, u64)] = &[
+    (ShardWorkload::Transfer, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::Transfer, 0xC0FF_EE01, 0x5EED + 1),
+    (ShardWorkload::Stream, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::Stream, 0xC0FF_EE03, 0x5EED + 3),
+    (ShardWorkload::Migration, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::Gossip, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::Mcast, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::Mcast, 0xC0FF_EE01, 0x5EED + 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_regression_corpus_stays_green() {
+        for &(w, ps, ws) in SHARD_REGRESSION_CORPUS {
+            let run = run_one(w, ps, ws);
+            assert!(
+                run.violations.is_empty(),
+                "{} plan_seed={ps:#x} wseed={ws:#x}: {:?}\n  {}",
+                w.name(),
+                run.violations,
+                run.replay
+            );
+        }
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in ALL_SHARD_WORKLOADS {
+            assert_eq!(ShardWorkload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(ShardWorkload::from_name("nope"), None);
+    }
+}

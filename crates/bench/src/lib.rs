@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod chaos_shard;
 pub mod e2_mpiconnect;
 pub mod engine;
 pub mod e3_availability;
@@ -22,6 +23,7 @@ pub mod e8_spof;
 pub mod fig1;
 pub mod oracles;
 pub mod report;
+pub mod shard_storm;
 
 /// Run closures in parallel, preserving input order in the output.
 pub fn par_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>

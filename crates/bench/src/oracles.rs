@@ -116,6 +116,41 @@ pub fn check_corruption_exercised(label: &str, world: &World, expected: bool) ->
     }
 }
 
+/// Per-shard boundedness for the sharded engine: aggregate totals can
+/// hide one runaway region, so every shard's residual queue, peak
+/// depth, slab/stream high-water marks and per-round mailbox burst
+/// must each stay under its bound.
+pub fn check_shard_bounded(
+    label: &str,
+    world: &snipe_netsim::shard::ShardedWorld,
+    max_residual: usize,
+    max_peak: u64,
+    max_mailbox: u64,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    for l in world.shard_loads() {
+        if l.queue_depth > max_residual {
+            v.push(format!(
+                "{label}: shard {} holds {} events after quiesce (bound {max_residual})",
+                l.region, l.queue_depth
+            ));
+        }
+        if l.peak_queue_depth > max_peak {
+            v.push(format!(
+                "{label}: shard {} peak queue depth {} exceeded bound {max_peak}",
+                l.region, l.peak_queue_depth
+            ));
+        }
+        if l.mailbox_hwm > max_mailbox {
+            v.push(format!(
+                "{label}: shard {} took {} mailbox items in one round (bound {max_mailbox})",
+                l.region, l.mailbox_hwm
+            ));
+        }
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,12 +23,17 @@
 //!   process restarts, replayable bit-for-bit from a plan seed;
 //! * [`trace`] — flat stats counters plus the thread-local flight
 //!   recorder: a fixed-capacity ring of virtual-time-stamped events
-//!   every layer records into, dumped on chaos-oracle violations.
+//!   every layer records into, dumped on chaos-oracle violations;
+//! * [`shard`] — the sharded engine: conservative parallel
+//!   discrete-event simulation over per-region shards, bit-for-bit
+//!   deterministic at any thread count, for 10k–100k-host worlds.
 
 pub mod actor;
 pub mod chaos;
 pub mod fault;
 pub mod medium;
+pub(crate) mod queue;
+pub mod shard;
 pub mod topology;
 pub mod trace;
 pub mod world;
@@ -36,6 +41,7 @@ pub mod world;
 pub use actor::{Actor, ActorId, Ctx, Event, TimerGate};
 pub use chaos::{ChaosBinding, ChaosOp, ChaosPlan, ChaosShape, PacketChaos};
 pub use medium::Medium;
+pub use shard::{FaultCmd, Partition, ShardActor, ShardCtx, ShardLoad, ShardedWorld};
 pub use topology::{Endpoint, HostCfg, Topology};
 pub use trace::{FaultOp, MigrationPhase, TraceEvent, TraceKind};
 pub use world::World;

@@ -1,0 +1,1889 @@
+//! The sharded deterministic engine: conservative parallel
+//! discrete-event simulation over per-region shards.
+//!
+//! [`World`](crate::world::World) is a single event loop; it tops out
+//! around a few million events per second no matter how many cores the
+//! machine has. This module partitions a topology into independent
+//! **regions** (connected components of "hosts share a network
+//! segment" — every segment, with all its attached hosts, lives wholly
+//! inside one region), gives each region its own `ShardCore` — a
+//! private three-tier event queue, flat stats, RNG streams, route
+//! cache, transmitter busy-tracking and trace ring — and advances all
+//! cores in **deterministic barrier rounds** with conservative
+//! lookahead.
+//!
+//! ## Why determinism survives parallelism
+//!
+//! * Regions are a property of the *topology*, not of the thread
+//!   count: `--shards N` only chooses how many OS threads execute the
+//!   fixed region set. Every per-core decision (event order, RNG
+//!   draws, sequence numbers) depends only on that core's own inputs.
+//! * Cross-region packets never touch another core directly. They are
+//!   collected into per-core outboxes and exchanged at the round
+//!   barrier through a **deterministic mailbox**: all items are sorted
+//!   by `(at, src_region, src_seq)` and enqueued into their
+//!   destination cores in that order, so destination-side sequence
+//!   numbers are identical at any thread count.
+//! * The inline (single-thread) path and the thread-pool path execute
+//!   the *same* per-round core methods in the same per-core order —
+//!   equality of results across 1/2/4/8 threads holds by construction
+//!   and is pinned by differential tests and the `shard-determinism`
+//!   gate in `scripts/check.sh`.
+//!
+//! ## Conservative lookahead
+//!
+//! Two hosts in different regions share no segment, so every
+//! cross-region packet takes a routed (two-segment) path whose
+//! propagation latency is at least twice the minimum base latency over
+//! all routable media. That bound is the **lookahead** `L`: in a round
+//! where the globally earliest pending work is at `t_min`, every core
+//! may safely execute events with `at < min(t_min + L, next_fault,
+//! horizon)` — any cross-region arrival generated inside the window
+//! lands at or after its end. Gray-link degradation only *raises*
+//! latency (the fault scheduler clamps `latency_factor` to ≥ 1.0), so
+//! the static bound stays sound under chaos.
+//!
+//! ## Faults and chaos
+//!
+//! Scripted faults are data ([`FaultCmd`]), not closures: a sorted
+//! timeline the coordinator applies between rounds (windows are capped
+//! at the next fault time, so a fault at `t` is observed by every core
+//! before any event at or after `t` runs). [`ChaosPlan`]s translate
+//! op-for-op except `ProcRestart`, whose restart closures are
+//! inherently single-threaded (`Rc`); engine-level soaks exercise
+//! restarts through actor-level kill/respawn instead.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+use bytes::Bytes;
+
+use snipe_util::id::{HostId, NetId};
+use snipe_util::metrics::{Log2Histogram, Registry};
+use snipe_util::rng::{SplitMix64, Xoshiro256};
+use snipe_util::time::{SimDuration, SimTime};
+
+use crate::actor::{ActorId, Event};
+use crate::chaos::{ChaosBinding, ChaosOp, ChaosPlan, PacketChaos};
+use crate::queue::{EventQueue, FnvMap, Tier, TxChannel};
+use crate::topology::{Endpoint, GrayLevel, PathInfo, Topology};
+use crate::trace::{DropReason, FaultOp, NetStats, TraceKind};
+use crate::world::{compute_path, SIGSTART};
+
+/// Derive a per-region seed from the world seed. Distinct regions get
+/// decorrelated streams; the mapping is pure, so it is identical at
+/// every thread count.
+fn mix_seed(seed: u64, region: u32) -> u64 {
+    SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(region as u64 + 1)).next_u64()
+}
+
+// ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+/// Static partition of a topology into schedulable regions, plus the
+/// conservative lookahead and dense per-region transmitter-slot maps.
+///
+/// Computed once from the pristine topology; faults never move a host
+/// between regions (they only flip up/down state), so the partition is
+/// valid for the lifetime of the world.
+pub struct Partition {
+    region_of_host: Vec<u32>,
+    region_of_net: Vec<u32>,
+    regions: u32,
+    /// Conservative lookahead in nanoseconds (`u64::MAX` when no
+    /// cross-region traffic is possible).
+    la_ns: u64,
+    /// Global net index → dense per-region bus-slot index.
+    net_slot: Vec<u32>,
+    /// Global link index → dense per-region link-slot index.
+    link_slot: Vec<u32>,
+    /// Bus slots per region.
+    bus_counts: Vec<u32>,
+    /// Link slots per region.
+    link_counts: Vec<u32>,
+}
+
+impl Partition {
+    /// Partition `topo` into regions (connected components of the
+    /// host–segment incidence graph) and derive the lookahead.
+    ///
+    /// # Panics
+    /// Panics if the topology has ≥ 2 regions connected by routable
+    /// media with zero base latency — conservative lookahead would be
+    /// zero and parallel execution could not make safe progress. All
+    /// built-in media have latency ≥ 1µs.
+    pub fn of(topo: &Topology) -> Partition {
+        let h = topo.host_count();
+        let n = topo.net_count();
+        // Union-find over host nodes [0, h) and net nodes [h, h + n).
+        let mut uf: Vec<u32> = (0..(h + n) as u32).collect();
+        fn find(uf: &mut [u32], mut x: u32) -> u32 {
+            while uf[x as usize] != x {
+                uf[x as usize] = uf[uf[x as usize] as usize]; // path halving
+                x = uf[x as usize];
+            }
+            x
+        }
+        for net in topo.nets() {
+            let nn = (h + net.id.index()) as u32;
+            for &(host, _) in &net.attached {
+                let a = find(&mut uf, nn);
+                let b = find(&mut uf, host.index() as u32);
+                if a != b {
+                    uf[b as usize] = a;
+                }
+            }
+        }
+        // Dense region ids in first-seen order (hosts first, then
+        // nets) — deterministic, independent of union order.
+        let mut dense = vec![u32::MAX; h + n];
+        let mut regions = 0u32;
+        let mut region_of = |uf: &mut [u32], node: usize| {
+            let root = find(uf, node as u32) as usize;
+            if dense[root] == u32::MAX {
+                dense[root] = regions;
+                regions += 1;
+            }
+            dense[root]
+        };
+        let region_of_host: Vec<u32> = (0..h).map(|i| region_of(&mut uf, i)).collect();
+        let region_of_net: Vec<u32> = (0..n).map(|j| region_of(&mut uf, h + j)).collect();
+        // Lookahead: a cross-region path is routed over two routable
+        // edges, so its latency is ≥ 2 × the minimum base latency.
+        let min_lat = topo
+            .nets()
+            .filter(|net| net.routable)
+            .map(|net| net.medium.latency.as_nanos())
+            .min();
+        let la_ns = if regions <= 1 {
+            u64::MAX
+        } else {
+            match min_lat {
+                // No routable media: regions cannot talk at all.
+                None => u64::MAX,
+                Some(0) => panic!(
+                    "sharded engine requires routable media with nonzero latency \
+                     (conservative lookahead would be zero)"
+                ),
+                Some(ns) => ns.saturating_mul(2),
+            }
+        };
+        // Dense per-region transmitter slots, so a core's busy vectors
+        // are sized by its own region, not the whole world.
+        let mut bus_counts = vec![0u32; regions as usize];
+        let mut net_slot = vec![0u32; n];
+        for (j, slot) in net_slot.iter_mut().enumerate() {
+            let r = region_of_net[j] as usize;
+            *slot = bus_counts[r];
+            bus_counts[r] += 1;
+        }
+        let total_links: usize = topo.hosts().map(|host| host.interfaces.len()).sum();
+        let mut link_counts = vec![0u32; regions as usize];
+        let mut link_slot = vec![0u32; total_links];
+        for host in topo.hosts() {
+            for iface in &host.interfaces {
+                let r = region_of_net[iface.net.index()] as usize;
+                link_slot[iface.link.index()] = link_counts[r];
+                link_counts[r] += 1;
+            }
+        }
+        Partition {
+            region_of_host,
+            region_of_net,
+            regions,
+            la_ns,
+            net_slot,
+            link_slot,
+            bus_counts,
+            link_counts,
+        }
+    }
+
+    /// Number of regions (independent of thread count).
+    pub fn regions(&self) -> usize {
+        self.regions as usize
+    }
+
+    /// The region owning a host.
+    pub fn region_of_host(&self, h: HostId) -> usize {
+        self.region_of_host[h.index()] as usize
+    }
+
+    /// The region owning a network segment.
+    pub fn region_of_net(&self, n: NetId) -> usize {
+        self.region_of_net[n.index()] as usize
+    }
+
+    /// Conservative lookahead (`SimDuration::MAX` when regions cannot
+    /// exchange traffic, e.g. a single-region world).
+    pub fn lookahead(&self) -> SimDuration {
+        if self.la_ns == u64::MAX {
+            SimDuration::MAX
+        } else {
+            SimDuration::from_nanos(self.la_ns)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Actor model (Send)
+// ---------------------------------------------------------------------------
+
+/// Upcast helper so concrete actor state can be read back through
+/// `dyn ShardActor` without requiring trait-object upcasting support.
+/// Blanket-implemented for every `'static` type.
+pub trait AsAny {
+    /// This value as `&dyn Any` (for downcasting).
+    fn as_any(&self) -> &dyn Any;
+    /// This value as `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The actor trait for the sharded engine. Identical in shape to
+/// [`crate::actor::Actor`], but `Send` (cores move across worker
+/// threads) and reachable back through [`ShardedWorld::actor_ref`] via
+/// [`AsAny`]. `Rc`-webbed single-threaded actors cannot implement
+/// this; give each actor owned state instead.
+pub trait ShardActor: AsAny + Send {
+    /// Handle one event.
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event);
+}
+
+/// The world-facing API handed to a [`ShardActor`] during dispatch.
+/// Mirrors [`crate::actor::Ctx`]; `spawn`/`kill`/`signal`/`is_bound`
+/// are region-local (cross-region control is not a thing SNIPE
+/// processes can do without a message anyway — send a packet).
+pub struct ShardCtx<'a> {
+    core: &'a mut ShardCore,
+    topo: &'a Topology,
+    part: &'a Partition,
+    me: ActorId,
+    my_endpoint: Endpoint,
+}
+
+impl ShardCtx<'_> {
+    /// Current simulation time (this core's clock).
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This actor's own endpoint.
+    pub fn me(&self) -> Endpoint {
+        self.my_endpoint
+    }
+
+    /// This actor's host.
+    pub fn host(&self) -> HostId {
+        self.my_endpoint.host
+    }
+
+    /// Send a datagram (cross-region destinations go through the
+    /// deterministic mailbox transparently).
+    pub fn send(&mut self, to: Endpoint, payload: Bytes) {
+        let from = self.my_endpoint;
+        self.core.send_packet(self.topo, self.part, from, to, payload, None);
+    }
+
+    /// Send pinned to a specific network.
+    pub fn send_via(&mut self, to: Endpoint, payload: Bytes, via: NetId) {
+        let from = self.my_endpoint;
+        self.core.send_packet(self.topo, self.part, from, to, payload, Some(via));
+    }
+
+    /// Schedule an [`Event::Timer`] for this actor after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, ShardQueued::Timer { actor: self.me, token });
+    }
+
+    /// Spawn an actor on `host` at `port` — same region only. Returns
+    /// `None` for a taken port, unknown host, or cross-region target.
+    pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
+        if host.index() >= self.topo.host_count()
+            || self.part.region_of_host(host) != self.core.region as usize
+        {
+            debug_assert!(
+                host.index() >= self.topo.host_count()
+                    || self.part.region_of_host(host) == self.core.region as usize,
+                "cross-region spawn from region {}",
+                self.core.region
+            );
+            return None;
+        }
+        self.core.spawn(host, port, actor)
+    }
+
+    /// Allocate an unused ephemeral port on a host in this region.
+    pub fn alloc_port(&mut self, host: HostId) -> u16 {
+        self.core.alloc_port(host)
+    }
+
+    /// Is an actor bound at `ep`? Region-local view.
+    pub fn is_bound(&self, ep: Endpoint) -> bool {
+        self.core.bindings.contains_key(&ep)
+    }
+
+    /// Terminate an actor in this region.
+    pub fn kill(&mut self, ep: Endpoint) {
+        debug_assert_eq!(
+            self.part.region_of_host(ep.host),
+            self.core.region as usize,
+            "cross-region kill"
+        );
+        self.core.kill(ep);
+    }
+
+    /// Deliver a signal to another actor in this region at the same
+    /// timestamp.
+    pub fn signal(&mut self, to: Endpoint, signum: u32) {
+        debug_assert_eq!(
+            self.part.region_of_host(to.host),
+            self.core.region as usize,
+            "cross-region signal"
+        );
+        let from = Some(self.my_endpoint);
+        let now = self.core.now;
+        self.core.push(now, ShardQueued::Signal { from, to, signum });
+    }
+
+    /// This region's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.core.rng
+    }
+
+    /// Immutable view of the (shared) topology.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Is a host currently up?
+    pub fn host_up(&self, h: HostId) -> bool {
+        self.topo.host(h).up
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core-internal types
+// ---------------------------------------------------------------------------
+
+enum ShardQueued {
+    Deliver { from: Endpoint, to: Endpoint, payload: Bytes },
+    Timer { actor: ActorId, token: u64 },
+    Signal { from: Option<Endpoint>, to: Endpoint, signum: u32 },
+}
+
+struct ShardSlot {
+    actor: Option<Box<dyn ShardActor>>,
+    endpoint: Endpoint,
+    alive: bool,
+}
+
+/// A cross-region packet in flight between rounds. `(at, src_region,
+/// src_seq)` totally orders every item of a round — the mailbox
+/// tie-break that makes destination-side sequence numbers independent
+/// of thread count.
+struct MailboxItem {
+    at: SimTime,
+    src_region: u32,
+    src_seq: u64,
+    from: Endpoint,
+    to: Endpoint,
+    payload: Bytes,
+}
+
+/// Work the coordinator hands a core at a round boundary, applied
+/// in-order before the window runs.
+enum Inbound {
+    Deliver { at: SimTime, from: Endpoint, to: Endpoint, payload: Bytes },
+    HostEvent { at: SimTime, host: HostId, up: bool },
+    SetChaos { at: SimTime, chaos: Option<PacketChaos>, seed: u64 },
+}
+
+/// One retained per-shard flight-recorder event.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardTraceEvent {
+    /// Per-core monotone sequence number.
+    pub seq: u64,
+    /// Virtual time.
+    pub at: SimTime,
+    /// Region that recorded it.
+    pub region: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Per-shard drop-oldest trace ring (the thread-local flight recorder
+/// cannot serve cores that migrate across worker threads).
+#[derive(Default)]
+struct ShardRing {
+    cap: usize,
+    buf: Vec<ShardTraceEvent>,
+    next: usize,
+    seq: u64,
+    dropped: u64,
+    kind_counts: [u64; TraceKind::COUNT],
+}
+
+impl ShardRing {
+    fn enable(&mut self, cap: usize) {
+        *self = ShardRing::default();
+        self.cap = cap.max(1);
+        self.buf.reserve_exact(self.cap);
+    }
+
+    fn push(&mut self, region: u32, at: SimTime, kind: TraceKind) {
+        let ev = ShardTraceEvent { seq: self.seq, at, region, kind };
+        self.seq += 1;
+        self.kind_counts[kind.tag()] += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn iter_ordered(&self) -> impl Iterator<Item = &ShardTraceEvent> {
+        let (tail, head) = self.buf.split_at(self.next.min(self.buf.len()));
+        head.iter().chain(tail.iter())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardCore
+// ---------------------------------------------------------------------------
+
+type RouteKey = (HostId, HostId, Option<NetId>);
+
+/// One region's complete engine state: queue, clock, stats, RNG
+/// streams, route cache, dense busy vectors, actors, outbox, ring.
+struct ShardCore {
+    region: u32,
+    now: SimTime,
+    queue: EventQueue<ShardQueued>,
+    slots: Vec<ShardSlot>,
+    bindings: FnvMap<Endpoint, ActorId>,
+    ephemeral: FnvMap<HostId, u16>,
+    rng: Xoshiro256,
+    chaos: Option<PacketChaos>,
+    chaos_rng: Xoshiro256,
+    stats: NetStats,
+    h_latency: Log2Histogram,
+    /// Busy-until per shared-bus segment of this region (dense local
+    /// slots via [`Partition::net_slot`]).
+    bus_busy: Vec<SimTime>,
+    /// Busy-until per switched interface of this region.
+    link_busy: Vec<SimTime>,
+    route_cache: FnvMap<RouteKey, Option<PathInfo>>,
+    route_epoch: u64,
+    outbox: Vec<MailboxItem>,
+    /// Monotone per-core mailbox emission counter — the `src_seq` of
+    /// the deterministic mailbox tie-break.
+    out_seq: u64,
+    /// High-water mark of the longest single delivery stream.
+    stream_hwm: usize,
+    ring: ShardRing,
+}
+
+impl ShardCore {
+    fn new(region: u32, topo: &Topology, part: &Partition, seed: u64) -> ShardCore {
+        let mut stats = NetStats::default();
+        stats.reserve_nets(topo.net_count());
+        ShardCore {
+            region,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            slots: Vec::new(),
+            bindings: FnvMap::default(),
+            ephemeral: FnvMap::default(),
+            rng: Xoshiro256::seed_from_u64(mix_seed(seed, region)),
+            chaos: None,
+            chaos_rng: Xoshiro256::seed_from_u64(0),
+            stats,
+            h_latency: Log2Histogram::default(),
+            bus_busy: vec![SimTime::ZERO; part.bus_counts[region as usize] as usize],
+            link_busy: vec![SimTime::ZERO; part.link_counts[region as usize] as usize],
+            route_cache: FnvMap::default(),
+            route_epoch: topo.epoch(),
+            outbox: Vec::new(),
+            out_seq: 0,
+            stream_hwm: 0,
+            ring: ShardRing::default(),
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, kind: TraceKind) {
+        if cfg!(not(feature = "obs-off")) && self.ring.cap > 0 {
+            let (region, at) = (self.region, self.now);
+            self.ring.push(region, at, kind);
+        }
+    }
+
+    fn note_depth(&mut self) {
+        let depth = self.queue.depth() as u64;
+        if depth > self.stats.engine.peak_queue_depth {
+            self.stats.engine.peak_queue_depth = depth;
+        }
+    }
+
+    fn note_drop(&mut self, reason: DropReason) {
+        self.stats.drop(reason);
+        self.record(TraceKind::Drop { reason });
+    }
+
+    fn push(&mut self, at: SimTime, kind: ShardQueued) {
+        self.queue.push(self.now, at, kind);
+        self.note_depth();
+    }
+
+    fn push_delivery(&mut self, at: SimTime, kind: ShardQueued, channel: TxChannel, latency: SimDuration) {
+        self.queue.push_delivery(self.now, at, kind, channel, latency);
+        self.note_depth();
+    }
+
+    fn peek_ns(&self) -> u64 {
+        self.queue.peek_at().map(|t| t.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
+        let ep = Endpoint::new(host, port);
+        if self.bindings.contains_key(&ep) {
+            return None;
+        }
+        let id = ActorId(self.slots.len() as u64);
+        self.slots.push(ShardSlot { actor: Some(actor), endpoint: ep, alive: true });
+        self.bindings.insert(ep, id);
+        let now = self.now;
+        self.push(now, ShardQueued::Signal { from: None, to: ep, signum: SIGSTART });
+        Some(ep)
+    }
+
+    fn alloc_port(&mut self, host: HostId) -> u16 {
+        let ctr = self.ephemeral.entry(host).or_insert(crate::world::EPHEMERAL_BASE);
+        let span = (u16::MAX - crate::world::EPHEMERAL_BASE) as u32 + 1;
+        for _ in 0..span {
+            let p = *ctr;
+            *ctr = p.checked_add(1).unwrap_or(crate::world::EPHEMERAL_BASE);
+            if !self.bindings.contains_key(&Endpoint::new(host, p)) {
+                return p;
+            }
+        }
+        panic!("alloc_port: all {span} ephemeral ports on host {host} are bound");
+    }
+
+    fn kill(&mut self, ep: Endpoint) {
+        if let Some(id) = self.bindings.remove(&ep) {
+            let slot = &mut self.slots[id.0 as usize];
+            slot.alive = false;
+            slot.actor = None;
+        }
+    }
+
+    fn endpoints_on(&self, h: HostId) -> Vec<Endpoint> {
+        let mut eps: Vec<Endpoint> =
+            self.bindings.keys().filter(|ep| ep.host == h).copied().collect();
+        eps.sort(); // determinism
+        eps
+    }
+
+    /// Route selection, memoized per core (same policy as the
+    /// single-threaded world — both call [`compute_path`]).
+    fn select_path(&mut self, topo: &Topology, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+        if self.route_epoch != topo.epoch() {
+            self.route_cache.clear();
+            self.route_epoch = topo.epoch();
+        }
+        if let Some(&hit) = self.route_cache.get(&(from, to, via)) {
+            self.stats.engine.route_cache_hits += 1;
+            return hit;
+        }
+        self.stats.engine.route_cache_misses += 1;
+        let path = compute_path(topo, from, to, via);
+        self.route_cache.insert((from, to, via), path);
+        path
+    }
+
+    /// Mirror of `World::send_packet`, with two differences: wire
+    /// occupancy lives in the core's dense busy vectors (the shared
+    /// topology is read-only during a window), and deliveries whose
+    /// destination is another region go to the outbox.
+    fn send_packet(
+        &mut self,
+        topo: &Topology,
+        part: &Partition,
+        from: Endpoint,
+        to: Endpoint,
+        payload: Bytes,
+        via: Option<NetId>,
+    ) {
+        self.stats.sent += 1;
+        self.record(TraceKind::Send { from, to, len: payload.len() as u32 });
+        if from.host == to.host {
+            let m = crate::medium::Medium::loopback();
+            let at = self.now + m.tx_time(payload.len()) + m.latency;
+            if cfg!(not(feature = "obs-off")) {
+                self.h_latency.observe(at.since(self.now).as_nanos());
+            }
+            self.push(at, ShardQueued::Deliver { from, to, payload });
+            return;
+        }
+        if !topo.host(from.host).up {
+            self.note_drop(DropReason::HostDown);
+            return;
+        }
+        let Some(path) = self.select_path(topo, from.host, to.host, via) else {
+            self.note_drop(DropReason::NoRoute);
+            return;
+        };
+        if payload.len() > path.mtu {
+            self.note_drop(DropReason::TooBig);
+            return;
+        }
+        let src_net = path.first_net();
+        let medium = &topo.net(src_net).medium;
+        let tx = medium.tx_time_at(path.bandwidth_bps, payload.len());
+        let (free, channel) = if medium.shared_bus {
+            let slot = part.net_slot[src_net.index()] as usize;
+            (self.bus_busy[slot], TxChannel::Bus(src_net))
+        } else {
+            topo.host(from.host)
+                .interfaces
+                .iter()
+                .find(|i| i.net == src_net)
+                .map(|i| (self.link_busy[part.link_slot[i.link.index()] as usize], TxChannel::Link(i.link)))
+                .unwrap_or((SimTime::ZERO, TxChannel::Bus(src_net)))
+        };
+        let start = if free > self.now { free } else { self.now };
+        let finish = start + tx;
+        match channel {
+            TxChannel::Bus(n) if medium.shared_bus => {
+                self.bus_busy[part.net_slot[n.index()] as usize] = finish;
+            }
+            TxChannel::Link(l) => self.link_busy[part.link_slot[l.index()] as usize] = finish,
+            TxChannel::Bus(_) => {}
+        }
+        // Loss after occupancy: a lost frame still burned air time.
+        if path.loss > 0.0 && self.rng.gen_bool(path.loss) {
+            self.note_drop(DropReason::Loss);
+            return;
+        }
+        for &n in path.nets() {
+            self.stats.add_bytes(n, payload.len() as u64);
+        }
+        let at = finish + path.latency;
+        if cfg!(not(feature = "obs-off")) {
+            self.h_latency.observe(at.since(self.now).as_nanos());
+        }
+        let cross = part.region_of_host(to.host) != self.region as usize;
+        if self.chaos.is_some() {
+            self.chaos_deliver(at, from, to, payload, channel, path.latency, cross);
+        } else if cross {
+            self.push_outbox(at, from, to, payload);
+        } else {
+            self.push_delivery(at, ShardQueued::Deliver { from, to, payload }, channel, latency_of(path));
+        }
+    }
+
+    fn push_outbox(&mut self, at: SimTime, from: Endpoint, to: Endpoint, payload: Bytes) {
+        let item = MailboxItem { at, src_region: self.region, src_seq: self.out_seq, from, to, payload };
+        self.out_seq += 1;
+        self.outbox.push(item);
+    }
+
+    /// Per-packet chaos, mirroring `World::chaos_deliver`. Cross-region
+    /// copies (jittered or not) ride the mailbox; their arrival times
+    /// only grow (jitter ≥ 1ns), so the lookahead bound still holds.
+    #[allow(clippy::too_many_arguments)]
+    fn chaos_deliver(
+        &mut self,
+        at: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        payload: Bytes,
+        channel: TxChannel,
+        latency: SimDuration,
+        cross: bool,
+    ) {
+        let fx = self.chaos.expect("chaos_deliver called without chaos");
+        let mut payload = payload;
+        if fx.corrupt > 0.0 && !payload.is_empty() && self.chaos_rng.gen_bool(fx.corrupt) {
+            let mut bytes = payload.to_vec();
+            let flips = self.chaos_rng.gen_range_inclusive(1, 3);
+            for _ in 0..flips {
+                let i = self.chaos_rng.gen_range(bytes.len() as u64) as usize;
+                let bit = self.chaos_rng.gen_range(8) as u8;
+                bytes[i] ^= 1 << bit;
+            }
+            payload = Bytes::from(bytes);
+            self.stats.chaos.corrupted += 1;
+        }
+        if fx.duplicate > 0.0 && self.chaos_rng.gen_bool(fx.duplicate) {
+            let dup_at = at + self.jitter_draw(fx.jitter);
+            if cross {
+                self.push_outbox(dup_at, from, to, payload.clone());
+            } else {
+                self.push(dup_at, ShardQueued::Deliver { from, to, payload: payload.clone() });
+            }
+            self.stats.chaos.duplicated += 1;
+        }
+        if fx.reorder > 0.0 && self.chaos_rng.gen_bool(fx.reorder) {
+            let late_at = at + self.jitter_draw(fx.jitter);
+            if cross {
+                self.push_outbox(late_at, from, to, payload);
+            } else {
+                self.push(late_at, ShardQueued::Deliver { from, to, payload });
+            }
+            self.stats.chaos.reordered += 1;
+            return;
+        }
+        if cross {
+            self.push_outbox(at, from, to, payload);
+        } else {
+            self.push_delivery(at, ShardQueued::Deliver { from, to, payload }, channel, latency);
+        }
+    }
+
+    fn jitter_draw(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(1 + self.chaos_rng.gen_range(max.as_nanos().max(1)))
+    }
+
+    fn dispatch_to(&mut self, topo: &Topology, part: &Partition, ep: Endpoint, event: Event) {
+        let Some(&id) = self.bindings.get(&ep) else {
+            return;
+        };
+        self.dispatch_id(topo, part, id, ep, event);
+    }
+
+    fn dispatch_id(&mut self, topo: &Topology, part: &Partition, id: ActorId, ep: Endpoint, event: Event) {
+        let Some(mut actor) = self.slots[id.0 as usize].actor.take() else {
+            return; // re-entrant dispatch: drop
+        };
+        {
+            let mut ctx = ShardCtx { core: self, topo, part, me: id, my_endpoint: ep };
+            actor.on_event(&mut ctx, event);
+        }
+        let slot = &mut self.slots[id.0 as usize];
+        if slot.alive {
+            slot.actor = Some(actor);
+        }
+    }
+
+    /// Run one queued event (the shard-side mirror of `World::step`).
+    fn step(&mut self, topo: &Topology, part: &Partition) -> bool {
+        let Some((ev, tier)) = self.queue.pop() else {
+            return false;
+        };
+        match tier {
+            Tier::Now => self.stats.engine.now_pops += 1,
+            Tier::Heap => self.stats.engine.heap_pops += 1,
+            Tier::Stream => self.stats.engine.stream_pops += 1,
+        }
+        debug_assert!(ev.at >= self.now, "time went backwards in region {}", self.region);
+        self.now = ev.at;
+        self.stats.events += 1;
+        match ev.kind {
+            ShardQueued::Deliver { from, to, payload } => {
+                if !topo.host(to.host).up {
+                    self.note_drop(DropReason::HostDown);
+                } else if let Some(&id) = self.bindings.get(&to) {
+                    self.stats.delivered += 1;
+                    self.record(TraceKind::Recv { from, to, len: payload.len() as u32 });
+                    self.dispatch_id(topo, part, id, to, Event::Packet { from, payload });
+                } else {
+                    self.note_drop(DropReason::NoListener);
+                }
+            }
+            ShardQueued::Timer { actor, token } => {
+                let idx = actor.0 as usize;
+                if idx < self.slots.len() && self.slots[idx].alive {
+                    let ep = self.slots[idx].endpoint;
+                    if topo.host(ep.host).up {
+                        self.record(TraceKind::TimerFire { token });
+                        self.dispatch_to(topo, part, ep, Event::Timer { token });
+                    }
+                }
+            }
+            ShardQueued::Signal { from, to, signum } => {
+                if topo.host(to.host).up {
+                    if signum == SIGSTART {
+                        self.dispatch_to(topo, part, to, Event::Start);
+                    } else {
+                        self.dispatch_to(topo, part, to, Event::Signal { signum, from });
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply a round's inbound list (mailbox deliveries first, then
+    /// fault dispatches, then chaos toggles — the coordinator built it
+    /// in that order) and then run all events with `at < end_ns`.
+    fn run_round(&mut self, topo: &Topology, part: &Partition, inbound: Vec<Inbound>, end_ns: u64) {
+        for item in inbound {
+            match item {
+                Inbound::Deliver { at, from, to, payload } => {
+                    debug_assert!(at >= self.now, "mailbox item in this core's past");
+                    self.queue.push(self.now, at, ShardQueued::Deliver { from, to, payload });
+                    self.note_depth();
+                }
+                Inbound::HostEvent { at, host, up } => {
+                    if at > self.now {
+                        self.now = at;
+                    }
+                    self.record(TraceKind::Fault {
+                        op: FaultOp {
+                            what: if up { "host_up" } else { "host_down" },
+                            a: host.index() as u64,
+                            b: 0,
+                        },
+                    });
+                    for ep in self.endpoints_on(host) {
+                        self.dispatch_to(topo, part, ep, if up { Event::HostUp } else { Event::HostDown });
+                    }
+                }
+                Inbound::SetChaos { at, chaos, seed } => {
+                    if at > self.now {
+                        self.now = at;
+                    }
+                    self.chaos = chaos;
+                    self.chaos_rng = Xoshiro256::seed_from_u64(seed);
+                }
+            }
+        }
+        while let Some(at) = self.queue.peek_at() {
+            if at.as_nanos() >= end_ns {
+                break;
+            }
+            self.step(topo, part);
+        }
+        let smax = self.queue.stream_depth_max();
+        if smax > self.stream_hwm {
+            self.stream_hwm = smax;
+        }
+    }
+}
+
+fn latency_of(path: PathInfo) -> SimDuration {
+    path.latency
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------------
+
+/// A scripted fault as plain data, routable to the owning shard at a
+/// round boundary. The `Send`-safe replacement for
+/// [`World::schedule_fn`](crate::world::World::schedule_fn) closures.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultCmd {
+    /// Crash a host (actors on it get [`Event::HostDown`]).
+    HostDown(HostId),
+    /// Repair a host.
+    HostUp(HostId),
+    /// Take a segment down/up.
+    NetUp(NetId, bool),
+    /// Flap one host interface.
+    IfaceUp(HostId, NetId, bool),
+    /// Override (or restore) a segment's loss rate.
+    NetLoss(NetId, Option<f64>),
+    /// Move a segment into a partition group (0 heals).
+    PartitionNet(NetId, u32),
+    /// Degrade a segment into a gray link (None restores). The
+    /// scheduler clamps `latency_factor` to ≥ 1.0 so gray links can
+    /// only *raise* latency — the conservative lookahead depends on it.
+    Gray(NetId, Option<GrayLevel>),
+    /// Install (or clear) per-packet chaos. Each core's chaos RNG is
+    /// reseeded from `(seed, region)`.
+    PacketChaos(Option<PacketChaos>, u64),
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Round-planning state shared verbatim by the inline and threaded
+/// execution paths — one implementation, so the two paths cannot
+/// diverge.
+struct Coordinator<'a> {
+    topo: &'a RwLock<Topology>,
+    part: &'a Partition,
+    faults: &'a mut Vec<(SimTime, u64, FaultCmd)>,
+    next_fault: &'a mut usize,
+    mailbox_hwm: &'a mut [u64],
+    inbound: Vec<Vec<Inbound>>,
+    /// Lower bound (ns) on any event the pending inbound lists can
+    /// introduce. Cores report their queue minima *before* inbound
+    /// application, so the window planner folds this in.
+    floor_ns: u64,
+    have_inbound: bool,
+    la_ns: u64,
+    horizon_ns: u64,
+}
+
+impl Coordinator<'_> {
+    fn next_fault_ns(&self) -> Option<u64> {
+        self.faults.get(*self.next_fault).map(|(at, _, _)| at.as_nanos())
+    }
+
+    /// Apply every fault due at or before `completed_ns` (and within
+    /// the horizon): mutate the shared topology, and emit host-event /
+    /// chaos inbounds to the owning cores.
+    fn apply_due_faults(&mut self, completed_ns: u64) {
+        while let Some(&(at, _, cmd)) = self.faults.get(*self.next_fault) {
+            let ns = at.as_nanos();
+            if ns > completed_ns || ns >= self.horizon_ns {
+                break;
+            }
+            *self.next_fault += 1;
+            self.apply_fault(at, cmd);
+        }
+    }
+
+    fn note_inbound(&mut self, at_ns: u64) {
+        self.have_inbound = true;
+        if at_ns < self.floor_ns {
+            self.floor_ns = at_ns;
+        }
+    }
+
+    fn apply_fault(&mut self, at: SimTime, cmd: FaultCmd) {
+        let mut topo = self.topo.write().unwrap();
+        match cmd {
+            FaultCmd::HostDown(h) => {
+                if topo.host(h).up {
+                    topo.host_mut(h).up = false;
+                    topo.bump_epoch();
+                    let r = self.part.region_of_host(h);
+                    self.inbound[r].push(Inbound::HostEvent { at, host: h, up: false });
+                    self.note_inbound(at.as_nanos());
+                }
+            }
+            FaultCmd::HostUp(h) => {
+                if !topo.host(h).up {
+                    topo.host_mut(h).up = true;
+                    topo.bump_epoch();
+                    let r = self.part.region_of_host(h);
+                    self.inbound[r].push(Inbound::HostEvent { at, host: h, up: true });
+                    self.note_inbound(at.as_nanos());
+                }
+            }
+            FaultCmd::NetUp(n, up) => {
+                if topo.net(n).up != up {
+                    topo.net_mut(n).up = up;
+                    topo.bump_epoch();
+                }
+            }
+            FaultCmd::IfaceUp(h, n, up) => {
+                if let Some(i) = topo.host_mut(h).interfaces.iter_mut().find(|i| i.net == n) {
+                    if i.up != up {
+                        i.up = up;
+                        topo.bump_epoch();
+                    }
+                }
+            }
+            FaultCmd::NetLoss(n, loss) => {
+                if topo.net(n).loss_override != loss {
+                    topo.net_mut(n).loss_override = loss;
+                    topo.bump_epoch();
+                }
+            }
+            FaultCmd::PartitionNet(n, group) => {
+                if topo.net(n).partition != group {
+                    topo.net_mut(n).partition = group;
+                    topo.bump_epoch();
+                }
+            }
+            FaultCmd::Gray(n, gray) => {
+                if topo.net(n).gray != gray {
+                    topo.net_mut(n).gray = gray;
+                    topo.bump_epoch();
+                }
+            }
+            FaultCmd::PacketChaos(pc, seed) => {
+                for (r, inb) in self.inbound.iter_mut().enumerate() {
+                    inb.push(Inbound::SetChaos { at, chaos: pc, seed: mix_seed(seed, r as u32) });
+                }
+                self.note_inbound(at.as_nanos());
+            }
+        }
+    }
+
+    /// Plan the next window end (exclusive, in ns), or `None` when the
+    /// run is complete. `mins` are the cores' pending-event minima as
+    /// reported after the previous window.
+    fn plan(&mut self, mins: &[u64]) -> Option<u64> {
+        let ev_min = mins.iter().copied().min().unwrap_or(u64::MAX);
+        let t_min = ev_min.min(self.floor_ns);
+        let fault = self.next_fault_ns().filter(|&f| f < self.horizon_ns);
+        let next = t_min.min(fault.unwrap_or(u64::MAX));
+        if next >= self.horizon_ns {
+            if self.have_inbound {
+                // Final apply-only round: pending cross-region arrivals
+                // (due after the horizon) still need to land in their
+                // cores' queues for a later `run_until`.
+                return Some(self.horizon_ns);
+            }
+            return None;
+        }
+        let mut end = self.horizon_ns;
+        end = end.min(t_min.saturating_add(self.la_ns));
+        if let Some(f) = fault {
+            end = end.min(f);
+        }
+        Some(end)
+    }
+
+    fn take_inbounds(&mut self) -> Vec<Vec<Inbound>> {
+        self.have_inbound = false;
+        self.floor_ns = u64::MAX;
+        let n = self.inbound.len();
+        std::mem::replace(&mut self.inbound, (0..n).map(|_| Vec::new()).collect())
+    }
+
+    /// Route a round's outbox items through the deterministic mailbox:
+    /// global `(at, src_region, src_seq)` order, then appended to the
+    /// destination cores' inbound lists.
+    fn route(&mut self, mut items: Vec<MailboxItem>, end_ns: u64) {
+        if items.is_empty() {
+            return;
+        }
+        items.sort_by_key(|i| (i.at, i.src_region, i.src_seq));
+        let mut counts = vec![0u64; self.inbound.len()];
+        for it in items {
+            debug_assert!(
+                it.at.as_nanos() >= end_ns,
+                "cross-region arrival inside the window violates lookahead"
+            );
+            let r = self.part.region_of_host(it.to.host);
+            counts[r] += 1;
+            self.note_inbound(it.at.as_nanos());
+            self.inbound[r].push(Inbound::Deliver { at: it.at, from: it.from, to: it.to, payload: it.payload });
+        }
+        for (r, c) in counts.iter().enumerate() {
+            if *c > self.mailbox_hwm[r] {
+                self.mailbox_hwm[r] = *c;
+            }
+        }
+    }
+}
+
+/// Per-core slots the worker threads and the coordinator exchange
+/// round data through.
+struct CoreSlot {
+    inbound: Mutex<Vec<Inbound>>,
+    outbox: Mutex<Vec<MailboxItem>>,
+    min_ns: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// ShardedWorld
+// ---------------------------------------------------------------------------
+
+/// Per-shard load figures for the boundedness oracle: aggregate totals
+/// can hide one runaway shard, these cannot.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLoad {
+    /// Region index.
+    pub region: usize,
+    /// Events currently pending in this shard's queue.
+    pub queue_depth: usize,
+    /// Lifetime peak of the shard's heap body slab.
+    pub slab_hwm: usize,
+    /// High-water mark of the longest single delivery stream.
+    pub stream_hwm: usize,
+    /// Most mailbox items routed into this shard in one round.
+    pub mailbox_hwm: u64,
+    /// High-water mark of total pending events.
+    pub peak_queue_depth: u64,
+    /// Events this shard has executed.
+    pub events: u64,
+}
+
+/// The sharded simulation world: a drop-in sibling of
+/// [`World`](crate::world::World) that runs one [`Partition`] region
+/// per core on `threads` OS threads, bit-for-bit identically at any
+/// thread count. See the module docs for the execution model.
+pub struct ShardedWorld {
+    topo: RwLock<Topology>,
+    part: Partition,
+    cores: Vec<ShardCore>,
+    threads: usize,
+    now: SimTime,
+    faults: Vec<(SimTime, u64, FaultCmd)>,
+    next_fault: usize,
+    fault_seq: u64,
+    faults_sorted: bool,
+    mailbox_hwm: Vec<u64>,
+    metrics: Registry,
+    trace_cap: usize,
+}
+
+impl ShardedWorld {
+    /// A sharded world over `topo`, seeded for determinism, executing
+    /// on up to `threads` worker threads (clamped to the region count;
+    /// `<= 1` runs inline). The seed/thread-count split is the whole
+    /// point: `threads` never influences results.
+    pub fn new(topo: Topology, seed: u64, threads: usize) -> ShardedWorld {
+        let part = Partition::of(&topo);
+        let cores: Vec<ShardCore> =
+            (0..part.regions).map(|r| ShardCore::new(r, &topo, &part, seed)).collect();
+        let mailbox_hwm = vec![0; part.regions()];
+        ShardedWorld {
+            topo: RwLock::new(topo),
+            part,
+            cores,
+            threads: threads.max(1),
+            now: SimTime::ZERO,
+            faults: Vec::new(),
+            next_fault: 0,
+            fault_seq: 0,
+            faults_sorted: true,
+            mailbox_hwm,
+            metrics: Registry::new(),
+            trace_cap: 0,
+        }
+    }
+
+    /// The partition (region count, lookahead, host→region map).
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.part.regions()
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the shared topology.
+    pub fn topology(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
+        self.topo.read().unwrap()
+    }
+
+    /// Total events executed across all shards.
+    pub fn events(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.events).sum()
+    }
+
+    /// Total events pending across all shards.
+    pub fn queue_depth(&self) -> usize {
+        self.cores.iter().map(|c| c.queue.depth()).sum()
+    }
+
+    /// Merged delivery statistics (sums; `peak_queue_depth` is the
+    /// worst single shard).
+    pub fn stats(&self) -> NetStats {
+        let mut s = NetStats::default();
+        s.reserve_nets(self.topo.read().unwrap().net_count());
+        for c in &self.cores {
+            s.merge(&c.stats);
+        }
+        s
+    }
+
+    /// Per-shard load/high-water figures for the boundedness oracle.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.cores
+            .iter()
+            .enumerate()
+            .map(|(r, c)| ShardLoad {
+                region: r,
+                queue_depth: c.queue.depth(),
+                slab_hwm: c.queue.slab_high_water(),
+                stream_hwm: c.stream_hwm,
+                mailbox_hwm: self.mailbox_hwm[r],
+                peak_queue_depth: c.stats.engine.peak_queue_depth,
+                events: c.stats.events,
+            })
+            .collect()
+    }
+
+    /// Spawn an actor bound to `(host, port)` on its owning shard.
+    /// Delivers [`Event::Start`] at the current time. `None` if the
+    /// port is taken or the host id is unknown.
+    pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
+        if host.index() >= self.topo.read().unwrap().host_count() {
+            return None;
+        }
+        let r = self.part.region_of_host(host);
+        self.cores[r].spawn(host, port, actor)
+    }
+
+    /// Allocate an unused ephemeral port on `host`.
+    pub fn alloc_port(&mut self, host: HostId) -> u16 {
+        let r = self.part.region_of_host(host);
+        self.cores[r].alloc_port(host)
+    }
+
+    /// Is an actor currently bound at `ep`?
+    pub fn is_bound(&self, ep: Endpoint) -> bool {
+        self.cores[self.part.region_of_host(ep.host)].bindings.contains_key(&ep)
+    }
+
+    /// Borrow the concrete actor state at `ep` (between runs), e.g.
+    /// for workload invariant checks. `None` if nothing is bound there
+    /// or the bound actor is not a `T`.
+    pub fn actor_ref<T: ShardActor + 'static>(&self, ep: Endpoint) -> Option<&T> {
+        let core = &self.cores[self.part.region_of_host(ep.host)];
+        let id = core.bindings.get(&ep)?;
+        let actor = core.slots[id.0 as usize].actor.as_ref()?;
+        let actor: &dyn ShardActor = &**actor;
+        actor.as_any().downcast_ref::<T>()
+    }
+
+    /// Schedule a fault command for `at`. Gray faults are clamped to
+    /// `latency_factor >= 1.0` (see [`FaultCmd::Gray`]).
+    pub fn schedule_fault(&mut self, at: SimTime, cmd: FaultCmd) {
+        let cmd = match cmd {
+            FaultCmd::Gray(n, Some(mut g)) => {
+                if g.latency_factor < 1.0 {
+                    g.latency_factor = 1.0;
+                }
+                FaultCmd::Gray(n, Some(g))
+            }
+            c => c,
+        };
+        self.faults.push((at, self.fault_seq, cmd));
+        self.fault_seq += 1;
+        self.faults_sorted = false;
+    }
+
+    /// Translate a chaos plan into the fault timeline, op-for-op with
+    /// [`ChaosPlan::apply`] except [`ChaosOp::ProcRestart`] (restart
+    /// closures are `Rc`-bound to the single-threaded world; sharded
+    /// soaks model restarts at the workload level instead).
+    pub fn apply_chaos_plan(&mut self, plan: &ChaosPlan, binding: &ChaosBinding) {
+        if let Some(pc) = plan.packet {
+            self.schedule_fault(SimTime::ZERO, FaultCmd::PacketChaos(Some(pc), plan.packet_seed()));
+            self.schedule_fault(plan.packet_until, FaultCmd::PacketChaos(None, 0));
+        }
+        for op in &plan.ops {
+            match *op {
+                ChaosOp::HostFlap { host, at, down_for } => {
+                    if binding.hosts.is_empty() {
+                        continue;
+                    }
+                    let h = binding.hosts[host as usize % binding.hosts.len()];
+                    self.schedule_fault(at, FaultCmd::HostDown(h));
+                    self.schedule_fault(at + down_for, FaultCmd::HostUp(h));
+                }
+                ChaosOp::NetFlap { net, at, down_for } => {
+                    if binding.nets.is_empty() {
+                        continue;
+                    }
+                    let n = binding.nets[net as usize % binding.nets.len()];
+                    self.schedule_fault(at, FaultCmd::NetUp(n, false));
+                    self.schedule_fault(at + down_for, FaultCmd::NetUp(n, true));
+                }
+                ChaosOp::IfaceFlap { iface, at, down_for } => {
+                    if binding.ifaces.is_empty() {
+                        continue;
+                    }
+                    let (h, n) = binding.ifaces[iface as usize % binding.ifaces.len()];
+                    self.schedule_fault(at, FaultCmd::IfaceUp(h, n, false));
+                    self.schedule_fault(at + down_for, FaultCmd::IfaceUp(h, n, true));
+                }
+                ChaosOp::Gray { net, at, duration, latency_factor, bandwidth_factor } => {
+                    if binding.nets.is_empty() {
+                        continue;
+                    }
+                    let n = binding.nets[net as usize % binding.nets.len()];
+                    let g = GrayLevel { latency_factor, bandwidth_factor };
+                    self.schedule_fault(at, FaultCmd::Gray(n, Some(g)));
+                    self.schedule_fault(at + duration, FaultCmd::Gray(n, None));
+                }
+                ChaosOp::LossBurst { net, at, duration, loss } => {
+                    if binding.nets.is_empty() {
+                        continue;
+                    }
+                    let n = binding.nets[net as usize % binding.nets.len()];
+                    self.schedule_fault(at, FaultCmd::NetLoss(n, Some(loss)));
+                    self.schedule_fault(at + duration, FaultCmd::NetLoss(n, None));
+                }
+                ChaosOp::Partition { net, at, duration, group } => {
+                    if binding.nets.is_empty() {
+                        continue;
+                    }
+                    let n = binding.nets[net as usize % binding.nets.len()];
+                    self.schedule_fault(at, FaultCmd::PartitionNet(n, group));
+                    self.schedule_fault(at + duration, FaultCmd::PartitionNet(n, 0));
+                }
+                ChaosOp::ProcRestart { .. } => {}
+            }
+        }
+    }
+
+    /// Enable per-shard trace rings of `cap` events each (a fresh ring
+    /// per call, like `trace::enable`).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace_cap = cap.max(1);
+        for c in &mut self.cores {
+            c.ring.enable(cap);
+        }
+    }
+
+    /// Render the last `n` retained trace events across all shards,
+    /// merged in `(at, region, seq)` order.
+    pub fn render_trace(&self, n: usize) -> String {
+        let mut evs: Vec<ShardTraceEvent> =
+            self.cores.iter().flat_map(|c| c.ring.iter_ordered().copied()).collect();
+        evs.sort_by_key(|e| (e.at, e.region, e.seq));
+        let total: u64 = self.cores.iter().map(|c| c.ring.seq).sum();
+        let dropped: u64 = self.cores.iter().map(|c| c.ring.dropped).sum();
+        let shown = evs.len().min(n);
+        let mut out = format!(
+            "shard flight recorder: {total} events total, {dropped} overwritten, showing last {shown}\n"
+        );
+        for ev in evs.iter().skip(evs.len() - shown) {
+            out.push_str(&format!(
+                "  r{:<4} #{:<8} t={:>12.6}ms  {:?}\n",
+                ev.region,
+                ev.seq,
+                ev.at.as_secs_f64() * 1e3,
+                ev.kind
+            ));
+        }
+        out
+    }
+
+    /// Run events with timestamps `<= t`, then set every clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.run_rounds(t);
+    }
+
+    /// Run for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_rounds(t);
+    }
+
+    /// FNV-1a digest of every shard's behavioural counters: events,
+    /// traffic, drops, chaos injections, queue sequence numbers,
+    /// clocks, cross-shard emissions and per-net bytes. Two runs are
+    /// behaviourally identical iff their digests match — this is what
+    /// the differential determinism tests and the check.sh
+    /// `shard-determinism` gate compare across thread counts.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let put = |hh: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *hh = (*hh ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        put(&mut h, self.cores.len() as u64);
+        put(&mut h, self.now.as_nanos());
+        for c in &self.cores {
+            put(&mut h, c.stats.events);
+            put(&mut h, c.stats.sent);
+            put(&mut h, c.stats.delivered);
+            for r in DropReason::ALL {
+                put(&mut h, c.stats.drops(r));
+            }
+            put(&mut h, c.stats.chaos.corrupted);
+            put(&mut h, c.stats.chaos.duplicated);
+            put(&mut h, c.stats.chaos.reordered);
+            put(&mut h, c.queue.seqs_issued());
+            put(&mut h, c.out_seq);
+            put(&mut h, c.now.as_nanos());
+            for (net, bytes) in c.stats.bytes_by_net() {
+                put(&mut h, net.index() as u64);
+                put(&mut h, bytes);
+            }
+        }
+        h
+    }
+
+    /// Mirror merged and per-shard counters into the registry: the
+    /// same 16 counters, peak-depth gauge, latency histogram and
+    /// per-net byte counters as [`World::sync_metrics`](crate::world::World::sync_metrics)
+    /// (crate::world::World::sync_metrics), plus per-shard
+    /// `shard.<i>.{slab_hwm,stream_hwm,mailbox_hwm,peak_queue_depth}`
+    /// gauges so the boundedness oracle sees each shard, not just the
+    /// aggregate.
+    pub fn sync_metrics(&mut self) {
+        let s = self.stats();
+        let m = &mut self.metrics;
+        let pairs: [(&str, u64); 16] = [
+            ("net.sent", s.sent),
+            ("net.delivered", s.delivered),
+            ("net.events", s.events),
+            ("net.drop.loss", s.drops(DropReason::Loss)),
+            ("net.drop.no_route", s.drops(DropReason::NoRoute)),
+            ("net.drop.host_down", s.drops(DropReason::HostDown)),
+            ("net.drop.no_listener", s.drops(DropReason::NoListener)),
+            ("net.drop.too_big", s.drops(DropReason::TooBig)),
+            ("net.chaos.corrupted", s.chaos.corrupted),
+            ("net.chaos.duplicated", s.chaos.duplicated),
+            ("net.chaos.reordered", s.chaos.reordered),
+            ("engine.heap_pops", s.engine.heap_pops),
+            ("engine.now_pops", s.engine.now_pops),
+            ("engine.stream_pops", s.engine.stream_pops),
+            ("engine.route_cache_hits", s.engine.route_cache_hits),
+            ("engine.route_cache_misses", s.engine.route_cache_misses),
+        ];
+        for (name, v) in pairs {
+            let id = m.counter(name);
+            m.set_counter(id, v);
+        }
+        let depth = m.gauge("engine.peak_queue_depth");
+        m.set(depth, s.engine.peak_queue_depth);
+        let mut merged_lat = Log2Histogram::default();
+        for c in &self.cores {
+            merged_lat.merge(&c.h_latency);
+        }
+        let hid = m.histogram("net.delivery_latency_ns");
+        m.set_histo(hid, &merged_lat);
+        for (net, bytes) in s.bytes_by_net() {
+            let id = m.counter(&format!("net.bytes.{}", net.index()));
+            m.set_counter(id, bytes);
+        }
+        let count = m.gauge("shard.count");
+        m.set(count, self.cores.len() as u64);
+        let la = m.gauge("shard.lookahead_ns");
+        m.set(la, self.part.la_ns);
+        for (r, c) in self.cores.iter().enumerate() {
+            for (name, v) in [
+                (format!("shard.{r}.slab_hwm"), c.queue.slab_high_water() as u64),
+                (format!("shard.{r}.stream_hwm"), c.stream_hwm as u64),
+                (format!("shard.{r}.mailbox_hwm"), self.mailbox_hwm[r]),
+                (format!("shard.{r}.peak_queue_depth"), c.stats.engine.peak_queue_depth),
+            ] {
+                let id = m.gauge(&name);
+                m.set(id, v);
+            }
+        }
+        if self.trace_cap > 0 {
+            let mut kinds = [0u64; TraceKind::COUNT];
+            let mut dropped = 0u64;
+            for c in &self.cores {
+                for (k, v) in kinds.iter_mut().zip(c.ring.kind_counts.iter()) {
+                    *k += v;
+                }
+                dropped += c.ring.dropped;
+            }
+            for (name, v) in TraceKind::NAMES.iter().zip(kinds) {
+                let id = m.counter(&format!("trace.{name}"));
+                m.set_counter(id, v);
+            }
+            let id = m.counter("trace.ring_dropped");
+            m.set_counter(id, dropped);
+        }
+    }
+
+    /// Sync and render the registry as a JSON object string.
+    pub fn metrics_json(&mut self, indent: usize) -> String {
+        self.sync_metrics();
+        self.metrics.render_json(indent)
+    }
+
+    /// The barrier-round driver. Inline when effective threads ≤ 1,
+    /// otherwise a scoped thread pool; both paths run the same
+    /// per-core methods against the same coordinator decisions, which
+    /// is the determinism argument.
+    fn run_rounds(&mut self, t: SimTime) {
+        if !self.faults_sorted {
+            self.faults[self.next_fault..].sort_by_key(|&(at, seq, _)| (at, seq));
+            self.faults_sorted = true;
+        }
+        let horizon_ns = t.as_nanos().saturating_add(1);
+        let regions = self.cores.len();
+        let threads = self.threads.min(regions).max(1);
+        let mut coord = Coordinator {
+            topo: &self.topo,
+            part: &self.part,
+            faults: &mut self.faults,
+            next_fault: &mut self.next_fault,
+            mailbox_hwm: &mut self.mailbox_hwm,
+            inbound: (0..regions).map(|_| Vec::new()).collect(),
+            floor_ns: u64::MAX,
+            have_inbound: false,
+            la_ns: self.part.la_ns,
+            horizon_ns,
+        };
+        let mut mins: Vec<u64> = self.cores.iter().map(|c| c.peek_ns()).collect();
+        if threads <= 1 {
+            let mut completed = 0u64;
+            loop {
+                coord.apply_due_faults(completed);
+                let Some(end) = coord.plan(&mins) else { break };
+                let inbs = coord.take_inbounds();
+                {
+                    let topo = self.topo.read().unwrap();
+                    for (core, inb) in self.cores.iter_mut().zip(inbs) {
+                        core.run_round(&topo, &self.part, inb, end);
+                    }
+                }
+                completed = end;
+                let mut items = Vec::new();
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    items.append(&mut core.outbox);
+                    mins[i] = core.peek_ns();
+                }
+                coord.route(items, end);
+            }
+        } else {
+            let slots: Vec<CoreSlot> = (0..regions)
+                .map(|_| CoreSlot {
+                    inbound: Mutex::new(Vec::new()),
+                    outbox: Mutex::new(Vec::new()),
+                    min_ns: AtomicU64::new(0),
+                })
+                .collect();
+            let end_ns = AtomicU64::new(0);
+            let stop = AtomicBool::new(false);
+            let chunk = regions.div_ceil(threads);
+            // chunks_mut may yield fewer chunks than `threads` (e.g.
+            // 4 regions on 3 threads → two chunks of 2) — size the
+            // barrier by the real worker count or the round deadlocks.
+            let workers = regions.div_ceil(chunk);
+            let barrier = Barrier::new(workers + 1);
+            let part = &self.part;
+            let topo = &self.topo;
+            std::thread::scope(|scope| {
+                for (w, cores) in self.cores.chunks_mut(chunk).enumerate() {
+                    let base = w * chunk;
+                    let (slots, end_ns, stop, barrier) = (&slots, &end_ns, &stop, &barrier);
+                    scope.spawn(move || loop {
+                        barrier.wait(); // coordinator published end/stop + inbounds
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let end = end_ns.load(Ordering::Acquire);
+                        {
+                            let topo = topo.read().unwrap();
+                            for (k, core) in cores.iter_mut().enumerate() {
+                                let slot = &slots[base + k];
+                                let inb = std::mem::take(&mut *slot.inbound.lock().unwrap());
+                                core.run_round(&topo, part, inb, end);
+                                *slot.outbox.lock().unwrap() = std::mem::take(&mut core.outbox);
+                                slot.min_ns.store(core.peek_ns(), Ordering::Release);
+                            }
+                        }
+                        barrier.wait(); // window done, results in the slots
+                    });
+                }
+                let mut completed = 0u64;
+                loop {
+                    coord.apply_due_faults(completed);
+                    let Some(end) = coord.plan(&mins) else {
+                        stop.store(true, Ordering::Release);
+                        barrier.wait();
+                        break;
+                    };
+                    for (slot, inb) in slots.iter().zip(coord.take_inbounds()) {
+                        *slot.inbound.lock().unwrap() = inb;
+                    }
+                    end_ns.store(end, Ordering::Release);
+                    barrier.wait(); // release the round
+                    barrier.wait(); // wait for every core's window
+                    completed = end;
+                    let mut items = Vec::new();
+                    for (i, slot) in slots.iter().enumerate() {
+                        items.append(&mut slot.outbox.lock().unwrap());
+                        mins[i] = slot.min_ns.load(Ordering::Acquire);
+                    }
+                    coord.route(items, end);
+                }
+            });
+        }
+        for core in &mut self.cores {
+            if t > core.now {
+                core.now = t;
+            }
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        self.faults.drain(..self.next_fault);
+        self.next_fault = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosShape;
+    use crate::medium::Medium;
+    use crate::topology::HostCfg;
+
+    /// Workload actor: sends `burst` packets to `peer` on start and on
+    /// every timer tick, counts what comes back.
+    struct Pinger {
+        peer: Endpoint,
+        burst: usize,
+        ticks: u32,
+        got: u64,
+        echo: bool,
+    }
+
+    impl ShardActor for Pinger {
+        fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+            match event {
+                Event::Start => {
+                    for i in 0..self.burst {
+                        ctx.send(self.peer, Bytes::from(vec![i as u8; 64]));
+                    }
+                    if self.ticks > 0 {
+                        ctx.set_timer(SimDuration::from_millis(1), 1);
+                    }
+                }
+                Event::Timer { .. } => {
+                    self.ticks -= 1;
+                    for i in 0..self.burst {
+                        ctx.send(self.peer, Bytes::from(vec![i as u8; 64]));
+                    }
+                    if self.ticks > 0 {
+                        ctx.set_timer(SimDuration::from_millis(1), 1);
+                    }
+                }
+                Event::Packet { from, payload } => {
+                    self.got += 1;
+                    if self.echo {
+                        ctx.send(from, payload);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// `clusters` routable LANs of `per` hosts each: one region per
+    /// LAN, cross-region traffic over routed two-LAN paths.
+    fn cluster_topology(clusters: usize, per: usize) -> Topology {
+        let mut t = Topology::new();
+        for c in 0..clusters {
+            let medium = Medium {
+                name: "lan",
+                bandwidth_bps: 1_000_000_000,
+                latency: SimDuration::from_micros(200),
+                loss: 0.0,
+                mtu: 9000,
+                per_packet_overhead: 38,
+                shared_bus: false,
+            };
+            let net = t.add_network("lan", medium.clone(), true);
+            for i in 0..per {
+                let h = t.add_host(HostCfg::named(&format!("h{c}x{i}")));
+                t.attach(h, net);
+            }
+        }
+        t
+    }
+
+    fn pinger_world(seed: u64, threads: usize) -> ShardedWorld {
+        let topo = cluster_topology(4, 4);
+        let mut w = ShardedWorld::new(topo, seed, threads);
+        // Every host pings the "next" host — 1/4 of pairs cross regions.
+        let hosts = 16u32;
+        for i in 0..hosts {
+            let me = HostId(i);
+            let peer = Endpoint::new(HostId((i + 1) % hosts), 5);
+            w.spawn(me, 5, Box::new(Pinger { peer, burst: 3, ticks: 10, got: 0, echo: false }));
+        }
+        w
+    }
+
+    #[test]
+    fn partition_finds_connected_components() {
+        let topo = cluster_topology(4, 4);
+        let part = Partition::of(&topo);
+        assert_eq!(part.regions(), 4);
+        // Hosts on the same LAN share a region; different LANs differ.
+        assert_eq!(part.region_of_host(HostId(0)), part.region_of_host(HostId(3)));
+        assert_ne!(part.region_of_host(HostId(0)), part.region_of_host(HostId(4)));
+        // Lookahead = 2 × 200µs.
+        assert_eq!(part.lookahead(), SimDuration::from_micros(400));
+
+        // A router host attached to two LANs merges them.
+        let mut t = cluster_topology(2, 2);
+        let router = t.add_host(HostCfg::named("router"));
+        let nets: Vec<NetId> = t.nets().map(|n| n.id).collect();
+        for n in nets {
+            t.attach(router, n);
+        }
+        assert_eq!(Partition::of(&t).regions(), 1);
+    }
+
+    #[test]
+    fn isolated_host_gets_own_region() {
+        let mut t = cluster_topology(2, 2);
+        let _lonely = t.add_host(HostCfg::named("lonely"));
+        assert_eq!(Partition::of(&t).regions(), 3);
+    }
+
+    #[test]
+    fn cross_region_traffic_delivered() {
+        let mut w = pinger_world(7, 1);
+        w.run_for(SimDuration::from_millis(50));
+        let s = w.stats();
+        assert_eq!(s.sent, 16 * 3 * 11, "every burst sent");
+        assert_eq!(s.delivered, s.sent, "lossless LANs deliver everything");
+        assert_eq!(w.queue_depth(), 0, "quiesced");
+        // Each Pinger saw its predecessor's bursts.
+        for i in 0..16u32 {
+            let p = w.actor_ref::<Pinger>(Endpoint::new(HostId(i), 5)).unwrap();
+            assert_eq!(p.got, 33, "host {i}");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let base = {
+            let mut w = pinger_world(42, 1);
+            w.run_for(SimDuration::from_millis(50));
+            (w.digest(), w.metrics_json(0))
+        };
+        for threads in [2, 3, 4, 8] {
+            let mut w = pinger_world(42, threads);
+            w.run_for(SimDuration::from_millis(50));
+            assert_eq!(w.digest(), base.0, "digest diverged at {threads} threads");
+            assert_eq!(w.metrics_json(0), base.1, "metrics diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn faults_flap_hosts_deterministically() {
+        let run = |threads: usize| {
+            let mut w = pinger_world(9, threads);
+            let victim = HostId(5);
+            w.schedule_fault(SimTime::from_nanos(2_000_000), FaultCmd::HostDown(victim));
+            w.schedule_fault(SimTime::from_nanos(6_000_000), FaultCmd::HostUp(victim));
+            w.run_for(SimDuration::from_millis(50));
+            // Route selection excludes down hosts, so send-time drops
+            // surface as NoRoute; HostDown catches in-flight packets.
+            let drops = w.stats().drops(DropReason::NoRoute) + w.stats().drops(DropReason::HostDown);
+            (w.digest(), drops, w.stats().delivered)
+        };
+        let a = run(1);
+        assert!(a.1 > 0, "down host must drop packets");
+        assert!(a.2 > 0, "recovery resumes delivery");
+        assert_eq!(run(4), a, "fault timeline must be thread-count independent");
+    }
+
+    #[test]
+    fn chaos_plan_replays_bit_for_bit_at_any_thread_count() {
+        let shape = ChaosShape { hosts: 8, nets: 4, ifaces: 8, procs: 0, ..ChaosShape::default() };
+        let plan = ChaosPlan::generate(0xC0FFEE, &shape);
+        let binding = ChaosBinding {
+            hosts: (0..16).map(HostId).collect(),
+            nets: (0..4).map(NetId).collect(),
+            ifaces: (0..16).map(|i| (HostId(i), NetId(i / 4))).collect(),
+            procs: Vec::new(),
+        };
+        let run = |threads: usize| {
+            let mut w = pinger_world(11, threads);
+            w.apply_chaos_plan(&plan, &binding);
+            w.run_for(SimDuration::from_millis(80));
+            w.digest()
+        };
+        let d1 = run(1);
+        assert_eq!(run(2), d1);
+        assert_eq!(run(8), d1);
+    }
+
+    #[test]
+    fn echo_round_trips_cross_region() {
+        let topo = cluster_topology(2, 2);
+        let mut w = ShardedWorld::new(topo, 3, 2);
+        let a = Endpoint::new(HostId(0), 5);
+        let b = Endpoint::new(HostId(2), 5); // other region
+        w.spawn(b.host, b.port, Box::new(Pinger { peer: a, burst: 0, ticks: 0, got: 0, echo: true }));
+        w.spawn(a.host, a.port, Box::new(Pinger { peer: b, burst: 5, ticks: 0, got: 0, echo: false }));
+        w.run_for(SimDuration::from_millis(20));
+        assert_eq!(w.actor_ref::<Pinger>(b).unwrap().got, 5, "b received the burst");
+        assert_eq!(w.actor_ref::<Pinger>(a).unwrap().got, 5, "a received the echoes");
+        // Cross-region arrivals respect the routed-path latency floor
+        // (= the lookahead bound).
+        let s = w.stats();
+        assert_eq!(s.delivered, 10);
+    }
+
+    #[test]
+    fn single_region_world_runs_inline_to_horizon() {
+        let topo = cluster_topology(1, 4);
+        let mut w = ShardedWorld::new(topo, 1, 8);
+        assert_eq!(w.regions(), 1);
+        let a = Endpoint::new(HostId(0), 5);
+        let b = Endpoint::new(HostId(1), 5);
+        w.spawn(b.host, b.port, Box::new(Pinger { peer: a, burst: 0, ticks: 0, got: 0, echo: false }));
+        w.spawn(a.host, a.port, Box::new(Pinger { peer: b, burst: 2, ticks: 0, got: 0, echo: false }));
+        w.run_for(SimDuration::from_millis(5));
+        assert_eq!(w.actor_ref::<Pinger>(b).unwrap().got, 2);
+        assert_eq!(w.now(), SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn packet_chaos_duplicates_cross_region_packets() {
+        let topo = cluster_topology(2, 2);
+        let mut w = ShardedWorld::new(topo, 5, 2);
+        w.schedule_fault(
+            SimTime::ZERO,
+            FaultCmd::PacketChaos(
+                Some(PacketChaos {
+                    corrupt: 0.0,
+                    duplicate: 1.0,
+                    reorder: 0.0,
+                    jitter: SimDuration::from_millis(1),
+                }),
+                99,
+            ),
+        );
+        let b = Endpoint::new(HostId(2), 5);
+        w.spawn(b.host, b.port, Box::new(Pinger { peer: Endpoint::new(HostId(0), 5), burst: 0, ticks: 0, got: 0, echo: false }));
+        w.spawn(HostId(0), 5, Box::new(Pinger { peer: b, burst: 4, ticks: 0, got: 0, echo: false }));
+        w.run_for(SimDuration::from_millis(20));
+        assert_eq!(w.stats().chaos.duplicated, 4);
+        assert_eq!(w.actor_ref::<Pinger>(b).unwrap().got, 8, "every packet arrives twice");
+    }
+
+    #[test]
+    fn shard_loads_and_metrics_expose_per_shard_hwms() {
+        let mut w = pinger_world(13, 2);
+        w.run_for(SimDuration::from_millis(50));
+        let loads = w.shard_loads();
+        assert_eq!(loads.len(), 4);
+        assert!(loads.iter().all(|l| l.queue_depth == 0), "quiesced");
+        assert!(loads.iter().any(|l| l.slab_hwm > 0), "timers went through the heap");
+        assert!(loads.iter().any(|l| l.mailbox_hwm > 0), "cross-region traffic flowed");
+        let json = w.metrics_json(0);
+        assert!(json.contains("\"shard.0.slab_hwm\""), "{json}");
+        assert!(json.contains("\"shard.3.mailbox_hwm\""), "{json}");
+        assert!(json.contains("\"shard.count\": 4"), "{json}");
+    }
+
+    #[test]
+    fn trace_ring_merges_across_shards() {
+        let mut w = pinger_world(17, 2);
+        w.enable_trace(64);
+        w.run_for(SimDuration::from_millis(5));
+        let dump = w.render_trace(16);
+        assert!(dump.contains("shard flight recorder"), "{dump}");
+        assert!(dump.contains("Send"), "{dump}");
+        let json = w.metrics_json(0);
+        assert!(json.contains("\"trace.send\""), "{json}");
+    }
+}
+

@@ -168,6 +168,33 @@ impl NetStats {
             self.bytes_by_net.resize(nets, 0);
         }
     }
+
+    /// Fold another stats block into this one. Counters add;
+    /// `peak_queue_depth` takes the max (it is a high-water mark of one
+    /// queue, and the merged view reports the worst single queue). The
+    /// sharded engine merges per-shard stats through this.
+    pub(crate) fn merge(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.events += other.events;
+        self.engine.heap_pops += other.engine.heap_pops;
+        self.engine.now_pops += other.engine.now_pops;
+        self.engine.stream_pops += other.engine.stream_pops;
+        self.engine.route_cache_hits += other.engine.route_cache_hits;
+        self.engine.route_cache_misses += other.engine.route_cache_misses;
+        self.engine.peak_queue_depth =
+            self.engine.peak_queue_depth.max(other.engine.peak_queue_depth);
+        self.chaos.corrupted += other.chaos.corrupted;
+        self.chaos.duplicated += other.chaos.duplicated;
+        self.chaos.reordered += other.chaos.reordered;
+        for (i, d) in other.drops.iter().enumerate() {
+            self.drops[i] += d;
+        }
+        self.reserve_nets(other.bytes_by_net.len());
+        for (i, b) in other.bytes_by_net.iter().enumerate() {
+            self.bytes_by_net[i] += b;
+        }
+    }
 }
 
 /// A fault-layer operation, recorded as `what` plus two generic
@@ -383,11 +410,26 @@ pub fn enabled() -> bool {
 
 /// Record one event at virtual time `at`. No-op when disabled; never
 /// allocates when enabled (the ring was preallocated by [`enable`]).
+///
+/// The enabled path is outlined (`#[cold]`): the TLS + ring machinery
+/// would otherwise be inlined — dead — into every guarded call site in
+/// the engine hot loop, and the I-cache bloat alone is measurable on
+/// the overhead gate.
 #[inline]
 pub fn record(at: SimTime, kind: TraceKind) {
     if !enabled() {
         return;
     }
+    record_cached(at, kind);
+}
+
+/// [`record`] minus the thread-local `enabled()` re-check, for call
+/// sites that already guard on a cached copy of the flag (the `World`
+/// keeps one in a plain field). A stale `true` after [`disable`] just
+/// writes into the ring that `disable` deliberately keeps around.
+#[cold]
+#[inline(never)]
+pub(crate) fn record_cached(at: SimTime, kind: TraceKind) {
     RECORDER.with(|r| r.borrow_mut().push(at, kind));
 }
 

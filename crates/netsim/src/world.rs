@@ -19,49 +19,24 @@
 //! Reliability is the job of `snipe-wire`, exactly as UDP left it to
 //! SNIPE's selective-resend protocol.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use snipe_util::id::{HostId, LinkId, NetId};
+use snipe_util::id::{HostId, NetId};
 use snipe_util::metrics::{HistoId, Log2Histogram, Registry};
 use snipe_util::rng::Xoshiro256;
 use snipe_util::time::{SimDuration, SimTime};
 
 use crate::actor::{Actor, ActorId, Ctx, Event};
 use crate::chaos::PacketChaos;
+use crate::queue::{EventQueue, FnvMap, Tier, TxChannel};
 use crate::topology::{Endpoint, GrayLevel, PathInfo, Topology};
 use crate::trace::{self, DropReason, FaultOp, NetStats, TraceKind};
 
 /// First ephemeral port handed out by [`World::alloc_port`].
 pub const EPHEMERAL_BASE: u16 = 49152;
 
-/// FNV-1a, for the hot-path maps (route cache, port bindings). Those
-/// are probed once or more per packet, where SipHash (std's default,
-/// DoS-hardened) is measurable overhead; keys are attacker-free
-/// simulator ids, so the cheap hash is safe. Keys hash identically
-/// across runs, keeping behaviour independent of process-random hash
-/// state.
-#[derive(Default)]
-struct FnvHasher(u64);
-
-impl Hasher for FnvHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf29ce484222325 } else { self.0 };
-        for &b in bytes {
-            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-        }
-        self.0 = h;
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 type RouteKey = (HostId, HostId, Option<NetId>);
 type RouteCache = FnvMap<RouteKey, Option<PathInfo>>;
 
@@ -75,76 +50,6 @@ enum Queued {
     Func { token: u64 },
 }
 
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    kind: Queued,
-}
-
-/// Future-heap entry: ordering key plus a slab index for the event
-/// body. Keeping the heap element at three words matters more than
-/// anything else in the engine — an oversubscribed storm parks
-/// hundreds of thousands of pending deliveries in the heap, and every
-/// push/pop sifts `O(log n)` elements. Sifting 24-byte keys instead of
-/// full `QueuedEvent`s (5+ words of payload enum) cuts the dominant
-/// memory traffic of the event loop; the bodies sit still in the slab
-/// and are touched exactly twice (insert, remove).
-#[derive(Clone, Copy, PartialEq, Eq)]
-struct HeapEntry {
-    at: SimTime,
-    seq: u64,
-    idx: u32,
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // (at, seq) is unique: idx never participates.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// The serializing transmitter of a delivery: the segment itself for
-/// shared-bus media, the sender's interface for switched media.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum TxChannel {
-    Bus(NetId),
-    Link(LinkId),
-}
-
-/// FIFO of pending deliveries that share a transmitter and a
-/// propagation latency.
-///
-/// Such deliveries arrive in exactly the order they were sent: each
-/// transmitter's `busy_until` only moves forward, so serialization
-/// finish times are monotone per channel, and adding a constant
-/// latency preserves that. An oversubscribed segment can have hundreds
-/// of thousands of packets in flight — as a heap they are `O(log n)`
-/// sift traffic each, as a stream they cost `O(1)` at both ends. The
-/// engine pops the global minimum across stream fronts, the now-queue
-/// and the residual heap, so the dispatch order is identical to a
-/// single heap's.
-struct DeliveryStream {
-    /// `(at, seq)` of the front event; `STREAM_EMPTY` when drained.
-    /// Kept inline so the pop scan touches one contiguous array.
-    front: (SimTime, u64),
-    queue: VecDeque<QueuedEvent>,
-}
-
-/// Sort key no real event can have (seq is bumped past any use long
-/// before u64 wraps).
-const STREAM_EMPTY: (SimTime, u64) = (SimTime::MAX, u64::MAX);
-
-/// Cap on distinct `(channel, latency)` streams; beyond it, new
-/// channels fall back to the heap. Real topologies produce a handful
-/// (shared buses × path latencies + active switched links); the cap
-/// only bounds the per-pop scan in adversarial shapes.
-const MAX_STREAMS: usize = 64;
-
 struct Slot {
     actor: Option<Box<dyn Actor>>,
     endpoint: Endpoint,
@@ -154,25 +59,9 @@ struct Slot {
 /// The simulation world.
 pub struct World {
     now: SimTime,
-    /// Future events, ordered by `(at, seq)`; bodies live in `slab`.
-    queue: BinaryHeap<Reverse<HeapEntry>>,
-    /// Bodies of heap-resident events, indexed by `HeapEntry::idx`.
-    /// Vacated slots are recycled through `slab_free`, so the slab
-    /// stops allocating once it reaches the high-water mark.
-    slab: Vec<Option<Queued>>,
-    slab_free: Vec<u32>,
-    /// Per-transmitter delivery FIFOs (see [`DeliveryStream`]).
-    streams: Vec<DeliveryStream>,
-    stream_ids: FnvMap<(TxChannel, SimDuration), u32>,
-    /// Events scheduled *at the current timestamp*, in seq (FIFO)
-    /// order. Packet storms are dominated by same-instant bursts
-    /// (loopback sends, signals, zero-delay chains); pushing those
-    /// through the heap costs `O(log n)` sift per event for an ordering
-    /// the FIFO already has. Invariant: every entry has `at == now`
-    /// (enforced in `push`; the clock only advances once this queue is
-    /// drained, because its entries sort before anything later).
-    now_queue: VecDeque<QueuedEvent>,
-    seq: u64,
+    /// The three-tier event queue (now-queue, delivery streams,
+    /// slab-backed heap) — see [`crate::queue`].
+    equeue: EventQueue<Queued>,
     topo: Topology,
     slots: Vec<Slot>,
     bindings: FnvMap<Endpoint, ActorId>,
@@ -222,13 +111,7 @@ impl World {
         let h_latency_id = metrics.histogram("net.delivery_latency_ns");
         World {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            slab: Vec::new(),
-            slab_free: Vec::new(),
-            streams: Vec::new(),
-            stream_ids: FnvMap::default(),
-            now_queue: VecDeque::new(),
-            seq: 0,
+            equeue: EventQueue::new(),
             topo,
             slots: Vec::new(),
             bindings: FnvMap::default(),
@@ -343,9 +226,7 @@ impl World {
     /// Total events pending across all three queue tiers. Invariant
     /// oracles use this to assert the engine quiesces after a run.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
-            + self.now_queue.len()
-            + self.streams.iter().map(|s| s.queue.len()).sum::<usize>()
+        self.equeue.depth()
     }
 
     /// The world RNG (actors reach it through [`Ctx::rng`]).
@@ -354,19 +235,13 @@ impl World {
     }
 
     fn push(&mut self, at: SimTime, kind: Queued) {
-        let seq = self.next_seq();
-        if at == self.now {
-            self.now_queue.push_back(QueuedEvent { at, seq, kind });
-        } else {
-            self.push_heap(QueuedEvent { at, seq, kind });
-        }
+        self.equeue.push(self.now, at, kind);
         self.note_depth();
     }
 
     /// Queue a delivery serialized by `channel` with a fixed
     /// propagation latency, using its FIFO stream when the arrival
-    /// order allows (it always does — the guard only covers hostile
-    /// direct topology mutation).
+    /// order allows.
     fn push_delivery(
         &mut self,
         at: SimTime,
@@ -374,68 +249,12 @@ impl World {
         channel: TxChannel,
         latency: SimDuration,
     ) {
-        let seq = self.next_seq();
-        let ev = QueuedEvent { at, seq, kind };
-        if at == self.now {
-            self.now_queue.push_back(ev);
-            self.note_depth();
-            return;
-        }
-        let sid = match self.stream_ids.get(&(channel, latency)) {
-            Some(&s) => Some(s),
-            None if self.streams.len() < MAX_STREAMS => {
-                let s = self.streams.len() as u32;
-                self.streams.push(DeliveryStream {
-                    front: STREAM_EMPTY,
-                    queue: VecDeque::new(),
-                });
-                self.stream_ids.insert((channel, latency), s);
-                Some(s)
-            }
-            None => None,
-        };
-        match sid {
-            Some(s) => {
-                let stream = &mut self.streams[s as usize];
-                if stream.queue.back().is_some_and(|b| ev.at < b.at) {
-                    self.push_heap(ev);
-                } else {
-                    if stream.queue.is_empty() {
-                        stream.front = (ev.at, ev.seq);
-                    }
-                    stream.queue.push_back(ev);
-                }
-            }
-            None => self.push_heap(ev),
-        }
+        self.equeue.push_delivery(self.now, at, kind, channel, latency);
         self.note_depth();
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let seq = self.seq;
-        self.seq += 1;
-        seq
-    }
-
-    fn push_heap(&mut self, ev: QueuedEvent) {
-        let idx = match self.slab_free.pop() {
-            Some(i) => {
-                self.slab[i as usize] = Some(ev.kind);
-                i
-            }
-            None => {
-                let i = u32::try_from(self.slab.len()).expect("event slab overflow");
-                self.slab.push(Some(ev.kind));
-                i
-            }
-        };
-        self.queue.push(Reverse(HeapEntry { at: ev.at, seq: ev.seq, idx }));
-    }
-
     fn note_depth(&mut self) {
-        let depth = (self.queue.len()
-            + self.now_queue.len()
-            + self.streams.iter().map(|s| s.queue.len()).sum::<usize>()) as u64;
+        let depth = self.equeue.depth() as u64;
         if depth > self.stats.engine.peak_queue_depth {
             self.stats.engine.peak_queue_depth = depth;
         }
@@ -445,85 +264,32 @@ impl World {
     fn note_drop(&mut self, reason: DropReason) {
         self.stats.drop(reason);
         if cfg!(not(feature = "obs-off")) && self.recording {
-            trace::record(self.now, TraceKind::Drop { reason });
+            trace::record_cached(self.now, TraceKind::Drop { reason });
         }
     }
 
     /// Record a fault-layer operation in the flight recorder.
     fn note_fault(&mut self, what: &'static str, a: u64, b: u64) {
         if cfg!(not(feature = "obs-off")) && self.recording {
-            trace::record(self.now, TraceKind::Fault { op: FaultOp { what, a, b } });
+            trace::record_cached(self.now, TraceKind::Fault { op: FaultOp { what, a, b } });
         }
     }
 
     /// Pop the globally next event by `(at, seq)` across the three
-    /// tiers (now-queue, delivery streams, heap). Any tier can hold
-    /// events tied on timestamp with another — e.g. the heap keeps
-    /// events at `now` that were scheduled *before* the clock reached
-    /// it — so ties always compare by seq, and the pop order is
-    /// exactly the order a single heap would produce.
-    fn pop_event(&mut self) -> Option<QueuedEvent> {
-        // 0 = now-queue, 1 = heap, 2+i = stream i.
-        let mut best = match self.now_queue.front() {
-            Some(ev) => (ev.at, ev.seq),
-            None => STREAM_EMPTY,
-        };
-        let mut src = 0usize;
-        if let Some(Reverse(h)) = self.queue.peek() {
-            if (h.at, h.seq) < best {
-                best = (h.at, h.seq);
-                src = 1;
-            }
+    /// tiers, accounting the pop against the engine's tier counters.
+    fn pop_event(&mut self) -> Option<crate::queue::QueuedEvent<Queued>> {
+        let (ev, tier) = self.equeue.pop()?;
+        match tier {
+            Tier::Now => self.stats.engine.now_pops += 1,
+            Tier::Heap => self.stats.engine.heap_pops += 1,
+            Tier::Stream => self.stats.engine.stream_pops += 1,
         }
-        for (i, s) in self.streams.iter().enumerate() {
-            if s.front < best {
-                best = s.front;
-                src = 2 + i;
-            }
-        }
-        if best == STREAM_EMPTY {
-            return None;
-        }
-        match src {
-            0 => {
-                self.stats.engine.now_pops += 1;
-                self.now_queue.pop_front()
-            }
-            1 => {
-                self.stats.engine.heap_pops += 1;
-                let Reverse(h) = self.queue.pop()?;
-                let kind = self.slab[h.idx as usize].take().expect("heap entry without body");
-                self.slab_free.push(h.idx);
-                Some(QueuedEvent { at: h.at, seq: h.seq, kind })
-            }
-            i => {
-                self.stats.engine.stream_pops += 1;
-                let stream = &mut self.streams[i - 2];
-                let ev = stream.queue.pop_front();
-                stream.front = match stream.queue.front() {
-                    Some(next) => (next.at, next.seq),
-                    None => STREAM_EMPTY,
-                };
-                ev
-            }
-        }
+        Some(ev)
     }
 
     /// Timestamp of the next pending event, if any.
     fn peek_at(&self) -> Option<SimTime> {
-        let mut best = match self.now_queue.front() {
-            Some(ev) => ev.at,
-            None => SimTime::MAX,
-        };
-        if let Some(Reverse(h)) = self.queue.peek() {
-            best = best.min(h.at);
-        }
-        for s in &self.streams {
-            best = best.min(s.front.0);
-        }
-        // An event at SimTime::MAX is unschedulable (arrival times add
-        // latency to a finite clock), so MAX means "no events".
-        (best != SimTime::MAX).then_some(best)
+        self.equeue.peek_at()
     }
 
     /// Spawn an actor bound to `(host, port)`. Delivers `Event::Start`
@@ -738,46 +504,10 @@ impl World {
         self.compute_path(from, to, via)
     }
 
-    /// Uncached route selection per §5.3. Runs allocation-free: the
-    /// candidate scans are iterator-based and `PathInfo` is `Copy`.
+    /// Uncached route selection per §5.3 (shared with the sharded
+    /// engine via [`compute_path`]).
     fn compute_path(&self, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
-        if let Some(n) = via {
-            if self.topo.is_common_network(from, to, n) {
-                return Some(self.topo.direct_path(n));
-            }
-            return None;
-        }
-        // Fastest common network first, by *effective* speed: a grayed
-        // segment can lose the preference to a healthy slower one.
-        if let Some(best) = self.topo.common_networks_iter(from, to).max_by_key(|&n| {
-            (
-                self.topo.effective_bandwidth(n),
-                std::cmp::Reverse(self.topo.effective_latency(n).as_nanos()),
-            )
-        }) {
-            return Some(self.topo.direct_path(best));
-        }
-        // Normal IP routing over routable edges in the same partition.
-        let mut best: Option<PathInfo> = None;
-        for na in self.topo.routable_networks_iter(from) {
-            for nb in self.topo.routable_networks_iter(to) {
-                if self.topo.net(na).partition != self.topo.net(nb).partition {
-                    continue;
-                }
-                let p = self.topo.routed_path(na, nb);
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        (p.bandwidth_bps, std::cmp::Reverse(p.latency.as_nanos()))
-                            > (b.bandwidth_bps, std::cmp::Reverse(b.latency.as_nanos()))
-                    }
-                };
-                if better {
-                    best = Some(p);
-                }
-            }
-        }
-        best
+        compute_path(&self.topo, from, to, via)
     }
 
     /// Send a datagram. Called by [`Ctx::send`].
@@ -790,7 +520,7 @@ impl World {
     ) {
         self.stats.sent += 1;
         if cfg!(not(feature = "obs-off")) && self.recording {
-            trace::record(
+            trace::record_cached(
                 self.now,
                 TraceKind::Send { from, to, len: payload.len() as u32 },
             );
@@ -948,7 +678,7 @@ impl World {
                 } else if let Some(&id) = self.bindings.get(&to) {
                     self.stats.delivered += 1;
                     if cfg!(not(feature = "obs-off")) && self.recording {
-                        trace::record(
+                        trace::record_cached(
                             self.now,
                             TraceKind::Recv { from, to, len: payload.len() as u32 },
                         );
@@ -965,7 +695,7 @@ impl World {
                     // Timers do not fire while the host is down.
                     if self.topo.host(ep.host).up {
                         if cfg!(not(feature = "obs-off")) && self.recording {
-                            trace::record(self.now, TraceKind::TimerFire { token });
+                            trace::record_cached(self.now, TraceKind::TimerFire { token });
                         }
                         self.dispatch_to(ep, Event::Timer { token });
                     }
@@ -1020,7 +750,57 @@ impl World {
 }
 
 /// Internal signal number used to carry `Event::Start`.
-const SIGSTART: u32 = u32::MAX;
+pub(crate) const SIGSTART: u32 = u32::MAX;
+
+/// Uncached route selection per §5.3, over an explicit topology. Runs
+/// allocation-free: the candidate scans are iterator-based and
+/// `PathInfo` is `Copy`. Both [`World`] and the sharded engine
+/// ([`crate::shard`]) route through this one function, so their route
+/// decisions can never drift apart.
+pub(crate) fn compute_path(
+    topo: &Topology,
+    from: HostId,
+    to: HostId,
+    via: Option<NetId>,
+) -> Option<PathInfo> {
+    if let Some(n) = via {
+        if topo.is_common_network(from, to, n) {
+            return Some(topo.direct_path(n));
+        }
+        return None;
+    }
+    // Fastest common network first, by *effective* speed: a grayed
+    // segment can lose the preference to a healthy slower one.
+    if let Some(best) = topo.common_networks_iter(from, to).max_by_key(|&n| {
+        (
+            topo.effective_bandwidth(n),
+            std::cmp::Reverse(topo.effective_latency(n).as_nanos()),
+        )
+    }) {
+        return Some(topo.direct_path(best));
+    }
+    // Normal IP routing over routable edges in the same partition.
+    let mut best: Option<PathInfo> = None;
+    for na in topo.routable_networks_iter(from) {
+        for nb in topo.routable_networks_iter(to) {
+            if topo.net(na).partition != topo.net(nb).partition {
+                continue;
+            }
+            let p = topo.routed_path(na, nb);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (p.bandwidth_bps, std::cmp::Reverse(p.latency.as_nanos()))
+                        > (b.bandwidth_bps, std::cmp::Reverse(b.latency.as_nanos()))
+                }
+            };
+            if better {
+                best = Some(p);
+            }
+        }
+    }
+    best
+}
 
 #[cfg(test)]
 mod tests {

@@ -72,6 +72,19 @@ impl Log2Histogram {
         &self.buckets
     }
 
+    /// Fold another histogram into this one (bucket-wise add; `sum`
+    /// wraps, matching [`Log2Histogram::observe`]). Merging per-shard
+    /// latency histograms this way is exact: log2 buckets are
+    /// merge-closed, so the merged quantile bounds equal those of a
+    /// histogram that had observed every sample directly.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
     /// Nearest-bucket quantile estimate: the upper bound `2^b` of the
     /// bucket containing the `q`-th sample (0 for an empty histogram).
     pub fn quantile_bound(&self, q: f64) -> u64 {
@@ -337,6 +350,23 @@ mod tests {
         assert_eq!(h.quantile_bound(0.5), 128);
         assert_eq!(h.quantile_bound(1.0), 1 << 41);
         assert_eq!(Log2Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_direct_observation() {
+        let mut parts = [Log2Histogram::default(), Log2Histogram::default()];
+        let mut whole = Log2Histogram::default();
+        for (i, x) in [1u64, 100, 1 << 20, 0, u64::MAX, 37].iter().enumerate() {
+            parts[i % 2].observe(*x);
+            whole.observe(*x);
+        }
+        let mut merged = Log2Histogram::default();
+        merged.merge(&parts[0]);
+        merged.merge(&parts[1]);
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.sum(), whole.sum());
+        assert_eq!(merged.buckets(), whole.buckets());
+        assert_eq!(merged.quantile_bound(0.5), whole.quantile_bound(0.5));
     }
 
     #[test]

@@ -29,14 +29,16 @@ cargo run -q --release -p snipe-bench --bin harness -- chaos-smoke
 # of the same tree. The comparison is differential — both binaries are
 # probed interleaved on this machine right now — because wall-clock
 # noise on a shared box dwarfs a 2% effect against any stored absolute
-# baseline. Best-of-5 each side: the quiet-moment maxima are the stable
-# statistic.
+# baseline. Best-of-15 each side (a probe is ~150ms, so trials are
+# cheap): the quiet-moment maxima are the stable statistic — best-of-5
+# was observed swinging ±5% between runs on a loaded 1-core box, wide
+# enough to both mask real regressions and fail clean builds.
 cargo build -q --release -p snipe-bench --bin harness --features obs-off
 cp target/release/harness target/release/harness-obs-off
 cargo build -q --release -p snipe-bench --bin harness
 best_base=0
 best_head=0
-for _ in 1 2 3 4 5; do
+for _ in $(seq 15); do
     b=$(./target/release/harness-obs-off engine-probe)
     h=$(./target/release/harness engine-probe)
     [ "$b" -gt "$best_base" ] && best_base=$b
@@ -48,4 +50,15 @@ awk -v h="$best_head" -v b="$best_base" 'BEGIN {
     printf "overhead gate: ratio %.3f (floor 0.980)\n", ratio;
     exit (ratio >= 0.98 ? 0 : 1);
 }'
+# Shard-determinism gate: the sharded engine must produce the same
+# behavioural digest no matter how many worker threads drive it. The
+# fixed digest-run config (512 hosts, 8 regions, cross-region storm
+# with a host flap) is compared byte-for-byte at 1 vs 4 threads.
+d1=$(./target/release/harness shard-digest 1)
+d4=$(./target/release/harness shard-digest 4)
+echo "shard-determinism gate: 1 thread $d1, 4 threads $d4"
+if [ "$d1" != "$d4" ]; then
+    echo "shard-determinism gate: FAIL (digests differ)"
+    exit 1
+fi
 echo "check.sh: all gates green"
