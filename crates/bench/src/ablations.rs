@@ -7,8 +7,7 @@
 //! * **A3** — playground fuel-slice size vs completion time and
 //!   checkpoint cost (§5.8).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use snipe_netsim::actor::{Actor, Ctx, Event};
 use snipe_netsim::medium::Medium;
@@ -52,8 +51,8 @@ pub fn run_a1(window: usize, frag_size: usize, loss: f64, seed: u64) -> A1Point 
     cfg.srudp.window = window;
     cfg.srudp.frag_size = frag_size;
     cfg.srudp.rto_initial = SimDuration::from_millis(150);
-    let received = Rc::new(RefCell::new(0usize));
-    let done_at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    let received = Arc::new(Mutex::new(0usize));
+    let done_at: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
     world.spawn(
         b,
         20,
@@ -83,11 +82,11 @@ pub fn run_a1(window: usize, frag_size: usize, loss: f64, seed: u64) -> A1Point 
     );
     for _ in 0..1200 {
         world.run_for(SimDuration::from_millis(100));
-        if done_at.borrow().is_some() {
+        if done_at.lock().unwrap().is_some() {
             break;
         }
     }
-    let goodput = match *done_at.borrow() {
+    let goodput = match *done_at.lock().unwrap() {
         Some(t) => total as f64 / t.as_secs_f64(),
         None => f64::NAN,
     };
@@ -111,7 +110,7 @@ struct StalenessProbe {
     uri: Uri,
     expect: String,
     rc: snipe_rcds::client::RcClient,
-    visible_at: Rc<RefCell<Option<SimTime>>>,
+    visible_at: Arc<Mutex<Option<SimTime>>>,
 }
 
 impl StalenessProbe {
@@ -122,9 +121,9 @@ impl StalenessProbe {
         for (_, result) in self.rc.drain_done() {
             if let Ok(reply) = result {
                 if reply.assertions.iter().any(|a| a.value == self.expect)
-                    && self.visible_at.borrow().is_none()
+                    && self.visible_at.lock().unwrap().is_none()
                 {
-                    *self.visible_at.borrow_mut() = Some(ctx.now());
+                    *self.visible_at.lock().unwrap() = Some(ctx.now());
                 }
             }
         }
@@ -136,7 +135,7 @@ impl Actor for StalenessProbe {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         match event {
             Event::Start | Event::Timer { token: TIMER_PROBE } => {
-                if self.visible_at.borrow().is_none() {
+                if self.visible_at.lock().unwrap().is_none() {
                     let now = ctx.now();
                     self.rc.get(now, &self.uri);
                     self.flush(ctx);
@@ -163,7 +162,7 @@ struct OneShotWriter {
     uri: Uri,
     value: String,
     rc: snipe_rcds::client::RcClient,
-    wrote_at: Rc<RefCell<Option<SimTime>>>,
+    wrote_at: Arc<Mutex<Option<SimTime>>>,
 }
 
 impl Actor for OneShotWriter {
@@ -172,7 +171,7 @@ impl Actor for OneShotWriter {
             Event::Start => {
                 let now = ctx.now();
                 self.rc.put(now, &self.uri, vec![Assertion::new("k", self.value.clone())]);
-                *self.wrote_at.borrow_mut() = Some(now);
+                *self.wrote_at.lock().unwrap() = Some(now);
                 for (to, bytes) in self.rc.drain_sends() {
                     ctx.send(to, snipe_wire::frame::seal(snipe_wire::frame::Proto::Raw, bytes));
                 }
@@ -206,8 +205,8 @@ pub fn run_a2(sync_interval: SimDuration, seed: u64) -> A2Point {
     // Let the replicas settle so the first sync tick isn't aligned with
     // the write.
     world.run_for(sync_interval + SimDuration::from_millis(37));
-    let wrote_at = Rc::new(RefCell::new(None));
-    let visible_at = Rc::new(RefCell::new(None));
+    let wrote_at = Arc::new(Mutex::new(None));
+    let visible_at = Arc::new(Mutex::new(None));
     let uri = Uri::process(1);
     world.spawn(
         c,
@@ -232,7 +231,7 @@ pub fn run_a2(sync_interval: SimDuration, seed: u64) -> A2Point {
         }),
     );
     world.run_for(sync_interval * 4 + SimDuration::from_secs(2));
-    let staleness = match (*wrote_at.borrow(), *visible_at.borrow()) {
+    let staleness = match (*wrote_at.lock().unwrap(), *visible_at.lock().unwrap()) {
         (Some(w), Some(v)) => v.saturating_since(w).as_secs_f64(),
         _ => f64::NAN,
     };
@@ -294,9 +293,9 @@ pub fn run_a3(slice: u64, seed: u64) -> A3Point {
     topo.attach(h, net);
     topo.attach(s, net);
     let mut world = World::new(topo, seed);
-    let done = Rc::new(RefCell::new(None));
+    let done = Arc::new(Mutex::new(None));
     struct Sup {
-        done: Rc<RefCell<Option<SimTime>>>,
+        done: Arc<Mutex<Option<SimTime>>>,
     }
     impl Actor for Sup {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
@@ -305,7 +304,7 @@ pub fn run_a3(slice: u64, seed: u64) -> A3Point {
                 {
                     if let Ok(PlaygroundMsg::Done { .. }) = PlaygroundMsg::decode_from_bytes(body)
                     {
-                        *self.done.borrow_mut() = Some(ctx.now());
+                        *self.done.lock().unwrap() = Some(ctx.now());
                     }
                 }
             }
@@ -324,11 +323,11 @@ pub fn run_a3(slice: u64, seed: u64) -> A3Point {
     world.spawn(h, 100, Box::new(PlaygroundActor::new(cfg, image, vec![])));
     for _ in 0..600 {
         world.run_for(SimDuration::from_millis(100));
-        if done.borrow().is_some() {
+        if done.lock().unwrap().is_some() {
             break;
         }
     }
-    let completion = done.borrow().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
+    let completion = done.lock().unwrap().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
     A3Point { slice, completion, checkpoint_bytes }
 }
 

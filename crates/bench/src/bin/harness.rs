@@ -102,6 +102,88 @@ fn run_e4() {
     t.emit("e4.txt");
 }
 
+/// `harness e4-shard`: the E4 spawn burst on the sharded engine — a
+/// 6-cluster campus (one region per cluster) at 1/2/4/8 worker
+/// threads. Virtual completion time and the engine digest must be
+/// thread-count invariant; wall-clock is what threads buy. Writes
+/// `results/bench_e4_shard.json`.
+fn run_e4_shard() -> bool {
+    let _ = std::fs::remove_file("results/e4_shard.txt");
+    let (clusters, per_cluster, seed) = (6usize, 8usize, 40u64);
+    let points: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&th| e4_scalability::run_snipe_sharded(clusters, per_cluster, seed, th))
+        .collect();
+    let mut t = Table::new(
+        "E4-sharded: one task on each of 48 campus hosts, by worker threads",
+        &["threads", "hosts", "virtual (s)", "wall (ms)", "digest", "complete"],
+    );
+    for p in &points {
+        t.row(vec![
+            format!("{}", p.threads),
+            format!("{}", p.hosts),
+            if p.complete { format!("{:.4}", p.elapsed) } else { "DNF".into() },
+            format!("{:.1}", p.wall_ms),
+            format!("{:#018x}", p.digest),
+            format!("{}", p.complete),
+        ]);
+    }
+    t.emit("e4_shard.txt");
+    let ok = points.iter().all(|p| p.complete)
+        && points.windows(2).all(|w| w[0].digest == w[1].digest);
+    if !ok {
+        println!("E4-sharded: digest or completion diverged across thread counts");
+    }
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"hosts\": {}, \"virtual_s\": {:.6}, \
+                 \"wall_ms\": {:.3}, \"digest\": \"{:#018x}\", \"complete\": {}}}",
+                p.threads, p.hosts, p.elapsed, p.wall_ms, p.digest, p.complete
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e4_shard\",\n  \"clusters\": {clusters},\n  \
+         \"per_cluster\": {per_cluster},\n  \"seed\": {seed},\n  \
+         \"thread_invariant\": {ok},\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/bench_e4_shard.json", json);
+    ok
+}
+
+/// `harness full-proto-digest <threads> [seed]`: run the chaos-free
+/// full-protocol campus workload (daemons + RCDS + files + RM) for a
+/// fixed virtual duration and print the engine digest plus the sorted
+/// application log. The `shard-determinism` gate byte-compares the
+/// whole output across thread counts.
+fn run_full_proto_digest(rest: &[String]) -> bool {
+    let Some(threads) = rest.first().and_then(|s| s.parse::<usize>().ok()).filter(|t| *t > 0)
+    else {
+        eprintln!("usage: harness full-proto-digest <threads> [seed]");
+        return false;
+    };
+    let seed = match rest.get(1) {
+        Some(s) => match parse_seed(s) {
+            Some(seed) => seed,
+            None => {
+                eprintln!("unparseable seed {s:?}");
+                return false;
+            }
+        },
+        None => 42,
+    };
+    let (digest, lines) = chaos_shard::full_protocol_sharded(seed, threads, 20);
+    println!("{digest:#018x}");
+    for l in &lines {
+        println!("{l}");
+    }
+    true
+}
+
 fn run_e5() {
     let p = e5_migration::run(200, 6);
     let mut t = Table::new(
@@ -664,6 +746,18 @@ fn main() {
     if args.first().map(String::as_str) == Some("shard-soak") {
         let seeds = args.get(1).and_then(|a| a.parse::<u64>().ok()).unwrap_or(4);
         if !run_shard_soak(seeds) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("full-proto-digest") {
+        if !run_full_proto_digest(&args[1..]) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("e4-shard") {
+        if !run_e4_shard() {
             std::process::exit(1);
         }
         return;

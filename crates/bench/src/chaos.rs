@@ -7,8 +7,8 @@
 //! `(plan_seed, workload_seed)` pair replays bit-for-bit and is greedily
 //! shrunk to a minimal violating plan.
 
-use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -194,8 +194,8 @@ fn run_srudp_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
         topo.attach(h, atm);
     }
     let mut world = World::new(topo, wseed);
-    let received = Rc::new(RefCell::new(0usize));
-    let done_at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    let received = Arc::new(Mutex::new(0usize));
+    let done_at: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
     let mut cfg = StackConfig::default();
     cfg.srudp.rto_initial = SimDuration::from_millis(20);
     world.spawn(
@@ -242,10 +242,10 @@ fn run_srudp_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     let mut stall = SimDuration::from_nanos(0);
     loop {
         world.run_for(step);
-        if done_at.borrow().is_some() {
+        if done_at.lock().unwrap().is_some() {
             break;
         }
-        let got = *received.borrow();
+        let got = *received.lock().unwrap();
         if got > last {
             last = got;
             stall = SimDuration::from_nanos(0);
@@ -264,13 +264,13 @@ fn run_srudp_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
             violations.push(format!(
                 "srudp-transfer: transfer incomplete at quiesce+{}s ({} of {total} bytes)",
                 RECOVERY_TAIL.as_secs_f64(),
-                *received.borrow()
+                *received.lock().unwrap()
             ));
             break;
         }
     }
-    let got = *received.borrow();
-    if done_at.borrow().is_some() && got != total {
+    let got = *received.lock().unwrap();
+    if done_at.lock().unwrap().is_some() && got != total {
         violations.push(format!(
             "srudp-transfer: exactly-once violated — {got} bytes delivered for {total} sent"
         ));
@@ -299,8 +299,8 @@ fn run_rstream_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
         topo.attach(h, net);
     }
     let mut world = World::new(topo, wseed);
-    let received = Rc::new(RefCell::new(0usize));
-    let done_at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    let received = Arc::new(Mutex::new(0usize));
+    let done_at: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
     // Faults may sever connectivity for most of the 5s horizon; widen
     // the abort budget so the stream outlives them and resumes.
     let mut rcfg = RstreamConfig::default();
@@ -346,10 +346,10 @@ fn run_rstream_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     let mut stall = SimDuration::from_nanos(0);
     loop {
         world.run_for(step);
-        if done_at.borrow().is_some() {
+        if done_at.lock().unwrap().is_some() {
             break;
         }
-        let got = *received.borrow();
+        let got = *received.lock().unwrap();
         if got > last {
             last = got;
             stall = SimDuration::from_nanos(0);
@@ -368,13 +368,13 @@ fn run_rstream_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
             violations.push(format!(
                 "rstream-transfer: transfer incomplete at quiesce+{}s ({} of {total} bytes)",
                 RECOVERY_TAIL.as_secs_f64(),
-                *received.borrow()
+                *received.lock().unwrap()
             ));
             break;
         }
     }
-    let got = *received.borrow();
-    if done_at.borrow().is_some() && got != total {
+    let got = *received.lock().unwrap();
+    if done_at.lock().unwrap().is_some() && got != total {
         violations.push(format!(
             "rstream-transfer: exactly-once violated — {got} bytes delivered for {total} sent"
         ));
@@ -405,8 +405,8 @@ pub fn run_migration(plan: &ChaosPlan, wseed: u64, disable_freeze: bool) -> Vec<
     if disable_freeze {
         w.process_config_mut().chaos_disable_migration_freeze = true;
     }
-    let deliveries = Rc::new(RefCell::new(Vec::new()));
-    let migrated_at = Rc::new(RefCell::new(None));
+    let deliveries = Arc::new(Mutex::new(Vec::new()));
+    let migrated_at = Arc::new(Mutex::new(None));
     let (dl, ma) = (deliveries.clone(), migrated_at.clone());
     w.register_process("worker", move |_| {
         Box::new(e5_migration::Worker {
@@ -434,16 +434,16 @@ pub fn run_migration(plan: &ChaosPlan, wseed: u64, disable_freeze: bool) -> Vec<
     loop {
         w.run_for(SimDuration::from_millis(500));
         let done =
-            deliveries.borrow().len() as u32 >= total && migrated_at.borrow().is_some();
+            deliveries.lock().unwrap().len() as u32 >= total && migrated_at.lock().unwrap().is_some();
         if done || w.now() >= deadline {
             break;
         }
     }
 
     let mut violations = Vec::new();
-    let seqs: Vec<u32> = deliveries.borrow().iter().map(|&(_, s)| s).collect();
+    let seqs: Vec<u32> = deliveries.lock().unwrap().iter().map(|&(_, s)| s).collect();
     violations.extend(oracles::check_exactly_once_in_order("migration", total, &seqs));
-    if migrated_at.borrow().is_none() {
+    if migrated_at.lock().unwrap().is_none() {
         violations.push("migration: process never completed its move".into());
     }
     violations.extend(oracles::check_engine_bounded(
@@ -518,7 +518,7 @@ struct ReplicaProbe {
     rc: RcClient,
     uri: Uri,
     at: SimTime,
-    out: Rc<RefCell<Option<Vec<Assertion>>>>,
+    out: Arc<Mutex<Option<Vec<Assertion>>>>,
     attempts: u32,
 }
 
@@ -530,8 +530,8 @@ impl ReplicaProbe {
         for (_, result) in self.rc.drain_done() {
             match result {
                 Ok(reply) => {
-                    if self.out.borrow().is_none() {
-                        *self.out.borrow_mut() = Some(reply.assertions);
+                    if self.out.lock().unwrap().is_none() {
+                        *self.out.lock().unwrap() = Some(reply.assertions);
                     }
                 }
                 Err(_) if self.attempts < 30 => {
@@ -614,7 +614,7 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     // Process-level crash/restart: kill one server actor and respawn a
     // *fresh* replica (new server id, empty store) on the same
     // endpoint — anti-entropy must repopulate it.
-    let restart_counter = Rc::new(RefCell::new(0u64));
+    let restart_counter = Arc::new(Mutex::new(0u64));
     let mut procs: Vec<snipe_netsim::chaos::RestartFn> = Vec::new();
     for i in 0..replicas {
         let eps = eps.clone();
@@ -622,8 +622,8 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
         procs.push(Rc::new(move |w: &mut World| {
             let ep = eps[i];
             w.kill(ep);
-            *counter.borrow_mut() += 1;
-            let id = 1000 + *counter.borrow();
+            *counter.lock().unwrap() += 1;
+            let id = 1000 + *counter.lock().unwrap();
             let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| *e != ep).collect();
             let _ = w.spawn(ep.host, ep.port, Box::new(RcServerActor::new(id, peers, sync)));
         }));
@@ -637,7 +637,7 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     let probe_at = plan.quiesce_at() + SimDuration::from_secs(4);
     let mut answers = Vec::new();
     for (i, ep) in eps.iter().enumerate() {
-        let out = Rc::new(RefCell::new(None));
+        let out = Arc::new(Mutex::new(None));
         answers.push(out.clone());
         world.spawn(
             client,
@@ -655,14 +655,14 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     let deadline = probe_at + RECOVERY_TAIL;
     loop {
         world.run_for(SimDuration::from_millis(500));
-        let all_answered = answers.iter().all(|a| a.borrow().is_some());
+        let all_answered = answers.iter().all(|a| a.lock().unwrap().is_some());
         if all_answered || world.now() >= deadline {
             break;
         }
     }
 
     let replies: Vec<Option<Vec<Assertion>>> =
-        answers.iter().map(|a| a.borrow().clone()).collect();
+        answers.iter().map(|a| a.lock().unwrap().clone()).collect();
     let mut violations = oracles::check_replicas_converged("rcds-converge", &replies);
     violations.extend(oracles::check_engine_bounded(
         "rcds-converge",
@@ -679,7 +679,7 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
 
 struct ChaosMcastMember {
     dedup: McastMember,
-    delivered: Rc<RefCell<u32>>,
+    delivered: Arc<Mutex<u32>>,
 }
 
 impl Actor for ChaosMcastMember {
@@ -691,7 +691,7 @@ impl Actor for ChaosMcastMember {
                 return;
             };
             if self.dedup.accept(group, origin, seq, payload).is_some() {
-                *self.delivered.borrow_mut() += 1;
+                *self.delivered.lock().unwrap() += 1;
             }
         }
     }
@@ -805,7 +805,7 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     }
     let mut delivered = Vec::new();
     for &h in &member_hosts {
-        let d = Rc::new(RefCell::new(0u32));
+        let d = Arc::new(Mutex::new(0u32));
         delivered.push(d.clone());
         world.spawn(h, 20, Box::new(ChaosMcastMember { dedup: McastMember::new(), delivered: d }));
     }
@@ -828,7 +828,7 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     let deadline = plan.quiesce_at().max(stream_end) + RECOVERY_TAIL;
     loop {
         world.run_for(SimDuration::from_millis(500));
-        let all = delivered.iter().all(|d| *d.borrow() >= total);
+        let all = delivered.iter().all(|d| *d.lock().unwrap() >= total);
         if all || world.now() >= deadline {
             break;
         }
@@ -836,7 +836,7 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
 
     let mut violations = Vec::new();
     for (i, d) in delivered.iter().enumerate() {
-        let got = *d.borrow();
+        let got = *d.lock().unwrap();
         if got != total {
             violations.push(format!(
                 "mcast: member {i} delivered {got} of {total} distinct messages"

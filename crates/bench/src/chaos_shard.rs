@@ -1,24 +1,28 @@
 //! C2 — the chaos soak for the sharded engine.
 //!
 //! The single-world soak ([`crate::chaos`]) exercises the full SNIPE
-//! protocol stack, whose drivers are `Rc`-webbed and therefore stay on
-//! [`World`](snipe_netsim::world::World). This soak exercises the
-//! *engine-level* contracts of [`ShardedWorld`] instead — mailbox
-//! routing, fault dispatch across regions, chaos determinism, bounded
-//! per-shard queues — with five `Send` workload shapes mirroring the
-//! originals: an acked transfer with retransmission, a go-back-N
-//! sequenced stream, an intra-region service migration, a gossip
-//! convergence mesh and a relayed multicast fan-out.
+//! protocol stack on the serial engine. This soak targets
+//! [`ShardedWorld`]: five bespoke `Send` workloads exercise the
+//! *engine-level* contracts — mailbox routing, fault dispatch across
+//! regions, chaos determinism, bounded per-shard queues — and, now
+//! that every service actor is a
+//! [`PortableActor`](snipe_netsim::actor::PortableActor), a sixth
+//! **full-protocol** workload runs the real stack (per-host daemons,
+//! RCDS replication, file transfer) on a multi-cluster
+//! [`ShardedSnipeWorld`] under the same chaos plans.
 //!
-//! Every run happens on a 1000-host campus (16 regions) with a small
-//! active cast, runs its seeded [`ChaosPlan`] to quiescence plus a
-//! recovery tail, and then asserts its invariants plus the per-shard
-//! boundedness oracle. Each run is also executed at two thread counts
-//! and must produce the same digest — a soak-shaped differential
-//! determinism check on top of the dedicated proptests.
+//! The engine-level runs happen on a 1000-host campus (16 regions)
+//! with a small active cast; the full-protocol run uses a 48-host
+//! campus (6 regions) because it installs the whole runtime on every
+//! host. Each run executes its seeded [`ChaosPlan`] to quiescence plus
+//! a recovery tail, asserts its invariants plus the per-shard
+//! boundedness oracle, and is doubled at a second thread count — the
+//! digests must match bit-for-bit.
 
 use bytes::Bytes;
 
+use snipe_core::api::TicketResult;
+use snipe_core::{ShardedSnipeWorld, SnipeApi, SnipeProcess, SnipeWorldBuilder, SpawnTarget};
 use snipe_netsim::actor::Event;
 use snipe_netsim::chaos::{ChaosBinding, ChaosPlan, ChaosShape};
 use snipe_netsim::shard::{ShardActor, ShardCtx, ShardedWorld};
@@ -591,6 +595,358 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64)
 }
 
 // ---------------------------------------------------------------------------
+// W6: the full SNIPE protocol stack (daemons + RCDS + files), sharded
+// ---------------------------------------------------------------------------
+// A 6-cluster campus (one region per cluster) runs the complete
+// runtime: a daemon on all 48 hosts, RC replicas on three cluster
+// heads, replicated file servers on two, a resource manager on one.
+// The workload crosses every subsystem *and* every region: a publisher
+// writes a file and registers a service, a daemon-spawned child calls
+// home across clusters, and three subscribers in other regions resolve
+// the service and fetch the file. All progress is judged from process
+// logs read back through `portable_ref` — no shared-memory side
+// channels — so the same milestones double as the engine-agnostic
+// application digest for the serial-vs-sharded differential tests.
+
+/// Clusters / hosts-per-cluster of the full-protocol campus.
+const FP_CLUSTERS: usize = 6;
+const FP_PER_CLUSTER: usize = 8;
+/// Hosts in the full-protocol world.
+pub const FP_HOSTS: usize = FP_CLUSTERS * FP_PER_CLUSTER;
+
+/// The published file and its content (fixed so every engine and
+/// thread count must log the same checksum).
+const FP_LIFN: &str = "lifn:soak/blob";
+
+fn fp_payload() -> Bytes {
+    let mut b = Vec::with_capacity(1024);
+    for i in 0..1024u32 {
+        b.push((i.wrapping_mul(2654435761) >> 24) as u8);
+    }
+    Bytes::from(b)
+}
+
+struct SoakPublisher {
+    published: bool,
+    spawned: bool,
+    child_ok: bool,
+    /// Registration is fire-and-forget soft state; re-announce on a
+    /// bounded schedule so a registration lost to chaos heals.
+    reg_left: u32,
+}
+
+impl SnipeProcess for SoakPublisher {
+    fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
+        api.register_service("soak.pub");
+        api.write_file(FP_LIFN, fp_payload());
+        api.set_timer(SimDuration::from_secs(2), 3);
+    }
+
+    fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _ticket: u64, result: TicketResult) {
+        match result {
+            TicketResult::FileWritten(Ok(())) => {
+                if !self.published {
+                    self.published = true;
+                    api.log(format!("published {:08x}", fnv(&fp_payload())));
+                }
+                if !self.spawned {
+                    let key = api.my_key();
+                    api.spawn(
+                        SpawnTarget::Host("c4h2".into()),
+                        "soak-echo",
+                        Bytes::copy_from_slice(&key.to_be_bytes()),
+                    );
+                }
+            }
+            TicketResult::FileWritten(Err(_)) => api.set_timer(SimDuration::from_millis(500), 1),
+            TicketResult::Spawned(Ok(_)) => {
+                if !self.spawned {
+                    self.spawned = true;
+                    api.log("spawn ok");
+                }
+            }
+            TicketResult::Spawned(Err(_)) => api.set_timer(SimDuration::from_millis(700), 2),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut SnipeApi<'_, '_>, token: u64) {
+        match token {
+            1 if !self.published => {
+                api.write_file(FP_LIFN, fp_payload());
+            }
+            2 if !self.spawned => {
+                let key = api.my_key();
+                api.spawn(
+                    SpawnTarget::Host("c4h2".into()),
+                    "soak-echo",
+                    Bytes::copy_from_slice(&key.to_be_bytes()),
+                );
+            }
+            3 if self.reg_left > 0 => {
+                self.reg_left -= 1;
+                api.register_service("soak.pub");
+                api.set_timer(SimDuration::from_secs(2), 3);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, _from: snipe_core::ProcRef, msg: Bytes) {
+        if msg.as_ref() == b"hello" && !self.child_ok {
+            self.child_ok = true;
+            api.log("child hello");
+        }
+    }
+}
+
+/// Daemon-spawned child: calls home across clusters until the send
+/// has had time to land (the publisher dedups).
+struct SoakEcho {
+    parent: u64,
+    tries: u32,
+}
+
+impl SoakEcho {
+    fn from_args(args: &Bytes) -> SoakEcho {
+        let parent = if args.len() >= 8 {
+            u64::from_be_bytes(args[..8].try_into().unwrap())
+        } else {
+            0
+        };
+        SoakEcho { parent, tries: 5 }
+    }
+}
+
+impl SnipeProcess for SoakEcho {
+    fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
+        api.send(self.parent, Bytes::from_static(b"hello"));
+        api.set_timer(SimDuration::from_secs(1), 1);
+    }
+
+    fn on_timer(&mut self, api: &mut SnipeApi<'_, '_>, _token: u64) {
+        if self.tries > 0 {
+            self.tries -= 1;
+            api.send(self.parent, Bytes::from_static(b"hello"));
+            api.set_timer(SimDuration::from_secs(1), 1);
+        }
+    }
+}
+
+struct SoakSubscriber {
+    fetched: bool,
+    svc_ok: bool,
+    /// Remaining periodic retry kicks. Requests can vanish without an
+    /// error ticket (e.g. during a partition), so progress is driven
+    /// by a bounded periodic timer, not by failure responses.
+    kicks_left: u32,
+}
+
+impl SnipeProcess for SoakSubscriber {
+    fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
+        api.set_timer(SimDuration::from_secs(1), 1);
+    }
+
+    fn on_timer(&mut self, api: &mut SnipeApi<'_, '_>, _token: u64) {
+        if !self.fetched {
+            api.read_file(FP_LIFN);
+        }
+        if !self.svc_ok {
+            api.lookup_service("soak.pub");
+        }
+        if !(self.fetched && self.svc_ok) && self.kicks_left > 0 {
+            self.kicks_left -= 1;
+            api.set_timer(SimDuration::from_secs(1), 1);
+        }
+    }
+
+    fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _ticket: u64, result: TicketResult) {
+        match result {
+            TicketResult::FileRead(Ok(content)) => {
+                if !self.fetched {
+                    self.fetched = true;
+                    api.log(format!("fetched {:08x}", fnv(&content)));
+                }
+            }
+            TicketResult::Service(Ok(refs)) if !refs.is_empty() => {
+                if !self.svc_ok {
+                    self.svc_ok = true;
+                    api.log("svc ok");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Root endpoints of the full-protocol cast.
+struct FpCast {
+    publisher: Endpoint,
+    subscribers: Vec<Endpoint>,
+}
+
+/// Register programs and bootstrap the cast — identical on either
+/// engine (the two world types share the `SnipeWorld` API surface).
+macro_rules! install_full_protocol {
+    ($w:expr) => {{
+        $w.register_process("soak-pub", |_| {
+            Box::new(SoakPublisher {
+                published: false,
+                spawned: false,
+                child_ok: false,
+                reg_left: 20,
+            })
+        });
+        $w.register_process("soak-echo", |args| Box::new(SoakEcho::from_args(&args)));
+        $w.register_process("soak-sub", |_| {
+            Box::new(SoakSubscriber { fetched: false, svc_ok: false, kicks_left: 45 })
+        });
+        let publisher = $w.spawn_on("c0h1", "soak-pub", Bytes::new()).expect("spawn pub").1;
+        let subscribers: Vec<Endpoint> = ["c3h1", "c4h1", "c5h1"]
+            .iter()
+            .map(|h| $w.spawn_on(h, "soak-sub", Bytes::new()).expect("spawn sub").1)
+            .collect();
+        FpCast { publisher, subscribers }
+    }};
+}
+
+/// The milestone lines every complete run must log, publisher first.
+fn fp_expected() -> (Vec<&'static str>, String) {
+    let fetched = format!("fetched {:08x}", fnv(&fp_payload()));
+    (vec!["published", "spawn ok", "child hello"], fetched)
+}
+
+/// Milestone check: log lines present on the publisher and every
+/// subscriber. `lines` come time-stripped from [`fp_app_lines`].
+fn fp_violations(lines: &[String]) -> Vec<String> {
+    let (pub_marks, fetched) = fp_expected();
+    let mut v = Vec::new();
+    for m in pub_marks {
+        if !lines.iter().any(|l| l.starts_with("pub:") && l.contains(m)) {
+            v.push(format!("shard-full-protocol: publisher never logged {m:?}"));
+        }
+    }
+    for i in 0..3 {
+        let tag = format!("sub{i}:");
+        if !lines.iter().any(|l| l.starts_with(&tag) && l.contains(&fetched)) {
+            v.push(format!(
+                "shard-full-protocol: subscriber {i} never fetched the published file"
+            ));
+        }
+        if !lines.iter().any(|l| l.starts_with(&tag) && l.contains("svc ok")) {
+            v.push(format!(
+                "shard-full-protocol: subscriber {i} never resolved the service"
+            ));
+        }
+    }
+    v
+}
+
+/// Time-stripped, labelled, sorted log lines of the cast — the
+/// engine-agnostic application digest.
+fn fp_app_lines(log_of: impl Fn(Endpoint) -> Vec<String>, cast: &FpCast) -> Vec<String> {
+    let mut lines: Vec<String> =
+        log_of(cast.publisher).into_iter().map(|l| format!("pub: {l}")).collect();
+    for (i, &ep) in cast.subscribers.iter().enumerate() {
+        lines.extend(log_of(ep).into_iter().map(|l| format!("sub{i}: {l}")));
+    }
+    lines.sort();
+    lines
+}
+
+fn fp_world(wseed: u64, threads: usize) -> (ShardedSnipeWorld, FpCast) {
+    let mut w =
+        SnipeWorldBuilder::campus(FP_CLUSTERS, FP_PER_CLUSTER, wseed).build_sharded(threads);
+    let cast = install_full_protocol!(w);
+    (w, cast)
+}
+
+fn fp_lines_sharded(w: &ShardedSnipeWorld, cast: &FpCast) -> Vec<String> {
+    fp_app_lines(
+        |ep| {
+            w.process_ref(ep)
+                .map(|p| p.log.iter().map(|(_, l)| l.clone()).collect())
+                .unwrap_or_default()
+        },
+        cast,
+    )
+}
+
+fn run_full_protocol(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    let (mut w, cast) = fp_world(wseed, threads);
+    // No host flaps: SNIPE processes exit on a host crash by contract,
+    // so the cast must stay up; packet and net chaos are in contract.
+    apply(w.sim(), plan, &[]);
+    let deadline = plan.quiesce_at() + RECOVERY_TAIL;
+    let step = SimDuration::from_millis(250);
+    let mut v = loop {
+        w.run_for(step);
+        if fp_violations(&fp_lines_sharded(&w, &cast)).is_empty() {
+            w.run_for(SimDuration::from_secs(1));
+            break Vec::new();
+        }
+        if w.now() >= deadline {
+            break fp_violations(&fp_lines_sharded(&w, &cast));
+        }
+    };
+    v.extend(bounded("shard-full-protocol", w.sim_ref()));
+    (v, w.sim_ref().digest())
+}
+
+/// Chaos-free full-protocol run on the sharded engine for a fixed
+/// virtual duration: returns the engine digest and the sorted
+/// application log lines. The `full-proto-digest` gate byte-compares
+/// this across thread counts; the differential tests compare the app
+/// lines against [`full_protocol_serial`].
+pub fn full_protocol_sharded(wseed: u64, threads: usize, secs: u64) -> (u64, Vec<String>) {
+    let (mut w, cast) = fp_world(wseed, threads);
+    w.run_for_secs(secs);
+    let lines = fp_lines_sharded(&w, &cast);
+    (w.digest(), lines)
+}
+
+/// The same workload, world layout and duration on the serial
+/// [`World`](snipe_netsim::world::World): returns the sorted
+/// application log lines. Engine digests are not comparable across
+/// engines (the serial world draws from one RNG stream, shards from
+/// per-region streams), but the application outcome must match.
+pub fn full_protocol_serial(wseed: u64, secs: u64) -> Vec<String> {
+    let mut w = SnipeWorldBuilder::campus(FP_CLUSTERS, FP_PER_CLUSTER, wseed).build();
+    let cast = install_full_protocol!(w);
+    w.run_for_secs(secs);
+    fp_app_lines(
+        |ep| {
+            w.process_ref(ep)
+                .map(|p| p.log.iter().map(|(_, l)| l.clone()).collect())
+                .unwrap_or_default()
+        },
+        &cast,
+    )
+}
+
+/// Debug hook: run `plan` against the full-protocol world and hand
+/// back the world plus `(publisher, subscribers)` endpoints so a
+/// failing pin can be dissected from a scratch binary.
+#[doc(hidden)]
+pub fn fp_debug_world(
+    wseed: u64,
+    threads: usize,
+    plan: &ChaosPlan,
+) -> (ShardedSnipeWorld, (Endpoint, Vec<Endpoint>)) {
+    let (mut w, cast) = fp_world(wseed, threads);
+    apply(w.sim(), plan, &[]);
+    let deadline = plan.quiesce_at() + RECOVERY_TAIL;
+    let step = SimDuration::from_millis(250);
+    loop {
+        w.run_for(step);
+        if fp_violations(&fp_lines_sharded(&w, &cast)).is_empty() || w.now() >= deadline {
+            break;
+        }
+    }
+    (w, (cast.publisher, cast.subscribers))
+}
+
+// ---------------------------------------------------------------------------
 // Soak plumbing
 // ---------------------------------------------------------------------------
 
@@ -641,7 +997,7 @@ fn bounded(label: &str, w: &ShardedWorld) -> Vec<String> {
     oracles::check_shard_bounded(label, w, MAX_RESIDUAL_EVENTS, MAX_PEAK_DEPTH, MAX_MAILBOX_BURST)
 }
 
-/// The five sharded-engine workloads.
+/// The six sharded-engine workloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShardWorkload {
     /// Acked transfer with blanket retransmission, cross-region.
@@ -654,15 +1010,18 @@ pub enum ShardWorkload {
     Gossip,
     /// Relayed multicast fan-out (duplication/reorder chaos only).
     Mcast,
+    /// The full SNIPE stack (daemons, RCDS, files, RM) on a campus.
+    FullProtocol,
 }
 
 /// Every workload, in soak order.
-pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 5] = [
+pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 6] = [
     ShardWorkload::Transfer,
     ShardWorkload::Stream,
     ShardWorkload::Migration,
     ShardWorkload::Gossip,
     ShardWorkload::Mcast,
+    ShardWorkload::FullProtocol,
 ];
 
 impl ShardWorkload {
@@ -674,6 +1033,7 @@ impl ShardWorkload {
             ShardWorkload::Migration => "shard-migration",
             ShardWorkload::Gossip => "shard-gossip",
             ShardWorkload::Mcast => "shard-mcast",
+            ShardWorkload::FullProtocol => "shard-full-protocol",
         }
     }
 
@@ -744,6 +1104,20 @@ impl ShardWorkload {
                 jitter_max: SimDuration::from_millis(15),
                 ..ChaosShape::default()
             },
+            // SNIPE processes exit when their host crashes (that is the
+            // paper's contract), so host flaps would kill the cast:
+            // only net partitions and per-packet chaos are in envelope.
+            ShardWorkload::FullProtocol => ChaosShape {
+                horizon: SimDuration::from_secs(4),
+                hosts: 0,
+                nets: 3,
+                ifaces: 0,
+                procs: 0,
+                max_ops: 4,
+                corrupt_max: 0.02,
+                jitter_max: SimDuration::from_millis(10),
+                ..ChaosShape::default()
+            },
         }
     }
 
@@ -756,6 +1130,7 @@ impl ShardWorkload {
             ShardWorkload::Migration => run_migration(plan, wseed, threads),
             ShardWorkload::Gossip => run_gossip(plan, wseed, threads),
             ShardWorkload::Mcast => run_mcast(plan, wseed, threads),
+            ShardWorkload::FullProtocol => run_full_protocol(plan, wseed, threads),
         }
     }
 }
@@ -827,7 +1202,13 @@ pub fn soak(seeds_per_workload: u64) -> Vec<ShardChaosRun> {
 /// and stream pins wedged until senders learned to re-arm their
 /// retransmit timers on [`Event::HostUp`] (a flap of the sending host
 /// swallows any timer queued while it was down — same failure family
-/// as the single-world corpus).
+/// as the single-world corpus). The full-protocol pin failed until RC
+/// anti-entropy learned to size its SyncPush batches to the path MTU:
+/// on a catalog busy with daemon soft-state churn, every count-only
+/// push exceeded 1500 bytes and was dropped `TooBig`, so replicas
+/// never converged and any client whose retries had failed over to a
+/// secondary replica could never resolve a service registered at the
+/// primary.
 pub const SHARD_REGRESSION_CORPUS: &[(ShardWorkload, u64, u64)] = &[
     (ShardWorkload::Transfer, 0xC0FF_EE00, 0x5EED),
     (ShardWorkload::Transfer, 0xC0FF_EE01, 0x5EED + 1),
@@ -837,6 +1218,7 @@ pub const SHARD_REGRESSION_CORPUS: &[(ShardWorkload, u64, u64)] = &[
     (ShardWorkload::Gossip, 0xC0FF_EE00, 0x5EED),
     (ShardWorkload::Mcast, 0xC0FF_EE00, 0x5EED),
     (ShardWorkload::Mcast, 0xC0FF_EE01, 0x5EED + 1),
+    (ShardWorkload::FullProtocol, 0xC0FF_EE00, 0x5EED),
 ];
 
 #[cfg(test)]

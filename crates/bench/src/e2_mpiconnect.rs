@@ -1,8 +1,7 @@
 //! E2 — §6.1: MPI Connect (SNIPE) vs PVMPI (PVM) point-to-point
 //! performance between two "MPPs" (two LAN sites over routable edges).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -32,21 +31,21 @@ struct Pinger {
     peer: u64,
     rounds: u32,
     msg_size: usize,
-    start: Rc<RefCell<Option<SimTime>>>,
-    done: Rc<RefCell<Option<SimTime>>>,
+    start: Arc<Mutex<Option<SimTime>>>,
+    done: Arc<Mutex<Option<SimTime>>>,
     remaining: u32,
 }
 
 impl MpiRank for Pinger {
     fn on_start(&mut self, api: &mut dyn MpiApi) {
         self.remaining = self.rounds;
-        *self.start.borrow_mut() = Some(api.now());
+        *self.start.lock().unwrap() = Some(api.now());
         api.send(self.peer, Bytes::from(vec![0u8; self.msg_size]));
     }
     fn on_recv(&mut self, api: &mut dyn MpiApi, _from: u64, _data: Bytes) {
         self.remaining -= 1;
         if self.remaining == 0 {
-            *self.done.borrow_mut() = Some(api.now());
+            *self.done.lock().unwrap() = Some(api.now());
         } else {
             api.send(self.peer, Bytes::from(vec![0u8; self.msg_size]));
         }
@@ -66,8 +65,8 @@ const ROUNDS: u32 = 40;
 /// Run the SNIPE-substrate (MPI Connect) side.
 pub fn run_snipe(msg_size: usize) -> E2Point {
     let mut w = SnipeWorldBuilder::two_site(2, 77).build();
-    let start = Rc::new(RefCell::new(None));
-    let done = Rc::new(RefCell::new(None));
+    let start = Arc::new(Mutex::new(None));
+    let done = Arc::new(Mutex::new(None));
     w.register_process("ponger", |_| Box::new(SnipeMpiProcess::new(Box::new(Ponger))));
     let (pong_key, _) = w.spawn_on("site1-host1", "ponger", Bytes::new()).unwrap();
     // Let the ponger register its location before timing starts (the
@@ -87,12 +86,12 @@ pub fn run_snipe(msg_size: usize) -> E2Point {
     w.spawn_on("site0-host1", "pinger", Bytes::new()).unwrap();
     for _ in 0..120 {
         w.run_for(SimDuration::from_millis(500));
-        if done.borrow().is_some() {
+        if done.lock().unwrap().is_some() {
             break;
         }
     }
-    let t0 = start.borrow().expect("started");
-    let t1 = done.borrow().expect("snipe e2 completed");
+    let t0 = start.lock().unwrap().expect("started");
+    let t1 = done.lock().unwrap().expect("snipe e2 completed");
     let elapsed = t1.since(t0).as_secs_f64();
     E2Point {
         system: "MPI Connect (SNIPE)",
@@ -126,8 +125,8 @@ pub fn run_pvmpi(msg_size: usize) -> E2Point {
         world.spawn(h, SLAVE_PORT, Box::new(PvmSlave::new(master_ep, registry.clone())));
     }
     world.run_for(SimDuration::from_millis(200));
-    let start = Rc::new(RefCell::new(None));
-    let done = Rc::new(RefCell::new(None));
+    let start = Arc::new(Mutex::new(None));
+    let done = Arc::new(Mutex::new(None));
     let pong = PvmpiRankActor::build(2, master_ep, Box::new(Ponger));
     world.spawn(hosts[3], 300, Box::new(pong));
     world.run_for(SimDuration::from_millis(100));
@@ -146,12 +145,12 @@ pub fn run_pvmpi(msg_size: usize) -> E2Point {
     world.spawn(hosts[1], 300, Box::new(ping));
     for _ in 0..120 {
         world.run_for(SimDuration::from_millis(500));
-        if done.borrow().is_some() {
+        if done.lock().unwrap().is_some() {
             break;
         }
     }
-    let t0 = start.borrow().expect("started");
-    let t1 = done.borrow().expect("pvmpi e2 completed");
+    let t0 = start.lock().unwrap().expect("started");
+    let t1 = done.lock().unwrap().expect("pvmpi e2 completed");
     let elapsed = t1.since(t0).as_secs_f64();
     E2Point {
         system: "PVMPI (PVM)",

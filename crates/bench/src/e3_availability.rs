@@ -7,8 +7,7 @@
 //! following exponential processes. We report the fraction of lookups
 //! answered, versus the replica count k.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use snipe_netsim::actor::{Actor, Ctx, Event};
 use snipe_netsim::fault::{schedule_host_failures, FailureModel};
@@ -42,8 +41,8 @@ struct LookupLoad {
     rc: RcClient,
     interval: SimDuration,
     uri: Uri,
-    issued: Rc<RefCell<u64>>,
-    answered: Rc<RefCell<u64>>,
+    issued: Arc<Mutex<u64>>,
+    answered: Arc<Mutex<u64>>,
     seeded: bool,
 }
 
@@ -57,7 +56,7 @@ impl LookupLoad {
                 if !self.seeded {
                     self.seeded = true; // the initial put
                 } else if !reply.assertions.is_empty() {
-                    *self.answered.borrow_mut() += 1;
+                    *self.answered.lock().unwrap() += 1;
                 }
             }
         }
@@ -80,7 +79,7 @@ impl Actor for LookupLoad {
             Event::Timer { token: TIMER_TICK } => {
                 let now = ctx.now();
                 self.rc.get(now, &self.uri);
-                *self.issued.borrow_mut() += 1;
+                *self.issued.lock().unwrap() += 1;
                 self.flush(ctx);
                 ctx.set_timer(self.interval, TIMER_TICK);
             }
@@ -136,8 +135,8 @@ pub fn run(replicas: usize, horizon_days: u64, seed: u64) -> E3Point {
     for &h in &rc_hosts {
         schedule_host_failures(&mut world, h, model, horizon, &mut frng);
     }
-    let issued = Rc::new(RefCell::new(0u64));
-    let answered = Rc::new(RefCell::new(0u64));
+    let issued = Arc::new(Mutex::new(0u64));
+    let answered = Arc::new(Mutex::new(0u64));
     let load = LookupLoad {
         rc: RcClient::new(eps, SimDuration::from_millis(300)),
         interval: SimDuration::from_secs(600),
@@ -148,8 +147,8 @@ pub fn run(replicas: usize, horizon_days: u64, seed: u64) -> E3Point {
     };
     world.spawn(client, 50, Box::new(load));
     world.run_until(horizon);
-    let i = *issued.borrow();
-    let a = *answered.borrow();
+    let i = *issued.lock().unwrap();
+    let a = *answered.lock().unwrap();
     E3Point {
         replicas,
         availability: if i == 0 { 0.0 } else { a as f64 / i as f64 },

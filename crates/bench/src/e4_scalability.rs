@@ -8,8 +8,7 @@
 //! master's service queue; the SNIPE path spawns through independent
 //! per-host daemons.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -45,27 +44,27 @@ impl SnipeProcess for Idle {
 }
 
 struct Coordinator {
-    n: usize,
+    hosts: Vec<String>,
     confirmed: usize,
-    done: Rc<RefCell<Option<SimTime>>>,
-    failed: Rc<RefCell<bool>>,
+    done: Arc<Mutex<Option<SimTime>>>,
+    failed: Arc<Mutex<bool>>,
 }
 
 impl SnipeProcess for Coordinator {
     fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
-        for i in 0..self.n {
-            api.spawn(SpawnTarget::Host(format!("host{i}")), "idle", Bytes::new());
+        for h in &self.hosts {
+            api.spawn(SpawnTarget::Host(h.clone()), "idle", Bytes::new());
         }
     }
     fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _ticket: u64, result: TicketResult) {
         match result {
             TicketResult::Spawned(Ok(_)) => {
                 self.confirmed += 1;
-                if self.confirmed == self.n {
-                    *self.done.borrow_mut() = Some(api.now());
+                if self.confirmed == self.hosts.len() {
+                    *self.done.lock().unwrap() = Some(api.now());
                 }
             }
-            TicketResult::Spawned(Err(_)) => *self.failed.borrow_mut() = true,
+            TicketResult::Spawned(Err(_)) => *self.failed.lock().unwrap() = true,
             _ => {}
         }
     }
@@ -75,21 +74,27 @@ impl SnipeProcess for Coordinator {
 pub fn run_snipe(n: usize, seed: u64) -> E4Point {
     let mut w = SnipeWorldBuilder::lan(n, seed).build();
     w.register_process("idle", |_| Box::new(Idle));
-    let done = Rc::new(RefCell::new(None));
-    let failed = Rc::new(RefCell::new(false));
+    let done = Arc::new(Mutex::new(None));
+    let failed = Arc::new(Mutex::new(false));
     let (d, f) = (done.clone(), failed.clone());
+    let hosts: Vec<String> = (0..n).map(|i| format!("host{i}")).collect();
     w.register_process("coord", move |_| {
-        Box::new(Coordinator { n, confirmed: 0, done: d.clone(), failed: f.clone() })
+        Box::new(Coordinator {
+            hosts: hosts.clone(),
+            confirmed: 0,
+            done: d.clone(),
+            failed: f.clone(),
+        })
     });
     let t0 = w.now();
     w.spawn_on("host0", "coord", Bytes::new()).unwrap();
     for _ in 0..240 {
         w.run_for(SimDuration::from_millis(500));
-        if done.borrow().is_some() || *failed.borrow() {
+        if done.lock().unwrap().is_some() || *failed.lock().unwrap() {
             break;
         }
     }
-    let result = *done.borrow();
+    let result = *done.lock().unwrap();
     match result {
         Some(t) => E4Point {
             system: "SNIPE",
@@ -98,6 +103,85 @@ pub fn run_snipe(n: usize, seed: u64) -> E4Point {
             complete: true,
         },
         None => E4Point { system: "SNIPE", hosts: n, elapsed: f64::NAN, complete: false },
+    }
+}
+
+// --- SNIPE on the sharded engine -------------------------------------------
+
+/// One measured row of the sharded-engine scalability run.
+#[derive(Clone, Debug)]
+pub struct E4ShardPoint {
+    /// Worker threads driving the sharded engine.
+    pub threads: usize,
+    /// Host count (== clusters × per-cluster == task count).
+    pub hosts: usize,
+    /// Virtual seconds from first request to all tasks confirmed
+    /// (must be thread-count invariant).
+    pub elapsed: f64,
+    /// Wall-clock milliseconds for the whole run (the quantity that
+    /// should shrink with threads).
+    pub wall_ms: f64,
+    /// Engine digest (must be thread-count invariant).
+    pub digest: u64,
+    /// Whether every spawn succeeded.
+    pub complete: bool,
+}
+
+/// The same one-task-per-host burst, but on a multi-cluster campus
+/// hosted by the sharded engine: the coordinator in cluster 0 spawns
+/// through every per-host daemon while regions execute in parallel.
+pub fn run_snipe_sharded(
+    clusters: usize,
+    per_cluster: usize,
+    seed: u64,
+    threads: usize,
+) -> E4ShardPoint {
+    let wall = std::time::Instant::now();
+    let mut w = SnipeWorldBuilder::campus(clusters, per_cluster, seed).build_sharded(threads);
+    w.register_process("idle", |_| Box::new(Idle));
+    let done = Arc::new(Mutex::new(None));
+    let failed = Arc::new(Mutex::new(false));
+    let (d, f) = (done.clone(), failed.clone());
+    let hosts: Vec<String> = (0..clusters)
+        .flat_map(|c| (0..per_cluster).map(move |i| format!("c{c}h{i}")))
+        .collect();
+    let n = hosts.len();
+    w.register_process("coord", move |_| {
+        Box::new(Coordinator {
+            hosts: hosts.clone(),
+            confirmed: 0,
+            done: d.clone(),
+            failed: f.clone(),
+        })
+    });
+    let t0 = w.now();
+    w.spawn_on("c0h1", "coord", Bytes::new()).unwrap();
+    for _ in 0..240 {
+        w.run_for(SimDuration::from_millis(500));
+        if done.lock().unwrap().is_some() || *failed.lock().unwrap() {
+            break;
+        }
+    }
+    let digest = w.digest();
+    let result = *done.lock().unwrap();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    match result {
+        Some(t) => E4ShardPoint {
+            threads,
+            hosts: n,
+            elapsed: t.since(t0).as_secs_f64(),
+            wall_ms,
+            digest,
+            complete: true,
+        },
+        None => E4ShardPoint {
+            threads,
+            hosts: n,
+            elapsed: f64::NAN,
+            wall_ms,
+            digest,
+            complete: false,
+        },
     }
 }
 
@@ -111,7 +195,7 @@ impl PvmTask for PvmIdle {
 struct PvmCoordinator {
     n: usize,
     confirmed: usize,
-    done: Rc<RefCell<Option<SimTime>>>,
+    done: Arc<Mutex<Option<SimTime>>>,
 }
 
 impl PvmTask for PvmCoordinator {
@@ -124,7 +208,7 @@ impl PvmTask for PvmCoordinator {
         if ok {
             self.confirmed += 1;
             if self.confirmed == self.n {
-                *self.done.borrow_mut() = Some(api.now());
+                *self.done.lock().unwrap() = Some(api.now());
             }
         }
     }
@@ -154,7 +238,7 @@ pub fn run_pvm(n: usize, seed: u64) -> E4Point {
     // The enrolment phase (host-table churn) is part of what limits
     // PVM, but for comparability we start timing at the spawn burst.
     world.run_for(SimDuration::from_secs(5));
-    let done = Rc::new(RefCell::new(None));
+    let done = Arc::new(Mutex::new(None));
     let coord = PvmTaskActor::new(
         99_999,
         master_ep,
@@ -164,11 +248,11 @@ pub fn run_pvm(n: usize, seed: u64) -> E4Point {
     world.spawn(hosts[0], 700, Box::new(coord));
     for _ in 0..240 {
         world.run_for(SimDuration::from_millis(500));
-        if done.borrow().is_some() {
+        if done.lock().unwrap().is_some() {
             break;
         }
     }
-    let result = *done.borrow();
+    let result = *done.lock().unwrap();
     match result {
         Some(t) => E4Point {
             system: "PVM",
@@ -183,6 +267,15 @@ pub fn run_pvm(n: usize, seed: u64) -> E4Point {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_burst_completes_and_is_thread_invariant() {
+        let a = run_snipe_sharded(2, 4, 7, 1);
+        let b = run_snipe_sharded(2, 4, 7, 2);
+        assert!(a.complete && b.complete, "{a:?} {b:?}");
+        assert_eq!(a.digest, b.digest, "digest must not depend on thread count");
+        assert_eq!(a.elapsed, b.elapsed, "virtual completion must not depend on thread count");
+    }
 
     #[test]
     fn snipe_scales_better_than_pvm() {

@@ -5,8 +5,7 @@
 //! worker migrates between hosts. We measure messages lost (must be 0),
 //! FIFO violations (must be 0) and the delivery stall around the move.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -30,8 +29,8 @@ pub struct E5Point {
 }
 
 pub(crate) struct Worker {
-    pub(crate) deliveries: Rc<RefCell<Vec<(SimTime, u32)>>>,
-    pub(crate) migrated_at: Rc<RefCell<Option<SimTime>>>,
+    pub(crate) deliveries: Arc<Mutex<Vec<(SimTime, u32)>>>,
+    pub(crate) migrated_at: Arc<Mutex<Option<SimTime>>>,
     pub(crate) move_after: SimDuration,
     pub(crate) target: String,
 }
@@ -44,14 +43,14 @@ impl SnipeProcess for Worker {
         api.migrate_to(self.target.clone());
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
-        *self.migrated_at.borrow_mut() = Some(api.now());
+        *self.migrated_at.lock().unwrap() = Some(api.now());
     }
     fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, _from: ProcRef, msg: Bytes) {
         // Under chaos a peer could hand us a runt; never slice past it.
         let Some(head) = msg.get(..4) else { return };
         let mut b = [0u8; 4];
         b.copy_from_slice(head);
-        self.deliveries.borrow_mut().push((api.now(), u32::from_be_bytes(b)));
+        self.deliveries.lock().unwrap().push((api.now(), u32::from_be_bytes(b)));
     }
     // Worker state rides along: the delivery log lives outside (test
     // instrumentation), so nothing to checkpoint.
@@ -82,8 +81,8 @@ impl SnipeProcess for Streamer {
 /// Run the migration drill.
 pub fn run(total_msgs: u32, seed: u64) -> E5Point {
     let mut w = SnipeWorldBuilder::lan(4, seed).build();
-    let deliveries = Rc::new(RefCell::new(Vec::new()));
-    let migrated_at = Rc::new(RefCell::new(None));
+    let deliveries = Arc::new(Mutex::new(Vec::new()));
+    let migrated_at = Arc::new(Mutex::new(None));
     let (dl, ma) = (deliveries.clone(), migrated_at.clone());
     w.register_process("worker", move |_| {
         Box::new(Worker {
@@ -104,7 +103,7 @@ pub fn run(total_msgs: u32, seed: u64) -> E5Point {
     });
     w.spawn_on("host2", "streamer", Bytes::new()).unwrap();
     w.run_for_secs(5 + (total_msgs as u64 / 20));
-    let log = deliveries.borrow();
+    let log = deliveries.lock().unwrap();
     let mut out_of_order = 0;
     let mut max_gap = 0.0f64;
     for pair in log.windows(2) {
@@ -114,7 +113,7 @@ pub fn run(total_msgs: u32, seed: u64) -> E5Point {
         let gap = pair[1].0.since(pair[0].0).as_secs_f64();
         max_gap = max_gap.max(gap);
     }
-    let migrated = *migrated_at.borrow();
+    let migrated = *migrated_at.lock().unwrap();
     let received = log.len() as u32;
     drop(log);
     E5Point {

@@ -3,8 +3,7 @@
 //! fully peered — so killing any minority of routers mid-stream must
 //! not lose a single group message.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -56,8 +55,8 @@ impl Actor for RouterActor {
 
 struct MemberActor {
     dedup: McastMember,
-    delivered: Rc<RefCell<u32>>,
-    duplicates: Rc<RefCell<u64>>,
+    delivered: Arc<Mutex<u32>>,
+    duplicates: Arc<Mutex<u64>>,
 }
 
 impl Actor for MemberActor {
@@ -69,9 +68,9 @@ impl Actor for MemberActor {
                 return;
             };
             if self.dedup.accept(group, origin, seq, payload).is_some() {
-                *self.delivered.borrow_mut() += 1;
+                *self.delivered.lock().unwrap() += 1;
             } else {
-                *self.duplicates.borrow_mut() += 1;
+                *self.duplicates.lock().unwrap() += 1;
             }
         }
     }
@@ -155,9 +154,9 @@ pub fn run(routers: usize, members: usize, kill: usize, total: u32, seed: u64) -
         world.spawn(h, 5, Box::new(RouterActor { state }));
     }
     let mut delivered_counters = Vec::new();
-    let duplicates = Rc::new(RefCell::new(0u64));
+    let duplicates = Arc::new(Mutex::new(0u64));
     for &h in &member_hosts {
-        let d = Rc::new(RefCell::new(0u32));
+        let d = Arc::new(Mutex::new(0u32));
         delivered_counters.push(d.clone());
         world.spawn(
             h,
@@ -187,10 +186,10 @@ pub fn run(routers: usize, members: usize, kill: usize, total: u32, seed: u64) -
     world.run_for(SimDuration::from_millis(5) * total as u64 + SimDuration::from_secs(2));
     let min_delivered = delivered_counters
         .iter()
-        .map(|c| *c.borrow())
+        .map(|c| *c.lock().unwrap())
         .min()
         .unwrap_or(0);
-    let dups = *duplicates.borrow();
+    let dups = *duplicates.lock().unwrap();
     E6Point { routers, killed: kill, sent: total, min_delivered, duplicates: dups }
 }
 

@@ -8,8 +8,7 @@
 //! must rotate to Ethernet and complete the transfer with no
 //! application involvement.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
@@ -47,8 +46,8 @@ pub fn run(total: usize, seed: u64) -> E7Point {
         topo.attach(h, atm);
     }
     let mut world = World::new(topo, seed);
-    let received = Rc::new(RefCell::new(0usize));
-    let done_at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    let received = Arc::new(Mutex::new(0usize));
+    let done_at: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
     let mut cfg = StackConfig::default();
     cfg.srudp.rto_initial = SimDuration::from_millis(20);
     world.spawn(
@@ -81,14 +80,14 @@ pub fn run(total: usize, seed: u64) -> E7Point {
     world.schedule_fn(fault_at, move |w| w.set_net_loss(atm, Some(1.0)));
     for _ in 0..300 {
         world.run_for(SimDuration::from_millis(100));
-        if done_at.borrow().is_some() {
+        if done_at.lock().unwrap().is_some() {
             break;
         }
     }
-    let elapsed = done_at.borrow().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
+    let elapsed = done_at.lock().unwrap().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN);
     // Failovers happened iff bytes flowed on Ethernet after the fault.
     let eth_bytes = world.stats().bytes_on(eth);
-    let delivered = *received.borrow();
+    let delivered = *received.lock().unwrap();
     E7Point {
         total,
         delivered,

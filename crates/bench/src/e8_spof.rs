@@ -3,8 +3,7 @@
 //! against a 2-replica RC service and against a PVM master; midway the
 //! preferred server dies. SNIPE fails over; PVM goes dark.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use snipe_netsim::actor::{Actor, Ctx, Event};
 use snipe_netsim::medium::Medium;
@@ -56,8 +55,8 @@ struct SnipeLoad {
     uri: Uri,
     kill_at: SimTime,
     stop_at: SimTime,
-    issued: Rc<RefCell<(u64, u64)>>,
-    answered: Rc<RefCell<(u64, u64)>>,
+    issued: Arc<Mutex<(u64, u64)>>,
+    answered: Arc<Mutex<(u64, u64)>>,
     pending_epoch: std::collections::HashMap<u64, bool>,
     seeded: bool,
 }
@@ -74,7 +73,7 @@ impl SnipeLoad {
             }
             let after = self.pending_epoch.remove(&id).unwrap_or(false);
             if result.is_ok_and(|r| !r.assertions.is_empty()) {
-                let mut a = self.answered.borrow_mut();
+                let mut a = self.answered.lock().unwrap();
                 if after {
                     a.1 += 1;
                 } else {
@@ -106,7 +105,7 @@ impl Actor for SnipeLoad {
                 let after = now >= self.kill_at;
                 let id = self.rc.get(now, &self.uri);
                 self.pending_epoch.insert(id, after);
-                let mut i = self.issued.borrow_mut();
+                let mut i = self.issued.lock().unwrap();
                 if after {
                     i.1 += 1;
                 } else {
@@ -147,8 +146,8 @@ pub fn run_snipe(seed: u64) -> E8Point {
     world.spawn(r1, ports::RC_SERVER, Box::new(RcServerActor::new(2, vec![eps[0]], SimDuration::from_millis(200))));
     let kill_at = SimTime::ZERO + SimDuration::from_secs(5);
     world.schedule_fn(kill_at, move |w| w.host_down(r0));
-    let issued = Rc::new(RefCell::new((0u64, 0u64)));
-    let answered = Rc::new(RefCell::new((0u64, 0u64)));
+    let issued = Arc::new(Mutex::new((0u64, 0u64)));
+    let answered = Arc::new(Mutex::new((0u64, 0u64)));
     let load = SnipeLoad {
         rc: RcClient::new(eps, SimDuration::from_millis(200)),
         uri: Uri::process(3),
@@ -161,16 +160,16 @@ pub fn run_snipe(seed: u64) -> E8Point {
     };
     world.spawn(c, 50, Box::new(load));
     world.run_for(SimDuration::from_secs(13));
-    let i = *issued.borrow();
-    let a = *answered.borrow();
+    let i = *issued.lock().unwrap();
+    let a = *answered.lock().unwrap();
     E8Point { system: "SNIPE (2 RC replicas)", ops_before: i.0, ok_before: a.0, ops_after: i.1, ok_after: a.1 }
 }
 
 struct PvmLoad {
     master: Endpoint,
     kill_at: SimTime,
-    issued: Rc<RefCell<(u64, u64)>>,
-    answered: Rc<RefCell<(u64, u64)>>,
+    issued: Arc<Mutex<(u64, u64)>>,
+    answered: Arc<Mutex<(u64, u64)>>,
     pending_epoch: std::collections::HashMap<u64, bool>,
     next_req: u64,
 }
@@ -191,7 +190,7 @@ impl Actor for PvmLoad {
                 let req = self.next_req;
                 self.next_req += 1;
                 self.pending_epoch.insert(req, after);
-                let mut i = self.issued.borrow_mut();
+                let mut i = self.issued.lock().unwrap();
                 if after {
                     i.1 += 1;
                 } else {
@@ -210,7 +209,7 @@ impl Actor for PvmLoad {
                 };
                 if ok {
                     if let Some(after) = self.pending_epoch.remove(&req_id) {
-                        let mut a = self.answered.borrow_mut();
+                        let mut a = self.answered.lock().unwrap();
                         if after {
                             a.1 += 1;
                         } else {
@@ -238,8 +237,8 @@ pub fn run_pvm(seed: u64) -> E8Point {
     world.spawn(m, MASTER_PORT, Box::new(PvmMaster::new()));
     let kill_at = SimTime::ZERO + SimDuration::from_secs(5);
     world.schedule_fn(kill_at, move |w| w.host_down(m));
-    let issued = Rc::new(RefCell::new((0u64, 0u64)));
-    let answered = Rc::new(RefCell::new((0u64, 0u64)));
+    let issued = Arc::new(Mutex::new((0u64, 0u64)));
+    let answered = Arc::new(Mutex::new((0u64, 0u64)));
     let load = PvmLoad {
         master: master_ep,
         kill_at,
@@ -250,8 +249,8 @@ pub fn run_pvm(seed: u64) -> E8Point {
     };
     world.spawn(c, 50, Box::new(load));
     world.run_for(SimDuration::from_secs(10));
-    let i = *issued.borrow();
-    let a = *answered.borrow();
+    let i = *issued.lock().unwrap();
+    let a = *answered.lock().unwrap();
     E8Point { system: "PVM (single master)", ops_before: i.0, ok_before: a.0, ops_after: i.1, ok_after: a.1 }
 }
 

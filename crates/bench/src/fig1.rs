@@ -7,8 +7,7 @@
 //! simulated second, exactly the quantity the paper plots against
 //! message size for 100 Mbit Ethernet and 155 Mbit ATM.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
@@ -153,8 +152,8 @@ impl Actor for SrudpSender {
 
 pub(crate) struct SrudpReceiver {
     pub(crate) stack: Option<WireStack>,
-    pub(crate) received: Rc<RefCell<usize>>,
-    pub(crate) done_at: Rc<RefCell<Option<SimTime>>>,
+    pub(crate) received: Arc<Mutex<usize>>,
+    pub(crate) done_at: Arc<Mutex<Option<SimTime>>>,
     pub(crate) expect: usize,
     pub(crate) cfg: StackConfig,
     /// Ranked routes to pin toward senders (multi-path, E7).
@@ -187,10 +186,10 @@ impl Actor for SrudpReceiver {
                 let mut got = 0;
                 flush_wire(stack, &mut self.gate, ctx, &mut got);
                 if got > 0 {
-                    let mut r = self.received.borrow_mut();
+                    let mut r = self.received.lock().unwrap();
                     *r += got;
-                    if *r >= self.expect && self.done_at.borrow().is_none() {
-                        *self.done_at.borrow_mut() = Some(ctx.now());
+                    if *r >= self.expect && self.done_at.lock().unwrap().is_none() {
+                        *self.done_at.lock().unwrap() = Some(ctx.now());
                     }
                 }
             }
@@ -203,10 +202,10 @@ impl Actor for SrudpReceiver {
                     let mut got = 0;
                     flush_wire(s, &mut self.gate, ctx, &mut got);
                     if got > 0 {
-                        let mut r = self.received.borrow_mut();
+                        let mut r = self.received.lock().unwrap();
                         *r += got;
-                        if *r >= self.expect && self.done_at.borrow().is_none() {
-                            *self.done_at.borrow_mut() = Some(ctx.now());
+                        if *r >= self.expect && self.done_at.lock().unwrap().is_none() {
+                            *self.done_at.lock().unwrap() = Some(ctx.now());
                         }
                     }
                 }
@@ -291,8 +290,8 @@ impl Actor for RstreamSender {
 pub(crate) struct RstreamReceiver {
     pub(crate) stack: Option<WireStack>,
     pub(crate) cfg: RstreamConfig,
-    pub(crate) received: Rc<RefCell<usize>>,
-    pub(crate) done_at: Rc<RefCell<Option<SimTime>>>,
+    pub(crate) received: Arc<Mutex<usize>>,
+    pub(crate) done_at: Arc<Mutex<Option<SimTime>>>,
     pub(crate) expect: usize,
     pub(crate) gate: TimerGate,
 }
@@ -303,10 +302,10 @@ impl RstreamReceiver {
         let mut got = 0;
         flush_wire(stack, &mut self.gate, ctx, &mut got);
         if got > 0 {
-            let mut r = self.received.borrow_mut();
+            let mut r = self.received.lock().unwrap();
             *r += got;
-            if *r >= self.expect && self.done_at.borrow().is_none() {
-                *self.done_at.borrow_mut() = Some(ctx.now());
+            if *r >= self.expect && self.done_at.lock().unwrap().is_none() {
+                *self.done_at.lock().unwrap() = Some(ctx.now());
             }
         }
     }
@@ -406,8 +405,8 @@ impl Actor for McastRouterHost {
 
 struct McastMemberHost {
     stack: Option<WireStack>,
-    received: Rc<RefCell<usize>>,
-    done_at: Rc<RefCell<Option<SimTime>>>,
+    received: Arc<Mutex<usize>>,
+    done_at: Arc<Mutex<Option<SimTime>>>,
     expect: usize,
     gate: TimerGate,
 }
@@ -427,10 +426,10 @@ impl McastMemberHost {
                     let Ok(McastMsg::Data { payload, .. }) = McastMsg::decode(msg) else {
                         continue;
                     };
-                    let mut r = self.received.borrow_mut();
+                    let mut r = self.received.lock().unwrap();
                     *r += payload.len();
-                    if *r >= self.expect && self.done_at.borrow().is_none() {
-                        *self.done_at.borrow_mut() = Some(ctx.now());
+                    if *r >= self.expect && self.done_at.lock().unwrap().is_none() {
+                        *self.done_at.lock().unwrap() = Some(ctx.now());
                     }
                 }
                 Out::Wake { .. } => {}
@@ -497,8 +496,8 @@ pub fn measure(medium: Medium, protocol: Protocol, msg_size: usize) -> Option<Fi
     }
     let mut world = World::new(topo, 99);
     let total = total_for(msg_size);
-    let received = Rc::new(RefCell::new(0usize));
-    let done_at = Rc::new(RefCell::new(None));
+    let received = Arc::new(Mutex::new(0usize));
+    let done_at = Arc::new(Mutex::new(None));
     match protocol {
         Protocol::Srudp => {
             world.spawn(
@@ -594,11 +593,11 @@ pub fn measure(medium: Medium, protocol: Protocol, msg_size: usize) -> Option<Fi
     // Run until done (bounded).
     for _ in 0..600 {
         world.run_for(SimDuration::from_millis(100));
-        if done_at.borrow().is_some() {
+        if done_at.lock().unwrap().is_some() {
             break;
         }
     }
-    let t = (*done_at.borrow())?;
+    let t = (*done_at.lock().unwrap())?;
     let secs = t.as_secs_f64();
     if secs <= 0.0 {
         return None;
@@ -626,8 +625,8 @@ pub fn measure_debug(medium: Medium, protocol: Protocol, msg_size: usize) {
     }
     let mut world = World::new(topo, 99);
     let total = total_for(msg_size);
-    let received = Rc::new(RefCell::new(0usize));
-    let done_at = Rc::new(RefCell::new(None));
+    let received = Arc::new(Mutex::new(0usize));
+    let done_at = Arc::new(Mutex::new(None));
     assert_eq!(protocol, Protocol::Srudp);
     world.spawn(
         b,
@@ -662,12 +661,12 @@ pub fn measure_debug(medium: Medium, protocol: Protocol, msg_size: usize) {
         eprintln!(
             "iter {i}: wall {:?} received {} / {} events {}",
             t0.elapsed(),
-            *received.borrow(),
+            *received.lock().unwrap(),
             total,
             world.stats().events
         );
-        if done_at.borrow().is_some() {
-            eprintln!("DONE at {:?}", *done_at.borrow());
+        if done_at.lock().unwrap().is_some() {
+            eprintln!("DONE at {:?}", *done_at.lock().unwrap());
             break;
         }
     }

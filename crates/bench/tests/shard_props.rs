@@ -10,7 +10,7 @@
 //! taxonomies, chaos counters and per-shard clocks).
 
 use proptest::{prop_assert_eq, proptest};
-use snipe_bench::shard_storm;
+use snipe_bench::{chaos_shard, shard_storm};
 use snipe_netsim::shard::FaultCmd;
 use snipe_util::id::HostId;
 use snipe_util::time::{SimDuration, SimTime};
@@ -55,3 +55,32 @@ fn pinned_digest_run_stays_stable() {
 }
 
 const PINNED_DIGEST: u64 = 0x9493_0970_f057_78f1;
+
+/// The full protocol stack (daemons, RCDS, replicated files, RM) on a
+/// 6-cluster campus must also be a pure function of the world: same
+/// engine digest and same application log at every thread count.
+#[test]
+fn full_protocol_digest_is_thread_count_invariant() {
+    let (d1, l1) = chaos_shard::full_protocol_sharded(42, 1, 20);
+    assert!(
+        !l1.is_empty(),
+        "full-protocol run produced no application log lines — workload broken"
+    );
+    for threads in [2usize, 4, 8] {
+        let (dt, lt) = chaos_shard::full_protocol_sharded(42, threads, 20);
+        assert_eq!(d1, dt, "full-protocol digest diverged at {threads} threads");
+        assert_eq!(l1, lt, "full-protocol app log diverged at {threads} threads");
+    }
+}
+
+/// The same workload on the serial [`World`] must reach the same
+/// application outcome (milestone log lines) as the sharded engine.
+/// Engine digests are incomparable across engines — the serial world
+/// draws from one global RNG stream, shards from per-region streams —
+/// so the differential is judged at the SNIPE-process level.
+#[test]
+fn full_protocol_serial_matches_sharded_app_log() {
+    let serial = chaos_shard::full_protocol_serial(42, 20);
+    let (_, sharded) = chaos_shard::full_protocol_sharded(42, 1, 20);
+    assert_eq!(serial, sharded, "serial vs sharded full-protocol app log diverged");
+}

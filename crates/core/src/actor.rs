@@ -11,7 +11,8 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx, TimerGate};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_netsim::trace::{self, MigrationPhase, TraceKind};
 use snipe_rcds::assertion::Assertion;
@@ -256,7 +257,7 @@ impl ProcessActor {
 
     fn with_process(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn SimCtx,
         f: impl FnOnce(&mut dyn SnipeProcess, &mut SnipeApi<'_, '_>),
     ) {
         if self.exited {
@@ -277,7 +278,7 @@ impl ProcessActor {
         f(process.as_mut(), &mut api);
     }
 
-    fn complete_ticket(&mut self, ctx: &mut Ctx<'_>, ticket: u64, result: TicketResult) {
+    fn complete_ticket(&mut self, ctx: &mut dyn SimCtx, ticket: u64, result: TicketResult) {
         self.with_process(ctx, |p, api| p.on_ticket(api, ticket, result));
     }
 
@@ -292,7 +293,7 @@ impl ProcessActor {
         c
     }
 
-    fn flush_stack(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_stack(&mut self, ctx: &mut dyn SimCtx) {
         let Some(stack) = self.stack.as_mut() else { return };
         let outs = stack.drain();
         let mut delivered = Vec::new();
@@ -320,7 +321,7 @@ impl ProcessActor {
         }
     }
 
-    fn on_reliable(&mut self, ctx: &mut Ctx<'_>, from_key: u64, from_ep: Endpoint, msg: Bytes) {
+    fn on_reliable(&mut self, ctx: &mut dyn SimCtx, from_key: u64, from_ep: Endpoint, msg: Bytes) {
         // Infrastructure peers (bit 63 set) speak their own protocols.
         if from_key & (1 << 63) != 0 {
             if let Ok(fmsg) = FileMsg::decode_from_bytes(msg) {
@@ -352,7 +353,7 @@ impl ProcessActor {
 
     // ---- RC ----------------------------------------------------------------
 
-    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_rc(&mut self, ctx: &mut dyn SimCtx) {
         for (to, bytes) in self.rc.drain_sends() {
             ctx.send(to, seal(Proto::Raw, bytes));
         }
@@ -367,7 +368,7 @@ impl ProcessActor {
 
     fn on_rc_done(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn SimCtx,
         id: u64,
         result: SnipeResult<snipe_rcds::client::RcReply>,
     ) {
@@ -489,7 +490,7 @@ impl ProcessActor {
         }
     }
 
-    fn publish_location(&mut self, ctx: &mut Ctx<'_>) {
+    fn publish_location(&mut self, ctx: &mut dyn SimCtx) {
         let me = ctx.me();
         let uri = Uri::process(self.proc_key);
         let now = ctx.now();
@@ -508,7 +509,7 @@ impl ProcessActor {
 
     // ---- groups ------------------------------------------------------------
 
-    fn start_join(&mut self, ctx: &mut Ctx<'_>, name: &str, refresh: bool) {
+    fn start_join(&mut self, ctx: &mut dyn SimCtx, name: &str, refresh: bool) {
         let uri = Uri::mcast_group_wire(group_id(name));
         let now = ctx.now();
         let id = self.rc.get(now, &uri);
@@ -516,7 +517,7 @@ impl ProcessActor {
         self.flush_rc(ctx);
     }
 
-    fn on_group_routers(&mut self, ctx: &mut Ctx<'_>, name: &str, routers: Vec<Endpoint>, refresh: bool) {
+    fn on_group_routers(&mut self, ctx: &mut dyn SimCtx, name: &str, routers: Vec<Endpoint>, refresh: bool) {
         let Some(g) = self.groups.get_mut(name) else { return };
         if !routers.is_empty() {
             g.routers = routers.clone();
@@ -558,7 +559,7 @@ impl ProcessActor {
         }
     }
 
-    fn on_elect_resp(&mut self, ctx: &mut Ctx<'_>, gid: u64, router: Endpoint) {
+    fn on_elect_resp(&mut self, ctx: &mut dyn SimCtx, gid: u64, router: Endpoint) {
         let Some(name) = self
             .groups
             .iter()
@@ -570,7 +571,7 @@ impl ProcessActor {
         self.on_group_routers(ctx, &name, vec![router], false);
     }
 
-    fn do_send_group(&mut self, ctx: &mut Ctx<'_>, name: &str, payload: Bytes) {
+    fn do_send_group(&mut self, ctx: &mut dyn SimCtx, name: &str, payload: Bytes) {
         let Some(g) = self.groups.get_mut(name) else { return };
         if !g.joined {
             g.pending_out.push(payload);
@@ -606,7 +607,7 @@ impl ProcessActor {
         }
     }
 
-    fn arm_group_timer(&mut self, ctx: &mut Ctx<'_>) {
+    fn arm_group_timer(&mut self, ctx: &mut dyn SimCtx) {
         if !self.group_timer_armed && !self.groups.is_empty() {
             self.group_timer_armed = true;
             let delay = if self.group_refreshes == 0 { GROUP_REFRESH_FIRST } else { GROUP_REFRESH };
@@ -616,7 +617,7 @@ impl ProcessActor {
 
     /// A group message delivered by the stack's member driver (already
     /// dedup'd across router legs); `body` is the encoded [`McastMsg`].
-    fn on_group_deliver(&mut self, ctx: &mut Ctx<'_>, body: Bytes) {
+    fn on_group_deliver(&mut self, ctx: &mut dyn SimCtx, body: Bytes) {
         let Ok(McastMsg::Data { group, origin, payload, .. }) = McastMsg::decode(body) else {
             return;
         };
@@ -634,7 +635,7 @@ impl ProcessActor {
 
     // ---- files -------------------------------------------------------------
 
-    fn on_file_msg(&mut self, ctx: &mut Ctx<'_>, msg: FileMsg) {
+    fn on_file_msg(&mut self, ctx: &mut dyn SimCtx, msg: FileMsg) {
         match msg {
             FileMsg::StoreResp { req_id, ok } => {
                 if let Some(fp) = self.file_pending.remove(&req_id) {
@@ -676,7 +677,7 @@ impl ProcessActor {
     }
 
     /// Reliable message to an infrastructure endpoint (file server...).
-    fn send_to_infra(&mut self, ctx: &mut Ctx<'_>, to: Endpoint, payload: Bytes) {
+    fn send_to_infra(&mut self, ctx: &mut dyn SimCtx, to: Endpoint, payload: Bytes) {
         let now = ctx.now();
         if let Some(stack) = self.stack.as_mut() {
             let key = snipe_wire::stack::endpoint_key(to);
@@ -688,7 +689,7 @@ impl ProcessActor {
 
     // ---- command execution ---------------------------------------------------
 
-    fn run_commands(&mut self, ctx: &mut Ctx<'_>) {
+    fn run_commands(&mut self, ctx: &mut dyn SimCtx) {
         // Commands may trigger callbacks that push more commands; loop
         // with a depth bound for safety.
         for _ in 0..64 {
@@ -705,7 +706,7 @@ impl ProcessActor {
         }
     }
 
-    fn exec(&mut self, ctx: &mut Ctx<'_>, cmd: Command) {
+    fn exec(&mut self, ctx: &mut dyn SimCtx, cmd: Command) {
         match cmd {
             Command::Log(line) => {
                 if self.cfg.echo_logs {
@@ -900,7 +901,7 @@ impl ProcessActor {
         }
     }
 
-    fn resolve_peer(&mut self, ctx: &mut Ctx<'_>, peer_key: u64, ticket: Option<u64>) {
+    fn resolve_peer(&mut self, ctx: &mut dyn SimCtx, peer_key: u64, ticket: Option<u64>) {
         if ticket.is_none() && self.resolving.contains_key(&peer_key) {
             return; // already in flight
         }
@@ -912,7 +913,7 @@ impl ProcessActor {
         self.flush_rc(ctx);
     }
 
-    fn do_spawn(&mut self, ctx: &mut Ctx<'_>, ticket: u64, target: SpawnTarget, program: String, args: Bytes) {
+    fn do_spawn(&mut self, ctx: &mut dyn SimCtx, ticket: u64, target: SpawnTarget, program: String, args: Bytes) {
         let me = ctx.me();
         let mut spec = SpawnSpec::program(program, args);
         spec.notify = vec![me];
@@ -952,7 +953,7 @@ impl ProcessActor {
 
     // ---- migration -----------------------------------------------------------
 
-    fn start_migration(&mut self, ctx: &mut Ctx<'_>, hostname: String) {
+    fn start_migration(&mut self, ctx: &mut dyn SimCtx, hostname: String) {
         if self.migrating {
             return;
         }
@@ -994,7 +995,7 @@ impl ProcessActor {
         ctx.send(Endpoint::new(target, ports::DAEMON), seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
-    fn on_spawn_resp(&mut self, ctx: &mut Ctx<'_>, req_id: u64, ok: bool, endpoint: Endpoint, proc_key: u64, error: String) {
+    fn on_spawn_resp(&mut self, ctx: &mut dyn SimCtx, req_id: u64, ok: bool, endpoint: Endpoint, proc_key: u64, error: String) {
         let Some(pending) = self.spawn_pending.remove(&req_id) else { return };
         match pending {
             SpawnPending::App { ticket } => {
@@ -1037,7 +1038,7 @@ impl ProcessActor {
         }
     }
 
-    fn send_redirect(&mut self, ctx: &mut Ctx<'_>, to: Endpoint) {
+    fn send_redirect(&mut self, ctx: &mut dyn SimCtx, to: Endpoint) {
         let Some(new_ep) = self.redirect_to else { return };
         let mut e = Encoder::new();
         e.put_u8(REDIRECT_MAGIC);
@@ -1048,7 +1049,7 @@ impl ProcessActor {
     }
 
     /// An authorized controller (resource manager) asks us to move.
-    fn try_migrate_request(&mut self, ctx: &mut Ctx<'_>, body: &Bytes) -> bool {
+    fn try_migrate_request(&mut self, ctx: &mut dyn SimCtx, body: &Bytes) -> bool {
         let mut d = Decoder::new(body.clone());
         let Ok(m) = d.get_u8() else { return false };
         if m != MIGRATE_MAGIC {
@@ -1060,7 +1061,7 @@ impl ProcessActor {
         true
     }
 
-    fn try_redirect_notice(&mut self, ctx: &mut Ctx<'_>, body: &Bytes) -> bool {
+    fn try_redirect_notice(&mut self, ctx: &mut dyn SimCtx, body: &Bytes) -> bool {
         let mut d = Decoder::new(body.clone());
         let Ok(m) = d.get_u8() else { return false };
         if m != REDIRECT_MAGIC {
@@ -1080,7 +1081,7 @@ impl ProcessActor {
 
     // ---- event entry ----------------------------------------------------------
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+    fn on_start(&mut self, ctx: &mut dyn SimCtx) {
         self.hostname = ctx.topology().host(ctx.host()).name.clone();
         let me = ctx.me();
         let now = ctx.now();
@@ -1136,8 +1137,8 @@ impl ProcessActor {
     }
 }
 
-impl Actor for ProcessActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for ProcessActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         if self.exited {
             return;
         }
@@ -1354,3 +1355,5 @@ impl Actor for ProcessActor {
         }
     }
 }
+
+portable_actor!(ProcessActor);

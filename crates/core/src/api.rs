@@ -62,7 +62,7 @@ pub enum TicketResult {
 /// The trait a SNIPE application implements. Every callback receives
 /// the client-library handle; all methods except [`Self::on_start`]
 /// have do-nothing defaults so simple processes stay small.
-pub trait SnipeProcess {
+pub trait SnipeProcess: Send {
     /// The process was started on its host.
     fn on_start(&mut self, api: &mut SnipeApi<'_, '_>);
 

@@ -7,12 +7,11 @@
 //! is that HTTP server; [`BrowserActor`] is the paper's proxy-resolving
 //! web browser, locating consoles through RC metadata.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_rcds::assertion::Assertion;
 use snipe_rcds::client::RcClient;
@@ -88,7 +87,7 @@ pub struct ConsoleActor {
     url: Uri,
     rc_replicas: Vec<Endpoint>,
     rc: Option<RcClient>,
-    pages: HashMap<String, Box<dyn Fn() -> String>>,
+    pages: HashMap<String, Box<dyn Fn() -> String + Send>>,
     /// Requests served (diagnostics).
     pub served: u64,
 }
@@ -100,12 +99,12 @@ impl ConsoleActor {
     }
 
     /// Register a page.
-    pub fn page(mut self, path: impl Into<String>, render: impl Fn() -> String + 'static) -> Self {
+    pub fn page(mut self, path: impl Into<String>, render: impl Fn() -> String + Send + 'static) -> Self {
         self.pages.insert(path.into(), Box::new(render));
         self
     }
 
-    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_rc(&mut self, ctx: &mut dyn SimCtx) {
         let Some(rc) = self.rc.as_mut() else { return };
         for (to, bytes) in rc.drain_sends() {
             ctx.send(to, seal(Proto::Raw, bytes));
@@ -117,7 +116,7 @@ impl ConsoleActor {
         }
     }
 
-    fn publish(&mut self, ctx: &mut Ctx<'_>) {
+    fn publish(&mut self, ctx: &mut dyn SimCtx) {
         let me = ctx.me();
         let url = self.url.clone();
         let now = ctx.now();
@@ -128,8 +127,8 @@ impl ConsoleActor {
     }
 }
 
-impl Actor for ConsoleActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for ConsoleActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start | Event::HostUp => {
                 if self.rc.is_none() {
@@ -174,7 +173,7 @@ pub struct BrowserActor {
     pending_resolve: HashMap<u64, (u64, String)>,
     next_req: u64,
     /// Responses received: (status, body).
-    pub responses: Rc<RefCell<Vec<(u16, String)>>>,
+    pub responses: Arc<Mutex<Vec<(u16, String)>>>,
 }
 
 impl BrowserActor {
@@ -182,7 +181,7 @@ impl BrowserActor {
     pub fn new(
         rc_replicas: Vec<Endpoint>,
         script: Vec<(SimDuration, Uri, String)>,
-        responses: Rc<RefCell<Vec<(u16, String)>>>,
+        responses: Arc<Mutex<Vec<(u16, String)>>>,
     ) -> BrowserActor {
         BrowserActor {
             rc_replicas,
@@ -194,7 +193,7 @@ impl BrowserActor {
         }
     }
 
-    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_rc(&mut self, ctx: &mut dyn SimCtx) {
         let mut resolved = Vec::new();
         if let Some(rc) = self.rc.as_mut() {
             for (to, bytes) in rc.drain_sends() {
@@ -222,14 +221,14 @@ impl BrowserActor {
                     let msg = HttpMsg::Get { req_id, path };
                     ctx.send(ep, seal(Proto::Raw, msg.encode_to_bytes()));
                 }
-                None => self.responses.borrow_mut().push((0, format!("resolve failed: {path}"))),
+                None => self.responses.lock().expect("responses poisoned").push((0, format!("resolve failed: {path}"))),
             }
         }
     }
 }
 
-impl Actor for BrowserActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for BrowserActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => {
                 self.rc = Some(RcClient::new(self.rc_replicas.clone(), SimDuration::from_millis(250)));
@@ -262,7 +261,7 @@ impl Actor for BrowserActor {
             Event::Packet { from, payload } => {
                 let Ok((Proto::Raw, body)) = open(payload) else { return };
                 if let Ok(HttpMsg::Resp { status, body, .. }) = HttpMsg::decode_from_bytes(body.clone()) {
-                    self.responses.borrow_mut().push((status, body));
+                    self.responses.lock().expect("responses poisoned").push((status, body));
                 } else if let Some(rc) = self.rc.as_mut() {
                     rc.on_packet(ctx.now(), from, body);
                     self.flush_rc(ctx);
@@ -272,3 +271,6 @@ impl Actor for BrowserActor {
         }
     }
 }
+
+portable_actor!(ConsoleActor);
+portable_actor!(BrowserActor);

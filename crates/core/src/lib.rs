@@ -41,4 +41,4 @@ pub use api::{GroupEvent, ProcRef, SnipeApi, SnipeProcess, SpawnTarget};
 pub use console::{ConsoleActor, HttpMsg};
 pub use names::group_id;
 pub use service::{choose_location, ServicePick};
-pub use world::{SnipeWorld, SnipeWorldBuilder};
+pub use world::{ShardedSnipeWorld, SnipeWorld, SnipeWorldBuilder};

@@ -4,14 +4,19 @@
 //! installs the full SNIPE runtime on them — RC metadata servers,
 //! per-host daemons, resource managers and file servers — and returns a
 //! [`SnipeWorld`] ready to register programs and spawn processes.
+//! `build_sharded(threads)` installs the *same* runtime on a
+//! [`ShardedWorld`] instead, returning a [`ShardedSnipeWorld`]: every
+//! service actor is a [`PortableActor`], so the full protocol stack
+//! runs unchanged on either engine and the choice is made once, here.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use bytes::Bytes;
 
+use snipe_netsim::actor::PortableActor;
 use snipe_netsim::medium::Medium;
+use snipe_netsim::shard::ShardedWorld;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::world::World;
 use snipe_util::error::{SnipeError, SnipeResult};
@@ -31,8 +36,16 @@ use crate::api::SnipeProcess;
 /// The program name used internally for migrated processes.
 pub const MIGRATE_PROGRAM: &str = "__snipe_migrate__";
 
-/// Application process factory: constructor args → process.
-pub type ProcessFactory = Box<dyn Fn(Bytes) -> Box<dyn SnipeProcess>>;
+/// Application process factory: constructor args → process. `Send +
+/// Sync` because the registry holding it is shared across the shards
+/// of a sharded world.
+pub type ProcessFactory = Box<dyn Fn(Bytes) -> Box<dyn SnipeProcess> + Send + Sync>;
+
+/// The shared name → factory map behind [`SnipeWorld::register_process`].
+type ProgramMap = Arc<RwLock<HashMap<String, Arc<ProcessFactory>>>>;
+
+/// Infrastructure actors to install: `(host, port, actor)` triples.
+type ServiceRoster = Vec<(HostId, u16, Box<dyn PortableActor>)>;
 
 /// Builder for a SNIPE testbed.
 pub struct SnipeWorldBuilder {
@@ -163,14 +176,46 @@ impl SnipeWorldBuilder {
         b
     }
 
+    /// A multi-cluster campus for the sharded engine: `clusters`
+    /// separate routable Ethernet LANs (`cluster{c}`), each with
+    /// `per_cluster` hosts (`c{c}h{i}`), no shared backbone — so the
+    /// partition yields one region per cluster and cross-cluster
+    /// traffic is routed (and crosses the deterministic mailbox). RC
+    /// replicas go on the heads of the first three clusters, file
+    /// servers on the first two, the resource manager on cluster 0.
+    pub fn campus(clusters: usize, per_cluster: usize, seed: u64) -> SnipeWorldBuilder {
+        let mut b = SnipeWorldBuilder::new(seed);
+        let mut heads = Vec::new();
+        for c in 0..clusters {
+            let net = b.network(&format!("cluster{c}"), Medium::ethernet100(), true);
+            for i in 0..per_cluster {
+                let h = b.host(&format!("c{c}h{i}"), &[net]);
+                if i == 0 {
+                    heads.push(h);
+                }
+            }
+        }
+        for &h in heads.iter().take(3) {
+            b.rc_on(h);
+        }
+        for &h in heads.iter().take(2) {
+            b.files_on(h);
+        }
+        if let Some(&h0) = heads.first() {
+            b.rm_on(h0);
+        }
+        b
+    }
+
     /// Direct access to the topology for custom layouts.
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topo
     }
 
-    /// Assemble the runtime.
-    pub fn build(self) -> SnipeWorld {
-        let mut world = World::new(self.topo, self.seed);
+    /// Engine-agnostic service roster: every infrastructure actor the
+    /// runtime needs, as `(host, port, portable actor)` triples, plus
+    /// the shared registry/config the processes will use.
+    fn services(&self) -> (SnipeRuntime, ServiceRoster) {
         let registry = ProgramRegistry::new();
         let rc_eps: Vec<Endpoint> =
             self.rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
@@ -179,31 +224,31 @@ impl SnipeWorldBuilder {
         let file_eps: Vec<Endpoint> =
             self.file_hosts.iter().map(|&h| Endpoint::new(h, ports::FILE_SERVER)).collect();
 
+        let mut actors: ServiceRoster = Vec::new();
         // RC replicas.
         for (i, ep) in rc_eps.iter().enumerate() {
             let peers: Vec<Endpoint> = rc_eps.iter().copied().filter(|e| e != ep).collect();
             let server = RcServerActor::new(i as u64 + 1, peers, self.rc_sync_interval);
-            world.spawn(ep.host, ep.port, Box::new(server));
+            actors.push((ep.host, ep.port, Box::new(server)));
         }
         // Daemons on every host.
-        let host_count = world.topology().host_count();
-        for i in 0..host_count {
+        for i in 0..self.topo.host_count() {
             let h = HostId::from_index(i);
-            let name = world.topology().host(h).name.clone();
+            let name = self.topo.host(h).name.clone();
             let cfg = DaemonConfig::new(name, rc_eps.clone());
-            world.spawn(h, ports::DAEMON, Box::new(DaemonActor::new(cfg, registry.clone())));
+            actors.push((h, ports::DAEMON, Box::new(DaemonActor::new(cfg, registry.clone()))));
         }
         // Resource managers.
         for (i, ep) in rm_eps.iter().enumerate() {
             let mut cfg = RmConfig::new(rc_eps.clone());
             cfg.key_seed = 0x524d + i as u64;
-            world.spawn(ep.host, ep.port, Box::new(RmActor::new(cfg)));
+            actors.push((ep.host, ep.port, Box::new(RmActor::new(cfg))));
         }
         // File servers.
         for (i, ep) in file_eps.iter().enumerate() {
             let peers: Vec<Endpoint> = file_eps.iter().copied().filter(|e| e != ep).collect();
             let cfg = FileServerConfig::new(format!("fs{i}"), rc_eps.clone(), peers);
-            world.spawn(ep.host, ep.port, Box::new(FileServerActor::new(cfg)));
+            actors.push((ep.host, ep.port, Box::new(FileServerActor::new(cfg))));
         }
 
         let proc_cfg = ProcessConfig {
@@ -214,39 +259,10 @@ impl SnipeWorldBuilder {
             echo_logs: false,
             chaos_disable_migration_freeze: false,
         };
-        let programs: Rc<RefCell<HashMap<String, Rc<ProcessFactory>>>> =
-            Rc::new(RefCell::new(HashMap::new()));
+        let programs: ProgramMap = Arc::new(RwLock::new(HashMap::new()));
+        register_migration_shim(&registry, &programs, &proc_cfg);
 
-        // The migration shim: reconstruct the original process from the
-        // payload and resume it under the same key.
-        {
-            let programs = programs.clone();
-            let proc_cfg = proc_cfg.clone();
-            // Fallible: the payload arrived over the wire, so a corrupt
-            // or stale SpawnReq must turn into a SpawnResp error the
-            // migration protocol retries — never a panic.
-            registry.register_fallible(MIGRATE_PROGRAM, move |sctx: &SpawnCtx| {
-                let payload = MigrationPayload::decode(sctx.args.clone())
-                    .map_err(|e| SnipeError::Codec(format!("bad migration payload: {e}")))?;
-                let factory =
-                    programs.borrow().get(&payload.program).cloned().ok_or_else(|| {
-                        SnipeError::NameNotFound(format!(
-                            "migrated program {:?}",
-                            payload.program
-                        ))
-                    })?;
-                let process = factory(payload.args.clone());
-                Ok(Box::new(ProcessActor::resume_from(
-                    proc_cfg.clone(),
-                    sctx.proc_key,
-                    payload,
-                    process,
-                )) as Box<dyn snipe_netsim::actor::Actor>)
-            });
-        }
-
-        SnipeWorld {
-            world,
+        let rt = SnipeRuntime {
             registry,
             programs,
             proc_cfg,
@@ -254,15 +270,63 @@ impl SnipeWorldBuilder {
             rm_eps,
             file_eps,
             next_root_key: 1 << 20,
+        };
+        (rt, actors)
+    }
+
+    /// Assemble the runtime on the serial engine.
+    pub fn build(self) -> SnipeWorld {
+        let (rt, actors) = self.services();
+        let mut world = World::new(self.topo, self.seed);
+        for (h, port, actor) in actors {
+            world.spawn_portable(h, port, actor);
         }
+        SnipeWorld { world, rt }
+    }
+
+    /// Assemble the *same* runtime on the sharded engine, executing on
+    /// up to `threads` worker threads. Requires routable media with
+    /// nonzero latency between regions (see [`ShardedWorld::new`]).
+    pub fn build_sharded(self, threads: usize) -> ShardedSnipeWorld {
+        let (rt, actors) = self.services();
+        let mut world = ShardedWorld::new(self.topo, self.seed, threads);
+        for (h, port, actor) in actors {
+            world.spawn_portable(h, port, actor);
+        }
+        ShardedSnipeWorld { world, rt }
     }
 }
 
-/// A running SNIPE testbed.
-pub struct SnipeWorld {
-    world: World,
+/// Install the migration shim: reconstruct the original process from
+/// the payload and resume it under the same key.
+fn register_migration_shim(registry: &ProgramRegistry, programs: &ProgramMap, proc_cfg: &ProcessConfig) {
+    let programs = programs.clone();
+    let proc_cfg = proc_cfg.clone();
+    // Fallible: the payload arrived over the wire, so a corrupt or
+    // stale SpawnReq must turn into a SpawnResp error the migration
+    // protocol retries — never a panic.
+    registry.register_fallible(MIGRATE_PROGRAM, move |sctx: &SpawnCtx| {
+        let payload = MigrationPayload::decode(sctx.args.clone())
+            .map_err(|e| SnipeError::Codec(format!("bad migration payload: {e}")))?;
+        let factory = programs
+            .read()
+            .expect("programs poisoned")
+            .get(&payload.program)
+            .cloned()
+            .ok_or_else(|| {
+                SnipeError::NameNotFound(format!("migrated program {:?}", payload.program))
+            })?;
+        let process = factory(payload.args.clone());
+        Ok(Box::new(ProcessActor::resume_from(proc_cfg.clone(), sctx.proc_key, payload, process))
+            as Box<dyn PortableActor>)
+    });
+}
+
+/// The engine-independent half of a running testbed: registry, program
+/// map, process configuration and service endpoints.
+struct SnipeRuntime {
     registry: ProgramRegistry,
-    programs: Rc<RefCell<HashMap<String, Rc<ProcessFactory>>>>,
+    programs: ProgramMap,
     proc_cfg: ProcessConfig,
     rc_eps: Vec<Endpoint>,
     rm_eps: Vec<Endpoint>,
@@ -270,23 +334,17 @@ pub struct SnipeWorld {
     next_root_key: u64,
 }
 
-impl SnipeWorld {
-    /// Echo every `api.log` line to stdout. Call **before** registering
-    /// programs — each registration captures the configuration.
-    pub fn echo_logs(&mut self) {
-        self.proc_cfg.echo_logs = true;
-    }
-
-    /// Register an application program so daemons (and migration) can
-    /// instantiate it.
-    pub fn register_process(
+impl SnipeRuntime {
+    fn register_process(
         &mut self,
-        name: impl Into<String>,
-        factory: impl Fn(Bytes) -> Box<dyn SnipeProcess> + 'static,
+        name: String,
+        factory: impl Fn(Bytes) -> Box<dyn SnipeProcess> + Send + Sync + 'static,
     ) {
-        let name = name.into();
-        let factory: Rc<ProcessFactory> = Rc::new(Box::new(factory));
-        self.programs.borrow_mut().insert(name.clone(), factory.clone());
+        let factory: Arc<ProcessFactory> = Arc::new(Box::new(factory));
+        self.programs
+            .write()
+            .expect("programs poisoned")
+            .insert(name.clone(), factory.clone());
         let cfg = self.proc_cfg.clone();
         let prog_name = name.clone();
         self.registry.register(name, move |sctx: &SpawnCtx| {
@@ -301,6 +359,47 @@ impl SnipeWorld {
         });
     }
 
+    /// Construct a root process actor for `spawn_on`, assigning it a
+    /// fresh key scoped to its host.
+    fn make_root(&mut self, h: HostId, program: &str, args: Bytes) -> SnipeResult<(u64, ProcessActor)> {
+        let factory = self
+            .programs
+            .read()
+            .expect("programs poisoned")
+            .get(program)
+            .cloned()
+            .ok_or_else(|| SnipeError::NameNotFound(format!("program {program}")))?;
+        let process = factory(args.clone());
+        let key = ((h.0 as u64) << 32) | self.next_root_key;
+        self.next_root_key += 1;
+        let actor = ProcessActor::new(self.proc_cfg.clone(), key, program.to_string(), args, process);
+        Ok((key, actor))
+    }
+}
+
+/// A running SNIPE testbed.
+pub struct SnipeWorld {
+    world: World,
+    rt: SnipeRuntime,
+}
+
+impl SnipeWorld {
+    /// Echo every `api.log` line to stdout. Call **before** registering
+    /// programs — each registration captures the configuration.
+    pub fn echo_logs(&mut self) {
+        self.rt.proc_cfg.echo_logs = true;
+    }
+
+    /// Register an application program so daemons (and migration) can
+    /// instantiate it.
+    pub fn register_process(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(Bytes) -> Box<dyn SnipeProcess> + Send + Sync + 'static,
+    ) {
+        self.rt.register_process(name.into(), factory);
+    }
+
     /// Bootstrap a root process directly on a host (outside the daemon,
     /// like a user launching a binary from a shell). Returns the
     /// process key and endpoint.
@@ -313,54 +412,45 @@ impl SnipeWorld {
         let Some(h) = self.world.topology().host_by_name(hostname) else {
             return Err(SnipeError::NameNotFound(format!("host {hostname}")));
         };
-        let factory = self
-            .programs
-            .borrow()
-            .get(program)
-            .cloned()
-            .ok_or_else(|| SnipeError::NameNotFound(format!("program {program}")))?;
-        let process = factory(args.clone());
-        let key = ((h.0 as u64) << 32) | self.next_root_key;
-        self.next_root_key += 1;
+        let (key, actor) = self.rt.make_root(h, program, args)?;
         let port = self.world.alloc_port(h);
-        let actor = ProcessActor::new(self.proc_cfg.clone(), key, program.to_string(), args, process);
         let ep = self
             .world
-            .spawn(h, port, Box::new(actor))
+            .spawn_portable(h, port, Box::new(actor))
             .ok_or_else(|| SnipeError::WrongState("port collision".into()))?;
         Ok((key, ep))
     }
 
     /// RC replica endpoints.
     pub fn rc_endpoints(&self) -> &[Endpoint] {
-        &self.rc_eps
+        &self.rt.rc_eps
     }
 
     /// Resource manager endpoints.
     pub fn rm_endpoints(&self) -> &[Endpoint] {
-        &self.rm_eps
+        &self.rt.rm_eps
     }
 
     /// File server endpoints.
     pub fn file_endpoints(&self) -> &[Endpoint] {
-        &self.file_eps
+        &self.rt.file_eps
     }
 
     /// The shared process configuration.
     pub fn process_config(&self) -> &ProcessConfig {
-        &self.proc_cfg
+        &self.rt.proc_cfg
     }
 
     /// Mutate the shared process configuration. Like
     /// [`SnipeWorld::echo_logs`], call **before** registering programs:
     /// each registration captures a snapshot of the configuration.
     pub fn process_config_mut(&mut self) -> &mut ProcessConfig {
-        &mut self.proc_cfg
+        &mut self.rt.proc_cfg
     }
 
     /// The program registry (for registering non-process actors).
     pub fn registry(&self) -> &ProgramRegistry {
-        &self.registry
+        &self.rt.registry
     }
 
     /// The underlying simulator (fault injection, stats, time).
@@ -391,5 +481,124 @@ impl SnipeWorld {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.world.now()
+    }
+
+    /// Borrow a root process spawned via [`SnipeWorld::spawn_on`]
+    /// (between runs), e.g. to read its log.
+    pub fn process_ref(&self, ep: Endpoint) -> Option<&ProcessActor> {
+        self.world.portable_ref::<ProcessActor>(ep)
+    }
+}
+
+/// A running SNIPE testbed on the sharded engine: the same protocol
+/// stack as [`SnipeWorld`], hosted region-per-shard on a
+/// [`ShardedWorld`]. Results are bit-identical at any thread count.
+pub struct ShardedSnipeWorld {
+    world: ShardedWorld,
+    rt: SnipeRuntime,
+}
+
+impl ShardedSnipeWorld {
+    /// Echo every `api.log` line to stdout. Call **before** registering
+    /// programs — each registration captures the configuration.
+    pub fn echo_logs(&mut self) {
+        self.rt.proc_cfg.echo_logs = true;
+    }
+
+    /// Register an application program so daemons (and migration) can
+    /// instantiate it.
+    pub fn register_process(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(Bytes) -> Box<dyn SnipeProcess> + Send + Sync + 'static,
+    ) {
+        self.rt.register_process(name.into(), factory);
+    }
+
+    /// Bootstrap a root process directly on a host. Returns the
+    /// process key and endpoint.
+    pub fn spawn_on(
+        &mut self,
+        hostname: &str,
+        program: &str,
+        args: Bytes,
+    ) -> SnipeResult<(u64, Endpoint)> {
+        let Some(h) = self.world.topology().host_by_name(hostname) else {
+            return Err(SnipeError::NameNotFound(format!("host {hostname}")));
+        };
+        let (key, actor) = self.rt.make_root(h, program, args)?;
+        let port = self.world.alloc_port(h);
+        let ep = self
+            .world
+            .spawn_portable(h, port, Box::new(actor))
+            .ok_or_else(|| SnipeError::WrongState("port collision".into()))?;
+        Ok((key, ep))
+    }
+
+    /// RC replica endpoints.
+    pub fn rc_endpoints(&self) -> &[Endpoint] {
+        &self.rt.rc_eps
+    }
+
+    /// Resource manager endpoints.
+    pub fn rm_endpoints(&self) -> &[Endpoint] {
+        &self.rt.rm_eps
+    }
+
+    /// File server endpoints.
+    pub fn file_endpoints(&self) -> &[Endpoint] {
+        &self.rt.file_eps
+    }
+
+    /// The shared process configuration (mutate **before** registering
+    /// programs).
+    pub fn process_config(&self) -> &ProcessConfig {
+        &self.rt.proc_cfg
+    }
+
+    /// Mutate the shared process configuration.
+    pub fn process_config_mut(&mut self) -> &mut ProcessConfig {
+        &mut self.rt.proc_cfg
+    }
+
+    /// The program registry (for registering non-process actors).
+    pub fn registry(&self) -> &ProgramRegistry {
+        &self.rt.registry
+    }
+
+    /// The underlying sharded simulator (faults, digests, loads).
+    pub fn sim(&mut self) -> &mut ShardedWorld {
+        &mut self.world
+    }
+
+    /// Immutable simulator access.
+    pub fn sim_ref(&self) -> &ShardedWorld {
+        &self.world
+    }
+
+    /// Run for a simulated duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Run for whole simulated seconds.
+    pub fn run_for_secs(&mut self, s: u64) {
+        self.world.run_for(SimDuration::from_secs(s));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Engine digest over all shards (thread-count invariant).
+    pub fn digest(&self) -> u64 {
+        self.world.digest()
+    }
+
+    /// Borrow a root process spawned via
+    /// [`ShardedSnipeWorld::spawn_on`] (between runs).
+    pub fn process_ref(&self, ep: Endpoint) -> Option<&ProcessActor> {
+        self.world.portable_ref::<ProcessActor>(ep)
     }
 }

@@ -7,10 +7,9 @@ use snipe_core::api::TicketResult;
 use snipe_core::{GroupEvent, ProcRef, SnipeApi, SnipeProcess, SnipeWorldBuilder, SpawnTarget};
 use snipe_daemon::proto::TaskState;
 use snipe_util::time::SimDuration;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-type Log = Rc<RefCell<Vec<String>>>;
+type Log = Arc<Mutex<Vec<String>>>;
 
 /// Echoes every message back to the sender, prefixed with "echo:".
 struct Echo;
@@ -36,14 +35,14 @@ impl SnipeProcess for Pinger {
         }
     }
     fn on_message(&mut self, _api: &mut SnipeApi<'_, '_>, _from: ProcRef, msg: Bytes) {
-        self.log.borrow_mut().push(String::from_utf8_lossy(&msg).into_owned());
+        self.log.lock().unwrap().push(String::from_utf8_lossy(&msg).into_owned());
     }
 }
 
 #[test]
 fn point_to_point_messaging_with_name_resolution() {
     let mut w = SnipeWorldBuilder::lan(3, 1).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     w.register_process("echo", |_| Box::new(Echo));
     let (echo_key, _) = w.spawn_on("host1", "echo", Bytes::new()).unwrap();
     let log2 = log.clone();
@@ -52,7 +51,7 @@ fn point_to_point_messaging_with_name_resolution() {
     });
     w.spawn_on("host2", "pinger", Bytes::new()).unwrap();
     w.run_for_secs(5);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert_eq!(got.len(), 5, "all replies must arrive: {got:?}");
     // FIFO order preserved.
     for (i, m) in got.iter().enumerate() {
@@ -80,22 +79,22 @@ impl SnipeProcess for Parent {
         if ticket == self.child_ticket {
             match result {
                 TicketResult::Spawned(Ok(child)) => {
-                    self.log.borrow_mut().push(format!("spawned:{}", child.key != 0));
+                    self.log.lock().unwrap().push(format!("spawned:{}", child.key != 0));
                     api.send(child.key, b"hi child".to_vec());
                 }
-                other => self.log.borrow_mut().push(format!("spawn failed: {other:?}")),
+                other => self.log.lock().unwrap().push(format!("spawn failed: {other:?}")),
             }
         }
     }
     fn on_message(&mut self, _api: &mut SnipeApi<'_, '_>, _from: ProcRef, msg: Bytes) {
-        self.log.borrow_mut().push(String::from_utf8_lossy(&msg).into_owned());
+        self.log.lock().unwrap().push(String::from_utf8_lossy(&msg).into_owned());
     }
 }
 
 #[test]
 fn spawn_via_daemon_and_talk() {
     let mut w = SnipeWorldBuilder::lan(3, 2).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     w.register_process("echo", |_| Box::new(Echo));
     let l = log.clone();
     w.register_process("parent", move |_| {
@@ -103,7 +102,7 @@ fn spawn_via_daemon_and_talk() {
     });
     w.spawn_on("host0", "parent", Bytes::new()).unwrap();
     w.run_for_secs(5);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.contains(&"spawned:true".to_string()), "{got:?}");
     assert!(got.contains(&"echo:hi child".to_string()), "{got:?}");
 }
@@ -111,7 +110,7 @@ fn spawn_via_daemon_and_talk() {
 #[test]
 fn spawn_via_resource_manager() {
     let mut w = SnipeWorldBuilder::lan(4, 3).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     w.register_process("echo", |_| Box::new(Echo));
     let l = log.clone();
     w.register_process("parent", move |_| {
@@ -121,7 +120,7 @@ fn spawn_via_resource_manager() {
     w.run_for_secs(3);
     w.spawn_on("host3", "parent", Bytes::new()).unwrap();
     w.run_for_secs(6);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.contains(&"spawned:true".to_string()), "{got:?}");
     assert!(got.contains(&"echo:hi child".to_string()), "{got:?}");
 }
@@ -145,7 +144,7 @@ impl SnipeProcess for Member {
     }
     fn on_group_message(&mut self, _api: &mut SnipeApi<'_, '_>, _group: &str, origin: u64, msg: Bytes) {
         self.log
-            .borrow_mut()
+            .lock().unwrap()
             .push(format!("{origin}:{}", String::from_utf8_lossy(&msg)));
     }
 }
@@ -153,7 +152,7 @@ impl SnipeProcess for Member {
 #[test]
 fn multicast_group_delivers_to_all_members_exactly_once() {
     let mut w = SnipeWorldBuilder::lan(5, 4).build();
-    let logs: Vec<Log> = (0..4).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+    let logs: Vec<Log> = (0..4).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
     for (i, log) in logs.iter().enumerate() {
         let l = log.clone();
         let announce = if i == 0 { Some(b"hello group".to_vec()) } else { None };
@@ -169,7 +168,7 @@ fn multicast_group_delivers_to_all_members_exactly_once() {
     }
     w.run_for_secs(10);
     for (i, log) in logs.iter().enumerate() {
-        let got = log.borrow();
+        let got = log.lock().unwrap();
         let hellos = got.iter().filter(|m| m.ends_with(":hello group")).count();
         assert_eq!(hellos, 1, "member {i} must hear the announcement exactly once: {got:?}");
     }
@@ -189,18 +188,18 @@ impl SnipeProcess for FileUser {
         if ticket == self.write_ticket {
             match result {
                 TicketResult::FileWritten(Ok(())) => {
-                    self.log.borrow_mut().push("written".into());
+                    self.log.lock().unwrap().push("written".into());
                     self.read_ticket = api.read_file("lifn:snipe:file:notes");
                 }
-                other => self.log.borrow_mut().push(format!("write failed: {other:?}")),
+                other => self.log.lock().unwrap().push(format!("write failed: {other:?}")),
             }
         } else if ticket == self.read_ticket {
             match result {
                 TicketResult::FileRead(Ok(content)) => self
                     .log
-                    .borrow_mut()
+                    .lock().unwrap()
                     .push(format!("read:{}", String::from_utf8_lossy(&content))),
-                other => self.log.borrow_mut().push(format!("read failed: {other:?}")),
+                other => self.log.lock().unwrap().push(format!("read failed: {other:?}")),
             }
         }
     }
@@ -209,14 +208,14 @@ impl SnipeProcess for FileUser {
 #[test]
 fn file_write_then_read() {
     let mut w = SnipeWorldBuilder::lan(3, 5).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let l = log.clone();
     w.register_process("fileuser", move |_| {
         Box::new(FileUser { log: l.clone(), write_ticket: 0, read_ticket: 0 })
     });
     w.spawn_on("host2", "fileuser", Bytes::new()).unwrap();
     w.run_for_secs(5);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.contains(&"written".to_string()), "{got:?}");
     assert!(got.contains(&"read:remember the milk".to_string()), "{got:?}");
 }
@@ -234,7 +233,7 @@ impl SnipeProcess for Wanderer {
     fn on_timer(&mut self, api: &mut SnipeApi<'_, '_>, _token: u64) {
         self.count += 1;
         if self.count == 3 {
-            self.log.borrow_mut().push(format!("migrating at count {}", self.count));
+            self.log.lock().unwrap().push(format!("migrating at count {}", self.count));
             api.migrate_to("host3");
             return;
         }
@@ -242,12 +241,12 @@ impl SnipeProcess for Wanderer {
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
         self.log
-            .borrow_mut()
+            .lock().unwrap()
             .push(format!("arrived on {} with count {}", api.my_hostname(), self.count));
         api.set_timer(SimDuration::from_millis(100), 1);
     }
     fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, from: ProcRef, msg: Bytes) {
-        self.log.borrow_mut().push(format!("got {}", String::from_utf8_lossy(&msg)));
+        self.log.lock().unwrap().push(format!("got {}", String::from_utf8_lossy(&msg)));
         api.send(from.key, b"ack".to_vec());
     }
     fn checkpoint(&mut self) -> Bytes {
@@ -264,7 +263,7 @@ impl SnipeProcess for Wanderer {
 struct Streamer {
     peer: u64,
     sent: u32,
-    acked: Rc<RefCell<u32>>,
+    acked: Arc<Mutex<u32>>,
 }
 impl SnipeProcess for Streamer {
     fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
@@ -278,15 +277,15 @@ impl SnipeProcess for Streamer {
         }
     }
     fn on_message(&mut self, _api: &mut SnipeApi<'_, '_>, _from: ProcRef, _msg: Bytes) {
-        *self.acked.borrow_mut() += 1;
+        *self.acked.lock().unwrap() += 1;
     }
 }
 
 #[test]
 fn migration_preserves_state_and_loses_no_messages() {
     let mut w = SnipeWorldBuilder::lan(4, 6).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
-    let acked = Rc::new(RefCell::new(0u32));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let acked = Arc::new(Mutex::new(0u32));
     let l = log.clone();
     w.register_process("wanderer", move |_| Box::new(Wanderer { count: 0, log: l.clone() }));
     let (wkey, wep) = w.spawn_on("host1", "wanderer", Bytes::new()).unwrap();
@@ -296,7 +295,7 @@ fn migration_preserves_state_and_loses_no_messages() {
     });
     w.spawn_on("host2", "streamer", Bytes::new()).unwrap();
     w.run_for_secs(20);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(
         got.iter().any(|m| m == "arrived on host3 with count 3"),
         "migration must preserve the counter: {got:?}"
@@ -304,7 +303,7 @@ fn migration_preserves_state_and_loses_no_messages() {
     // The old endpoint is gone, the key now resolves to host3.
     assert!(!w.sim_ref().is_bound(wep), "old shell must exit after grace");
     // Every streamed message was eventually delivered and acked.
-    assert_eq!(*acked.borrow(), 20, "no message may be lost across migration");
+    assert_eq!(*acked.lock().unwrap(), 20, "no message may be lost across migration");
     let delivered = got.iter().filter(|m| m.starts_with("got s")).count();
     assert_eq!(delivered, 20, "{got:?}");
 }
@@ -319,7 +318,7 @@ impl SnipeProcess for Watcher {
         api.watch(self.target);
     }
     fn on_task_event(&mut self, _api: &mut SnipeApi<'_, '_>, proc_key: u64, state: TaskState) {
-        self.log.borrow_mut().push(format!("{proc_key}:{}", state.as_str()));
+        self.log.lock().unwrap().push(format!("{proc_key}:{}", state.as_str()));
     }
 }
 
@@ -336,7 +335,7 @@ impl SnipeProcess for ShortLife {
 
 /// Spawner that reports the child key into a cell.
 struct SpawnReporter {
-    child: Rc<RefCell<u64>>,
+    child: Arc<Mutex<u64>>,
 }
 impl SnipeProcess for SpawnReporter {
     fn on_start(&mut self, api: &mut SnipeApi<'_, '_>) {
@@ -344,7 +343,7 @@ impl SnipeProcess for SpawnReporter {
     }
     fn on_ticket(&mut self, _api: &mut SnipeApi<'_, '_>, _ticket: u64, result: TicketResult) {
         if let TicketResult::Spawned(Ok(r)) = result {
-            *self.child.borrow_mut() = r.key;
+            *self.child.lock().unwrap() = r.key;
         }
     }
 }
@@ -352,14 +351,14 @@ impl SnipeProcess for SpawnReporter {
 #[test]
 fn notify_list_reports_exit() {
     let mut w = SnipeWorldBuilder::lan(3, 7).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
-    let child = Rc::new(RefCell::new(0u64));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let child = Arc::new(Mutex::new(0u64));
     w.register_process("shortlife", |_| Box::new(ShortLife));
     let c = child.clone();
     w.register_process("spawner", move |_| Box::new(SpawnReporter { child: c.clone() }));
     w.spawn_on("host0", "spawner", Bytes::new()).unwrap();
     w.run_for_secs(1); // child spawned, still alive
-    let child_key = *child.borrow();
+    let child_key = *child.lock().unwrap();
     assert_ne!(child_key, 0);
     let l = log.clone();
     w.register_process("watcher", move |_| {
@@ -367,7 +366,7 @@ fn notify_list_reports_exit() {
     });
     w.spawn_on("host2", "watcher", Bytes::new()).unwrap();
     w.run_for_secs(5);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(
         got.contains(&format!("{child_key}:exited")),
         "watcher must hear the exit: {got:?}"
@@ -386,7 +385,7 @@ fn console_reachable_through_rc_binding() {
     let h1 = w.sim_ref().topology().host_by_name("host1").unwrap();
     let h2 = w.sim_ref().topology().host_by_name("host2").unwrap();
     w.sim().spawn(h1, 80, Box::new(console));
-    let responses = Rc::new(RefCell::new(Vec::new()));
+    let responses = Arc::new(Mutex::new(Vec::new()));
     let browser = BrowserActor::new(
         rc,
         vec![
@@ -397,7 +396,7 @@ fn console_reachable_through_rc_binding() {
     );
     w.sim().spawn(h2, 8080, Box::new(browser));
     w.run_for_secs(5);
-    let got = responses.borrow();
+    let got = responses.lock().unwrap();
     assert!(got.contains(&(200, "all systems nominal".to_string())), "{got:?}");
     assert!(got.iter().any(|(s, _)| *s == 404), "{got:?}");
 }
@@ -425,21 +424,21 @@ impl SnipeProcess for ServiceClient {
     }
     fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _ticket: u64, result: TicketResult) {
         if let TicketResult::Service(Ok(locations)) = result {
-            self.log.borrow_mut().push(format!("locations:{}", locations.len()));
+            self.log.lock().unwrap().push(format!("locations:{}", locations.len()));
             if let Some(first) = locations.first() {
                 api.send(first.key, b"work".to_vec());
             }
         }
     }
     fn on_message(&mut self, _api: &mut SnipeApi<'_, '_>, _from: ProcRef, msg: Bytes) {
-        self.log.borrow_mut().push(String::from_utf8_lossy(&msg).into_owned());
+        self.log.lock().unwrap().push(String::from_utf8_lossy(&msg).into_owned());
     }
 }
 
 #[test]
 fn multi_location_service_lifn() {
     let mut w = SnipeWorldBuilder::lan(4, 9).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     w.register_process("provider", |_| Box::new(Provider));
     w.spawn_on("host1", "provider", Bytes::new()).unwrap();
     w.spawn_on("host2", "provider", Bytes::new()).unwrap();
@@ -447,7 +446,7 @@ fn multi_location_service_lifn() {
     w.register_process("client", move |_| Box::new(ServiceClient { log: l.clone() }));
     w.spawn_on("host3", "client", Bytes::new()).unwrap();
     w.run_for_secs(8);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.contains(&"locations:2".to_string()), "{got:?}");
     assert!(got.iter().any(|m| m.starts_with("served by host")), "{got:?}");
 }
@@ -463,7 +462,7 @@ impl SnipeProcess for Replica {
     }
     fn on_group_message(&mut self, api: &mut SnipeApi<'_, '_>, _g: &str, _o: u64, msg: Bytes) {
         self.log
-            .borrow_mut()
+            .lock().unwrap()
             .push(format!("{}:{}", api.my_hostname(), String::from_utf8_lossy(&msg)));
     }
 }
@@ -484,7 +483,7 @@ impl SnipeProcess for PseudoDriver {
 #[test]
 fn pseudo_process_fans_out_to_replicas() {
     let mut w = SnipeWorldBuilder::lan(4, 10).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let l = log.clone();
     w.register_process("replica", move |_| Box::new(Replica { log: l.clone() }));
     w.register_process("driver", |_| Box::new(PseudoDriver));
@@ -492,7 +491,7 @@ fn pseudo_process_fans_out_to_replicas() {
     w.spawn_on("host2", "replica", Bytes::new()).unwrap();
     w.spawn_on("host3", "driver", Bytes::new()).unwrap();
     w.run_for_secs(8);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.contains(&"host1:task-input".to_string()), "{got:?}");
     assert!(got.contains(&"host2:task-input".to_string()), "{got:?}");
     assert_eq!(got.len(), 2, "exactly once per replica: {got:?}");
@@ -511,7 +510,7 @@ impl SnipeProcess for Movable {
         api.send(from.key, format!("served#{} from {}", self.serving, api.my_hostname()).into_bytes());
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
-        self.log.borrow_mut().push(format!("moved to {}", api.my_hostname()));
+        self.log.lock().unwrap().push(format!("moved to {}", api.my_hostname()));
     }
     fn checkpoint(&mut self) -> Bytes {
         Bytes::from(self.serving.to_be_bytes().to_vec())
@@ -536,7 +535,7 @@ impl SnipeProcess for MovableClient {
         api.set_timer(SimDuration::from_millis(200), 1);
     }
     fn on_message(&mut self, _api: &mut SnipeApi<'_, '_>, _f: ProcRef, msg: Bytes) {
-        self.log.borrow_mut().push(String::from_utf8_lossy(&msg).into_owned());
+        self.log.lock().unwrap().push(String::from_utf8_lossy(&msg).into_owned());
     }
 }
 
@@ -546,7 +545,7 @@ fn resource_manager_initiated_migration() {
     use snipe_util::codec::WireEncode;
     use snipe_wire::frame::{seal, Proto};
     let mut w = SnipeWorldBuilder::lan(4, 17).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let l = log.clone();
     w.register_process("movable", move |_| Box::new(Movable { serving: 0, log: l.clone() }));
     let (key, task_ep) = w.spawn_on("host1", "movable", Bytes::new()).unwrap();
@@ -582,7 +581,7 @@ fn resource_manager_initiated_migration() {
         );
     });
     w.run_for_secs(8);
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.contains(&"moved to host3".to_string()), "{got:?}");
     // Service continued across the move, counter intact (strictly
     // increasing service numbers, some served from host1, later ones

@@ -18,8 +18,7 @@ use snipe_netsim::world::World;
 use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
 use snipe_util::rng::Xoshiro256;
 use snipe_util::time::SimDuration;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn frame_handshake(m: &HandshakeMsg) -> Bytes {
     let mut e = Encoder::new();
@@ -81,8 +80,8 @@ struct Receiver {
     peer_key: snipe_crypto::sign::PublicKey,
     channel: Option<SecureChannel>,
     pending: Option<Handshake>,
-    accepted: Rc<RefCell<Vec<String>>>,
-    rejected: Rc<RefCell<u32>>,
+    accepted: Arc<Mutex<Vec<String>>>,
+    rejected: Arc<Mutex<u32>>,
 }
 
 impl Actor for Receiver {
@@ -109,9 +108,9 @@ impl Actor for Receiver {
                     match ch.open(&rec) {
                         Ok(pt) => self
                             .accepted
-                            .borrow_mut()
+                            .lock().unwrap()
                             .push(String::from_utf8_lossy(&pt).into_owned()),
-                        Err(_) => *self.rejected.borrow_mut() += 1,
+                        Err(_) => *self.rejected.lock().unwrap() += 1,
                     }
                 }
             }
@@ -124,7 +123,7 @@ impl Actor for Receiver {
 /// forgery of each.
 struct Tap {
     victim: Endpoint,
-    attacks: Rc<RefCell<u32>>,
+    attacks: Arc<Mutex<u32>>,
 }
 
 impl Actor for Tap {
@@ -132,7 +131,7 @@ impl Actor for Tap {
         if let Event::Packet { payload, .. } = event {
             if payload.first() == Some(&2) {
                 // Replay, delayed so the original arrives first.
-                *self.attacks.borrow_mut() += 2;
+                *self.attacks.lock().unwrap() += 2;
                 ctx.send(self.victim, payload.clone());
                 let mut forged = payload.to_vec();
                 let n = forged.len();
@@ -157,9 +156,9 @@ fn hijack_attempts_on_the_wire_are_detected() {
         topo.attach(h, net);
     }
     let mut world = World::new(topo, 3);
-    let accepted = Rc::new(RefCell::new(Vec::new()));
-    let rejected = Rc::new(RefCell::new(0u32));
-    let attacks = Rc::new(RefCell::new(0u32));
+    let accepted = Arc::new(Mutex::new(Vec::new()));
+    let rejected = Arc::new(Mutex::new(0u32));
+    let attacks = Arc::new(Mutex::new(0u32));
     let b_ep = Endpoint::new(hb, 40);
     world.spawn(
         ha,
@@ -189,7 +188,7 @@ fn hijack_attempts_on_the_wire_are_detected() {
     world.run_for(SimDuration::from_secs(2));
 
     assert_eq!(
-        &*accepted.borrow(),
+        &*accepted.lock().unwrap(),
         &vec![
             "resource grant #1".to_string(),
             "resource grant #2".to_string(),
@@ -197,10 +196,10 @@ fn hijack_attempts_on_the_wire_are_detected() {
         ],
         "legitimate traffic flows"
     );
-    assert!(*attacks.borrow() >= 6, "the tap attacked");
+    assert!(*attacks.lock().unwrap() >= 6, "the tap attacked");
     assert_eq!(
-        *rejected.borrow(),
-        *attacks.borrow(),
+        *rejected.lock().unwrap(),
+        *attacks.lock().unwrap(),
         "every replay and forgery must be rejected"
     );
 }

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use snipe_crypto::cert::{Certificate, TrustPurpose, TrustStore};
-use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx, TimerGate};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_netsim::trace::{self, FaultOp, TraceKind};
 use snipe_rcds::assertion::Assertion;
@@ -100,11 +101,11 @@ impl DaemonActor {
         self.tasks.len()
     }
 
-    fn send_msg(&self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &DaemonMsg) {
+    fn send_msg(&self, ctx: &mut dyn SimCtx, to: Endpoint, msg: &DaemonMsg) {
         ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
-    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_rc(&mut self, ctx: &mut dyn SimCtx) {
         for (to, bytes) in self.rc.drain_sends() {
             ctx.send(to, seal(Proto::Raw, bytes));
         }
@@ -137,7 +138,7 @@ impl DaemonActor {
         }
     }
 
-    fn publish_host_metadata(&mut self, ctx: &mut Ctx<'_>) {
+    fn publish_host_metadata(&mut self, ctx: &mut dyn SimCtx) {
         let uri = Uri::host(&self.cfg.hostname);
         let host = ctx.host();
         let topo = ctx.topology();
@@ -180,7 +181,7 @@ impl DaemonActor {
         }
     }
 
-    fn handle_spawn(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, req_id: u64, spec: SpawnSpec) {
+    fn handle_spawn(&mut self, ctx: &mut dyn SimCtx, from: Endpoint, req_id: u64, spec: SpawnSpec) {
         if let Err(error) = self.authorize(&spec) {
             self.rejected += 1;
             let resp = DaemonMsg::SpawnResp {
@@ -245,7 +246,7 @@ impl DaemonActor {
             port = port.wrapping_add(1).max(ports::TASK_BASE);
         }
         self.next_task_port = port.wrapping_add(1).max(ports::TASK_BASE);
-        let ep = ctx.spawn(ctx.host(), port, actor).expect("port checked free");
+        let ep = ctx.spawn_portable(ctx.host(), port, actor).expect("port checked free");
         self.spawns += 1;
         if trace::enabled() {
             trace::record(
@@ -279,7 +280,7 @@ impl DaemonActor {
         self.send_msg(ctx, from, &resp);
     }
 
-    fn broadcast_state(&mut self, ctx: &mut Ctx<'_>, port: u16, state: TaskState) {
+    fn broadcast_state(&mut self, ctx: &mut dyn SimCtx, port: u16, state: TaskState) {
         let Some(info) = self.tasks.get_mut(&port) else {
             return;
         };
@@ -312,7 +313,7 @@ impl DaemonActor {
         }
     }
 
-    fn elect_router(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, group: u64) {
+    fn elect_router(&mut self, ctx: &mut dyn SimCtx, from: Endpoint, group: u64) {
         let router_ep = if let Some(&ep) = self.routing.get(&group) {
             ep
         } else {
@@ -321,7 +322,7 @@ impl DaemonActor {
             if !ctx.topology().host(ctx.host()).up {
                 return;
             }
-            let _ = ctx.spawn(ctx.host(), ports::MCAST_ROUTER, Box::new(McastRouterActor::new()));
+            let _ = ctx.spawn_portable(ctx.host(), ports::MCAST_ROUTER, Box::new(McastRouterActor::new()));
             self.routing.insert(group, ep);
             // Register as a router for the group in RC metadata and peer
             // with already-registered routers (§5.2.4/§5.4).
@@ -342,8 +343,8 @@ impl DaemonActor {
     }
 }
 
-impl Actor for DaemonActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for DaemonActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => {
                 self.publish_host_metadata(ctx);
@@ -445,3 +446,5 @@ impl Actor for DaemonActor {
         }
     }
 }
+
+portable_actor!(DaemonActor);

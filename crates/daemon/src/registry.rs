@@ -2,17 +2,18 @@
 //!
 //! The 1997 daemon exec'd program images from disk (or mobile code via
 //! a playground). In the simulator a "program image" is a factory
-//! closure producing an [`Actor`] from its argument bytes. The registry
-//! is shared by all daemons of one world — the moral equivalent of a
-//! shared filesystem of binaries.
+//! closure producing a [`PortableActor`] from its argument bytes. The
+//! registry is shared by all daemons of one world — the moral
+//! equivalent of a shared filesystem of binaries — and `Send + Sync`,
+//! because those daemons may be hosted on different shards of a
+//! [`snipe_netsim::shard::ShardedWorld`].
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use bytes::Bytes;
 
-use snipe_netsim::actor::Actor;
+use snipe_netsim::actor::PortableActor;
 use snipe_util::error::SnipeResult;
 
 /// Everything a program factory learns at spawn time.
@@ -29,12 +30,13 @@ pub struct SpawnCtx {
 /// error when the spawn arguments are unusable (e.g. a corrupt
 /// migration payload arriving over a chaotic wire). Factories must
 /// never panic on hostile argument bytes.
-pub type ProgramFactory = Box<dyn Fn(&SpawnCtx) -> SnipeResult<Box<dyn Actor>>>;
+pub type ProgramFactory =
+    Box<dyn Fn(&SpawnCtx) -> SnipeResult<Box<dyn PortableActor>> + Send + Sync>;
 
 /// A shared, name-indexed collection of spawnable programs.
 #[derive(Clone, Default)]
 pub struct ProgramRegistry {
-    inner: Rc<RefCell<HashMap<String, Rc<ProgramFactory>>>>,
+    inner: Arc<RwLock<HashMap<String, Arc<ProgramFactory>>>>,
 }
 
 impl ProgramRegistry {
@@ -49,7 +51,7 @@ impl ProgramRegistry {
     pub fn register(
         &self,
         name: impl Into<String>,
-        factory: impl Fn(&SpawnCtx) -> Box<dyn Actor> + 'static,
+        factory: impl Fn(&SpawnCtx) -> Box<dyn PortableActor> + Send + Sync + 'static,
     ) {
         self.register_fallible(name, move |ctx| Ok(factory(ctx)));
     }
@@ -58,42 +60,49 @@ impl ProgramRegistry {
     pub fn register_fallible(
         &self,
         name: impl Into<String>,
-        factory: impl Fn(&SpawnCtx) -> SnipeResult<Box<dyn Actor>> + 'static,
+        factory: impl Fn(&SpawnCtx) -> SnipeResult<Box<dyn PortableActor>> + Send + Sync + 'static,
     ) {
-        self.inner.borrow_mut().insert(name.into(), Rc::new(Box::new(factory)));
+        self.inner
+            .write()
+            .expect("registry poisoned")
+            .insert(name.into(), Arc::new(Box::new(factory)));
     }
 
     /// Instantiate a program: `None` if unknown, `Some(Err)` if the
     /// factory rejected the spawn context.
-    pub fn instantiate(&self, name: &str, ctx: &SpawnCtx) -> Option<SnipeResult<Box<dyn Actor>>> {
-        let f = self.inner.borrow().get(name).cloned()?;
+    pub fn instantiate(
+        &self,
+        name: &str,
+        ctx: &SpawnCtx,
+    ) -> Option<SnipeResult<Box<dyn PortableActor>>> {
+        let f = self.inner.read().expect("registry poisoned").get(name).cloned()?;
         Some(f(ctx))
     }
 
     /// Is a program registered?
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.borrow().contains_key(name)
+        self.inner.read().expect("registry poisoned").contains_key(name)
     }
 
     /// Number of registered programs.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.read().expect("registry poisoned").len()
     }
 
     /// True if no programs are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.read().expect("registry poisoned").is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snipe_netsim::actor::{Ctx, Event};
+    use snipe_netsim::actor::{Event, SimCtx};
 
     struct Nop;
-    impl Actor for Nop {
-        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: Event) {}
+    impl PortableActor for Nop {
+        fn on_event(&mut self, _ctx: &mut dyn SimCtx, _event: Event) {}
     }
 
     #[test]
@@ -115,7 +124,7 @@ mod tests {
             if sctx.args.is_empty() {
                 return Err(snipe_util::error::SnipeError::Codec("empty args".into()));
             }
-            Ok(Box::new(Nop) as Box<dyn Actor>)
+            Ok(Box::new(Nop) as Box<dyn PortableActor>)
         });
         let bad = SpawnCtx { args: Bytes::new(), proc_key: 1 };
         let good = SpawnCtx { args: Bytes::from_static(b"x"), proc_key: 1 };

@@ -5,7 +5,8 @@
 //! dedup) lives in the wire-layer state machine so it is unit-testable
 //! without a world.
 
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_wire::frame::{open, Proto};
 use snipe_wire::mcast::{McastMsg, McastRouter};
 use snipe_wire::Out;
@@ -28,8 +29,8 @@ impl McastRouterActor {
     }
 }
 
-impl Actor for McastRouterActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for McastRouterActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         if let Event::Packet { payload, .. } = event {
             let Ok((Proto::Mcast, body)) = open(payload) else {
                 return;
@@ -50,3 +51,5 @@ impl Actor for McastRouterActor {
         }
     }
 }
+
+portable_actor!(McastRouterActor);

@@ -7,7 +7,7 @@ use snipe_crypto::sign::KeyPair;
 use snipe_daemon::proto::{DaemonMsg, SpawnSpec, TaskState};
 use snipe_daemon::registry::ProgramRegistry;
 use snipe_daemon::{DaemonActor, DaemonConfig};
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Actor, Ctx, Event, PortableActor, SimCtx};
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::world::World;
@@ -18,16 +18,15 @@ use snipe_util::rng::Xoshiro256;
 use snipe_util::time::SimDuration;
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::ports;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A task that reports Exited to its local daemon after a delay.
 struct ShortLived {
     lifetime: SimDuration,
 }
 
-impl Actor for ShortLived {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for ShortLived {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => ctx.set_timer(self.lifetime, 1),
             Event::Timer { .. } => {
@@ -44,7 +43,7 @@ impl Actor for ShortLived {
 /// Test driver: sends daemon messages from a script, records replies.
 struct Driver {
     script: Vec<(SimDuration, Endpoint, DaemonMsg)>,
-    log: Rc<RefCell<Vec<DaemonMsg>>>,
+    log: Arc<Mutex<Vec<DaemonMsg>>>,
 }
 
 impl Actor for Driver {
@@ -65,7 +64,7 @@ impl Actor for Driver {
             Event::Packet { payload, .. } => {
                 if let Ok((Proto::Raw, body)) = open(payload) {
                     if let Ok(msg) = DaemonMsg::decode_from_bytes(body) {
-                        self.log.borrow_mut().push(msg);
+                        self.log.lock().unwrap().push(msg);
                     }
                 }
             }
@@ -96,7 +95,7 @@ fn spawn_runs_task_and_reports_exit_to_notify_list() {
     let registry = ProgramRegistry::new();
     registry.register("short", |_| Box::new(ShortLived { lifetime: SimDuration::from_millis(100) }));
     let (mut world, worker, client) = world_with_daemon(registry, None);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver_ep = Endpoint::new(client, 40);
     let mut spec = SpawnSpec::program("short", Bytes::new());
     spec.notify = vec![driver_ep];
@@ -110,7 +109,7 @@ fn spawn_runs_task_and_reports_exit_to_notify_list() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(1));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let resp = log
         .iter()
         .find_map(|m| match m {
@@ -129,7 +128,7 @@ fn spawn_runs_task_and_reports_exit_to_notify_list() {
 #[test]
 fn unknown_program_rejected() {
     let (mut world, worker, client) = world_with_daemon(ProgramRegistry::new(), None);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = Driver {
         script: vec![(
             SimDuration::from_millis(10),
@@ -140,7 +139,7 @@ fn unknown_program_rejected() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_millis(500));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(log.iter().any(|m| matches!(
         m,
         DaemonMsg::SpawnResp { req_id: 9, ok: false, .. }
@@ -158,7 +157,7 @@ fn authorization_enforced_when_trust_configured() {
     let registry = ProgramRegistry::new();
     registry.register("short", |_| Box::new(ShortLived { lifetime: SimDuration::from_millis(50) }));
     let (mut world, worker, client) = world_with_daemon(registry, Some(trust));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
 
     // Unauthorized spawn (no credential).
     let bad = DaemonMsg::SpawnReq { req_id: 1, spec: SpawnSpec::program("short", Bytes::new()) };
@@ -196,7 +195,7 @@ fn authorization_enforced_when_trust_configured() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(1));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let outcome = |id: u64| {
         log.iter()
             .find_map(|m| match m {
@@ -215,7 +214,7 @@ fn kill_terminates_task() {
     let registry = ProgramRegistry::new();
     registry.register("long", |_| Box::new(ShortLived { lifetime: SimDuration::from_secs(3600) }));
     let (mut world, worker, client) = world_with_daemon(registry, None);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let daemon_ep = Endpoint::new(worker, ports::DAEMON);
     let mut spec = SpawnSpec::program("long", Bytes::new());
     spec.notify = vec![Endpoint::new(client, 40)];
@@ -230,14 +229,14 @@ fn kill_terminates_task() {
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(1));
     assert!(!world.is_bound(Endpoint::new(worker, ports::TASK_BASE)));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(log.iter().any(|m| matches!(m, DaemonMsg::TaskEvent { state: TaskState::Exited, .. })));
 }
 
 #[test]
 fn router_election_spawns_router() {
     let (mut world, worker, client) = world_with_daemon(ProgramRegistry::new(), None);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = Driver {
         script: vec![(
             SimDuration::from_millis(10),
@@ -248,7 +247,7 @@ fn router_election_spawns_router() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_millis(500));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let resp = log.iter().find_map(|m| match m {
         DaemonMsg::ElectResp { group: 42, router } => Some(*router),
         _ => None,
@@ -262,7 +261,7 @@ fn host_crash_reports_crashed_tasks_on_reboot() {
     let registry = ProgramRegistry::new();
     registry.register("long", |_| Box::new(ShortLived { lifetime: SimDuration::from_secs(3600) }));
     let (mut world, worker, client) = world_with_daemon(registry, None);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let daemon_ep = Endpoint::new(worker, ports::DAEMON);
     let mut spec = SpawnSpec::program("long", Bytes::new());
     spec.notify = vec![Endpoint::new(client, 40)];
@@ -276,7 +275,7 @@ fn host_crash_reports_crashed_tasks_on_reboot() {
     world.run_for(SimDuration::from_millis(200));
     world.host_up(worker);
     world.run_for(SimDuration::from_millis(500));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(
         log.iter().any(|m| matches!(m, DaemonMsg::TaskEvent { state: TaskState::Crashed, .. })),
         "crash must be reported after reboot: {log:?}"

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use snipe_crypto::sha256::sha256;
-use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx, TimerGate};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_rcds::assertion::Assertion;
 use snipe_rcds::client::RcClient;
@@ -83,7 +84,7 @@ impl FileServerActor {
         FileServerActor { cfg, rc, stack: None, stack_gate: TimerGate::new(), rc_gate: TimerGate::new(), files: HashMap::new(), rejected_pushes: 0 }
     }
 
-    fn flush_stack(&mut self, ctx: &mut Ctx<'_>) -> Vec<(u64, Endpoint, FileMsg)> {
+    fn flush_stack(&mut self, ctx: &mut dyn SimCtx) -> Vec<(u64, Endpoint, FileMsg)> {
         let mut delivered = Vec::new();
         let Some(stack) = self.stack.as_mut() else { return delivered };
         for o in stack.drain() {
@@ -107,7 +108,7 @@ impl FileServerActor {
         delivered
     }
 
-    fn reliable_send(&mut self, ctx: &mut Ctx<'_>, to_key: u64, msg: &FileMsg) {
+    fn reliable_send(&mut self, ctx: &mut dyn SimCtx, to_key: u64, msg: &FileMsg) {
         let now = ctx.now();
         if let Some(stack) = self.stack.as_mut() {
             stack.send(now, to_key, msg.encode_to_bytes());
@@ -125,7 +126,7 @@ impl FileServerActor {
         self.files.contains_key(lifn)
     }
 
-    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_rc(&mut self, ctx: &mut dyn SimCtx) {
         for (to, bytes) in self.rc.drain_sends() {
             ctx.send(to, seal(Proto::Raw, bytes));
         }
@@ -135,7 +136,7 @@ impl FileServerActor {
         }
     }
 
-    fn register_replica(&mut self, ctx: &mut Ctx<'_>, lifn: &str, hash: &[u8]) {
+    fn register_replica(&mut self, ctx: &mut dyn SimCtx, lifn: &str, hash: &[u8]) {
         // Name-to-location binding in RC (§3.2): one attribute per
         // replica location, plus the integrity hash.
         let Ok(uri) = Uri::parse(lifn.to_string()) else { return };
@@ -153,13 +154,13 @@ impl FileServerActor {
         self.flush_rc(ctx);
     }
 
-    fn store(&mut self, ctx: &mut Ctx<'_>, lifn: String, content: Bytes) {
+    fn store(&mut self, ctx: &mut dyn SimCtx, lifn: String, content: Bytes) {
         let hash = sha256(&content);
         self.files.insert(lifn.clone(), Stored { content, hash, replicas: 1 });
         self.register_replica(ctx, &lifn, &hash);
     }
 
-    fn replicate_tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn replicate_tick(&mut self, ctx: &mut dyn SimCtx) {
         if !self.cfg.peers.is_empty() {
             // Push under-replicated files to the first peers in the
             // (deterministic) peer order; acks raise the replica count.
@@ -193,8 +194,8 @@ impl FileServerActor {
     }
 }
 
-impl Actor for FileServerActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for FileServerActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start | Event::HostUp => {
                 if self.stack.is_none() {
@@ -204,6 +205,17 @@ impl Actor for FileServerActor {
                         stack.set_peer(endpoint_key(peer), peer, vec![]);
                     }
                     self.stack = Some(stack);
+                } else if matches!(event, Event::HostUp) {
+                    // Reboot: pending timers were swallowed while the
+                    // host was down; kick every transport awake.
+                    let now = ctx.now();
+                    if let Some(stack) = self.stack.as_mut() {
+                        stack.on_host_up(now);
+                    }
+                    let delivered = self.flush_stack(ctx);
+                    for (from_key, from_ep, msg) in delivered {
+                        self.handle_file_msg(ctx, from_key, from_ep, msg);
+                    }
                 }
                 ctx.set_timer(self.cfg.replicate_interval, TIMER_REPLICATE);
             }
@@ -254,20 +266,20 @@ impl Actor for FileServerActor {
 
 impl FileServerActor {
     /// Raw-path messages: sink StoreLocal (loopback) only.
-    fn handle_raw_file_msg(&mut self, ctx: &mut Ctx<'_>, _from: Endpoint, msg: FileMsg) {
+    fn handle_raw_file_msg(&mut self, ctx: &mut dyn SimCtx, _from: Endpoint, msg: FileMsg) {
         if let FileMsg::StoreLocal { lifn, content } = msg {
             self.store(ctx, lifn, content);
         }
     }
 
     /// Reliable-path file operations.
-    fn handle_file_msg(&mut self, ctx: &mut Ctx<'_>, from_key: u64, _from_ep: Endpoint, msg: FileMsg) {
+    fn handle_file_msg(&mut self, ctx: &mut dyn SimCtx, from_key: u64, _from_ep: Endpoint, msg: FileMsg) {
         match msg {
             FileMsg::OpenSink { req_id, lifn } => {
                 let me = ctx.me();
                 let port = ctx.alloc_port(ctx.host());
                 let sink = FileSinkActor::new(lifn, me);
-                if let Some(ep) = ctx.spawn(ctx.host(), port, Box::new(sink)) {
+                if let Some(ep) = ctx.spawn_portable(ctx.host(), port, Box::new(sink)) {
                     let resp = FileMsg::SinkOpened { req_id, sink: ep };
                     self.reliable_send(ctx, from_key, &resp);
                 }
@@ -277,7 +289,7 @@ impl FileServerActor {
                 let ok = if let Some(s) = self.files.get(&lifn) {
                     let port = ctx.alloc_port(ctx.host());
                     let src = FileSourceActor::new(lifn.clone(), s.content.clone(), dest);
-                    ctx.spawn(ctx.host(), port, Box::new(src)).is_some()
+                    ctx.spawn_portable(ctx.host(), port, Box::new(src)).is_some()
                 } else {
                     false
                 };
@@ -337,3 +349,5 @@ impl FileServerActor {
         }
     }
 }
+
+portable_actor!(FileServerActor);

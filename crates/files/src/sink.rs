@@ -2,7 +2,8 @@
 
 use bytes::Bytes;
 
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_util::codec::{WireDecode, WireEncode};
 use snipe_wire::frame::{open, seal, Proto};
@@ -25,8 +26,8 @@ impl FileSinkActor {
     }
 }
 
-impl Actor for FileSinkActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for FileSinkActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         let Event::Packet { payload, .. } = event else { return };
         let Ok((Proto::Raw, body)) = open(payload) else { return };
         let Ok(msg) = FileMsg::decode_from_bytes(body) else { return };
@@ -65,8 +66,8 @@ impl FileSourceActor {
     }
 }
 
-impl Actor for FileSourceActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for FileSourceActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start | Event::Timer { .. } => {
                 // Send a bounded burst per tick to avoid swamping the
@@ -100,3 +101,6 @@ impl Actor for FileSourceActor {
         }
     }
 }
+
+portable_actor!(FileSinkActor);
+portable_actor!(FileSourceActor);

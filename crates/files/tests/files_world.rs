@@ -17,8 +17,7 @@ use snipe_wire::frame::{seal, Proto};
 use snipe_wire::ports;
 use snipe_wire::stack::{endpoint_key, Incoming, StackConfig, WireStack};
 use snipe_wire::Out;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What the driver does at each script step.
 enum Step {
@@ -33,14 +32,14 @@ enum Step {
 struct StackDriver {
     stack: Option<WireStack>,
     script: Vec<(SimDuration, Step)>,
-    log: Rc<RefCell<Vec<FileMsg>>>,
+    log: Arc<Mutex<Vec<FileMsg>>>,
 }
 
 const TIMER_SCRIPT: u64 = 1;
 const TIMER_STACK: u64 = 2;
 
 impl StackDriver {
-    fn new(script: Vec<(SimDuration, Step)>, log: Rc<RefCell<Vec<FileMsg>>>) -> StackDriver {
+    fn new(script: Vec<(SimDuration, Step)>, log: Arc<Mutex<Vec<FileMsg>>>) -> StackDriver {
         StackDriver { stack: None, script, log }
     }
 
@@ -54,7 +53,7 @@ impl StackDriver {
                 },
                 Out::Deliver { msg, .. } => {
                     if let Ok(m) = FileMsg::decode_from_bytes(msg) {
-                        self.log.borrow_mut().push(m);
+                        self.log.lock().unwrap().push(m);
                     }
                 }
                 Out::Wake { .. } => {}
@@ -108,7 +107,7 @@ impl Actor for StackDriver {
                 if let Some(stack) = self.stack.as_mut() {
                     if let Ok(Some(Incoming::Raw { msg, .. })) = stack.on_datagram(now, from, payload) {
                         if let Ok(m) = FileMsg::decode_from_bytes(msg) {
-                            self.log.borrow_mut().push(m);
+                            self.log.lock().unwrap().push(m);
                         }
                     }
                 }
@@ -146,7 +145,7 @@ fn build(servers: usize) -> (World, Vec<Endpoint>, snipe_util::id::HostId) {
 #[test]
 fn store_and_read_round_trip_with_hash() {
     let (mut world, eps, client) = build(1);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let content = Bytes::from(vec![7u8; 5000]);
     let driver = StackDriver::new(
         vec![
@@ -167,7 +166,7 @@ fn store_and_read_round_trip_with_hash() {
     );
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(2));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(log.iter().any(|m| matches!(m, FileMsg::StoreResp { req_id: 1, ok: true })), "{log:?}");
     let read = log
         .iter()
@@ -184,7 +183,7 @@ fn store_and_read_round_trip_with_hash() {
 #[test]
 fn sink_accumulates_and_file_becomes_readable() {
     let (mut world, eps, client) = build(1);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = StackDriver::new(
         vec![(
             SimDuration::from_millis(10),
@@ -195,7 +194,7 @@ fn sink_accumulates_and_file_becomes_readable() {
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_millis(200));
     let sink = log
-        .borrow()
+        .lock().unwrap()
         .iter()
         .find_map(|m| match m {
             FileMsg::SinkOpened { req_id: 1, sink } => Some(*sink),
@@ -213,7 +212,7 @@ fn sink_accumulates_and_file_becomes_readable() {
     );
     world.spawn(client, 41, Box::new(driver2));
     world.run_for(SimDuration::from_secs(2));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let read = log
         .iter()
         .find_map(|m| match m {
@@ -228,7 +227,7 @@ fn sink_accumulates_and_file_becomes_readable() {
 #[test]
 fn source_streams_file_to_destination() {
     let (mut world, eps, client) = build(1);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let content = Bytes::from((0..5000u32).map(|i| (i % 256) as u8).collect::<Vec<u8>>());
     let dest = Endpoint::new(client, 42);
     let driver = StackDriver::new(
@@ -245,10 +244,10 @@ fn source_streams_file_to_destination() {
         log.clone(),
     );
     world.spawn(client, 40, Box::new(driver));
-    let recv_log = Rc::new(RefCell::new(Vec::new()));
+    let recv_log = Arc::new(Mutex::new(Vec::new()));
     world.spawn(client, 42, Box::new(StackDriver::new(vec![], recv_log.clone())));
     world.run_for(SimDuration::from_secs(3));
-    let chunks = recv_log.borrow();
+    let chunks = recv_log.lock().unwrap();
     let mut data = Vec::new();
     let mut saw_last = false;
     for m in chunks.iter() {
@@ -264,7 +263,7 @@ fn source_streams_file_to_destination() {
 #[test]
 fn replication_daemon_copies_to_peer() {
     let (mut world, eps, client) = build(3);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = StackDriver::new(
         vec![(
             SimDuration::from_millis(10),
@@ -274,7 +273,7 @@ fn replication_daemon_copies_to_peer() {
     );
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(3));
-    let log2 = Rc::new(RefCell::new(Vec::new()));
+    let log2 = Arc::new(Mutex::new(Vec::new()));
     let driver2 = StackDriver::new(
         vec![(
             SimDuration::from_millis(1),
@@ -284,7 +283,7 @@ fn replication_daemon_copies_to_peer() {
     );
     world.spawn(client, 41, Box::new(driver2));
     world.run_for(SimDuration::from_secs(2));
-    let log2 = log2.borrow();
+    let log2 = log2.lock().unwrap();
     let read = log2.iter().find_map(|m| match m {
         FileMsg::ReadResp { req_id: 2, ok, content, .. } => Some((*ok, content.clone())),
         _ => None,
@@ -295,7 +294,7 @@ fn replication_daemon_copies_to_peer() {
 #[test]
 fn replica_survives_origin_server_death() {
     let (mut world, eps, client) = build(2);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = StackDriver::new(
         vec![(
             SimDuration::from_millis(10),
@@ -306,7 +305,7 @@ fn replica_survives_origin_server_death() {
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(2));
     world.host_down(eps[0].host);
-    let log2 = Rc::new(RefCell::new(Vec::new()));
+    let log2 = Arc::new(Mutex::new(Vec::new()));
     let driver2 = StackDriver::new(
         vec![(
             SimDuration::from_millis(1),
@@ -316,6 +315,6 @@ fn replica_survives_origin_server_death() {
     );
     world.spawn(client, 41, Box::new(driver2));
     world.run_for(SimDuration::from_secs(2));
-    let ok = log2.borrow().iter().any(|m| matches!(m, FileMsg::ReadResp { req_id: 2, ok: true, .. }));
+    let ok = log2.lock().unwrap().iter().any(|m| matches!(m, FileMsg::ReadResp { req_id: 2, ok: true, .. }));
     assert!(ok, "surviving replica must serve the file");
 }

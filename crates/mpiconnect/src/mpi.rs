@@ -20,7 +20,7 @@ pub trait MpiApi {
 }
 
 /// An MPI rank program.
-pub trait MpiRank {
+pub trait MpiRank: Send {
     /// Rank started.
     fn on_start(&mut self, api: &mut dyn MpiApi);
     /// Message received.

@@ -11,14 +11,13 @@ use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::world::World;
 use snipe_util::time::{SimDuration, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Ping side: sends `rounds` pings, measures completion time.
 struct Pinger {
     peer: u64,
     rounds: u32,
-    done_at: Rc<RefCell<Option<SimTime>>>,
+    done_at: Arc<Mutex<Option<SimTime>>>,
     remaining: u32,
 }
 impl MpiRank for Pinger {
@@ -29,7 +28,7 @@ impl MpiRank for Pinger {
     fn on_recv(&mut self, api: &mut dyn MpiApi, _from: u64, _data: Bytes) {
         self.remaining -= 1;
         if self.remaining == 0 {
-            *self.done_at.borrow_mut() = Some(api.now());
+            *self.done_at.lock().unwrap() = Some(api.now());
         } else {
             api.send(self.peer, Bytes::from(vec![0u8; 64]));
         }
@@ -49,7 +48,7 @@ const ROUNDS: u32 = 50;
 
 fn run_snipe_mode() -> f64 {
     let mut w = SnipeWorldBuilder::two_site(2, 77).build();
-    let done = Rc::new(RefCell::new(None));
+    let done = Arc::new(Mutex::new(None));
     w.register_process("ponger", |_| Box::new(SnipeMpiProcess::new(Box::new(Ponger))));
     let (pong_key, _) = w.spawn_on("site1-host1", "ponger", Bytes::new()).unwrap();
     w.run_for(SimDuration::from_millis(100));
@@ -64,7 +63,7 @@ fn run_snipe_mode() -> f64 {
     });
     w.spawn_on("site0-host1", "pinger", Bytes::new()).unwrap();
     w.run_for_secs(20);
-    let t = done.borrow().expect("snipe ping-pong must complete");
+    let t = done.lock().unwrap().expect("snipe ping-pong must complete");
     t.as_secs_f64()
 }
 
@@ -92,7 +91,7 @@ fn run_pvmpi_mode() -> f64 {
         world.spawn(h, SLAVE_PORT, Box::new(PvmSlave::new(master_ep, registry.clone())));
     }
     world.run_for(SimDuration::from_millis(200)); // enrol slaves
-    let done = Rc::new(RefCell::new(None));
+    let done = Arc::new(Mutex::new(None));
     // Ponger = tid 2 on site1-host1; pinger = tid 1 on site0-host1.
     let pong = PvmpiRankActor::build(2, master_ep, Box::new(Ponger));
     world.spawn(hosts[3], 300, Box::new(pong));
@@ -105,7 +104,7 @@ fn run_pvmpi_mode() -> f64 {
     );
     world.spawn(hosts[1], 300, Box::new(ping));
     world.run_for(SimDuration::from_secs(20));
-    let t = done.borrow().expect("pvmpi ping-pong must complete");
+    let t = done.lock().unwrap().expect("pvmpi ping-pong must complete");
     t.since(start).as_secs_f64()
 }
 

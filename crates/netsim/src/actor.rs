@@ -13,6 +13,7 @@ use bytes::Bytes;
 use snipe_util::id::HostId;
 use snipe_util::time::SimTime;
 
+use crate::shard::AsAny;
 use crate::topology::Endpoint;
 
 /// Dense actor handle within one world.
@@ -53,7 +54,11 @@ pub enum Event {
 }
 
 /// The trait every simulated process implements.
-pub trait Actor {
+///
+/// The [`AsAny`] supertrait (blanket-implemented for every `'static`
+/// type) lets tests and benches read concrete actor state back through
+/// [`crate::world::World::actor_ref`].
+pub trait Actor: AsAny {
     /// Handle one event. `ctx` exposes the world: current time, packet
     /// sending, timers, spawning.
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event);
@@ -161,6 +166,156 @@ impl<'w> Ctx<'w> {
     }
 }
 
+/// The engine-agnostic world API: the intersection of [`Ctx`] (serial
+/// [`crate::world::World`]) and [`crate::shard::ShardCtx`]
+/// ([`crate::shard::ShardedWorld`]) that the full SNIPE protocol stack
+/// actually needs. Actors written against `&mut dyn SimCtx` — see
+/// [`PortableActor`] — run unchanged on either engine.
+///
+/// Deliberately absent: `actor_id` (a serial-world detail) and raw
+/// `spawn` of engine-specific boxed actors (use
+/// [`SimCtx::spawn_portable`]). Spawns are same-host/same-region only
+/// on the sharded engine; every spawn in the protocol stack is local
+/// (daemons exec on their own host), so portable code should only ever
+/// spawn on `self.host()`.
+pub trait SimCtx {
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+    /// This actor's own endpoint.
+    fn me(&self) -> Endpoint;
+    /// This actor's host.
+    fn host(&self) -> HostId;
+    /// Send a datagram (unreliable; reliability lives in `snipe-wire`).
+    fn send(&mut self, to: Endpoint, payload: Bytes);
+    /// Send pinned to a specific network (multi-path layer).
+    fn send_via(&mut self, to: Endpoint, payload: Bytes, via: snipe_util::id::NetId);
+    /// Schedule an [`Event::Timer`] for this actor after `delay`.
+    fn set_timer(&mut self, delay: snipe_util::time::SimDuration, token: u64);
+    /// Spawn a portable actor; same restrictions as the engine's own
+    /// `spawn` (taken port / unknown host / cross-region → `None`).
+    fn spawn_portable(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn PortableActor>,
+    ) -> Option<Endpoint>;
+    /// Allocate an unused ephemeral port on a host.
+    fn alloc_port(&mut self, host: HostId) -> u16;
+    /// Is an actor currently bound at `ep`?
+    fn is_bound(&self, ep: Endpoint) -> bool;
+    /// Terminate an actor (exit, or kill of a local task).
+    fn kill(&mut self, ep: Endpoint);
+    /// Deliver a signal to another actor at the same timestamp.
+    fn signal(&mut self, to: Endpoint, signum: u32);
+    /// Deterministic RNG stream (per-world serial, per-region sharded —
+    /// draws are reproducible per engine, not across engines).
+    fn rng(&mut self) -> &mut snipe_util::rng::Xoshiro256;
+    /// Immutable view of the topology.
+    fn topology(&self) -> &crate::topology::Topology;
+    /// Is a host currently up?
+    fn host_up(&self, h: HostId) -> bool;
+}
+
+impl SimCtx for Ctx<'_> {
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
+    }
+    fn me(&self) -> Endpoint {
+        Ctx::me(self)
+    }
+    fn host(&self) -> HostId {
+        Ctx::host(self)
+    }
+    fn send(&mut self, to: Endpoint, payload: Bytes) {
+        Ctx::send(self, to, payload);
+    }
+    fn send_via(&mut self, to: Endpoint, payload: Bytes, via: snipe_util::id::NetId) {
+        Ctx::send_via(self, to, payload, via);
+    }
+    fn set_timer(&mut self, delay: snipe_util::time::SimDuration, token: u64) {
+        Ctx::set_timer(self, delay, token);
+    }
+    fn spawn_portable(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn PortableActor>,
+    ) -> Option<Endpoint> {
+        Ctx::spawn(self, host, port, Box::new(OnWorld(actor)))
+    }
+    fn alloc_port(&mut self, host: HostId) -> u16 {
+        Ctx::alloc_port(self, host)
+    }
+    fn is_bound(&self, ep: Endpoint) -> bool {
+        Ctx::is_bound(self, ep)
+    }
+    fn kill(&mut self, ep: Endpoint) {
+        Ctx::kill(self, ep);
+    }
+    fn signal(&mut self, to: Endpoint, signum: u32) {
+        Ctx::signal(self, to, signum);
+    }
+    fn rng(&mut self) -> &mut snipe_util::rng::Xoshiro256 {
+        Ctx::rng(self)
+    }
+    fn topology(&self) -> &crate::topology::Topology {
+        Ctx::topology(self)
+    }
+    fn host_up(&self, h: HostId) -> bool {
+        Ctx::host_up(self, h)
+    }
+}
+
+/// An engine-agnostic actor: `Send` (it must be hostable on a shard
+/// core that migrates across worker threads) and written against
+/// [`SimCtx`] instead of a concrete engine context.
+///
+/// Concrete types get the engine-specific [`Actor`] /
+/// [`crate::shard::ShardActor`] impls generated by
+/// [`crate::portable_actor!`]; registry-produced `Box<dyn
+/// PortableActor>`s are hosted through [`OnWorld`] /
+/// [`crate::shard::OnShard`] (normally via [`SimCtx::spawn_portable`]).
+pub trait PortableActor: AsAny + Send {
+    /// Handle one event.
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event);
+}
+
+/// Hosts a boxed [`PortableActor`] on the serial [`crate::world::World`].
+pub struct OnWorld(pub Box<dyn PortableActor>);
+
+impl Actor for OnWorld {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        self.0.on_event(ctx, event);
+    }
+}
+
+/// Generates the [`Actor`] and [`crate::shard::ShardActor`] impls for a
+/// concrete [`PortableActor`] type, so existing call sites can keep
+/// spawning and downcasting the concrete type on either engine.
+#[macro_export]
+macro_rules! portable_actor {
+    ($ty:ty) => {
+        impl $crate::actor::Actor for $ty {
+            fn on_event(
+                &mut self,
+                ctx: &mut $crate::actor::Ctx<'_>,
+                event: $crate::actor::Event,
+            ) {
+                $crate::actor::PortableActor::on_event(self, ctx, event);
+            }
+        }
+        impl $crate::shard::ShardActor for $ty {
+            fn on_event(
+                &mut self,
+                ctx: &mut $crate::shard::ShardCtx<'_>,
+                event: $crate::actor::Event,
+            ) {
+                $crate::actor::PortableActor::on_event(self, ctx, event);
+            }
+        }
+    };
+}
+
 /// Deduplicates wake-up timers for one token.
 ///
 /// Simulator timers cannot be cancelled, so an actor that re-arms "wake
@@ -181,7 +336,7 @@ impl TimerGate {
 
     /// Request a wake-up at `deadline` (token `token`); arms a real
     /// timer only if nothing earlier is already pending.
-    pub fn arm_at(&mut self, ctx: &mut Ctx<'_>, deadline: SimTime, token: u64) {
+    pub fn arm_at(&mut self, ctx: &mut dyn SimCtx, deadline: SimTime, token: u64) {
         let now = ctx.now();
         if let Some(armed) = self.armed_until {
             if armed <= deadline && armed >= now {

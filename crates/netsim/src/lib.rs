@@ -38,10 +38,10 @@ pub mod topology;
 pub mod trace;
 pub mod world;
 
-pub use actor::{Actor, ActorId, Ctx, Event, TimerGate};
+pub use actor::{Actor, ActorId, Ctx, Event, OnWorld, PortableActor, SimCtx, TimerGate};
 pub use chaos::{ChaosBinding, ChaosOp, ChaosPlan, ChaosShape, PacketChaos};
 pub use medium::Medium;
-pub use shard::{FaultCmd, Partition, ShardActor, ShardCtx, ShardLoad, ShardedWorld};
+pub use shard::{FaultCmd, OnShard, Partition, ShardActor, ShardCtx, ShardLoad, ShardedWorld};
 pub use topology::{Endpoint, HostCfg, Topology};
 pub use trace::{FaultOp, MigrationPhase, TraceEvent, TraceKind};
 pub use world::World;

@@ -64,7 +64,7 @@ use snipe_util::metrics::{Log2Histogram, Registry};
 use snipe_util::rng::{SplitMix64, Xoshiro256};
 use snipe_util::time::{SimDuration, SimTime};
 
-use crate::actor::{ActorId, Event};
+use crate::actor::{ActorId, Event, PortableActor, SimCtx};
 use crate::chaos::{ChaosBinding, ChaosOp, ChaosPlan, PacketChaos};
 use crate::queue::{EventQueue, FnvMap, Tier, TxChannel};
 use crate::topology::{Endpoint, GrayLevel, PathInfo, Topology};
@@ -310,12 +310,10 @@ impl ShardCtx<'_> {
     /// Spawn an actor on `host` at `port` — same region only. Returns
     /// `None` for a taken port, unknown host, or cross-region target.
     pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
-        if host.index() >= self.topo.host_count()
-            || self.part.region_of_host(host) != self.core.region as usize
-        {
-            debug_assert!(
-                host.index() >= self.topo.host_count()
-                    || self.part.region_of_host(host) == self.core.region as usize,
+        let r = spawn_region(self.topo, self.part, host)?;
+        if r != self.core.region as usize {
+            debug_assert_eq!(
+                r, self.core.region as usize,
                 "cross-region spawn from region {}",
                 self.core.region
             );
@@ -370,6 +368,75 @@ impl ShardCtx<'_> {
     /// Is a host currently up?
     pub fn host_up(&self, h: HostId) -> bool {
         self.topo.host(h).up
+    }
+}
+
+/// Shared spawn validation for [`ShardCtx::spawn`] and
+/// [`ShardedWorld::spawn`]: the region owning `host`, or `None` for an
+/// unknown host id.
+fn spawn_region(topo: &Topology, part: &Partition, host: HostId) -> Option<usize> {
+    if host.index() >= topo.host_count() {
+        return None;
+    }
+    Some(part.region_of_host(host))
+}
+
+impl SimCtx for ShardCtx<'_> {
+    fn now(&self) -> SimTime {
+        ShardCtx::now(self)
+    }
+    fn me(&self) -> Endpoint {
+        ShardCtx::me(self)
+    }
+    fn host(&self) -> HostId {
+        ShardCtx::host(self)
+    }
+    fn send(&mut self, to: Endpoint, payload: Bytes) {
+        ShardCtx::send(self, to, payload);
+    }
+    fn send_via(&mut self, to: Endpoint, payload: Bytes, via: NetId) {
+        ShardCtx::send_via(self, to, payload, via);
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        ShardCtx::set_timer(self, delay, token);
+    }
+    fn spawn_portable(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn PortableActor>,
+    ) -> Option<Endpoint> {
+        ShardCtx::spawn(self, host, port, Box::new(OnShard(actor)))
+    }
+    fn alloc_port(&mut self, host: HostId) -> u16 {
+        ShardCtx::alloc_port(self, host)
+    }
+    fn is_bound(&self, ep: Endpoint) -> bool {
+        ShardCtx::is_bound(self, ep)
+    }
+    fn kill(&mut self, ep: Endpoint) {
+        ShardCtx::kill(self, ep);
+    }
+    fn signal(&mut self, to: Endpoint, signum: u32) {
+        ShardCtx::signal(self, to, signum);
+    }
+    fn rng(&mut self) -> &mut Xoshiro256 {
+        ShardCtx::rng(self)
+    }
+    fn topology(&self) -> &Topology {
+        self.topo
+    }
+    fn host_up(&self, h: HostId) -> bool {
+        ShardCtx::host_up(self, h)
+    }
+}
+
+/// Hosts a boxed [`PortableActor`] on the sharded engine.
+pub struct OnShard(pub Box<dyn PortableActor>);
+
+impl ShardActor for OnShard {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        self.0.on_event(ctx, event);
     }
 }
 
@@ -1225,11 +1292,19 @@ impl ShardedWorld {
     /// Delivers [`Event::Start`] at the current time. `None` if the
     /// port is taken or the host id is unknown.
     pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
-        if host.index() >= self.topo.read().unwrap().host_count() {
-            return None;
-        }
-        let r = self.part.region_of_host(host);
+        let r = spawn_region(&self.topo.read().unwrap(), &self.part, host)?;
         self.cores[r].spawn(host, port, actor)
+    }
+
+    /// Spawn a boxed [`PortableActor`] (wrapped in [`OnShard`]) on its
+    /// owning shard.
+    pub fn spawn_portable(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn PortableActor>,
+    ) -> Option<Endpoint> {
+        self.spawn(host, port, Box::new(OnShard(actor)))
     }
 
     /// Allocate an unused ephemeral port on `host`.
@@ -1252,6 +1327,25 @@ impl ShardedWorld {
         let actor = core.slots[id.0 as usize].actor.as_ref()?;
         let actor: &dyn ShardActor = &**actor;
         actor.as_any().downcast_ref::<T>()
+    }
+
+    /// Like [`ShardedWorld::actor_ref`], but also looks through an
+    /// [`OnShard`] wrapper, so registry-spawned portable actors are
+    /// reachable by their concrete type.
+    pub fn portable_ref<T: PortableActor + 'static>(&self, ep: Endpoint) -> Option<&T> {
+        let core = &self.cores[self.part.region_of_host(ep.host)];
+        let id = core.bindings.get(&ep)?;
+        let actor = core.slots[id.0 as usize].actor.as_ref()?;
+        let actor: &dyn ShardActor = &**actor;
+        if let Some(t) = actor.as_any().downcast_ref::<T>() {
+            return Some(t);
+        }
+        let wrapped = actor.as_any().downcast_ref::<OnShard>()?;
+        // Deref the box explicitly: calling `as_any` on the `Box`
+        // itself would hit the blanket `AsAny` impl for the box type
+        // and the downcast would miss the hosted actor.
+        let inner: &dyn PortableActor = &*wrapped.0;
+        inner.as_any().downcast_ref::<T>()
     }
 
     /// Schedule a fault command for `at`. Gray faults are clamped to

@@ -310,6 +310,48 @@ impl World {
         Some(ep)
     }
 
+    /// Spawn a boxed [`crate::actor::PortableActor`] (wrapped in
+    /// [`crate::actor::OnWorld`]).
+    pub fn spawn_portable(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn crate::actor::PortableActor>,
+    ) -> Option<Endpoint> {
+        self.spawn(host, port, Box::new(crate::actor::OnWorld(actor)))
+    }
+
+    /// Borrow the concrete actor state at `ep` (between runs), e.g. for
+    /// workload invariant checks. `None` if nothing is bound there or
+    /// the bound actor is not a `T`.
+    pub fn actor_ref<T: Actor + 'static>(&self, ep: Endpoint) -> Option<&T> {
+        let id = self.bindings.get(&ep)?;
+        let actor = self.slots[id.0 as usize].actor.as_ref()?;
+        let actor: &dyn Actor = &**actor;
+        actor.as_any().downcast_ref::<T>()
+    }
+
+    /// Like [`World::actor_ref`], but also looks through an
+    /// [`crate::actor::OnWorld`] wrapper, so registry-spawned portable
+    /// actors are reachable by their concrete type.
+    pub fn portable_ref<T: crate::actor::PortableActor + 'static>(
+        &self,
+        ep: Endpoint,
+    ) -> Option<&T> {
+        let id = self.bindings.get(&ep)?;
+        let actor = self.slots[id.0 as usize].actor.as_ref()?;
+        let actor: &dyn Actor = &**actor;
+        if let Some(t) = actor.as_any().downcast_ref::<T>() {
+            return Some(t);
+        }
+        let wrapped = actor.as_any().downcast_ref::<crate::actor::OnWorld>()?;
+        // Deref the box explicitly: calling `as_any` on the `Box`
+        // itself could hit the blanket `AsAny` impl for the box type
+        // and the downcast would miss the hosted actor.
+        let inner: &dyn crate::actor::PortableActor = &*wrapped.0;
+        inner.as_any().downcast_ref::<T>()
+    }
+
     /// Allocate an unused ephemeral port on `host`.
     ///
     /// # Panics

@@ -15,7 +15,8 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use snipe_crypto::sign::PublicKey;
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_util::codec::{Decoder, Encoder, WireDecode, WireEncode};
 use snipe_util::error::{SnipeError, SnipeResult};
@@ -123,14 +124,14 @@ pub struct PlaygroundConfig {
 }
 
 /// Host bridge: translates VM syscalls into simulator operations.
-struct ActorHost<'a, 'w> {
-    ctx: &'a mut Ctx<'w>,
+struct ActorHost<'a> {
+    ctx: &'a mut dyn SimCtx,
     address_book: &'a HashMap<i64, Endpoint>,
     violations: &'a mut Vec<Violation>,
     logged: &'a mut Vec<i64>,
 }
 
-impl SyscallHost for ActorHost<'_, '_> {
+impl SyscallHost for ActorHost<'_> {
     fn now_ms(&mut self) -> i64 {
         (self.ctx.now().as_nanos() / 1_000_000) as i64
     }
@@ -189,12 +190,12 @@ impl PlaygroundActor {
         })
     }
 
-    fn report(&mut self, ctx: &mut Ctx<'_>, msg: &PlaygroundMsg) {
+    fn report(&mut self, ctx: &mut dyn SimCtx, msg: &PlaygroundMsg) {
         let sup = self.cfg.supervisor;
         ctx.send(sup, seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
-    fn fail(&mut self, ctx: &mut Ctx<'_>, reason: String) {
+    fn fail(&mut self, ctx: &mut dyn SimCtx, reason: String) {
         self.violations.push(Violation { at: ctx.now(), what: reason.clone() });
         if !self.reported {
             self.reported = true;
@@ -205,8 +206,8 @@ impl PlaygroundActor {
     }
 }
 
-impl Actor for PlaygroundActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for PlaygroundActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => {
                 // 1. Verify authenticity + integrity + static safety.
@@ -273,9 +274,12 @@ impl Actor for PlaygroundActor {
     }
 }
 
+portable_actor!(PlaygroundActor);
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snipe_netsim::actor::{Actor, Ctx};
     use crate::bytecode::{Instr, Program};
     use crate::vm::{sys, CAP_EMIT};
     use snipe_crypto::sign::KeyPair;

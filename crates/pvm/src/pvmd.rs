@@ -12,7 +12,8 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_util::codec::{WireDecode, WireEncode};
 use snipe_util::time::{SimDuration, SimTime};
@@ -78,7 +79,7 @@ impl PvmMaster {
 
     /// Reserve the master's next service slot and queue `msg` for
     /// release when the slot completes.
-    fn reply_after_service(&mut self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &PvmMsg) {
+    fn reply_after_service(&mut self, ctx: &mut dyn SimCtx, to: Endpoint, msg: &PvmMsg) {
         let now = ctx.now();
         let per_req = SERVICE_BASE + SERVICE_PER_HOST * self.slaves.len() as u64;
         let start = if self.busy_until > now { self.busy_until } else { now };
@@ -89,7 +90,7 @@ impl PvmMaster {
         ctx.set_timer(finish.saturating_since(now), TIMER_FLUSH);
     }
 
-    fn flush_deferred(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_deferred(&mut self, ctx: &mut dyn SimCtx) {
         let now = ctx.now();
         let mut rest = Vec::new();
         for (at, to, bytes) in std::mem::take(&mut self.deferred) {
@@ -109,8 +110,8 @@ impl Default for PvmMaster {
     }
 }
 
-impl Actor for PvmMaster {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for PvmMaster {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Timer { token: TIMER_FLUSH } => self.flush_deferred(ctx),
             Event::Packet { from, payload } => {
@@ -228,7 +229,7 @@ impl PvmSlave {
 
     /// Forward a routed packet toward its destination: directly to a
     /// local task, or to the destination host's pvmd.
-    fn route(&mut self, ctx: &mut Ctx<'_>, dest: Tid, from: Tid, payload: Bytes) {
+    fn route(&mut self, ctx: &mut dyn SimCtx, dest: Tid, from: Tid, payload: Bytes) {
         self.relayed += 1;
         if let Some(&ep) = self.local_tasks.get(&dest) {
             let msg = PvmMsg::Data { from, payload };
@@ -268,8 +269,8 @@ impl PvmSlave {
     }
 }
 
-impl Actor for PvmSlave {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for PvmSlave {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => {
                 let me = ctx.me();
@@ -321,7 +322,7 @@ impl Actor for PvmSlave {
                             port = port.wrapping_add(1).max(200);
                         }
                         self.next_task_port = port.wrapping_add(1).max(200);
-                        let ep = ctx.spawn(ctx.host(), port, actor).expect("port free");
+                        let ep = ctx.spawn_portable(ctx.host(), port, actor).expect("port free");
                         self.started += 1;
                         self.local_tasks.insert(tid, ep);
                         // Register the task centrally, then answer.
@@ -337,3 +338,6 @@ impl Actor for PvmSlave {
         }
     }
 }
+
+portable_actor!(PvmMaster);
+portable_actor!(PvmSlave);

@@ -8,7 +8,8 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_util::codec::{WireDecode, WireEncode};
 use snipe_util::time::{SimDuration, SimTime};
@@ -63,7 +64,7 @@ impl PvmTaskApi<'_> {
 }
 
 /// The trait a PVM application implements.
-pub trait PvmTask {
+pub trait PvmTask: Send {
     /// Task started (tid assigned).
     fn on_start(&mut self, api: &mut PvmTaskApi<'_>);
     /// Data from another task.
@@ -127,14 +128,14 @@ impl PvmTaskActor {
         self
     }
 
-    fn with_task(&mut self, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut dyn PvmTask, &mut PvmTaskApi<'_>)) {
+    fn with_task(&mut self, ctx: &mut dyn SimCtx, f: impl FnOnce(&mut dyn PvmTask, &mut PvmTaskApi<'_>)) {
         let now = ctx.now();
         let Self { task, cmds, next_ticket, tid, .. } = self;
         let mut api = PvmTaskApi { now, my_tid: *tid, cmds, next_ticket };
         f(task.as_mut(), &mut api);
     }
 
-    fn run_cmds(&mut self, ctx: &mut Ctx<'_>) {
+    fn run_cmds(&mut self, ctx: &mut dyn SimCtx) {
         for _ in 0..16 {
             if self.cmds.is_empty() {
                 return;
@@ -180,8 +181,8 @@ impl PvmTaskActor {
     }
 }
 
-impl Actor for PvmTaskActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for PvmTaskActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => {
                 // Register our own tid with the master so peers can
@@ -244,3 +245,5 @@ impl Actor for PvmTaskActor {
         }
     }
 }
+
+portable_actor!(PvmTaskActor);

@@ -9,10 +9,9 @@ use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::world::World;
 use snipe_util::time::SimDuration;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-type Log = Rc<RefCell<Vec<String>>>;
+type Log = Arc<Mutex<Vec<String>>>;
 
 struct EchoTask;
 impl PvmTask for EchoTask {
@@ -33,7 +32,7 @@ impl PvmTask for Root {
         api.spawn("echo", Bytes::new());
     }
     fn on_spawned(&mut self, api: &mut PvmTaskApi<'_>, _ticket: u64, ok: bool, tid: Tid) {
-        self.log.borrow_mut().push(format!("spawned ok={ok} tid={tid}"));
+        self.log.lock().unwrap().push(format!("spawned ok={ok} tid={tid}"));
         if ok {
             self.child = tid;
             api.send(tid, b"ping".to_vec());
@@ -41,7 +40,7 @@ impl PvmTask for Root {
     }
     fn on_message(&mut self, _api: &mut PvmTaskApi<'_>, from: Tid, msg: Bytes) {
         self.log
-            .borrow_mut()
+            .lock().unwrap()
             .push(format!("from {from}: {}", String::from_utf8_lossy(&msg)));
     }
 }
@@ -73,12 +72,12 @@ fn spawn_and_message_through_master() {
         Box::new(PvmTaskActor::new(sctx.proc_key as Tid, m, Box::new(EchoTask)))
     });
     world.run_for(SimDuration::from_millis(100)); // slaves join
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let root = PvmTaskActor::new(9999, master_ep, Box::new(Root { log: log.clone(), child: 0 }));
     let h0 = snipe_util::id::HostId(0);
     world.spawn(h0, 500, Box::new(root));
     world.run_for(SimDuration::from_secs(2));
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.iter().any(|m| m.starts_with("spawned ok=true")), "{got:?}");
     assert!(got.iter().any(|m| m.contains("echo:ping")), "{got:?}");
 }
@@ -92,13 +91,13 @@ fn master_death_kills_the_virtual_machine() {
     });
     world.run_for(SimDuration::from_millis(100));
     world.host_down(master_ep.host);
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let root = PvmTaskActor::new(9999, master_ep, Box::new(Root { log: log.clone(), child: 0 }));
     // Root runs on a *surviving* host, but everything needs the master.
     let h1 = snipe_util::id::HostId(1);
     world.spawn(h1, 500, Box::new(root));
     world.run_for(SimDuration::from_secs(3));
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.is_empty(), "no operation may complete without the master: {got:?}");
 }
 
@@ -145,9 +144,9 @@ fn lookups_serialize_through_master() {
         Box::new(PvmTaskActor::new(sctx.proc_key as Tid, m, Box::new(EchoTask)))
     });
     world.run_for(SimDuration::from_millis(100));
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let root = PvmTaskActor::new(9999, master_ep, Box::new(Root { log: log.clone(), child: 0 }));
     world.spawn(snipe_util::id::HostId(0), 500, Box::new(root));
     world.run_for(SimDuration::from_secs(2));
-    assert!(log.borrow().iter().any(|m| m.contains("echo:ping")));
+    assert!(log.lock().unwrap().iter().any(|m| m.contains("echo:ping")));
 }

@@ -9,7 +9,8 @@
 //! paper's disk-backed servers did.
 
 
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_util::codec::{WireDecode, WireEncode};
 use snipe_util::time::SimDuration;
@@ -23,6 +24,12 @@ use crate::uri::Uri;
 const TIMER_SYNC: u64 = 1;
 /// Maximum updates per SyncPush datagram.
 const PUSH_BATCH: usize = 64;
+/// Byte budget for the updates in one SyncPush. Servers send raw
+/// datagrams (no wire-layer fragmentation), so a push must fit the
+/// path MTU with headroom for framing — on a busy catalog a
+/// count-only batch silently exceeds 1500 bytes and every push is
+/// dropped `TooBig`, wedging anti-entropy entirely.
+const PUSH_BYTES: usize = 1100;
 
 /// The RC server actor.
 pub struct RcServerActor {
@@ -58,11 +65,11 @@ impl RcServerActor {
         self.store.put(uri, assertion, 0);
     }
 
-    fn send(&self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &RcMsg) {
+    fn send(&self, ctx: &mut dyn SimCtx, to: Endpoint, msg: &RcMsg) {
         ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
-    fn handle_request(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, id: u64, op: RcOp) {
+    fn handle_request(&mut self, ctx: &mut dyn SimCtx, from: Endpoint, id: u64, op: RcOp) {
         self.requests_served += 1;
         let now_ns = ctx.now().as_nanos();
         let resp = match op {
@@ -95,15 +102,15 @@ impl RcServerActor {
         self.send(ctx, from, &resp);
     }
 
-    fn arm_timer(&self, ctx: &mut Ctx<'_>) {
+    fn arm_timer(&self, ctx: &mut dyn SimCtx) {
         if !self.peers.is_empty() {
             ctx.set_timer(self.sync_interval, TIMER_SYNC);
         }
     }
 }
 
-impl Actor for RcServerActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for RcServerActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start | Event::HostUp => self.arm_timer(ctx),
             Event::Timer { token: TIMER_SYNC } => {
@@ -127,8 +134,26 @@ impl Actor for RcServerActor {
                 match msg {
                     RcMsg::Request { id, op } => self.handle_request(ctx, from, id, op),
                     RcMsg::SyncReq { vector } => {
-                        let updates = self.store.updates_since(&vector, PUSH_BATCH);
-                        let more = updates.len() == PUSH_BATCH;
+                        let candidates = self.store.updates_since(&vector, PUSH_BATCH);
+                        let total = candidates.len();
+                        // Pack updates up to the byte budget; the
+                        // `more` flag makes the peer re-request
+                        // immediately, so a large backlog drains in a
+                        // burst of MTU-sized pushes instead of one
+                        // undeliverable datagram.
+                        let mut updates = Vec::new();
+                        let mut budget = PUSH_BYTES;
+                        for u in candidates {
+                            let mut e = snipe_util::codec::Encoder::new();
+                            u.encode(&mut e);
+                            let sz = e.finish().len();
+                            if !updates.is_empty() && sz > budget {
+                                break;
+                            }
+                            budget = budget.saturating_sub(sz);
+                            updates.push(u);
+                        }
+                        let more = updates.len() < total || total == PUSH_BATCH;
                         if !updates.is_empty() {
                             self.send(ctx, from, &RcMsg::SyncPush { updates, more });
                         }
@@ -151,3 +176,5 @@ impl Actor for RcServerActor {
         }
     }
 }
+
+portable_actor!(RcServerActor);

@@ -14,14 +14,13 @@ use snipe_util::id::HostId;
 use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::ports;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A test client actor wrapping RcClient.
 struct ClientActor {
     rc: RcClient,
     script: Vec<(SimDuration, Op)>,
-    results: Rc<RefCell<Vec<(u64, bool, Vec<Assertion>)>>>,
+    results: Arc<Mutex<Vec<(u64, bool, Vec<Assertion>)>>>,
 }
 
 enum Op {
@@ -39,8 +38,8 @@ impl ClientActor {
         }
         for (id, result) in self.rc.drain_done() {
             match result {
-                Ok(reply) => self.results.borrow_mut().push((id, true, reply.assertions)),
-                Err(_) => self.results.borrow_mut().push((id, false, vec![])),
+                Ok(reply) => self.results.lock().unwrap().push((id, true, reply.assertions)),
+                Err(_) => self.results.lock().unwrap().push((id, false, vec![])),
             }
         }
         if let Some(dl) = self.rc.next_deadline() {
@@ -112,7 +111,7 @@ fn build_world(replicas: usize) -> (World, Vec<Endpoint>, HostId) {
 #[test]
 fn put_on_one_replica_readable_from_another_after_sync() {
     let (mut world, eps, client_host) = build_world(3);
-    let results = Rc::new(RefCell::new(Vec::new()));
+    let results = Arc::new(Mutex::new(Vec::new()));
     let uri = Uri::process(7);
     // Writer talks only to replica 0; reader only to replica 2.
     let writer = ClientActor {
@@ -128,7 +127,7 @@ fn put_on_one_replica_readable_from_another_after_sync() {
     world.spawn(client_host, 50, Box::new(writer));
     world.spawn(client_host, 51, Box::new(reader));
     world.run_for(SimDuration::from_secs(3));
-    let res = results.borrow();
+    let res = results.lock().unwrap();
     assert_eq!(res.len(), 2, "both ops must complete: {res:?}");
     let get = res.iter().find(|(_, _, a)| !a.is_empty()).expect("get returned data");
     assert_eq!(get.2[0].name, "loc");
@@ -138,7 +137,7 @@ fn put_on_one_replica_readable_from_another_after_sync() {
 #[test]
 fn client_fails_over_when_preferred_replica_dies() {
     let (mut world, eps, client_host) = build_world(3);
-    let results = Rc::new(RefCell::new(Vec::new()));
+    let results = Arc::new(Mutex::new(Vec::new()));
     let uri = Uri::process(9);
     // Seed data into replica 1 (which gossips to all).
     let writer = ClientActor {
@@ -157,7 +156,7 @@ fn client_fails_over_when_preferred_replica_dies() {
     let dead = eps[0].host;
     world.schedule_fn(SimTime::ZERO + SimDuration::from_secs(1), move |w| w.host_down(dead));
     world.run_for(SimDuration::from_secs(4));
-    let res = results.borrow();
+    let res = results.lock().unwrap();
     let get = res.iter().find(|(_, _, a)| !a.is_empty());
     assert!(get.is_some(), "read must succeed via failover: {res:?}");
 }
@@ -165,7 +164,7 @@ fn client_fails_over_when_preferred_replica_dies() {
 #[test]
 fn recovered_replica_catches_up() {
     let (mut world, eps, client_host) = build_world(2);
-    let results = Rc::new(RefCell::new(Vec::new()));
+    let results = Arc::new(Mutex::new(Vec::new()));
     let uri = Uri::process(11);
     // Kill replica 1 first; write to replica 0 while 1 is down; revive
     // 1; then read from 1 only.
@@ -185,7 +184,7 @@ fn recovered_replica_catches_up() {
     world.spawn(client_host, 50, Box::new(writer));
     world.spawn(client_host, 51, Box::new(reader));
     world.run_for(SimDuration::from_secs(5));
-    let res = results.borrow();
+    let res = results.lock().unwrap();
     let get = res.iter().find(|(_, _, a)| !a.is_empty());
     assert!(get.is_some(), "revived replica must have caught up: {res:?}");
     assert_eq!(get.unwrap().2[0].value, "late");

@@ -13,7 +13,8 @@ use bytes::Bytes;
 
 use snipe_crypto::cert::{CertClaim, Certificate, TrustPurpose, TrustStore};
 use snipe_crypto::sign::KeyPair;
-use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx, TimerGate};
+use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
 use snipe_rcds::client::RcClient;
 use snipe_rcds::uri::Uri;
@@ -143,11 +144,11 @@ impl RmActor {
         self.hosts.len()
     }
 
-    fn send_msg(&self, ctx: &mut Ctx<'_>, to: Endpoint, msg: &RmMsg) {
+    fn send_msg(&self, ctx: &mut dyn SimCtx, to: Endpoint, msg: &RmMsg) {
         ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
-    fn flush_rc(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_rc(&mut self, ctx: &mut dyn SimCtx) {
         for (to, bytes) in self.rc.drain_sends() {
             ctx.send(to, seal(Proto::Raw, bytes));
         }
@@ -226,7 +227,7 @@ impl RmActor {
 
     fn handle_alloc(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn SimCtx,
         from: Endpoint,
         req_id: u64,
         spec: SpawnSpec,
@@ -299,7 +300,7 @@ impl RmActor {
 
     fn handle_spawn_resp(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn SimCtx,
         did: u64,
         ok: bool,
         endpoint: Endpoint,
@@ -332,7 +333,7 @@ impl RmActor {
     }
 
     /// Timeout path: retry missing spawns on other hosts, or fail.
-    fn check_pending(&mut self, ctx: &mut Ctx<'_>) {
+    fn check_pending(&mut self, ctx: &mut dyn SimCtx) {
         let now = ctx.now();
         let expired: Vec<u64> = self
             .pending
@@ -394,14 +395,14 @@ impl RmActor {
     /// §4: verify the two certificates and issue a signed authorization.
     fn handle_auth(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut dyn SimCtx,
         from: Endpoint,
         req_id: u64,
         user_cert: Bytes,
         host_cert: Bytes,
         resource: String,
     ) {
-        let deny = |this: &mut Self, ctx: &mut Ctx<'_>, error: String| {
+        let deny = |this: &mut Self, ctx: &mut dyn SimCtx, error: String| {
             this.auth_denied += 1;
             let resp = RmMsg::AuthResp { req_id, ok: false, grant: Bytes::new(), error };
             this.send_msg(ctx, from, &resp);
@@ -450,7 +451,7 @@ impl RmActor {
         self.send_msg(ctx, from, &resp);
     }
 
-    fn refresh(&mut self, ctx: &mut Ctx<'_>) {
+    fn refresh(&mut self, ctx: &mut dyn SimCtx) {
         // Decay reservations (daemon load reports supersede them).
         self.reserved.clear();
         self.rc.find(ctx.now(), "type", "host");
@@ -459,8 +460,8 @@ impl RmActor {
     }
 }
 
-impl Actor for RmActor {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+impl PortableActor for RmActor {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start | Event::HostUp => self.refresh(ctx),
             Event::HostDown => {}
@@ -515,3 +516,5 @@ impl Actor for RmActor {
         }
     }
 }
+
+portable_actor!(RmActor);

@@ -7,7 +7,7 @@ use snipe_crypto::cert::{CertClaim, Certificate, TrustPurpose, TrustStore};
 use snipe_crypto::sign::KeyPair;
 use snipe_daemon::registry::ProgramRegistry;
 use snipe_daemon::{DaemonActor, DaemonConfig};
-use snipe_netsim::actor::{Actor, Ctx, Event};
+use snipe_netsim::actor::{Actor, Ctx, Event, PortableActor, SimCtx};
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::world::World;
@@ -20,17 +20,16 @@ use snipe_util::time::SimDuration;
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::ports;
 use snipe_daemon::proto::SpawnSpec;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 struct Idle;
-impl Actor for Idle {
-    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: Event) {}
+impl PortableActor for Idle {
+    fn on_event(&mut self, _ctx: &mut dyn SimCtx, _event: Event) {}
 }
 
 struct Driver {
     script: Vec<(SimDuration, Endpoint, RmMsg)>,
-    log: Rc<RefCell<Vec<RmMsg>>>,
+    log: Arc<Mutex<Vec<RmMsg>>>,
 }
 
 impl Actor for Driver {
@@ -51,7 +50,7 @@ impl Actor for Driver {
             Event::Packet { payload, .. } => {
                 if let Ok((Proto::Raw, body)) = open(payload) {
                     if let Ok(msg) = RmMsg::decode_from_bytes(body) {
-                        self.log.borrow_mut().push(msg);
+                        self.log.lock().unwrap().push(msg);
                     }
                 }
             }
@@ -97,7 +96,7 @@ fn build(workers: usize, trust: TrustStore) -> (World, Endpoint, snipe_util::id:
 #[test]
 fn active_allocation_spawns_tasks() {
     let (mut world, rm_ep, client) = build(4, TrustStore::new());
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = Driver {
         script: vec![(
             SimDuration::from_secs(3), // give the RM time to learn hosts
@@ -113,7 +112,7 @@ fn active_allocation_spawns_tasks() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(6));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let resp = log
         .iter()
         .find_map(|m| match m {
@@ -140,7 +139,7 @@ fn active_allocation_spawns_tasks() {
 #[test]
 fn passive_allocation_returns_reservations() {
     let (mut world, rm_ep, client) = build(2, TrustStore::new());
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = Driver {
         script: vec![(
             SimDuration::from_secs(3),
@@ -156,7 +155,7 @@ fn passive_allocation_returns_reservations() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(5));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let resp = log
         .iter()
         .find_map(|m| match m {
@@ -175,7 +174,7 @@ fn passive_allocation_returns_reservations() {
 #[test]
 fn overcommit_rejected() {
     let (mut world, rm_ep, client) = build(2, TrustStore::new());
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = Driver {
         script: vec![(
             SimDuration::from_secs(3),
@@ -191,14 +190,14 @@ fn overcommit_rejected() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(5));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert!(log.iter().any(|m| matches!(m, RmMsg::AllocResp { req_id: 3, ok: false, .. })));
 }
 
 #[test]
 fn dead_worker_worked_around() {
     let (mut world, rm_ep, client) = build(3, TrustStore::new());
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     // Kill the least-loaded (first-ranked) worker before the request:
     // the RM will pick it first, time out, and retry on another host.
     let w0 = world.topology().host_by_name("w0").unwrap();
@@ -221,7 +220,7 @@ fn dead_worker_worked_around() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(8));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let resp = log
         .iter()
         .find_map(|m| match m {
@@ -272,7 +271,7 @@ fn dual_certificate_authorization_flow() {
     );
 
     let (mut world, rm_ep, client) = build(2, trust);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = Driver {
         script: vec![
             (
@@ -310,7 +309,7 @@ fn dual_certificate_authorization_flow() {
     };
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_secs(2));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     let get = |id: u64| {
         log.iter()
             .find_map(|m| match m {

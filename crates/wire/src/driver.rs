@@ -38,7 +38,10 @@ use crate::frame::Proto;
 use crate::Out;
 
 /// A wire protocol module, driven by [`WireStack`](crate::stack::WireStack).
-pub trait Driver: Any {
+///
+/// `Send` because whole stacks live inside actors hosted on the sharded
+/// engine, whose cores migrate across worker threads between rounds.
+pub trait Driver: Any + Send {
     /// The envelope tag this driver speaks; the stack demuxes on it.
     fn proto(&self) -> Proto;
 

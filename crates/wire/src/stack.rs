@@ -140,6 +140,13 @@ fn stack_registry() -> (Registry, [CounterId; FrameError::COUNT], CounterId, Cou
 
 impl WireStack {
     /// New stack for a process with the given stable key.
+    /// Compile-time proof that a whole stack can live inside a `Send`
+    /// actor hosted on the sharded engine.
+    const _ASSERT_SEND: () = {
+        const fn assert_send<T: Send>() {}
+        assert_send::<WireStack>()
+    };
+
     pub fn new(my_key: NodeKey, cfg: StackConfig) -> WireStack {
         let mut drivers: Vec<Box<dyn Driver>> = Vec::with_capacity(3);
         drivers.push(Box::new(Srudp::new(my_key, cfg.srudp)));
@@ -345,6 +352,18 @@ impl WireStack {
         }
         self.check_failover(now);
         self.harvest();
+    }
+
+    /// Recover after the hosting actor's machine rebooted
+    /// (`Event::HostUp`): force-retransmit everything unacknowledged and
+    /// fire every driver timer, then let the owner re-arm its gate from
+    /// [`WireStack::next_deadline`]. Pending timers were swallowed while
+    /// the host was down, so without this kick an idle-but-unacked stack
+    /// wedges forever — a bug re-fixed per-actor three times before this
+    /// helper existed. Call it from every actor embedding a stack.
+    pub fn on_host_up(&mut self, now: SimTime) {
+        self.srudp_mut().retransmit_all(now);
+        self.on_timer(now);
     }
 
     /// Feed transport evidence into the path scorer and rotate routes

@@ -15,8 +15,7 @@ use bytes::Bytes;
 use snipe::core::api::TicketResult;
 use snipe::core::{SnipeApi, SnipeProcess, SnipeWorldBuilder};
 use snipe::util::time::SimDuration;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Publishes `count` documents, then exits.
 struct Publisher {
@@ -47,7 +46,7 @@ impl SnipeProcess for Publisher {
 /// Reads a set of documents back (after the origin server died).
 struct Reader {
     lifns: Vec<String>,
-    fetched: Rc<RefCell<Vec<String>>>,
+    fetched: Arc<Mutex<Vec<String>>>,
 }
 
 impl SnipeProcess for Reader {
@@ -59,7 +58,7 @@ impl SnipeProcess for Reader {
     fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
         match result {
             TicketResult::FileRead(Ok(content)) => {
-                self.fetched.borrow_mut().push(String::from_utf8_lossy(&content).into_owned());
+                self.fetched.lock().unwrap().push(String::from_utf8_lossy(&content).into_owned());
             }
             TicketResult::FileRead(Err(e)) => {
                 api.log(format!("fetch failed: {e}"));
@@ -96,7 +95,7 @@ fn main() {
     // reads of *file content* still work because the reader already
     // knows the file server endpoints; a production layout would put RC
     // replicas elsewhere (see SnipeWorldBuilder::utk_testbed).
-    let fetched = Rc::new(RefCell::new(Vec::new()));
+    let fetched = Arc::new(Mutex::new(Vec::new()));
     let lifns: Vec<String> = (1..=3u32)
         .flat_map(|s| (0..4u32).map(move |d| format!("lifn:snipe:file:doc-{s}-{d}")))
         .collect();
@@ -108,7 +107,7 @@ fn main() {
     world.spawn_on("host5", "reader", Bytes::new()).expect("spawn reader");
     world.run_for(SimDuration::from_secs(8));
 
-    let got = fetched.borrow();
+    let got = fetched.lock().unwrap();
     println!("\nfetched {}/{want} documents after losing the primary server", got.len());
     for doc in got.iter().take(3) {
         println!("  {doc}");

@@ -21,12 +21,11 @@ use snipe::util::codec::WireDecode;
 use snipe::util::rng::Xoshiro256;
 use snipe::util::time::SimDuration;
 use snipe::wire::frame::{open, Proto};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Collects playground reports.
 struct Supervisor {
-    log: Rc<RefCell<Vec<PlaygroundMsg>>>,
+    log: Arc<Mutex<Vec<PlaygroundMsg>>>,
 }
 
 impl Actor for Supervisor {
@@ -34,7 +33,7 @@ impl Actor for Supervisor {
         if let Event::Packet { payload, .. } = event {
             if let Ok((Proto::Raw, body)) = open(payload) {
                 if let Ok(m) = PlaygroundMsg::decode_from_bytes(body) {
-                    self.log.borrow_mut().push(m);
+                    self.log.lock().unwrap().push(m);
                 }
             }
         }
@@ -97,7 +96,7 @@ fn main() {
     let signer = KeyPair::generate_default(&mut rng);
     let mallory = KeyPair::generate_default(&mut rng);
     let (mut world, hosts) = world3();
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let sup = Endpoint::new(hosts[0], 10);
     world.spawn(hosts[0], 10, Box::new(Supervisor { log: log.clone() }));
 
@@ -109,7 +108,7 @@ fn main() {
     world.signal(None, agent_ep, SIG_CHECKPOINT);
     world.run_for(SimDuration::from_millis(5));
     let ckpt = log
-        .borrow()
+        .lock().unwrap()
         .iter()
         .find_map(|m| match m {
             PlaygroundMsg::Checkpoint { state } => Some(state.clone()),
@@ -124,7 +123,7 @@ fn main() {
             .expect("restorable");
     world.spawn(hosts[2], 100, Box::new(resumed));
     world.run_for(SimDuration::from_secs(5));
-    let done = log.borrow().iter().find_map(|m| match m {
+    let done = log.lock().unwrap().iter().find_map(|m| match m {
         PlaygroundMsg::Done { outputs, fuel_used } => Some((outputs.clone(), *fuel_used)),
         _ => None,
     });
@@ -148,7 +147,7 @@ fn main() {
     world.run_for(SimDuration::from_secs(2));
 
     println!("\n--- supervisor log ---");
-    for m in log.borrow().iter() {
+    for m in log.lock().unwrap().iter() {
         match m {
             PlaygroundMsg::Done { outputs, fuel_used } => {
                 println!("DONE outputs={outputs:?} fuel={fuel_used}")
@@ -158,7 +157,7 @@ fn main() {
         }
     }
     let failures = log
-        .borrow()
+        .lock().unwrap()
         .iter()
         .filter(|m| matches!(m, PlaygroundMsg::Failed { .. }))
         .count();

@@ -15,8 +15,7 @@ use snipe::core::console::{BrowserActor, ConsoleActor};
 use snipe::core::{GroupEvent, SnipeApi, SnipeProcess, SnipeWorldBuilder};
 use snipe::rcds::uri::Uri;
 use snipe::util::time::SimDuration;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const GROUP: &str = "weather-feed";
 
@@ -51,7 +50,7 @@ impl SnipeProcess for Sensor {
 /// The analyst: aggregates readings, detects the storm signature,
 /// shares the latest picture with its console page through an Rc cell.
 struct Analyst {
-    latest: Rc<RefCell<String>>,
+    latest: Arc<Mutex<String>>,
     readings: u32,
     alerts: u32,
 }
@@ -72,7 +71,7 @@ impl SnipeProcess for Analyst {
                         api.log(format!("ALERT: station {station} pressure {p} hPa — storm forming"));
                     }
                 }
-                *self.latest.borrow_mut() = format!(
+                *self.latest.lock().unwrap() = format!(
                     "readings={} alerts={} last: station {station} at {p} hPa",
                     self.readings, self.alerts
                 );
@@ -86,7 +85,7 @@ fn main() {
     // on host4.
     let mut world = SnipeWorldBuilder::lan(5, 7).build();
     world.echo_logs();
-    let latest = Rc::new(RefCell::new("no data yet".to_string()));
+    let latest = Arc::new(Mutex::new("no data yet".to_string()));
 
     for station in 1..=3u32 {
         world.register_process(format!("sensor{station}"), move |_| {
@@ -110,12 +109,12 @@ fn main() {
     let url = Uri::parse("http://weather.snipe/").unwrap();
     let page_data = latest.clone();
     let console = ConsoleActor::new(url.clone(), rc.clone())
-        .page("/status", move || page_data.borrow().clone());
+        .page("/status", move || page_data.lock().unwrap().clone());
     let h4 = world.sim_ref().topology().host_by_name("host4").unwrap();
     world.sim().spawn(h4, 80, Box::new(console));
 
     // A browser polls the console twice: before and after the crash.
-    let responses = Rc::new(RefCell::new(Vec::new()));
+    let responses = Arc::new(Mutex::new(Vec::new()));
     let browser = BrowserActor::new(
         rc,
         vec![
@@ -139,8 +138,8 @@ fn main() {
     world.run_for_secs(14);
 
     println!("\n--- console fetches ---");
-    for (status, body) in responses.borrow().iter() {
+    for (status, body) in responses.lock().unwrap().iter() {
         println!("HTTP {status}: {body}");
     }
-    println!("\nfinal picture: {}", latest.borrow());
+    println!("\nfinal picture: {}", latest.lock().unwrap());
 }

@@ -61,4 +61,14 @@ if [ "$d1" != "$d4" ]; then
     echo "shard-determinism gate: FAIL (digests differ)"
     exit 1
 fi
+# Same property for the full protocol stack: the daemons + RCDS +
+# files + RM campus workload prints its engine digest plus the sorted
+# application log; both must be byte-identical at 1 vs 4 threads.
+fp1=$(./target/release/harness full-proto-digest 1)
+fp4=$(./target/release/harness full-proto-digest 4)
+echo "shard-determinism gate (full protocol): 1 thread ${fp1%%$'\n'*}, 4 threads ${fp4%%$'\n'*}"
+if [ "$fp1" != "$fp4" ]; then
+    echo "shard-determinism gate (full protocol): FAIL (digest or app log differs)"
+    exit 1
+fi
 echo "check.sh: all gates green"

@@ -5,10 +5,9 @@ use bytes::Bytes;
 use snipe::core::api::TicketResult;
 use snipe::core::{GroupEvent, SnipeApi, SnipeProcess, SnipeWorldBuilder};
 use snipe::util::time::SimDuration;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-type Log = Rc<RefCell<Vec<String>>>;
+type Log = Arc<Mutex<Vec<String>>>;
 
 /// A "collector" node: joins the data group, accumulates readings,
 /// periodically checkpoints its tally to the file servers, and migrates
@@ -29,7 +28,7 @@ impl SnipeProcess for Collector {
         self.tally += msg.len() as u64;
         if self.readings == 20 && !self.migrated {
             self.migrated = true;
-            self.log.borrow_mut().push("collector migrating".into());
+            self.log.lock().unwrap().push("collector migrating".into());
             api.migrate_to("host3");
         }
         if self.readings == 60 {
@@ -38,12 +37,12 @@ impl SnipeProcess for Collector {
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
         self.log
-            .borrow_mut()
+            .lock().unwrap()
             .push(format!("collector resumed on {} with {} readings", api.my_hostname(), self.readings));
     }
     fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
         if let TicketResult::FileWritten(Ok(())) = result {
-            self.log.borrow_mut().push("tally checkpointed".into());
+            self.log.lock().unwrap().push("tally checkpointed".into());
             api.exit();
         }
     }
@@ -98,7 +97,7 @@ impl SnipeProcess for Verifier {
     fn on_ticket(&mut self, _api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
         if let TicketResult::FileRead(Ok(content)) = result {
             self.log
-                .borrow_mut()
+                .lock().unwrap()
                 .push(format!("tally file: {}", String::from_utf8_lossy(&content)));
         }
     }
@@ -107,7 +106,7 @@ impl SnipeProcess for Verifier {
 #[test]
 fn utk_testbed_end_to_end() {
     let mut w = SnipeWorldBuilder::utk_testbed(5, 314).build();
-    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let l = log.clone();
     w.register_process("collector", move |_| {
         Box::new(Collector { tally: 0, readings: 0, log: l.clone(), migrated: false })
@@ -125,7 +124,7 @@ fn utk_testbed_end_to_end() {
     w.spawn_on("host2", "verifier", Bytes::new()).unwrap();
     w.run_for_secs(5);
 
-    let got = log.borrow();
+    let got = log.lock().unwrap();
     assert!(got.iter().any(|m| m == "collector migrating"), "{got:?}");
     assert!(
         got.iter().any(|m| m.starts_with("collector resumed on host3 with")),
@@ -141,7 +140,7 @@ fn utk_testbed_end_to_end() {
 fn same_seed_is_bit_identical_different_seed_is_not() {
     fn run(seed: u64) -> (u64, u64, String) {
         let mut w = SnipeWorldBuilder::lan(4, seed).build();
-        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
         let l = log.clone();
         w.register_process("collector", move |_| {
             Box::new(Collector { tally: 0, readings: 0, log: l.clone(), migrated: false })
@@ -159,7 +158,7 @@ fn same_seed_is_bit_identical_different_seed_is_not() {
         });
         w.run_for_secs(10);
         let stats = w.sim_ref().stats();
-        (stats.events, stats.delivered, format!("{:?}", log.borrow()))
+        (stats.events, stats.delivered, format!("{:?}", log.lock().unwrap()))
     }
     let a = run(42);
     let b = run(42);
