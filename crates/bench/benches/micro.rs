@@ -80,7 +80,7 @@ fn bench_srudp(c: &mut Criterion) {
                 (a, b_)
             },
             |(mut a, mut b_)| {
-                a.send_message(SimTime::ZERO, 2, Bytes::from(vec![0u8; 64 * 1024]));
+                a.send_message(SimTime::ZERO, 2, Bytes::from(vec![0u8; 64 * 1024])).unwrap();
                 let mut now = SimTime::ZERO;
                 let mut delivered = false;
                 for _ in 0..200 {

@@ -277,6 +277,77 @@ fn run_a1() {
     t.emit("a1.txt");
 }
 
+/// `harness fec`: the Fig.1-style A/B curve — goodput vs loss for
+/// plain fragmentation vs erasure-coded share spray, three seeds per
+/// point, strict stop-and-wait so both variants carry one message in
+/// flight. Writes `results/bench_fec.json` and fails if FEC is not
+/// strictly ahead at every loss rate ≥ 5%.
+fn run_fec() -> bool {
+    const SEEDS: [u64; 3] = [11, 12, 13];
+    const LOSSES: [f64; 6] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20];
+    let mut jobs = Vec::new();
+    for &loss in &LOSSES {
+        for fec in [false, true] {
+            for &seed in &SEEDS {
+                jobs.push((fec, loss, seed));
+            }
+        }
+    }
+    let points = par_map(jobs, |&(fec, loss, seed)| ablations::run_fec_ab(fec, loss, seed));
+    // Average the seeds per (strategy, loss) cell.
+    let cell = |fec: bool, loss: f64| {
+        let sel: Vec<_> =
+            points.iter().filter(|p| p.fec == fec && p.loss == loss).collect();
+        let goodput = sel.iter().map(|p| p.goodput).sum::<f64>() / sel.len() as f64;
+        let delivered: u64 = sel.iter().map(|p| p.delivered).sum();
+        let fec_delivered: u64 = sel.iter().map(|p| p.fec_delivered).sum();
+        (goodput, delivered, fec_delivered)
+    };
+    let mut t = Table::new(
+        "FEC A/B: goodput vs loss, plain fragments vs 9-share erasure spray \
+         (60 x 7000 B stop-and-wait, 3 seeds)",
+        &["loss", "plain B/s", "fec B/s", "fec/plain"],
+    );
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for &loss in &LOSSES {
+        let (plain_gp, plain_del, _) = cell(false, loss);
+        let (fec_gp, fec_del, fec_rec) = cell(true, loss);
+        if loss >= 0.05 && fec_gp <= plain_gp {
+            println!("FEC A/B: fec not ahead at loss {loss} ({fec_gp:.0} vs {plain_gp:.0} B/s)");
+            ok = false;
+        }
+        // The FEC path must actually engage (not fall back to plain).
+        if fec_rec != fec_del {
+            println!("FEC A/B: only {fec_rec} of {fec_del} deliveries used FEC at loss {loss}");
+            ok = false;
+        }
+        t.row(vec![
+            format!("{:.0}%", loss * 100.0),
+            format!("{plain_gp:.0}"),
+            format!("{fec_gp:.0}"),
+            format!("{:.2}", fec_gp / plain_gp),
+        ]);
+        rows.push(format!(
+            "    {{\"loss\": {loss}, \"plain_goodput_bps\": {plain_gp:.1}, \
+             \"fec_goodput_bps\": {fec_gp:.1}, \"plain_delivered\": {plain_del}, \
+             \"fec_delivered\": {fec_del}, \"fec_reconstructions\": {fec_rec}}}"
+        ));
+    }
+    t.emit("fec.txt");
+    let json = format!(
+        "{{\n  \"experiment\": \"fec_ab\",\n  \"messages\": {},\n  \"msg_bytes\": {},\n  \
+         \"seeds\": {:?},\n  \"fec_ahead_at_5pct_and_up\": {ok},\n  \"points\": [\n{}\n  ]\n}}\n",
+        ablations::FEC_AB_COUNT,
+        ablations::FEC_AB_MSG,
+        SEEDS,
+        rows.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/bench_fec.json", json);
+    ok
+}
+
 fn run_a2() {
     let intervals = vec![100u64, 250, 500, 1000, 2000, 5000];
     let points = par_map(intervals, |&ms| ablations::run_a2(SimDuration::from_millis(ms), 32));
@@ -766,6 +837,14 @@ fn main() {
         if !run_trace(&args[1..]) {
             std::process::exit(1);
         }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fec") {
+        let _ = std::fs::remove_file("results/fec.txt");
+        if !run_fec() {
+            std::process::exit(1);
+        }
+        println!("done. tables written under results/");
         return;
     }
     if args.first().map(String::as_str) == Some("engine-probe") {

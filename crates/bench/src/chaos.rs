@@ -31,9 +31,10 @@ use snipe_wire::mcast::{majority, McastMember, McastMsg, McastRouter};
 use snipe_wire::ports;
 use snipe_wire::rstream::RstreamConfig;
 use snipe_wire::stack::StackConfig;
+use snipe_wire::fec::FragStrategy;
 use snipe_wire::Out;
 
-use crate::fig1::{RstreamReceiver, RstreamSender, SrudpReceiver, SrudpSender};
+use crate::fig1::{FecReceiver, FecSender, RstreamReceiver, RstreamSender, SrudpReceiver, SrudpSender};
 use crate::oracles;
 use crate::{e5_migration, par_map};
 
@@ -50,7 +51,7 @@ const RECOVERY_TAIL: SimDuration = SimDuration::from_secs(30);
 const MAX_RESIDUAL_EVENTS: usize = 512;
 const MAX_PEAK_DEPTH: u64 = 250_000;
 
-/// The five chaos workloads, one per experiment family.
+/// The chaos workloads, one per experiment family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// E7-shape: dual-homed SRUDP bulk transfer with route pinning.
@@ -64,15 +65,21 @@ pub enum Workload {
     RcdsConverge,
     /// E6-shape: majority-routed multicast (duplication/reorder chaos).
     Mcast,
+    /// FEC-shape: erasure-coded message stream with shares sprayed
+    /// across two media, under loss-burst / gray-link plans; the
+    /// integrity oracle proves a corrupted reconstruction is never
+    /// delivered.
+    FecSpray,
 }
 
 /// Every workload, in soak order.
-pub const ALL_WORKLOADS: [Workload; 5] = [
+pub const ALL_WORKLOADS: [Workload; 6] = [
     Workload::SrudpTransfer,
     Workload::RstreamTransfer,
     Workload::Migration,
     Workload::RcdsConverge,
     Workload::Mcast,
+    Workload::FecSpray,
 ];
 
 impl Workload {
@@ -84,6 +91,7 @@ impl Workload {
             Workload::Migration => "migration",
             Workload::RcdsConverge => "rcds-converge",
             Workload::Mcast => "mcast",
+            Workload::FecSpray => "fec-spray",
         }
     }
 
@@ -161,6 +169,24 @@ impl Workload {
                 jitter_max: SimDuration::from_millis(15),
                 ..ChaosShape::default()
             },
+            // No host crashes (no state loss in contract), but both
+            // networks may flap, gray out, burst-lose and partition,
+            // and per-packet corruption/duplication/reordering runs
+            // hot: exactly the envelope share-spraying is built for.
+            Workload::FecSpray => ChaosShape {
+                horizon: SimDuration::from_secs(8),
+                hosts: 0,
+                nets: 2,
+                ifaces: 4,
+                procs: 0,
+                max_ops: 6,
+                packet_prob: 0.9,
+                corrupt_max: 0.05,
+                duplicate_max: 0.15,
+                reorder_max: 0.15,
+                jitter_max: SimDuration::from_millis(20),
+                ..ChaosShape::default()
+            },
         }
     }
 
@@ -172,6 +198,7 @@ impl Workload {
             Workload::Migration => run_migration(plan, wseed, false),
             Workload::RcdsConverge => run_rcds_converge(plan, wseed),
             Workload::Mcast => run_mcast(plan, wseed),
+            Workload::FecSpray => run_fec_spray(plan, wseed),
         }
     }
 }
@@ -277,6 +304,136 @@ fn run_srudp_transfer(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     }
     violations.extend(oracles::check_engine_bounded(
         "srudp-transfer",
+        &world,
+        MAX_RESIDUAL_EVENTS,
+        MAX_PEAK_DEPTH,
+    ));
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// W1c: FEC share-spray message stream under loss bursts and gray links
+// ---------------------------------------------------------------------------
+
+fn run_fec_spray(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
+    // 200 × 7000-byte messages, each split into 9 erasure shares and
+    // sprayed across two WAN paths. With ~2 messages pipelined the
+    // stream is latency-bound (~7s at a 72ms RTT) so the plan's loss
+    // bursts and gray links land on live traffic for the whole 8s
+    // horizon. The contract: exactly-once in-order delivery, every
+    // delivered message byte-exact (reconstruct-then-verify gate), no
+    // in-contract peer evicted from partial-reassembly state.
+    let count: u64 = 200;
+    let msg_size: usize = 7000;
+    let mut topo = Topology::new();
+    let wan_a = topo.add_network("wan-a", Medium::wan(), true);
+    let wan_b = topo.add_network("wan-b", Medium::wan(), false);
+    let a = topo.add_host(HostCfg::named("a"));
+    let b = topo.add_host(HostCfg::named("b"));
+    for h in [a, b] {
+        topo.attach(h, wan_a);
+        topo.attach(h, wan_b);
+    }
+    let mut world = World::new(topo, wseed);
+    let seqs: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let mismatches: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let stats = Arc::new(Mutex::new(snipe_wire::srudp::SrudpStats::default()));
+    let done_at: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
+    let mut cfg = StackConfig::default();
+    cfg.srudp.frag_strategy = FragStrategy::Fec;
+    world.spawn(
+        b,
+        20,
+        Box::new(FecReceiver {
+            stack: None,
+            cfg: cfg.clone(),
+            pin: Some(vec![wan_a, wan_b]),
+            gate: TimerGate::new(),
+            expect: count,
+            msg_size,
+            seqs: seqs.clone(),
+            mismatches: mismatches.clone(),
+            stats: stats.clone(),
+            done_at: done_at.clone(),
+        }),
+    );
+    world.spawn(
+        a,
+        20,
+        Box::new(FecSender {
+            stack: None,
+            peer: Endpoint::new(b, 20),
+            msg_size,
+            count,
+            next: 0,
+            inflight: 26_000,
+            cfg,
+            pin: Some(vec![wan_a, wan_b]),
+            gate: TimerGate::new(),
+        }),
+    );
+    let binding = ChaosBinding {
+        hosts: vec![a, b],
+        nets: vec![wan_a, wan_b],
+        ifaces: vec![(a, wan_a), (a, wan_b), (b, wan_a), (b, wan_b)],
+        procs: vec![],
+    };
+    plan.apply(&mut world, &binding);
+
+    let mut violations = Vec::new();
+    let deadline = plan.quiesce_at() + RECOVERY_TAIL;
+    let step = SimDuration::from_millis(250);
+    let mut last = 0usize;
+    let mut stall = SimDuration::from_nanos(0);
+    loop {
+        world.run_for(step);
+        if done_at.lock().unwrap().is_some() {
+            break;
+        }
+        let got = seqs.lock().unwrap().len();
+        if got > last {
+            last = got;
+            stall = SimDuration::from_nanos(0);
+        } else if world.topology().reachable(a, b) {
+            stall = stall + step;
+            if stall >= STALL_LIMIT {
+                violations.push(format!(
+                    "fec-spray: no progress for {:.1}s of virtual time with a live path \
+                     ({last} of {count} messages)",
+                    stall.as_secs_f64()
+                ));
+                break;
+            }
+        }
+        if world.now() >= deadline {
+            violations.push(format!(
+                "fec-spray: transfer incomplete at quiesce+{}s ({} of {count} messages)",
+                RECOVERY_TAIL.as_secs_f64(),
+                seqs.lock().unwrap().len()
+            ));
+            break;
+        }
+    }
+    let seqs = seqs.lock().unwrap().clone();
+    if done_at.lock().unwrap().is_some() {
+        violations.extend(oracles::check_exactly_once_in_order(
+            "fec-spray",
+            count as u32,
+            &seqs,
+        ));
+    }
+    let st = stats.lock().unwrap().clone();
+    violations.extend(oracles::check_fec_integrity(
+        "fec-spray",
+        &mismatches.lock().unwrap(),
+        &st,
+        done_at.lock().unwrap().is_some(),
+    ));
+    // REASM_TTL (60s) exceeds the whole watchdog window, so an
+    // in-contract sender must never be swept from reassembly state.
+    violations.extend(oracles::check_reasm_bounded("fec-spray", &st, 0));
+    violations.extend(oracles::check_engine_bounded(
+        "fec-spray",
         &world,
         MAX_RESIDUAL_EVENTS,
         MAX_PEAK_DEPTH,
@@ -1091,6 +1248,13 @@ pub const REGRESSION_CORPUS: &[(Workload, u64, u64)] = &[
     // stream never resumes.
     (Workload::Mcast, 0xC0FF_EE01, 0x5EED + 1),
     (Workload::Mcast, 0xC0FF_EE06, 0x5EED + 6),
+    // FEC share-spray under loss bursts / gray links / partitions plus
+    // hot per-packet corruption: pins the reconstruct-then-verify
+    // delivery gate (no mismatch ever delivered) and the reassembly
+    // boundedness contract (no in-contract peer evicted).
+    (Workload::FecSpray, 0xC0FF_EE00, 0x5EED),
+    (Workload::FecSpray, 0xC0FF_EE02, 0x5EED + 2),
+    (Workload::FecSpray, 0xC0FF_EE04, 0x5EED + 4),
 ];
 
 #[cfg(test)]

@@ -2,11 +2,11 @@
 //!
 //! The single-world soak ([`crate::chaos`]) exercises the full SNIPE
 //! protocol stack on the serial engine. This soak targets
-//! [`ShardedWorld`]: five bespoke `Send` workloads exercise the
+//! [`ShardedWorld`]: six bespoke `Send` workloads exercise the
 //! *engine-level* contracts — mailbox routing, fault dispatch across
-//! regions, chaos determinism, bounded per-shard queues — and, now
-//! that every service actor is a
-//! [`PortableActor`](snipe_netsim::actor::PortableActor), a sixth
+//! regions, chaos determinism, bounded per-shard queues, erasure-coded
+//! share spraying — and, now that every service actor is a
+//! [`PortableActor`](snipe_netsim::actor::PortableActor), a
 //! **full-protocol** workload runs the real stack (per-host daemons,
 //! RCDS replication, file transfer) on a multi-cluster
 //! [`ShardedSnipeWorld`] under the same chaos plans.
@@ -19,6 +19,8 @@
 //! boundedness oracle, and is doubled at a second thread count — the
 //! digests must match bit-for-bit.
 
+use std::collections::BTreeMap;
+
 use bytes::Bytes;
 
 use snipe_core::api::TicketResult;
@@ -29,6 +31,7 @@ use snipe_netsim::shard::{ShardActor, ShardCtx, ShardedWorld};
 use snipe_netsim::topology::Endpoint;
 use snipe_util::id::{HostId, NetId};
 use snipe_util::time::SimDuration;
+use snipe_wire::fec;
 
 use crate::chaos::soak_seeds;
 use crate::oracles;
@@ -595,7 +598,271 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64)
 }
 
 // ---------------------------------------------------------------------------
-// W6: the full SNIPE protocol stack (daemons + RCDS + files), sharded
+// W6: erasure-coded share spray (the wire FEC codec on the sharded engine)
+// ---------------------------------------------------------------------------
+// The same Reed-Solomon codec SRUDP's `FragStrategy::Fec` uses, driven
+// as a raw Send workload: each message is encoded into `2b-1` shares
+// sent as independent datagrams, the receiver reconstructs from
+// whichever `b` arrive and applies the reconstruct-then-verify gate
+// before delivery. Covers the codec's determinism across shard thread
+// counts and its integrity contract under loss bursts and corruption.
+
+const TAG_FEC_SHARE: u32 = 4;
+
+/// Deterministic message body for sequence `seq`.
+fn fec_msg(seq: u32, len: usize) -> Vec<u8> {
+    (0..len).map(|j| ((seq as usize * 131 + j * 31) % 251) as u8).collect()
+}
+
+/// Share datagram: seven LE u32 header words, the share bytes, and an
+/// FNV trailer over everything (corruption ⇒ treated as loss).
+fn fec_frame(seq: u32, share_idx: u32, b: u32, msg_len: u32, csum: u32, share: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(32 + share.len());
+    for w in [TAG_FEC_SHARE, seq, share_idx, b, msg_len, csum, share.len() as u32] {
+        v.extend_from_slice(&w.to_le_bytes());
+    }
+    v.extend_from_slice(share);
+    let c = fnv(&v);
+    v.extend_from_slice(&c.to_le_bytes());
+    Bytes::from(v)
+}
+
+struct FecFrame {
+    seq: u32,
+    share_idx: u32,
+    b: u32,
+    msg_len: u32,
+    csum: u32,
+    share: Bytes,
+}
+
+fn parse_fec(payload: &Bytes) -> Option<FecFrame> {
+    if payload.len() < 32 {
+        return None;
+    }
+    let word = |i: usize| u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap());
+    if word(0) != TAG_FEC_SHARE {
+        return None;
+    }
+    let share_len = word(6) as usize;
+    if payload.len() != 28 + share_len + 4 {
+        return None;
+    }
+    let trailer = u32::from_le_bytes(payload[28 + share_len..].try_into().unwrap());
+    if fnv(&payload[..28 + share_len]) != trailer {
+        return None;
+    }
+    Some(FecFrame {
+        seq: word(1),
+        share_idx: word(2),
+        b: word(3),
+        msg_len: word(4),
+        csum: word(5),
+        share: payload.slice(28..28 + share_len),
+    })
+}
+
+/// Sender: blanket-resprays every share of each unacked message in a
+/// bounded window on a periodic timer. Any `b` of the `2b-1` shares
+/// landing is enough, so a retransmit round survives heavy loss.
+struct FecShardSender {
+    peer: Endpoint,
+    total: u32,
+    b: usize,
+    msg_len: usize,
+    acked: Vec<bool>,
+    window: u32,
+    done: bool,
+}
+
+impl FecShardSender {
+    fn pump(&mut self, ctx: &mut ShardCtx<'_>) {
+        let mut live = 0;
+        for seq in 0..self.total {
+            if self.acked[seq as usize] {
+                continue;
+            }
+            let msg = fec_msg(seq, self.msg_len);
+            let csum = fec::msg_checksum(&msg);
+            let shares = fec::encode(&msg, self.b).expect("b within codec bounds");
+            for (i, s) in shares.iter().enumerate() {
+                ctx.send(
+                    self.peer,
+                    fec_frame(seq, i as u32, self.b as u32, self.msg_len as u32, csum, s),
+                );
+            }
+            live += 1;
+            if live >= self.window {
+                break;
+            }
+        }
+        if live > 0 {
+            ctx.set_timer(SimDuration::from_millis(100), 1);
+        } else {
+            self.done = true;
+        }
+    }
+}
+
+impl ShardActor for FecShardSender {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. } | Event::HostUp => self.pump(ctx),
+            Event::Packet { payload, .. } => {
+                if let Some((TAG_ACK, seq, _)) = parse(&payload) {
+                    if (seq as usize) < self.acked.len() {
+                        self.acked[seq as usize] = true;
+                    }
+                    if self.acked.iter().all(|&a| a) {
+                        self.done = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Bound on buffered partial reconstructions (stalest evicted first) —
+/// the sharded mirror of the SRUDP reassembly cap.
+const FEC_PARTIAL_CAP: usize = 64;
+
+/// Receiver: buffers shares per message, decodes at quorum, and only
+/// delivers (acks) a reconstruction whose message checksum matches.
+/// A checksum-passing reconstruction that differs from the known
+/// plaintext is recorded — that is the integrity oracle's kill shot.
+struct FecShardReceiver {
+    expect_b: usize,
+    expect_len: usize,
+    total: u32,
+    seen: Vec<bool>,
+    distinct: u32,
+    reconstructed: u64,
+    mismatches: Vec<String>,
+    partial: BTreeMap<u32, BTreeMap<u32, Bytes>>,
+}
+
+impl ShardActor for FecShardReceiver {
+    fn on_event(&mut self, ctx: &mut ShardCtx<'_>, event: Event) {
+        if let Event::Packet { from, payload } = event {
+            let Some(f) = parse_fec(&payload) else { return };
+            if f.b as usize != self.expect_b
+                || f.msg_len as usize != self.expect_len
+                || f.seq >= self.total
+                || f.share_idx as usize >= 2 * self.expect_b - 1
+            {
+                return;
+            }
+            if self.seen[f.seq as usize] {
+                // Already delivered — the ack was lost; re-ack.
+                ctx.send(from, frame(TAG_ACK, f.seq, 0));
+                return;
+            }
+            let entry = self.partial.entry(f.seq).or_default();
+            entry.insert(f.share_idx, f.share);
+            if entry.len() >= self.expect_b {
+                let survivors: Vec<(u32, Bytes)> =
+                    entry.iter().take(self.expect_b).map(|(&i, s)| (i, s.clone())).collect();
+                match fec::decode(self.expect_b, self.expect_len, &survivors) {
+                    Ok(msg) if fec::msg_checksum(&msg) == f.csum => {
+                        if msg != fec_msg(f.seq, self.expect_len) {
+                            self.mismatches.push(format!(
+                                "msg {} passed the checksum but the content differs",
+                                f.seq
+                            ));
+                        }
+                        self.partial.remove(&f.seq);
+                        self.seen[f.seq as usize] = true;
+                        self.distinct += 1;
+                        self.reconstructed += 1;
+                        ctx.send(from, frame(TAG_ACK, f.seq, 0));
+                    }
+                    // Failed reconstruction: discard the partial and
+                    // let the next respray rebuild it from scratch.
+                    _ => {
+                        self.partial.remove(&f.seq);
+                    }
+                }
+            }
+            while self.partial.len() > FEC_PARTIAL_CAP {
+                let stalest = *self.partial.keys().next().unwrap();
+                self.partial.remove(&stalest);
+            }
+        }
+    }
+}
+
+fn run_fec(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    const TOTAL: u32 = 48;
+    const B: usize = 4; // 7 shares of 750 bytes per 3000-byte message
+    const MSG_LEN: usize = 3000;
+    let mut w = soak_world(wseed, threads);
+    let src = HostId(10); // cluster 0
+    let dst = HostId(300); // cluster 4 — shares cross the mailbox
+    let tx = w
+        .spawn(
+            src,
+            PORT,
+            Box::new(FecShardSender {
+                peer: Endpoint::new(dst, PORT),
+                total: TOTAL,
+                b: B,
+                msg_len: MSG_LEN,
+                acked: vec![false; TOTAL as usize],
+                window: 8,
+                done: false,
+            }),
+        )
+        .unwrap();
+    let rx = w
+        .spawn(
+            dst,
+            PORT,
+            Box::new(FecShardReceiver {
+                expect_b: B,
+                expect_len: MSG_LEN,
+                total: TOTAL,
+                seen: vec![false; TOTAL as usize],
+                distinct: 0,
+                reconstructed: 0,
+                mismatches: Vec::new(),
+                partial: BTreeMap::new(),
+            }),
+        )
+        .unwrap();
+    apply(&mut w, plan, &[src, dst]);
+    let mut v = run_to_deadline(&mut w, plan, |w| {
+        w.actor_ref::<FecShardSender>(tx).map(|s| s.done).unwrap_or(false)
+    });
+    match w.actor_ref::<FecShardReceiver>(rx) {
+        None => v.push("shard-fec: receiver vanished".into()),
+        Some(r) => {
+            if r.distinct != TOTAL {
+                v.push(format!(
+                    "shard-fec: receiver reconstructed {} of {TOTAL} messages",
+                    r.distinct
+                ));
+            }
+            for m in &r.mismatches {
+                v.push(format!("shard-fec: corrupted reconstruction delivered — {m}"));
+            }
+            if r.reconstructed == 0 {
+                v.push("shard-fec: no reconstructions — the erasure path never engaged".into());
+            }
+            if r.partial.len() > FEC_PARTIAL_CAP {
+                v.push(format!(
+                    "shard-fec: {} partials buffered past the cap {FEC_PARTIAL_CAP}",
+                    r.partial.len()
+                ));
+            }
+        }
+    }
+    v.extend(bounded("shard-fec", &w));
+    (v, w.digest())
+}
+
+// ---------------------------------------------------------------------------
+// W7: the full SNIPE protocol stack (daemons + RCDS + files), sharded
 // ---------------------------------------------------------------------------
 // A 6-cluster campus (one region per cluster) runs the complete
 // runtime: a daemon on all 48 hosts, RC replicas on three cluster
@@ -997,7 +1264,7 @@ fn bounded(label: &str, w: &ShardedWorld) -> Vec<String> {
     oracles::check_shard_bounded(label, w, MAX_RESIDUAL_EVENTS, MAX_PEAK_DEPTH, MAX_MAILBOX_BURST)
 }
 
-/// The six sharded-engine workloads.
+/// The sharded-engine workloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShardWorkload {
     /// Acked transfer with blanket retransmission, cross-region.
@@ -1010,17 +1277,20 @@ pub enum ShardWorkload {
     Gossip,
     /// Relayed multicast fan-out (duplication/reorder chaos only).
     Mcast,
+    /// Erasure-coded share spray using the wire FEC codec.
+    FecSpray,
     /// The full SNIPE stack (daemons, RCDS, files, RM) on a campus.
     FullProtocol,
 }
 
 /// Every workload, in soak order.
-pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 6] = [
+pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 7] = [
     ShardWorkload::Transfer,
     ShardWorkload::Stream,
     ShardWorkload::Migration,
     ShardWorkload::Gossip,
     ShardWorkload::Mcast,
+    ShardWorkload::FecSpray,
     ShardWorkload::FullProtocol,
 ];
 
@@ -1033,6 +1303,7 @@ impl ShardWorkload {
             ShardWorkload::Migration => "shard-migration",
             ShardWorkload::Gossip => "shard-gossip",
             ShardWorkload::Mcast => "shard-mcast",
+            ShardWorkload::FecSpray => "shard-fec",
             ShardWorkload::FullProtocol => "shard-full-protocol",
         }
     }
@@ -1104,6 +1375,22 @@ impl ShardWorkload {
                 jitter_max: SimDuration::from_millis(15),
                 ..ChaosShape::default()
             },
+            // FEC sender resprays full share sets on a timer (HostUp
+            // re-arms it), so endpoint flaps, net faults and hot packet
+            // chaos — including corruption — are all in contract.
+            ShardWorkload::FecSpray => ChaosShape {
+                horizon: SimDuration::from_secs(4),
+                hosts: 2,
+                nets: 4,
+                ifaces: 2,
+                procs: 0,
+                max_ops: 6,
+                corrupt_max: 0.05,
+                duplicate_max: 0.15,
+                reorder_max: 0.15,
+                jitter_max: SimDuration::from_millis(20),
+                ..ChaosShape::default()
+            },
             // SNIPE processes exit when their host crashes (that is the
             // paper's contract), so host flaps would kill the cast:
             // only net partitions and per-packet chaos are in envelope.
@@ -1130,6 +1417,7 @@ impl ShardWorkload {
             ShardWorkload::Migration => run_migration(plan, wseed, threads),
             ShardWorkload::Gossip => run_gossip(plan, wseed, threads),
             ShardWorkload::Mcast => run_mcast(plan, wseed, threads),
+            ShardWorkload::FecSpray => run_fec(plan, wseed, threads),
             ShardWorkload::FullProtocol => run_full_protocol(plan, wseed, threads),
         }
     }
@@ -1218,6 +1506,11 @@ pub const SHARD_REGRESSION_CORPUS: &[(ShardWorkload, u64, u64)] = &[
     (ShardWorkload::Gossip, 0xC0FF_EE00, 0x5EED),
     (ShardWorkload::Mcast, 0xC0FF_EE00, 0x5EED),
     (ShardWorkload::Mcast, 0xC0FF_EE01, 0x5EED + 1),
+    // Erasure spray under the hottest packet chaos in the corpus: pins
+    // the codec's integrity gate and its cross-thread determinism (the
+    // plan at index 2 carries six ops including corruption).
+    (ShardWorkload::FecSpray, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::FecSpray, 0xC0FF_EE02, 0x5EED + 2),
     (ShardWorkload::FullProtocol, 0xC0FF_EE00, 0x5EED),
 ];
 

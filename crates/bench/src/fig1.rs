@@ -81,7 +81,7 @@ const TIMER_STACK: u64 = 1;
 fn flush_wire(stack: &mut WireStack, gate: &mut TimerGate, ctx: &mut Ctx<'_>, delivered: &mut usize) {
     for o in stack.drain() {
         match o {
-            Out::Send { to, via, bytes } => match via {
+            Out::Send { to, via, bytes, .. } => match via {
                 Some(n) => ctx.send_via(to, bytes, n),
                 None => ctx.send(to, bytes),
             },
@@ -102,7 +102,7 @@ impl SrudpSender {
         // the wire stays saturated without unbounded memory use.
         while self.remaining > 0 && stack_backlog(stack) < self.inflight {
             let size = self.msg_size.min(self.remaining);
-            stack.send(now, endpoint_key(self.peer), Bytes::from(vec![0xAB; size]));
+            stack.send(now, endpoint_key(self.peer), Bytes::from(vec![0xAB; size])).expect("configured frag size");
             self.remaining -= size;
         }
         let mut sink = 0;
@@ -209,6 +209,177 @@ impl Actor for SrudpReceiver {
                         }
                     }
                 }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FEC integrity workload actors (chaos + A/B bench)
+// ---------------------------------------------------------------------------
+
+/// Deterministic patterned payload for message `i`: an 8-byte index
+/// header followed by an index-keyed byte pattern, so a receiver can
+/// verify *content*, not just byte counts — the integrity oracle for
+/// erasure-coded transfers.
+pub(crate) fn fec_payload(i: u64, size: usize) -> Bytes {
+    let size = size.max(8);
+    let mut v = Vec::with_capacity(size);
+    v.extend_from_slice(&i.to_be_bytes());
+    v.extend((8..size).map(|j| ((i as usize).wrapping_mul(31).wrapping_add(j) % 251) as u8));
+    Bytes::from(v)
+}
+
+/// Streams `count` indexed patterned messages, keeping the transport
+/// backlog under `inflight` bytes (set `inflight` below one message's
+/// wire cost for stop-and-wait pacing).
+pub(crate) struct FecSender {
+    pub(crate) stack: Option<WireStack>,
+    pub(crate) peer: Endpoint,
+    pub(crate) msg_size: usize,
+    pub(crate) count: u64,
+    pub(crate) next: u64,
+    pub(crate) inflight: usize,
+    pub(crate) cfg: StackConfig,
+    pub(crate) pin: Option<Vec<snipe_util::id::NetId>>,
+    pub(crate) gate: TimerGate,
+}
+
+impl FecSender {
+    fn pump_app(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(stack) = self.stack.as_mut() else { return };
+        while self.next < self.count && stack_backlog(stack) <= self.inflight {
+            let msg = fec_payload(self.next, self.msg_size);
+            stack.send(now, endpoint_key(self.peer), msg).expect("configured frag size");
+            self.next += 1;
+        }
+        let mut sink = 0;
+        flush_wire(stack, &mut self.gate, ctx, &mut sink);
+    }
+}
+
+impl Actor for FecSender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                let mut stack = WireStack::new(endpoint_key(me), self.cfg.clone());
+                let routes = self.pin.clone().unwrap_or_default();
+                stack.set_peer_at(ctx.now(), endpoint_key(self.peer), self.peer, routes);
+                self.stack = Some(stack);
+                self.pump_app(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                }
+                self.pump_app(ctx);
+            }
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    let _ = s.on_datagram(now, from, payload);
+                }
+                self.pump_app(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Verifies every delivered message against [`fec_payload`]: indices
+/// land in `seqs` (order preserved), content mismatches in
+/// `mismatches` (each one is an integrity violation — reconstruction
+/// must fail closed, never fabricate), and the final SRUDP stats
+/// snapshot in `stats`.
+pub(crate) struct FecReceiver {
+    pub(crate) stack: Option<WireStack>,
+    pub(crate) cfg: StackConfig,
+    pub(crate) pin: Option<Vec<snipe_util::id::NetId>>,
+    pub(crate) gate: TimerGate,
+    pub(crate) expect: u64,
+    pub(crate) msg_size: usize,
+    pub(crate) seqs: Arc<Mutex<Vec<u32>>>,
+    pub(crate) mismatches: Arc<Mutex<Vec<String>>>,
+    pub(crate) stats: Arc<Mutex<snipe_wire::srudp::SrudpStats>>,
+    pub(crate) done_at: Arc<Mutex<Option<SimTime>>>,
+}
+
+impl FecReceiver {
+    fn drain_verified(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(stack) = self.stack.as_mut() else { return };
+        for o in stack.drain() {
+            match o {
+                Out::Send { to, via, bytes, .. } => match via {
+                    Some(n) => ctx.send_via(to, bytes, n),
+                    None => ctx.send(to, bytes),
+                },
+                Out::Deliver { msg, .. } => {
+                    let mut seqs = self.seqs.lock().unwrap();
+                    if msg.len() >= 8 {
+                        let i = u64::from_be_bytes(msg[..8].try_into().unwrap());
+                        if msg != fec_payload(i, self.msg_size) {
+                            self.mismatches.lock().unwrap().push(format!(
+                                "message {i}: {} bytes delivered with corrupted content",
+                                msg.len()
+                            ));
+                        }
+                        seqs.push(i as u32);
+                    } else {
+                        self.mismatches.lock().unwrap().push(format!(
+                            "runt message delivered ({} bytes)",
+                            msg.len()
+                        ));
+                    }
+                    if seqs.len() as u64 >= self.expect
+                        && self.done_at.lock().unwrap().is_none()
+                    {
+                        *self.done_at.lock().unwrap() = Some(ctx.now());
+                    }
+                }
+                Out::Wake { .. } => {}
+            }
+        }
+        *self.stats.lock().unwrap() = stack.srudp_stats();
+        if let Some(dl) = stack.next_deadline() {
+            self.gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
+        }
+    }
+}
+
+impl Actor for FecReceiver {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.me();
+                self.stack = Some(WireStack::new(endpoint_key(me), self.cfg.clone()));
+            }
+            Event::Packet { from, payload } => {
+                let now = ctx.now();
+                let Some(stack) = self.stack.as_mut() else { return };
+                let _ = stack.on_datagram(now, from, payload);
+                if let Some(pin) = &self.pin {
+                    for key in stack.known_peers() {
+                        if stack.route_candidates(key).is_empty() {
+                            if let Some(ep) = stack.peer_endpoint(key) {
+                                stack.set_peer_at(now, key, ep, pin.clone());
+                            }
+                        }
+                    }
+                }
+                self.drain_verified(ctx);
+            }
+            Event::Timer { token: TIMER_STACK } | Event::HostUp => {
+                self.gate.fired();
+                let now = ctx.now();
+                if let Some(s) = self.stack.as_mut() {
+                    s.on_timer(now);
+                }
+                self.drain_verified(ctx);
             }
             _ => {}
         }
@@ -416,7 +587,7 @@ impl McastMemberHost {
         let Some(stack) = self.stack.as_mut() else { return };
         for o in stack.drain() {
             match o {
-                Out::Send { to, via, bytes } => match via {
+                Out::Send { to, via, bytes, .. } => match via {
                     Some(n) => ctx.send_via(to, bytes, n),
                     None => ctx.send(to, bytes),
                 },

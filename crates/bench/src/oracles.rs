@@ -116,6 +116,45 @@ pub fn check_corruption_exercised(label: &str, world: &World, expected: bool) ->
     }
 }
 
+/// FEC end-to-end integrity: an erasure-coded transfer may lose shares,
+/// retransmit, even catch corrupted reconstructions (counted in
+/// `fec_corrupt`) — but a *content mismatch in a delivered message* is
+/// an absolute violation: the reconstruct-then-verify gate failed open.
+/// When `expect_fec` is set the workload also proves FEC actually
+/// engaged (a misconfigured plain run would vacuously "pass").
+pub fn check_fec_integrity(
+    label: &str,
+    mismatches: &[String],
+    stats: &snipe_wire::srudp::SrudpStats,
+    expect_fec: bool,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    for m in mismatches {
+        v.push(format!("{label}: corrupted reconstruction delivered — {m}"));
+    }
+    if expect_fec && stats.fec_delivered == 0 {
+        v.push(format!(
+            "{label}: no FEC-reconstructed deliveries — the erasure path never engaged"
+        ));
+    }
+    v
+}
+
+/// Receiver-side reassembly boundedness: partial-reassembly state the
+/// eviction machinery let accumulate past the cap means the bugfix
+/// regressed (an in-contract sender can always have a few in flight).
+pub fn check_reasm_bounded(label: &str, stats: &snipe_wire::srudp::SrudpStats, evicted_max: u64) -> Vec<String> {
+    if stats.reasm_evicted > evicted_max {
+        vec![format!(
+            "{label}: {} partial reassemblies evicted (bound {evicted_max}) — peers are \
+             being forgotten while still in contract",
+            stats.reasm_evicted
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
 /// Per-shard boundedness for the sharded engine: aggregate totals can
 /// hide one runaway region, so every shard's residual queue, peak
 /// depth, slab/stream high-water marks and per-round mailbox burst

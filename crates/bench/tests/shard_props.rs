@@ -73,6 +73,23 @@ fn full_protocol_digest_is_thread_count_invariant() {
     }
 }
 
+/// The erasure-coded share-spray chaos workload must be a pure
+/// function of the world too: same digest (and a green verdict) at
+/// every thread count, under a six-op plan with packet corruption.
+#[test]
+fn fec_spray_digest_is_thread_count_invariant() {
+    use snipe_netsim::chaos::ChaosPlan;
+    let w = chaos_shard::ShardWorkload::FecSpray;
+    let plan = ChaosPlan::generate(0xC0FF_EE02, &w.shape());
+    let (v1, d1) = w.run(&plan, 0x5EED + 2, 1);
+    assert!(v1.is_empty(), "fec spray violated its oracles at 1 thread: {v1:?}");
+    for threads in [2usize, 4, 8] {
+        let (vt, dt) = w.run(&plan, 0x5EED + 2, threads);
+        assert!(vt.is_empty(), "fec spray violated its oracles at {threads} threads: {vt:?}");
+        assert_eq!(d1, dt, "fec spray digest diverged at {threads} threads");
+    }
+}
+
 /// The same workload on the serial [`World`] must reach the same
 /// application outcome (milestone log lines) as the sharded engine.
 /// Engine digests are incomparable across engines — the serial world

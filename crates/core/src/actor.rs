@@ -299,7 +299,7 @@ impl ProcessActor {
         let mut delivered = Vec::new();
         for o in outs {
             match o {
-                Out::Send { to, via, bytes } => match via {
+                Out::Send { to, via, bytes, .. } => match via {
                     Some(n) => ctx.send_via(to, bytes, n),
                     None => ctx.send(to, bytes),
                 },
@@ -682,7 +682,7 @@ impl ProcessActor {
         if let Some(stack) = self.stack.as_mut() {
             let key = snipe_wire::stack::endpoint_key(to);
             stack.set_peer_at(now, key, to, vec![]);
-            stack.send(now, key, payload);
+            stack.send(now, key, payload).expect("configured frag size");
         }
         self.flush_stack(ctx);
     }
@@ -724,7 +724,7 @@ impl ProcessActor {
                     .as_ref()
                     .is_some_and(|s| s.peer_endpoint(to_key).is_some());
                 if let Some(stack) = self.stack.as_mut() {
-                    stack.send(now, to_key, wrapped);
+                    stack.send(now, to_key, wrapped).expect("configured frag size");
                 }
                 if !known {
                     self.resolve_peer(ctx, to_key, None);

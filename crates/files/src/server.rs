@@ -89,7 +89,7 @@ impl FileServerActor {
         let Some(stack) = self.stack.as_mut() else { return delivered };
         for o in stack.drain() {
             match o {
-                Out::Send { to, via, bytes } => match via {
+                Out::Send { to, via, bytes, .. } => match via {
                     Some(n) => ctx.send_via(to, bytes, n),
                     None => ctx.send(to, bytes),
                 },
@@ -111,7 +111,7 @@ impl FileServerActor {
     fn reliable_send(&mut self, ctx: &mut dyn SimCtx, to_key: u64, msg: &FileMsg) {
         let now = ctx.now();
         if let Some(stack) = self.stack.as_mut() {
-            stack.send(now, to_key, msg.encode_to_bytes());
+            stack.send(now, to_key, msg.encode_to_bytes()).expect("default frag size");
         }
         let _ = self.flush_stack(ctx);
     }

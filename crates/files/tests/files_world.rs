@@ -47,7 +47,7 @@ impl StackDriver {
         let Some(stack) = self.stack.as_mut() else { return };
         for o in stack.drain() {
             match o {
-                Out::Send { to, via, bytes } => match via {
+                Out::Send { to, via, bytes, .. } => match via {
                     Some(n) => ctx.send_via(to, bytes, n),
                     None => ctx.send(to, bytes),
                 },
@@ -83,7 +83,7 @@ impl Actor for StackDriver {
                     Step::Reliable(to, msg) => {
                         let stack = self.stack.as_mut().expect("started");
                         stack.set_peer(endpoint_key(to), to, vec![]);
-                        stack.send(now, endpoint_key(to), msg.encode_to_bytes());
+                        stack.send(now, endpoint_key(to), msg.encode_to_bytes()).unwrap();
                     }
                     Step::Raw(to, msg) => {
                         ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));

@@ -1,0 +1,434 @@
+//! Erasure-coded fragmentation: systematic Reed-Solomon over GF(2^8).
+//!
+//! Plain fragmentation makes a message's delivery probability collapse
+//! as `(1-p)^n` under per-packet loss `p`: every fragment must survive.
+//! Share coding inverts the shape. A message is split into `b` data
+//! chunks and extended to `2b-1` equal-length shares such that *any*
+//! `b` of them reconstruct the original — the sender can lose any
+//! `b-1` shares (about half) and the receiver still assembles the
+//! message on the first flight, with no retransmission round-trips.
+//! Combined with spraying shares across distinct routes
+//! ([`crate::path::PathSelector::select_k_distinct`]), a gray link
+//! costs shares, not messages.
+//!
+//! The code is a classic systematic Reed-Solomon construction: for each
+//! byte position `t`, the `b` data bytes define the unique polynomial
+//! `p_t` of degree `< b` with `p_t(j) = chunk_j[t]` for `j in 0..b`;
+//! parity share `k` (for `k in b..2b-1`) carries `p_t(k)`. Decoding
+//! from any `b` received shares is Lagrange interpolation back to the
+//! data points. All arithmetic is over GF(2^8) with the primitive
+//! polynomial `x^8+x^4+x^3+x^2+1` (0x11d) and generator 2, via
+//! compile-time log/exp tables — no runtime initialisation, no
+//! dependencies, same spirit as the in-repo checksum primitives.
+//!
+//! Reconstruction is integrity-checked end to end: the share header
+//! (owned by the driver, see the SRUDP `KIND_FEC` layout) carries an
+//! FNV-1a checksum over the *original message*, verified after
+//! interpolation. A decode that passes share-length validation but
+//! yields wrong bytes (corrupted or forged shares that slipped past
+//! the envelope checksum) is detected there and never delivered.
+
+use bytes::Bytes;
+use snipe_util::error::{SnipeError, SnipeResult};
+
+/// Largest supported data-share count. `2b-1` evaluation points must
+/// be distinct field elements, and keeping `b` in a `u8` keeps the
+/// share header small; 128 data shares of one MTU each already covers
+/// messages far beyond SNIPE's RPC and file-chunk sizes.
+pub const MAX_B: usize = 128;
+
+/// How a driver fragments outgoing messages that exceed one MTU.
+///
+/// Selectable per-driver (each driver's config carries one), so
+/// SRUDP / RSTREAM / mcast can opt in independently without any
+/// change to `WireStack::send` callers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FragStrategy {
+    /// Split into `n` fragments; all `n` must arrive (delivery decays
+    /// as `(1-p)^n` per flight, recovered by retransmission).
+    #[default]
+    Plain,
+    /// Encode into `2b-1` Reed-Solomon shares; any `b` reconstruct.
+    /// Falls back to [`FragStrategy::Plain`] for messages that fit in
+    /// one fragment (no benefit) or need more than [`MAX_B`] chunks.
+    Fec,
+}
+
+impl FragStrategy {
+    /// Stable lowercase name (config echo, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FragStrategy::Plain => "plain",
+            FragStrategy::Fec => "fec",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GF(2^8) arithmetic
+// ---------------------------------------------------------------------
+
+const GF_POLY: u32 = 0x11d;
+
+/// `exp` is doubled (510 entries) so `mul` can index `log a + log b`
+/// without a modular reduction.
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u32 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF_POLY;
+        }
+        i += 1;
+    }
+    let mut j = 255;
+    while j < 510 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+const GF_EXP: [u8; 512] = TABLES.0;
+const GF_LOG: [u8; 256] = TABLES.1;
+
+#[inline]
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        GF_EXP[GF_LOG[a as usize] as usize + GF_LOG[b as usize] as usize]
+    }
+}
+
+/// `a / b`. `b` must be non-zero; every divisor in this module is a
+/// product of XORs of *distinct* evaluation points, which cannot be 0.
+#[inline]
+fn gf_div(a: u8, b: u8) -> u8 {
+    debug_assert_ne!(b, 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        0
+    } else {
+        GF_EXP[GF_LOG[a as usize] as usize + 255 - GF_LOG[b as usize] as usize]
+    }
+}
+
+/// Lagrange basis coefficient `l_i(at)` for the point set `xs`:
+/// `prod_{m != i} (at - xs[m]) / (xs[i] - xs[m])` (subtraction is XOR).
+fn lagrange_coeff(xs: &[u8], i: usize, at: u8) -> u8 {
+    let mut num = 1u8;
+    let mut den = 1u8;
+    for (m, &xm) in xs.iter().enumerate() {
+        if m == i {
+            continue;
+        }
+        num = gf_mul(num, at ^ xm);
+        den = gf_mul(den, xs[i] ^ xm);
+    }
+    gf_div(num, den)
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the whole message: the end-to-end integrity check
+/// carried in every share header and verified after reconstruction.
+pub fn msg_checksum(msg: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in msg {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Share length for a message of `msg_len` bytes split into `b` chunks.
+pub fn share_len(msg_len: usize, b: usize) -> usize {
+    msg_len.div_ceil(b)
+}
+
+/// Encode `msg` into `2b-1` equal-length shares. Shares `0..b` are the
+/// message bytes themselves (the last chunk zero-padded) — the
+/// systematic property: under zero loss the receiver concatenates and
+/// never touches field arithmetic. Shares `b..2b-1` are parity.
+///
+/// Errors if `b` is out of `1..=MAX_B` or the message is empty.
+pub fn encode(msg: &[u8], b: usize) -> SnipeResult<Vec<Bytes>> {
+    if b == 0 || b > MAX_B {
+        return Err(SnipeError::Protocol(format!("fec encode: b {b} out of 1..={MAX_B}")));
+    }
+    if msg.is_empty() {
+        return Err(SnipeError::Protocol("fec encode: empty message".to_string()));
+    }
+    let slen = share_len(msg.len(), b);
+    let mut shares: Vec<Bytes> = Vec::with_capacity(2 * b - 1);
+    let mut padded;
+    let data: &[u8] = if msg.len() == b * slen {
+        msg
+    } else {
+        padded = msg.to_vec();
+        padded.resize(b * slen, 0);
+        &padded
+    };
+    for j in 0..b {
+        shares.push(Bytes::copy_from_slice(&data[j * slen..(j + 1) * slen]));
+    }
+    // Parity share k carries p_t(k); with the data points fixed at
+    // x = 0..b the basis coefficients depend only on (k, j), so one
+    // coefficient row serves the whole share.
+    let xs: Vec<u8> = (0..b as u8).collect();
+    for k in b..2 * b - 1 {
+        let coeffs: Vec<u8> = (0..b).map(|j| lagrange_coeff(&xs, j, k as u8)).collect();
+        let mut share = vec![0u8; slen];
+        for (j, &c) in coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let chunk = &data[j * slen..(j + 1) * slen];
+            for (t, s) in share.iter_mut().enumerate() {
+                *s ^= gf_mul(c, chunk[t]);
+            }
+        }
+        shares.push(Bytes::from(share));
+    }
+    Ok(shares)
+}
+
+/// Reconstruct a `msg_len`-byte message from any `b` distinct shares
+/// of an [`encode`]`(msg, b)` family. `shares` pairs each share index
+/// (`0..2b-1`) with its bytes; duplicates beyond the first `b`
+/// distinct indices are ignored.
+///
+/// Every structural property is validated — index range, share count,
+/// uniform share length consistent with `msg_len` — and violations are
+/// `Protocol` errors, never panics: hostile shares are expected input.
+/// Content corruption that passes these checks is caught by the
+/// caller's [`msg_checksum`] comparison.
+pub fn decode(b: usize, msg_len: usize, shares: &[(u32, Bytes)]) -> SnipeResult<Vec<u8>> {
+    if b == 0 || b > MAX_B {
+        return Err(SnipeError::Protocol(format!("fec decode: b {b} out of 1..={MAX_B}")));
+    }
+    if msg_len == 0 {
+        return Err(SnipeError::Protocol("fec decode: empty message".to_string()));
+    }
+    let total = 2 * b - 1;
+    let slen = share_len(msg_len, b);
+    if msg_len > b * slen {
+        return Err(SnipeError::Protocol(format!(
+            "fec decode: msg_len {msg_len} inconsistent with b {b}"
+        )));
+    }
+    // First `b` distinct in-range shares, in index order (deterministic
+    // regardless of arrival order).
+    let mut chosen: Vec<Option<&Bytes>> = vec![None; total];
+    let mut have = 0usize;
+    for (idx, bytes) in shares {
+        let idx = *idx as usize;
+        if idx >= total || chosen[idx].is_some() {
+            continue;
+        }
+        if bytes.len() != slen {
+            return Err(SnipeError::Protocol(format!(
+                "fec decode: share {idx} is {} bytes, want {slen}",
+                bytes.len()
+            )));
+        }
+        chosen[idx] = Some(bytes);
+        have += 1;
+        if have == b {
+            break;
+        }
+    }
+    if have < b {
+        return Err(SnipeError::Protocol(format!("fec decode: {have} distinct shares, need {b}")));
+    }
+    let mut out = vec![0u8; b * slen];
+    // Systematic shares drop straight in; note which chunks are missing.
+    let mut missing: Vec<usize> = Vec::new();
+    for j in 0..b {
+        match chosen[j] {
+            Some(bytes) => out[j * slen..(j + 1) * slen].copy_from_slice(bytes),
+            None => missing.push(j),
+        }
+    }
+    if !missing.is_empty() {
+        let points: Vec<(u8, &Bytes)> = chosen
+            .iter()
+            .enumerate()
+            .filter_map(|(x, s)| s.map(|bytes| (x as u8, bytes)))
+            .take(b)
+            .collect();
+        let xs: Vec<u8> = points.iter().map(|(x, _)| *x).collect();
+        for &j in &missing {
+            let coeffs: Vec<u8> = (0..b).map(|i| lagrange_coeff(&xs, i, j as u8)).collect();
+            for (i, &c) in coeffs.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let src = points[i].1;
+                let dst = &mut out[j * slen..(j + 1) * slen];
+                for (t, d) in dst.iter_mut().enumerate() {
+                    *d ^= gf_mul(c, src[t]);
+                }
+            }
+        }
+    }
+    out.truncate(msg_len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn tables_are_a_permutation() {
+        // Generator 2 must cycle through all 255 non-zero elements.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = GF_EXP[i] as usize;
+            assert!(v != 0 && !seen[v], "exp table not a permutation at {i}");
+            seen[v] = true;
+        }
+        for a in 1..=255u8 {
+            assert_eq!(GF_EXP[GF_LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn field_axioms_spot_check() {
+        for a in [1u8, 7, 100, 255] {
+            for b in [1u8, 3, 90, 254] {
+                let p = gf_mul(a, b);
+                assert_eq!(gf_div(p, b), a);
+                assert_eq!(gf_mul(a, 1), a);
+            }
+        }
+        assert_eq!(gf_mul(0, 123), 0);
+        assert_eq!(gf_mul(123, 0), 0);
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_message() {
+        let m = msg(1000);
+        let b = 4;
+        let shares = encode(&m, b).unwrap();
+        assert_eq!(shares.len(), 2 * b - 1);
+        let slen = share_len(m.len(), b);
+        let concat: Vec<u8> =
+            shares[..b].iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(&concat[..m.len()], &m[..]);
+        assert!(shares.iter().all(|s| s.len() == slen));
+    }
+
+    #[test]
+    fn any_b_shares_reconstruct() {
+        let m = msg(997); // deliberately not a multiple of b
+        let b = 5;
+        let shares = encode(&m, b).unwrap();
+        let indexed: Vec<(u32, Bytes)> =
+            shares.iter().enumerate().map(|(i, s)| (i as u32, s.clone())).collect();
+        // Every contiguous window and a few scattered subsets.
+        for start in 0..b {
+            let subset: Vec<_> = (0..b).map(|i| indexed[(start + i) % (2 * b - 1)].clone()).collect();
+            assert_eq!(decode(b, m.len(), &subset).unwrap(), m, "window at {start}");
+        }
+        let parity_heavy: Vec<_> = [8usize, 7, 6, 5, 0].iter().map(|&i| indexed[i].clone()).collect();
+        assert_eq!(decode(b, m.len(), &parity_heavy).unwrap(), m);
+    }
+
+    #[test]
+    fn b_one_degenerates_to_the_message() {
+        let m = msg(33);
+        let shares = encode(&m, 1).unwrap();
+        assert_eq!(shares.len(), 1);
+        assert_eq!(&shares[0][..], &m[..]);
+        assert_eq!(decode(1, m.len(), &[(0, shares[0].clone())]).unwrap(), m);
+    }
+
+    #[test]
+    fn too_few_shares_is_an_error() {
+        let m = msg(100);
+        let shares = encode(&m, 3).unwrap();
+        let two: Vec<(u32, Bytes)> = vec![(0, shares[0].clone()), (4, shares[4].clone())];
+        assert_eq!(decode(3, m.len(), &two).unwrap_err().kind(), "protocol");
+    }
+
+    #[test]
+    fn duplicate_indices_do_not_count_twice() {
+        let m = msg(64);
+        let shares = encode(&m, 3).unwrap();
+        let dup: Vec<(u32, Bytes)> =
+            vec![(0, shares[0].clone()), (0, shares[0].clone()), (1, shares[1].clone())];
+        assert_eq!(decode(3, m.len(), &dup).unwrap_err().kind(), "protocol");
+    }
+
+    #[test]
+    fn hostile_structure_is_rejected_not_panicked() {
+        let m = msg(64);
+        let shares = encode(&m, 3).unwrap();
+        // Wrong share length.
+        let bad_len: Vec<(u32, Bytes)> = vec![
+            (0, Bytes::from_static(b"x")),
+            (1, shares[1].clone()),
+            (2, shares[2].clone()),
+        ];
+        assert!(decode(3, m.len(), &bad_len).is_err());
+        // Out-of-range index never counts toward the quorum.
+        let oob: Vec<(u32, Bytes)> = vec![
+            (99, shares[0].clone()),
+            (1, shares[1].clone()),
+            (2, shares[2].clone()),
+        ];
+        assert!(decode(3, m.len(), &oob).is_err());
+        // Inconsistent msg_len / b combinations.
+        assert!(decode(0, 10, &[]).is_err());
+        assert!(decode(MAX_B + 1, 10, &[]).is_err());
+        assert!(decode(3, 0, &[]).is_err());
+        assert!(encode(&m, 0).is_err());
+        assert!(encode(&m, MAX_B + 1).is_err());
+        assert!(encode(&[], 3).is_err());
+    }
+
+    #[test]
+    fn corrupted_share_changes_output_and_checksum_catches_it() {
+        let m = msg(500);
+        let b = 4;
+        let want = msg_checksum(&m);
+        let shares = encode(&m, b).unwrap();
+        // Corrupt a parity share, then force a reconstruction that uses it.
+        let mut evil = shares[b].to_vec();
+        evil[3] ^= 0x40;
+        let subset: Vec<(u32, Bytes)> = vec![
+            (b as u32, Bytes::from(evil)),
+            (1, shares[1].clone()),
+            (2, shares[2].clone()),
+            (3, shares[3].clone()),
+        ];
+        let got = decode(b, m.len(), &subset).unwrap();
+        assert_ne!(got, m);
+        assert_ne!(msg_checksum(&got), want);
+    }
+
+    #[test]
+    fn max_b_family_round_trips() {
+        let m = msg(MAX_B * 3 + 11);
+        let shares = encode(&m, MAX_B).unwrap();
+        assert_eq!(shares.len(), 2 * MAX_B - 1);
+        // Drop all systematic shares except one: worst-case interpolation.
+        let subset: Vec<(u32, Bytes)> = std::iter::once((0u32, shares[0].clone()))
+            .chain((MAX_B..2 * MAX_B - 1).map(|i| (i as u32, shares[i].clone())))
+            .collect();
+        assert_eq!(decode(MAX_B, m.len(), &subset).unwrap(), m);
+    }
+}

@@ -10,7 +10,8 @@
 //!   reliable byte stream with cumulative ACKs and fast retransmit;
 //! * an **experimental multicast protocol** ([`mcast`]) — router-based
 //!   reliable group messaging per §5.4;
-//! * **fragmentation** ([`frag`]) and framing ([`frame`]);
+//! * **fragmentation** ([`frag`]), erasure-coded share fragmentation
+//!   ([`fec`]) and framing ([`frame`]);
 //! * **multiple communication paths** with transparent failover
 //!   ([`path`]): "the ability to switch routes/interfaces as links
 //!   failed without user applications intervention" (§6);
@@ -26,6 +27,7 @@
 //! modules together for embedding in a `snipe-netsim` actor.
 
 pub mod driver;
+pub mod fec;
 pub mod frag;
 pub mod frame;
 pub mod mcast;
@@ -50,6 +52,12 @@ pub enum Out {
         to: Endpoint,
         /// Pinned network (multi-path), or `None` for default routing.
         via: Option<NetId>,
+        /// Share-spray index: when a driver emits erasure-coded shares
+        /// ([`fec`]) it tags each with its share index, and the stack
+        /// maps index `i` onto the `i mod k`-th of `k` distinct routes
+        /// ([`path::PathSelector::select_k_distinct`]) so one gray
+        /// link costs shares, not messages. `None` routes normally.
+        spray: Option<u32>,
         /// Wire bytes.
         bytes: Bytes,
     },

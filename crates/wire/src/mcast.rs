@@ -210,6 +210,7 @@ impl McastRouter {
                     out.push(Out::Send {
                         to: m,
                         via: None,
+                        spray: None,
                         bytes: crate::frame::seal(crate::frame::Proto::Mcast, fwd.encode()),
                     });
                 }
@@ -228,6 +229,7 @@ impl McastRouter {
                         out.push(Out::Send {
                             to: p,
                             via: None,
+                            spray: None,
                             bytes: crate::frame::seal(crate::frame::Proto::Mcast, fwd.encode()),
                         });
                     }

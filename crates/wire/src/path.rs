@@ -314,6 +314,39 @@ impl PeerPaths {
         }
         Some(self.candidates[best].net)
     }
+
+    /// Up to `k` *distinct* routes in selection-preference order (best
+    /// score first, current route preferred on ties, remaining ties in
+    /// cyclic rank order) — the share-spraying counterpart of
+    /// [`Self::select`]. With fewer than `k` candidates every route is
+    /// returned: the caller wraps its share index around whatever
+    /// exists, so degraded peers degrade gracefully to single-path
+    /// behaviour instead of failing.
+    pub fn select_k_distinct(&self, k: usize) -> Vec<NetId> {
+        let n = self.candidates.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        // Rank candidates the way select() compares them: by score
+        // with SCORE_EPSILON-blurred ties broken by cyclic distance
+        // from the current route.
+        let mut order: Vec<usize> = (0..n).map(|off| (self.current + off) % n).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (self.candidates[a].score(), self.candidates[b].score());
+            if sa + SCORE_EPSILON < sb {
+                std::cmp::Ordering::Less
+            } else if sb + SCORE_EPSILON < sa {
+                std::cmp::Ordering::Greater
+            } else {
+                // Tie: cyclic distance from current (stable under the
+                // initial cyclic layout, so current always wins a tie).
+                let da = (a + n - self.current) % n;
+                let db = (b + n - self.current) % n;
+                da.cmp(&db)
+            }
+        });
+        order.into_iter().take(k).map(|i| self.candidates[i].net).collect()
+    }
 }
 
 /// Per-peer path state for a whole stack: `(peer, route, medium)`
@@ -354,6 +387,14 @@ impl PathSelector {
     /// simulator route).
     pub fn select(&self, key: NodeKey) -> Option<NetId> {
         self.peers.get(&key).and_then(|p| p.select())
+    }
+
+    /// Up to `k` distinct routes toward `key` in preference order, for
+    /// spreading erasure-coded shares across media ([`crate::fec`]).
+    /// Empty when the peer is unknown or unpinned — the caller falls
+    /// back to default routing, same as [`Self::select`].
+    pub fn select_k_distinct(&self, key: NodeKey, k: usize) -> Vec<NetId> {
+        self.peers.get(&key).map(|p| p.select_k_distinct(k)).unwrap_or_default()
     }
 
     /// Rotations performed for `key`.
@@ -496,5 +537,43 @@ mod tests {
         s.keys_into(&mut keys);
         keys.sort_unstable();
         assert_eq!(keys, vec![7, 8]);
+    }
+
+    #[test]
+    fn select_k_distinct_is_cyclic_from_current_on_ties() {
+        let mut r = PeerPaths::new(vec![n(1), n(2), n(3)]);
+        assert_eq!(r.select_k_distinct(3), vec![n(1), n(2), n(3)]);
+        assert_eq!(r.select_k_distinct(2), vec![n(1), n(2)]);
+        r.rotate();
+        // Equal scores: current leads, rank order continues cyclically.
+        assert_eq!(r.select_k_distinct(3), vec![n(2), n(3), n(1)]);
+    }
+
+    #[test]
+    fn select_k_distinct_degrades_to_available_routes() {
+        let r = PeerPaths::new(vec![n(1), n(2)]);
+        assert_eq!(r.select_k_distinct(5), vec![n(1), n(2)]);
+        assert_eq!(r.select_k_distinct(0), Vec::<NetId>::new());
+        assert_eq!(PeerPaths::unpinned().select_k_distinct(4), Vec::<NetId>::new());
+    }
+
+    #[test]
+    fn select_k_distinct_ranks_penalised_routes_last() {
+        let mut r = PeerPaths::new(vec![n(1), n(2), n(3)]);
+        // Fail over away from n(1): it accrues a penalty, and the
+        // spray order must park it behind the healthy routes.
+        assert!(r.report_timeouts(FAILOVER_THRESHOLD));
+        assert_eq!(r.current(), Some(n(2)));
+        assert_eq!(r.select_k_distinct(3), vec![n(2), n(3), n(1)]);
+    }
+
+    #[test]
+    fn selector_k_distinct_facade_matches_peer_state() {
+        let mut s = PathSelector::new();
+        s.update(7, vec![n(1), n(2)]);
+        s.update(8, vec![]);
+        assert_eq!(s.select_k_distinct(7, 4), vec![n(1), n(2)]);
+        assert_eq!(s.select_k_distinct(8, 4), Vec::<NetId>::new());
+        assert_eq!(s.select_k_distinct(9, 4), Vec::<NetId>::new());
     }
 }

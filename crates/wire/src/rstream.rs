@@ -186,7 +186,7 @@ impl Rstream {
         let mut enc = Encoder::new();
         enc.put_u8(KIND_SYN);
         enc.put_u64(id);
-        out.push(Out::Send { to: peer, via: None, bytes: enc.finish() });
+        out.push(Out::Send { to: peer, via: None, spray: None, bytes: enc.finish() });
     }
 
     /// Is the connection established?
@@ -227,7 +227,7 @@ impl Rstream {
                 let mut enc = Encoder::new();
                 enc.put_u8(KIND_FIN);
                 enc.put_u64(id);
-                self.out.push(Out::Send { to: c.peer, via: None, bytes: enc.finish() });
+                self.out.push(Out::Send { to: c.peer, via: None, spray: None, bytes: enc.finish() });
                 c.state = State::Closed;
                 self.wheel.cancel(id);
             }
@@ -272,7 +272,7 @@ impl Rstream {
         } else {
             stats.segments_sent += 1;
         }
-        out.push(Out::Send { to: conn.peer, via: None, bytes: enc.finish() });
+        out.push(Out::Send { to: conn.peer, via: None, spray: None, bytes: enc.finish() });
     }
 
     fn pump(&mut self, now: SimTime, id: ConnId) {
@@ -314,7 +314,7 @@ impl Rstream {
                 let mut enc = Encoder::new();
                 enc.put_u8(KIND_SYNACK);
                 enc.put_u64(id);
-                self.out.push(Out::Send { to: from, via: None, bytes: enc.finish() });
+                self.out.push(Out::Send { to: from, via: None, spray: None, bytes: enc.finish() });
                 Ok(())
             }
             KIND_SYNACK => {
@@ -380,7 +380,7 @@ impl Rstream {
         enc.put_u8(KIND_ACK);
         enc.put_u64(id);
         enc.put_u64(conn.rcv_nxt);
-        self.out.push(Out::Send { to: conn.peer, via: None, bytes: enc.finish() });
+        self.out.push(Out::Send { to: conn.peer, via: None, spray: None, bytes: enc.finish() });
         // Extract length-framed messages.
         let peer = conn.peer;
         loop {

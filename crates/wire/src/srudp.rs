@@ -28,6 +28,7 @@ use snipe_util::codec::{Decoder, Encoder};
 use snipe_util::error::{SnipeError, SnipeResult};
 use snipe_util::time::{SimDuration, SimTime};
 
+use crate::fec::{self, FragStrategy};
 use crate::frag::{split, ReassemblySet};
 use crate::timers::TimerWheel;
 use crate::Out;
@@ -42,6 +43,8 @@ enum TimerKind {
     Rto,
     /// Delayed-ACK flush for the pending unsacked message.
     Sack,
+    /// Stale partial-reassembly sweep (bounded receiver memory).
+    Evict,
 }
 
 /// SRUDP tuning knobs.
@@ -65,6 +68,11 @@ pub struct SrudpConfig {
     pub rto_max: SimDuration,
     /// Give up on a fragment after this many retransmissions.
     pub max_retries: u32,
+    /// How multi-fragment messages go on the wire: plain numbered
+    /// fragments, or `2b-1` Reed-Solomon shares of which any `b`
+    /// reconstruct ([`crate::fec`]). Per-driver: flipping this changes
+    /// nothing for [`Srudp::send_message`] callers.
+    pub frag_strategy: FragStrategy,
 }
 
 impl Default for SrudpConfig {
@@ -78,12 +86,21 @@ impl Default for SrudpConfig {
             rto_min: SimDuration::from_millis(2),
             rto_max: SimDuration::from_secs(4),
             max_retries: 12,
+            frag_strategy: FragStrategy::Plain,
         }
     }
 }
 
 const KIND_DATA: u8 = 1;
 const KIND_SACK: u8 = 2;
+const KIND_FEC: u8 = 3;
+
+/// How long a partial reassembly may sit with no fresh fragment before
+/// the sweep evicts it. Longer than any in-contract sender keeps
+/// retrying (`max_retries` × `rto_max` ≈ 48 s with defaults), so only
+/// genuinely abandoned transfers — a crashed sender, a never-completing
+/// chaos plan — are dropped.
+const REASM_TTL: SimDuration = SimDuration::from_secs(60);
 
 /// Upper bound on fragments per message accepted from the wire. The
 /// fragment count in a DATA header sizes the reassembly buffer, so a
@@ -98,13 +115,29 @@ struct InFlight {
     retransmitted: bool,
 }
 
+/// Erasure-coding parameters of one FEC-framed message, carried in
+/// every share header so any quorum of shares is self-describing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FecMeta {
+    /// Data-share count: any `b` of the `2b-1` shares reconstruct.
+    b: u8,
+    /// Original message length (strips the last chunk's padding).
+    msg_len: u32,
+    /// FNV-1a over the original message, verified after reconstruction.
+    checksum: u32,
+}
+
 struct OutMsg {
     msg_id: u64,
+    /// Plain fragments, or the `2b-1` shares when `fec` is set (the
+    /// window / SACK / RTO machinery treats both identically).
     frags: Vec<Bytes>,
     acked: Vec<bool>,
     acked_count: usize,
     /// Next fragment index never yet transmitted.
     next_tx: usize,
+    /// Set when `frags` are Reed-Solomon shares.
+    fec: Option<FecMeta>,
 }
 
 /// Per-peer protocol state.
@@ -133,6 +166,10 @@ struct Peer {
     unsacked: HashMap<u64, usize>,
     /// Fragment counts of in-progress incoming messages (for bitmaps).
     counts: HashMap<u64, u32>,
+    /// FEC parameters of in-progress incoming coded messages, pinned by
+    /// the first share (later shares must agree — a forged or corrupt
+    /// divergent header is a counted protocol error).
+    fec_meta: HashMap<u64, FecMeta>,
     /// Message id awaiting a delayed-ACK flush; the deadline itself
     /// lives in the stack-shared [`TimerWheel`].
     pending_sack: Option<u64>,
@@ -164,6 +201,7 @@ impl Peer {
             held: BTreeMap::new(),
             unsacked: HashMap::new(),
             counts: HashMap::new(),
+            fec_meta: HashMap::new(),
             pending_sack: None,
             dup_streak: 0,
             last_fresh: None,
@@ -184,6 +222,15 @@ pub struct SrudpStats {
     pub delivered: u64,
     /// Messages abandoned after `max_retries`.
     pub failed: u64,
+    /// FEC-framed messages reconstructed from a share quorum and
+    /// delivered.
+    pub fec_delivered: u64,
+    /// FEC reconstructions whose message checksum failed — corrupt or
+    /// forged shares; the message was dropped, never delivered.
+    pub fec_corrupt: u64,
+    /// Partial reassemblies evicted (stale-sweep or per-peer cap never
+    /// fires for in-contract senders; see the boundedness tests).
+    pub reasm_evicted: u64,
 }
 
 /// The SRUDP endpoint state machine.
@@ -308,22 +355,49 @@ impl Srudp {
     ///
     /// The peer's endpoint must be known (via [`Self::set_peer_endpoint`])
     /// by the time packets are emitted, or sends silently wait.
-    pub fn send_message(&mut self, now: SimTime, to: NodeKey, msg: Bytes) {
+    ///
+    /// Errors on a zero `frag_size` (hostile or misconfigured MTU
+    /// state must be a counted error, not a panic); nothing is queued.
+    pub fn send_message(&mut self, now: SimTime, to: NodeKey, msg: Bytes) -> SnipeResult<()> {
         let frag_size = self.cfg.frag_size;
+        if frag_size == 0 {
+            return Err(SnipeError::Protocol("zero fragment size".into()));
+        }
+        // FEC engages for multi-fragment messages within the field's
+        // reach; one-fragment messages gain nothing from parity, and
+        // larger-than-MAX_B messages fall back to plain fragmentation
+        // rather than failing.
+        let b = msg.len().div_ceil(frag_size);
+        let (frags, fec) = if self.cfg.frag_strategy == FragStrategy::Fec
+            && (2..=fec::MAX_B).contains(&b)
+        {
+            let meta = FecMeta {
+                b: b as u8,
+                msg_len: msg.len() as u32,
+                checksum: fec::msg_checksum(&msg),
+            };
+            (fec::encode(&msg, b)?, Some(meta))
+        } else {
+            (split(&msg, frag_size)?, None)
+        };
         let peer = self.peers.entry(to).or_insert_with(|| Peer::new(&self.cfg));
-        let frags = split(&msg, frag_size);
         let n = frags.len();
         let msg_id = peer.next_msg_id;
         peer.next_msg_id += 1;
-        peer.backlog_bytes += msg.len();
+        // Backlog counts wire payload: for FEC that includes parity
+        // (the true cost of the transfer), and it matches the per-
+        // fragment subtraction on SACK exactly.
+        peer.backlog_bytes += frags.iter().map(|f| f.len()).sum::<usize>();
         peer.queue.push_back(OutMsg {
             msg_id,
             frags,
             acked: vec![false; n],
             acked_count: 0,
             next_tx: 0,
+            fec,
         });
         self.pump(now, to);
+        Ok(())
     }
 
     /// Earliest instant at which [`Self::on_timer`] needs to run.
@@ -349,14 +423,29 @@ impl Srudp {
         frag_count: u32,
         payload: &Bytes,
         retransmit: bool,
+        fec: Option<FecMeta>,
     ) {
-        let mut enc = Encoder::with_capacity(payload.len() + 32);
-        enc.put_u8(KIND_DATA);
-        enc.put_u64(my_key);
-        enc.put_u64(msg_id);
-        enc.put_u32(frag_idx);
-        enc.put_u32(frag_count);
-        enc.put_bytes(payload);
+        let mut enc = Encoder::with_capacity(payload.len() + 40);
+        match fec {
+            None => {
+                enc.put_u8(KIND_DATA);
+                enc.put_u64(my_key);
+                enc.put_u64(msg_id);
+                enc.put_u32(frag_idx);
+                enc.put_u32(frag_count);
+                enc.put_bytes(payload);
+            }
+            Some(m) => {
+                enc.put_u8(KIND_FEC);
+                enc.put_u64(my_key);
+                enc.put_u64(msg_id);
+                enc.put_u32(frag_idx);
+                enc.put_u8(m.b);
+                enc.put_u32(m.msg_len);
+                enc.put_u32(m.checksum);
+                enc.put_bytes(payload);
+            }
+        }
         if retransmit {
             stats.retransmits += 1;
             if trace::enabled() {
@@ -368,7 +457,10 @@ impl Srudp {
         } else {
             stats.data_sent += 1;
         }
-        out.push(Out::Send { to: to_ep, via: None, bytes: enc.finish() });
+        // Shares advertise their index so the stack can spray them
+        // across distinct routes; plain fragments route normally.
+        let spray = fec.map(|_| frag_idx);
+        out.push(Out::Send { to: to_ep, via: None, spray, bytes: enc.finish() });
     }
 
     /// Fill the window toward a peer with untransmitted fragments.
@@ -402,6 +494,7 @@ impl Srudp {
             let frag = m.frags[idx].clone();
             let count = m.frags.len() as u32;
             let msg_id = m.msg_id;
+            let fec = m.fec;
             peer.inflight.insert(
                 (msg_id, idx as u32),
                 InFlight { sent_at: now, retries: 0, retransmitted: false },
@@ -419,6 +512,7 @@ impl Srudp {
                 count,
                 &frag,
                 false,
+                fec,
             );
         }
     }
@@ -433,7 +527,25 @@ impl Srudp {
                 let frag_idx = dec.get_u32()?;
                 let frag_count = dec.get_u32()?;
                 let payload = dec.get_bytes()?;
-                self.on_data(now, src_key, from_ep, msg_id, frag_idx, frag_count, payload)
+                self.on_data(now, src_key, from_ep, msg_id, frag_idx, frag_count, payload, None)
+            }
+            KIND_FEC => {
+                let src_key = dec.get_u64()?;
+                let msg_id = dec.get_u64()?;
+                let share_idx = dec.get_u32()?;
+                let b = dec.get_u8()?;
+                let msg_len = dec.get_u32()?;
+                let checksum = dec.get_u32()?;
+                let payload = dec.get_bytes()?;
+                if !(2..=fec::MAX_B as u32).contains(&(b as u32)) {
+                    return Err(SnipeError::Protocol(format!("unacceptable FEC b {b}")));
+                }
+                if msg_len == 0 {
+                    return Err(SnipeError::Protocol("zero-length FEC message".into()));
+                }
+                let meta = FecMeta { b, msg_len, checksum };
+                let total = 2 * b as u32 - 1;
+                self.on_data(now, src_key, from_ep, msg_id, share_idx, total, payload, Some(meta))
             }
             KIND_SACK => {
                 let src_key = dec.get_u64()?;
@@ -457,10 +569,18 @@ impl Srudp {
         frag_idx: u32,
         frag_count: u32,
         payload: Bytes,
+        fec: Option<FecMeta>,
     ) -> SnipeResult<()> {
         if frag_count == 0 || frag_count > MAX_FRAG_COUNT {
             return Err(SnipeError::Protocol(format!(
                 "unacceptable fragment count {frag_count}"
+            )));
+        }
+        // Reject before any per-message state exists: a bogus index
+        // must not leave side-table entries behind (state poisoning).
+        if frag_idx >= frag_count {
+            return Err(SnipeError::Protocol(format!(
+                "fragment index {frag_idx} out of range (count {frag_count})"
             )));
         }
         // Learn / refresh the peer's location from live traffic.
@@ -473,6 +593,31 @@ impl Srudp {
             Self::emit_done_sack(&mut self.out, &mut self.stats, self.my_key, from_ep, msg_id);
             return Ok(());
         }
+        // Per-peer cap: creating one more partial beyond the cap
+        // evicts the stalest entry *with* its side tables, so memory
+        // stays bounded against a sender that never completes anything.
+        if peer.reasm.received(msg_id) == 0
+            && peer.reasm.in_progress() >= crate::frag::MAX_PARTIAL_MSGS
+        {
+            if let Some(victim) = peer.reasm.evict_stalest() {
+                Self::forget_partial(peer, victim);
+                self.stats.reasm_evicted += 1;
+            }
+        }
+        // Every share of an FEC-framed message must carry the same
+        // coding parameters; divergence is corruption made visible.
+        if let Some(meta) = fec {
+            let prev = peer.fec_meta.entry(msg_id).or_insert(meta);
+            if *prev != meta {
+                return Err(SnipeError::Protocol(format!(
+                    "FEC share header diverges for msg {msg_id}"
+                )));
+            }
+        } else if peer.fec_meta.contains_key(&msg_id) {
+            return Err(SnipeError::Protocol(format!(
+                "plain fragment for FEC-framed msg {msg_id}"
+            )));
+        }
         peer.counts.insert(msg_id, frag_count);
         let was_present = peer.reasm.has(msg_id, frag_idx as usize);
         if was_present {
@@ -482,11 +627,53 @@ impl Srudp {
             peer.last_fresh = Some(now);
         }
         let completed =
-            peer.reasm.insert(msg_id, frag_idx as usize, frag_count as usize, payload)?;
-        match completed {
+            peer.reasm.insert(now, msg_id, frag_idx as usize, frag_count as usize, payload)?;
+        // First partial arms the stale sweep (schedule_min keeps the
+        // earliest pending deadline).
+        if peer.reasm.in_progress() > 0 {
+            self.wheel.schedule_min((src_key, TimerKind::Evict), now + REASM_TTL);
+        }
+        // A plain message is ready when every fragment arrived; an
+        // FEC-framed one as soon as any `b` distinct shares are in.
+        let ready: Option<Bytes> = match (completed, fec) {
+            (Some(full), None) => Some(full),
+            (Some(full), Some(meta)) => {
+                // All 2b-1 shares piled up without the quorum path
+                // firing (reachable via an imported checkpoint that
+                // restored a near-complete partial). The buffer is the
+                // shares concatenated in index order: slice them back
+                // apart and decode as usual.
+                let slen = full.len() / frag_count as usize;
+                let shares: Vec<(u32, Bytes)> = (0..frag_count)
+                    .map(|i| (i, full.slice(i as usize * slen..(i as usize + 1) * slen)))
+                    .collect();
+                match Self::fec_reconstruct(&mut self.stats, meta, &shares) {
+                    Ok(msg) => Some(msg),
+                    Err(e) => {
+                        Self::forget_partial(peer, msg_id);
+                        return Err(e);
+                    }
+                }
+            }
+            (None, Some(meta)) if peer.reasm.received(msg_id) >= meta.b as usize => {
+                let shares = peer.reasm.take(msg_id).expect("quorum present");
+                match Self::fec_reconstruct(&mut self.stats, meta, &shares) {
+                    Ok(msg) => Some(msg),
+                    Err(e) => {
+                        // Drop the poisoned partial entirely; honest
+                        // retransmissions rebuild it from scratch.
+                        Self::forget_partial(peer, msg_id);
+                        return Err(e);
+                    }
+                }
+            }
+            (None, _) => None,
+        };
+        match ready {
             Some(full_msg) => {
                 peer.unsacked.remove(&msg_id);
                 peer.counts.remove(&msg_id);
+                peer.fec_meta.remove(&msg_id);
                 peer.pending_sack = None;
                 self.wheel.cancel((src_key, TimerKind::Sack));
                 Self::emit_done_sack(&mut self.out, &mut self.stats, self.my_key, from_ep, msg_id);
@@ -529,6 +716,37 @@ impl Srudp {
         Ok(())
     }
 
+    /// Reconstruct, integrity-check and account an FEC share quorum.
+    /// A reconstruction that fails the message checksum is counted and
+    /// surfaced as a `Protocol` error — it is *never* delivered.
+    fn fec_reconstruct(
+        stats: &mut SrudpStats,
+        meta: FecMeta,
+        shares: &[(u32, Bytes)],
+    ) -> SnipeResult<Bytes> {
+        let decoded = fec::decode(meta.b as usize, meta.msg_len as usize, shares)?;
+        if fec::msg_checksum(&decoded) != meta.checksum {
+            stats.fec_corrupt += 1;
+            return Err(SnipeError::Protocol(format!(
+                "FEC reconstruction failed message checksum (b {})",
+                meta.b
+            )));
+        }
+        stats.fec_delivered += 1;
+        Ok(Bytes::from(decoded))
+    }
+
+    /// Drop a message's partial reassembly *and* its side tables.
+    fn forget_partial(peer: &mut Peer, msg_id: u64) {
+        peer.reasm.forget(msg_id);
+        peer.counts.remove(&msg_id);
+        peer.unsacked.remove(&msg_id);
+        peer.fec_meta.remove(&msg_id);
+        if peer.pending_sack == Some(msg_id) {
+            peer.pending_sack = None;
+        }
+    }
+
     fn emit_done_sack(
         out: &mut Vec<Out>,
         stats: &mut SrudpStats,
@@ -543,7 +761,7 @@ impl Srudp {
         enc.put_bool(true);
         enc.put_bytes(&[]);
         stats.sacks_sent += 1;
-        out.push(Out::Send { to, via: None, bytes: enc.finish() });
+        out.push(Out::Send { to, via: None, spray: None, bytes: enc.finish() });
     }
 
     fn emit_bitmap_sack(
@@ -566,7 +784,7 @@ impl Srudp {
         enc.put_bool(false);
         enc.put_bytes(&bitmap);
         stats.sacks_sent += 1;
-        out.push(Out::Send { to, via: None, bytes: enc.finish() });
+        out.push(Out::Send { to, via: None, spray: None, bytes: enc.finish() });
     }
 
     fn on_sack(
@@ -647,6 +865,7 @@ impl Srudp {
                     self.pump(now, src_key);
                     return;
                 };
+                let fec = m.fec;
                 let mut resend: Vec<(u32, Bytes)> = Vec::new();
                 for idx in 0..highest_acked {
                     let byte = (idx / 8) as usize;
@@ -686,6 +905,7 @@ impl Srudp {
                         count_total,
                         &frag,
                         true,
+                        fec,
                     );
                 }
             }
@@ -743,6 +963,15 @@ impl Srudp {
             e.put_u32(p.queue.len() as u32);
             for m in &p.queue {
                 e.put_u64(m.msg_id);
+                match m.fec {
+                    Some(meta) => {
+                        e.put_bool(true);
+                        e.put_u8(meta.b);
+                        e.put_u32(meta.msg_len);
+                        e.put_u32(meta.checksum);
+                    }
+                    None => e.put_bool(false),
+                }
                 e.put_u32(m.frags.len() as u32);
                 for (i, f) in m.frags.iter().enumerate() {
                     e.put_bool(m.acked[i]);
@@ -762,6 +991,15 @@ impl Srudp {
                 e.put_u64(id);
                 let count = p.counts.get(&id).copied().unwrap_or(frags.len() as u32);
                 e.put_u32(count);
+                match p.fec_meta.get(&id) {
+                    Some(meta) => {
+                        e.put_bool(true);
+                        e.put_u8(meta.b);
+                        e.put_u32(meta.msg_len);
+                        e.put_u32(meta.checksum);
+                    }
+                    None => e.put_bool(false),
+                }
                 e.put_u32(frags.len() as u32);
                 for f in frags {
                     match f {
@@ -778,9 +1016,10 @@ impl Srudp {
     }
 
     /// Restore exported state into a fresh endpoint with the given
-    /// configuration. The transmit cursors are reset so every unacked
-    /// fragment is retransmitted.
-    pub fn import_state(bytes: Bytes, cfg: SrudpConfig) -> SnipeResult<Srudp> {
+    /// configuration, as of `now` (restored partials get a fresh
+    /// eviction TTL on the new host). The transmit cursors are reset
+    /// so every unacked fragment is retransmitted.
+    pub fn import_state(bytes: Bytes, cfg: SrudpConfig, now: SimTime) -> SnipeResult<Srudp> {
         let mut d = Decoder::new(bytes);
         let my_key = d.get_u64()?;
         let mut s = Srudp::new(my_key, cfg);
@@ -797,6 +1036,15 @@ impl Srudp {
             let n_msgs = d.get_u32()? as usize;
             for _ in 0..n_msgs {
                 let msg_id = d.get_u64()?;
+                let fec = if d.get_bool()? {
+                    Some(FecMeta {
+                        b: d.get_u8()?,
+                        msg_len: d.get_u32()?,
+                        checksum: d.get_u32()?,
+                    })
+                } else {
+                    None
+                };
                 let n_frags = d.get_u32()? as usize;
                 // Every fragment costs ≥ 1 encoded byte, so a count
                 // beyond the remaining payload is corrupt — reject it
@@ -824,7 +1072,7 @@ impl Srudp {
                     .map(|(f, _)| f.len())
                     .sum();
                 peer.backlog_bytes += unacked;
-                peer.queue.push_back(OutMsg { msg_id, frags, acked, acked_count, next_tx: 0 });
+                peer.queue.push_back(OutMsg { msg_id, frags, acked, acked_count, next_tx: 0, fec });
             }
             peer.next_deliver = d.get_u64()?;
             let n_held = d.get_u32()? as usize;
@@ -842,6 +1090,14 @@ impl Srudp {
             for _ in 0..n_partials {
                 let id = d.get_u64()?;
                 let count = d.get_u32()?;
+                if d.get_bool()? {
+                    let meta = FecMeta {
+                        b: d.get_u8()?,
+                        msg_len: d.get_u32()?,
+                        checksum: d.get_u32()?,
+                    };
+                    peer.fec_meta.insert(id, meta);
+                }
                 let n = d.get_u32()? as usize;
                 if n > d.remaining() {
                     return Err(SnipeError::Codec(format!(
@@ -855,8 +1111,12 @@ impl Srudp {
                 peer.counts.insert(id, count);
                 partials.push((id, frags));
             }
-            peer.reasm.import(partials);
+            peer.reasm.import(now, partials);
+            let arm_evict = peer.reasm.in_progress() > 0;
             s.peers.insert(k, peer);
+            if arm_evict {
+                s.wheel.schedule((k, TimerKind::Evict), now + REASM_TTL);
+            }
         }
         d.expect_end()?;
         Ok(s)
@@ -885,9 +1145,29 @@ impl Srudp {
         due.sort_unstable_by_key(|&(k, kind)| (std::cmp::Reverse(kind as u8), k));
         for (key, kind) in due {
             match kind {
+                TimerKind::Evict => self.fire_evict(now, key),
                 TimerKind::Sack => self.fire_sack(now, key),
                 TimerKind::Rto => self.fire_rto(now, key),
             }
+        }
+    }
+
+    /// Stale partial-reassembly sweep: evict entries idle longer than
+    /// [`REASM_TTL`] (with their side tables) and re-arm while partial
+    /// state remains. Virtual-time driven, so fully deterministic.
+    fn fire_evict(&mut self, now: SimTime, key: NodeKey) {
+        let Some(peer) = self.peers.get_mut(&key) else { return };
+        for id in peer.reasm.evict_stale(now, REASM_TTL) {
+            peer.counts.remove(&id);
+            peer.unsacked.remove(&id);
+            peer.fec_meta.remove(&id);
+            if peer.pending_sack == Some(id) {
+                peer.pending_sack = None;
+            }
+            self.stats.reasm_evicted += 1;
+        }
+        if peer.reasm.in_progress() > 0 {
+            self.wheel.schedule((key, TimerKind::Evict), now + REASM_TTL);
         }
     }
 
@@ -968,8 +1248,8 @@ impl Srudp {
                 .queue
                 .iter()
                 .find(|m| m.msg_id == msg_id)
-                .map(|m| (m.frags[idx as usize].clone(), m.frags.len() as u32));
-            if let Some((frag, count)) = frag_data {
+                .map(|m| (m.frags[idx as usize].clone(), m.frags.len() as u32, m.fec));
+            if let Some((frag, count, fec)) = frag_data {
                 Self::emit_data(
                     &mut self.out,
                     &mut self.stats,
@@ -982,6 +1262,7 @@ impl Srudp {
                     count,
                     &frag,
                     true,
+                    fec,
                 );
             }
         }
@@ -1037,7 +1318,7 @@ impl crate::driver::Driver for Srudp {
     }
 
     fn import_state(&mut self, bytes: Bytes, now: SimTime) -> SnipeResult<()> {
-        let mut restored = Srudp::import_state(bytes, self.cfg.clone())?;
+        let mut restored = Srudp::import_state(bytes, self.cfg.clone(), now)?;
         restored.retransmit_all(now);
         *self = restored;
         Ok(())
@@ -1067,7 +1348,7 @@ mod tests {
 
     /// Shuttle packets between two endpoints with an optional drop
     /// filter; returns delivered messages per side.
-    fn shuttle(
+    pub(super) fn shuttle(
         a: &mut Srudp,
         b: &mut Srudp,
         a_ep: Endpoint,
@@ -1137,7 +1418,7 @@ mod tests {
         let mut a = Srudp::new(1, SrudpConfig::default());
         let mut b = Srudp::new(2, SrudpConfig::default());
         a.set_peer_endpoint(2, ep(1, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"hello"));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"hello")).unwrap();
         let (_, got_b, _) =
             shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 50);
         assert_eq!(got_b.len(), 1);
@@ -1151,7 +1432,7 @@ mod tests {
         let mut b = Srudp::new(2, SrudpConfig::default());
         a.set_peer_endpoint(2, ep(1, 5));
         let payload = Bytes::from((0..100_000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
-        a.send_message(SimTime::ZERO, 2, payload.clone());
+        a.send_message(SimTime::ZERO, 2, payload.clone()).unwrap();
         let (_, got_b, _) =
             shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 500);
         assert_eq!(got_b.len(), 1);
@@ -1164,7 +1445,7 @@ mod tests {
         let mut b = Srudp::new(2, SrudpConfig::default());
         a.set_peer_endpoint(2, ep(1, 5));
         for i in 0..20u8 {
-            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i; 10]));
+            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i; 10])).unwrap();
         }
         let (_, got_b, _) =
             shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 200);
@@ -1182,7 +1463,7 @@ mod tests {
         let mut b = Srudp::new(2, cfg);
         a.set_peer_endpoint(2, ep(1, 5));
         let payload = Bytes::from(vec![9u8; 50_000]);
-        a.send_message(SimTime::ZERO, 2, payload.clone());
+        a.send_message(SimTime::ZERO, 2, payload.clone()).unwrap();
         // Drop every 3rd packet.
         let (_, got_b, _) =
             shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |n| n % 3 == 0, 3000);
@@ -1197,8 +1478,8 @@ mod tests {
         let mut b = Srudp::new(2, SrudpConfig::default());
         a.set_peer_endpoint(2, ep(1, 5));
         b.set_peer_endpoint(1, ep(0, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"ping"));
-        b.send_message(SimTime::ZERO, 1, Bytes::from_static(b"pong"));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"ping")).unwrap();
+        b.send_message(SimTime::ZERO, 1, Bytes::from_static(b"pong")).unwrap();
         let (got_a, got_b, _) =
             shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 100);
         assert_eq!(&got_b[0][..], b"ping");
@@ -1210,7 +1491,7 @@ mod tests {
         let mut a = Srudp::new(1, SrudpConfig::default());
         let mut b = Srudp::new(2, SrudpConfig::default());
         a.set_peer_endpoint(2, ep(1, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"once"));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"once")).unwrap();
         // Capture the DATA packet and play it twice.
         let outs = a.drain();
         let Out::Send { bytes, .. } = &outs[0] else { panic!("expected send") };
@@ -1233,7 +1514,7 @@ mod tests {
         let mut a = Srudp::new(1, cfg.clone());
         let mut b = Srudp::new(2, cfg);
         a.set_peer_endpoint(2, ep(1, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"follow me"));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"follow me")).unwrap();
         // Drop everything sent to the old endpoint.
         for o in a.drain() {
             let Out::Send { to, .. } = o else { continue };
@@ -1273,7 +1554,7 @@ mod tests {
         cfg.max_retries = 3;
         let mut a = Srudp::new(1, cfg);
         a.set_peer_endpoint(2, ep(1, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"void"));
+        a.send_message(SimTime::ZERO, 2, Bytes::from_static(b"void")).unwrap();
         let mut now = SimTime::ZERO;
         for _ in 0..10 {
             now = now + SimDuration::from_millis(2);
@@ -1293,7 +1574,7 @@ mod tests {
         // Several message exchanges with ~1ms RTT.
         let mut now = SimTime::ZERO;
         for _ in 0..10 {
-            a.send_message(now, 2, Bytes::from(vec![0u8; 100]));
+            a.send_message(now, 2, Bytes::from(vec![0u8; 100])).unwrap();
             for o in a.drain() {
                 if let Out::Send { bytes, .. } = o {
                     b.on_packet(now + SimDuration::from_micros(500), ep(0, 5), bytes).unwrap();
@@ -1324,7 +1605,7 @@ mod tests {
         let mut a = Srudp::new(1, SrudpConfig::default());
         assert!(a.next_deadline().is_none());
         a.set_peer_endpoint(2, ep(1, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::from(vec![0u8; 5000]));
+        a.send_message(SimTime::ZERO, 2, Bytes::from(vec![0u8; 5000])).unwrap();
         assert!(a.backlog(2) > 0);
         assert!(a.next_deadline().is_some());
     }
@@ -1334,7 +1615,7 @@ mod tests {
         let mut a = Srudp::new(1, SrudpConfig::default());
         let mut b = Srudp::new(2, SrudpConfig::default());
         a.set_peer_endpoint(2, ep(1, 5));
-        a.send_message(SimTime::ZERO, 2, Bytes::new());
+        a.send_message(SimTime::ZERO, 2, Bytes::new()).unwrap();
         let (_, got_b, _) =
             shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 50);
         assert_eq!(got_b.len(), 1);
@@ -1350,7 +1631,7 @@ mod tests {
         let mut b = Srudp::new(2, cfg.clone());
         a.set_peer_endpoint(2, b_ep);
         let mut now = SimTime::ZERO;
-        a.send_message(now, 2, Bytes::from(vec![9u8; 500]));
+        a.send_message(now, 2, Bytes::from(vec![9u8; 500])).unwrap();
         // Black-hole the peer: fire timers until escalation piles up.
         let mut blackholed = 0u32;
         while a.peer_timeouts(2) < 5 {
@@ -1379,7 +1660,7 @@ mod tests {
         let mut a = Srudp::new(1, cfg.clone());
         a.set_peer_endpoint(2, ep(1, 5));
         let mut now = SimTime::ZERO;
-        a.send_message(now, 2, Bytes::from(vec![9u8; 100]));
+        a.send_message(now, 2, Bytes::from(vec![9u8; 100])).unwrap();
         let _ = a.drain();
         // 40 unanswered timer rounds: rto doubles each round but must
         // never leave [rto_min, rto_max].
@@ -1401,6 +1682,7 @@ mod tests {
 
 #[cfg(test)]
 mod migration_tests {
+    use super::tests::shuttle;
     use super::*;
     use snipe_util::id::HostId;
 
@@ -1419,7 +1701,7 @@ mod migration_tests {
         a.set_peer_endpoint(2, ep(1, 5));
         // Queue three multi-fragment messages.
         for i in 0..3u8 {
-            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i; 4000]));
+            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i; 4000])).unwrap();
         }
         // Deliver only the first few packets to b, drop the rest.
         let mut delivered_packets = 0;
@@ -1435,8 +1717,8 @@ mod migration_tests {
         // "Migrate" BOTH endpoints: checkpoint and restore.
         let a2_state = a.export_state();
         let b2_state = b.export_state();
-        let mut a2 = Srudp::import_state(a2_state, cfg.clone()).unwrap();
-        let mut b2 = Srudp::import_state(b2_state, cfg.clone()).unwrap();
+        let mut a2 = Srudp::import_state(a2_state, cfg.clone(), SimTime::ZERO).unwrap();
+        let mut b2 = Srudp::import_state(b2_state, cfg.clone(), SimTime::ZERO).unwrap();
         // b now lives at a new endpoint; a2 learns it.
         a2.set_peer_endpoint(2, ep(9, 5));
         let now = SimTime::ZERO + SimDuration::from_millis(10);
@@ -1479,14 +1761,14 @@ mod migration_tests {
     #[test]
     fn export_of_fresh_endpoint_is_importable() {
         let a = Srudp::new(7, SrudpConfig::default());
-        let b = Srudp::import_state(a.export_state(), SrudpConfig::default()).unwrap();
+        let b = Srudp::import_state(a.export_state(), SrudpConfig::default(), SimTime::ZERO).unwrap();
         assert_eq!(b.key(), 7);
         assert!(b.quiescent());
     }
 
     #[test]
     fn import_rejects_garbage() {
-        assert!(Srudp::import_state(Bytes::from_static(b"junk"), SrudpConfig::default()).is_err());
+        assert!(Srudp::import_state(Bytes::from_static(b"junk"), SrudpConfig::default(), SimTime::ZERO).is_err());
     }
 
     #[test]
@@ -1527,11 +1809,206 @@ mod migration_tests {
         e.put_u32(1); // one queued message
         e.put_u64(0); // msg id
         e.put_u32(u32::MAX); // n_frags: hostile
-        let err = match Srudp::import_state(e.finish(), SrudpConfig::default()) {
+        let err = match Srudp::import_state(e.finish(), SrudpConfig::default(), SimTime::ZERO) {
             Ok(_) => panic!("hostile checkpoint accepted"),
             Err(e) => e,
         };
         assert_eq!(err.kind(), "codec");
     }
 
+    fn fec_cfg() -> SrudpConfig {
+        let mut cfg = SrudpConfig::default();
+        cfg.frag_strategy = FragStrategy::Fec;
+        cfg
+    }
+
+    fn patterned(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (i % 249) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn fec_round_trips_multi_fragment_messages() {
+        let mut a = Srudp::new(1, fec_cfg());
+        let mut b = Srudp::new(2, fec_cfg());
+        a.set_peer_endpoint(2, ep(1, 5));
+        let payload = patterned(5 * 1400);
+        a.send_message(SimTime::ZERO, 2, payload.clone()).unwrap();
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 200);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(got_b[0], payload);
+        assert_eq!(b.stats().fec_delivered, 1);
+        assert_eq!(b.stats().fec_corrupt, 0);
+        assert!(a.quiescent(), "done-SACK must clear the sender");
+    }
+
+    #[test]
+    fn fec_completes_in_one_flight_despite_share_loss() {
+        // b = 5 data shares + 4 parity = 9 on the wire; any 5 suffice.
+        // Drop 4 of the 9 first-flight shares: the message must still
+        // deliver with no RTO round (the whole point of FEC).
+        let mut a = Srudp::new(1, fec_cfg());
+        let mut b = Srudp::new(2, fec_cfg());
+        a.set_peer_endpoint(2, ep(1, 5));
+        let payload = patterned(5 * 1400);
+        a.send_message(SimTime::ZERO, 2, payload.clone()).unwrap();
+        let mut got = Vec::new();
+        for (i, o) in a.drain().into_iter().enumerate() {
+            if let Out::Send { bytes, .. } = o {
+                if [1usize, 3, 5, 7].contains(&i) {
+                    continue; // lost shares
+                }
+                b.on_packet(SimTime::ZERO, ep(0, 5), bytes).unwrap();
+            }
+        }
+        for o in b.drain() {
+            if let Out::Deliver { msg, .. } = o {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got.len(), 1, "quorum of b shares must reconstruct immediately");
+        assert_eq!(got[0], payload);
+        assert_eq!(b.stats().fec_delivered, 1);
+    }
+
+    #[test]
+    fn fec_plain_interop_is_per_driver_config() {
+        // A plain-strategy sender talking to an FEC-capable receiver
+        // (and vice versa) must still deliver: strategy only changes
+        // what the sender emits, the receiver handles both kinds.
+        let mut a = Srudp::new(1, SrudpConfig::default());
+        let mut b = Srudp::new(2, fec_cfg());
+        a.set_peer_endpoint(2, ep(1, 5));
+        let payload = patterned(4 * 1400);
+        a.send_message(SimTime::ZERO, 2, payload.clone()).unwrap();
+        let (_, got_b, _) =
+            shuttle(&mut a, &mut b, ep(0, 5), ep(1, 5), SimTime::ZERO, |_| false, 200);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(got_b[0], payload);
+        assert_eq!(b.stats().fec_delivered, 0, "plain path must not count as FEC");
+    }
+
+    #[test]
+    fn fec_corrupted_share_is_caught_never_misdelivered() {
+        let mut a = Srudp::new(1, fec_cfg());
+        let mut b = Srudp::new(2, fec_cfg());
+        a.set_peer_endpoint(2, ep(1, 5));
+        let payload = patterned(5 * 1400);
+        a.send_message(SimTime::ZERO, 2, payload.clone()).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut got = Vec::new();
+        let mut corrupted = false;
+        for _ in 0..400 {
+            let mut moved = false;
+            for o in a.drain() {
+                if let Out::Send { bytes, .. } = o {
+                    moved = true;
+                    let wire = if !corrupted {
+                        corrupted = true;
+                        // Flip a byte deep in the first share's payload
+                        // (headers intact, so only FEC can notice).
+                        let mut v = bytes.to_vec();
+                        let at = v.len() - 3;
+                        v[at] ^= 0xFF;
+                        Bytes::from(v)
+                    } else {
+                        bytes
+                    };
+                    // The corrupted quorum decode is a counted error.
+                    let _ = b.on_packet(now, ep(0, 5), wire);
+                }
+            }
+            for o in b.drain() {
+                match o {
+                    Out::Send { bytes, .. } => {
+                        moved = true;
+                        a.on_packet(now, ep(1, 5), bytes).unwrap();
+                    }
+                    Out::Deliver { msg, .. } => got.push(msg),
+                    Out::Wake { .. } => {}
+                }
+            }
+            if got.len() == 1 {
+                break;
+            }
+            if !moved {
+                now = now + SimDuration::from_millis(120);
+                a.on_timer(now);
+                b.on_timer(now);
+            }
+        }
+        assert!(corrupted);
+        assert_eq!(b.stats().fec_corrupt, 1, "corruption must be detected exactly once");
+        assert_eq!(got.len(), 1, "retransmissions must recover the message");
+        assert_eq!(got[0], payload, "a corrupted reconstruction must never reach the app");
+    }
+
+    #[test]
+    fn fec_meta_mismatch_is_a_protocol_error() {
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        let share = |checksum: u32| {
+            let mut e = Encoder::new();
+            e.put_u8(KIND_FEC);
+            e.put_u64(1); // src key
+            e.put_u64(0); // msg id
+            e.put_u32(0); // share idx
+            e.put_u8(3); // b
+            e.put_u32(100); // msg_len
+            e.put_u32(checksum);
+            e.put_bytes(b"abc");
+            e.finish()
+        };
+        b.on_packet(SimTime::ZERO, ep(0, 5), share(7)).unwrap();
+        // Same message, contradictory metadata: hostile or corrupted.
+        let err = b.on_packet(SimTime::ZERO, ep(0, 5), share(8)).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+    }
+
+    #[test]
+    fn partial_reassembly_state_is_bounded() {
+        // A sender that opens partials forever (fragment 0 of 2, new
+        // msg id each time) must not grow receiver state without bound.
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        let total = 3 * crate::frag::MAX_PARTIAL_MSGS as u64;
+        for id in 0..total {
+            let mut e = Encoder::new();
+            e.put_u8(KIND_DATA);
+            e.put_u64(1);
+            e.put_u64(id);
+            e.put_u32(0);
+            e.put_u32(2);
+            e.put_bytes(b"never completes");
+            b.on_packet(SimTime::from_nanos(id), ep(0, 5), e.finish()).unwrap();
+        }
+        let peer = &b.peers[&1];
+        assert!(peer.reasm.in_progress() <= crate::frag::MAX_PARTIAL_MSGS);
+        assert_eq!(peer.counts.len(), peer.reasm.in_progress(), "side tables stay in lockstep");
+        assert_eq!(b.stats().reasm_evicted, 2 * crate::frag::MAX_PARTIAL_MSGS as u64);
+    }
+
+    #[test]
+    fn stale_partials_are_swept_by_virtual_time() {
+        let mut b = Srudp::new(2, SrudpConfig::default());
+        let mut e = Encoder::new();
+        e.put_u8(KIND_DATA);
+        e.put_u64(1);
+        e.put_u64(0);
+        e.put_u32(0);
+        e.put_u32(2);
+        e.put_bytes(b"half");
+        b.on_packet(SimTime::ZERO, ep(0, 5), e.finish()).unwrap();
+        b.drain();
+        assert_eq!(b.peers[&1].reasm.in_progress(), 1);
+        assert!(b.next_deadline().is_some(), "evict sweep must be armed");
+        // Walk time past the TTL in sweep-sized steps.
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            now = now + REASM_TTL;
+            b.on_timer(now);
+        }
+        assert_eq!(b.peers[&1].reasm.in_progress(), 0);
+        assert_eq!(b.stats().reasm_evicted, 1);
+        assert!(b.peers[&1].counts.is_empty());
+        assert!(b.peers[&1].fec_meta.is_empty());
+    }
 }

@@ -104,6 +104,11 @@ const DUP_STREAK_ROTATE: u32 = 3;
 /// up — rotating on them would flap a receiver off a working route.
 const DUP_FRESH_STALL: SimDuration = SimDuration::from_millis(10);
 
+/// Upper bound on distinct media used to spray erasure-coded shares
+/// toward one peer. Spreading wider than this buys little redundancy
+/// and keeps worst-case route fan-out predictable.
+const MAX_SPRAY_PATHS: usize = 4;
+
 /// The per-process wire stack.
 pub struct WireStack {
     my_key: NodeKey,
@@ -289,20 +294,23 @@ impl WireStack {
         into.truncate(w);
     }
 
-    /// Send a reliable FIFO message to a peer by key.
-    pub fn send(&mut self, now: SimTime, to: NodeKey, msg: Bytes) {
-        self.srudp_mut().send_message(now, to, msg);
+    /// Send a reliable FIFO message to a peer by key. Errors when the
+    /// configured fragment size is unusable (zero) — a misconfiguration
+    /// surfaced to the caller rather than a panic deep in [`crate::frag`].
+    pub fn send(&mut self, now: SimTime, to: NodeKey, msg: Bytes) -> SnipeResult<()> {
+        self.srudp_mut().send_message(now, to, msg)?;
         self.harvest();
+        Ok(())
     }
 
     /// Send a raw (unreliable) datagram to an endpoint.
     pub fn send_raw(&mut self, to: Endpoint, msg: Bytes) {
-        self.out.push(Out::Send { to, via: None, bytes: seal(Proto::Raw, msg) });
+        self.out.push(Out::Send { to, via: None, spray: None, bytes: seal(Proto::Raw, msg) });
     }
 
     /// Send a multicast relay packet (already MCAST-encoded body).
     pub fn send_mcast(&mut self, to: Endpoint, body: Bytes) {
-        self.out.push(Out::Send { to, via: None, bytes: seal(Proto::Mcast, body) });
+        self.out.push(Out::Send { to, via: None, spray: None, bytes: seal(Proto::Mcast, body) });
     }
 
     /// Handle an incoming datagram from the simulator.
@@ -452,6 +460,27 @@ impl WireStack {
             .and_then(|k| self.paths.select(k))
     }
 
+    /// Route an erasure-coded share: spread share `idx` across up to
+    /// [`MAX_SPRAY_PATHS`] distinct media toward the peer at `to`, so
+    /// a single gray link drops some shares rather than the whole
+    /// message. Falls back to ordinary single-path selection when the
+    /// peer is unknown or has one route.
+    fn select_spray_via(&self, to: Endpoint, idx: u32) -> Option<NetId> {
+        let srudp = self.srudp();
+        let key = self.paths.keys().find(|&k| srudp.peer_endpoint(k) == Some(to));
+        match key {
+            Some(k) => {
+                let routes = self.paths.select_k_distinct(k, MAX_SPRAY_PATHS);
+                if routes.is_empty() {
+                    self.paths.select(k)
+                } else {
+                    Some(routes[idx as usize % routes.len()])
+                }
+            }
+            None => None,
+        }
+    }
+
     /// Move driver outputs into the stack queue, enveloping `Send`s
     /// under the emitting driver's protocol tag and pinning routes.
     fn harvest(&mut self) {
@@ -459,10 +488,21 @@ impl WireStack {
             let proto = self.drivers[i].proto();
             for o in self.drivers[i].drain() {
                 match o {
-                    Out::Send { to, via, bytes } => {
-                        let via =
-                            if proto == Proto::Srudp { self.select_via(to) } else { via };
-                        self.out.push(Out::Send { to, via, bytes: seal(proto, bytes) });
+                    Out::Send { to, via, spray, bytes } => {
+                        let via = if proto == Proto::Srudp {
+                            match spray {
+                                Some(idx) => self.select_spray_via(to, idx),
+                                None => self.select_via(to),
+                            }
+                        } else {
+                            via
+                        };
+                        self.out.push(Out::Send {
+                            to,
+                            via,
+                            spray,
+                            bytes: seal(proto, bytes),
+                        });
                     }
                     other => self.out.push(other),
                 }
@@ -507,7 +547,7 @@ impl WireStack {
             .find(|(p, _)| *p == Proto::Srudp)
             .map(|(_, b)| b.clone())
             .ok_or_else(|| SnipeError::Codec("stack snapshot missing SRUDP section".into()))?;
-        let mut srudp = Srudp::import_state(srudp_bytes, cfg.srudp)?;
+        let mut srudp = Srudp::import_state(srudp_bytes, cfg.srudp, now)?;
         srudp.retransmit_all(now);
         let my_key = srudp.key();
         let mut drivers: Vec<Box<dyn Driver>> = Vec::with_capacity(3);
@@ -594,7 +634,7 @@ mod tests {
         let mut a = WireStack::new(1, StackConfig::default());
         let mut b = WireStack::new(2, StackConfig::default());
         a.set_peer(2, ep(1, 5), vec![]);
-        a.send(SimTime::ZERO, 2, Bytes::from_static(b"over the stack"));
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"over the stack")).unwrap();
         let (_, got_b) = pump(&mut a, &mut b, ep(0, 5), ep(1, 5), 50);
         assert_eq!(got_b.len(), 1);
         assert_eq!(&got_b[0][..], b"over the stack");
@@ -616,7 +656,7 @@ mod tests {
     fn pinned_route_applied_to_srudp_sends() {
         let mut a = WireStack::new(1, StackConfig::default());
         a.set_peer(2, ep(1, 5), vec![NetId(3), NetId(4)]);
-        a.send(SimTime::ZERO, 2, Bytes::from_static(b"pin me"));
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"pin me")).unwrap();
         let outs = a.drain();
         assert!(!outs.is_empty());
         for o in outs {
@@ -634,7 +674,7 @@ mod tests {
         cfg.srudp.rto_max = SimDuration::from_millis(1);
         let mut a = WireStack::new(1, cfg);
         a.set_peer(2, ep(1, 5), vec![NetId(3), NetId(4)]);
-        a.send(SimTime::ZERO, 2, Bytes::from_static(b"blackhole"));
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"blackhole")).unwrap();
         a.drain();
         let mut now = SimTime::ZERO;
         for _ in 0..2 {
@@ -650,7 +690,7 @@ mod tests {
         a.drain();
         assert_eq!(a.failovers(2), 1, "grace period: no rotation on a single new timeout");
         // Subsequent sends use the alternate network.
-        a.send(now, 2, Bytes::from_static(b"retry"));
+        a.send(now, 2, Bytes::from_static(b"retry")).unwrap();
         let outs = a.drain();
         let vias: Vec<Option<NetId>> = outs
             .iter()
@@ -695,7 +735,7 @@ mod tests {
         let mut b = WireStack::new(2, cfg);
         a.set_peer(2, ep(1, 5), vec![]);
         for i in 0..5u8 {
-            a.send(SimTime::ZERO, 2, Bytes::from(vec![i; 2000]));
+            a.send(SimTime::ZERO, 2, Bytes::from(vec![i; 2000])).unwrap();
         }
         // Packets to the old endpoint are dropped (host gone).
         a.drain();
@@ -807,7 +847,7 @@ mod tests {
         cfg.mcast_member = true;
         let mut a = WireStack::new(1, cfg.clone());
         a.set_peer(2, ep(1, 5), vec![]);
-        a.send(SimTime::ZERO, 2, Bytes::from_static(b"unacked"));
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"unacked")).unwrap();
         a.drain();
         a.mcast_member_mut().unwrap().accept(7, 9, 0, Bytes::new());
 

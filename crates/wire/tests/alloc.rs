@@ -52,7 +52,7 @@ fn steady_state_peer_queries_do_not_allocate() {
     for i in 0..PEERS {
         let key = 100 + i;
         stack.set_peer(key, Endpoint::new(HostId(i as u32 + 2), 40), Vec::new());
-        stack.send(now, key, Bytes::from_static(b"supervision ping"));
+        stack.send(now, key, Bytes::from_static(b"supervision ping")).unwrap();
     }
     let _ = stack.drain();
 

@@ -58,7 +58,7 @@ impl Rng {
 fn valid_srudp_frame() -> Bytes {
     let mut a = WireStack::new(1, StackConfig::default());
     a.set_peer(2, ep(1, 5), vec![]);
-    a.send(SimTime::ZERO, 2, Bytes::from_static(b"corpus seed message"));
+    a.send(SimTime::ZERO, 2, Bytes::from_static(b"corpus seed message")).unwrap();
     for o in a.drain() {
         if let snipe_wire::Out::Send { bytes, .. } = o {
             return bytes;
@@ -217,4 +217,67 @@ fn oversized_datagrams_are_handled() {
     let big = seal(Proto::Raw, rng.bytes(128 * 1024));
     assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), big).unwrap().is_some());
     assert_eq!(b.decode_drops(), 1);
+}
+
+/// A well-sealed KIND_FEC share with attacker-chosen header fields.
+fn fec_share(idx: u32, b: u8, msg_len: u32, checksum: u32, payload: &[u8]) -> Bytes {
+    let mut enc = Encoder::with_capacity(64 + payload.len());
+    enc.put_u8(3); // KIND_FEC
+    enc.put_u64(77); // src key
+    enc.put_u64(0); // msg id
+    enc.put_u32(idx);
+    enc.put_u8(b);
+    enc.put_u32(msg_len);
+    enc.put_u32(checksum);
+    enc.put_bytes(payload);
+    seal(Proto::Srudp, enc.finish())
+}
+
+#[test]
+fn hostile_fec_headers_are_counted_driver_drops() {
+    let mut b = full_stack(2);
+    let hostile = [
+        fec_share(0, 0, 100, 9, b"x"),            // b = 0: no such code
+        fec_share(0, 1, 100, 9, b"x"),            // b = 1: FEC never emits it
+        fec_share(0, 200, 100, 9, b"x"),          // b > MAX_B
+        fec_share(0, 3, 0, 9, b"x"),              // zero-length message
+        fec_share(u32::MAX, 3, 100, 9, b"x"),     // share index ≥ 2b-1
+        fec_share(5, 3, 100, 9, b"x"),            // 5 ≥ 2*3-1
+    ];
+    let mut fed = 0u64;
+    for dg in hostile {
+        assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), dg).is_err());
+        fed += 1;
+        assert_eq!(b.metrics().counter_by_name("wire.decode.body"), Some(fed));
+    }
+    // No reassembly state was poisoned, nothing delivered.
+    assert!(b.drain().iter().all(|o| !matches!(o, snipe_wire::Out::Deliver { .. })));
+}
+
+#[test]
+fn contradictory_fec_metadata_is_rejected_and_contained() {
+    let mut b = full_stack(2);
+    // First share pins the message metadata...
+    assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), fec_share(0, 3, 90, 7, b"abc")).is_ok());
+    // ...a forged sibling with a different checksum contradicts it.
+    assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), fec_share(1, 3, 90, 8, b"abc")).is_err());
+    assert_eq!(b.metrics().counter_by_name("wire.decode.body"), Some(1));
+    // A conflicting duplicate of an already-held share is equally hostile.
+    assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), fec_share(0, 3, 90, 7, b"xyz")).is_err());
+    assert_eq!(b.metrics().counter_by_name("wire.decode.body"), Some(2));
+}
+
+#[test]
+fn forged_quorum_with_wrong_checksum_is_never_delivered() {
+    // An attacker fabricates a full quorum of "shares" whose declared
+    // checksum does not match what they reconstruct to: the stack must
+    // reject at the reconstruct-then-verify gate, not deliver garbage.
+    let mut b = full_stack(2);
+    assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), fec_share(0, 2, 6, 0xDEAD, b"abc")).is_ok());
+    let err = b.on_datagram(SimTime::ZERO, ep(0, 5), fec_share(1, 2, 6, 0xDEAD, b"def"));
+    assert!(err.is_err(), "checksum-mismatched reconstruction must error");
+    assert!(b.drain().iter().all(|o| !matches!(o, snipe_wire::Out::Deliver { .. })));
+    // The poisoned partial is forgotten: the real sender's retry can
+    // start clean rather than colliding with attacker state.
+    assert!(b.on_datagram(SimTime::ZERO, ep(0, 5), fec_share(0, 2, 6, 0xDEAD, b"abc")).is_ok());
 }

@@ -1,0 +1,130 @@
+//! Property tests for the GF(2^8) Reed-Solomon share codec.
+//!
+//! The contracts under test are the erasure code's load-bearing
+//! promises: any `b` of the `2b-1` shares reconstruct the message
+//! exactly (whichever `b-1` shares the network loses), and a
+//! corrupted share can *change* the reconstruction but never slip a
+//! wrong message past the checksum — the delivery gate is
+//! reconstruct-then-verify, so "wrong bytes delivered" is impossible,
+//! only "retry".
+
+use bytes::Bytes;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use snipe_util::rng::Xoshiro256;
+use snipe_wire::fec::{decode, encode, msg_checksum, share_len, MAX_B};
+
+/// Deterministically pick `keep` distinct share indices out of `total`.
+fn choose(total: usize, keep: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..total).collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    rng.shuffle(&mut idx);
+    idx.truncate(keep);
+    idx
+}
+
+proptest! {
+    /// encode → lose any b-1 shares → decode round-trips, whatever the
+    /// message length, block count, or loss pattern.
+    #[test]
+    fn any_b_of_2b_minus_1_shares_round_trip(
+        len in 1usize..6000,
+        b in 2usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xF3C);
+        let msg: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let shares = encode(&msg, b).unwrap();
+        prop_assert_eq!(shares.len(), 2 * b - 1);
+        for s in &shares {
+            prop_assert_eq!(s.len(), share_len(len, b));
+        }
+        let survivors: Vec<(u32, Bytes)> = choose(2 * b - 1, b, seed)
+            .into_iter()
+            .map(|i| (i as u32, shares[i].clone()))
+            .collect();
+        let back = decode(b, len, &survivors).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Fewer than b distinct shares must never reconstruct.
+    #[test]
+    fn below_quorum_always_errors(
+        len in 1usize..2000,
+        b in 2usize..16,
+        seed in 0u64..u64::MAX,
+    ) {
+        let msg = vec![0xA5u8; len];
+        let shares = encode(&msg, b).unwrap();
+        let survivors: Vec<(u32, Bytes)> = choose(2 * b - 1, b - 1, seed)
+            .into_iter()
+            .map(|i| (i as u32, shares[i].clone()))
+            .collect();
+        prop_assert!(decode(b, len, &survivors).is_err());
+    }
+
+    /// Corrupt one surviving share: decode either errors outright or
+    /// produces bytes the message checksum rejects. It must never
+    /// yield the right checksum with wrong bytes — that is the gate
+    /// SRUDP applies before delivering.
+    #[test]
+    fn corruption_never_beats_the_checksum(
+        len in 16usize..3000,
+        b in 2usize..16,
+        seed in 0u64..u64::MAX,
+        victim in 0usize..16,
+        flip in 1u8..255,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBAD);
+        let msg: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let sum = msg_checksum(&msg);
+        let shares = encode(&msg, b).unwrap();
+        let mut survivors: Vec<(u32, Bytes)> = choose(2 * b - 1, b, seed)
+            .into_iter()
+            .map(|i| (i as u32, shares[i].clone()))
+            .collect();
+        let v = victim % b;
+        let mut bad = survivors[v].1.to_vec();
+        let at = seed as usize % bad.len();
+        bad[at] ^= flip;
+        survivors[v].1 = Bytes::from(bad);
+        match decode(b, len, &survivors) {
+            Err(_) => {}
+            Ok(got) => {
+                prop_assert!(
+                    msg_checksum(&got) != sum || got == msg,
+                    "wrong reconstruction with a matching checksum"
+                );
+                // A single flipped byte inside the quorum always
+                // perturbs the output (the code is MDS: each chunk
+                // depends on every quorum share or is copied verbatim).
+                prop_assert!(got != msg || flip == 0);
+            }
+        }
+    }
+
+    /// Hostile share structure — mismatched lengths, out-of-range
+    /// indices, duplicate indices, absurd msg_len — errors, never
+    /// panics, never fabricates a message.
+    #[test]
+    fn hostile_share_structure_is_rejected(
+        b in 2usize..16,
+        len in 1usize..512,
+        junk_len in 0usize..64,
+        idx in 0u32..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let junk: Vec<(u32, Bytes)> = (0..b)
+            .map(|i| {
+                let l = (junk_len + i * (seed as usize % 3)) % 64;
+                let bytes: Vec<u8> = (0..l).map(|_| rng.next_u64() as u8).collect();
+                (idx.wrapping_add((i as u32).wrapping_mul(seed as u32 | 1)), Bytes::from(bytes))
+            })
+            .collect();
+        // Whatever happens, it must not panic; errors are fine.
+        let _ = decode(b, len, &junk);
+        let _ = decode(b, len * MAX_B, &junk);
+        let _ = decode(MAX_B + 1, len, &junk);
+        let _ = decode(0, len, &junk);
+    }
+}

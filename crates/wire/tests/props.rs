@@ -141,7 +141,7 @@ proptest! {
         let mut stack = WireStack::new(1, cfg.clone());
         for (&key, &(host, ref payload)) in &peers {
             stack.set_peer(key, Endpoint::new(HostId(host), 40), Vec::new());
-            stack.send(now, key, Bytes::from(payload.clone()));
+            stack.send(now, key, Bytes::from(payload.clone())).unwrap();
         }
         let relay = Endpoint::new(HostId(99), 7);
         let data = |(group, origin, seq): (u64, u64, u64)| {

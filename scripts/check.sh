@@ -61,6 +61,12 @@ if [ "$d1" != "$d4" ]; then
     echo "shard-determinism gate: FAIL (digests differ)"
     exit 1
 fi
+# FEC smoke: regenerate the goodput-vs-loss A/B curve (plain
+# fragmentation vs erasure-coded share spray, 3 seeds per point). The
+# harness exits nonzero unless FEC is strictly ahead at every loss rate
+# >= 5% and every FEC delivery really used the reconstruction path;
+# results/bench_fec.json records the curve.
+./target/release/harness fec
 # Same property for the full protocol stack: the daemons + RCDS +
 # files + RM campus workload prints its engine digest plus the sorted
 # application log; both must be byte-identical at 1 vs 4 threads.

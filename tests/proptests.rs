@@ -82,7 +82,7 @@ proptest! {
                                  frag in 1usize..4000,
                                  seed in any::<u64>()) {
         let payload = Bytes::from(payload);
-        let frags = split(&payload, frag);
+        let frags = split(&payload, frag).unwrap();
         // Reassemble in a shuffled order with duplicates sprinkled in.
         let mut order: Vec<usize> = (0..frags.len()).collect();
         let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -90,13 +90,13 @@ proptest! {
         let mut set = ReassemblySet::new();
         let mut result = None;
         for &i in &order {
-            if let Some(m) = set.insert(1, i, frags.len(), frags[i].clone()).unwrap() {
+            if let Some(m) = set.insert(SimTime::ZERO, 1, i, frags.len(), frags[i].clone()).unwrap() {
                 result = Some(m);
             }
             // Duplicate insert of the same fragment must be harmless
             // while the message is still incomplete.
             if result.is_none() {
-                let _ = set.insert(1, i, frags.len(), frags[i].clone()).unwrap();
+                let _ = set.insert(SimTime::ZERO, 1, i, frags.len(), frags[i].clone()).unwrap();
             }
         }
         prop_assert_eq!(result.unwrap(), payload);
@@ -180,7 +180,7 @@ proptest! {
         let ep_b = Endpoint::new(HostId(1), 5);
         a.set_peer_endpoint(2, ep_b);
         for (i, &s) in sizes.iter().enumerate() {
-            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i as u8; s]));
+            a.send_message(SimTime::ZERO, 2, Bytes::from(vec![i as u8; s])).unwrap();
         }
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut got = Vec::new();
