@@ -9,15 +9,15 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use snipe_crypto::sha256::sha256;
 use snipe_crypto::sign::KeyPair;
+use snipe_netsim::topology::Endpoint;
 use snipe_rcds::assertion::Assertion;
 use snipe_rcds::store::RcStore;
 use snipe_rcds::uri::Uri;
 use snipe_util::codec::{Decoder, Encoder};
+use snipe_util::id::HostId;
 use snipe_util::rng::Xoshiro256;
 use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::srudp::{Srudp, SrudpConfig};
-use snipe_netsim::topology::Endpoint;
-use snipe_util::id::HostId;
 
 fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec");
@@ -60,9 +60,7 @@ fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("schnorr");
     let mut rng = Xoshiro256::seed_from_u64(1);
     let kp = KeyPair::generate_default(&mut rng);
-    g.bench_function("sign", |b| {
-        b.iter(|| kp.sign(&mut rng, b"benchmark message"))
-    });
+    g.bench_function("sign", |b| b.iter(|| kp.sign(&mut rng, b"benchmark message")));
     let sig = kp.sign(&mut rng, b"benchmark message");
     g.bench_function("verify", |b| b.iter(|| kp.public.verify(b"benchmark message", &sig)));
     g.finish();

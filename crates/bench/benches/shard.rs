@@ -16,12 +16,8 @@ fn bench_shard(c: &mut Criterion) {
     let mut g = c.benchmark_group("shard");
     g.sample_size(10);
     let sim = SimDuration::from_millis(100);
-    g.bench_function("storm_1k_100ms_1t", |b| {
-        b.iter(|| shard_storm::storm(1_000, sim, 42, 1))
-    });
-    g.bench_function("storm_1k_100ms_4t", |b| {
-        b.iter(|| shard_storm::storm(1_000, sim, 42, 4))
-    });
+    g.bench_function("storm_1k_100ms_1t", |b| b.iter(|| shard_storm::storm(1_000, sim, 42, 1)));
+    g.bench_function("storm_1k_100ms_4t", |b| b.iter(|| shard_storm::storm(1_000, sim, 42, 4)));
     g.finish();
 }
 

@@ -1,4 +1,4 @@
-use snipe_bench::fig1::{Protocol, measure_debug};
+use snipe_bench::fig1::{measure_debug, Protocol};
 fn main() {
     measure_debug(snipe_netsim::medium::Medium::ethernet100(), Protocol::Srudp, 64);
 }

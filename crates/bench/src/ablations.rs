@@ -251,7 +251,8 @@ impl Actor for StalenessProbe {
                 self.flush(ctx);
             }
             Event::Packet { from, payload } => {
-                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload) {
+                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload)
+                {
                     self.rc.on_packet(ctx.now(), from, body);
                 }
                 self.flush(ctx);
@@ -282,7 +283,8 @@ impl Actor for OneShotWriter {
                 let _ = self.target;
             }
             Event::Packet { from, payload } => {
-                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload) {
+                if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload)
+                {
                     self.rc.on_packet(ctx.now(), from, body);
                 }
             }
@@ -406,8 +408,7 @@ pub fn run_a3(slice: u64, seed: u64) -> A3Point {
             if let Event::Packet { payload, .. } = event {
                 if let Ok((snipe_wire::frame::Proto::Raw, body)) = snipe_wire::frame::open(payload)
                 {
-                    if let Ok(PlaygroundMsg::Done { .. }) = PlaygroundMsg::decode_from_bytes(body)
-                    {
+                    if let Ok(PlaygroundMsg::Done { .. }) = PlaygroundMsg::decode_from_bytes(body) {
                         *self.done.lock().unwrap() = Some(ctx.now());
                     }
                 }

@@ -9,7 +9,10 @@
 //! Output goes to stdout and `results/<exp>.txt`.
 
 use snipe_bench::report::{mbps, Table};
-use snipe_bench::{ablations, chaos, chaos_shard, e2_mpiconnect, e3_availability, e4_scalability, e5_migration, e6_multicast, e7_failover, e8_spof, engine, fig1, par_map, shard_storm};
+use snipe_bench::{
+    ablations, chaos, chaos_shard, e2_mpiconnect, e3_availability, e4_scalability, e5_migration,
+    e6_multicast, e7_failover, e8_spof, engine, fig1, par_map, rcds_bench, shard_storm,
+};
 use snipe_util::time::SimDuration;
 
 fn run_f1() {
@@ -129,8 +132,8 @@ fn run_e4_shard() -> bool {
         ]);
     }
     t.emit("e4_shard.txt");
-    let ok = points.iter().all(|p| p.complete)
-        && points.windows(2).all(|w| w[0].digest == w[1].digest);
+    let ok =
+        points.iter().all(|p| p.complete) && points.windows(2).all(|w| w[0].digest == w[1].digest);
     if !ok {
         println!("E4-sharded: digest or completion diverged across thread counts");
     }
@@ -296,8 +299,7 @@ fn run_fec() -> bool {
     let points = par_map(jobs, |&(fec, loss, seed)| ablations::run_fec_ab(fec, loss, seed));
     // Average the seeds per (strategy, loss) cell.
     let cell = |fec: bool, loss: f64| {
-        let sel: Vec<_> =
-            points.iter().filter(|p| p.fec == fec && p.loss == loss).collect();
+        let sel: Vec<_> = points.iter().filter(|p| p.fec == fec && p.loss == loss).collect();
         let goodput = sel.iter().map(|p| p.goodput).sum::<f64>() / sel.len() as f64;
         let delivered: u64 = sel.iter().map(|p| p.delivered).sum();
         let fec_delivered: u64 = sel.iter().map(|p| p.fec_delivered).sum();
@@ -485,7 +487,10 @@ fn run_chaos(seeds_per_workload: u64) -> bool {
         println!("VIOLATION in {}: {}", f.workload, f.violations[0]);
         println!("  {}", f.replay);
         if let Some(dump) = &f.trace_dump {
-            println!("  flight recorder — last {} events before the verdict:", chaos::TRACE_DUMP_EVENTS);
+            println!(
+                "  flight recorder — last {} events before the verdict:",
+                chaos::TRACE_DUMP_EVENTS
+            );
             for line in dump.lines() {
                 println!("    {line}");
             }
@@ -497,17 +502,16 @@ fn run_chaos(seeds_per_workload: u64) -> bool {
         "C1b: planted-bug drill — migration freeze disabled on purpose",
         &["caught", "violation", "shrunk plan"],
     );
-    d.row(vec![
-        format!("{}", drill.caught),
-        drill.first_violation.clone(),
-        drill.replay.clone(),
-    ]);
+    d.row(vec![format!("{}", drill.caught), drill.first_violation.clone(), drill.replay.clone()]);
     d.emit("chaos.txt");
     if drill.caught {
         println!("planted bug caught: {}", drill.first_violation);
         println!("  {}", drill.replay);
         if let Some(dump) = &drill.trace_dump {
-            println!("  flight recorder — last {} events of the shrunk replay:", chaos::TRACE_DUMP_EVENTS);
+            println!(
+                "  flight recorder — last {} events of the shrunk replay:",
+                chaos::TRACE_DUMP_EVENTS
+            );
             for line in dump.lines() {
                 println!("    {line}");
             }
@@ -521,7 +525,12 @@ fn run_chaos(seeds_per_workload: u64) -> bool {
         .map(|w| {
             let bad =
                 runs.iter().filter(|r| r.workload == w.name() && !r.violations.is_empty()).count();
-            format!("    {{\"workload\": \"{}\", \"plans\": {}, \"violations\": {}}}", w.name(), seeds_per_workload, bad)
+            format!(
+                "    {{\"workload\": \"{}\", \"plans\": {}, \"violations\": {}}}",
+                w.name(),
+                seeds_per_workload,
+                bad
+            )
         })
         .collect();
     let json = format!(
@@ -608,10 +617,7 @@ const GATE_TRIALS: usize = 7;
 /// the flight recorder landed) so machine-load drift cancels out of the
 /// comparison.
 fn run_engine_probe() {
-    assert!(
-        !snipe_netsim::trace::enabled(),
-        "probe measures the recorder-disabled configuration"
-    );
+    assert!(!snipe_netsim::trace::enabled(), "probe measures the recorder-disabled configuration");
     let r = engine::storm_with("probe", 32, SimDuration::from_secs(2), 42, true);
     println!("{:.0}", r.events_per_sec);
 }
@@ -620,10 +626,7 @@ fn run_engine_probe() {
 /// recorder-disabled storm must reach [`GATE_FRACTION`] of `baseline`
 /// (an `engine-probe` reading from the `obs-off` build of this tree).
 fn run_engine_gate(baseline: f64) -> bool {
-    assert!(
-        !snipe_netsim::trace::enabled(),
-        "gate measures the recorder-disabled configuration"
-    );
+    assert!(!snipe_netsim::trace::enabled(), "gate measures the recorder-disabled configuration");
     let sim = SimDuration::from_secs(2);
     let mut best = 0.0f64;
     for trial in 0..GATE_TRIALS {
@@ -655,7 +658,16 @@ fn run_shard() -> bool {
     let _ = std::fs::remove_file("results/shard.txt");
     let mut t = Table::new(
         "SHARD: sharded-engine storm scaling, hosts x worker threads",
-        &["hosts", "threads", "regions", "events", "delivered", "wall (s)", "events/sec", "speedup"],
+        &[
+            "hosts",
+            "threads",
+            "regions",
+            "events",
+            "delivered",
+            "wall (s)",
+            "events/sec",
+            "speedup",
+        ],
     );
     let mut ok = true;
     let mut size_json = Vec::new();
@@ -684,7 +696,11 @@ fn run_shard() -> bool {
                 format!("{:.2}x", r.events_per_sec / base),
             ]);
         }
-        let best = runs.iter().cloned().reduce(|a, b| if b.events_per_sec > a.events_per_sec { b } else { a }).expect("runs");
+        let best = runs
+            .iter()
+            .cloned()
+            .reduce(|a, b| if b.events_per_sec > a.events_per_sec { b } else { a })
+            .expect("runs");
         let run_json: Vec<String> = runs
             .iter()
             .map(|r| {
@@ -800,8 +816,63 @@ fn run_shard_soak(seeds_per_workload: u64) -> bool {
     failures.is_empty()
 }
 
+/// `harness rcds` (RCDS): register [`rcds_bench::NAMES`] names into the
+/// sharded catalog and report resolution throughput with p50/p99 from
+/// the metrics registry. The check.sh gate requires ≥1M registered
+/// names and a written `results/bench_rcds.json`.
+fn run_rcds() -> bool {
+    let r = rcds_bench::run(rcds_bench::NAMES);
+    let mut t = Table::new(
+        "RCDS: sharded metadata plane — 1M-name registration and resolution",
+        &["phase", "ops", "ops/sec", "p50 ns", "p99 ns"],
+    );
+    t.row(vec![
+        "register".into(),
+        format!("{}", r.names),
+        format!("{:.0}", r.register_per_sec),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "resolve (store)".into(),
+        format!("{}", r.lookups),
+        format!("{:.0}", r.resolve_per_sec),
+        format!("{}", r.p50_ns),
+        format!("{}", r.p99_ns),
+    ]);
+    t.row(vec![
+        "resolve (client+cache)".into(),
+        format!("{}", r.client_lookups),
+        format!("{:.0}", r.client_per_sec),
+        format!("{}", r.client_p50_ns),
+        format!("{}", r.client_p99_ns),
+    ]);
+    t.emit("bench_rcds.txt");
+    println!(
+        "shard balance: min {} / max {} names per shard across {} shards; cache hits {}",
+        r.shard_min, r.shard_max, r.shards, r.cache_hits
+    );
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/bench_rcds.json", r.to_json());
+    let ok = r.names >= 1_000_000 && r.p99_ns > 0 && r.shard_min > 0;
+    if !ok {
+        eprintln!(
+            "rcds bench gate FAILED: names={} p99={} shard_min={}",
+            r.names, r.p99_ns, r.shard_min
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("rcds") {
+        let _ = std::fs::remove_file("results/bench_rcds.txt");
+        if !run_rcds() {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("shard") {
         if !run_shard() {
             std::process::exit(1);
@@ -855,7 +926,9 @@ fn main() {
         let Some(baseline) = args.get(1).and_then(|a| a.parse::<f64>().ok()).filter(|b| *b > 0.0)
         else {
             eprintln!("usage: harness engine-gate <baseline-events-per-sec>");
-            eprintln!("(get the baseline from `harness engine-probe` built with --features obs-off)");
+            eprintln!(
+                "(get the baseline from `harness engine-probe` built with --features obs-off)"
+            );
             std::process::exit(1);
         };
         if !run_engine_gate(baseline) {

@@ -13,8 +13,9 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 
 use snipe_core::SnipeWorldBuilder;
+use snipe_files::{FetchActor, FileServerActor, FileServerConfig};
 use snipe_netsim::actor::{Actor, Ctx, Event, TimerGate};
-use snipe_netsim::chaos::{ChaosBinding, ChaosOp, ChaosPlan, ChaosShape, shrink_plan};
+use snipe_netsim::chaos::{shrink_plan, ChaosBinding, ChaosOp, ChaosPlan, ChaosShape};
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::trace::{self, TraceKind};
@@ -26,15 +27,17 @@ use snipe_rcds::uri::Uri;
 use snipe_util::id::NetId;
 use snipe_util::metrics::Registry;
 use snipe_util::time::{SimDuration, SimTime};
+use snipe_wire::fec::FragStrategy;
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::mcast::{majority, McastMember, McastMsg, McastRouter};
 use snipe_wire::ports;
 use snipe_wire::rstream::RstreamConfig;
 use snipe_wire::stack::StackConfig;
-use snipe_wire::fec::FragStrategy;
 use snipe_wire::Out;
 
-use crate::fig1::{FecReceiver, FecSender, RstreamReceiver, RstreamSender, SrudpReceiver, SrudpSender};
+use crate::fig1::{
+    FecReceiver, FecSender, RstreamReceiver, RstreamSender, SrudpReceiver, SrudpSender,
+};
 use crate::oracles;
 use crate::{e5_migration, par_map};
 
@@ -70,16 +73,22 @@ pub enum Workload {
     /// integrity oracle proves a corrupted reconstruction is never
     /// delivered.
     FecSpray,
+    /// PR10-shape: replicated metadata *and* a striped file read while
+    /// RCDS servers and file replicas crash/restart mid-lookup and
+    /// mid-transfer; convergence, content-integrity and exactly-once
+    /// stripe completion must all hold.
+    ReplicaCrash,
 }
 
 /// Every workload, in soak order.
-pub const ALL_WORKLOADS: [Workload; 6] = [
+pub const ALL_WORKLOADS: [Workload; 7] = [
     Workload::SrudpTransfer,
     Workload::RstreamTransfer,
     Workload::Migration,
     Workload::RcdsConverge,
     Workload::Mcast,
     Workload::FecSpray,
+    Workload::ReplicaCrash,
 ];
 
 impl Workload {
@@ -92,6 +101,7 @@ impl Workload {
             Workload::RcdsConverge => "rcds-converge",
             Workload::Mcast => "mcast",
             Workload::FecSpray => "fec-spray",
+            Workload::ReplicaCrash => "replica-crash",
         }
     }
 
@@ -187,6 +197,20 @@ impl Workload {
                 jitter_max: SimDuration::from_millis(20),
                 ..ChaosShape::default()
             },
+            // Both planes under fire: host flaps over every replica,
+            // process crash/restart of RC servers (fresh empty store;
+            // anti-entropy repopulates) and of file servers (fresh
+            // process, disk contents survive), while a client writes
+            // metadata and another stripes a read across the replicas.
+            Workload::ReplicaCrash => ChaosShape {
+                horizon: SimDuration::from_secs(8),
+                hosts: 6,
+                nets: 1,
+                ifaces: 0,
+                procs: 6,
+                max_ops: 6,
+                ..ChaosShape::default()
+            },
         }
     }
 
@@ -199,6 +223,7 @@ impl Workload {
             Workload::RcdsConverge => run_rcds_converge(plan, wseed),
             Workload::Mcast => run_mcast(plan, wseed),
             Workload::FecSpray => run_fec_spray(plan, wseed),
+            Workload::ReplicaCrash => run_replica_crash(plan, wseed),
         }
     }
 }
@@ -416,11 +441,7 @@ fn run_fec_spray(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     }
     let seqs = seqs.lock().unwrap().clone();
     if done_at.lock().unwrap().is_some() {
-        violations.extend(oracles::check_exactly_once_in_order(
-            "fec-spray",
-            count as u32,
-            &seqs,
-        ));
+        violations.extend(oracles::check_exactly_once_in_order("fec-spray", count as u32, &seqs));
     }
     let st = stats.lock().unwrap().clone();
     violations.extend(oracles::check_fec_integrity(
@@ -578,20 +599,16 @@ pub fn run_migration(plan: &ChaosPlan, wseed: u64, disable_freeze: bool) -> Vec<
         Box::new(e5_migration::Streamer { peer: wkey, total, sent: 0, interval })
     });
     w.spawn_on("host2", "streamer", Bytes::new()).expect("spawn streamer");
-    let binding = ChaosBinding {
-        hosts: vec![],
-        nets: vec![NetId(0)],
-        ifaces: vec![],
-        procs: vec![],
-    };
+    let binding =
+        ChaosBinding { hosts: vec![], nets: vec![NetId(0)], ifaces: vec![], procs: vec![] };
     plan.apply(w.sim(), &binding);
 
     let stream_end = SimTime::ZERO + interval * (total as u64 + 2);
     let deadline = plan.quiesce_at().max(stream_end) + RECOVERY_TAIL;
     loop {
         w.run_for(SimDuration::from_millis(500));
-        let done =
-            deliveries.lock().unwrap().len() as u32 >= total && migrated_at.lock().unwrap().is_some();
+        let done = deliveries.lock().unwrap().len() as u32 >= total
+            && migrated_at.lock().unwrap().is_some();
         if done || w.now() >= deadline {
             break;
         }
@@ -749,8 +766,7 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     let client = topo.add_host(HostCfg::named("client"));
     topo.attach(client, net);
     let mut world = World::new(topo, wseed);
-    let eps: Vec<Endpoint> =
-        rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
+    let eps: Vec<Endpoint> = rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
     for (i, ep) in eps.iter().enumerate() {
         let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| e != ep).collect();
         world.spawn(ep.host, ep.port, Box::new(RcServerActor::new(i as u64 + 1, peers, sync)));
@@ -785,8 +801,7 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
             let _ = w.spawn(ep.host, ep.port, Box::new(RcServerActor::new(id, peers, sync)));
         }));
     }
-    let binding =
-        ChaosBinding { hosts: rc_hosts.clone(), nets: vec![net], ifaces: vec![], procs };
+    let binding = ChaosBinding { hosts: rc_hosts.clone(), nets: vec![net], ifaces: vec![], procs };
     plan.apply(&mut world, &binding);
 
     // Probe every replica individually several sync rounds after the
@@ -831,6 +846,197 @@ fn run_rcds_converge(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
 }
 
 // ---------------------------------------------------------------------------
+// W7: replica crash — sharded-era metadata plus a striped file read
+// while RCDS servers and file replicas crash/restart mid-flight
+// ---------------------------------------------------------------------------
+
+/// Deterministic file body for the replica-crash workloads (shared
+/// with the sharded-engine variant in [`crate::chaos_shard`]).
+pub(crate) fn replica_crash_content(wseed: u64) -> Bytes {
+    Bytes::from(
+        (0..24_000usize)
+            .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(wseed) % 251) as u8)
+            .collect::<Vec<u8>>(),
+    )
+}
+
+pub(crate) const REPLICA_CRASH_LIFN: &str = "lifn:snipe:chaos:staged";
+/// 24 000 bytes at 2048-byte stripes.
+pub(crate) const REPLICA_CRASH_STRIPES: u32 = 12;
+
+fn run_replica_crash(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
+    let replicas = 3usize;
+    let sync = SimDuration::from_millis(500);
+    let mut topo = Topology::new();
+    let net = topo.add_network("lan", Medium::ethernet100(), true);
+    let mut rc_hosts = Vec::new();
+    for i in 0..replicas {
+        let h = topo.add_host(HostCfg::named(format!("rc{i}")));
+        topo.attach(h, net);
+        rc_hosts.push(h);
+    }
+    let mut fs_hosts = Vec::new();
+    for i in 0..replicas {
+        let h = topo.add_host(HostCfg::named(format!("fs{i}")));
+        topo.attach(h, net);
+        fs_hosts.push(h);
+    }
+    let client = topo.add_host(HostCfg::named("client"));
+    topo.attach(client, net);
+    let mut world = World::new(topo, wseed);
+
+    let rc_eps: Vec<Endpoint> =
+        rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
+    for (i, ep) in rc_eps.iter().enumerate() {
+        let peers: Vec<Endpoint> = rc_eps.iter().copied().filter(|e| e != ep).collect();
+        world.spawn(ep.host, ep.port, Box::new(RcServerActor::new(i as u64 + 1, peers, sync)));
+    }
+
+    let fs_eps: Vec<Endpoint> =
+        fs_hosts.iter().map(|&h| Endpoint::new(h, ports::FILE_SERVER)).collect();
+    let content = replica_crash_content(wseed);
+    let make_fs = {
+        let fs_eps = fs_eps.clone();
+        let rc_eps = rc_eps.clone();
+        let content = content.clone();
+        move |i: usize| {
+            let ep = fs_eps[i];
+            let peers: Vec<Endpoint> = fs_eps.iter().copied().filter(|e| *e != ep).collect();
+            let mut cfg = FileServerConfig::new(format!("fs{i}"), rc_eps.clone(), peers);
+            cfg.replication_factor = replicas;
+            let mut fs = FileServerActor::new(cfg);
+            // Disk-backed seed: survives process restarts below.
+            fs.preload(REPLICA_CRASH_LIFN, content.clone());
+            fs
+        }
+    };
+    for (i, ep) in fs_eps.iter().enumerate() {
+        world.spawn(ep.host, ep.port, Box::new(make_fs(i)));
+    }
+
+    // Metadata writes land throughout the fault window.
+    let uri = Uri::process(7);
+    world.spawn(
+        client,
+        50,
+        Box::new(ChaosWriter {
+            rc: RcClient::new(rc_eps.clone(), SimDuration::from_millis(300)),
+            uri: uri.clone(),
+            interval: SimDuration::from_millis(300),
+            writes_left: 12,
+            next_val: 0,
+        }),
+    );
+
+    // The striped read starts two seconds in, well inside the fault
+    // window, and must survive replica crashes mid-transfer.
+    let fetch_ep = Endpoint::new(client, 51);
+    world.spawn(
+        client,
+        fetch_ep.port,
+        Box::new(FetchActor::new(
+            REPLICA_CRASH_LIFN,
+            fs_eps.clone(),
+            2048,
+            SimDuration::from_secs(2),
+        )),
+    );
+
+    // Crash/restart closures: RC servers come back with a *fresh,
+    // empty* store (anti-entropy must repopulate them); file servers
+    // come back as fresh processes over surviving disk contents.
+    let restart_counter = Arc::new(Mutex::new(0u64));
+    let mut procs: Vec<snipe_netsim::chaos::RestartFn> = Vec::new();
+    for i in 0..replicas {
+        let eps = rc_eps.clone();
+        let counter = restart_counter.clone();
+        procs.push(Rc::new(move |w: &mut World| {
+            let ep = eps[i];
+            w.kill(ep);
+            *counter.lock().unwrap() += 1;
+            let id = 1000 + *counter.lock().unwrap();
+            let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| *e != ep).collect();
+            let _ = w.spawn(ep.host, ep.port, Box::new(RcServerActor::new(id, peers, sync)));
+        }));
+    }
+    for i in 0..replicas {
+        let make_fs = make_fs.clone();
+        let eps = fs_eps.clone();
+        procs.push(Rc::new(move |w: &mut World| {
+            let ep = eps[i];
+            w.kill(ep);
+            let _ = w.spawn(ep.host, ep.port, Box::new(make_fs(i)));
+        }));
+    }
+    let mut cast = rc_hosts.clone();
+    cast.extend(fs_hosts.iter().copied());
+    let binding = ChaosBinding { hosts: cast, nets: vec![net], ifaces: vec![], procs };
+    plan.apply(&mut world, &binding);
+
+    let probe_at = plan.quiesce_at() + SimDuration::from_secs(4);
+    let mut answers = Vec::new();
+    for (i, ep) in rc_eps.iter().enumerate() {
+        let out = Arc::new(Mutex::new(None));
+        answers.push(out.clone());
+        world.spawn(
+            client,
+            60 + i as u16,
+            Box::new(ReplicaProbe {
+                rc: RcClient::new(vec![*ep], SimDuration::from_millis(300)),
+                uri: uri.clone(),
+                at: probe_at,
+                out,
+                attempts: 0,
+            }),
+        );
+    }
+
+    let deadline = probe_at + RECOVERY_TAIL;
+    loop {
+        world.run_for(SimDuration::from_millis(500));
+        let all_answered = answers.iter().all(|a| a.lock().unwrap().is_some());
+        let fetch_done = world
+            .portable_ref::<FetchActor>(fetch_ep)
+            .map(|f| f.result.is_some() || f.failed)
+            .unwrap_or(false);
+        if (all_answered && fetch_done) || world.now() >= deadline {
+            break;
+        }
+    }
+
+    let replies: Vec<Option<Vec<Assertion>>> =
+        answers.iter().map(|a| a.lock().unwrap().clone()).collect();
+    let mut violations = oracles::check_replicas_converged("replica-crash", &replies);
+    match world.portable_ref::<FetchActor>(fetch_ep) {
+        Some(f) => {
+            if f.result.as_ref() != Some(&content) {
+                violations.push(format!(
+                    "replica-crash: striped fetch wrong/incomplete (got {:?} bytes, failed={}, stats={:?})",
+                    f.result.as_ref().map(Bytes::len),
+                    f.failed,
+                    f.stats
+                ));
+            }
+            let mut sorted = f.completions.clone();
+            sorted.sort_unstable();
+            violations.extend(oracles::check_exactly_once_in_order(
+                "replica-crash: stripe completion",
+                REPLICA_CRASH_STRIPES,
+                &sorted,
+            ));
+        }
+        None => violations.push("replica-crash: fetch actor disappeared".into()),
+    }
+    violations.extend(oracles::check_engine_bounded(
+        "replica-crash",
+        &world,
+        MAX_RESIDUAL_EVENTS,
+        MAX_PEAK_DEPTH,
+    ));
+    violations
+}
+
+// ---------------------------------------------------------------------------
 // W4: majority-routed multicast (E6 shape) under duplication/reorder
 // ---------------------------------------------------------------------------
 
@@ -842,7 +1048,9 @@ struct ChaosMcastMember {
 impl Actor for ChaosMcastMember {
     fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
         if let Event::Packet { payload, .. } = event {
-            let Ok((Proto::Mcast, body)) = open(payload) else { return };
+            let Ok((Proto::Mcast, body)) = open(payload) else {
+                return;
+            };
             let Ok(McastMsg::Data { group, origin, seq, payload, .. }) = McastMsg::decode(body)
             else {
                 return;
@@ -895,8 +1103,12 @@ struct ChaosMcastRouter {
 impl Actor for ChaosMcastRouter {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         if let Event::Packet { payload, .. } = event {
-            let Ok((Proto::Mcast, body)) = open(payload) else { return };
-            let Ok(msg) = McastMsg::decode(body) else { return };
+            let Ok((Proto::Mcast, body)) = open(payload) else {
+                return;
+            };
+            let Ok(msg) = McastMsg::decode(body) else {
+                return;
+            };
             let mut outs = Vec::new();
             self.state.on_message(msg, &mut outs);
             for o in outs {
@@ -921,8 +1133,7 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     // whose paced stream must survive a flap. The plan is
     // deterministically narrowed before applying.
     let mut plan = plan.clone();
-    plan.ops
-        .retain(|o| matches!(o, ChaosOp::Gray { .. } | ChaosOp::HostFlap { .. }));
+    plan.ops.retain(|o| matches!(o, ChaosOp::Gray { .. } | ChaosOp::HostFlap { .. }));
 
     let mut topo = Topology::new();
     let net = topo.add_network("eth", Medium::ethernet100(), true);
@@ -995,9 +1206,8 @@ fn run_mcast(plan: &ChaosPlan, wseed: u64) -> Vec<String> {
     for (i, d) in delivered.iter().enumerate() {
         let got = *d.lock().unwrap();
         if got != total {
-            violations.push(format!(
-                "mcast: member {i} delivered {got} of {total} distinct messages"
-            ));
+            violations
+                .push(format!("mcast: member {i} delivered {got} of {total} distinct messages"));
         }
     }
     violations.extend(oracles::check_engine_bounded(
@@ -1053,7 +1263,11 @@ pub struct ChaosRun {
 }
 
 /// Render per-kind event totals as a metrics-registry JSON object.
-fn trace_metrics_json(kind_counts: &[u64; TraceKind::COUNT], ring_dropped: u64, indent: usize) -> String {
+fn trace_metrics_json(
+    kind_counts: &[u64; TraceKind::COUNT],
+    ring_dropped: u64,
+    indent: usize,
+) -> String {
     let mut metrics = Registry::new();
     for (i, n) in TraceKind::NAMES.iter().enumerate() {
         let name = format!("trace.{n}");
@@ -1179,8 +1393,7 @@ pub fn planted_bug_drill(max_seeds: u64) -> PlantedBugReport {
         if violations.is_empty() {
             continue;
         }
-        let shrunk =
-            shrink_plan(plan, |cand| !run_migration(cand, workload_seed, true).is_empty());
+        let shrunk = shrink_plan(plan, |cand| !run_migration(cand, workload_seed, true).is_empty());
         let replay = format!(
             "{} disable_freeze=true shrunk_ops={} shrunk_packet={:?}",
             shrunk.replay_line("migration", workload_seed),
@@ -1255,6 +1468,14 @@ pub const REGRESSION_CORPUS: &[(Workload, u64, u64)] = &[
     (Workload::FecSpray, 0xC0FF_EE00, 0x5EED),
     (Workload::FecSpray, 0xC0FF_EE02, 0x5EED + 2),
     (Workload::FecSpray, 0xC0FF_EE04, 0x5EED + 4),
+    // Replica-crash: host flaps plus process restarts over both the RC
+    // replica group and the file replica set while a striped read is
+    // in flight. The six-op plan at index 6 restarts servers back to
+    // back mid-transfer; stripe re-dispatch plus RC anti-entropy must
+    // still deliver convergence, byte-exact content and exactly-once
+    // stripe completion.
+    (Workload::ReplicaCrash, 0xC0FF_EE00, 0x5EED),
+    (Workload::ReplicaCrash, 0xC0FF_EE06, 0x5EED + 6),
 ];
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! *engine-level* contracts — mailbox routing, fault dispatch across
 //! regions, chaos determinism, bounded per-shard queues, erasure-coded
 //! share spraying — and, now that every service actor is a
-//! [`PortableActor`](snipe_netsim::actor::PortableActor), a
+//! [`PortableActor`], a
 //! **full-protocol** workload runs the real stack (per-host daemons,
 //! RCDS replication, file transfer) on a multi-cluster
 //! [`ShardedSnipeWorld`] under the same chaos plans.
@@ -25,15 +25,22 @@ use bytes::Bytes;
 
 use snipe_core::api::TicketResult;
 use snipe_core::{ShardedSnipeWorld, SnipeApi, SnipeProcess, SnipeWorldBuilder, SpawnTarget};
-use snipe_netsim::actor::Event;
+use snipe_files::{FetchActor, FileServerActor, FileServerConfig};
+use snipe_netsim::actor::{Event, PortableActor, SimCtx, TimerGate};
 use snipe_netsim::chaos::{ChaosBinding, ChaosPlan, ChaosShape};
 use snipe_netsim::shard::{ShardActor, ShardCtx, ShardedWorld};
 use snipe_netsim::topology::Endpoint;
+use snipe_rcds::assertion::Assertion;
+use snipe_rcds::client::RcClient;
+use snipe_rcds::server::RcServerActor;
+use snipe_rcds::uri::Uri;
 use snipe_util::id::{HostId, NetId};
-use snipe_util::time::SimDuration;
+use snipe_util::time::{SimDuration, SimTime};
 use snipe_wire::fec;
+use snipe_wire::frame::{open, seal, Proto};
+use snipe_wire::ports;
 
-use crate::chaos::soak_seeds;
+use crate::chaos::{replica_crash_content, soak_seeds, REPLICA_CRASH_LIFN, REPLICA_CRASH_STRIPES};
 use crate::oracles;
 use crate::par_map;
 use crate::shard_storm::cluster_topology;
@@ -182,7 +189,16 @@ fn run_transfer(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u
     let a = HostId(3); // cluster 0
     let b = HostId(200); // cluster 3 — routed cross-region path
     let tx = w
-        .spawn(a, PORT, Box::new(XferSender { peer: Endpoint::new(b, PORT), total: TOTAL, acked: vec![false; TOTAL as usize], done: false }))
+        .spawn(
+            a,
+            PORT,
+            Box::new(XferSender {
+                peer: Endpoint::new(b, PORT),
+                total: TOTAL,
+                acked: vec![false; TOTAL as usize],
+                done: false,
+            }),
+        )
         .unwrap();
     let rx = w
         .spawn(b, PORT, Box::new(XferReceiver { seen: vec![false; TOTAL as usize], distinct: 0 }))
@@ -270,7 +286,16 @@ fn run_stream(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64
     let a = HostId(70); // cluster 1
     let b = HostId(400); // cluster 6
     let tx = w
-        .spawn(a, PORT, Box::new(StreamSender { peer: Endpoint::new(b, PORT), total: TOTAL, base: 0, window: 16 }))
+        .spawn(
+            a,
+            PORT,
+            Box::new(StreamSender {
+                peer: Endpoint::new(b, PORT),
+                total: TOTAL,
+                base: 0,
+                window: 16,
+            }),
+        )
         .unwrap();
     let rx = w.spawn(b, PORT, Box::new(StreamReceiver { next: 0, log: Vec::new() })).unwrap();
     apply(&mut w, plan, &[a, b]);
@@ -387,12 +412,21 @@ fn run_migration(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, 
     let svc_h = HostId(520); // cluster 8
     let dest_h = HostId(530); // same cluster: intra-region handoff
     let drv = w
-        .spawn(driver_h, PORT, Box::new(MigDriver { target: Endpoint::new(svc_h, PORT + 1), total: TOTAL, acked: 0 }))
+        .spawn(
+            driver_h,
+            PORT,
+            Box::new(MigDriver { target: Endpoint::new(svc_h, PORT + 1), total: TOTAL, acked: 0 }),
+        )
         .unwrap();
     w.spawn(
         svc_h,
         PORT + 1,
-        Box::new(MigService { seen: vec![false; TOTAL as usize], distinct: 0, driver: Endpoint::new(driver_h, PORT), move_to: Some(dest_h) }),
+        Box::new(MigService {
+            seen: vec![false; TOTAL as usize],
+            distinct: 0,
+            driver: Endpoint::new(driver_h, PORT),
+            move_to: Some(dest_h),
+        }),
     )
     .unwrap();
     apply(&mut w, plan, &[driver_h, dest_h]);
@@ -467,14 +501,13 @@ fn run_gossip(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64
     apply(&mut w, plan, &hosts);
     let eps2 = eps.clone();
     let mut v = run_to_deadline(&mut w, plan, move |w| {
-        eps2.iter().all(|&e| w.actor_ref::<Gossip>(e).map(|g| g.value == max_value).unwrap_or(false))
+        eps2.iter()
+            .all(|&e| w.actor_ref::<Gossip>(e).map(|g| g.value == max_value).unwrap_or(false))
     });
     for &e in &eps {
         let got = w.actor_ref::<Gossip>(e).map(|g| g.value).unwrap_or(0);
         if got != max_value {
-            v.push(format!(
-                "shard-gossip: {e} stuck at {got}, never saw the maximum {max_value}"
-            ));
+            v.push(format!("shard-gossip: {e} stuck at {got}, never saw the maximum {max_value}"));
         }
     }
     v.extend(bounded("shard-gossip", &w));
@@ -976,11 +1009,8 @@ struct SoakEcho {
 
 impl SoakEcho {
     fn from_args(args: &Bytes) -> SoakEcho {
-        let parent = if args.len() >= 8 {
-            u64::from_be_bytes(args[..8].try_into().unwrap())
-        } else {
-            0
-        };
+        let parent =
+            if args.len() >= 8 { u64::from_be_bytes(args[..8].try_into().unwrap()) } else { 0 };
         SoakEcho { parent, tries: 5 }
     }
 }
@@ -1096,14 +1126,10 @@ fn fp_violations(lines: &[String]) -> Vec<String> {
     for i in 0..3 {
         let tag = format!("sub{i}:");
         if !lines.iter().any(|l| l.starts_with(&tag) && l.contains(&fetched)) {
-            v.push(format!(
-                "shard-full-protocol: subscriber {i} never fetched the published file"
-            ));
+            v.push(format!("shard-full-protocol: subscriber {i} never fetched the published file"));
         }
         if !lines.iter().any(|l| l.starts_with(&tag) && l.contains("svc ok")) {
-            v.push(format!(
-                "shard-full-protocol: subscriber {i} never resolved the service"
-            ));
+            v.push(format!("shard-full-protocol: subscriber {i} never resolved the service"));
         }
     }
     v
@@ -1214,6 +1240,370 @@ pub fn fp_debug_world(
 }
 
 // ---------------------------------------------------------------------------
+// W8: replica crash — sharded metadata plus a striped cross-region file
+// read while RCDS servers and file replicas crash/restart mid-flight
+// ---------------------------------------------------------------------------
+// The sharded twin of the serial soak's `replica-crash` workload: the
+// same service actors (they are [`PortableActor`]s) on the 1000-host
+// campus, with the cast spread over three regions so every RC sync,
+// stripe request and anti-entropy push crosses shard boundaries.
+
+const RC_TIMER_FIRE: u64 = 20;
+const RC_TIMER_GATE: u64 = 21;
+const TIMER_CRASH: u64 = 51;
+const TIMER_RESPAWN: u64 = 52;
+
+/// Portable twin of the serial soak's `ChaosWriter`: puts an evolving
+/// assertion during the fault window. No `Arc` side-channels — the
+/// actor must be `Send`, so results are read back via `portable_ref`.
+struct ShardRcWriter {
+    rc: RcClient,
+    uri: Uri,
+    interval: SimDuration,
+    writes_left: u32,
+    next_val: u32,
+    gate: TimerGate,
+}
+
+impl ShardRcWriter {
+    fn flush(&mut self, ctx: &mut dyn SimCtx) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        let _ = self.rc.drain_done();
+        if let Some(dl) = self.rc.next_deadline() {
+            self.gate.arm_at(ctx, dl + SimDuration::from_micros(1), RC_TIMER_GATE);
+        }
+    }
+}
+
+impl PortableActor for ShardRcWriter {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
+        match event {
+            Event::Start | Event::Timer { token: RC_TIMER_FIRE } => {
+                if self.writes_left > 0 {
+                    self.writes_left -= 1;
+                    let v = format!("v{}", self.next_val);
+                    self.next_val += 1;
+                    let now = ctx.now();
+                    self.rc.put(now, &self.uri, vec![Assertion::new("k", v)]);
+                    self.flush(ctx);
+                    ctx.set_timer(self.interval, RC_TIMER_FIRE);
+                }
+            }
+            Event::Timer { token: RC_TIMER_GATE } => {
+                self.gate.fired();
+                self.rc.on_timer(ctx.now());
+                self.flush(ctx);
+            }
+            Event::Packet { from, payload } => {
+                if let Ok((Proto::Raw, body)) = open(payload) {
+                    self.rc.on_packet(ctx.now(), from, body);
+                }
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Portable twin of `ReplicaProbe`: queries exactly one replica after
+/// faults quiesce, retrying on timeout; `answer` is read back via
+/// `portable_ref` once the run settles.
+struct ShardRcProbe {
+    rc: RcClient,
+    uri: Uri,
+    at: SimTime,
+    attempts: u32,
+    gate: TimerGate,
+    answer: Option<Vec<Assertion>>,
+}
+
+impl ShardRcProbe {
+    fn flush(&mut self, ctx: &mut dyn SimCtx) {
+        for (to, bytes) in self.rc.drain_sends() {
+            ctx.send(to, seal(Proto::Raw, bytes));
+        }
+        for (_, result) in self.rc.drain_done() {
+            match result {
+                Ok(reply) => {
+                    if self.answer.is_none() {
+                        self.answer = Some(reply.assertions);
+                    }
+                }
+                Err(_) if self.attempts < 30 => {
+                    self.attempts += 1;
+                    let now = ctx.now();
+                    let uri = self.uri.clone();
+                    self.rc.get(now, &uri);
+                }
+                Err(_) => {}
+            }
+        }
+        if let Some(dl) = self.rc.next_deadline() {
+            self.gate.arm_at(ctx, dl + SimDuration::from_micros(1), RC_TIMER_GATE);
+        }
+    }
+}
+
+impl PortableActor for ShardRcProbe {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
+        match event {
+            Event::Start => {
+                let delay = self.at.saturating_since(ctx.now());
+                ctx.set_timer(delay, RC_TIMER_FIRE);
+            }
+            Event::Timer { token: RC_TIMER_FIRE } => {
+                let now = ctx.now();
+                let uri = self.uri.clone();
+                self.rc.get(now, &uri);
+                self.flush(ctx);
+            }
+            Event::Timer { token: RC_TIMER_GATE } => {
+                self.gate.fired();
+                self.rc.on_timer(ctx.now());
+                self.flush(ctx);
+            }
+            Event::Packet { from, payload } => {
+                if let Ok((Proto::Raw, body)) = open(payload) {
+                    self.rc.on_packet(ctx.now(), from, body);
+                }
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Process-crash chaos for the sharded engine. Plan-level `ProcRestart`
+/// ops are skipped by `apply_chaos_plan` (their restart closures are
+/// `Rc`-bound to the serial world), so this supervisor lives on the
+/// victim's own host — same region by construction, which is what
+/// [`SimCtx::kill`] requires — kills the target at each scheduled
+/// virtual time, and respawns a fresh process after a short downtime.
+struct ProcRestarter {
+    target: Endpoint,
+    /// Ascending absolute crash times.
+    crashes: Vec<SimTime>,
+    downtime: SimDuration,
+    /// Builds the replacement process; the argument is the restart
+    /// generation (used for fresh RC server identities).
+    make: Box<dyn FnMut(u64) -> Box<dyn PortableActor> + Send>,
+    generation: u64,
+}
+
+impl ProcRestarter {
+    fn arm_next(&mut self, ctx: &mut dyn SimCtx) {
+        if !self.crashes.is_empty() {
+            let at = self.crashes.remove(0);
+            ctx.set_timer(at.saturating_since(ctx.now()), TIMER_CRASH);
+        }
+    }
+}
+
+impl PortableActor for ProcRestarter {
+    fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
+        match event {
+            Event::Start => self.arm_next(ctx),
+            Event::Timer { token: TIMER_CRASH } => {
+                if ctx.is_bound(self.target) {
+                    ctx.kill(self.target);
+                }
+                ctx.set_timer(self.downtime, TIMER_RESPAWN);
+            }
+            Event::Timer { token: TIMER_RESPAWN } => {
+                self.generation += 1;
+                let fresh = (self.make)(self.generation);
+                let _ = ctx.spawn_portable(self.target.host, self.target.port, fresh);
+                self.arm_next(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_shard_replica_crash(plan: &ChaosPlan, wseed: u64, threads: usize) -> (Vec<String>, u64) {
+    let label = "shard-replica-crash";
+    let mut w = soak_world(wseed, threads);
+    let replicas = 3usize;
+    let sync = SimDuration::from_millis(500);
+    // Cast spread across regions 0..2 (64 hosts per cluster LAN), the
+    // client alongside the first replicas in region 0.
+    let rc_hosts = [HostId(10), HostId(74), HostId(138)];
+    let fs_hosts = [HostId(20), HostId(84), HostId(148)];
+    let client = HostId(30);
+
+    let rc_eps: Vec<Endpoint> =
+        rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
+    for (i, ep) in rc_eps.iter().enumerate() {
+        let peers: Vec<Endpoint> = rc_eps.iter().copied().filter(|e| e != ep).collect();
+        let _ = w.spawn_portable(
+            ep.host,
+            ep.port,
+            Box::new(RcServerActor::new(i as u64 + 1, peers, sync)),
+        );
+    }
+
+    let fs_eps: Vec<Endpoint> =
+        fs_hosts.iter().map(|&h| Endpoint::new(h, ports::FILE_SERVER)).collect();
+    let content = replica_crash_content(wseed);
+    let make_fs = {
+        let fs_eps = fs_eps.clone();
+        let rc_eps = rc_eps.clone();
+        let content = content.clone();
+        move |i: usize| {
+            let ep = fs_eps[i];
+            let peers: Vec<Endpoint> = fs_eps.iter().copied().filter(|e| *e != ep).collect();
+            let mut cfg = FileServerConfig::new(format!("fs{i}"), rc_eps.clone(), peers);
+            cfg.replication_factor = replicas;
+            let mut fs = FileServerActor::new(cfg);
+            // Disk-backed seed: survives the process restarts below.
+            fs.preload(REPLICA_CRASH_LIFN, content.clone());
+            fs
+        }
+    };
+    for (i, ep) in fs_eps.iter().enumerate() {
+        let _ = w.spawn_portable(ep.host, ep.port, Box::new(make_fs(i)));
+    }
+
+    // Metadata writes land throughout the fault window.
+    let uri = Uri::process(7);
+    let _ = w.spawn_portable(
+        client,
+        50,
+        Box::new(ShardRcWriter {
+            rc: RcClient::new(rc_eps.clone(), SimDuration::from_millis(300)),
+            uri: uri.clone(),
+            interval: SimDuration::from_millis(300),
+            writes_left: 12,
+            next_val: 0,
+            gate: TimerGate::new(),
+        }),
+    );
+
+    // The striped read starts two seconds in, mid-fault-window, and
+    // must survive replica crashes mid-transfer.
+    let fetch_ep = Endpoint::new(client, 51);
+    let _ = w.spawn_portable(
+        client,
+        fetch_ep.port,
+        Box::new(FetchActor::new(
+            REPLICA_CRASH_LIFN,
+            fs_eps.clone(),
+            2048,
+            SimDuration::from_secs(2),
+        )),
+    );
+
+    // One supervisor per server: RC replicas come back as *fresh,
+    // empty* stores (anti-entropy must repopulate them); file replicas
+    // come back as fresh processes over surviving disk contents. The
+    // schedule staggers crashes across the fault window.
+    let t0 = SimTime::from_nanos(0);
+    for (i, &ep) in rc_eps.iter().enumerate() {
+        let peers: Vec<Endpoint> = rc_eps.iter().copied().filter(|e| *e != ep).collect();
+        let _ = w.spawn_portable(
+            ep.host,
+            7900,
+            Box::new(ProcRestarter {
+                target: ep,
+                crashes: vec![t0 + SimDuration::from_millis(1200 + 700 * i as u64)],
+                downtime: SimDuration::from_millis(150),
+                make: Box::new(move |generation| {
+                    Box::new(RcServerActor::new(
+                        1000 + i as u64 * 100 + generation,
+                        peers.clone(),
+                        sync,
+                    ))
+                }),
+                generation: 0,
+            }),
+        );
+    }
+    for (i, &ep) in fs_eps.iter().enumerate() {
+        let make_fs = make_fs.clone();
+        let _ = w.spawn_portable(
+            ep.host,
+            7901,
+            Box::new(ProcRestarter {
+                target: ep,
+                crashes: vec![t0 + SimDuration::from_millis(1500 + 700 * i as u64)],
+                downtime: SimDuration::from_millis(150),
+                make: Box::new(move |_| Box::new(make_fs(i))),
+                generation: 0,
+            }),
+        );
+    }
+
+    // No host flaps: process crash/restart chaos comes from the
+    // supervisors above (a host flap would also swallow their pending
+    // timers); net partitions and per-packet chaos are in contract.
+    apply(&mut w, plan, &[]);
+
+    // Probe every RC replica individually several sync rounds after the
+    // last fault healed.
+    let probe_at = plan.quiesce_at() + SimDuration::from_secs(4);
+    for (i, &ep) in rc_eps.iter().enumerate() {
+        let _ = w.spawn_portable(
+            client,
+            60 + i as u16,
+            Box::new(ShardRcProbe {
+                rc: RcClient::new(vec![ep], SimDuration::from_millis(300)),
+                uri: uri.clone(),
+                at: probe_at,
+                attempts: 0,
+                gate: TimerGate::new(),
+                answer: None,
+            }),
+        );
+    }
+
+    let mut violations = run_to_deadline(&mut w, plan, |w| {
+        let probes_done = (0..replicas).all(|i| {
+            w.portable_ref::<ShardRcProbe>(Endpoint::new(client, 60 + i as u16))
+                .map(|p| p.answer.is_some())
+                .unwrap_or(false)
+        });
+        let fetch_done = w
+            .portable_ref::<FetchActor>(fetch_ep)
+            .map(|f| f.result.is_some() || f.failed)
+            .unwrap_or(false);
+        probes_done && fetch_done
+    });
+
+    let replies: Vec<Option<Vec<Assertion>>> = (0..replicas)
+        .map(|i| {
+            w.portable_ref::<ShardRcProbe>(Endpoint::new(client, 60 + i as u16))
+                .and_then(|p| p.answer.clone())
+        })
+        .collect();
+    violations.extend(oracles::check_replicas_converged(label, &replies));
+    match w.portable_ref::<FetchActor>(fetch_ep) {
+        Some(f) => {
+            if f.result.as_ref() != Some(&content) {
+                violations.push(format!(
+                    "{label}: striped fetch wrong/incomplete (got {:?} bytes, failed={}, \
+                     stats={:?})",
+                    f.result.as_ref().map(Bytes::len),
+                    f.failed,
+                    f.stats
+                ));
+            }
+            let mut sorted = f.completions.clone();
+            sorted.sort_unstable();
+            violations.extend(oracles::check_exactly_once_in_order(
+                &format!("{label}: stripe completion"),
+                REPLICA_CRASH_STRIPES,
+                &sorted,
+            ));
+        }
+        None => violations.push(format!("{label}: fetch actor disappeared")),
+    }
+    violations.extend(bounded(label, &w));
+    (violations, w.digest())
+}
+
+// ---------------------------------------------------------------------------
 // Soak plumbing
 // ---------------------------------------------------------------------------
 
@@ -1228,8 +1618,7 @@ fn apply(w: &mut ShardedWorld, plan: &ChaosPlan, cast: &[HostId]) {
     let nets: Vec<NetId> = (0..6).map(NetId).collect();
     let ifaces: Vec<(HostId, NetId)> =
         cast.iter().map(|&h| (h, NetId(h.index() as u32 / 64))).collect();
-    let binding =
-        ChaosBinding { hosts: cast.to_vec(), nets, ifaces, procs: Vec::new() };
+    let binding = ChaosBinding { hosts: cast.to_vec(), nets, ifaces, procs: Vec::new() };
     w.apply_chaos_plan(plan, &binding);
 }
 
@@ -1281,10 +1670,13 @@ pub enum ShardWorkload {
     FecSpray,
     /// The full SNIPE stack (daemons, RCDS, files, RM) on a campus.
     FullProtocol,
+    /// Replicated RCDS metadata plus a striped cross-region file read
+    /// while RC servers and file replicas crash/restart mid-flight.
+    ReplicaCrash,
 }
 
 /// Every workload, in soak order.
-pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 7] = [
+pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 8] = [
     ShardWorkload::Transfer,
     ShardWorkload::Stream,
     ShardWorkload::Migration,
@@ -1292,6 +1684,7 @@ pub const ALL_SHARD_WORKLOADS: [ShardWorkload; 7] = [
     ShardWorkload::Mcast,
     ShardWorkload::FecSpray,
     ShardWorkload::FullProtocol,
+    ShardWorkload::ReplicaCrash,
 ];
 
 impl ShardWorkload {
@@ -1305,6 +1698,7 @@ impl ShardWorkload {
             ShardWorkload::Mcast => "shard-mcast",
             ShardWorkload::FecSpray => "shard-fec",
             ShardWorkload::FullProtocol => "shard-full-protocol",
+            ShardWorkload::ReplicaCrash => "shard-replica-crash",
         }
     }
 
@@ -1405,6 +1799,21 @@ impl ShardWorkload {
                 jitter_max: SimDuration::from_millis(10),
                 ..ChaosShape::default()
             },
+            // Process crash/restart chaos is supplied by the workload's
+            // own supervisors (plan `ProcRestart` ops are serial-only),
+            // and host flaps would swallow the supervisors' timers, so
+            // the plan contributes net partitions and packet chaos.
+            ShardWorkload::ReplicaCrash => ChaosShape {
+                horizon: SimDuration::from_secs(4),
+                hosts: 0,
+                nets: 3,
+                ifaces: 0,
+                procs: 0,
+                max_ops: 4,
+                corrupt_max: 0.02,
+                jitter_max: SimDuration::from_millis(10),
+                ..ChaosShape::default()
+            },
         }
     }
 
@@ -1419,6 +1828,7 @@ impl ShardWorkload {
             ShardWorkload::Mcast => run_mcast(plan, wseed, threads),
             ShardWorkload::FecSpray => run_fec(plan, wseed, threads),
             ShardWorkload::FullProtocol => run_full_protocol(plan, wseed, threads),
+            ShardWorkload::ReplicaCrash => run_shard_replica_crash(plan, wseed, threads),
         }
     }
 }
@@ -1512,6 +1922,14 @@ pub const SHARD_REGRESSION_CORPUS: &[(ShardWorkload, u64, u64)] = &[
     (ShardWorkload::FecSpray, 0xC0FF_EE00, 0x5EED),
     (ShardWorkload::FecSpray, 0xC0FF_EE02, 0x5EED + 2),
     (ShardWorkload::FullProtocol, 0xC0FF_EE00, 0x5EED),
+    // Replica crash/restart under cross-region RC sync and a striped
+    // read: the soak's leading seed plus the plan carrying the fullest
+    // fault envelope in the sweep (four ops incl. net partitions, with
+    // packet corruption on). Pins supervisor-driven process restarts —
+    // kill + respawn inside shard regions — and the fetch layer's
+    // straggler re-dispatch, alongside cross-thread digest equality.
+    (ShardWorkload::ReplicaCrash, 0xC0FF_EE00, 0x5EED),
+    (ShardWorkload::ReplicaCrash, 0xC0FF_EE02, 0x5EED + 2),
 ];
 
 #[cfg(test)]

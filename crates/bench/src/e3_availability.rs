@@ -103,10 +103,7 @@ impl Actor for LookupLoad {
 /// `horizon_days` of simulated operation, hosts failing with the given
 /// model; lookups every `lookup_interval`.
 pub fn run(replicas: usize, horizon_days: u64, seed: u64) -> E3Point {
-    let model = FailureModel {
-        mtbf: SimDuration::from_days(10),
-        mttr: SimDuration::from_hours(4),
-    };
+    let model = FailureModel { mtbf: SimDuration::from_days(10), mttr: SimDuration::from_hours(4) };
     let mut topo = Topology::new();
     let net = topo.add_network("lan", Medium::ethernet100(), true);
     let mut rc_hosts = Vec::new();
@@ -120,8 +117,7 @@ pub fn run(replicas: usize, horizon_days: u64, seed: u64) -> E3Point {
     let client = topo.add_host(HostCfg::named("client"));
     topo.attach(client, net);
     let mut world = World::new(topo, seed);
-    let eps: Vec<Endpoint> =
-        rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
+    let eps: Vec<Endpoint> = rc_hosts.iter().map(|&h| Endpoint::new(h, ports::RC_SERVER)).collect();
     for (i, ep) in eps.iter().enumerate() {
         let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| e != ep).collect();
         world.spawn(

@@ -142,9 +142,8 @@ pub fn run_snipe_sharded(
     let done = Arc::new(Mutex::new(None));
     let failed = Arc::new(Mutex::new(false));
     let (d, f) = (done.clone(), failed.clone());
-    let hosts: Vec<String> = (0..clusters)
-        .flat_map(|c| (0..per_cluster).map(move |i| format!("c{c}h{i}")))
-        .collect();
+    let hosts: Vec<String> =
+        (0..clusters).flat_map(|c| (0..per_cluster).map(move |i| format!("c{c}h{i}"))).collect();
     let n = hosts.len();
     w.register_process("coord", move |_| {
         Box::new(Coordinator {
@@ -174,14 +173,9 @@ pub fn run_snipe_sharded(
             digest,
             complete: true,
         },
-        None => E4ShardPoint {
-            threads,
-            hosts: n,
-            elapsed: f64::NAN,
-            wall_ms,
-            digest,
-            complete: false,
-        },
+        None => {
+            E4ShardPoint { threads, hosts: n, elapsed: f64::NAN, wall_ms, digest, complete: false }
+        }
     }
 }
 
@@ -254,12 +248,9 @@ pub fn run_pvm(n: usize, seed: u64) -> E4Point {
     }
     let result = *done.lock().unwrap();
     match result {
-        Some(t) => E4Point {
-            system: "PVM",
-            hosts: n,
-            elapsed: t.since(t0).as_secs_f64(),
-            complete: true,
-        },
+        Some(t) => {
+            E4Point { system: "PVM", hosts: n, elapsed: t.since(t0).as_secs_f64(), complete: true }
+        }
         None => E4Point { system: "PVM", hosts: n, elapsed: f64::NAN, complete: false },
     }
 }

@@ -38,8 +38,12 @@ struct RouterActor {
 impl Actor for RouterActor {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         if let Event::Packet { payload, .. } = event {
-            let Ok((Proto::Mcast, body)) = open(payload) else { return };
-            let Ok(msg) = McastMsg::decode(body) else { return };
+            let Ok((Proto::Mcast, body)) = open(payload) else {
+                return;
+            };
+            let Ok(msg) = McastMsg::decode(body) else {
+                return;
+            };
             let mut outs = Vec::new();
             self.state.on_message(msg, &mut outs);
             for o in outs {
@@ -62,7 +66,9 @@ struct MemberActor {
 impl Actor for MemberActor {
     fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
         if let Event::Packet { payload, .. } = event {
-            let Ok((Proto::Mcast, body)) = open(payload) else { return };
+            let Ok((Proto::Mcast, body)) = open(payload) else {
+                return;
+            };
             let Ok(McastMsg::Data { group, origin, seq, payload, .. }) = McastMsg::decode(body)
             else {
                 return;
@@ -129,10 +135,8 @@ pub fn run(routers: usize, members: usize, kill: usize, total: u32, seed: u64) -
     let sender_host = topo.add_host(HostCfg::named("s"));
     topo.attach(sender_host, net);
     let mut world = World::new(topo, seed);
-    let router_eps: Vec<Endpoint> =
-        router_hosts.iter().map(|&h| Endpoint::new(h, 5)).collect();
-    let member_eps: Vec<Endpoint> =
-        member_hosts.iter().map(|&h| Endpoint::new(h, 20)).collect();
+    let router_eps: Vec<Endpoint> = router_hosts.iter().map(|&h| Endpoint::new(h, 5)).collect();
+    let member_eps: Vec<Endpoint> = member_hosts.iter().map(|&h| Endpoint::new(h, 20)).collect();
     // Routers: fully peered, each member registered with a majority
     // (the §5.4 registration discipline).
     for (i, &h) in router_hosts.iter().enumerate() {
@@ -184,11 +188,7 @@ pub fn run(routers: usize, members: usize, kill: usize, total: u32, seed: u64) -
         world.schedule_fn(mid, move |w| w.host_down(h));
     }
     world.run_for(SimDuration::from_millis(5) * total as u64 + SimDuration::from_secs(2));
-    let min_delivered = delivered_counters
-        .iter()
-        .map(|c| *c.lock().unwrap())
-        .min()
-        .unwrap_or(0);
+    let min_delivered = delivered_counters.iter().map(|c| *c.lock().unwrap()).min().unwrap_or(0);
     let dups = *duplicates.lock().unwrap();
     E6Point { routers, killed: kill, sent: total, min_delivered, duplicates: dups }
 }

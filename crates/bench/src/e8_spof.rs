@@ -142,8 +142,16 @@ pub fn run_snipe(seed: u64) -> E8Point {
     }
     let mut world = World::new(topo, seed);
     let eps = vec![Endpoint::new(r0, ports::RC_SERVER), Endpoint::new(r1, ports::RC_SERVER)];
-    world.spawn(r0, ports::RC_SERVER, Box::new(RcServerActor::new(1, vec![eps[1]], SimDuration::from_millis(200))));
-    world.spawn(r1, ports::RC_SERVER, Box::new(RcServerActor::new(2, vec![eps[0]], SimDuration::from_millis(200))));
+    world.spawn(
+        r0,
+        ports::RC_SERVER,
+        Box::new(RcServerActor::new(1, vec![eps[1]], SimDuration::from_millis(200))),
+    );
+    world.spawn(
+        r1,
+        ports::RC_SERVER,
+        Box::new(RcServerActor::new(2, vec![eps[0]], SimDuration::from_millis(200))),
+    );
     let kill_at = SimTime::ZERO + SimDuration::from_secs(5);
     world.schedule_fn(kill_at, move |w| w.host_down(r0));
     let issued = Arc::new(Mutex::new((0u64, 0u64)));
@@ -162,7 +170,13 @@ pub fn run_snipe(seed: u64) -> E8Point {
     world.run_for(SimDuration::from_secs(13));
     let i = *issued.lock().unwrap();
     let a = *answered.lock().unwrap();
-    E8Point { system: "SNIPE (2 RC replicas)", ops_before: i.0, ok_before: a.0, ops_after: i.1, ok_after: a.1 }
+    E8Point {
+        system: "SNIPE (2 RC replicas)",
+        ops_before: i.0,
+        ok_before: a.0,
+        ops_after: i.1,
+        ok_after: a.1,
+    }
 }
 
 struct PvmLoad {
@@ -202,7 +216,9 @@ impl Actor for PvmLoad {
                 ctx.set_timer(SimDuration::from_millis(100), TIMER_TICK);
             }
             Event::Packet { from: _, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
                 let Ok(PvmMsg::LookupResp { req_id, ok, .. }) = PvmMsg::decode_from_bytes(body)
                 else {
                     return;
@@ -251,7 +267,13 @@ pub fn run_pvm(seed: u64) -> E8Point {
     world.run_for(SimDuration::from_secs(10));
     let i = *issued.lock().unwrap();
     let a = *answered.lock().unwrap();
-    E8Point { system: "PVM (single master)", ops_before: i.0, ok_before: a.0, ops_after: i.1, ok_after: a.1 }
+    E8Point {
+        system: "PVM (single master)",
+        ops_before: i.0,
+        ok_before: a.0,
+        ops_after: i.1,
+        ok_after: a.1,
+    }
 }
 
 #[cfg(test)]

@@ -131,8 +131,12 @@ fn schedule_faults(world: &mut World, ids: &[HostId], nets: [NetId; 3], sim: Sim
     for k in 0..steps {
         let at = snipe_util::time::SimTime::ZERO + step * k as u64;
         match k % 8 {
-            0 => world.schedule_fn(at, move |w| { w.set_iface_up(victim, atm, false); }),
-            1 => world.schedule_fn(at, move |w| { w.set_iface_up(victim, atm, true); }),
+            0 => world.schedule_fn(at, move |w| {
+                w.set_iface_up(victim, atm, false);
+            }),
+            1 => world.schedule_fn(at, move |w| {
+                w.set_iface_up(victim, atm, true);
+            }),
             2 => world.schedule_fn(at, move |w| w.set_net_loss(eth0, Some(0.02))),
             3 => world.schedule_fn(at, move |w| w.set_net_loss(eth0, None)),
             4 => world.schedule_fn(at, move |w| w.set_partition(eth1, 1)),

@@ -78,7 +78,12 @@ pub(crate) struct SrudpSender {
 
 const TIMER_STACK: u64 = 1;
 
-fn flush_wire(stack: &mut WireStack, gate: &mut TimerGate, ctx: &mut Ctx<'_>, delivered: &mut usize) {
+fn flush_wire(
+    stack: &mut WireStack,
+    gate: &mut TimerGate,
+    ctx: &mut Ctx<'_>,
+    delivered: &mut usize,
+) {
     for o in stack.drain() {
         match o {
             Out::Send { to, via, bytes, .. } => match via {
@@ -97,12 +102,16 @@ fn flush_wire(stack: &mut WireStack, gate: &mut TimerGate, ctx: &mut Ctx<'_>, de
 impl SrudpSender {
     fn pump_app(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         // Keep a bounded amount of payload queued in the transport so
         // the wire stays saturated without unbounded memory use.
         while self.remaining > 0 && stack_backlog(stack) < self.inflight {
             let size = self.msg_size.min(self.remaining);
-            stack.send(now, endpoint_key(self.peer), Bytes::from(vec![0xAB; size])).expect("configured frag size");
+            stack
+                .send(now, endpoint_key(self.peer), Bytes::from(vec![0xAB; size]))
+                .expect("configured frag size");
             self.remaining -= size;
         }
         let mut sink = 0;
@@ -170,7 +179,9 @@ impl Actor for SrudpReceiver {
             }
             Event::Packet { from, payload } => {
                 let now = ctx.now();
-                let Some(stack) = self.stack.as_mut() else { return };
+                let Some(stack) = self.stack.as_mut() else {
+                    return;
+                };
                 let _ = stack.on_datagram(now, from, payload);
                 // Pin our return routes toward the sender (its key was
                 // learned from the packet).
@@ -249,7 +260,9 @@ pub(crate) struct FecSender {
 impl FecSender {
     fn pump_app(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         while self.next < self.count && stack_backlog(stack) <= self.inflight {
             let msg = fec_payload(self.next, self.msg_size);
             stack.send(now, endpoint_key(self.peer), msg).expect("configured frag size");
@@ -311,7 +324,9 @@ pub(crate) struct FecReceiver {
 
 impl FecReceiver {
     fn drain_verified(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         for o in stack.drain() {
             match o {
                 Out::Send { to, via, bytes, .. } => match via {
@@ -330,14 +345,12 @@ impl FecReceiver {
                         }
                         seqs.push(i as u32);
                     } else {
-                        self.mismatches.lock().unwrap().push(format!(
-                            "runt message delivered ({} bytes)",
-                            msg.len()
-                        ));
+                        self.mismatches
+                            .lock()
+                            .unwrap()
+                            .push(format!("runt message delivered ({} bytes)", msg.len()));
                     }
-                    if seqs.len() as u64 >= self.expect
-                        && self.done_at.lock().unwrap().is_none()
-                    {
+                    if seqs.len() as u64 >= self.expect && self.done_at.lock().unwrap().is_none() {
                         *self.done_at.lock().unwrap() = Some(ctx.now());
                     }
                 }
@@ -360,7 +373,9 @@ impl Actor for FecReceiver {
             }
             Event::Packet { from, payload } => {
                 let now = ctx.now();
-                let Some(stack) = self.stack.as_mut() else { return };
+                let Some(stack) = self.stack.as_mut() else {
+                    return;
+                };
                 let _ = stack.on_datagram(now, from, payload);
                 if let Some(pin) = &self.pin {
                     for key in stack.known_peers() {
@@ -404,7 +419,9 @@ pub(crate) struct RstreamSender {
 impl RstreamSender {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         {
             let rs = stack.rstream_mut().expect("RSTREAM driver registered");
             while self.remaining > 0 && rs.unacked_bytes(self.conn) < self.inflight_cap {
@@ -425,10 +442,7 @@ impl Actor for RstreamSender {
         match event {
             Event::Start => {
                 let me = ctx.me();
-                let cfg = StackConfig {
-                    rstream: Some(self.cfg.clone()),
-                    ..StackConfig::default()
-                };
+                let cfg = StackConfig { rstream: Some(self.cfg.clone()), ..StackConfig::default() };
                 let mut stack = WireStack::new(endpoint_key(me), cfg);
                 self.conn = stack
                     .rstream_mut()
@@ -469,7 +483,9 @@ pub(crate) struct RstreamReceiver {
 
 impl RstreamReceiver {
     fn drain(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         let mut got = 0;
         flush_wire(stack, &mut self.gate, ctx, &mut got);
         if got > 0 {
@@ -487,10 +503,7 @@ impl Actor for RstreamReceiver {
         match event {
             Event::Start => {
                 let me = ctx.me();
-                let cfg = StackConfig {
-                    rstream: Some(self.cfg.clone()),
-                    ..StackConfig::default()
-                };
+                let cfg = StackConfig { rstream: Some(self.cfg.clone()), ..StackConfig::default() };
                 self.stack = Some(WireStack::new(endpoint_key(me), cfg));
             }
             Event::Packet { from, payload } => {
@@ -561,8 +574,12 @@ struct McastRouterHost {
 impl Actor for McastRouterHost {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         if let Event::Packet { payload, .. } = event {
-            let Ok((Proto::Mcast, body)) = open(payload) else { return };
-            let Ok(msg) = McastMsg::decode(body) else { return };
+            let Ok((Proto::Mcast, body)) = open(payload) else {
+                return;
+            };
+            let Ok(msg) = McastMsg::decode(body) else {
+                return;
+            };
             let mut outs = Vec::new();
             self.state.on_message(msg, &mut outs);
             for o in outs {
@@ -584,7 +601,9 @@ struct McastMemberHost {
 
 impl McastMemberHost {
     fn drain(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         for o in stack.drain() {
             match o {
                 Out::Send { to, via, bytes, .. } => match via {

@@ -13,15 +13,16 @@ pub mod ablations;
 pub mod chaos;
 pub mod chaos_shard;
 pub mod e2_mpiconnect;
-pub mod engine;
 pub mod e3_availability;
 pub mod e4_scalability;
 pub mod e5_migration;
 pub mod e6_multicast;
 pub mod e7_failover;
 pub mod e8_spof;
+pub mod engine;
 pub mod fig1;
 pub mod oracles;
+pub mod rcds_bench;
 pub mod report;
 pub mod shard_storm;
 

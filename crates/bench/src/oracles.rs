@@ -56,7 +56,12 @@ pub fn check_exactly_once_in_order(label: &str, sent: u32, delivered: &[u32]) ->
 /// Engine-boundedness: after a run the event/timer population must be
 /// bounded (steady-state timers only, no unbounded retransmit storms)
 /// and the peak queue depth must stay under a generous ceiling.
-pub fn check_engine_bounded(label: &str, world: &World, max_residual: usize, max_peak: u64) -> Vec<String> {
+pub fn check_engine_bounded(
+    label: &str,
+    world: &World,
+    max_residual: usize,
+    max_peak: u64,
+) -> Vec<String> {
     let mut v = Vec::new();
     let depth = world.queue_depth();
     if depth > max_residual {
@@ -143,7 +148,11 @@ pub fn check_fec_integrity(
 /// Receiver-side reassembly boundedness: partial-reassembly state the
 /// eviction machinery let accumulate past the cap means the bugfix
 /// regressed (an in-contract sender can always have a few in flight).
-pub fn check_reasm_bounded(label: &str, stats: &snipe_wire::srudp::SrudpStats, evicted_max: u64) -> Vec<String> {
+pub fn check_reasm_bounded(
+    label: &str,
+    stats: &snipe_wire::srudp::SrudpStats,
+    evicted_max: u64,
+) -> Vec<String> {
     if stats.reasm_evicted > evicted_max {
         vec![format!(
             "{label}: {} partial reassemblies evicted (bound {evicted_max}) — peers are \

@@ -242,7 +242,13 @@ impl ProcessActor {
         payload: MigrationPayload,
         process: Box<dyn SnipeProcess>,
     ) -> ProcessActor {
-        let mut a = ProcessActor::new(cfg, proc_key, payload.program.clone(), payload.args.clone(), process);
+        let mut a = ProcessActor::new(
+            cfg,
+            proc_key,
+            payload.program.clone(),
+            payload.args.clone(),
+            process,
+        );
         a.resume = Some(payload);
         a
     }
@@ -294,7 +300,9 @@ impl ProcessActor {
     }
 
     fn flush_stack(&mut self, ctx: &mut dyn SimCtx) {
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         let outs = stack.drain();
         let mut delivered = Vec::new();
         for o in outs {
@@ -372,7 +380,9 @@ impl ProcessActor {
         id: u64,
         result: SnipeResult<snipe_rcds::client::RcReply>,
     ) {
-        let Some(pending) = self.rc_pending.remove(&id) else { return };
+        let Some(pending) = self.rc_pending.remove(&id) else {
+            return;
+        };
         match pending {
             RcPending::Publish => {}
             RcPending::ResolvePeer { peer_key, ticket } => {
@@ -427,9 +437,9 @@ impl ProcessActor {
                 }
             }
             RcPending::PseudoLookup { name, payload } => {
-                let group = result
-                    .ok()
-                    .and_then(|r| crate::service::pseudo_process_group(&r.assertions).map(str::to_string));
+                let group = result.ok().and_then(|r| {
+                    crate::service::pseudo_process_group(&r.assertions).map(str::to_string)
+                });
                 match group {
                     Some(g) => {
                         // Fan out through the group: join implicitly
@@ -456,8 +466,7 @@ impl ProcessActor {
                         .iter()
                         .filter(|a| a.name.starts_with(ATTR_LOCATION_PREFIX))
                         .filter_map(|a| {
-                            let key: u64 =
-                                a.name[ATTR_LOCATION_PREFIX.len()..].parse().ok()?;
+                            let key: u64 = a.name[ATTR_LOCATION_PREFIX.len()..].parse().ok()?;
                             let ep = parse_endpoint(&a.value)?;
                             Some(ProcRef { key, endpoint: ep })
                         })
@@ -517,8 +526,16 @@ impl ProcessActor {
         self.flush_rc(ctx);
     }
 
-    fn on_group_routers(&mut self, ctx: &mut dyn SimCtx, name: &str, routers: Vec<Endpoint>, refresh: bool) {
-        let Some(g) = self.groups.get_mut(name) else { return };
+    fn on_group_routers(
+        &mut self,
+        ctx: &mut dyn SimCtx,
+        name: &str,
+        routers: Vec<Endpoint>,
+        refresh: bool,
+    ) {
+        let Some(g) = self.groups.get_mut(name) else {
+            return;
+        };
         if !routers.is_empty() {
             g.routers = routers.clone();
             let was_joined = g.joined;
@@ -560,11 +577,7 @@ impl ProcessActor {
     }
 
     fn on_elect_resp(&mut self, ctx: &mut dyn SimCtx, gid: u64, router: Endpoint) {
-        let Some(name) = self
-            .groups
-            .iter()
-            .find(|(_, g)| g.gid == gid)
-            .map(|(n, _)| n.clone())
+        let Some(name) = self.groups.iter().find(|(_, g)| g.gid == gid).map(|(n, _)| n.clone())
         else {
             return;
         };
@@ -572,7 +585,9 @@ impl ProcessActor {
     }
 
     fn do_send_group(&mut self, ctx: &mut dyn SimCtx, name: &str, payload: Bytes) {
-        let Some(g) = self.groups.get_mut(name) else { return };
+        let Some(g) = self.groups.get_mut(name) else {
+            return;
+        };
         if !g.joined {
             g.pending_out.push(payload);
             return;
@@ -593,7 +608,9 @@ impl ProcessActor {
             self.with_process(ctx, |p, api| p.on_group_message(api, &n, key, pl));
             self.run_commands(ctx);
         }
-        let Some(g) = self.groups.get(name) else { return };
+        let Some(g) = self.groups.get(name) else {
+            return;
+        };
         let m = majority(g.routers.len());
         for r in g.routers.iter().take(m) {
             let msg = McastMsg::Data {
@@ -621,11 +638,7 @@ impl ProcessActor {
         let Ok(McastMsg::Data { group, origin, payload, .. }) = McastMsg::decode(body) else {
             return;
         };
-        let Some(name) = self
-            .groups
-            .iter()
-            .find(|(_, g)| g.gid == group)
-            .map(|(n, _)| n.clone())
+        let Some(name) = self.groups.iter().find(|(_, g)| g.gid == group).map(|(n, _)| n.clone())
         else {
             return;
         };
@@ -719,10 +732,7 @@ impl ProcessActor {
             Command::SendProc { to_key, payload } => {
                 let now = ctx.now();
                 let wrapped = Self::wrap_app(&payload);
-                let known = self
-                    .stack
-                    .as_ref()
-                    .is_some_and(|s| s.peer_endpoint(to_key).is_some());
+                let known = self.stack.as_ref().is_some_and(|s| s.peer_endpoint(to_key).is_some());
                 if let Some(stack) = self.stack.as_mut() {
                     stack.send(now, to_key, wrapped).expect("configured frag size");
                 }
@@ -844,7 +854,9 @@ impl ProcessActor {
             Command::RegisterPseudo { name, group } => {
                 // §5.7: metadata for the pseudo-process, with the group
                 // as its communications address.
-                let Ok(uri) = Uri::parse(format!("urn:snipe:pseudo:{name}")) else { return };
+                let Ok(uri) = Uri::parse(format!("urn:snipe:pseudo:{name}")) else {
+                    return;
+                };
                 let now = ctx.now();
                 let id = self.rc.put(now, &uri, crate::service::pseudo_process_assertions(&group));
                 self.rc_pending.insert(id, RcPending::Publish);
@@ -853,7 +865,9 @@ impl ProcessActor {
                 self.flush_rc(ctx);
             }
             Command::SendPseudo { name, payload } => {
-                let Ok(uri) = Uri::parse(format!("urn:snipe:pseudo:{name}")) else { return };
+                let Ok(uri) = Uri::parse(format!("urn:snipe:pseudo:{name}")) else {
+                    return;
+                };
                 let now = ctx.now();
                 let id = self.rc.get(now, &uri);
                 self.rc_pending.insert(id, RcPending::PseudoLookup { name, payload });
@@ -913,7 +927,14 @@ impl ProcessActor {
         self.flush_rc(ctx);
     }
 
-    fn do_spawn(&mut self, ctx: &mut dyn SimCtx, ticket: u64, target: SpawnTarget, program: String, args: Bytes) {
+    fn do_spawn(
+        &mut self,
+        ctx: &mut dyn SimCtx,
+        ticket: u64,
+        target: SpawnTarget,
+        program: String,
+        args: Bytes,
+    ) {
         let me = ctx.me();
         let mut spec = SpawnSpec::program(program, args);
         spec.notify = vec![me];
@@ -975,11 +996,7 @@ impl ProcessActor {
             );
         }
         let user_state = self.process.checkpoint();
-        let stack_state = self
-            .stack
-            .as_ref()
-            .map(|s| s.export_state())
-            .unwrap_or_default();
+        let stack_state = self.stack.as_ref().map(|s| s.export_state()).unwrap_or_default();
         let payload = MigrationPayload {
             program: self.program.clone(),
             args: self.args.clone(),
@@ -995,8 +1012,18 @@ impl ProcessActor {
         ctx.send(Endpoint::new(target, ports::DAEMON), seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
-    fn on_spawn_resp(&mut self, ctx: &mut dyn SimCtx, req_id: u64, ok: bool, endpoint: Endpoint, proc_key: u64, error: String) {
-        let Some(pending) = self.spawn_pending.remove(&req_id) else { return };
+    fn on_spawn_resp(
+        &mut self,
+        ctx: &mut dyn SimCtx,
+        req_id: u64,
+        ok: bool,
+        endpoint: Endpoint,
+        proc_key: u64,
+        error: String,
+    ) {
+        let Some(pending) = self.spawn_pending.remove(&req_id) else {
+            return;
+        };
         match pending {
             SpawnPending::App { ticket } => {
                 let res = if ok {
@@ -1021,10 +1048,7 @@ impl ProcessActor {
                 if trace::enabled() {
                     trace::record(
                         ctx.now(),
-                        TraceKind::Migration {
-                            phase: MigrationPhase::Cutover,
-                            key: self.proc_key,
-                        },
+                        TraceKind::Migration { phase: MigrationPhase::Cutover, key: self.proc_key },
                     );
                 }
                 self.stack = None;
@@ -1039,7 +1063,9 @@ impl ProcessActor {
     }
 
     fn send_redirect(&mut self, ctx: &mut dyn SimCtx, to: Endpoint) {
-        let Some(new_ep) = self.redirect_to else { return };
+        let Some(new_ep) = self.redirect_to else {
+            return;
+        };
         let mut e = Encoder::new();
         e.put_u8(REDIRECT_MAGIC);
         e.put_u64(self.proc_key);
@@ -1055,7 +1081,9 @@ impl ProcessActor {
         if m != MIGRATE_MAGIC {
             return false;
         }
-        let Ok(hostname) = d.get_str() else { return true };
+        let Ok(hostname) = d.get_str() else {
+            return true;
+        };
         self.log.push((ctx.now(), format!("resource manager requests migration to {hostname}")));
         self.start_migration(ctx, hostname);
         true

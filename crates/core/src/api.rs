@@ -72,7 +72,13 @@ pub trait SnipeProcess: Send {
     }
 
     /// A multicast group message arrived (exactly once per origin/seq).
-    fn on_group_message(&mut self, api: &mut SnipeApi<'_, '_>, group: &str, origin: u64, msg: Bytes) {
+    fn on_group_message(
+        &mut self,
+        api: &mut SnipeApi<'_, '_>,
+        group: &str,
+        origin: u64,
+        msg: Bytes,
+    ) {
         let _ = (api, group, origin, msg);
     }
 
@@ -211,7 +217,12 @@ impl SnipeApi<'_, '_> {
 
     /// Start a program (§5.5). Returns a ticket resolving to the new
     /// process's [`ProcRef`].
-    pub fn spawn(&mut self, target: SpawnTarget, program: impl Into<String>, args: impl Into<Bytes>) -> u64 {
+    pub fn spawn(
+        &mut self,
+        target: SpawnTarget,
+        program: impl Into<String>,
+        args: impl Into<Bytes>,
+    ) -> u64 {
         let t = self.ticket();
         self.commands.push(Command::Spawn {
             ticket: t,
@@ -240,7 +251,11 @@ impl SnipeApi<'_, '_> {
     /// Store a file on the SNIPE file servers (§5.9). Ticketed.
     pub fn write_file(&mut self, lifn: impl Into<String>, content: impl Into<Bytes>) -> u64 {
         let t = self.ticket();
-        self.commands.push(Command::WriteFile { ticket: t, lifn: lifn.into(), content: content.into() });
+        self.commands.push(Command::WriteFile {
+            ticket: t,
+            lifn: lifn.into(),
+            content: content.into(),
+        });
         t
     }
 

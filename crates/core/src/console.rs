@@ -74,7 +74,11 @@ impl WireDecode for HttpMsg {
         }
         Ok(match dec.get_u8()? {
             1 => HttpMsg::Get { req_id: dec.get_u64()?, path: dec.get_str()? },
-            2 => HttpMsg::Resp { req_id: dec.get_u64()?, status: dec.get_u16()?, body: dec.get_str()? },
+            2 => HttpMsg::Resp {
+                req_id: dec.get_u64()?,
+                status: dec.get_u16()?,
+                body: dec.get_str()?,
+            },
             t => return Err(SnipeError::Codec(format!("unknown HTTP tag {t}"))),
         })
     }
@@ -99,7 +103,11 @@ impl ConsoleActor {
     }
 
     /// Register a page.
-    pub fn page(mut self, path: impl Into<String>, render: impl Fn() -> String + Send + 'static) -> Self {
+    pub fn page(
+        mut self,
+        path: impl Into<String>,
+        render: impl Fn() -> String + Send + 'static,
+    ) -> Self {
         self.pages.insert(path.into(), Box::new(render));
         self
     }
@@ -132,7 +140,10 @@ impl PortableActor for ConsoleActor {
         match event {
             Event::Start | Event::HostUp => {
                 if self.rc.is_none() {
-                    self.rc = Some(RcClient::new(self.rc_replicas.clone(), SimDuration::from_millis(250)));
+                    self.rc = Some(RcClient::new(
+                        self.rc_replicas.clone(),
+                        SimDuration::from_millis(250),
+                    ));
                 }
                 self.publish(ctx);
             }
@@ -144,8 +155,11 @@ impl PortableActor for ConsoleActor {
                 self.flush_rc(ctx);
             }
             Event::Packet { from, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
-                if let Ok(HttpMsg::Get { req_id, path }) = HttpMsg::decode_from_bytes(body.clone()) {
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
+                if let Ok(HttpMsg::Get { req_id, path }) = HttpMsg::decode_from_bytes(body.clone())
+                {
                     self.served += 1;
                     let resp = match self.pages.get(&path) {
                         Some(render) => HttpMsg::Resp { req_id, status: 200, body: render() },
@@ -221,7 +235,11 @@ impl BrowserActor {
                     let msg = HttpMsg::Get { req_id, path };
                     ctx.send(ep, seal(Proto::Raw, msg.encode_to_bytes()));
                 }
-                None => self.responses.lock().expect("responses poisoned").push((0, format!("resolve failed: {path}"))),
+                None => self
+                    .responses
+                    .lock()
+                    .expect("responses poisoned")
+                    .push((0, format!("resolve failed: {path}"))),
             }
         }
     }
@@ -231,7 +249,8 @@ impl PortableActor for BrowserActor {
     fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
         match event {
             Event::Start => {
-                self.rc = Some(RcClient::new(self.rc_replicas.clone(), SimDuration::from_millis(250)));
+                self.rc =
+                    Some(RcClient::new(self.rc_replicas.clone(), SimDuration::from_millis(250)));
                 if !self.script.is_empty() {
                     ctx.set_timer(self.script[0].0, TIMER_FETCH);
                 }
@@ -259,8 +278,12 @@ impl PortableActor for BrowserActor {
             }
             Event::Timer { .. } => {}
             Event::Packet { from, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
-                if let Ok(HttpMsg::Resp { status, body, .. }) = HttpMsg::decode_from_bytes(body.clone()) {
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
+                if let Ok(HttpMsg::Resp { status, body, .. }) =
+                    HttpMsg::decode_from_bytes(body.clone())
+                {
                     self.responses.lock().expect("responses poisoned").push((status, body));
                 } else if let Some(rc) = self.rc.as_mut() {
                     rc.on_packet(ctx.now(), from, body);

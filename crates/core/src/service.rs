@@ -58,10 +58,7 @@ pub fn pseudo_process_assertions(group: &str) -> Vec<Assertion> {
 
 /// Extract the group name if assertions describe a pseudo-process.
 pub fn pseudo_process_group(assertions: &[Assertion]) -> Option<&str> {
-    assertions
-        .iter()
-        .find(|a| a.name == ATTR_COMM_GROUP)
-        .map(|a| a.value.as_str())
+    assertions.iter().find(|a| a.name == ATTR_COMM_GROUP).map(|a| a.value.as_str())
 }
 
 #[cfg(test)]

@@ -144,8 +144,7 @@ impl SnipeWorldBuilder {
         let mut b = SnipeWorldBuilder::new(seed);
         let eth = b.network("utk-eth", Medium::ethernet100(), true);
         let atm = b.network("utk-atm", Medium::atm155(), false);
-        let hosts: Vec<HostId> =
-            (0..n).map(|i| b.host(&format!("host{i}"), &[eth, atm])).collect();
+        let hosts: Vec<HostId> = (0..n).map(|i| b.host(&format!("host{i}"), &[eth, atm])).collect();
         if let Some(&h0) = hosts.first() {
             b.rc_on(h0);
             b.rm_on(h0);
@@ -299,7 +298,11 @@ impl SnipeWorldBuilder {
 
 /// Install the migration shim: reconstruct the original process from
 /// the payload and resume it under the same key.
-fn register_migration_shim(registry: &ProgramRegistry, programs: &ProgramMap, proc_cfg: &ProcessConfig) {
+fn register_migration_shim(
+    registry: &ProgramRegistry,
+    programs: &ProgramMap,
+    proc_cfg: &ProcessConfig,
+) {
     let programs = programs.clone();
     let proc_cfg = proc_cfg.clone();
     // Fallible: the payload arrived over the wire, so a corrupt or
@@ -308,14 +311,10 @@ fn register_migration_shim(registry: &ProgramRegistry, programs: &ProgramMap, pr
     registry.register_fallible(MIGRATE_PROGRAM, move |sctx: &SpawnCtx| {
         let payload = MigrationPayload::decode(sctx.args.clone())
             .map_err(|e| SnipeError::Codec(format!("bad migration payload: {e}")))?;
-        let factory = programs
-            .read()
-            .expect("programs poisoned")
-            .get(&payload.program)
-            .cloned()
-            .ok_or_else(|| {
-                SnipeError::NameNotFound(format!("migrated program {:?}", payload.program))
-            })?;
+        let factory =
+            programs.read().expect("programs poisoned").get(&payload.program).cloned().ok_or_else(
+                || SnipeError::NameNotFound(format!("migrated program {:?}", payload.program)),
+            )?;
         let process = factory(payload.args.clone());
         Ok(Box::new(ProcessActor::resume_from(proc_cfg.clone(), sctx.proc_key, payload, process))
             as Box<dyn PortableActor>)
@@ -341,10 +340,7 @@ impl SnipeRuntime {
         factory: impl Fn(Bytes) -> Box<dyn SnipeProcess> + Send + Sync + 'static,
     ) {
         let factory: Arc<ProcessFactory> = Arc::new(Box::new(factory));
-        self.programs
-            .write()
-            .expect("programs poisoned")
-            .insert(name.clone(), factory.clone());
+        self.programs.write().expect("programs poisoned").insert(name.clone(), factory.clone());
         let cfg = self.proc_cfg.clone();
         let prog_name = name.clone();
         self.registry.register(name, move |sctx: &SpawnCtx| {
@@ -361,7 +357,12 @@ impl SnipeRuntime {
 
     /// Construct a root process actor for `spawn_on`, assigning it a
     /// fresh key scoped to its host.
-    fn make_root(&mut self, h: HostId, program: &str, args: Bytes) -> SnipeResult<(u64, ProcessActor)> {
+    fn make_root(
+        &mut self,
+        h: HostId,
+        program: &str,
+        args: Bytes,
+    ) -> SnipeResult<(u64, ProcessActor)> {
         let factory = self
             .programs
             .read()
@@ -372,7 +373,8 @@ impl SnipeRuntime {
         let process = factory(args.clone());
         let key = ((h.0 as u64) << 32) | self.next_root_key;
         self.next_root_key += 1;
-        let actor = ProcessActor::new(self.proc_cfg.clone(), key, program.to_string(), args, process);
+        let actor =
+            ProcessActor::new(self.proc_cfg.clone(), key, program.to_string(), args, process);
         Ok((key, actor))
     }
 }

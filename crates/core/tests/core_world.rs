@@ -142,10 +142,14 @@ impl SnipeProcess for Member {
             }
         }
     }
-    fn on_group_message(&mut self, _api: &mut SnipeApi<'_, '_>, _group: &str, origin: u64, msg: Bytes) {
-        self.log
-            .lock().unwrap()
-            .push(format!("{origin}:{}", String::from_utf8_lossy(&msg)));
+    fn on_group_message(
+        &mut self,
+        _api: &mut SnipeApi<'_, '_>,
+        _group: &str,
+        origin: u64,
+        msg: Bytes,
+    ) {
+        self.log.lock().unwrap().push(format!("{origin}:{}", String::from_utf8_lossy(&msg)));
     }
 }
 
@@ -197,7 +201,8 @@ impl SnipeProcess for FileUser {
             match result {
                 TicketResult::FileRead(Ok(content)) => self
                     .log
-                    .lock().unwrap()
+                    .lock()
+                    .unwrap()
                     .push(format!("read:{}", String::from_utf8_lossy(&content))),
                 other => self.log.lock().unwrap().push(format!("read failed: {other:?}")),
             }
@@ -240,9 +245,11 @@ impl SnipeProcess for Wanderer {
         api.set_timer(SimDuration::from_millis(100), 1);
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
-        self.log
-            .lock().unwrap()
-            .push(format!("arrived on {} with count {}", api.my_hostname(), self.count));
+        self.log.lock().unwrap().push(format!(
+            "arrived on {} with count {}",
+            api.my_hostname(),
+            self.count
+        ));
         api.set_timer(SimDuration::from_millis(100), 1);
     }
     fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, from: ProcRef, msg: Bytes) {
@@ -361,16 +368,11 @@ fn notify_list_reports_exit() {
     let child_key = *child.lock().unwrap();
     assert_ne!(child_key, 0);
     let l = log.clone();
-    w.register_process("watcher", move |_| {
-        Box::new(Watcher { target: child_key, log: l.clone() })
-    });
+    w.register_process("watcher", move |_| Box::new(Watcher { target: child_key, log: l.clone() }));
     w.spawn_on("host2", "watcher", Bytes::new()).unwrap();
     w.run_for_secs(5);
     let got = log.lock().unwrap();
-    assert!(
-        got.contains(&format!("{child_key}:exited")),
-        "watcher must hear the exit: {got:?}"
-    );
+    assert!(got.contains(&format!("{child_key}:exited")), "watcher must hear the exit: {got:?}");
 }
 
 #[test]
@@ -461,9 +463,11 @@ impl SnipeProcess for Replica {
         api.join_group("replica-pool");
     }
     fn on_group_message(&mut self, api: &mut SnipeApi<'_, '_>, _g: &str, _o: u64, msg: Bytes) {
-        self.log
-            .lock().unwrap()
-            .push(format!("{}:{}", api.my_hostname(), String::from_utf8_lossy(&msg)));
+        self.log.lock().unwrap().push(format!(
+            "{}:{}",
+            api.my_hostname(),
+            String::from_utf8_lossy(&msg)
+        ));
     }
 }
 
@@ -507,7 +511,10 @@ impl SnipeProcess for Movable {
     fn on_start(&mut self, _api: &mut SnipeApi<'_, '_>) {}
     fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, from: ProcRef, _msg: Bytes) {
         self.serving += 1;
-        api.send(from.key, format!("served#{} from {}", self.serving, api.my_hostname()).into_bytes());
+        api.send(
+            from.key,
+            format!("served#{} from {}", self.serving, api.my_hostname()).into_bytes(),
+        );
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
         self.log.lock().unwrap().push(format!("moved to {}", api.my_hostname()));
@@ -566,7 +573,11 @@ fn resource_manager_initiated_migration() {
             bytes: Bytes,
         }
         impl snipe_netsim::actor::Actor for OneShot {
-            fn on_event(&mut self, ctx: &mut snipe_netsim::actor::Ctx<'_>, event: snipe_netsim::actor::Event) {
+            fn on_event(
+                &mut self,
+                ctx: &mut snipe_netsim::actor::Ctx<'_>,
+                event: snipe_netsim::actor::Event,
+            ) {
                 if matches!(event, snipe_netsim::actor::Event::Start) {
                     ctx.send(self.to, self.bytes.clone());
                     let me = ctx.me();

@@ -55,12 +55,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            _c: self,
-            name: name.into(),
-            throughput: None,
-            sample_size: None,
-        }
+        BenchmarkGroup { _c: self, name: name.into(), throughput: None, sample_size: None }
     }
 }
 
@@ -170,8 +165,8 @@ impl Bencher {
             if el >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
                 break;
             }
-            let scale = (TARGET_SAMPLE_TIME.as_secs_f64() / el.as_secs_f64().max(1e-9))
-                .clamp(2.0, 100.0);
+            let scale =
+                (TARGET_SAMPLE_TIME.as_secs_f64() / el.as_secs_f64().max(1e-9)).clamp(2.0, 100.0);
             iters = ((iters as f64 * scale) as u64).max(iters + 1);
         }
         for _ in 0..self.samples {
@@ -204,11 +199,7 @@ impl Bencher {
         assert!(!self.results.is_empty(), "bench_function closure never called iter()");
         let mut v = self.results.clone();
         v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
-        SampleStats {
-            median_ns: v[v.len() / 2],
-            min_ns: v[0],
-            max_ns: v[v.len() - 1],
-        }
+        SampleStats { median_ns: v[v.len() / 2], min_ns: v[0], max_ns: v[v.len() - 1] }
     }
 }
 

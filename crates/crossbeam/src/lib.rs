@@ -65,8 +65,7 @@ mod tests {
     fn scoped_fork_join_borrows_stack_data() {
         let data = vec![1u32, 2, 3, 4];
         let sum = crate::thread::scope(|s| {
-            let handles: Vec<_> =
-                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
         })
         .unwrap();

@@ -375,8 +375,8 @@ impl BigUint {
     /// bases (plus a base-2 round and small-prime trial division).
     pub fn is_probable_prime(&self, rng: &mut Xoshiro256, rounds: usize) -> bool {
         const SMALL_PRIMES: [u64; 30] = [
-            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
-            83, 89, 97, 101, 103, 107, 109, 113,
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97, 101, 103, 107, 109, 113,
         ];
         if self.limbs.len() == 1 {
             let v = self.limbs[0];

@@ -88,7 +88,12 @@ pub struct Certificate {
 
 impl Certificate {
     /// Canonical bytes covered by the signature.
-    fn body_bytes(subject: &str, subject_key: &PublicKey, claims: &[CertClaim], issuer: &str) -> bytes::Bytes {
+    fn body_bytes(
+        subject: &str,
+        subject_key: &PublicKey,
+        claims: &[CertClaim],
+        issuer: &str,
+    ) -> bytes::Bytes {
         let mut enc = Encoder::new();
         enc.put_str(subject);
         subject_key.encode(&mut enc);
@@ -186,11 +191,13 @@ impl TrustStore {
     ///
     /// On success returns the certified subject key, ready to verify
     /// statements made by the subject.
-    pub fn verify<'a>(&self, purpose: TrustPurpose, cert: &'a Certificate) -> SnipeResult<&'a PublicKey> {
-        let issuer_key = self
-            .trusted
-            .get(&(purpose.tag(), cert.issuer.clone()))
-            .ok_or_else(|| {
+    pub fn verify<'a>(
+        &self,
+        purpose: TrustPurpose,
+        cert: &'a Certificate,
+    ) -> SnipeResult<&'a PublicKey> {
+        let issuer_key =
+            self.trusted.get(&(purpose.tag(), cert.issuer.clone())).ok_or_else(|| {
                 SnipeError::AuthenticationFailed(format!(
                     "issuer {} not trusted for {purpose:?}",
                     &cert.issuer[..12.min(cert.issuer.len())]
@@ -246,7 +253,8 @@ mod tests {
     #[test]
     fn tampered_claims_fail_verification() {
         let (mut rng, ca, user) = default_setup();
-        let mut cert = Certificate::issue(&mut rng, &ca, "urn:snipe:user:bob", user.public.clone(), vec![]);
+        let mut cert =
+            Certificate::issue(&mut rng, &ca, "urn:snipe:user:bob", user.public.clone(), vec![]);
         cert.claims.push(CertClaim { name: "admin".into(), value: "true".into() });
         assert!(!cert.verify_with(&ca.public));
     }
@@ -254,7 +262,8 @@ mod tests {
     #[test]
     fn trust_store_enforces_purpose() {
         let (mut rng, ca, user) = default_setup();
-        let cert = Certificate::issue(&mut rng, &ca, "urn:snipe:user:carol", user.public.clone(), vec![]);
+        let cert =
+            Certificate::issue(&mut rng, &ca, "urn:snipe:user:carol", user.public.clone(), vec![]);
         let mut store = TrustStore::new();
         store.trust(TrustPurpose::HostCertification, ca.public.clone());
         // Trusted for hosts, not users:
@@ -267,7 +276,8 @@ mod tests {
     #[test]
     fn revoked_issuer_rejected() {
         let (mut rng, ca, user) = default_setup();
-        let cert = Certificate::issue(&mut rng, &ca, "urn:snipe:user:dave", user.public.clone(), vec![]);
+        let cert =
+            Certificate::issue(&mut rng, &ca, "urn:snipe:user:dave", user.public.clone(), vec![]);
         let mut store = TrustStore::new();
         store.trust(TrustPurpose::UserCertification, ca.public.clone());
         assert!(store.verify(TrustPurpose::UserCertification, &cert).is_ok());
@@ -279,7 +289,13 @@ mod tests {
     #[test]
     fn untrusted_self_signed_rejected() {
         let (mut rng, _ca, user) = default_setup();
-        let rogue = Certificate::issue(&mut rng, &user, "urn:snipe:user:mallory", user.public.clone(), vec![]);
+        let rogue = Certificate::issue(
+            &mut rng,
+            &user,
+            "urn:snipe:user:mallory",
+            user.public.clone(),
+            vec![],
+        );
         let store = TrustStore::new();
         let err = store.verify(TrustPurpose::UserCertification, &rogue).unwrap_err();
         assert_eq!(err.kind(), "auth-failed");

@@ -27,12 +27,17 @@ fn chacha_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [
     state[2] = 0x7962_2d32;
     state[3] = 0x6b20_6574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
     }
     let mut w = state;
     for _ in 0..10 {
@@ -55,7 +60,12 @@ fn chacha_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [
 
 /// XOR `data` in place with the ChaCha20 keystream starting at block
 /// `initial_counter`. Encryption and decryption are the same operation.
-pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+pub fn chacha20_xor(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
     let mut counter = initial_counter;
     for chunk in data.chunks_mut(64) {
         let ks = chacha_block(key, counter, nonce);
@@ -80,10 +90,7 @@ mod tests {
         }
         let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let block = chacha_block(&key, 1, &nonce);
-        assert_eq!(
-            hex(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
         assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
     }
 

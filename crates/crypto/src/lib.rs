@@ -23,8 +23,8 @@
 
 pub mod bigint;
 pub mod cert;
-pub mod channel;
 pub mod chacha20;
+pub mod channel;
 pub mod group;
 pub mod hmac;
 pub mod sha256;

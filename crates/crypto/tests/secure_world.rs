@@ -59,9 +59,15 @@ impl Actor for Sender {
                 if d.get_u8() != Ok(1) {
                     return;
                 }
-                let Ok(msg) = HandshakeMsg::decode(&mut d) else { return };
-                let Some(hs) = self.pending.take() else { return };
-                let Ok(mut ch) = hs.complete(&msg, Some(&self.peer_key)) else { return };
+                let Ok(msg) = HandshakeMsg::decode(&mut d) else {
+                    return;
+                };
+                let Some(hs) = self.pending.take() else {
+                    return;
+                };
+                let Ok(mut ch) = hs.complete(&msg, Some(&self.peer_key)) else {
+                    return;
+                };
                 for text in self.to_send.drain(..) {
                     let rec = ch.seal(text.as_bytes());
                     let framed = frame_record(&rec);
@@ -86,12 +92,16 @@ struct Receiver {
 
 impl Actor for Receiver {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
-        let Event::Packet { from, payload } = event else { return };
+        let Event::Packet { from, payload } = event else {
+            return;
+        };
         let mut d = Decoder::new(payload);
         let Ok(kind) = d.get_u8() else { return };
         match kind {
             1 => {
-                let Ok(msg) = HandshakeMsg::decode(&mut d) else { return };
+                let Ok(msg) = HandshakeMsg::decode(&mut d) else {
+                    return;
+                };
                 let mut rng = Xoshiro256::seed_from_u64(200);
                 let hs = Handshake::start(&mut rng, Role::Responder, Some(&self.identity));
                 ctx.send(from, frame_handshake(hs.message()));
@@ -103,12 +113,15 @@ impl Actor for Receiver {
                 }
             }
             2 => {
-                let Ok(rec) = Record::decode(&mut d) else { return };
+                let Ok(rec) = Record::decode(&mut d) else {
+                    return;
+                };
                 if let Some(ch) = self.channel.as_mut() {
                     match ch.open(&rec) {
                         Ok(pt) => self
                             .accepted
-                            .lock().unwrap()
+                            .lock()
+                            .unwrap()
                             .push(String::from_utf8_lossy(&pt).into_owned()),
                         Err(_) => *self.rejected.lock().unwrap() += 1,
                     }

@@ -111,18 +111,26 @@ impl DaemonActor {
         }
         let done = self.rc.drain_done();
         for (id, result) in done {
-            let Some(group) = self.router_lookups.remove(&id) else { continue };
+            let Some(group) = self.router_lookups.remove(&id) else {
+                continue;
+            };
             // §5.4: a router that adds itself "registers itself with
             // more than half of the other routers for that group" — we
             // peer with every existing router, both directions.
-            let Some(&mine) = self.routing.get(&group) else { continue };
+            let Some(&mine) = self.routing.get(&group) else {
+                continue;
+            };
             let Ok(reply) = result else { continue };
             for a in &reply.assertions {
                 if !a.name.starts_with("router:") {
                     continue;
                 }
-                let Some((h, p)) = a.value.split_once(':') else { continue };
-                let (Ok(h), Ok(p)) = (h.parse::<u32>(), p.parse::<u16>()) else { continue };
+                let Some((h, p)) = a.value.split_once(':') else {
+                    continue;
+                };
+                let (Ok(h), Ok(p)) = (h.parse::<u32>(), p.parse::<u16>()) else {
+                    continue;
+                };
                 let other = Endpoint::new(snipe_util::id::HostId(h), p);
                 if other == mine {
                     continue;
@@ -175,7 +183,9 @@ impl DaemonActor {
             .map_err(|e| format!("credential rejected: {e}"))?;
         // The certificate must name this host (or any-host "*").
         match cert.claim("allowed-hosts") {
-            Some(hosts) if hosts == "*" || hosts.split(',').any(|h| h == self.cfg.hostname) => Ok(()),
+            Some(hosts) if hosts == "*" || hosts.split(',').any(|h| h == self.cfg.hostname) => {
+                Ok(())
+            }
             Some(_) => Err("credential does not cover this host".into()),
             None => Err("credential lacks allowed-hosts claim".into()),
         }
@@ -276,7 +286,8 @@ impl DaemonActor {
             ],
         );
         self.flush_rc(ctx);
-        let resp = DaemonMsg::SpawnResp { req_id, ok: true, endpoint: ep, proc_key, error: String::new() };
+        let resp =
+            DaemonMsg::SpawnResp { req_id, ok: true, endpoint: ep, proc_key, error: String::new() };
         self.send_msg(ctx, from, &resp);
     }
 
@@ -304,9 +315,7 @@ impl DaemonActor {
                 };
                 trace::record(
                     ctx.now(),
-                    TraceKind::Fault {
-                        op: FaultOp { what, a: proc_key, b: port as u64 },
-                    },
+                    TraceKind::Fault { op: FaultOp { what, a: proc_key, b: port as u64 } },
                 );
             }
             self.tasks.remove(&port);
@@ -322,7 +331,11 @@ impl DaemonActor {
             if !ctx.topology().host(ctx.host()).up {
                 return;
             }
-            let _ = ctx.spawn_portable(ctx.host(), ports::MCAST_ROUTER, Box::new(McastRouterActor::new()));
+            let _ = ctx.spawn_portable(
+                ctx.host(),
+                ports::MCAST_ROUTER,
+                Box::new(McastRouterActor::new()),
+            );
             self.routing.insert(group, ep);
             // Register as a router for the group in RC metadata and peer
             // with already-registered routers (§5.2.4/§5.4).
@@ -331,7 +344,10 @@ impl DaemonActor {
             self.rc.put(
                 now,
                 &uri,
-                vec![Assertion::new(format!("router:{}:{}", ep.host.0, ep.port), format!("{}:{}", ep.host.0, ep.port))],
+                vec![Assertion::new(
+                    format!("router:{}:{}", ep.host.0, ep.port),
+                    format!("{}:{}", ep.host.0, ep.port),
+                )],
             );
             // Discover and peer with the routers that beat us here.
             let lookup = self.rc.get(now, &uri);

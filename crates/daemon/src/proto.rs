@@ -314,7 +314,9 @@ impl WireDecode for DaemonMsg {
             return Err(SnipeError::Codec("not a daemon message".into()));
         }
         Ok(match dec.get_u8()? {
-            T_SPAWN_REQ => DaemonMsg::SpawnReq { req_id: dec.get_u64()?, spec: SpawnSpec::decode(dec)? },
+            T_SPAWN_REQ => {
+                DaemonMsg::SpawnReq { req_id: dec.get_u64()?, spec: SpawnSpec::decode(dec)? }
+            }
             T_SPAWN_RESP => DaemonMsg::SpawnResp {
                 req_id: dec.get_u64()?,
                 ok: dec.get_bool()?,
@@ -333,7 +335,9 @@ impl WireDecode for DaemonMsg {
                 state: TaskState::from_tag(dec.get_u8()?)?,
             },
             T_ELECT => DaemonMsg::ElectRouter { group: dec.get_u64()? },
-            T_ELECT_RESP => DaemonMsg::ElectResp { group: dec.get_u64()?, router: get_endpoint(dec)? },
+            T_ELECT_RESP => {
+                DaemonMsg::ElectResp { group: dec.get_u64()?, router: get_endpoint(dec)? }
+            }
             T_WATCH => DaemonMsg::Watch { port: dec.get_u16()?, watcher: get_endpoint(dec)? },
             T_DETACH => DaemonMsg::Detach { port: dec.get_u16()? },
             T_DETACH_RESP => {

@@ -73,7 +73,10 @@ impl Actor for Driver {
     }
 }
 
-fn world_with_daemon(registry: ProgramRegistry, trust: Option<TrustStore>) -> (World, HostId, HostId) {
+fn world_with_daemon(
+    registry: ProgramRegistry,
+    trust: Option<TrustStore>,
+) -> (World, HostId, HostId) {
     let mut topo = Topology::new();
     let net = topo.add_network("lan", Medium::ethernet100(), true);
     let rc_host = topo.add_host(HostCfg::named("rc0"));
@@ -83,7 +86,11 @@ fn world_with_daemon(registry: ProgramRegistry, trust: Option<TrustStore>) -> (W
         topo.attach(h, net);
     }
     let mut world = World::new(topo, 7);
-    world.spawn(rc_host, ports::RC_SERVER, Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))));
+    world.spawn(
+        rc_host,
+        ports::RC_SERVER,
+        Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))),
+    );
     let mut cfg = DaemonConfig::new("worker", vec![Endpoint::new(rc_host, ports::RC_SERVER)]);
     cfg.trust = trust;
     world.spawn(worker, ports::DAEMON, Box::new(DaemonActor::new(cfg, registry)));
@@ -93,7 +100,8 @@ fn world_with_daemon(registry: ProgramRegistry, trust: Option<TrustStore>) -> (W
 #[test]
 fn spawn_runs_task_and_reports_exit_to_notify_list() {
     let registry = ProgramRegistry::new();
-    registry.register("short", |_| Box::new(ShortLived { lifetime: SimDuration::from_millis(100) }));
+    registry
+        .register("short", |_| Box::new(ShortLived { lifetime: SimDuration::from_millis(100) }));
     let (mut world, worker, client) = world_with_daemon(registry, None);
     let log = Arc::new(Mutex::new(Vec::new()));
     let driver_ep = Endpoint::new(client, 40);
@@ -119,9 +127,9 @@ fn spawn_runs_task_and_reports_exit_to_notify_list() {
         .expect("spawn response");
     assert!(resp.0, "spawn must succeed");
     assert!(resp.1 > 0);
-    let exited = log.iter().any(
-        |m| matches!(m, DaemonMsg::TaskEvent { state: TaskState::Exited, proc_key } if *proc_key == resp.1),
-    );
+    let exited = log
+        .iter()
+        .any(|m| matches!(m, DaemonMsg::TaskEvent { state: TaskState::Exited, proc_key } if *proc_key == resp.1));
     assert!(exited, "notify list must hear about the exit: {log:?}");
 }
 
@@ -140,10 +148,7 @@ fn unknown_program_rejected() {
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_millis(500));
     let log = log.lock().unwrap();
-    assert!(log.iter().any(|m| matches!(
-        m,
-        DaemonMsg::SpawnResp { req_id: 9, ok: false, .. }
-    )));
+    assert!(log.iter().any(|m| matches!(m, DaemonMsg::SpawnResp { req_id: 9, ok: false, .. })));
 }
 
 #[test]
@@ -266,7 +271,11 @@ fn host_crash_reports_crashed_tasks_on_reboot() {
     let mut spec = SpawnSpec::program("long", Bytes::new());
     spec.notify = vec![Endpoint::new(client, 40)];
     let driver = Driver {
-        script: vec![(SimDuration::from_millis(10), daemon_ep, DaemonMsg::SpawnReq { req_id: 1, spec })],
+        script: vec![(
+            SimDuration::from_millis(10),
+            daemon_ep,
+            DaemonMsg::SpawnReq { req_id: 1, spec },
+        )],
         log: log.clone(),
     };
     world.spawn(client, 40, Box::new(driver));

@@ -16,9 +16,11 @@
 //! Files are named by LIFN; every stored file carries its SHA-256 so
 //! replicas and readers can verify integrity (§2.1).
 
+pub mod fetch;
 pub mod proto;
 pub mod server;
 pub mod sink;
 
+pub use fetch::{rank_replicas, FetchActor, FetchStats, StripedFetch};
 pub use proto::FileMsg;
 pub use server::{FileServerActor, FileServerConfig};

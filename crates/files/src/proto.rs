@@ -118,6 +118,34 @@ pub enum FileMsg {
         /// File name.
         lifn: String,
     },
+    /// Read one byte range of a file (striped parallel reads pull
+    /// different ranges from different replicas).
+    ReadStripe {
+        /// Echoed id (unique per stripe attempt).
+        req_id: u64,
+        /// File name.
+        lifn: String,
+        /// Byte offset of the stripe.
+        offset: u32,
+        /// Requested stripe length (the reply may be shorter at EOF).
+        len: u32,
+    },
+    /// Stripe read outcome.
+    StripeData {
+        /// Echoed id.
+        req_id: u64,
+        /// Found (and range valid)?
+        ok: bool,
+        /// Echoed stripe offset.
+        offset: u32,
+        /// Total file length — lets the first stripe reply size the
+        /// whole fetch plan.
+        total_len: u32,
+        /// Stripe bytes (when ok).
+        data: Bytes,
+        /// SHA-256 of `data` (per-stripe integrity check, when ok).
+        hash: Bytes,
+    },
 }
 
 const T_OPEN_SINK: u8 = 1;
@@ -133,6 +161,8 @@ const T_STORE_REQ: u8 = 10;
 const T_STORE_RESP: u8 = 11;
 const T_REPLICA_PUSH: u8 = 12;
 const T_REPLICA_ACK: u8 = 13;
+const T_READ_STRIPE: u8 = 14;
+const T_STRIPE_DATA: u8 = 15;
 
 impl WireEncode for FileMsg {
     fn encode(&self, enc: &mut Encoder) {
@@ -204,6 +234,22 @@ impl WireEncode for FileMsg {
                 enc.put_u8(T_REPLICA_ACK);
                 enc.put_str(lifn);
             }
+            FileMsg::ReadStripe { req_id, lifn, offset, len } => {
+                enc.put_u8(T_READ_STRIPE);
+                enc.put_u64(*req_id);
+                enc.put_str(lifn);
+                enc.put_u32(*offset);
+                enc.put_u32(*len);
+            }
+            FileMsg::StripeData { req_id, ok, offset, total_len, data, hash } => {
+                enc.put_u8(T_STRIPE_DATA);
+                enc.put_u64(*req_id);
+                enc.put_bool(*ok);
+                enc.put_u32(*offset);
+                enc.put_u32(*total_len);
+                enc.put_bytes(data);
+                enc.put_bytes(hash);
+            }
         }
     }
 }
@@ -218,7 +264,9 @@ impl WireDecode for FileMsg {
             T_SINK_OPENED => FileMsg::SinkOpened { req_id: dec.get_u64()?, sink: get_ep(dec)? },
             T_APPEND => FileMsg::Append { data: dec.get_bytes()? },
             T_CLOSE_SINK => FileMsg::CloseSink,
-            T_STORE_LOCAL => FileMsg::StoreLocal { lifn: dec.get_str()?, content: dec.get_bytes()? },
+            T_STORE_LOCAL => {
+                FileMsg::StoreLocal { lifn: dec.get_str()?, content: dec.get_bytes()? }
+            }
             T_OPEN_SOURCE => FileMsg::OpenSource {
                 req_id: dec.get_u64()?,
                 lifn: dec.get_str()?,
@@ -249,6 +297,20 @@ impl WireDecode for FileMsg {
                 hash: dec.get_bytes()?,
             },
             T_REPLICA_ACK => FileMsg::ReplicaAck { lifn: dec.get_str()? },
+            T_READ_STRIPE => FileMsg::ReadStripe {
+                req_id: dec.get_u64()?,
+                lifn: dec.get_str()?,
+                offset: dec.get_u32()?,
+                len: dec.get_u32()?,
+            },
+            T_STRIPE_DATA => FileMsg::StripeData {
+                req_id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                offset: dec.get_u32()?,
+                total_len: dec.get_u32()?,
+                data: dec.get_bytes()?,
+                hash: dec.get_bytes()?,
+            },
             t => return Err(SnipeError::Codec(format!("unknown file tag {t}"))),
         })
     }
@@ -267,13 +329,36 @@ mod tests {
             FileMsg::CloseSink,
             FileMsg::StoreLocal { lifn: "l".into(), content: Bytes::from_static(b"c") },
             FileMsg::OpenSource { req_id: 2, lifn: "l".into(), dest: Endpoint::new(HostId(2), 3) },
-            FileMsg::SourceData { lifn: "l".into(), seq: 0, data: Bytes::from_static(b"d"), last: true },
+            FileMsg::SourceData {
+                lifn: "l".into(),
+                seq: 0,
+                data: Bytes::from_static(b"d"),
+                last: true,
+            },
             FileMsg::ReadReq { req_id: 3, lifn: "l".into() },
-            FileMsg::ReadResp { req_id: 3, ok: true, content: Bytes::from_static(b"c"), hash: Bytes::from_static(&[0; 32]) },
+            FileMsg::ReadResp {
+                req_id: 3,
+                ok: true,
+                content: Bytes::from_static(b"c"),
+                hash: Bytes::from_static(&[0; 32]),
+            },
             FileMsg::StoreReq { req_id: 4, lifn: "l".into(), content: Bytes::from_static(b"c") },
             FileMsg::StoreResp { req_id: 4, ok: true },
-            FileMsg::ReplicaPush { lifn: "l".into(), content: Bytes::from_static(b"c"), hash: Bytes::from_static(&[1; 32]) },
+            FileMsg::ReplicaPush {
+                lifn: "l".into(),
+                content: Bytes::from_static(b"c"),
+                hash: Bytes::from_static(&[1; 32]),
+            },
             FileMsg::ReplicaAck { lifn: "l".into() },
+            FileMsg::ReadStripe { req_id: 5, lifn: "l".into(), offset: 4096, len: 1024 },
+            FileMsg::StripeData {
+                req_id: 5,
+                ok: true,
+                offset: 4096,
+                total_len: 9000,
+                data: Bytes::from_static(b"stripe"),
+                hash: Bytes::from_static(&[2; 32]),
+            },
         ];
         for m in msgs {
             assert_eq!(FileMsg::decode_from_bytes(m.encode_to_bytes()).unwrap(), m);

@@ -75,18 +75,32 @@ pub struct FileServerActor {
     files: HashMap<String, Stored>,
     /// Integrity rejections observed (diagnostics).
     pub rejected_pushes: u64,
+    /// Reliable-path payloads that failed to decode as file messages.
+    pub decode_drops: u64,
 }
 
 impl FileServerActor {
     /// New server.
     pub fn new(cfg: FileServerConfig) -> FileServerActor {
         let rc = RcClient::new(cfg.rc_replicas.clone(), SimDuration::from_millis(250));
-        FileServerActor { cfg, rc, stack: None, stack_gate: TimerGate::new(), rc_gate: TimerGate::new(), files: HashMap::new(), rejected_pushes: 0 }
+        FileServerActor {
+            cfg,
+            rc,
+            stack: None,
+            stack_gate: TimerGate::new(),
+            rc_gate: TimerGate::new(),
+            files: HashMap::new(),
+            rejected_pushes: 0,
+            decode_drops: 0,
+        }
     }
 
     fn flush_stack(&mut self, ctx: &mut dyn SimCtx) -> Vec<(u64, Endpoint, FileMsg)> {
         let mut delivered = Vec::new();
-        let Some(stack) = self.stack.as_mut() else { return delivered };
+        let mut drops = 0u64;
+        let Some(stack) = self.stack.as_mut() else {
+            return delivered;
+        };
         for o in stack.drain() {
             match o {
                 Out::Send { to, via, bytes, .. } => match via {
@@ -94,14 +108,16 @@ impl FileServerActor {
                     None => ctx.send(to, bytes),
                 },
                 Out::Deliver { from_key, from_ep, msg, .. } => {
-                    if let Ok(m) = FileMsg::decode_from_bytes(msg) {
-                        delivered.push((from_key, from_ep, m));
+                    match FileMsg::decode_from_bytes(msg) {
+                        Ok(m) => delivered.push((from_key, from_ep, m)),
+                        Err(_) => drops += 1,
                     }
                 }
                 Out::Wake { .. } => {}
             }
         }
         let deadline = stack.next_deadline();
+        self.decode_drops += drops;
         if let Some(dl) = deadline {
             self.stack_gate.arm_at(ctx, dl + SimDuration::from_micros(1), TIMER_STACK);
         }
@@ -114,6 +130,16 @@ impl FileServerActor {
             stack.send(now, to_key, msg.encode_to_bytes()).expect("default frag size");
         }
         let _ = self.flush_stack(ctx);
+    }
+
+    /// Pre-load a file before the world starts (models the server's
+    /// disk contents, which survive a process crash/restart exactly as
+    /// the paper's disk-backed servers do). No RC registration happens
+    /// here — callers that need the location published store normally.
+    pub fn preload(&mut self, lifn: impl Into<String>, content: Bytes) {
+        let hash = sha256(&content);
+        self.files
+            .insert(lifn.into(), Stored { content, hash, replicas: self.cfg.replication_factor });
     }
 
     /// Number of files held.
@@ -139,14 +165,19 @@ impl FileServerActor {
     fn register_replica(&mut self, ctx: &mut dyn SimCtx, lifn: &str, hash: &[u8]) {
         // Name-to-location binding in RC (§3.2): one attribute per
         // replica location, plus the integrity hash.
-        let Ok(uri) = Uri::parse(lifn.to_string()) else { return };
+        let Ok(uri) = Uri::parse(lifn.to_string()) else {
+            return;
+        };
         let me = ctx.me();
         let now = ctx.now();
         self.rc.put(
             now,
             &uri,
             vec![
-                Assertion::new(format!("replica:{}", self.cfg.name), format!("{}:{}", me.host.0, me.port)),
+                Assertion::new(
+                    format!("replica:{}", self.cfg.name),
+                    format!("{}:{}", me.host.0, me.port),
+                ),
                 Assertion::new("sha256", snipe_crypto::sha256::hex(hash)),
                 Assertion::new("type", "file"),
             ],
@@ -273,7 +304,13 @@ impl FileServerActor {
     }
 
     /// Reliable-path file operations.
-    fn handle_file_msg(&mut self, ctx: &mut dyn SimCtx, from_key: u64, _from_ep: Endpoint, msg: FileMsg) {
+    fn handle_file_msg(
+        &mut self,
+        ctx: &mut dyn SimCtx,
+        from_key: u64,
+        _from_ep: Endpoint,
+        msg: FileMsg,
+    ) {
         match msg {
             FileMsg::OpenSink { req_id, lifn } => {
                 let me = ctx.me();
@@ -316,6 +353,36 @@ impl FileServerActor {
                 };
                 self.reliable_send(ctx, from_key, &resp);
             }
+            FileMsg::ReadStripe { req_id, lifn, offset, len } => {
+                // One stripe of a striped read: the slice plus its own
+                // hash, so the fetcher can verify each stripe
+                // independently and re-dispatch just the bad ones.
+                let resp = match self.files.get(&lifn) {
+                    Some(s) if (offset as usize) < s.content.len() || offset == 0 => {
+                        let start = offset as usize;
+                        let end = (start + len as usize).min(s.content.len());
+                        let data = s.content.slice(start..end);
+                        let hash = sha256(&data);
+                        FileMsg::StripeData {
+                            req_id,
+                            ok: true,
+                            offset,
+                            total_len: s.content.len() as u32,
+                            data,
+                            hash: Bytes::copy_from_slice(&hash),
+                        }
+                    }
+                    _ => FileMsg::StripeData {
+                        req_id,
+                        ok: false,
+                        offset,
+                        total_len: 0,
+                        data: Bytes::new(),
+                        hash: Bytes::new(),
+                    },
+                };
+                self.reliable_send(ctx, from_key, &resp);
+            }
             FileMsg::StoreReq { req_id, lifn, content } => {
                 self.store(ctx, lifn, content);
                 let resp = FileMsg::StoreResp { req_id, ok: true };
@@ -345,7 +412,8 @@ impl FileServerActor {
             | FileMsg::CloseSink
             | FileMsg::SourceData { .. }
             | FileMsg::ReadResp { .. }
-            | FileMsg::StoreResp { .. } => {}
+            | FileMsg::StoreResp { .. }
+            | FileMsg::StripeData { .. } => {}
         }
     }
 }

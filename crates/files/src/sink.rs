@@ -28,9 +28,15 @@ impl FileSinkActor {
 
 impl PortableActor for FileSinkActor {
     fn on_event(&mut self, ctx: &mut dyn SimCtx, event: Event) {
-        let Event::Packet { payload, .. } = event else { return };
-        let Ok((Proto::Raw, body)) = open(payload) else { return };
-        let Ok(msg) = FileMsg::decode_from_bytes(body) else { return };
+        let Event::Packet { payload, .. } = event else {
+            return;
+        };
+        let Ok((Proto::Raw, body)) = open(payload) else {
+            return;
+        };
+        let Ok(msg) = FileMsg::decode_from_bytes(body) else {
+            return;
+        };
         match msg {
             FileMsg::Append { data } => self.buf.extend_from_slice(&data),
             FileMsg::CloseSink => {

@@ -44,7 +44,9 @@ impl StackDriver {
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(stack) = self.stack.as_mut() else { return };
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
         for o in stack.drain() {
             match o {
                 Out::Send { to, via, bytes, .. } => match via {
@@ -105,7 +107,9 @@ impl Actor for StackDriver {
             Event::Packet { from, payload } => {
                 let now = ctx.now();
                 if let Some(stack) = self.stack.as_mut() {
-                    if let Ok(Some(Incoming::Raw { msg, .. })) = stack.on_datagram(now, from, payload) {
+                    if let Ok(Some(Incoming::Raw { msg, .. })) =
+                        stack.on_datagram(now, from, payload)
+                    {
                         if let Ok(m) = FileMsg::decode_from_bytes(msg) {
                             self.log.lock().unwrap().push(m);
                         }
@@ -133,7 +137,11 @@ fn build(servers: usize) -> (World, Vec<Endpoint>, snipe_util::id::HostId) {
     let client = topo.add_host(HostCfg::named("client"));
     topo.attach(client, net);
     let mut world = World::new(topo, 3);
-    world.spawn(rc_host, ports::RC_SERVER, Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))));
+    world.spawn(
+        rc_host,
+        ports::RC_SERVER,
+        Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))),
+    );
     for (i, ep) in eps.iter().enumerate() {
         let peers: Vec<Endpoint> = eps.iter().copied().filter(|e| e != ep).collect();
         let cfg = FileServerConfig::new(format!("fs{i}"), vec![rc_ep], peers);
@@ -151,15 +159,28 @@ fn store_and_read_round_trip_with_hash() {
         vec![
             (
                 SimDuration::from_millis(10),
-                Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:data".into(), content: content.clone() }),
+                Step::Reliable(
+                    eps[0],
+                    FileMsg::StoreReq {
+                        req_id: 1,
+                        lifn: "lifn:snipe:file:data".into(),
+                        content: content.clone(),
+                    },
+                ),
             ),
             (
                 SimDuration::from_millis(50),
-                Step::Reliable(eps[0], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:data".into() }),
+                Step::Reliable(
+                    eps[0],
+                    FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:data".into() },
+                ),
             ),
             (
                 SimDuration::from_millis(10),
-                Step::Reliable(eps[0], FileMsg::ReadReq { req_id: 3, lifn: "lifn:snipe:file:missing".into() }),
+                Step::Reliable(
+                    eps[0],
+                    FileMsg::ReadReq { req_id: 3, lifn: "lifn:snipe:file:missing".into() },
+                ),
             ),
         ],
         log.clone(),
@@ -171,7 +192,9 @@ fn store_and_read_round_trip_with_hash() {
     let read = log
         .iter()
         .find_map(|m| match m {
-            FileMsg::ReadResp { req_id: 2, ok: true, content, hash } => Some((content.clone(), hash.clone())),
+            FileMsg::ReadResp { req_id: 2, ok: true, content, hash } => {
+                Some((content.clone(), hash.clone()))
+            }
             _ => None,
         })
         .expect("read response");
@@ -187,14 +210,18 @@ fn sink_accumulates_and_file_becomes_readable() {
     let driver = StackDriver::new(
         vec![(
             SimDuration::from_millis(10),
-            Step::Reliable(eps[0], FileMsg::OpenSink { req_id: 1, lifn: "lifn:snipe:file:log".into() }),
+            Step::Reliable(
+                eps[0],
+                FileMsg::OpenSink { req_id: 1, lifn: "lifn:snipe:file:log".into() },
+            ),
         )],
         log.clone(),
     );
     world.spawn(client, 40, Box::new(driver));
     world.run_for(SimDuration::from_millis(200));
     let sink = log
-        .lock().unwrap()
+        .lock()
+        .unwrap()
         .iter()
         .find_map(|m| match m {
             FileMsg::SinkOpened { req_id: 1, sink } => Some(*sink),
@@ -203,10 +230,22 @@ fn sink_accumulates_and_file_becomes_readable() {
         .expect("sink opened");
     let driver2 = StackDriver::new(
         vec![
-            (SimDuration::from_millis(1), Step::Raw(sink, FileMsg::Append { data: Bytes::from_static(b"hello ") })),
-            (SimDuration::from_millis(1), Step::Raw(sink, FileMsg::Append { data: Bytes::from_static(b"world") })),
+            (
+                SimDuration::from_millis(1),
+                Step::Raw(sink, FileMsg::Append { data: Bytes::from_static(b"hello ") }),
+            ),
+            (
+                SimDuration::from_millis(1),
+                Step::Raw(sink, FileMsg::Append { data: Bytes::from_static(b"world") }),
+            ),
             (SimDuration::from_millis(1), Step::Raw(sink, FileMsg::CloseSink)),
-            (SimDuration::from_millis(50), Step::Reliable(eps[0], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:log".into() })),
+            (
+                SimDuration::from_millis(50),
+                Step::Reliable(
+                    eps[0],
+                    FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:log".into() },
+                ),
+            ),
         ],
         log.clone(),
     );
@@ -234,11 +273,21 @@ fn source_streams_file_to_destination() {
         vec![
             (
                 SimDuration::from_millis(10),
-                Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:big".into(), content: content.clone() }),
+                Step::Reliable(
+                    eps[0],
+                    FileMsg::StoreReq {
+                        req_id: 1,
+                        lifn: "lifn:snipe:file:big".into(),
+                        content: content.clone(),
+                    },
+                ),
             ),
             (
                 SimDuration::from_millis(100),
-                Step::Reliable(eps[0], FileMsg::OpenSource { req_id: 2, lifn: "lifn:snipe:file:big".into(), dest }),
+                Step::Reliable(
+                    eps[0],
+                    FileMsg::OpenSource { req_id: 2, lifn: "lifn:snipe:file:big".into(), dest },
+                ),
             ),
         ],
         log.clone(),
@@ -267,7 +316,14 @@ fn replication_daemon_copies_to_peer() {
     let driver = StackDriver::new(
         vec![(
             SimDuration::from_millis(10),
-            Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:repl".into(), content: Bytes::from_static(b"replicate me") }),
+            Step::Reliable(
+                eps[0],
+                FileMsg::StoreReq {
+                    req_id: 1,
+                    lifn: "lifn:snipe:file:repl".into(),
+                    content: Bytes::from_static(b"replicate me"),
+                },
+            ),
         )],
         log.clone(),
     );
@@ -277,7 +333,10 @@ fn replication_daemon_copies_to_peer() {
     let driver2 = StackDriver::new(
         vec![(
             SimDuration::from_millis(1),
-            Step::Reliable(eps[1], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:repl".into() }),
+            Step::Reliable(
+                eps[1],
+                FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:repl".into() },
+            ),
         )],
         log2.clone(),
     );
@@ -292,13 +351,110 @@ fn replication_daemon_copies_to_peer() {
 }
 
 #[test]
+fn striped_read_assembles_across_replicas() {
+    let (mut world, eps, client) = build(3);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let content = Bytes::from((0..20_000u32).map(|i| (i * 31 % 251) as u8).collect::<Vec<u8>>());
+    // Seed the same file on every replica so the fetcher can stripe.
+    let script = eps
+        .iter()
+        .map(|&ep| {
+            (
+                SimDuration::from_millis(10),
+                Step::Reliable(
+                    ep,
+                    FileMsg::StoreReq {
+                        req_id: 1,
+                        lifn: "lifn:snipe:file:striped".into(),
+                        content: content.clone(),
+                    },
+                ),
+            )
+        })
+        .collect();
+    world.spawn(client, 40, Box::new(StackDriver::new(script, log.clone())));
+    world.run_for(SimDuration::from_secs(1));
+    let fetcher = snipe_files::FetchActor::new(
+        "lifn:snipe:file:striped",
+        eps.clone(),
+        4096,
+        SimDuration::from_millis(5),
+    );
+    world.spawn(client, 50, Box::new(fetcher));
+    world.run_for(SimDuration::from_secs(3));
+    let fa = world
+        .portable_ref::<snipe_files::FetchActor>(Endpoint::new(client, 50))
+        .expect("fetch actor alive");
+    assert_eq!(fa.result.as_ref(), Some(&content), "striped fetch must reassemble the file");
+    assert!(!fa.failed);
+    // 20 000 bytes / 4096 ⇒ 5 stripes, each completed exactly once.
+    let mut sorted = fa.completions.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    assert_eq!(fa.stats.stripes_completed, 5);
+    assert_eq!(fa.stats.integrity_rejects, 0);
+}
+
+#[test]
+fn striped_read_survives_replica_death_mid_transfer() {
+    let (mut world, eps, client) = build(3);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let content = Bytes::from((0..40_000u32).map(|i| (i * 13 % 241) as u8).collect::<Vec<u8>>());
+    let script = eps
+        .iter()
+        .map(|&ep| {
+            (
+                SimDuration::from_millis(10),
+                Step::Reliable(
+                    ep,
+                    FileMsg::StoreReq {
+                        req_id: 1,
+                        lifn: "lifn:snipe:file:hardy".into(),
+                        content: content.clone(),
+                    },
+                ),
+            )
+        })
+        .collect();
+    world.spawn(client, 40, Box::new(StackDriver::new(script, log.clone())));
+    world.run_for(SimDuration::from_secs(1));
+    let fetcher = snipe_files::FetchActor::new(
+        "lifn:snipe:file:hardy",
+        eps.clone(),
+        4096,
+        SimDuration::from_millis(5),
+    );
+    world.spawn(client, 50, Box::new(fetcher));
+    // Let the fetch start, then kill one replica mid-transfer; its
+    // stripes must be re-dispatched to the survivors.
+    world.run_for(SimDuration::from_millis(8));
+    world.host_down(eps[1].host);
+    world.run_for(SimDuration::from_secs(8));
+    let fa = world
+        .portable_ref::<snipe_files::FetchActor>(Endpoint::new(client, 50))
+        .expect("fetch actor alive");
+    assert_eq!(fa.result.as_ref(), Some(&content), "fetch must survive a replica crash");
+    let mut sorted = fa.completions.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), fa.completions.len(), "no stripe completed twice");
+}
+
+#[test]
 fn replica_survives_origin_server_death() {
     let (mut world, eps, client) = build(2);
     let log = Arc::new(Mutex::new(Vec::new()));
     let driver = StackDriver::new(
         vec![(
             SimDuration::from_millis(10),
-            Step::Reliable(eps[0], FileMsg::StoreReq { req_id: 1, lifn: "lifn:snipe:file:ckpt".into(), content: Bytes::from_static(b"checkpoint") }),
+            Step::Reliable(
+                eps[0],
+                FileMsg::StoreReq {
+                    req_id: 1,
+                    lifn: "lifn:snipe:file:ckpt".into(),
+                    content: Bytes::from_static(b"checkpoint"),
+                },
+            ),
         )],
         log.clone(),
     );
@@ -309,12 +465,19 @@ fn replica_survives_origin_server_death() {
     let driver2 = StackDriver::new(
         vec![(
             SimDuration::from_millis(1),
-            Step::Reliable(eps[1], FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:ckpt".into() }),
+            Step::Reliable(
+                eps[1],
+                FileMsg::ReadReq { req_id: 2, lifn: "lifn:snipe:file:ckpt".into() },
+            ),
         )],
         log2.clone(),
     );
     world.spawn(client, 41, Box::new(driver2));
     world.run_for(SimDuration::from_secs(2));
-    let ok = log2.lock().unwrap().iter().any(|m| matches!(m, FileMsg::ReadResp { req_id: 2, ok: true, .. }));
+    let ok = log2
+        .lock()
+        .unwrap()
+        .iter()
+        .any(|m| matches!(m, FileMsg::ReadResp { req_id: 2, ok: true, .. }));
     assert!(ok, "surviving replica must serve the file");
 }

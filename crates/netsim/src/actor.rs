@@ -120,12 +120,7 @@ impl<'w> Ctx<'w> {
     ///
     /// Returns the endpoint, or `None` if the port is taken or host
     /// unknown.
-    pub fn spawn(
-        &mut self,
-        host: HostId,
-        port: u16,
-        actor: Box<dyn Actor>,
-    ) -> Option<Endpoint> {
+    pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn Actor>) -> Option<Endpoint> {
         self.world.spawn(host, port, actor)
     }
 
@@ -296,11 +291,7 @@ impl Actor for OnWorld {
 macro_rules! portable_actor {
     ($ty:ty) => {
         impl $crate::actor::Actor for $ty {
-            fn on_event(
-                &mut self,
-                ctx: &mut $crate::actor::Ctx<'_>,
-                event: $crate::actor::Event,
-            ) {
+            fn on_event(&mut self, ctx: &mut $crate::actor::Ctx<'_>, event: $crate::actor::Event) {
                 $crate::actor::PortableActor::on_event(self, ctx, event);
             }
         }

@@ -82,13 +82,7 @@ pub enum ChaosOp {
     IfaceFlap { iface: u8, at: SimTime, down_for: SimDuration },
     /// Degrade a network without loss: latency multiplied, bandwidth
     /// divided — the failure mode timeout escalation handles worst.
-    Gray {
-        net: u8,
-        at: SimTime,
-        duration: SimDuration,
-        latency_factor: f64,
-        bandwidth_factor: f64,
-    },
+    Gray { net: u8, at: SimTime, duration: SimDuration, latency_factor: f64, bandwidth_factor: f64 },
     /// Raise the loss rate on a network for a while.
     LossBurst { net: u8, at: SimTime, duration: SimDuration, loss: f64 },
     /// Move a network into partition `group`, heal back to 0.
@@ -207,7 +201,11 @@ impl ChaosPlan {
         let limit = SimTime::from_nanos((h as f64 * 0.9) as u64);
         let span_of = |rng: &mut Xoshiro256, at: SimTime| {
             let d = SimDuration::from_nanos(((h as f64) * (0.02 + 0.15 * rng.gen_f64())) as u64);
-            if at + d > limit { limit.since(at) } else { d }
+            if at + d > limit {
+                limit.since(at)
+            } else {
+                d
+            }
         };
 
         // Which op classes the shape allows.
@@ -266,10 +264,9 @@ impl ChaosPlan {
                         duration: span_of(&mut rng, at),
                         group: 1 + rng.gen_range(3) as u32,
                     },
-                    _ => ChaosOp::ProcRestart {
-                        proc: (rng.gen_range(shape.procs as u64)) as u8,
-                        at,
-                    },
+                    _ => {
+                        ChaosOp::ProcRestart { proc: (rng.gen_range(shape.procs as u64)) as u8, at }
+                    }
                 };
                 ops.push(op);
             }
@@ -461,14 +458,7 @@ mod tests {
     use crate::topology::{HostCfg, Topology};
 
     fn shape() -> ChaosShape {
-        ChaosShape {
-            hosts: 2,
-            nets: 2,
-            ifaces: 4,
-            procs: 2,
-            max_ops: 8,
-            ..ChaosShape::default()
-        }
+        ChaosShape { hosts: 2, nets: 2, ifaces: 4, procs: 2, max_ops: 8, ..ChaosShape::default() }
     }
 
     #[test]
@@ -581,9 +571,7 @@ mod tests {
             jitter: SimDuration::from_millis(10),
         });
         // "Failure" = the plan still contains at least one host flap.
-        let fails = |p: &ChaosPlan| {
-            p.ops.iter().any(|o| matches!(o, ChaosOp::HostFlap { .. }))
-        };
+        let fails = |p: &ChaosPlan| p.ops.iter().any(|o| matches!(o, ChaosOp::HostFlap { .. }));
         let min = shrink_plan(plan, fails);
         assert_eq!(min.ops.len(), 1, "exactly one culprit op survives: {min:?}");
         assert!(matches!(min.ops[0], ChaosOp::HostFlap { .. }));

@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn availability_formula() {
-        let m = FailureModel {
-            mtbf: SimDuration::from_days(10),
-            mttr: SimDuration::from_hours(4),
-        };
+        let m = FailureModel { mtbf: SimDuration::from_days(10), mttr: SimDuration::from_hours(4) };
         let a = m.single_host_availability();
         assert!((a - 0.9836).abs() < 0.001, "availability {a}");
     }
@@ -85,10 +82,8 @@ mod tests {
         t.attach(h, n);
         let mut w = World::new(t, 1);
         let mut rng = Xoshiro256::seed_from_u64(5);
-        let model = FailureModel {
-            mtbf: SimDuration::from_secs(100),
-            mttr: SimDuration::from_secs(10),
-        };
+        let model =
+            FailureModel { mtbf: SimDuration::from_secs(100), mttr: SimDuration::from_secs(10) };
         let horizon = SimTime::ZERO + SimDuration::from_secs(10_000);
         schedule_host_failures(&mut w, h, model, horizon, &mut rng);
         // Sample availability by stepping through the horizon.
@@ -119,14 +114,10 @@ mod tests {
         // host in a phantom state.
         let mut rng_a = Xoshiro256::seed_from_u64(11);
         let mut rng_b = Xoshiro256::seed_from_u64(99);
-        let fast = FailureModel {
-            mtbf: SimDuration::from_secs(30),
-            mttr: SimDuration::from_secs(5),
-        };
-        let slow = FailureModel {
-            mtbf: SimDuration::from_secs(70),
-            mttr: SimDuration::from_secs(20),
-        };
+        let fast =
+            FailureModel { mtbf: SimDuration::from_secs(30), mttr: SimDuration::from_secs(5) };
+        let slow =
+            FailureModel { mtbf: SimDuration::from_secs(70), mttr: SimDuration::from_secs(20) };
         schedule_host_failures(&mut w, h, fast, horizon, &mut rng_a);
         schedule_host_failures(&mut w, h, slow, horizon, &mut rng_b);
         w.run_until(horizon + SimDuration::from_secs(120));

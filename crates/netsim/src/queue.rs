@@ -243,10 +243,7 @@ impl<T> EventQueue<T> {
             Some(&s) => Some(s),
             None if self.streams.len() < MAX_STREAMS => {
                 let s = self.streams.len() as u32;
-                self.streams.push(DeliveryStream {
-                    front: STREAM_EMPTY,
-                    queue: VecDeque::new(),
-                });
+                self.streams.push(DeliveryStream { front: STREAM_EMPTY, queue: VecDeque::new() });
                 self.stream_ids.insert((channel, latency), s);
                 Some(s)
             }

@@ -152,11 +152,8 @@ impl Partition {
         let region_of_net: Vec<u32> = (0..n).map(|j| region_of(&mut uf, h + j)).collect();
         // Lookahead: a cross-region path is routed over two routable
         // edges, so its latency is ≥ 2 × the minimum base latency.
-        let min_lat = topo
-            .nets()
-            .filter(|net| net.routable)
-            .map(|net| net.medium.latency.as_nanos())
-            .min();
+        let min_lat =
+            topo.nets().filter(|net| net.routable).map(|net| net.medium.latency.as_nanos()).min();
         let la_ns = if regions <= 1 {
             u64::MAX
         } else {
@@ -309,7 +306,12 @@ impl ShardCtx<'_> {
 
     /// Spawn an actor on `host` at `port` — same region only. Returns
     /// `None` for a taken port, unknown host, or cross-region target.
-    pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn ShardActor>,
+    ) -> Option<Endpoint> {
         let r = spawn_region(self.topo, self.part, host)?;
         if r != self.core.region as usize {
             debug_assert_eq!(
@@ -616,7 +618,13 @@ impl ShardCore {
         self.note_depth();
     }
 
-    fn push_delivery(&mut self, at: SimTime, kind: ShardQueued, channel: TxChannel, latency: SimDuration) {
+    fn push_delivery(
+        &mut self,
+        at: SimTime,
+        kind: ShardQueued,
+        channel: TxChannel,
+        latency: SimDuration,
+    ) {
         self.queue.push_delivery(self.now, at, kind, channel, latency);
         self.note_depth();
     }
@@ -668,7 +676,13 @@ impl ShardCore {
 
     /// Route selection, memoized per core (same policy as the
     /// single-threaded world — both call [`compute_path`]).
-    fn select_path(&mut self, topo: &Topology, from: HostId, to: HostId, via: Option<NetId>) -> Option<PathInfo> {
+    fn select_path(
+        &mut self,
+        topo: &Topology,
+        from: HostId,
+        to: HostId,
+        via: Option<NetId>,
+    ) -> Option<PathInfo> {
         if self.route_epoch != topo.epoch() {
             self.route_cache.clear();
             self.route_epoch = topo.epoch();
@@ -730,7 +744,12 @@ impl ShardCore {
                 .interfaces
                 .iter()
                 .find(|i| i.net == src_net)
-                .map(|i| (self.link_busy[part.link_slot[i.link.index()] as usize], TxChannel::Link(i.link)))
+                .map(|i| {
+                    (
+                        self.link_busy[part.link_slot[i.link.index()] as usize],
+                        TxChannel::Link(i.link),
+                    )
+                })
                 .unwrap_or((SimTime::ZERO, TxChannel::Bus(src_net)))
         };
         let start = if free > self.now { free } else { self.now };
@@ -760,12 +779,18 @@ impl ShardCore {
         } else if cross {
             self.push_outbox(at, from, to, payload);
         } else {
-            self.push_delivery(at, ShardQueued::Deliver { from, to, payload }, channel, latency_of(path));
+            self.push_delivery(
+                at,
+                ShardQueued::Deliver { from, to, payload },
+                channel,
+                latency_of(path),
+            );
         }
     }
 
     fn push_outbox(&mut self, at: SimTime, from: Endpoint, to: Endpoint, payload: Bytes) {
-        let item = MailboxItem { at, src_region: self.region, src_seq: self.out_seq, from, to, payload };
+        let item =
+            MailboxItem { at, src_region: self.region, src_seq: self.out_seq, from, to, payload };
         self.out_seq += 1;
         self.outbox.push(item);
     }
@@ -834,7 +859,14 @@ impl ShardCore {
         self.dispatch_id(topo, part, id, ep, event);
     }
 
-    fn dispatch_id(&mut self, topo: &Topology, part: &Partition, id: ActorId, ep: Endpoint, event: Event) {
+    fn dispatch_id(
+        &mut self,
+        topo: &Topology,
+        part: &Partition,
+        id: ActorId,
+        ep: Endpoint,
+        event: Event,
+    ) {
         let Some(mut actor) = self.slots[id.0 as usize].actor.take() else {
             return; // re-entrant dispatch: drop
         };
@@ -919,7 +951,12 @@ impl ShardCore {
                         },
                     });
                     for ep in self.endpoints_on(host) {
-                        self.dispatch_to(topo, part, ep, if up { Event::HostUp } else { Event::HostDown });
+                        self.dispatch_to(
+                            topo,
+                            part,
+                            ep,
+                            if up { Event::HostUp } else { Event::HostDown },
+                        );
                     }
                 }
                 Inbound::SetChaos { at, chaos, seed } => {
@@ -1138,7 +1175,12 @@ impl Coordinator<'_> {
             let r = self.part.region_of_host(it.to.host);
             counts[r] += 1;
             self.note_inbound(it.at.as_nanos());
-            self.inbound[r].push(Inbound::Deliver { at: it.at, from: it.from, to: it.to, payload: it.payload });
+            self.inbound[r].push(Inbound::Deliver {
+                at: it.at,
+                from: it.from,
+                to: it.to,
+                payload: it.payload,
+            });
         }
         for (r, c) in counts.iter().enumerate() {
             if *c > self.mailbox_hwm[r] {
@@ -1291,7 +1333,12 @@ impl ShardedWorld {
     /// Spawn an actor bound to `(host, port)` on its owning shard.
     /// Delivers [`Event::Start`] at the current time. `None` if the
     /// port is taken or the host id is unknown.
-    pub fn spawn(&mut self, host: HostId, port: u16, actor: Box<dyn ShardActor>) -> Option<Endpoint> {
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        port: u16,
+        actor: Box<dyn ShardActor>,
+    ) -> Option<Endpoint> {
         let r = spawn_region(&self.topo.read().unwrap(), &self.part, host)?;
         self.cores[r].spawn(host, port, actor)
     }
@@ -1448,9 +1495,8 @@ impl ShardedWorld {
         let total: u64 = self.cores.iter().map(|c| c.ring.seq).sum();
         let dropped: u64 = self.cores.iter().map(|c| c.ring.dropped).sum();
         let shown = evs.len().min(n);
-        let mut out = format!(
-            "shard flight recorder: {total} events total, {dropped} overwritten, showing last {shown}\n"
-        );
+        let mut out =
+            format!("shard flight recorder: {total} events total, {dropped} overwritten, showing last {shown}\n");
         for ev in evs.iter().skip(evs.len() - shown) {
             out.push_str(&format!(
                 "  r{:<4} #{:<8} t={:>12.6}ms  {:?}\n",
@@ -1868,7 +1914,8 @@ mod tests {
             w.run_for(SimDuration::from_millis(50));
             // Route selection excludes down hosts, so send-time drops
             // surface as NoRoute; HostDown catches in-flight packets.
-            let drops = w.stats().drops(DropReason::NoRoute) + w.stats().drops(DropReason::HostDown);
+            let drops =
+                w.stats().drops(DropReason::NoRoute) + w.stats().drops(DropReason::HostDown);
             (w.digest(), drops, w.stats().delivered)
         };
         let a = run(1);
@@ -1904,8 +1951,16 @@ mod tests {
         let mut w = ShardedWorld::new(topo, 3, 2);
         let a = Endpoint::new(HostId(0), 5);
         let b = Endpoint::new(HostId(2), 5); // other region
-        w.spawn(b.host, b.port, Box::new(Pinger { peer: a, burst: 0, ticks: 0, got: 0, echo: true }));
-        w.spawn(a.host, a.port, Box::new(Pinger { peer: b, burst: 5, ticks: 0, got: 0, echo: false }));
+        w.spawn(
+            b.host,
+            b.port,
+            Box::new(Pinger { peer: a, burst: 0, ticks: 0, got: 0, echo: true }),
+        );
+        w.spawn(
+            a.host,
+            a.port,
+            Box::new(Pinger { peer: b, burst: 5, ticks: 0, got: 0, echo: false }),
+        );
         w.run_for(SimDuration::from_millis(20));
         assert_eq!(w.actor_ref::<Pinger>(b).unwrap().got, 5, "b received the burst");
         assert_eq!(w.actor_ref::<Pinger>(a).unwrap().got, 5, "a received the echoes");
@@ -1922,8 +1977,16 @@ mod tests {
         assert_eq!(w.regions(), 1);
         let a = Endpoint::new(HostId(0), 5);
         let b = Endpoint::new(HostId(1), 5);
-        w.spawn(b.host, b.port, Box::new(Pinger { peer: a, burst: 0, ticks: 0, got: 0, echo: false }));
-        w.spawn(a.host, a.port, Box::new(Pinger { peer: b, burst: 2, ticks: 0, got: 0, echo: false }));
+        w.spawn(
+            b.host,
+            b.port,
+            Box::new(Pinger { peer: a, burst: 0, ticks: 0, got: 0, echo: false }),
+        );
+        w.spawn(
+            a.host,
+            a.port,
+            Box::new(Pinger { peer: b, burst: 2, ticks: 0, got: 0, echo: false }),
+        );
         w.run_for(SimDuration::from_millis(5));
         assert_eq!(w.actor_ref::<Pinger>(b).unwrap().got, 2);
         assert_eq!(w.now(), SimTime::from_nanos(5_000_000));
@@ -1946,8 +2009,22 @@ mod tests {
             ),
         );
         let b = Endpoint::new(HostId(2), 5);
-        w.spawn(b.host, b.port, Box::new(Pinger { peer: Endpoint::new(HostId(0), 5), burst: 0, ticks: 0, got: 0, echo: false }));
-        w.spawn(HostId(0), 5, Box::new(Pinger { peer: b, burst: 4, ticks: 0, got: 0, echo: false }));
+        w.spawn(
+            b.host,
+            b.port,
+            Box::new(Pinger {
+                peer: Endpoint::new(HostId(0), 5),
+                burst: 0,
+                ticks: 0,
+                got: 0,
+                echo: false,
+            }),
+        );
+        w.spawn(
+            HostId(0),
+            5,
+            Box::new(Pinger { peer: b, burst: 4, ticks: 0, got: 0, echo: false }),
+        );
         w.run_for(SimDuration::from_millis(20));
         assert_eq!(w.stats().chaos.duplicated, 4);
         assert_eq!(w.actor_ref::<Pinger>(b).unwrap().got, 8, "every packet arrives twice");
@@ -1980,4 +2057,3 @@ mod tests {
         assert!(json.contains("\"trace.send\""), "{json}");
     }
 }
-

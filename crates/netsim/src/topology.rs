@@ -185,7 +185,12 @@ impl Topology {
     }
 
     /// Add a network segment; returns its id.
-    pub fn add_network(&mut self, name: impl Into<String>, medium: Medium, routable: bool) -> NetId {
+    pub fn add_network(
+        &mut self,
+        name: impl Into<String>,
+        medium: Medium,
+        routable: bool,
+    ) -> NetId {
         let id = NetId::from_index(self.nets.len());
         self.nets.push(Network {
             id,
@@ -210,13 +215,8 @@ impl Topology {
         assert!(host.index() < self.hosts.len(), "unknown host {host}");
         assert!(net.index() < self.nets.len(), "unknown network {net}");
         let h = &mut self.hosts[host.index()];
-        assert!(
-            !h.interfaces.iter().any(|i| i.net == net),
-            "{host} already attached to {net}"
-        );
-        let link = LinkId::from_index(
-            self.nets.iter().map(|n| n.attached.len()).sum::<usize>(),
-        );
+        assert!(!h.interfaces.iter().any(|i| i.net == net), "{host} already attached to {net}");
+        let link = LinkId::from_index(self.nets.iter().map(|n| n.attached.len()).sum::<usize>());
         h.interfaces.push(Interface { link, net, up: true, busy_until: SimTime::ZERO });
         self.nets[net.index()].attached.push((host, link));
         self.bump_epoch();
@@ -312,18 +312,12 @@ impl Topology {
 
     fn iface_usable(&self, host: HostId, net: NetId) -> bool {
         let h = self.host(host);
-        h.up
-            && h.interfaces.iter().any(|i| i.net == net && i.up)
-            && self.net(net).up
+        h.up && h.interfaces.iter().any(|i| i.net == net && i.up) && self.net(net).up
     }
 
     /// Networks both hosts are attached to with usable interfaces,
     /// without allocating (route selection runs this per cache miss).
-    pub fn common_networks_iter(
-        &self,
-        a: HostId,
-        b: HostId,
-    ) -> impl Iterator<Item = NetId> + '_ {
+    pub fn common_networks_iter(&self, a: HostId, b: HostId) -> impl Iterator<Item = NetId> + '_ {
         let same = a == b;
         self.host(a)
             .interfaces

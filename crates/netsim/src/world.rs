@@ -562,10 +562,7 @@ impl World {
     ) {
         self.stats.sent += 1;
         if cfg!(not(feature = "obs-off")) && self.recording {
-            trace::record_cached(
-                self.now,
-                TraceKind::Send { from, to, len: payload.len() as u32 },
-            );
+            trace::record_cached(self.now, TraceKind::Send { from, to, len: payload.len() as u32 });
         }
         if from.host == to.host {
             // Loopback: constant small cost, no shared wire.
@@ -610,12 +607,8 @@ impl World {
         let finish = start + tx;
         if shared {
             self.topo.net_mut(src_net).busy_until = finish;
-        } else if let Some(i) = self
-            .topo
-            .host_mut(from.host)
-            .interfaces
-            .iter_mut()
-            .find(|i| i.net == src_net)
+        } else if let Some(i) =
+            self.topo.host_mut(from.host).interfaces.iter_mut().find(|i| i.net == src_net)
         {
             i.busy_until = finish;
         }
@@ -814,10 +807,7 @@ pub(crate) fn compute_path(
     // Fastest common network first, by *effective* speed: a grayed
     // segment can lose the preference to a healthy slower one.
     if let Some(best) = topo.common_networks_iter(from, to).max_by_key(|&n| {
-        (
-            topo.effective_bandwidth(n),
-            std::cmp::Reverse(topo.effective_latency(n).as_nanos()),
-        )
+        (topo.effective_bandwidth(n), std::cmp::Reverse(topo.effective_latency(n).as_nanos()))
     }) {
         return Some(topo.direct_path(best));
     }
@@ -1114,7 +1104,9 @@ mod tests {
         w.kill(ep);
         assert!(!w.is_bound(ep));
         // Port is reusable.
-        assert!(w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false })).is_some());
+        assert!(w
+            .spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: false }))
+            .is_some());
     }
 
     #[test]
@@ -1144,7 +1136,11 @@ mod tests {
             t.attach(a, n);
             t.attach(b, n);
             let mut w = World::new(t, seed);
-            w.spawn(b, 5, Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: true }));
+            w.spawn(
+                b,
+                5,
+                Box::new(Recorder { log: Rc::new(RefCell::new(Vec::new())), echo: true }),
+            );
             w.spawn(a, 6, Box::new(SendOnStart { to: Endpoint::new(b, 5), sizes: vec![100; 200] }));
             w.run_until_idle(10_000);
             (w.stats().delivered, w.stats().total_drops())
@@ -1338,10 +1334,7 @@ mod more_tests {
         check(&mut w);
         w.set_partition(eth, 3);
         check(&mut w);
-        assert!(
-            w.stats().engine.route_cache_hits > 0,
-            "repeated same-epoch lookups should hit"
-        );
+        assert!(w.stats().engine.route_cache_hits > 0, "repeated same-epoch lookups should hit");
     }
 
     #[test]

@@ -87,8 +87,5 @@ fn steady_state_send_path_does_not_allocate() {
 
     let sent = w.stats().sent - sent_before;
     assert!(sent > 1_000, "workload too quiet: {sent} packets");
-    assert_eq!(
-        allocated, 0,
-        "cached send path allocated {allocated} times over {sent} packets"
-    );
+    assert_eq!(allocated, 0, "cached send path allocated {allocated} times over {sent} packets");
 }

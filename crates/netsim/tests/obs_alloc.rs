@@ -58,10 +58,7 @@ fn recorder_and_registry_steady_state_do_not_allocate() {
     // Warm-up: wrap the ring completely so steady state is the
     // overwrite path, not the initial fill.
     for i in 0..2048u64 {
-        trace::record(
-            SimTime::from_nanos(i),
-            TraceKind::Send { from, to, len: 64 },
-        );
+        trace::record(SimTime::from_nanos(i), TraceKind::Send { from, to, len: 64 });
     }
     assert!(trace::trace_dropped() > 0, "ring must have wrapped during warm-up");
 
@@ -80,10 +77,7 @@ fn recorder_and_registry_steady_state_do_not_allocate() {
         reg.observe(h_latency, i * 17 + 1);
     }
     let allocated = ALLOCS.load(Ordering::Relaxed) - before;
-    assert_eq!(
-        allocated, 0,
-        "recorder/registry steady state allocated {allocated} times"
-    );
+    assert_eq!(allocated, 0, "recorder/registry steady state allocated {allocated} times");
 
     // The events and counts are all there despite the zero-alloc path.
     assert_eq!(reg.counter_value(c_events), 40_000);

@@ -209,7 +209,12 @@ impl CodeImage {
     }
 
     /// Build and sign an image.
-    pub fn sign(rng: &mut Xoshiro256, signer: &KeyPair, name: impl Into<String>, program: &Program) -> CodeImage {
+    pub fn sign(
+        rng: &mut Xoshiro256,
+        signer: &KeyPair,
+        name: impl Into<String>,
+        program: &Program,
+    ) -> CodeImage {
         let name = name.into();
         let bytes = program.to_bytes();
         let hash = sha256(&bytes);

@@ -172,12 +172,24 @@ pub struct PlaygroundActor {
 impl PlaygroundActor {
     /// Host `image` with `inputs` pre-queued.
     pub fn new(cfg: PlaygroundConfig, image: CodeImage, inputs: Vec<i64>) -> PlaygroundActor {
-        PlaygroundActor { cfg, image, inputs, vm: None, violations: Vec::new(), logged: Vec::new(), reported: false }
+        PlaygroundActor {
+            cfg,
+            image,
+            inputs,
+            vm: None,
+            violations: Vec::new(),
+            logged: Vec::new(),
+            reported: false,
+        }
     }
 
     /// Resume from a checkpoint instead of starting fresh (migration /
     /// restart path).
-    pub fn from_checkpoint(cfg: PlaygroundConfig, image: CodeImage, state: Bytes) -> SnipeResult<PlaygroundActor> {
+    pub fn from_checkpoint(
+        cfg: PlaygroundConfig,
+        image: CodeImage,
+        state: Bytes,
+    ) -> SnipeResult<PlaygroundActor> {
         let vm = Vm::restore(state)?;
         Ok(PlaygroundActor {
             cfg,
@@ -279,10 +291,10 @@ portable_actor!(PlaygroundActor);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snipe_netsim::actor::{Actor, Ctx};
     use crate::bytecode::{Instr, Program};
     use crate::vm::{sys, CAP_EMIT};
     use snipe_crypto::sign::KeyPair;
+    use snipe_netsim::actor::{Actor, Ctx};
     use snipe_netsim::medium::Medium;
     use snipe_netsim::topology::{HostCfg, Topology};
     use snipe_netsim::world::World;
@@ -338,7 +350,13 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(1);
         let signer = KeyPair::generate_default(&mut rng);
         let program = Program {
-            code: vec![Instr::PushI(21), Instr::PushI(2), Instr::Mul, Instr::Syscall(sys::EMIT), Instr::Halt],
+            code: vec![
+                Instr::PushI(21),
+                Instr::PushI(2),
+                Instr::Mul,
+                Instr::Syscall(sys::EMIT),
+                Instr::Halt,
+            ],
             locals: 0,
             required_caps: CAP_EMIT,
         };
@@ -348,7 +366,10 @@ mod tests {
         world.spawn(h, 100, Box::new(pg));
         world.run_for(SimDuration::from_secs(1));
         let log = log.borrow();
-        assert!(matches!(&log[..], [PlaygroundMsg::Done { outputs, .. }] if outputs == &vec![42]), "{log:?}");
+        assert!(
+            matches!(&log[..], [PlaygroundMsg::Done { outputs, .. }] if outputs == &vec![42]),
+            "{log:?}"
+        );
     }
 
     #[test]
@@ -363,7 +384,10 @@ mod tests {
         world.spawn(h, 100, Box::new(pg));
         world.run_for(SimDuration::from_secs(1));
         let log = log.borrow();
-        assert!(matches!(&log[..], [PlaygroundMsg::Failed { reason }] if reason.contains("image rejected")), "{log:?}");
+        assert!(
+            matches!(&log[..], [PlaygroundMsg::Failed { reason }] if reason.contains("image rejected")),
+            "{log:?}"
+        );
     }
 
     #[test]
@@ -381,7 +405,10 @@ mod tests {
         world.spawn(h, 100, Box::new(pg));
         world.run_for(SimDuration::from_secs(1));
         let log = log.borrow();
-        assert!(matches!(&log[..], [PlaygroundMsg::Failed { reason }] if reason.contains("capabilities")), "{log:?}");
+        assert!(
+            matches!(&log[..], [PlaygroundMsg::Failed { reason }] if reason.contains("capabilities")),
+            "{log:?}"
+        );
     }
 
     #[test]
@@ -397,7 +424,10 @@ mod tests {
         world.spawn(h, 100, Box::new(pg));
         world.run_for(SimDuration::from_secs(1));
         let log = log.borrow();
-        assert!(matches!(&log[..], [PlaygroundMsg::Failed { reason }] if reason.contains("FuelExhausted")), "{log:?}");
+        assert!(
+            matches!(&log[..], [PlaygroundMsg::Failed { reason }] if reason.contains("FuelExhausted")),
+            "{log:?}"
+        );
         // The playground actor exited.
         assert!(!world.is_bound(Endpoint::new(h, 100)));
     }

@@ -474,18 +474,18 @@ mod tests {
             Instr::PushI(10),
             Instr::Store(1),
             // loop: if i == 0 jump to end(12)
-            Instr::Load(1),      // 2
-            Instr::Jz(12),       // 3
+            Instr::Load(1), // 2
+            Instr::Jz(12),  // 3
             // sum += i
-            Instr::Load(0),      // 4
-            Instr::Load(1),      // 5
-            Instr::Add,          // 6
-            Instr::Store(0),     // 7
+            Instr::Load(0),  // 4
+            Instr::Load(1),  // 5
+            Instr::Add,      // 6
+            Instr::Store(0), // 7
             // i -= 1
-            Instr::Load(1),      // 8
-            Instr::PushI(1),     // 9
-            Instr::Sub,          // 10
-            Instr::Store(1),     // 11 -> falls through? need jump back
+            Instr::Load(1),  // 8
+            Instr::PushI(1), // 9
+            Instr::Sub,      // 10
+            Instr::Store(1), // 11 -> falls through? need jump back
             // (12) emit sum
             Instr::Load(0),
             Instr::Syscall(sys::EMIT),
@@ -544,22 +544,15 @@ mod tests {
 
     #[test]
     fn divide_by_zero_traps() {
-        let (_, out) = run_program(
-            vec![Instr::PushI(1), Instr::PushI(0), Instr::Div, Instr::Halt],
-            0,
-            0,
-        );
+        let (_, out) =
+            run_program(vec![Instr::PushI(1), Instr::PushI(0), Instr::Div, Instr::Halt], 0, 0);
         assert_eq!(out, StepOutcome::Trapped(Trap::DivideByZero));
     }
 
     #[test]
     fn stack_quota_enforced() {
         // push forever
-        let p = Program {
-            code: vec![Instr::PushI(1), Instr::Jmp(0)],
-            locals: 0,
-            required_caps: 0,
-        };
+        let p = Program { code: vec![Instr::PushI(1), Instr::Jmp(0)], locals: 0, required_caps: 0 };
         let mut vm = Vm::new(&p, 0, Quotas { max_stack: 16, ..Quotas::default() });
         let out = vm.run_slice(1000, &mut NullHost::default());
         assert_eq!(out, StepOutcome::Trapped(Trap::StackOverflow));
@@ -591,7 +584,10 @@ mod tests {
         assert_eq!(vm.outputs, vec![42]);
         // Without inputs: trap.
         let mut vm2 = Vm::new(&p, CAP_EMIT, Quotas::default());
-        assert_eq!(vm2.run_slice(100, &mut NullHost::default()), StepOutcome::Trapped(Trap::NoInput));
+        assert_eq!(
+            vm2.run_slice(100, &mut NullHost::default()),
+            StepOutcome::Trapped(Trap::NoInput)
+        );
     }
 
     #[test]
@@ -624,7 +620,7 @@ mod tests {
         let code = vec![
             Instr::PushI(1000),
             Instr::Store(1),
-            Instr::Load(1),        // 2
+            Instr::Load(1), // 2
             Instr::Jz(13),
             Instr::Load(0),
             Instr::Load(1),
@@ -635,7 +631,7 @@ mod tests {
             Instr::Sub,
             Instr::Store(1),
             Instr::Jmp(2),
-            Instr::Load(0),        // 13
+            Instr::Load(0), // 13
             Instr::Syscall(sys::EMIT),
             Instr::Halt,
         ];

@@ -194,7 +194,8 @@ impl Strategy for &str {
         let atoms = parse_pattern(self);
         let mut out = String::new();
         for (atom, min, max) in atoms {
-            let n = if min == max { min } else { min + rng.below((max - min + 1) as u128) as usize };
+            let n =
+                if min == max { min } else { min + rng.below((max - min + 1) as u128) as usize };
             for _ in 0..n {
                 out.push(atom.generate_char(rng));
             }

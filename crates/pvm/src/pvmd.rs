@@ -115,8 +115,12 @@ impl PortableActor for PvmMaster {
         match event {
             Event::Timer { token: TIMER_FLUSH } => self.flush_deferred(ctx),
             Event::Packet { from, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
-                let Ok(msg) = PvmMsg::decode_from_bytes(body) else { return };
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
+                let Ok(msg) = PvmMsg::decode_from_bytes(body) else {
+                    return;
+                };
                 match msg {
                     PvmMsg::AddHost { slave } => {
                         if !self.slaves.contains(&slave) {
@@ -127,8 +131,7 @@ impl PortableActor for PvmMaster {
                         self.table_version += 1;
                         let v = self.table_version;
                         self.pending_acks.insert(v, self.slaves.clone());
-                        let table =
-                            PvmMsg::HostTable { version: v, slaves: self.slaves.clone() };
+                        let table = PvmMsg::HostTable { version: v, slaves: self.slaves.clone() };
                         let targets = self.slaves.clone();
                         for s in targets {
                             self.reply_after_service(ctx, s, &table);
@@ -147,12 +150,8 @@ impl PortableActor for PvmMaster {
                     }
                     PvmMsg::SpawnReq { req_id, program, args } => {
                         if self.slaves.is_empty() {
-                            let resp = PvmMsg::SpawnResp {
-                                req_id,
-                                ok: false,
-                                tid: 0,
-                                endpoint: from,
-                            };
+                            let resp =
+                                PvmMsg::SpawnResp { req_id, ok: false, tid: 0, endpoint: from };
                             self.reply_after_service(ctx, from, &resp);
                             return;
                         }
@@ -278,8 +277,12 @@ impl PortableActor for PvmSlave {
                 ctx.send(self.master, seal(Proto::Raw, msg.encode_to_bytes()));
             }
             Event::Packet { from: _, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
-                let Ok(msg) = PvmMsg::decode_from_bytes(body) else { return };
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
+                let Ok(msg) = PvmMsg::decode_from_bytes(body) else {
+                    return;
+                };
                 match msg {
                     PvmMsg::HostTable { version, .. } => {
                         self.table_version = version;
@@ -308,12 +311,8 @@ impl PortableActor for PvmSlave {
                     PvmMsg::SlaveSpawn { req_id, tid, program, args, reply_to } => {
                         let sctx = SpawnCtx { args, proc_key: tid as u64 };
                         let Some(Ok(actor)) = self.registry.instantiate(&program, &sctx) else {
-                            let resp = PvmMsg::SpawnResp {
-                                req_id,
-                                ok: false,
-                                tid,
-                                endpoint: ctx.me(),
-                            };
+                            let resp =
+                                PvmMsg::SpawnResp { req_id, ok: false, tid, endpoint: ctx.me() };
                             ctx.send(reply_to, seal(Proto::Raw, resp.encode_to_bytes()));
                             return;
                         };

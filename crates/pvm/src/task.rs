@@ -128,7 +128,11 @@ impl PvmTaskActor {
         self
     }
 
-    fn with_task(&mut self, ctx: &mut dyn SimCtx, f: impl FnOnce(&mut dyn PvmTask, &mut PvmTaskApi<'_>)) {
+    fn with_task(
+        &mut self,
+        ctx: &mut dyn SimCtx,
+        f: impl FnOnce(&mut dyn PvmTask, &mut PvmTaskApi<'_>),
+    ) {
         let now = ctx.now();
         let Self { task, cmds, next_ticket, tid, .. } = self;
         let mut api = PvmTaskApi { now, my_tid: *tid, cmds, next_ticket };
@@ -201,8 +205,12 @@ impl PortableActor for PvmTaskActor {
             }
             Event::Timer { .. } => {}
             Event::Packet { from: _, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
-                let Ok(msg) = PvmMsg::decode_from_bytes(body) else { return };
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
+                let Ok(msg) = PvmMsg::decode_from_bytes(body) else {
+                    return;
+                };
                 match msg {
                     PvmMsg::Data { from, payload } => {
                         self.with_task(ctx, |t, api| t.on_message(api, from, payload));

@@ -3,7 +3,9 @@
 
 use bytes::Bytes;
 use pvm_baseline::proto::Tid;
-use pvm_baseline::{PvmMaster, PvmSlave, PvmTask, PvmTaskActor, PvmTaskApi, MASTER_PORT, SLAVE_PORT};
+use pvm_baseline::{
+    PvmMaster, PvmSlave, PvmTask, PvmTaskActor, PvmTaskApi, MASTER_PORT, SLAVE_PORT,
+};
 use snipe_daemon::registry::ProgramRegistry;
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
@@ -39,9 +41,7 @@ impl PvmTask for Root {
         }
     }
     fn on_message(&mut self, _api: &mut PvmTaskApi<'_>, from: Tid, msg: Bytes) {
-        self.log
-            .lock().unwrap()
-            .push(format!("from {from}: {}", String::from_utf8_lossy(&msg)));
+        self.log.lock().unwrap().push(format!("from {from}: {}", String::from_utf8_lossy(&msg)));
     }
 }
 

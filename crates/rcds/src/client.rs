@@ -5,6 +5,14 @@
 //! client rotates to the next replica and retries, which is what made
 //! the paper's testbed observe "an almost perfect level of
 //! availability" (§6) — reproduced as experiment E3.
+//!
+//! At scale the client grows two more layers (ROADMAP open item 2):
+//! a [`ShardMap`] routes each operation to the replica group owning
+//! the URI's shard, and an optional TTL lookup cache absorbs repeated
+//! Gets, invalidated locally on every write the client itself issues.
+//! Replies are matched to the replica actually queried — a late reply
+//! from a replica we have already failed away from is dropped and
+//! counted, never surfaced as a completion.
 
 use std::collections::HashMap;
 
@@ -17,6 +25,7 @@ use snipe_util::time::{SimDuration, SimTime};
 
 use crate::assertion::Assertion;
 use crate::proto::{RcMsg, RcOp};
+use crate::shard::ShardMap;
 use crate::uri::Uri;
 
 /// The payload of a completed RC operation.
@@ -31,15 +40,44 @@ pub struct RcReply {
 /// A completed request: (request id, outcome).
 pub type Completion = (u64, SnipeResult<RcReply>);
 
+/// Drop/cache counters, mirroring the `wire` stack's style of counted
+/// (never silent) discards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RcClientStats {
+    /// Datagrams that failed to decode as RC messages.
+    pub decode_drops: u64,
+    /// Responses whose id matched no outstanding request (duplicates,
+    /// or replies landing after the request gave up).
+    pub stale_replies: u64,
+    /// Responses for a live request but from a replica other than the
+    /// one currently queried — dropped, the request stays pending.
+    pub mismatched_replies: u64,
+    /// Gets served from the local TTL cache without touching the wire.
+    pub cache_hits: u64,
+    /// Gets that missed the cache (only counted when caching is on).
+    pub cache_misses: u64,
+    /// Cache entries discarded because this client wrote the URI.
+    pub cache_invalidations: u64,
+}
+
 struct Pending {
     op: RcOp,
     deadline: SimTime,
     attempts: u32,
+    /// The replica this request was last transmitted to; replies from
+    /// anyone else are dropped as mismatched.
+    target: Option<Endpoint>,
+}
+
+struct CacheEntry {
+    assertions: Vec<Assertion>,
+    expires: SimTime,
 }
 
 /// The client state machine.
 pub struct RcClient {
     replicas: Vec<Endpoint>,
+    shard_map: Option<ShardMap>,
     preferred: usize,
     timeout: SimDuration,
     max_attempts: u32,
@@ -47,6 +85,9 @@ pub struct RcClient {
     pending: HashMap<u64, Pending>,
     sends: Vec<(Endpoint, Bytes)>,
     done: Vec<Completion>,
+    cache_ttl: Option<SimDuration>,
+    cache: HashMap<String, CacheEntry>,
+    stats: RcClientStats,
 }
 
 impl RcClient {
@@ -54,6 +95,7 @@ impl RcClient {
     pub fn new(replicas: Vec<Endpoint>, timeout: SimDuration) -> RcClient {
         RcClient {
             replicas,
+            shard_map: None,
             preferred: 0,
             timeout,
             max_attempts: 6,
@@ -61,10 +103,28 @@ impl RcClient {
             pending: HashMap::new(),
             sends: Vec::new(),
             done: Vec::new(),
+            cache_ttl: None,
+            cache: HashMap::new(),
+            stats: RcClientStats::default(),
         }
     }
 
-    /// Known replica endpoints.
+    /// Route per-URI operations through a shard map instead of the flat
+    /// replica list. `Find` (a namespace-wide scan) and operations on
+    /// an empty group still fall back to the flat list.
+    pub fn with_shard_map(mut self, map: ShardMap) -> RcClient {
+        self.shard_map = Some(map);
+        self
+    }
+
+    /// Serve repeated `get`s of a URI from a local cache for `ttl`
+    /// after each fetched reply; the client's own writes invalidate.
+    pub fn with_cache_ttl(mut self, ttl: SimDuration) -> RcClient {
+        self.cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Known replica endpoints (the flat fallback list).
     pub fn replicas(&self) -> &[Endpoint] {
         &self.replicas
     }
@@ -74,36 +134,78 @@ impl RcClient {
         self.pending.len()
     }
 
+    /// Drop/cache counters.
+    pub fn stats(&self) -> RcClientStats {
+        self.stats
+    }
+
+    /// The replica an op routes to right now: the owning shard group
+    /// under a shard map (URI-addressed ops only), else the flat list,
+    /// rotated by the failover cursor.
+    fn route(&self, op: &RcOp) -> Option<Endpoint> {
+        if let Some(map) = &self.shard_map {
+            let uri = match op {
+                RcOp::Get(u) | RcOp::Put(u, _) | RcOp::Delete(u, _) => Some(u.as_str()),
+                RcOp::Find(..) => None,
+            };
+            if let Some(u) = uri {
+                let group = map.group_for(u);
+                if !group.is_empty() {
+                    return Some(group[self.preferred % group.len()]);
+                }
+            }
+        }
+        if self.replicas.is_empty() {
+            return None;
+        }
+        Some(self.replicas[self.preferred % self.replicas.len()])
+    }
+
     fn issue(&mut self, now: SimTime, op: RcOp) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         let deadline = now + self.timeout;
-        self.transmit(id, &op);
-        self.pending.insert(id, Pending { op, deadline, attempts: 1 });
+        let target = self.transmit(id, &op);
+        self.pending.insert(id, Pending { op, deadline, attempts: 1, target });
         id
     }
 
-    fn transmit(&mut self, id: u64, op: &RcOp) {
-        if self.replicas.is_empty() {
-            return;
-        }
-        let target = self.replicas[self.preferred % self.replicas.len()];
+    fn transmit(&mut self, id: u64, op: &RcOp) -> Option<Endpoint> {
+        let target = self.route(op)?;
         let msg = RcMsg::Request { id, op: op.clone() };
         self.sends.push((target, msg.encode_to_bytes()));
+        Some(target)
     }
 
-    /// Fetch assertions for a URI. Returns the request id.
+    /// Fetch assertions for a URI. Returns the request id. With caching
+    /// enabled a fresh cache entry completes immediately (the id shows
+    /// up in [`RcClient::drain_done`] without any wire traffic).
     pub fn get(&mut self, now: SimTime, uri: &Uri) -> u64 {
+        if self.cache_ttl.is_some() {
+            if let Some(e) = self.cache.get(uri.as_str()) {
+                if e.expires > now {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.stats.cache_hits += 1;
+                    self.done
+                        .push((id, Ok(RcReply { assertions: e.assertions.clone(), uris: vec![] })));
+                    return id;
+                }
+            }
+            self.stats.cache_misses += 1;
+        }
         self.issue(now, RcOp::Get(uri.as_str().to_string()))
     }
 
     /// Publish assertions about a URI.
     pub fn put(&mut self, now: SimTime, uri: &Uri, assertions: Vec<Assertion>) -> u64 {
+        self.invalidate(uri.as_str());
         self.issue(now, RcOp::Put(uri.as_str().to_string(), assertions))
     }
 
     /// Tombstone one attribute.
     pub fn delete(&mut self, now: SimTime, uri: &Uri, name: &str) -> u64 {
+        self.invalidate(uri.as_str());
         self.issue(now, RcOp::Delete(uri.as_str().to_string(), name.to_string()))
     }
 
@@ -112,33 +214,59 @@ impl RcClient {
         self.issue(now, RcOp::Find(name.to_string(), value.to_string()))
     }
 
-    /// Feed a raw datagram payload that arrived on our port.
-    /// Non-RC or unknown-id messages are ignored.
-    pub fn on_packet(&mut self, _now: SimTime, _from: Endpoint, body: Bytes) {
+    fn invalidate(&mut self, uri: &str) {
+        if self.cache.remove(uri).is_some() {
+            self.stats.cache_invalidations += 1;
+        }
+    }
+
+    /// Feed a raw datagram payload that arrived on our port. Garbage,
+    /// unknown-id and wrong-replica messages are dropped and counted.
+    pub fn on_packet(&mut self, now: SimTime, from: Endpoint, body: Bytes) {
         let Ok(msg) = RcMsg::decode_from_bytes(body) else {
+            self.stats.decode_drops += 1;
             return;
         };
         let RcMsg::Response { id, ok, assertions, uris } = msg else {
+            // Valid RC traffic that isn't a response (sync chatter
+            // misdelivered to a client port).
+            self.stats.decode_drops += 1;
             return;
         };
-        if let Some(_p) = self.pending.remove(&id) {
-            let result = if ok {
-                Ok(RcReply { assertions, uris })
-            } else {
-                Err(SnipeError::Invalid("server rejected request".into()))
-            };
-            self.done.push((id, result));
+        let Some(p) = self.pending.get(&id) else {
+            self.stats.stale_replies += 1;
+            return;
+        };
+        if p.target != Some(from) {
+            // A replica we already failed away from finally answered.
+            // The live retry owns this ticket now; surfacing this copy
+            // could complete a Get with data older than the failover
+            // target's, so drop it (the regression test below pins
+            // this).
+            self.stats.mismatched_replies += 1;
+            return;
         }
+        let p = self.pending.remove(&id).expect("checked above");
+        let result = if ok {
+            if let Some(ttl) = self.cache_ttl {
+                if let RcOp::Get(uri) = &p.op {
+                    self.cache.insert(
+                        uri.clone(),
+                        CacheEntry { assertions: assertions.clone(), expires: now + ttl },
+                    );
+                }
+            }
+            Ok(RcReply { assertions, uris })
+        } else {
+            Err(SnipeError::Invalid("server rejected request".into()))
+        };
+        self.done.push((id, result));
     }
 
     /// Retry / fail over requests whose deadline passed.
     pub fn on_timer(&mut self, now: SimTime) {
-        let expired: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.deadline <= now)
-            .map(|(id, _)| *id)
-            .collect();
+        let expired: Vec<u64> =
+            self.pending.iter().filter(|(_, p)| p.deadline <= now).map(|(id, _)| *id).collect();
         for id in expired {
             let mut p = self.pending.remove(&id).expect("expired id present");
             if p.attempts >= self.max_attempts {
@@ -155,7 +283,7 @@ impl RcClient {
             self.preferred = (self.preferred + 1) % self.replicas.len().max(1);
             p.attempts += 1;
             p.deadline = now + self.timeout;
-            self.transmit(id, &p.op);
+            p.target = self.transmit(id, &p.op);
             self.pending.insert(id, p);
         }
     }
@@ -188,6 +316,10 @@ mod tests {
 
     fn reply(id: u64) -> Bytes {
         RcMsg::Response { id, ok: true, assertions: vec![], uris: vec![] }.encode_to_bytes()
+    }
+
+    fn reply_with(id: u64, assertions: Vec<Assertion>) -> Bytes {
+        RcMsg::Response { id, ok: true, assertions, uris: vec![] }.encode_to_bytes()
     }
 
     #[test]
@@ -238,6 +370,7 @@ mod tests {
         c.on_packet(SimTime::ZERO, ep(1), reply(id));
         c.on_packet(SimTime::ZERO, ep(1), reply(id));
         assert_eq!(c.drain_done().len(), 1);
+        assert_eq!(c.stats().stale_replies, 1);
     }
 
     #[test]
@@ -246,6 +379,8 @@ mod tests {
         c.on_packet(SimTime::ZERO, ep(1), Bytes::from_static(b"garbage"));
         c.on_packet(SimTime::ZERO, ep(1), reply(999));
         assert!(c.drain_done().is_empty());
+        assert_eq!(c.stats().decode_drops, 1);
+        assert_eq!(c.stats().stale_replies, 1);
     }
 
     #[test]
@@ -254,5 +389,93 @@ mod tests {
         assert!(c.next_deadline().is_none());
         c.get(SimTime::ZERO, &Uri::process(1));
         assert_eq!(c.next_deadline(), Some(SimTime::ZERO + SimDuration::from_millis(100)));
+    }
+
+    /// The satellite-1 regression: a reply from the *original* replica
+    /// arriving after the client failed over to another must be
+    /// dropped (counted), and the completion must come from the replica
+    /// actually queried.
+    #[test]
+    fn late_reply_after_failover_is_dropped() {
+        let mut c = RcClient::new(vec![ep(1), ep(2)], SimDuration::from_millis(100));
+        let id = c.get(SimTime::ZERO, &Uri::process(1));
+        assert_eq!(c.drain_sends()[0].0, ep(1));
+        // Deadline passes; the retry goes to replica 2.
+        c.on_timer(SimTime::ZERO + SimDuration::from_millis(150));
+        assert_eq!(c.drain_sends()[0].0, ep(2));
+        // Replica 1's answer limps in late: dropped, request stays live.
+        let a1 = vec![Assertion::new("v", "old")];
+        c.on_packet(SimTime::ZERO + SimDuration::from_millis(160), ep(1), reply_with(id, a1));
+        assert!(c.drain_done().is_empty(), "stale replica must not complete the request");
+        assert_eq!(c.pending_count(), 1);
+        assert_eq!(c.stats().mismatched_replies, 1);
+        // The queried replica answers: that is the completion.
+        let a2 = vec![Assertion::new("v", "new")];
+        c.on_packet(SimTime::ZERO + SimDuration::from_millis(170), ep(2), reply_with(id, a2));
+        let done = c.drain_done();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.as_ref().unwrap().assertions[0].value, "new");
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn cache_serves_repeated_gets_within_ttl() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(100))
+            .with_cache_ttl(SimDuration::from_secs(5));
+        let uri = Uri::process(9);
+        let id = c.get(SimTime::ZERO, &uri);
+        assert_eq!(c.drain_sends().len(), 1);
+        c.on_packet(SimTime::ZERO, ep(1), reply_with(id, vec![Assertion::new("k", "v")]));
+        c.drain_done();
+        // Second get: no wire traffic, immediate completion.
+        let id2 = c.get(SimTime::ZERO + SimDuration::from_millis(10), &uri);
+        assert!(c.drain_sends().is_empty(), "cache hit must not transmit");
+        let done = c.drain_done();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, id2);
+        assert_eq!(done[0].1.as_ref().unwrap().assertions[0].value, "v");
+        assert_eq!(c.stats().cache_hits, 1);
+        // Past the TTL the next get goes back to the wire.
+        let _id3 = c.get(SimTime::ZERO + SimDuration::from_secs(6), &uri);
+        assert_eq!(c.drain_sends().len(), 1);
+        assert_eq!(c.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn writes_invalidate_the_cache() {
+        let mut c = RcClient::new(vec![ep(1)], SimDuration::from_millis(100))
+            .with_cache_ttl(SimDuration::from_secs(5));
+        let uri = Uri::process(9);
+        let id = c.get(SimTime::ZERO, &uri);
+        c.on_packet(SimTime::ZERO, ep(1), reply_with(id, vec![Assertion::new("k", "v")]));
+        c.drain_done();
+        c.put(SimTime::ZERO, &uri, vec![Assertion::new("k", "v2")]);
+        assert_eq!(c.stats().cache_invalidations, 1);
+        // The next get must go to the wire, not the stale cache.
+        c.drain_sends();
+        let _ = c.get(SimTime::ZERO + SimDuration::from_millis(1), &uri);
+        assert_eq!(c.drain_sends().len(), 1);
+    }
+
+    #[test]
+    fn shard_map_routes_to_owning_group() {
+        use crate::shard::ShardMap;
+        let g0 = vec![ep(10), ep(11)];
+        let g1 = vec![ep(20), ep(21)];
+        let map = ShardMap::new(vec![g0.clone(), g1.clone()]);
+        let mut c = RcClient::new(vec![ep(10), ep(20)], SimDuration::from_millis(100))
+            .with_shard_map(map.clone());
+        for i in 0..20u64 {
+            let uri = Uri::process(i);
+            c.get(SimTime::ZERO, &uri);
+            let sends = c.drain_sends();
+            let owner = map.shard_of(uri.as_str());
+            let group: &[Endpoint] = if owner == 0 { &g0 } else { &g1 };
+            assert!(
+                group.contains(&sends[0].0),
+                "uri {uri:?} (shard {owner}) routed to {:?}",
+                sends[0].0
+            );
+        }
     }
 }

@@ -18,17 +18,21 @@
 //! * [`server`] — the RC server actor: client RPC plus pairwise
 //!   anti-entropy between replicas;
 //! * [`client`] — the sans-IO client used by every SNIPE component,
-//!   with replica failover.
+//!   with replica failover, a TTL lookup cache and shard routing;
+//! * [`shard`] — consistent-hash sharding of the URI namespace across
+//!   replica groups (ROADMAP open item 2).
 
 pub mod assertion;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod store;
 pub mod uri;
 
 pub use assertion::{Assertion, Stamp};
-pub use client::RcClient;
+pub use client::{RcClient, RcClientStats};
 pub use server::RcServerActor;
+pub use shard::ShardMap;
 pub use store::RcStore;
 pub use uri::Uri;

@@ -9,7 +9,9 @@ use snipe_util::codec::{decode_seq, encode_seq, Decoder, Encoder, WireDecode, Wi
 use snipe_util::error::{SnipeError, SnipeResult};
 
 use crate::assertion::Assertion;
-use crate::store::{decode_vector, decode_updates, encode_vector, encode_updates, Update, VersionVector};
+use crate::store::{
+    decode_updates, decode_vector, encode_updates, encode_vector, Update, VersionVector,
+};
 
 /// Operations a client can request.
 #[derive(Clone, Debug, PartialEq)]
@@ -168,10 +170,20 @@ mod tests {
             RcMsg::Request { id: 2, op: RcOp::Put("urn:x".into(), vec![a.clone()]) },
             RcMsg::Request { id: 3, op: RcOp::Delete("urn:x".into(), "k".into()) },
             RcMsg::Request { id: 4, op: RcOp::Find("k".into(), "v".into()) },
-            RcMsg::Response { id: 1, ok: true, assertions: vec![a.clone()], uris: vec!["urn:y".into()] },
+            RcMsg::Response {
+                id: 1,
+                ok: true,
+                assertions: vec![a.clone()],
+                uris: vec!["urn:y".into()],
+            },
             RcMsg::SyncReq { vector: [(1u64, 5u64)].into_iter().collect() },
             RcMsg::SyncPush {
-                updates: vec![crate::store::Update { origin: 1, seq: 0, uri: "urn:x".into(), assertion: a }],
+                updates: vec![crate::store::Update {
+                    origin: 1,
+                    seq: 0,
+                    uri: "urn:x".into(),
+                    assertion: a,
+                }],
                 more: true,
             },
         ];

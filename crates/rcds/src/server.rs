@@ -8,7 +8,6 @@
 //! reordering or crash/recovery — host state survives crashes as the
 //! paper's disk-backed servers did.
 
-
 use snipe_netsim::actor::{Event, PortableActor, SimCtx};
 use snipe_netsim::portable_actor;
 use snipe_netsim::topology::Endpoint;
@@ -17,6 +16,7 @@ use snipe_util::time::SimDuration;
 use snipe_wire::frame::{open, seal, Proto};
 
 use crate::proto::{RcMsg, RcOp};
+use crate::shard::ShardMap;
 use crate::store::RcStore;
 use crate::uri::Uri;
 
@@ -36,10 +36,19 @@ pub struct RcServerActor {
     store: RcStore,
     peers: Vec<Endpoint>,
     sync_interval: SimDuration,
+    /// When set, this replica owns exactly one shard of the namespace:
+    /// URI-addressed requests routed here by mistake are rejected (and
+    /// counted) instead of being stored where anti-entropy would never
+    /// reconcile them with the true owners.
+    shard: Option<(ShardMap, usize)>,
     /// Served client requests (diagnostics).
     pub requests_served: u64,
     /// Anti-entropy rounds initiated.
     pub sync_rounds: u64,
+    /// URI-addressed requests rejected for belonging to another shard.
+    pub misrouted: u64,
+    /// Datagrams on the RC port that failed to open/decode.
+    pub decode_drops: u64,
 }
 
 impl RcServerActor {
@@ -49,9 +58,20 @@ impl RcServerActor {
             store: RcStore::new(server_id),
             peers,
             sync_interval,
+            shard: None,
             requests_served: 0,
             sync_rounds: 0,
+            misrouted: 0,
+            decode_drops: 0,
         }
+    }
+
+    /// Declare this replica a member of shard `idx` of `map`. Peers
+    /// should be the other replicas of the *same* group so anti-entropy
+    /// stays within the shard.
+    pub fn with_shard(mut self, map: ShardMap, idx: usize) -> RcServerActor {
+        self.shard = Some((map, idx));
+        self
     }
 
     /// Read access to the replica state (tests/experiments).
@@ -69,12 +89,37 @@ impl RcServerActor {
         ctx.send(to, seal(Proto::Raw, msg.encode_to_bytes()));
     }
 
+    /// Does a URI-addressed op belong to this replica's shard? `Find`
+    /// scans the local shard only (callers fan out across groups).
+    fn owns(&mut self, op: &RcOp) -> bool {
+        let Some((map, idx)) = &self.shard else {
+            return true;
+        };
+        let uri = match op {
+            RcOp::Get(u) | RcOp::Put(u, _) | RcOp::Delete(u, _) => u.as_str(),
+            RcOp::Find(..) => return true,
+        };
+        if map.shard_of(uri) == *idx {
+            true
+        } else {
+            self.misrouted += 1;
+            false
+        }
+    }
+
     fn handle_request(&mut self, ctx: &mut dyn SimCtx, from: Endpoint, id: u64, op: RcOp) {
         self.requests_served += 1;
+        if !self.owns(&op) {
+            let resp = RcMsg::Response { id, ok: false, assertions: vec![], uris: vec![] };
+            self.send(ctx, from, &resp);
+            return;
+        }
         let now_ns = ctx.now().as_nanos();
         let resp = match op {
             RcOp::Get(uri) => match Uri::parse(uri) {
-                Ok(u) => RcMsg::Response { id, ok: true, assertions: self.store.get(&u), uris: vec![] },
+                Ok(u) => {
+                    RcMsg::Response { id, ok: true, assertions: self.store.get(&u), uris: vec![] }
+                }
                 Err(_) => RcMsg::Response { id, ok: false, assertions: vec![], uris: vec![] },
             },
             RcOp::Put(uri, asserts) => match Uri::parse(uri) {
@@ -126,9 +171,11 @@ impl PortableActor for RcServerActor {
             Event::Timer { .. } => {}
             Event::Packet { from, payload } => {
                 let Ok((Proto::Raw, body)) = open(payload) else {
-                    return; // not RC traffic; ignore
+                    self.decode_drops += 1; // not RC traffic
+                    return;
                 };
                 let Ok(msg) = RcMsg::decode_from_bytes(body) else {
+                    self.decode_drops += 1;
                     return;
                 };
                 match msg {

@@ -26,7 +26,9 @@ impl Uri {
             return Err(SnipeError::Invalid(format!("URI without scheme: {s}")));
         };
         let (scheme, rest) = s.split_at(colon);
-        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-') {
+        if scheme.is_empty()
+            || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
+        {
             return Err(SnipeError::Invalid(format!("bad URI scheme: {s}")));
         }
         if rest.len() <= 1 || !rest.bytes().all(|b| (0x21..=0x7e).contains(&b)) {

@@ -260,8 +260,7 @@ impl RmActor {
                         proc_key: 0,
                     })
                     .collect();
-                let resp =
-                    RmMsg::AllocResp { req_id, ok: true, allocations, error: String::new() };
+                let resp = RmMsg::AllocResp { req_id, ok: true, allocations, error: String::new() };
                 self.send_msg(ctx, from, &resp);
             }
             AllocMode::Active => {
@@ -439,7 +438,10 @@ impl RmActor {
             user.subject_key.clone(),
             vec![
                 CertClaim { name: "allowed-hosts".into(), value: resource },
-                CertClaim { name: "granted-by".into(), value: self.keypair.public.fingerprint_hex() },
+                CertClaim {
+                    name: "granted-by".into(),
+                    value: self.keypair.public.fingerprint_hex(),
+                },
             ],
         );
         let resp = RmMsg::AuthResp {
@@ -474,7 +476,9 @@ impl PortableActor for RmActor {
             Event::Timer { token: TIMER_PENDING } => self.check_pending(ctx),
             Event::Timer { .. } | Event::Signal { .. } => {}
             Event::Packet { from, payload } => {
-                let Ok((Proto::Raw, body)) = open(payload) else { return };
+                let Ok((Proto::Raw, body)) = open(payload) else {
+                    return;
+                };
                 if let Ok(msg) = RmMsg::decode_from_bytes(body.clone()) {
                     match msg {
                         RmMsg::AllocReq { req_id, spec, count, mode } => {

@@ -5,6 +5,7 @@
 use bytes::Bytes;
 use snipe_crypto::cert::{CertClaim, Certificate, TrustPurpose, TrustStore};
 use snipe_crypto::sign::KeyPair;
+use snipe_daemon::proto::SpawnSpec;
 use snipe_daemon::registry::ProgramRegistry;
 use snipe_daemon::{DaemonActor, DaemonConfig};
 use snipe_netsim::actor::{Actor, Ctx, Event, PortableActor, SimCtx};
@@ -19,7 +20,6 @@ use snipe_util::rng::Xoshiro256;
 use snipe_util::time::SimDuration;
 use snipe_wire::frame::{open, seal, Proto};
 use snipe_wire::ports;
-use snipe_daemon::proto::SpawnSpec;
 use std::sync::{Arc, Mutex};
 
 struct Idle;
@@ -81,7 +81,11 @@ fn build(workers: usize, trust: TrustStore) -> (World, Endpoint, snipe_util::id:
     let client = topo.add_host(HostCfg::named("client"));
     topo.attach(client, net);
     let mut world = World::new(topo, 11);
-    world.spawn(rc_host, ports::RC_SERVER, Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))));
+    world.spawn(
+        rc_host,
+        ports::RC_SERVER,
+        Box::new(RcServerActor::new(1, vec![], SimDuration::from_millis(200))),
+    );
     for (i, &h) in worker_hosts.iter().enumerate() {
         let cfg = DaemonConfig::new(format!("w{i}"), vec![rc_ep]);
         world.spawn(h, ports::DAEMON, Box::new(DaemonActor::new(cfg, registry.clone())));
@@ -201,10 +205,9 @@ fn dead_worker_worked_around() {
     // Kill the least-loaded (first-ranked) worker before the request:
     // the RM will pick it first, time out, and retry on another host.
     let w0 = world.topology().host_by_name("w0").unwrap();
-    world.schedule_fn(
-        snipe_util::time::SimTime::ZERO + SimDuration::from_millis(2500),
-        move |w| w.host_down(w0),
-    );
+    world.schedule_fn(snipe_util::time::SimTime::ZERO + SimDuration::from_millis(2500), move |w| {
+        w.host_down(w0)
+    });
     let driver = Driver {
         script: vec![(
             SimDuration::from_secs(3),
@@ -253,13 +256,8 @@ fn dual_certificate_authorization_flow() {
         alice.public.clone(),
         vec![CertClaim { name: "resources".into(), value: "w0,w1".into() }],
     );
-    let host_cert = Certificate::issue(
-        &mut rng,
-        &host_ca,
-        "snipe://client/",
-        hostkey.public.clone(),
-        vec![],
-    );
+    let host_cert =
+        Certificate::issue(&mut rng, &host_ca, "snipe://client/", hostkey.public.clone(), vec![]);
     // A forged user certificate signed by a random key.
     let mallory_ca = KeyPair::generate_default(&mut rng);
     let forged = Certificate::issue(

@@ -244,8 +244,12 @@ impl Registry {
         let pad2 = " ".repeat(indent + 2);
         let mut out = String::from("{\n");
 
-        let mut counters: Vec<(&str, u64)> =
-            self.counter_names.iter().map(String::as_str).zip(self.counters.iter().copied()).collect();
+        let mut counters: Vec<(&str, u64)> = self
+            .counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counters.iter().copied())
+            .collect();
         counters.sort_unstable_by_key(|&(n, _)| n);
         out.push_str(&format!("{pad2}\"counters\": {{"));
         for (i, (n, v)) in counters.iter().enumerate() {

@@ -325,8 +325,7 @@ mod tests {
         let shares = encode(&m, b).unwrap();
         assert_eq!(shares.len(), 2 * b - 1);
         let slen = share_len(m.len(), b);
-        let concat: Vec<u8> =
-            shares[..b].iter().flat_map(|s| s.iter().copied()).collect();
+        let concat: Vec<u8> = shares[..b].iter().flat_map(|s| s.iter().copied()).collect();
         assert_eq!(&concat[..m.len()], &m[..]);
         assert!(shares.iter().all(|s| s.len() == slen));
     }
@@ -340,10 +339,12 @@ mod tests {
             shares.iter().enumerate().map(|(i, s)| (i as u32, s.clone())).collect();
         // Every contiguous window and a few scattered subsets.
         for start in 0..b {
-            let subset: Vec<_> = (0..b).map(|i| indexed[(start + i) % (2 * b - 1)].clone()).collect();
+            let subset: Vec<_> =
+                (0..b).map(|i| indexed[(start + i) % (2 * b - 1)].clone()).collect();
             assert_eq!(decode(b, m.len(), &subset).unwrap(), m, "window at {start}");
         }
-        let parity_heavy: Vec<_> = [8usize, 7, 6, 5, 0].iter().map(|&i| indexed[i].clone()).collect();
+        let parity_heavy: Vec<_> =
+            [8usize, 7, 6, 5, 0].iter().map(|&i| indexed[i].clone()).collect();
         assert_eq!(decode(b, m.len(), &parity_heavy).unwrap(), m);
     }
 
@@ -378,18 +379,12 @@ mod tests {
         let m = msg(64);
         let shares = encode(&m, 3).unwrap();
         // Wrong share length.
-        let bad_len: Vec<(u32, Bytes)> = vec![
-            (0, Bytes::from_static(b"x")),
-            (1, shares[1].clone()),
-            (2, shares[2].clone()),
-        ];
+        let bad_len: Vec<(u32, Bytes)> =
+            vec![(0, Bytes::from_static(b"x")), (1, shares[1].clone()), (2, shares[2].clone())];
         assert!(decode(3, m.len(), &bad_len).is_err());
         // Out-of-range index never counts toward the quorum.
-        let oob: Vec<(u32, Bytes)> = vec![
-            (99, shares[0].clone()),
-            (1, shares[1].clone()),
-            (2, shares[2].clone()),
-        ];
+        let oob: Vec<(u32, Bytes)> =
+            vec![(99, shares[0].clone()), (1, shares[1].clone()), (2, shares[2].clone())];
         assert!(decode(3, m.len(), &oob).is_err());
         // Inconsistent msg_len / b combinations.
         assert!(decode(0, 10, &[]).is_err());

@@ -111,12 +111,7 @@ impl Reassembly {
 
     /// Indices still missing (for SACK generation).
     pub fn missing(&self) -> Vec<u32> {
-        self.frags
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.is_none())
-            .map(|(i, _)| i as u32)
-            .collect()
+        self.frags.iter().enumerate().filter(|(_, f)| f.is_none()).map(|(i, _)| i as u32).collect()
     }
 
     /// Concatenate into the original message.
@@ -272,11 +267,7 @@ impl ReassemblySet {
     /// once a share quorum is in, before the buffer is "complete").
     pub fn take(&mut self, msg_id: u64) -> Option<Vec<(u32, Bytes)>> {
         self.msgs.remove(&msg_id).map(|r| {
-            r.frags
-                .into_iter()
-                .enumerate()
-                .filter_map(|(i, f)| f.map(|b| (i as u32, b)))
-                .collect()
+            r.frags.into_iter().enumerate().filter_map(|(i, f)| f.map(|b| (i as u32, b))).collect()
         })
     }
 
@@ -450,10 +441,7 @@ mod tests {
         set.insert(T0, 5, 0, 4, Bytes::from_static(b"a")).unwrap();
         assert_eq!(set.received(5), 2);
         let taken = set.take(5).unwrap();
-        assert_eq!(
-            taken,
-            vec![(0, Bytes::from_static(b"a")), (2, Bytes::from_static(b"c"))]
-        );
+        assert_eq!(taken, vec![(0, Bytes::from_static(b"a")), (2, Bytes::from_static(b"c"))]);
         assert_eq!(set.in_progress(), 0);
         assert!(set.take(5).is_none());
     }

@@ -104,9 +104,7 @@ pub fn seal(proto: Proto, body: Bytes) -> Bytes {
 pub fn open(datagram: Bytes) -> SnipeResult<(Proto, Bytes)> {
     let len = datagram.len();
     open_classified(datagram).map_err(|e| match e {
-        FrameError::Truncated => {
-            SnipeError::Codec(format!("truncated envelope: {len} bytes"))
-        }
+        FrameError::Truncated => SnipeError::Codec(format!("truncated envelope: {len} bytes")),
         FrameError::Checksum => SnipeError::Codec("frame checksum mismatch".to_string()),
         FrameError::UnknownTag => SnipeError::Codec("unknown protocol tag".to_string()),
     })

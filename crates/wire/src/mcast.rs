@@ -269,7 +269,13 @@ impl McastMember {
 
     /// Returns the payload exactly once per (origin, seq); `None` for
     /// duplicates.
-    pub fn accept(&mut self, group: GroupId, origin: u64, seq: u64, payload: Bytes) -> Option<Bytes> {
+    pub fn accept(
+        &mut self,
+        group: GroupId,
+        origin: u64,
+        seq: u64,
+        payload: Bytes,
+    ) -> Option<Bytes> {
         if self.seen.entry(group).or_default().insert((origin, seq)) {
             Some(payload)
         } else {
@@ -314,8 +320,7 @@ impl McastMember {
                 e.put_u64(seq);
             }
         }
-        let mut seqs: Vec<(GroupId, u64)> =
-            self.next_seq.iter().map(|(&g, &s)| (g, s)).collect();
+        let mut seqs: Vec<(GroupId, u64)> = self.next_seq.iter().map(|(&g, &s)| (g, s)).collect();
         seqs.sort_unstable();
         e.put_u32(seqs.len() as u32);
         for (g, s) in seqs {
@@ -579,7 +584,9 @@ mod tests {
             let mut outs = Vec::new();
             routers[ri].on_message(msg, &mut outs);
             for o in outs {
-                let Out::Send { to, bytes, .. } = o else { continue };
+                let Out::Send { to, bytes, .. } = o else {
+                    continue;
+                };
                 let (_, body) = crate::frame::open(bytes).unwrap();
                 let m = McastMsg::decode(body).unwrap();
                 if to == ep(9, 7) {

@@ -163,6 +163,17 @@ impl PeerPaths {
         self.candidates.iter().find(|c| c.net == net).map(|c| c.score())
     }
 
+    /// The score [`select`](PeerPaths::select) would act on: the best
+    /// candidate's score (RTT EWMA in seconds plus failover pressure;
+    /// lower is better). `None` when no routes are pinned — the caller
+    /// knows nothing about the peer and should treat it as unmeasured.
+    pub fn best_score(&self) -> Option<f64> {
+        self.candidates
+            .iter()
+            .map(Candidate::score)
+            .min_by(|a, b| a.partial_cmp(b).expect("score() is always finite"))
+    }
+
     /// Replace the candidate set (fresh RC metadata), keeping the
     /// current choice — and any accumulated RTT/penalty state for
     /// retained networks — when still present.
@@ -172,15 +183,11 @@ impl PeerPaths {
         self.candidates = candidates
             .into_iter()
             .map(|net| {
-                old.iter()
-                    .find(|c| c.net == net)
-                    .cloned()
-                    .unwrap_or_else(|| Candidate::new(net))
+                old.iter().find(|c| c.net == net).cloned().unwrap_or_else(|| Candidate::new(net))
             })
             .collect();
-        self.current = keep
-            .and_then(|n| self.candidates.iter().position(|c| c.net == n))
-            .unwrap_or(0);
+        self.current =
+            keep.and_then(|n| self.candidates.iter().position(|c| c.net == n)).unwrap_or(0);
     }
 
     /// Penalise the current route and move to the best-scoring
@@ -248,10 +255,8 @@ impl PeerPaths {
     /// switched, and those stragglers say nothing about the new route.
     /// Returns `true` if a rotation happened.
     pub fn rotate_for_dups(&mut self, now: SimTime) -> bool {
-        let guarded = self
-            .last_dup_rotation
-            .map(|t| now.since(t) < DUP_ROTATE_GUARD)
-            .unwrap_or(false);
+        let guarded =
+            self.last_dup_rotation.map(|t| now.since(t) < DUP_ROTATE_GUARD).unwrap_or(false);
         if guarded || self.candidates.len() < 2 {
             return false;
         }
@@ -266,9 +271,7 @@ impl PeerPaths {
     /// with a score the route could never have earned.
     pub fn record_rtt(&mut self, sample: SimDuration) {
         if let Some(c) = self.candidates.get_mut(self.current) {
-            let ns = sample
-                .as_nanos()
-                .clamp(RTT_SAMPLE_MIN.as_nanos(), RTT_SAMPLE_MAX.as_nanos());
+            let ns = sample.as_nanos().clamp(RTT_SAMPLE_MIN.as_nanos(), RTT_SAMPLE_MAX.as_nanos());
             c.srtt_ns = Some(match c.srtt_ns {
                 None => ns,
                 Some(s) => s - (s >> RTT_EWMA_SHIFT) + (ns >> RTT_EWMA_SHIFT),
@@ -366,8 +369,11 @@ impl PathSelector {
         match self.peers.get_mut(&key) {
             Some(p) => p.update(candidates),
             None => {
-                let paths =
-                    if candidates.is_empty() { PeerPaths::unpinned() } else { PeerPaths::new(candidates) };
+                let paths = if candidates.is_empty() {
+                    PeerPaths::unpinned()
+                } else {
+                    PeerPaths::new(candidates)
+                };
                 self.peers.insert(key, paths);
             }
         }
@@ -402,15 +408,30 @@ impl PathSelector {
         self.peers.get(&key).map(|p| p.failovers).unwrap_or(0)
     }
 
+    /// Read-only path score toward `key` — the best candidate's score,
+    /// or `None` for unknown/unpinned peers. This is the hook replica
+    /// selection uses to rank file servers by observed performance
+    /// without reaching into transport internals.
+    pub fn peer_score(&self, key: NodeKey) -> Option<f64> {
+        self.peers.get(&key).and_then(|p| p.best_score())
+    }
+
     /// Append every tracked peer key to `into` (reused scratch, no
     /// per-call allocation in steady state).
     pub fn keys_into(&self, into: &mut Vec<NodeKey>) {
+        // Sorted: callers act on peers in this order (failover checks,
+        // endpoint routing), and any behaviour keyed to hash iteration
+        // order would differ run to run under seeded replay.
+        let start = into.len();
         into.extend(self.peers.keys().copied());
+        into[start..].sort_unstable();
     }
 
-    /// Iterate every tracked peer key.
+    /// Iterate every tracked peer key, in sorted (deterministic) order.
     pub fn keys(&self) -> impl Iterator<Item = NodeKey> + '_ {
-        self.peers.keys().copied()
+        let mut v: Vec<NodeKey> = self.peers.keys().copied().collect();
+        v.sort_unstable();
+        v.into_iter()
     }
 }
 
@@ -523,7 +544,7 @@ mod tests {
     }
 
     #[test]
-    fn selector_tracks_peers_independently(){
+    fn selector_tracks_peers_independently() {
         let mut s = PathSelector::new();
         s.update(7, vec![n(1), n(2)]);
         s.update(8, vec![]);
@@ -565,6 +586,29 @@ mod tests {
         assert!(r.report_timeouts(FAILOVER_THRESHOLD));
         assert_eq!(r.current(), Some(n(2)));
         assert_eq!(r.select_k_distinct(3), vec![n(2), n(3), n(1)]);
+    }
+
+    #[test]
+    fn best_score_tracks_measurements_and_penalties() {
+        let mut r = PeerPaths::new(vec![n(1), n(2)]);
+        // Unmeasured: both routes sit at the prior.
+        assert!((r.best_score().unwrap() - UNMEASURED_RTT_SCORE).abs() < 1e-12);
+        // A fast measurement pulls the best score down.
+        r.record_rtt(SimDuration::from_millis(5));
+        assert!(r.best_score().unwrap() < UNMEASURED_RTT_SCORE);
+        assert!(PeerPaths::unpinned().best_score().is_none());
+    }
+
+    #[test]
+    fn selector_peer_score_facade() {
+        let mut s = PathSelector::new();
+        s.update(7, vec![n(1), n(2)]);
+        s.update(8, vec![]);
+        s.peer_mut(7).unwrap().record_rtt(SimDuration::from_millis(2));
+        let sc = s.peer_score(7).unwrap();
+        assert!(sc < UNMEASURED_RTT_SCORE);
+        assert_eq!(s.peer_score(8), None, "unpinned peer has no score");
+        assert_eq!(s.peer_score(9), None, "unknown peer has no score");
     }
 
     #[test]

@@ -171,7 +171,8 @@ impl Rstream {
     /// flows once the handshake completes.
     pub fn connect(&mut self, now: SimTime, peer: Endpoint) -> ConnId {
         // Deterministic but distinct ids.
-        self.next_conn_seed = self.next_conn_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.next_conn_seed =
+            self.next_conn_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let id = self.next_conn_seed | 1;
         let conn = Conn::new(peer, State::SynSent, &self.cfg.clone());
         // The handshake has no ACK clock: arm the wheel so a lost SYN
@@ -227,7 +228,12 @@ impl Rstream {
                 let mut enc = Encoder::new();
                 enc.put_u8(KIND_FIN);
                 enc.put_u64(id);
-                self.out.push(Out::Send { to: c.peer, via: None, spray: None, bytes: enc.finish() });
+                self.out.push(Out::Send {
+                    to: c.peer,
+                    via: None,
+                    spray: None,
+                    bytes: enc.finish(),
+                });
                 c.state = State::Closed;
                 self.wheel.cancel(id);
             }
@@ -256,7 +262,16 @@ impl Rstream {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn emit_data(out: &mut Vec<Out>, stats: &mut RstreamStats, now: SimTime, conn: &Conn, id: ConnId, offset: u64, payload: &[u8], retx: bool) {
+    fn emit_data(
+        out: &mut Vec<Out>,
+        stats: &mut RstreamStats,
+        now: SimTime,
+        conn: &Conn,
+        id: ConnId,
+        offset: u64,
+        payload: &[u8],
+        retx: bool,
+    ) {
         let mut enc = Encoder::with_capacity(payload.len() + 24);
         enc.put_u8(KIND_DATA);
         enc.put_u64(id);
@@ -278,7 +293,9 @@ impl Rstream {
     fn pump(&mut self, now: SimTime, id: ConnId) {
         let cfg_mss = self.cfg.mss;
         let cfg_window = self.cfg.window;
-        let Some(conn) = self.conns.get_mut(&id) else { return };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
         if conn.state != State::Established {
             return;
         }
@@ -287,10 +304,11 @@ impl Rstream {
             if offset_in_buf >= conn.snd_buf.len() {
                 break;
             }
-            let take = cfg_mss.min(conn.snd_buf.len() - offset_in_buf).min(
-                cfg_window - (conn.snd_nxt - conn.snd_una) as usize,
-            );
-            let seg: Vec<u8> = conn.snd_buf.iter().skip(offset_in_buf).take(take).copied().collect();
+            let take = cfg_mss
+                .min(conn.snd_buf.len() - offset_in_buf)
+                .min(cfg_window - (conn.snd_nxt - conn.snd_una) as usize);
+            let seg: Vec<u8> =
+                conn.snd_buf.iter().skip(offset_in_buf).take(take).copied().collect();
             let offset = conn.snd_nxt;
             conn.snd_nxt += take as u64;
             conn.sent_at.insert(offset, (now, false));
@@ -355,7 +373,9 @@ impl Rstream {
     }
 
     fn on_data(&mut self, _now: SimTime, id: ConnId, offset: u64, payload: Bytes) {
-        let Some(conn) = self.conns.get_mut(&id) else { return };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
         if conn.state == State::Closed {
             return;
         }
@@ -387,7 +407,12 @@ impl Rstream {
             if conn.rcv_buf.len() < 4 {
                 break;
             }
-            let len = u32::from_be_bytes([conn.rcv_buf[0], conn.rcv_buf[1], conn.rcv_buf[2], conn.rcv_buf[3]]) as usize;
+            let len = u32::from_be_bytes([
+                conn.rcv_buf[0],
+                conn.rcv_buf[1],
+                conn.rcv_buf[2],
+                conn.rcv_buf[3],
+            ]) as usize;
             if conn.rcv_buf.len() < 4 + len {
                 break;
             }
@@ -405,15 +430,22 @@ impl Rstream {
 
     fn on_ack(&mut self, now: SimTime, id: ConnId, cum: u64) {
         let cfg = self.cfg.clone();
-        let Some(conn) = self.conns.get_mut(&id) else { return };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
         if cum > conn.snd_una {
             // New data acked: RTT sample from the oldest acked segment.
-            let acked_segments: Vec<u64> =
+            // Sorted so the sample is a function of the ack, not of
+            // `sent_at`'s hash iteration order — an order-dependent
+            // sample skews the RTO differently on every run, which
+            // breaks seeded-replay determinism.
+            let mut acked_segments: Vec<u64> =
                 conn.sent_at.keys().filter(|&&o| o < cum).copied().collect();
+            acked_segments.sort_unstable();
             let mut sample: Option<SimDuration> = None;
             for o in acked_segments {
                 if let Some((t, retx)) = conn.sent_at.remove(&o) {
-                    if !retx {
+                    if !retx && sample.is_none() {
                         sample = Some(now.saturating_since(t));
                     }
                 }
@@ -435,7 +467,8 @@ impl Rstream {
                         conn.srtt = Some((srtt * 7 + s) / 8);
                     }
                 }
-                conn.rto = (conn.srtt.expect("set") + conn.rttvar * 4).clamp(cfg.rto_min, cfg.rto_max);
+                conn.rto =
+                    (conn.srtt.expect("set") + conn.rttvar * 4).clamp(cfg.rto_min, cfg.rto_max);
             }
             if conn.snd_una < conn.recover && conn.snd_una < conn.snd_nxt {
                 // Partial ACK: the RTO-era hole extends past this
@@ -447,7 +480,16 @@ impl Rstream {
                     let seg: Vec<u8> = conn.snd_buf.iter().take(take).copied().collect();
                     let offset = conn.snd_una;
                     conn.sent_at.insert(offset, (now, true));
-                    Self::emit_data(&mut self.out, &mut self.stats, now, conn, id, offset, &seg, true);
+                    Self::emit_data(
+                        &mut self.out,
+                        &mut self.stats,
+                        now,
+                        conn,
+                        id,
+                        offset,
+                        &seg,
+                        true,
+                    );
                 }
             }
             if conn.snd_una == conn.snd_nxt {
@@ -468,7 +510,16 @@ impl Rstream {
                     let offset = conn.snd_una;
                     conn.sent_at.insert(offset, (now, true));
                     self.stats.fast_retransmits += 1;
-                    Self::emit_data(&mut self.out, &mut self.stats, now, conn, id, offset, &seg, true);
+                    Self::emit_data(
+                        &mut self.out,
+                        &mut self.stats,
+                        now,
+                        conn,
+                        id,
+                        offset,
+                        &seg,
+                        true,
+                    );
                 }
             }
         }
@@ -488,7 +539,9 @@ impl Rstream {
 
     fn fire_rto(&mut self, now: SimTime, id: ConnId) {
         let cfg = self.cfg.clone();
-        let Some(conn) = self.conns.get_mut(&id) else { return };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
         if conn.state == State::SynSent {
             conn.timeouts += 1;
             if conn.timeouts >= cfg.max_timeouts {
@@ -569,10 +622,7 @@ impl crate::driver::Driver for Rstream {
 
     fn quiescent(&self) -> bool {
         self.out.is_empty()
-            && self
-                .conns
-                .values()
-                .all(|c| c.state != State::Established || c.snd_buf.is_empty())
+            && self.conns.values().all(|c| c.state != State::Established || c.snd_buf.is_empty())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -715,10 +765,7 @@ mod tests {
     #[test]
     fn send_on_unknown_or_closed_conn_errors() {
         let mut a = Rstream::new(RstreamConfig::default(), 1);
-        assert_eq!(
-            a.send_message(SimTime::ZERO, 42, b"x").unwrap_err().kind(),
-            "wrong-state"
-        );
+        assert_eq!(a.send_message(SimTime::ZERO, 42, b"x").unwrap_err().kind(), "wrong-state");
         let id = a.connect(SimTime::ZERO, ep(1, 5));
         a.close(id);
         assert!(a.is_closed(id));

@@ -368,18 +368,17 @@ impl Srudp {
         // larger-than-MAX_B messages fall back to plain fragmentation
         // rather than failing.
         let b = msg.len().div_ceil(frag_size);
-        let (frags, fec) = if self.cfg.frag_strategy == FragStrategy::Fec
-            && (2..=fec::MAX_B).contains(&b)
-        {
-            let meta = FecMeta {
-                b: b as u8,
-                msg_len: msg.len() as u32,
-                checksum: fec::msg_checksum(&msg),
+        let (frags, fec) =
+            if self.cfg.frag_strategy == FragStrategy::Fec && (2..=fec::MAX_B).contains(&b) {
+                let meta = FecMeta {
+                    b: b as u8,
+                    msg_len: msg.len() as u32,
+                    checksum: fec::msg_checksum(&msg),
+                };
+                (fec::encode(&msg, b)?, Some(meta))
+            } else {
+                (split(&msg, frag_size)?, None)
             };
-            (fec::encode(&msg, b)?, Some(meta))
-        } else {
-            (split(&msg, frag_size)?, None)
-        };
         let peer = self.peers.entry(to).or_insert_with(|| Peer::new(&self.cfg));
         let n = frags.len();
         let msg_id = peer.next_msg_id;
@@ -449,10 +448,7 @@ impl Srudp {
         if retransmit {
             stats.retransmits += 1;
             if trace::enabled() {
-                trace::record(
-                    now,
-                    TraceKind::Retransmit { peer, len: payload.len() as u32 },
-                );
+                trace::record(now, TraceKind::Retransmit { peer, len: payload.len() as u32 });
             }
         } else {
             stats.data_sent += 1;
@@ -572,9 +568,7 @@ impl Srudp {
         fec: Option<FecMeta>,
     ) -> SnipeResult<()> {
         if frag_count == 0 || frag_count > MAX_FRAG_COUNT {
-            return Err(SnipeError::Protocol(format!(
-                "unacceptable fragment count {frag_count}"
-            )));
+            return Err(SnipeError::Protocol(format!("unacceptable fragment count {frag_count}")));
         }
         // Reject before any per-message state exists: a bogus index
         // must not leave side-table entries behind (state poisoning).
@@ -851,16 +845,17 @@ impl Srudp {
         // flight). This is the datagram analogue of fast retransmit.
         if !done {
             let ep = self.locations.get(&src_key).copied();
-            if let (Some(ep), Some(m)) =
-                (ep, self.peers.get_mut(&src_key).and_then(|p| p.queue.iter_mut().find(|m| m.msg_id == msg_id)))
-            {
+            if let (Some(ep), Some(m)) = (
+                ep,
+                self.peers
+                    .get_mut(&src_key)
+                    .and_then(|p| p.queue.iter_mut().find(|m| m.msg_id == msg_id)),
+            ) {
                 let count = m.frags.len() as u32;
-                let highest_acked = (0..count)
-                    .rev()
-                    .find(|&idx| {
-                        let byte = (idx / 8) as usize;
-                        byte < bitmap.len() && bitmap[byte] & (1 << (idx % 8)) != 0
-                    });
+                let highest_acked = (0..count).rev().find(|&idx| {
+                    let byte = (idx / 8) as usize;
+                    byte < bitmap.len() && bitmap[byte] & (1 << (idx % 8)) != 0
+                });
                 let Some(highest_acked) = highest_acked else {
                     self.pump(now, src_key);
                     return;
@@ -1037,11 +1032,7 @@ impl Srudp {
             for _ in 0..n_msgs {
                 let msg_id = d.get_u64()?;
                 let fec = if d.get_bool()? {
-                    Some(FecMeta {
-                        b: d.get_u8()?,
-                        msg_len: d.get_u32()?,
-                        checksum: d.get_u32()?,
-                    })
+                    Some(FecMeta { b: d.get_u8()?, msg_len: d.get_u32()?, checksum: d.get_u32()? })
                 } else {
                     None
                 };
@@ -1065,12 +1056,8 @@ impl Srudp {
                     }
                     frags.push(d.get_bytes()?);
                 }
-                let unacked: usize = frags
-                    .iter()
-                    .zip(&acked)
-                    .filter(|(_, a)| !**a)
-                    .map(|(f, _)| f.len())
-                    .sum();
+                let unacked: usize =
+                    frags.iter().zip(&acked).filter(|(_, a)| !**a).map(|(f, _)| f.len()).sum();
                 peer.backlog_bytes += unacked;
                 peer.queue.push_back(OutMsg { msg_id, frags, acked, acked_count, next_tx: 0, fec });
             }
@@ -1091,11 +1078,8 @@ impl Srudp {
                 let id = d.get_u64()?;
                 let count = d.get_u32()?;
                 if d.get_bool()? {
-                    let meta = FecMeta {
-                        b: d.get_u8()?,
-                        msg_len: d.get_u32()?,
-                        checksum: d.get_u32()?,
-                    };
+                    let meta =
+                        FecMeta { b: d.get_u8()?, msg_len: d.get_u32()?, checksum: d.get_u32()? };
                     peer.fec_meta.insert(id, meta);
                 }
                 let n = d.get_u32()? as usize;
@@ -1125,7 +1109,9 @@ impl Srudp {
     /// Kick retransmission of everything unacked toward every peer
     /// (used right after an import, once locations are refreshed).
     pub fn retransmit_all(&mut self, now: SimTime) {
-        let keys: Vec<NodeKey> = self.peers.keys().copied().collect();
+        // Sorted: pump order decides wire order, and wire order must
+        // be a function of the seed, not of hash iteration.
+        let keys = self.peer_keys();
         for k in keys {
             self.pump(now, k);
         }
@@ -1156,7 +1142,9 @@ impl Srudp {
     /// [`REASM_TTL`] (with their side tables) and re-arm while partial
     /// state remains. Virtual-time driven, so fully deterministic.
     fn fire_evict(&mut self, now: SimTime, key: NodeKey) {
-        let Some(peer) = self.peers.get_mut(&key) else { return };
+        let Some(peer) = self.peers.get_mut(&key) else {
+            return;
+        };
         for id in peer.reasm.evict_stale(now, REASM_TTL) {
             peer.counts.remove(&id);
             peer.unsacked.remove(&id);
@@ -1182,7 +1170,9 @@ impl Srudp {
             }
             return;
         };
-        let Some(peer) = self.peers.get_mut(&key) else { return };
+        let Some(peer) = self.peers.get_mut(&key) else {
+            return;
+        };
         let Some(msg_id) = peer.pending_sack.take() else {
             return; // already flushed by ack_every; stale fire
         };
@@ -1215,14 +1205,12 @@ impl Srudp {
             }
             return;
         };
-        let Some(peer) = self.peers.get_mut(&key) else { return };
+        let Some(peer) = self.peers.get_mut(&key) else {
+            return;
+        };
         let rto = peer.rto;
-        let mut expired: Vec<(u64, u32)> = peer
-            .inflight
-            .iter()
-            .filter(|(_, f)| f.sent_at + rto <= now)
-            .map(|(k, _)| *k)
-            .collect();
+        let mut expired: Vec<(u64, u32)> =
+            peer.inflight.iter().filter(|(_, f)| f.sent_at + rto <= now).map(|(k, _)| *k).collect();
         if expired.is_empty() {
             // Early fire (flight shrank since arming): re-arm exactly.
             if let Some(min) = peer.inflight.values().map(|f| f.sent_at + rto).min() {
@@ -1497,11 +1485,7 @@ mod tests {
         let Out::Send { bytes, .. } = &outs[0] else { panic!("expected send") };
         b.on_packet(SimTime::ZERO, ep(0, 5), bytes.clone()).unwrap();
         b.on_packet(SimTime::ZERO, ep(0, 5), bytes.clone()).unwrap();
-        let delivers = b
-            .drain()
-            .into_iter()
-            .filter(|o| matches!(o, Out::Deliver { .. }))
-            .count();
+        let delivers = b.drain().into_iter().filter(|o| matches!(o, Out::Deliver { .. })).count();
         assert_eq!(delivers, 1);
         assert_eq!(b.stats().delivered, 1);
         assert!(b.stats().sacks_sent >= 2, "duplicate must be re-SACKed");
@@ -1761,14 +1745,20 @@ mod migration_tests {
     #[test]
     fn export_of_fresh_endpoint_is_importable() {
         let a = Srudp::new(7, SrudpConfig::default());
-        let b = Srudp::import_state(a.export_state(), SrudpConfig::default(), SimTime::ZERO).unwrap();
+        let b =
+            Srudp::import_state(a.export_state(), SrudpConfig::default(), SimTime::ZERO).unwrap();
         assert_eq!(b.key(), 7);
         assert!(b.quiescent());
     }
 
     #[test]
     fn import_rejects_garbage() {
-        assert!(Srudp::import_state(Bytes::from_static(b"junk"), SrudpConfig::default(), SimTime::ZERO).is_err());
+        assert!(Srudp::import_state(
+            Bytes::from_static(b"junk"),
+            SrudpConfig::default(),
+            SimTime::ZERO
+        )
+        .is_err());
     }
 
     #[test]

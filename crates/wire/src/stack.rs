@@ -250,6 +250,16 @@ impl WireStack {
         self.paths.failovers(key)
     }
 
+    /// Read-only performance score for a peer: the path layer's best
+    /// route score when candidates are pinned, else the transport's
+    /// smoothed RTT in seconds. Lower is better; `None` means we have
+    /// neither routes nor measurements (rank such peers last). This is
+    /// the replica-selection hook — file clients sort candidate
+    /// replicas by this score before opening a striped read.
+    pub fn peer_score(&self, key: NodeKey) -> Option<f64> {
+        self.paths.peer_score(key).or_else(|| self.srudp().peer_srtt(key).map(|s| s.as_secs_f64()))
+    }
+
     /// All peer keys with transport state (learned or configured).
     pub fn known_peers(&self) -> Vec<NodeKey> {
         let mut v = Vec::new();
@@ -413,8 +423,7 @@ impl WireStack {
             if timeout_rotated || dup_rotated {
                 self.metrics.inc(self.c_rotations);
                 if trace::enabled() {
-                    let net =
-                        self.paths.select(k).map(|n| n.0).unwrap_or(u32::MAX);
+                    let net = self.paths.select(k).map(|n| n.0).unwrap_or(u32::MAX);
                     trace::record(now, TraceKind::PathRotate { peer: k, rank: net });
                 }
             }
@@ -497,12 +506,7 @@ impl WireStack {
                         } else {
                             via
                         };
-                        self.out.push(Out::Send {
-                            to,
-                            via,
-                            spray,
-                            bytes: seal(proto, bytes),
-                        });
+                        self.out.push(Out::Send { to, via, spray, bytes: seal(proto, bytes) });
                     }
                     other => self.out.push(other),
                 }
@@ -593,7 +597,13 @@ mod tests {
         Endpoint::new(HostId(h), p)
     }
 
-    fn pump(a: &mut WireStack, b: &mut WireStack, a_ep: Endpoint, b_ep: Endpoint, steps: usize) -> (Vec<Bytes>, Vec<Bytes>) {
+    fn pump(
+        a: &mut WireStack,
+        b: &mut WireStack,
+        a_ep: Endpoint,
+        b_ep: Endpoint,
+        steps: usize,
+    ) -> (Vec<Bytes>, Vec<Bytes>) {
         let mut got_a = Vec::new();
         let mut got_b = Vec::new();
         let mut now = SimTime::ZERO;
@@ -705,6 +715,23 @@ mod tests {
         a.on_timer(now);
         a.drain();
         assert_eq!(a.failovers(2), 2, "continued timeouts keep probing other routes");
+    }
+
+    #[test]
+    fn peer_score_reflects_measured_rtt() {
+        let mut a = WireStack::new(1, StackConfig::default());
+        let mut b = WireStack::new(2, StackConfig::default());
+        assert_eq!(a.peer_score(2), None, "no routes, no measurements");
+        a.set_peer(2, ep(1, 5), vec![]);
+        a.send(SimTime::ZERO, 2, Bytes::from_static(b"ping")).unwrap();
+        pump(&mut a, &mut b, ep(0, 5), ep(1, 5), 50);
+        let s = a.peer_score(2).expect("srtt measured after a round trip");
+        assert!((0.0..10.0).contains(&s), "score {s} out of range");
+        // Pinned routes report the path layer's score instead.
+        let mut c = WireStack::new(3, StackConfig::default());
+        c.set_peer(4, ep(2, 5), vec![NetId(1)]);
+        let sc = c.peer_score(4).expect("pinned route has a prior score");
+        assert!((sc - crate::path::UNMEASURED_RTT_SCORE).abs() < 1e-9);
     }
 
     #[test]
@@ -827,11 +854,8 @@ mod tests {
         assert_eq!(b.on_datagram(SimTime::ZERO, ep(0, 5), dg.clone()).unwrap(), None);
         // Duplicate via a second router leg: dedup'd.
         assert_eq!(b.on_datagram(SimTime::ZERO, ep(3, 5), dg).unwrap(), None);
-        let delivers: Vec<Out> = b
-            .drain()
-            .into_iter()
-            .filter(|o| matches!(o, Out::Deliver { .. }))
-            .collect();
+        let delivers: Vec<Out> =
+            b.drain().into_iter().filter(|o| matches!(o, Out::Deliver { .. })).collect();
         assert_eq!(delivers.len(), 1);
         let Out::Deliver { proto, from_key, msg, .. } = &delivers[0] else { unreachable!() };
         assert_eq!(*proto, Proto::Mcast);
@@ -856,11 +880,7 @@ mod tests {
         assert_eq!(r.key(), 1);
         // SRUDP state survived and retransmits are queued.
         assert!(r.backlog_total() > 0);
-        let sends = r
-            .drain()
-            .into_iter()
-            .filter(|o| matches!(o, Out::Send { .. }))
-            .count();
+        let sends = r.drain().into_iter().filter(|o| matches!(o, Out::Send { .. })).count();
         assert!(sends > 0, "import must kick retransmission");
         // Mcast dedup state survived.
         assert!(r.mcast_member_mut().unwrap().accept(7, 9, 0, Bytes::new()).is_none());

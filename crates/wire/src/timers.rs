@@ -233,9 +233,7 @@ impl<T: Copy + Eq + Hash> TimerWheel<T> {
             let delta = at.as_nanos() - now.as_nanos();
             let eff_slot = (at.as_nanos() >> shift(level)) as usize & (SLOTS - 1);
             let here = idx - level * SLOTS;
-            if delta < range(level)
-                && (level == 0 || delta >= range(level - 1))
-                && eff_slot == here
+            if delta < range(level) && (level == 0 || delta >= range(level - 1)) && eff_slot == here
             {
                 i += 1;
                 continue;

@@ -81,8 +81,5 @@ fn steady_state_peer_queries_do_not_allocate() {
 
     assert_eq!(keys.len(), PEERS as usize);
     assert!(trouble.is_empty(), "no peer has timed out");
-    assert_eq!(
-        allocated, 0,
-        "steady-state peer queries allocated {allocated} times"
-    );
+    assert_eq!(allocated, 0, "steady-state peer queries allocated {allocated} times");
 }

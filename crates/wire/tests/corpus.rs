@@ -237,12 +237,12 @@ fn fec_share(idx: u32, b: u8, msg_len: u32, checksum: u32, payload: &[u8]) -> By
 fn hostile_fec_headers_are_counted_driver_drops() {
     let mut b = full_stack(2);
     let hostile = [
-        fec_share(0, 0, 100, 9, b"x"),            // b = 0: no such code
-        fec_share(0, 1, 100, 9, b"x"),            // b = 1: FEC never emits it
-        fec_share(0, 200, 100, 9, b"x"),          // b > MAX_B
-        fec_share(0, 3, 0, 9, b"x"),              // zero-length message
-        fec_share(u32::MAX, 3, 100, 9, b"x"),     // share index ≥ 2b-1
-        fec_share(5, 3, 100, 9, b"x"),            // 5 ≥ 2*3-1
+        fec_share(0, 0, 100, 9, b"x"),        // b = 0: no such code
+        fec_share(0, 1, 100, 9, b"x"),        // b = 1: FEC never emits it
+        fec_share(0, 200, 100, 9, b"x"),      // b > MAX_B
+        fec_share(0, 3, 0, 9, b"x"),          // zero-length message
+        fec_share(u32::MAX, 3, 100, 9, b"x"), // share index ≥ 2b-1
+        fec_share(5, 3, 100, 9, b"x"),        // 5 ≥ 2*3-1
     ];
     let mut fed = 0u64;
     for dg in hostile {

@@ -36,7 +36,10 @@ impl SnipeProcess for Publisher {
         if let TicketResult::FileWritten(Ok(())) = result {
             self.stored += 1;
             if self.stored == self.count {
-                api.log(format!("site {}: all {} documents stored + catalogued", self.site, self.count));
+                api.log(format!(
+                    "site {}: all {} documents stored + catalogued",
+                    self.site, self.count
+                ));
                 api.exit();
             }
         }

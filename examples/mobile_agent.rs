@@ -15,7 +15,9 @@ use snipe::netsim::medium::Medium;
 use snipe::netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe::netsim::world::World;
 use snipe::playground::bytecode::{CodeImage, Instr, Program};
-use snipe::playground::playground::{PlaygroundActor, PlaygroundConfig, PlaygroundMsg, SIG_CHECKPOINT};
+use snipe::playground::playground::{
+    PlaygroundActor, PlaygroundConfig, PlaygroundMsg, SIG_CHECKPOINT,
+};
 use snipe::playground::vm::{sys, Quotas, CAP_EMIT};
 use snipe::util::codec::WireDecode;
 use snipe::util::rng::Xoshiro256;
@@ -108,7 +110,8 @@ fn main() {
     world.signal(None, agent_ep, SIG_CHECKPOINT);
     world.run_for(SimDuration::from_millis(5));
     let ckpt = log
-        .lock().unwrap()
+        .lock()
+        .unwrap()
         .iter()
         .find_map(|m| match m {
             PlaygroundMsg::Checkpoint { state } => Some(state.clone()),
@@ -128,7 +131,12 @@ fn main() {
         _ => None,
     });
     let (outputs, fuel) = done.expect("agent finished after migration");
-    println!("agent finished on pg2: sum = {} (expected {}), fuel used {}", outputs[0], 100_000i64 * 100_001 / 2, fuel);
+    println!(
+        "agent finished on pg2: sum = {} (expected {}), fuel used {}",
+        outputs[0],
+        100_000i64 * 100_001 / 2,
+        fuel
+    );
     assert_eq!(outputs[0], 100_000i64 * 100_001 / 2);
 
     // 2. A tampered image is rejected before execution.
@@ -136,14 +144,26 @@ fn main() {
     let mut body = tampered.program.to_vec();
     body[4] ^= 0xFF;
     tampered.program = Bytes::from(body);
-    world.spawn(hosts[1], 101, Box::new(PlaygroundActor::new(cfg(&signer, sup, 1_000_000), tampered, vec![])));
+    world.spawn(
+        hosts[1],
+        101,
+        Box::new(PlaygroundActor::new(cfg(&signer, sup, 1_000_000), tampered, vec![])),
+    );
     // 3. An image signed by an untrusted key is rejected.
     let evil = CodeImage::sign(&mut rng, &mallory, "trojan", &summing_agent(10));
-    world.spawn(hosts[1], 102, Box::new(PlaygroundActor::new(cfg(&signer, sup, 1_000_000), evil, vec![])));
+    world.spawn(
+        hosts[1],
+        102,
+        Box::new(PlaygroundActor::new(cfg(&signer, sup, 1_000_000), evil, vec![])),
+    );
     // 4. A runaway agent dies at its fuel quota.
     let spin = Program { code: vec![Instr::Jmp(0)], locals: 0, required_caps: 0 };
     let runaway = CodeImage::sign(&mut rng, &signer, "runaway", &spin);
-    world.spawn(hosts[1], 103, Box::new(PlaygroundActor::new(cfg(&signer, sup, 50_000), runaway, vec![])));
+    world.spawn(
+        hosts[1],
+        103,
+        Box::new(PlaygroundActor::new(cfg(&signer, sup, 50_000), runaway, vec![])),
+    );
     world.run_for(SimDuration::from_secs(2));
 
     println!("\n--- supervisor log ---");
@@ -156,11 +176,8 @@ fn main() {
             PlaygroundMsg::Checkpoint { state } => println!("CHECKPOINT {} bytes", state.len()),
         }
     }
-    let failures = log
-        .lock().unwrap()
-        .iter()
-        .filter(|m| matches!(m, PlaygroundMsg::Failed { .. }))
-        .count();
+    let failures =
+        log.lock().unwrap().iter().filter(|m| matches!(m, PlaygroundMsg::Failed { .. })).count();
     assert_eq!(failures, 3, "tampered + unsigned + runaway must all be stopped");
     println!("\nall hostile agents contained; the legitimate agent migrated and completed.");
 }

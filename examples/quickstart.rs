@@ -70,7 +70,8 @@ impl SnipeProcess for Tour {
     fn on_message(&mut self, api: &mut SnipeApi<'_, '_>, _from: ProcRef, msg: Bytes) {
         api.log(format!("greeter says: {}", String::from_utf8_lossy(&msg)));
         // 3. Store a file on the replicated SNIPE file servers.
-        self.write_ticket = api.write_file("lifn:snipe:file:quickstart", b"state worth keeping".to_vec());
+        self.write_ticket =
+            api.write_file("lifn:snipe:file:quickstart", b"state worth keeping".to_vec());
     }
 }
 
@@ -83,6 +84,10 @@ fn main() {
     });
     world.spawn_on("host0", "tour", Bytes::new()).expect("spawn tour");
     world.run_for_secs(10);
-    println!("simulated {}s, {} events, {} packets delivered", 10, world.sim_ref().stats().events, world.sim_ref().stats().delivered);
-
+    println!(
+        "simulated {}s, {} events, {} packets delivered",
+        10,
+        world.sim_ref().stats().events,
+        world.sim_ref().stats().delivered
+    );
 }

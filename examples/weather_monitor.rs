@@ -68,7 +68,9 @@ impl SnipeProcess for Analyst {
                 if p < 980 {
                     self.alerts += 1;
                     if self.alerts == 1 {
-                        api.log(format!("ALERT: station {station} pressure {p} hPa — storm forming"));
+                        api.log(format!(
+                            "ALERT: station {station} pressure {p} hPa — storm forming"
+                        ));
                     }
                 }
                 *self.latest.lock().unwrap() = format!(
@@ -128,12 +130,13 @@ fn main() {
 
     // Crash sensor host 1 at t=6s: the feed must keep flowing.
     let h1 = world.sim_ref().topology().host_by_name("host1").unwrap();
-    world
-        .sim()
-        .schedule_fn(snipe::util::time::SimTime::ZERO + SimDuration::from_secs(6), move |w| {
+    world.sim().schedule_fn(
+        snipe::util::time::SimTime::ZERO + SimDuration::from_secs(6),
+        move |w| {
             println!(">>> host1 (sensor 1) crashes");
             w.host_down(h1);
-        });
+        },
+    );
 
     world.run_for_secs(14);
 

@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 # Rustdoc gate: first-party crates must document cleanly. Broken
 # intra-doc links and malformed examples rot fastest in the wire layer,
@@ -77,4 +78,10 @@ if [ "$fp1" != "$fp4" ]; then
     echo "shard-determinism gate (full protocol): FAIL (digest or app log differs)"
     exit 1
 fi
+# Metadata-plane scale gate: register one million names into the
+# consistent-hash-sharded catalog and resolve through the ring plus
+# the client TTL cache; exits nonzero unless the full count registers,
+# every shard group owns names and the latency histogram is populated.
+# results/bench_rcds.json records the measured table.
+./target/release/harness rcds
 echo "check.sh: all gates green"

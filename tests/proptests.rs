@@ -12,6 +12,7 @@ use snipe::rcds::assertion::Assertion;
 use snipe::rcds::store::RcStore;
 use snipe::rcds::uri::Uri;
 use snipe::util::codec::{Decoder, Encoder};
+use snipe::util::id::HostId;
 use snipe::util::rng::Xoshiro256;
 use snipe::util::time::{SimDuration, SimTime};
 use snipe::wire::frag::{split, ReassemblySet};
@@ -20,7 +21,6 @@ use snipe_netsim::actor::{Actor, Ctx, Event};
 use snipe_netsim::medium::Medium;
 use snipe_netsim::topology::{Endpoint, HostCfg, Topology};
 use snipe_netsim::world::World;
-use snipe::util::id::HostId;
 
 /// Timer-driven flooder for the route-cache A/B test: bursts to a peer
 /// every millisecond and echoes whatever comes back.

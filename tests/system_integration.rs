@@ -36,9 +36,11 @@ impl SnipeProcess for Collector {
         }
     }
     fn on_migrated(&mut self, api: &mut SnipeApi<'_, '_>) {
-        self.log
-            .lock().unwrap()
-            .push(format!("collector resumed on {} with {} readings", api.my_hostname(), self.readings));
+        self.log.lock().unwrap().push(format!(
+            "collector resumed on {} with {} readings",
+            api.my_hostname(),
+            self.readings
+        ));
     }
     fn on_ticket(&mut self, api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
         if let TicketResult::FileWritten(Ok(())) = result {
@@ -97,7 +99,8 @@ impl SnipeProcess for Verifier {
     fn on_ticket(&mut self, _api: &mut SnipeApi<'_, '_>, _t: u64, result: TicketResult) {
         if let TicketResult::FileRead(Ok(content)) = result {
             self.log
-                .lock().unwrap()
+                .lock()
+                .unwrap()
                 .push(format!("tally file: {}", String::from_utf8_lossy(&content)));
         }
     }
@@ -126,10 +129,7 @@ fn utk_testbed_end_to_end() {
 
     let got = log.lock().unwrap();
     assert!(got.iter().any(|m| m == "collector migrating"), "{got:?}");
-    assert!(
-        got.iter().any(|m| m.starts_with("collector resumed on host3 with")),
-        "{got:?}"
-    );
+    assert!(got.iter().any(|m| m.starts_with("collector resumed on host3 with")), "{got:?}");
     assert!(got.iter().any(|m| m == "tally checkpointed"), "{got:?}");
     let tally_line = got.iter().find(|m| m.starts_with("tally file: ")).expect("tally read back");
     // 60 readings of 100 bytes each.
